@@ -1,0 +1,186 @@
+//! Allocatable-size constraints and the accept/release protocol.
+//!
+//! Section VI-A: "While GADGET-2 can execute with an arbitrary number of
+//! processors, FT only accepts powers of 2. … the scheduler does not care
+//! about such constraints … Consequently, when responding to grow and
+//! shrink messages, the FT application accepts only the highest power of
+//! 2 processors that does not exceed the allocated number. Additional
+//! processors are voluntarily released to the scheduler."
+//!
+//! The constraint therefore lives in the *application*, not in the
+//! scheduler; the scheduler only ever sees the accepted counts.
+
+/// A rule restricting which allocation sizes an application can use.
+///
+/// ```
+/// use appsim::SizeConstraint;
+/// // FT at 8 processors, offered 25 more, max 32: it accepts exactly 24
+/// // (reaching 32) and declines the remainder.
+/// assert_eq!(SizeConstraint::PowerOfTwo.accept_grow(8, 25, 32), 24);
+/// // Asked to shed 3 from 16 it must drop to the next power of two, 8 —
+/// // releasing more than requested (the paper's "voluntary release").
+/// assert_eq!(SizeConstraint::PowerOfTwo.accept_shrink(16, 3, 2), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SizeConstraint {
+    /// Any size ≥ 1 (GADGET-2 with its internal load balancer).
+    Any,
+    /// Powers of two only (NPB FT).
+    PowerOfTwo,
+    /// Multiples of `k` (e.g. one process per multi-core node).
+    MultipleOf(u32),
+}
+
+impl SizeConstraint {
+    /// The largest size satisfying the constraint that does not exceed
+    /// `n`; `None` when no feasible size ≤ `n` exists (e.g. `n = 0`).
+    pub fn floor(self, n: u32) -> Option<u32> {
+        match self {
+            SizeConstraint::Any => (n >= 1).then_some(n),
+            SizeConstraint::PowerOfTwo => {
+                if n == 0 {
+                    None
+                } else {
+                    Some(1 << (31 - n.leading_zeros()))
+                }
+            }
+            SizeConstraint::MultipleOf(k) => {
+                let k = k.max(1);
+                let m = n / k * k;
+                (m >= k).then_some(m)
+            }
+        }
+    }
+
+    /// True when `n` itself satisfies the constraint.
+    pub fn allows(self, n: u32) -> bool {
+        self.floor(n) == Some(n)
+    }
+
+    /// Response to a **grow offer**: with `current` processors held and
+    /// `offered` more available, returns how many of the offered
+    /// processors the application accepts (the rest are declined and stay
+    /// with the scheduler). The result never exceeds `max − current`.
+    pub fn accept_grow(self, current: u32, offered: u32, max: u32) -> u32 {
+        let ceiling = (current + offered).min(max);
+        match self.floor(ceiling) {
+            Some(new) if new > current => new - current,
+            _ => 0,
+        }
+    }
+
+    /// Response to a **shrink request**: with `current` processors held,
+    /// asked to give up `requested`, and a floor of `min`, returns how
+    /// many processors the application releases. May exceed `requested`
+    /// when the constraint forces a lower feasible size (the surplus is a
+    /// voluntary release); may be less when `min` binds.
+    pub fn accept_shrink(self, current: u32, requested: u32, min: u32) -> u32 {
+        if current <= min {
+            return 0;
+        }
+        let target = current.saturating_sub(requested).max(min);
+        let new = match self.floor(target) {
+            Some(n) if n >= min => n,
+            // Constraint floor fell below min: the application keeps the
+            // smallest feasible size ≥ min instead (search upwards).
+            _ => {
+                let mut n = min;
+                while !self.allows(n) && n < current {
+                    n += 1;
+                }
+                n
+            }
+        };
+        current.saturating_sub(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_of_each_constraint() {
+        assert_eq!(SizeConstraint::Any.floor(7), Some(7));
+        assert_eq!(SizeConstraint::Any.floor(0), None);
+        assert_eq!(SizeConstraint::PowerOfTwo.floor(7), Some(4));
+        assert_eq!(SizeConstraint::PowerOfTwo.floor(8), Some(8));
+        assert_eq!(SizeConstraint::PowerOfTwo.floor(1), Some(1));
+        assert_eq!(SizeConstraint::PowerOfTwo.floor(0), None);
+        assert_eq!(SizeConstraint::MultipleOf(4).floor(11), Some(8));
+        assert_eq!(SizeConstraint::MultipleOf(4).floor(3), None);
+    }
+
+    #[test]
+    fn ft_accepts_highest_power_of_two() {
+        // The paper's example: FT at 8, offered 5 more (13 available) →
+        // accepts up to 8 more only if it reaches a power of two; here
+        // floor(13) = 8 = current, so it accepts nothing.
+        let c = SizeConstraint::PowerOfTwo;
+        assert_eq!(c.accept_grow(8, 5, 32), 0);
+        // Offered 8 more → can reach 16: accepts exactly 8.
+        assert_eq!(c.accept_grow(8, 8, 32), 8);
+        // Offered 25 → reaches 32 (cap also 32): accepts 24.
+        assert_eq!(c.accept_grow(8, 25, 32), 24);
+    }
+
+    #[test]
+    fn grow_respects_max() {
+        let c = SizeConstraint::Any;
+        assert_eq!(c.accept_grow(40, 20, 46), 6);
+        assert_eq!(c.accept_grow(46, 20, 46), 0);
+        let p = SizeConstraint::PowerOfTwo;
+        assert_eq!(p.accept_grow(16, 100, 32), 16);
+    }
+
+    #[test]
+    fn gadget_accepts_everything_offered_up_to_max() {
+        let c = SizeConstraint::Any;
+        assert_eq!(c.accept_grow(2, 10, 46), 10);
+    }
+
+    #[test]
+    fn shrink_releases_at_least_requested_when_possible() {
+        let c = SizeConstraint::Any;
+        assert_eq!(c.accept_shrink(10, 4, 2), 4);
+        // min binds: can only give 3 of the 20 requested.
+        assert_eq!(c.accept_shrink(5, 20, 2), 3);
+        // Already at min: releases nothing.
+        assert_eq!(c.accept_shrink(2, 1, 2), 0);
+    }
+
+    #[test]
+    fn ft_shrink_rounds_down_and_over_releases() {
+        let c = SizeConstraint::PowerOfTwo;
+        // At 16, asked for 3 → target 13 → floor 8 → releases 8 (5 more
+        // than requested, voluntarily).
+        assert_eq!(c.accept_shrink(16, 3, 2), 8);
+        // At 16, asked for 8 → target 8 is a power of two → exactly 8.
+        assert_eq!(c.accept_shrink(16, 8, 2), 8);
+        // At 4 with min 2: asked for 1 → target 3 → floor 2 → releases 2.
+        assert_eq!(c.accept_shrink(4, 1, 2), 2);
+    }
+
+    #[test]
+    fn shrink_never_goes_below_min() {
+        for c in [SizeConstraint::Any, SizeConstraint::PowerOfTwo, SizeConstraint::MultipleOf(2)] {
+            for current in 2..=64u32 {
+                if !c.allows(current) {
+                    continue;
+                }
+                for req in 0..=64u32 {
+                    let released = c.accept_shrink(current, req, 2);
+                    assert!(current - released >= 2, "{c:?} {current} {req}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_of_constraint_grow_and_shrink() {
+        let c = SizeConstraint::MultipleOf(4);
+        assert_eq!(c.accept_grow(4, 7, 32), 4); // 11 → floor 8
+        assert_eq!(c.accept_grow(4, 3, 32), 0);
+        assert_eq!(c.accept_shrink(12, 5, 4), 8); // target 7 → floor 4
+    }
+}

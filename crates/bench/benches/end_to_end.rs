@@ -1,0 +1,37 @@
+//! End-to-end simulation throughput: complete (scaled-down) paper cells,
+//! measuring the full event loop — placement, malleability protocols,
+//! GRAM timing, progress accounting, metrics.
+
+use appsim::workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala::run_experiment;
+use std::hint::black_box;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for (label, policy, workload) in [
+        ("PRA_FPSMA_Wm_60jobs", MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
+        ("PRA_EGS_Wm_60jobs", MalleabilityPolicy::Egs, WorkloadSpec::wm()),
+        ("PRA_EGS_Wmr_60jobs", MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
+    ] {
+        let mut cfg = ExperimentConfig::paper_pra(policy, workload);
+        cfg.workload.jobs = 60;
+        cfg.seed = 5;
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_experiment(black_box(&cfg))));
+        });
+    }
+    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    cfg.workload.jobs = 60;
+    cfg.seed = 5;
+    g.bench_function("PWA_EGS_Wm'_60jobs", |b| {
+        b.iter(|| black_box(run_experiment(black_box(&cfg))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

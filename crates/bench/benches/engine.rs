@@ -1,0 +1,60 @@
+//! Microbenchmarks of the simulation engine: event-queue throughput and
+//! engine schedule/pop cycles. These bound how fast the end-to-end
+//! experiments can possibly run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simcore::{Engine, EventQueue, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn queue_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("push_pop_random_{n}"), |b| {
+            let mut rng = SimRng::seed_from_u64(1);
+            let times: Vec<SimTime> =
+                (0..n).map(|_| SimTime::from_millis(rng.u64_below(1_000_000))).collect();
+            b.iter_batched(
+                || times.clone(),
+                |times| {
+                    let mut q = EventQueue::with_capacity(times.len());
+                    for (i, t) in times.into_iter().enumerate() {
+                        q.push(t, i);
+                    }
+                    let mut sum = 0usize;
+                    while let Some((_, e)) = q.pop() {
+                        sum += e;
+                    }
+                    black_box(sum)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn engine_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("schedule_pop_chain_100k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            e.schedule_at(SimTime::ZERO, 0);
+            let mut delivered = 0u64;
+            while let Some((_, v)) = e.pop() {
+                delivered += 1;
+                if v < 100_000 {
+                    // A chain of one future event per handled event — the
+                    // dominant pattern in the scheduler simulation.
+                    e.schedule_in(SimDuration::from_millis(10), v + 1);
+                }
+            }
+            black_box(delivered)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue_push_pop, engine_cycle);
+criterion_main!(benches);

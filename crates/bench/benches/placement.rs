@@ -1,0 +1,80 @@
+//! Benchmarks of the four KOALA placement policies on DAS-3-sized
+//! availability vectors, for single-component and co-allocated requests.
+
+use appsim::SizeConstraint;
+use criterion::{criterion_group, criterion_main, Criterion};
+use koala::placement::{ComponentRequest, PlacementPolicy, PlacementRequest};
+use multicluster::{ClusterId, FileCatalog};
+use std::hint::black_box;
+
+fn das3_avail() -> Vec<u32> {
+    vec![85, 41, 68, 46, 32]
+}
+
+fn single_request() -> PlacementRequest {
+    PlacementRequest::single(ComponentRequest {
+        min: 2,
+        max: 46,
+        preferred: 2,
+        constraint: SizeConstraint::Any,
+    })
+}
+
+fn coalloc_request() -> PlacementRequest {
+    PlacementRequest {
+        components: (0..4)
+            .map(|_| ComponentRequest {
+                min: 16,
+                max: 16,
+                preferred: 16,
+                constraint: SizeConstraint::Any,
+            })
+            .collect(),
+        files: Vec::new(),
+        flexible: true,
+    }
+}
+
+fn placement_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    let mut catalog = FileCatalog::uniform(5, 10.0);
+    let f = catalog.register(25.0, [ClusterId(2)]);
+    let mut req_cf = single_request();
+    req_cf.files.push(f);
+
+    for policy in [
+        PlacementPolicy::WorstFit,
+        PlacementPolicy::CloseToFiles,
+        PlacementPolicy::ClusterMinimization,
+        PlacementPolicy::FlexibleClusterMinimization,
+    ] {
+        g.bench_function(format!("{}_single", policy.label()), |b| {
+            let req = single_request();
+            b.iter(|| {
+                let mut avail = das3_avail();
+                black_box(policy.place(black_box(&req), &mut avail, Some(&catalog)))
+            });
+        });
+        g.bench_function(format!("{}_coalloc4x16", policy.label()), |b| {
+            let req = coalloc_request();
+            b.iter(|| {
+                let mut avail = das3_avail();
+                black_box(policy.place(black_box(&req), &mut avail, Some(&catalog)))
+            });
+        });
+    }
+    g.bench_function("CF_with_files", |b| {
+        b.iter(|| {
+            let mut avail = das3_avail();
+            black_box(PlacementPolicy::CloseToFiles.place(
+                black_box(&req_cf),
+                &mut avail,
+                Some(&catalog),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, placement_policies);
+criterion_main!(benches);

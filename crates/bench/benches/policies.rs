@@ -1,0 +1,58 @@
+//! Benchmarks of the malleability-management policies' decision
+//! procedures: FPSMA and EGS (plus the equipartition/folding baselines)
+//! over growing populations of running jobs.
+
+use appsim::SizeConstraint;
+use criterion::{criterion_group, criterion_main, Criterion};
+use koala::malleability::{MalleabilityPolicy, RunningView};
+use koala::JobId;
+use simcore::SimTime;
+use std::hint::black_box;
+
+fn views(n: u32) -> Vec<RunningView> {
+    (0..n)
+        .map(|i| RunningView {
+            job: JobId(i),
+            started: SimTime::from_secs(i as u64 * 7),
+            size: 2 + (i % 20),
+            min: 2,
+            max: 46,
+        })
+        .collect()
+}
+
+fn policy_decisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("malleability_policies");
+    for &n in &[10u32, 100, 1000] {
+        let jobs = views(n);
+        for policy in [
+            MalleabilityPolicy::Fpsma,
+            MalleabilityPolicy::Egs,
+            MalleabilityPolicy::Equipartition,
+            MalleabilityPolicy::Folding,
+        ] {
+            g.bench_function(format!("{}_grow_{n}_jobs", policy.label()), |b| {
+                b.iter(|| {
+                    let mut accept = |id: JobId, offered: u32| {
+                        let v = &jobs[id.0 as usize];
+                        SizeConstraint::Any.accept_grow(v.size, offered, v.max)
+                    };
+                    black_box(policy.run_grow(black_box(&jobs), 64, &mut accept))
+                });
+            });
+            g.bench_function(format!("{}_shrink_{n}_jobs", policy.label()), |b| {
+                b.iter(|| {
+                    let mut accept = |id: JobId, requested: u32| {
+                        let v = &jobs[id.0 as usize];
+                        SizeConstraint::Any.accept_shrink(v.size, requested, v.min)
+                    };
+                    black_box(policy.run_shrink(black_box(&jobs), 64, &mut accept))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, policy_decisions);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Substrate microbenchmarks: cluster allocation churn, SWF
+//! parse/export throughput, KIS polling, and trace-recording overhead.
+
+use appsim::swf;
+use appsim::workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use multicluster::{das3, AllocOwner, InfoService};
+use simcore::{SimRng, SimTime, Trace};
+use std::hint::black_box;
+
+fn cluster_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("alloc_grow_shrink_release_x1000", |b| {
+        b.iter(|| {
+            let mut das = das3();
+            let cluster = das.cluster_mut(multicluster::ClusterId(0));
+            for i in 0..1000u64 {
+                let a = cluster.allocate(AllocOwner::Koala(i), 2).expect("fits");
+                cluster.grow(a, 6).expect("fits");
+                cluster.shrink(a, 4).expect("held");
+                cluster.release(a).expect("live");
+            }
+            black_box(cluster.idle())
+        });
+    });
+    g.finish();
+}
+
+fn kis_polling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kis");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("poll_das3_x1000", |b| {
+        let das = das3();
+        b.iter(|| {
+            let mut kis = InfoService::new();
+            for i in 0..1000u64 {
+                kis.poll(SimTime::from_secs(i), das.clusters());
+            }
+            black_box(kis.polls())
+        });
+    });
+    g.finish();
+}
+
+fn swf_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swf");
+    let mut rng = SimRng::seed_from_u64(1);
+    let mut spec = WorkloadSpec::wm();
+    spec.jobs = 1000;
+    let jobs = spec.generate(&mut rng);
+    let text = swf::export(&jobs);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("export_1000_jobs", |b| {
+        b.iter(|| black_box(swf::export(black_box(&jobs))));
+    });
+    g.bench_function("parse_1000_jobs", |b| {
+        b.iter(|| black_box(swf::parse(black_box(&text)).expect("valid")));
+    });
+    g.bench_function("import_1000_jobs", |b| {
+        let records = swf::parse(&text).expect("valid");
+        let imp = swf::SwfImport::default();
+        b.iter(|| black_box(imp.convert(black_box(&records))));
+    });
+    g.finish();
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("disabled_x10k", |b| {
+        b.iter(|| {
+            let mut t = Trace::disabled();
+            for i in 0..10_000u64 {
+                t.record(SimTime::from_millis(i), "x", i, || format!("detail {i}"));
+            }
+            black_box(t.events().len())
+        });
+    });
+    g.bench_function("enabled_bounded_x10k", |b| {
+        b.iter(|| {
+            let mut t = Trace::enabled(1024);
+            for i in 0..10_000u64 {
+                t.record(SimTime::from_millis(i), "x", i, || format!("detail {i}"));
+            }
+            black_box(t.events().len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cluster_churn, kis_polling, swf_roundtrip, trace_overhead);
+criterion_main!(benches);

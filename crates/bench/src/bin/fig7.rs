@@ -1,0 +1,116 @@
+//! Reproduces **Fig. 7** of the paper: FPSMA vs. EGS under the PRA
+//! approach (no shrinking), workloads Wm and Wmr, 300 jobs each, 4 runs
+//! per combination.
+//!
+//! Panels:
+//!   (a) CDF of the time-averaged processors per job
+//!   (b) CDF of the maximum processors per job
+//!   (c) CDF of job execution times
+//!   (d) CDF of job response times
+//!   (e) platform utilization over time
+//!   (f) cumulative grow operations over time
+//!
+//! ```text
+//! cargo run --release -p koala-bench --bin fig7
+//! ```
+
+use appsim::workload::WorkloadSpec;
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala_bench::{
+    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points,
+    write_ecdf_csv, write_timeseries_csv,
+};
+use koala_metrics::plot;
+
+fn main() {
+    let cells: Vec<ExperimentConfig> = vec![
+        ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
+        ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr()),
+        ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm()),
+        ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
+    ];
+    println!("Fig. 7 — FPSMA vs. EGS with the PRA approach (no shrinking)");
+    println!("running 4 configurations x 4 seeds x 300 jobs ...\n");
+    let reports: Vec<_> = cells.iter().map(run_cell).collect();
+    for m in &reports {
+        println!("{}", cell_summary(m));
+    }
+
+    let dir = out_dir();
+    // Panels (a)-(d): pooled ECDFs.
+    for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(panel_metrics()) {
+        let ecdfs: Vec<_> = reports.iter().map(|m| (m.name.as_str(), m.ecdf_of(f))).collect();
+        let series: Vec<(&str, &koala_metrics::Ecdf)> =
+            ecdfs.iter().map(|(n, e)| (*n, e)).collect();
+        write_ecdf_csv(&dir.join(format!("fig7{panel}_{metric}.csv")), metric, &series);
+        println!("\nFig. 7({panel}) — cumulative distribution of {metric}");
+        print!("{}", plot::ecdf_chart(&series, 64, 12));
+    }
+    // Panel (e): utilization over time.
+    let util: Vec<_> = reports
+        .iter()
+        .map(|m| (m.name.as_str(), utilization_points(m, 60)))
+        .collect();
+    write_timeseries_csv(&dir.join("fig7e_utilization.csv"), &util);
+    println!("\nFig. 7(e) — total used processors over time");
+    let util_refs: Vec<(&str, &[(f64, f64)])> =
+        util.iter().map(|(n, p)| (*n, p.as_slice())).collect();
+    print!("{}", plot::timeseries_chart(&util_refs, 64, 12));
+    // Panel (f): grow operations over time.
+    let ops: Vec<_> = reports
+        .iter()
+        .map(|m| (m.name.as_str(), ops_points(m, true, 60)))
+        .collect();
+    write_timeseries_csv(&dir.join("fig7f_grow_operations.csv"), &ops);
+    println!("\nFig. 7(f) — cumulative grow operations (per-run average)");
+    let ops_refs: Vec<(&str, &[(f64, f64)])> =
+        ops.iter().map(|(n, p)| (*n, p.as_slice())).collect();
+    print!("{}", plot::timeseries_chart(&ops_refs, 64, 12));
+
+    // The orderings the paper reports.
+    println!("\nqualitative checks vs. the paper:");
+    // "with FPSMA, short applications may terminate before it is their
+    // turn to grow … They are thus stuck at their minimal size. … [with
+    // EGS] only few jobs do not grow beyond their minimal size."
+    let stuck = |i: usize| {
+        reports[i]
+            .ecdf_of(koala_metrics::JobRecord::average_size)
+            .fraction_at_or_below(3.0)
+    };
+    println!(
+        "  fewer EGS jobs stuck at minimal size (avg ≤ 3): EGS/Wm {:.0}% vs FPSMA/Wm {:.0}%  [paper: EGS < FPSMA] {}",
+        100.0 * stuck(2), 100.0 * stuck(0), verdict(stuck(2) < stuck(0)),
+    );
+    let exec_mean = |i: usize| {
+        reports[i]
+            .ecdf_of(koala_metrics::JobRecord::execution_time)
+            .mean()
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "  Wm beats Wmr on execution time (FPSMA): {:.1}s vs {:.1}s  [paper: Wm < Wmr] {}",
+        exec_mean(0), exec_mean(1), verdict(exec_mean(0) < exec_mean(1)),
+    );
+    let grows = |i: usize| {
+        reports[i].runs.iter().map(|r| r.grow_ops.total()).sum::<usize>() as f64
+            / reports[i].runs.len() as f64
+    };
+    println!(
+        "  grow activity EGS/Wm > FPSMA/Wm: {:.0} vs {:.0}  [paper: EGS > FPSMA] {}",
+        grows(2), grows(0), verdict(grows(2) > grows(0)),
+    );
+    println!(
+        "  grow activity Wm > Wmr (EGS): {:.0} vs {:.0}  [paper: Wm > Wmr] {}",
+        grows(2), grows(3), verdict(grows(2) > grows(3)),
+    );
+    println!("\nCSV panels written under {}", dir.display());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "OK"
+    } else {
+        "MISMATCH"
+    }
+}

@@ -1,0 +1,111 @@
+//! Reproduces **Fig. 8** of the paper: FPSMA vs. EGS under the PWA
+//! approach (growing *and* mandatory shrinking), workloads W'm and W'mr
+//! (30 s inter-arrival to load the system), 300 jobs each, 4 runs per
+//! combination.
+//!
+//! Panels (a)-(f) as in Fig. 7, except panel (f) counts *all*
+//! malleability operations (grows + shrinks).
+//!
+//! ```text
+//! cargo run --release -p koala-bench --bin fig8
+//! ```
+
+use appsim::workload::WorkloadSpec;
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala_bench::{
+    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points,
+    write_ecdf_csv, write_timeseries_csv,
+};
+use koala_metrics::plot;
+
+fn main() {
+    let cells: Vec<ExperimentConfig> = vec![
+        ExperimentConfig::paper_pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime()),
+        ExperimentConfig::paper_pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr_prime()),
+        ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime()),
+        ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime()),
+    ];
+    println!("Fig. 8 — FPSMA vs. EGS with the PWA approach (growing and shrinking)");
+    println!("running 4 configurations x 4 seeds x 300 jobs ...\n");
+    let reports: Vec<_> = cells.iter().map(run_cell).collect();
+    for m in &reports {
+        println!("{}", cell_summary(m));
+    }
+
+    let dir = out_dir();
+    for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(panel_metrics()) {
+        let ecdfs: Vec<_> = reports.iter().map(|m| (m.name.as_str(), m.ecdf_of(f))).collect();
+        let series: Vec<(&str, &koala_metrics::Ecdf)> =
+            ecdfs.iter().map(|(n, e)| (*n, e)).collect();
+        write_ecdf_csv(&dir.join(format!("fig8{panel}_{metric}.csv")), metric, &series);
+        println!("\nFig. 8({panel}) — cumulative distribution of {metric}");
+        print!("{}", plot::ecdf_chart(&series, 64, 12));
+    }
+    let util: Vec<_> = reports
+        .iter()
+        .map(|m| (m.name.as_str(), utilization_points(m, 60)))
+        .collect();
+    write_timeseries_csv(&dir.join("fig8e_utilization.csv"), &util);
+    println!("\nFig. 8(e) — total used processors over time");
+    let util_refs: Vec<(&str, &[(f64, f64)])> =
+        util.iter().map(|(n, p)| (*n, p.as_slice())).collect();
+    print!("{}", plot::timeseries_chart(&util_refs, 64, 12));
+    let ops: Vec<_> = reports
+        .iter()
+        .map(|m| (m.name.as_str(), ops_points(m, false, 60)))
+        .collect();
+    write_timeseries_csv(&dir.join("fig8f_malleability_operations.csv"), &ops);
+    println!("\nFig. 8(f) — cumulative malleability operations (grows + shrinks, per-run average)");
+    let ops_refs: Vec<(&str, &[(f64, f64)])> =
+        ops.iter().map(|(n, p)| (*n, p.as_slice())).collect();
+    print!("{}", plot::timeseries_chart(&ops_refs, 64, 12));
+
+    println!("\nqualitative checks vs. the paper:");
+    let exec_mean = |i: usize| {
+        reports[i]
+            .ecdf_of(koala_metrics::JobRecord::execution_time)
+            .mean()
+            .unwrap_or(f64::NAN)
+    };
+    // Fig. 8c: execution times are close across the four runs.
+    let execs: Vec<f64> = (0..4).map(exec_mean).collect();
+    let spread = (execs.iter().cloned().fold(f64::MIN, f64::max)
+        - execs.iter().cloned().fold(f64::MAX, f64::min))
+        / execs.iter().sum::<f64>()
+        * 4.0;
+    println!(
+        "  execution times similar across runs (relative spread {:.0}%)  [paper: almost the same] {}",
+        100.0 * spread,
+        verdict(spread < 0.5),
+    );
+    let resp_mean = |i: usize| {
+        reports[i]
+            .ecdf_of(koala_metrics::JobRecord::response_time)
+            .mean()
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "  EGS/W'm response time is the worst of the four: {:.1}s vs FPSMA/W'm {:.1}s, FPSMA/W'mr {:.1}s, EGS/W'mr {:.1}s  [paper: EGS/W'm worst] {}",
+        resp_mean(2), resp_mean(0), resp_mean(1), resp_mean(3),
+        verdict(resp_mean(2) >= resp_mean(0) && resp_mean(2) >= resp_mean(1) && resp_mean(2) >= resp_mean(3)),
+    );
+    let shrinks = |i: usize| {
+        reports[i].runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64
+            / reports[i].runs.len() as f64
+    };
+    println!(
+        "  mandatory shrinks occur under load (EGS/W'm {:.0}/run, FPSMA/W'm {:.0}/run)  [paper: PWA shrinks] {}",
+        shrinks(2), shrinks(0),
+        verdict(shrinks(2) > 0.0 || shrinks(0) > 0.0),
+    );
+    println!("\nCSV panels written under {}", dir.display());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "OK"
+    } else {
+        "MISMATCH"
+    }
+}

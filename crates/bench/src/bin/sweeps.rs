@@ -1,0 +1,138 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run --release -p koala-bench --bin sweeps [-- reconfig|polling|background|policies]
+//! ```
+//!
+//! * `reconfig`   — A1: how the grow/shrink suspension cost erodes the
+//!   benefit of malleability (the overhead the paper says prior
+//!   simulation work ignores).
+//! * `polling`    — A2: KIS polling period vs. responsiveness.
+//! * `background` — A3: background load and the grow-reserve threshold
+//!   that protects local users.
+//! * `policies`   — A4: FPSMA/EGS vs. the equipartition and folding
+//!   baselines from the related work.
+
+use appsim::workload::WorkloadSpec;
+use appsim::ReconfigCost;
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala::run_seeds;
+use koala_bench::cell_summary;
+use multicluster::BackgroundLoad;
+use simcore::SimDuration;
+
+const SWEEP_SEEDS: [u64; 2] = [11, 22];
+const SWEEP_JOBS: usize = 150;
+
+fn base(policy: MalleabilityPolicy) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_pra(policy, WorkloadSpec::wm());
+    cfg.workload.jobs = SWEEP_JOBS;
+    cfg
+}
+
+fn run(name: &str, cfg: &ExperimentConfig) {
+    let mut cfg = cfg.clone();
+    cfg.name = name.to_string();
+    let m = run_seeds(&cfg, &SWEEP_SEEDS);
+    println!("{}", cell_summary(&m));
+}
+
+fn sweep_reconfig() {
+    println!("\n== A1: reconfiguration-cost sweep (EGS/Wm, PRA) ==");
+    println!("   (cost = application suspension per grow/shrink; the paper's MRunner");
+    println!("    overlaps everything else with execution)");
+    for (label, cost) in [
+        ("free", ReconfigCost::Free),
+        (
+            "fixed 2s/1s",
+            ReconfigCost::Fixed { grow: SimDuration::from_secs(2), shrink: SimDuration::from_secs(1) },
+        ),
+        ("fixed 10s/5s (default)", ReconfigCost::default()),
+        (
+            "fixed 30s/15s",
+            ReconfigCost::Fixed { grow: SimDuration::from_secs(30), shrink: SimDuration::from_secs(15) },
+        ),
+        (
+            "data 1s + 0.5s/proc",
+            ReconfigCost::DataRedistribution {
+                base: SimDuration::from_secs(1),
+                per_proc: SimDuration::from_millis(500),
+            },
+        ),
+    ] {
+        let mut cfg = base(MalleabilityPolicy::Egs);
+        cfg.sched.reconfig = cost;
+        run(&format!("cost={label}"), &cfg);
+    }
+}
+
+fn sweep_polling() {
+    println!("\n== A2: KIS polling-period sweep (FPSMA/Wm, PRA) ==");
+    for secs in [2u64, 10, 30, 60, 120] {
+        let mut cfg = base(MalleabilityPolicy::Fpsma);
+        cfg.sched.kis_poll_period = SimDuration::from_secs(secs);
+        cfg.sched.queue_scan_period = SimDuration::from_secs(secs);
+        run(&format!("poll={secs}s"), &cfg);
+    }
+}
+
+fn sweep_background() {
+    println!("\n== A3: background load and grow reserve (EGS/Wm, PRA) ==");
+    for (bg_label, bg) in [
+        ("none", BackgroundLoad::none()),
+        ("light", BackgroundLoad::light()),
+        ("heavy", BackgroundLoad::heavy()),
+    ] {
+        for reserve in [0u32, 8, 32] {
+            let mut cfg = base(MalleabilityPolicy::Egs);
+            cfg.background = bg.clone();
+            cfg.sched.grow_reserve = reserve;
+            run(&format!("bg={bg_label},reserve={reserve}"), &cfg);
+        }
+    }
+}
+
+fn sweep_policies() {
+    println!("\n== A4: policy cross-product incl. baselines (Wm, PRA then PWA/W'm) ==");
+    for policy in [
+        MalleabilityPolicy::Fpsma,
+        MalleabilityPolicy::Egs,
+        MalleabilityPolicy::Equipartition,
+        MalleabilityPolicy::Folding,
+    ] {
+        let cfg = base(policy);
+        run(&format!("PRA/{}", policy.label()), &cfg);
+    }
+    for policy in [
+        MalleabilityPolicy::Fpsma,
+        MalleabilityPolicy::Egs,
+        MalleabilityPolicy::Equipartition,
+        MalleabilityPolicy::Folding,
+    ] {
+        let mut cfg = ExperimentConfig::paper_pwa(policy, WorkloadSpec::wm_prime());
+        cfg.workload.jobs = SWEEP_JOBS;
+        run(&format!("PWA/{}", policy.label()), &cfg);
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    println!("ablation sweeps ({SWEEP_JOBS} jobs x {} seeds per point)", SWEEP_SEEDS.len());
+    match arg.as_str() {
+        "reconfig" => sweep_reconfig(),
+        "polling" => sweep_polling(),
+        "background" => sweep_background(),
+        "policies" => sweep_policies(),
+        "all" => {
+            sweep_reconfig();
+            sweep_polling();
+            sweep_background();
+            sweep_policies();
+        }
+        other => {
+            eprintln!("unknown sweep '{other}'; expected reconfig|polling|background|policies|all");
+            std::process::exit(2);
+        }
+    }
+}

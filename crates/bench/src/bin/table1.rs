@@ -1,0 +1,23 @@
+//! Reproduces **Table I** of the paper: the distribution of the nodes
+//! over the DAS-3 clusters.
+//!
+//! ```text
+//! cargo run --release -p koala-bench --bin table1
+//! ```
+
+use multicluster::das3;
+
+fn main() {
+    let das = das3();
+    println!("Table I — The distribution of the nodes over the DAS clusters");
+    println!("{:<20} {:>6}  Interconnect", "Cluster", "Nodes");
+    println!("{}", "-".repeat(56));
+    for c in das.ids() {
+        let spec = das.cluster(c).spec();
+        println!("{:<20} {:>6}  {}", spec.name, spec.nodes, spec.interconnect);
+    }
+    println!("{}", "-".repeat(56));
+    println!("{:<20} {:>6}", "Total", das.total_capacity());
+    assert_eq!(das.total_capacity(), 272, "DAS-3 has 272 nodes");
+    println!("\npaper: 5 clusters, 272 dual-Opteron nodes — reproduced exactly.");
+}

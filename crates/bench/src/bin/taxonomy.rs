@@ -1,0 +1,84 @@
+//! Extension experiment: the three job classes of Feitelson & Rudolph's
+//! taxonomy (Section II-A of the paper) head to head — the same 300-job
+//! arrival stream run entirely rigid, entirely moldable, and entirely
+//! malleable, under both PRA and PWA.
+//!
+//! The paper's workloads compare malleable-vs-rigid *mixes* (Wm vs Wmr);
+//! this binary isolates the class effect: moldable jobs capture the value
+//! of choosing a size once at start, malleable jobs add runtime
+//! adaptation on top.
+//!
+//! ```text
+//! cargo run --release -p koala-bench --bin taxonomy
+//! ```
+
+use appsim::workload::WorkloadSpec;
+use koala::config::{Approach, ExperimentConfig};
+use koala::malleability::MalleabilityPolicy;
+use koala_bench::{run_cell, SEEDS};
+use koala_metrics::JobRecord;
+
+fn class_workload(malleable: f64, moldable: f64, prime: bool) -> WorkloadSpec {
+    let base = if prime { WorkloadSpec::wm_prime() } else { WorkloadSpec::wm() };
+    WorkloadSpec { malleable_fraction: malleable, moldable_fraction: moldable, ..base }
+}
+
+fn main() {
+    println!(
+        "job-class taxonomy: rigid vs moldable vs malleable (300 jobs x {} seeds)\n",
+        SEEDS.len()
+    );
+    for (approach, prime) in [(Approach::Pra, false), (Approach::Pwa, true)] {
+        let label = if prime { "PWA / 30 s arrivals" } else { "PRA / 2 min arrivals" };
+        println!("== {label} ==");
+        println!(
+            "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "class", "avg size", "exec (s)", "resp (s)", "slowdown", "grows/run"
+        );
+        for (class, malleable, moldable) in
+            [("rigid", 0.0, 0.0), ("moldable", 0.0, 1.0), ("malleable", 1.0, 0.0)]
+        {
+            let mut cfg = ExperimentConfig {
+                name: class.to_string(),
+                ..ExperimentConfig::paper_pra(
+                    MalleabilityPolicy::Egs,
+                    class_workload(malleable, moldable, prime),
+                )
+            };
+            cfg.sched.approach = approach;
+            // A fair class comparison needs room for all three classes'
+            // natural sizes: with the paper-calibrated 12% expansion
+            // threshold a single moldable job would monopolize the
+            // entire malleable pool and serialize the system. Lift the
+            // threshold to 45% for this extension experiment.
+            cfg.sched.koala_share = 0.45;
+            let m = run_cell(&cfg);
+            let jobs = m.merged_jobs();
+            let grows: f64 = m.runs.iter().map(|r| r.grow_ops.total() as f64).sum::<f64>()
+                / m.runs.len() as f64;
+            println!(
+                "{:<10} {:>11.1} {:>11.0} {:>11.0} {:>11.2} {:>11.0}",
+                class,
+                jobs.ecdf_of(JobRecord::average_size).mean().unwrap_or(f64::NAN),
+                jobs.ecdf_of(JobRecord::execution_time).mean().unwrap_or(f64::NAN),
+                jobs.ecdf_of(JobRecord::response_time).mean().unwrap_or(f64::NAN),
+                jobs.slowdown_ecdf().mean().unwrap_or(f64::NAN),
+                grows,
+            );
+            assert!(
+                (m.completion_ratio() - 1.0).abs() < 1e-9,
+                "{class} under {label} left jobs unfinished"
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: moldable jobs execute fastest when capacity is plentiful (they\n\
+         grab a large size once, with no reconfiguration overhead) but cannot\n\
+         adapt: under the loaded PWA stream their waits and slowdown degrade.\n\
+         Malleable jobs start at the paper's initial size 2 and ratchet upward\n\
+         from released processors — slower executions than moldable, but flat\n\
+         slowdown at any load, and they can be shrunk to admit waiting jobs:\n\
+         the flexibility-vs-peak-speed trade-off behind the paper's thesis."
+    );
+}

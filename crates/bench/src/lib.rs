@@ -1,0 +1,197 @@
+//! # koala-bench — experiment harness shared by the figure binaries
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! * `table1` — the DAS-3 node distribution.
+//! * `fig6`   — application execution time vs. machine count.
+//! * `fig7`   — the six PRA panels ({FPSMA, EGS} × {Wm, Wmr}).
+//! * `fig8`   — the six PWA panels ({FPSMA, EGS} × {W'm, W'mr}).
+//! * `sweeps` — ablations (reconfiguration cost, polling period,
+//!   background load/reserve, policy cross-product).
+//!
+//! Binaries print human-readable summaries (with ASCII charts) and write
+//! the exact curves as CSV under `repro_out/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use koala::config::ExperimentConfig;
+use koala::report::MultiReport;
+use koala::run_seeds;
+use koala_metrics::csv::Csv;
+use koala_metrics::{Ecdf, JobRecord};
+use simcore::{SimDuration, SimTime};
+
+/// The seeds used for every configuration — the paper repeats each
+/// combination 4 times.
+pub const SEEDS: [u64; 4] = [101, 202, 303, 404];
+
+/// Output directory for CSV artifacts.
+pub fn out_dir() -> PathBuf {
+    let p = PathBuf::from("repro_out");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Runs one paper cell across [`SEEDS`].
+pub fn run_cell(cfg: &ExperimentConfig) -> MultiReport {
+    run_seeds(cfg, &SEEDS)
+}
+
+/// Writes an ECDF panel (one column per configuration) as CSV.
+pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) {
+    let mut header = vec![metric_name];
+    for (name, _) in series {
+        header.push(name);
+    }
+    let mut csv = Csv::with_header(&header);
+    // A common grid spanning all series.
+    let lo = series.iter().filter_map(|(_, e)| e.min()).fold(f64::INFINITY, f64::min);
+    let hi = series.iter().filter_map(|(_, e)| e.max()).fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return;
+    }
+    let steps = 200;
+    for i in 0..=steps {
+        let x = lo + (hi - lo) * i as f64 / steps as f64;
+        let mut row = vec![x];
+        for (_, e) in series {
+            row.push(e.percent_at_or_below(x));
+        }
+        csv.row_f64(&row, 3);
+    }
+    fs::write(path, csv.as_str()).expect("write CSV");
+}
+
+/// Writes a time-series panel (`t` in seconds, one column per config).
+pub fn write_timeseries_csv(path: &Path, series: &[(&str, Vec<(f64, f64)>)]) {
+    let mut header = vec!["t_seconds"];
+    for (name, _) in series {
+        header.push(name);
+    }
+    let mut csv = Csv::with_header(&header);
+    // Union of sampling instants, resampled stepwise.
+    let mut ts: Vec<f64> =
+        series.iter().flat_map(|(_, pts)| pts.iter().map(|&(t, _)| t)).collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    ts.dedup();
+    for &t in &ts {
+        let mut row = vec![t];
+        for (_, pts) in series {
+            // Last value at or before t (step semantics).
+            let v = pts
+                .iter()
+                .take_while(|&&(pt, _)| pt <= t)
+                .last()
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            row.push(v);
+        }
+        csv.row_f64(&row, 3);
+    }
+    fs::write(path, csv.as_str()).expect("write CSV");
+}
+
+/// Resamples a report's mean utilization across seeds on a fixed grid.
+pub fn utilization_points(report: &MultiReport, step_s: u64) -> Vec<(f64, f64)> {
+    let horizon = report
+        .runs
+        .iter()
+        .map(|r| r.makespan)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let step = SimDuration::from_secs(step_s.max(1));
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::new();
+    loop {
+        let mean: f64 = report
+            .runs
+            .iter()
+            .map(|r| r.utilization.value_at(t, 0.0))
+            .sum::<f64>()
+            / report.runs.len() as f64;
+        out.push((t.as_secs_f64(), mean));
+        if t >= horizon {
+            break;
+        }
+        t += step;
+    }
+    out
+}
+
+/// Cumulative-operations curve (merged across seeds, divided by the seed
+/// count: a per-run average).
+pub fn ops_points(report: &MultiReport, grow_only: bool, step_s: u64) -> Vec<(f64, f64)> {
+    let counter = if grow_only { report.merged_grow_ops() } else { report.merged_all_ops() };
+    let horizon = report.max_makespan();
+    let step = SimDuration::from_secs(step_s.max(1));
+    let runs = report.runs.len() as f64;
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::new();
+    loop {
+        out.push((t.as_secs_f64(), counter.count_at(t) as f64 / runs));
+        if t >= horizon {
+            break;
+        }
+        t += step;
+    }
+    out
+}
+
+/// The four per-job metrics of Figs. 7/8(a–d).
+pub fn panel_metrics() -> [(&'static str, fn(&JobRecord) -> Option<f64>); 4] {
+    [
+        ("avg_processors", JobRecord::average_size as fn(&JobRecord) -> Option<f64>),
+        ("max_processors", JobRecord::max_size),
+        ("execution_time_s", JobRecord::execution_time),
+        ("response_time_s", JobRecord::response_time),
+    ]
+}
+
+/// Renders a quick terminal summary of one configuration.
+pub fn cell_summary(m: &MultiReport) -> String {
+    let jobs = m.merged_jobs();
+    let exec = jobs.execution_time_ecdf();
+    let resp = jobs.response_time_ecdf();
+    let avg = jobs.average_size_ecdf();
+    let maxs = jobs.max_size_ecdf();
+    format!(
+        "{:<12} jobs={} done={:.1}% | avg_size med={:>5.1} | max_size med={:>5.1} | exec med={:>6.1}s | resp med={:>6.1}s | grows/run={:>6.1} shrinks/run={:>5.1}",
+        m.name,
+        jobs.len(),
+        100.0 * m.completion_ratio(),
+        avg.median().unwrap_or(f64::NAN),
+        maxs.median().unwrap_or(f64::NAN),
+        exec.median().unwrap_or(f64::NAN),
+        resp.median().unwrap_or(f64::NAN),
+        m.runs.iter().map(|r| r.grow_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
+        m.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appsim::workload::WorkloadSpec;
+    use koala::malleability::MalleabilityPolicy;
+
+    #[test]
+    fn cell_summary_formats() {
+        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+        cfg.workload.jobs = 5;
+        let m = run_seeds(&cfg, &[1, 2]);
+        let s = cell_summary(&m);
+        assert!(s.contains("FPSMA/Wm"));
+        assert!(s.contains("done=100.0%"));
+    }
+
+    #[test]
+    fn utilization_points_cover_horizon() {
+        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        cfg.workload.jobs = 3;
+        let m = run_seeds(&cfg, &[1]);
+        let pts = utilization_points(&m, 60);
+        assert!(pts.len() > 2);
+        assert!(pts.iter().any(|&(_, v)| v > 0.0), "some utilization observed");
+    }
+}

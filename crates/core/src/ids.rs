@@ -1,0 +1,38 @@
+//! Scheduler-level identifiers.
+
+use std::fmt;
+
+/// Identifier of a KOALA-managed job: its index in the submission order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The job's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_and_order() {
+        assert_eq!(JobId(5).to_string(), "J5");
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(JobId(7).index(), 7);
+    }
+}

@@ -1,0 +1,63 @@
+//! # koala — the KOALA multicluster scheduler with malleability support
+//!
+//! This crate is the reproduction of the paper's contribution: the KOALA
+//! grid scheduler (Mohamed & Epema) extended with support for malleable
+//! applications via the DYNACO framework (Buisson et al.), as published
+//! in *Scheduling Malleable Applications in Multicluster Systems*
+//! (IEEE CLUSTER 2007).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`placement`] — KOALA's placement policies (Section IV-A): Worst
+//!   Fit, Close-to-Files, Cluster Minimization, Flexible Cluster
+//!   Minimization; plus the placement queue with its retry threshold.
+//! * [`malleability`] — the malleability manager (Section V): the
+//!   **PRA**/**PWA** job-management approaches and the **FPSMA**/**EGS**
+//!   malleability-management policies, plus the equipartition and folding
+//!   baselines from the related-work discussion (McCann & Zahorjan,
+//!   Utrera et al.).
+//! * [`runner`] — the Malleable Runner (MRunner): drives a malleable
+//!   application as a collection of size-1 GRAM jobs, overlapping GRAM
+//!   interactions with execution (Section V-A).
+//! * [`sim`] — the simulation world tying the scheduler to the
+//!   `multicluster` and `appsim` substrates; event definitions and
+//!   handlers.
+//! * [`config`] — scheduler and experiment configuration, including every
+//!   constant the paper leaves unspecified (with justifications).
+//! * [`report`] — per-run and multi-seed reports feeding the figure
+//!   binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use koala::config::ExperimentConfig;
+//! use koala::malleability::MalleabilityPolicy;
+//! use appsim::workload::WorkloadSpec;
+//!
+//! // Fig. 7, EGS/Wm cell, one seed, scaled down to 30 jobs for the doctest.
+//! let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+//! cfg.workload.jobs = 30;
+//! cfg.seed = 1;
+//! let report = koala::run_experiment(&cfg);
+//! assert_eq!(report.jobs.len(), 30);
+//! assert!(report.jobs.completion_ratio() > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod malleability;
+pub mod placement;
+pub mod report;
+pub mod runner;
+pub mod sim;
+
+mod ids;
+mod job;
+
+pub use config::{Approach, ClaimingPolicy, ExperimentConfig, SchedulerConfig};
+pub use ids::JobId;
+pub use job::{Job, JobPhase};
+pub use report::{MultiReport, RunReport};
+pub use sim::{run_experiment, run_seeds, World};

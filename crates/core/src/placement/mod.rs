@@ -1,0 +1,454 @@
+//! KOALA's placement policies (Section IV-A of the paper).
+//!
+//! Upon submission, the scheduler tries to place a job's components on
+//! clusters using one of four policies:
+//!
+//! * **Worst Fit (WF)** — each component goes to the cluster with the
+//!   most idle processors. Automatic load balancing; the policy used in
+//!   all of the paper's malleability experiments.
+//! * **Close-to-Files (CF)** — clusters holding the input files are
+//!   favoured, then clusters with the cheapest estimated transfer.
+//! * **Cluster Minimization (CM)** — co-allocated jobs span as few
+//!   clusters as possible (fewer inter-cluster messages).
+//! * **Flexible Cluster Minimization (FCM)** — additionally splits the
+//!   job into components sized to the clusters' idle processors to
+//!   reduce queue time.
+//!
+//! Policies operate on the *KIS snapshot* (possibly stale), never on live
+//! cluster state; the actual claim can therefore fail, which sends the
+//! job back to the placement queue — the same pathway as in the real
+//! KOALA.
+//!
+//! For malleable jobs the placement size rule of Section V-B applies:
+//! "the placement policies place it if the number of available processors
+//! is at least equal to the minimum processor requirement", and the
+//! initial size additionally respects the application's size constraint.
+
+mod queue;
+
+pub use queue::PlacementQueue;
+
+use appsim::SizeConstraint;
+use multicluster::{ClusterId, FileCatalog, FileId};
+
+/// One component of a placement request.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ComponentRequest {
+    /// Minimum processors the component needs to start.
+    pub min: u32,
+    /// Maximum processors the component can use.
+    pub max: u32,
+    /// Requested initial processors (`min ≤ preferred ≤ max`).
+    pub preferred: u32,
+    /// The application's size rule, applied to the granted size.
+    pub constraint: SizeConstraint,
+}
+
+impl ComponentRequest {
+    /// A fixed-size component (rigid jobs).
+    pub fn fixed(size: u32, constraint: SizeConstraint) -> Self {
+        ComponentRequest { min: size, max: size, preferred: size, constraint }
+    }
+
+    /// The size granted on a cluster with `avail` idle processors:
+    /// `min(preferred, avail)` floored to the constraint, or `None` when
+    /// fewer than `min` processors are available (Section V-B's rule).
+    pub fn granted_size(&self, avail: u32) -> Option<u32> {
+        if avail < self.min {
+            return None;
+        }
+        let want = self.preferred.clamp(self.min, self.max).min(avail);
+        match self.constraint.floor(want) {
+            Some(s) if s >= self.min => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A placement request: one component per cluster the job may span.
+/// Malleable jobs are single-component (the paper runs them without
+/// co-allocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementRequest {
+    /// The components to place.
+    pub components: Vec<ComponentRequest>,
+    /// Input files (used by Close-to-Files).
+    pub files: Vec<FileId>,
+    /// Whether FCM may re-split the components.
+    pub flexible: bool,
+}
+
+impl PlacementRequest {
+    /// A single-component request with no files.
+    pub fn single(c: ComponentRequest) -> Self {
+        PlacementRequest { components: vec![c], files: Vec::new(), flexible: false }
+    }
+}
+
+/// Where one component landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentPlacement {
+    /// Target cluster.
+    pub cluster: ClusterId,
+    /// Granted initial size.
+    pub size: u32,
+}
+
+/// A whole-job placement decision.
+pub type Placement = Vec<ComponentPlacement>;
+
+/// The placement policy selector (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PlacementPolicy {
+    /// Worst Fit.
+    WorstFit,
+    /// Close-to-Files.
+    CloseToFiles,
+    /// Cluster Minimization.
+    ClusterMinimization,
+    /// Flexible Cluster Minimization.
+    FlexibleClusterMinimization,
+}
+
+impl PlacementPolicy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::WorstFit => "WF",
+            PlacementPolicy::CloseToFiles => "CF",
+            PlacementPolicy::ClusterMinimization => "CM",
+            PlacementPolicy::FlexibleClusterMinimization => "FCM",
+        }
+    }
+
+    /// Attempts to place `req` given per-cluster availability `avail`
+    /// (a *copy* of the KIS snapshot's idle counts; the policy deducts
+    /// its own grants so multi-component jobs do not double-count).
+    ///
+    /// Returns `None` when the job cannot be placed now — the caller
+    /// queues it.
+    pub fn place(
+        self,
+        req: &PlacementRequest,
+        avail: &mut [u32],
+        catalog: Option<&FileCatalog>,
+    ) -> Option<Placement> {
+        // Run on a scratch copy so a failed multi-component placement
+        // leaves `avail` untouched (all-or-nothing placement, as in
+        // KOALA's co-allocator).
+        let mut scratch = avail.to_vec();
+        let placement = match self {
+            PlacementPolicy::WorstFit => place_worst_fit(req, &mut scratch),
+            PlacementPolicy::CloseToFiles => place_close_to_files(req, &mut scratch, catalog),
+            PlacementPolicy::ClusterMinimization => place_cluster_min(req, &mut scratch),
+            PlacementPolicy::FlexibleClusterMinimization => place_flexible(req, &mut scratch),
+        }?;
+        avail.copy_from_slice(&scratch);
+        Some(placement)
+    }
+}
+
+fn argmax_avail(avail: &[u32]) -> Option<ClusterId> {
+    let mut best: Option<(u32, usize)> = None;
+    for (i, &a) in avail.iter().enumerate() {
+        // Strict `>` keeps the lowest index on ties — deterministic.
+        if best.is_none_or(|(b, _)| a > b) {
+            best = Some((a, i));
+        }
+    }
+    best.map(|(_, i)| ClusterId(i as u16))
+}
+
+/// Worst Fit: every component goes to the cluster with the most idle
+/// processors (availability updated between components).
+fn place_worst_fit(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+    let mut out = Vec::with_capacity(req.components.len());
+    for comp in &req.components {
+        let c = argmax_avail(avail)?;
+        let size = comp.granted_size(avail[c.index()])?;
+        avail[c.index()] -= size;
+        out.push(ComponentPlacement { cluster: c, size });
+    }
+    Some(out)
+}
+
+/// Close-to-Files: clusters are ranked by estimated staging time of the
+/// request's input files (ties broken by most idle), and each component
+/// takes the best-ranked cluster that can host it.
+fn place_close_to_files(
+    req: &PlacementRequest,
+    avail: &mut [u32],
+    catalog: Option<&FileCatalog>,
+) -> Option<Placement> {
+    let Some(cat) = catalog else {
+        // Without a catalog CF degenerates to WF (no file information).
+        return place_worst_fit(req, avail);
+    };
+    let mut out = Vec::with_capacity(req.components.len());
+    for comp in &req.components {
+        let mut ranked: Vec<(u64, std::cmp::Reverse<u32>, u16)> = (0..avail.len())
+            .map(|i| {
+                let c = ClusterId(i as u16);
+                let stage = cat.staging_time(&req.files, c).as_millis();
+                (stage, std::cmp::Reverse(avail[i]), i as u16)
+            })
+            .collect();
+        ranked.sort();
+        let mut placed = false;
+        for &(_, _, i) in &ranked {
+            let c = ClusterId(i);
+            if let Some(size) = comp.granted_size(avail[c.index()]) {
+                avail[c.index()] -= size;
+                out.push(ComponentPlacement { cluster: c, size });
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Cluster Minimization: pack components into as few clusters as
+/// possible, visiting clusters in descending availability.
+fn place_cluster_min(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+    let mut order: Vec<usize> = (0..avail.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(avail[i]), i));
+    let mut out = vec![None; req.components.len()];
+    let mut remaining = req.components.len();
+    for &ci in &order {
+        if remaining == 0 {
+            break;
+        }
+        let c = ClusterId(ci as u16);
+        for (k, comp) in req.components.iter().enumerate() {
+            if out[k].is_some() {
+                continue;
+            }
+            if let Some(size) = comp.granted_size(avail[ci]) {
+                avail[ci] -= size;
+                out[k] = Some(ComponentPlacement { cluster: c, size });
+                remaining -= 1;
+            }
+        }
+    }
+    if remaining == 0 {
+        Some(out.into_iter().map(|o| o.expect("remaining == 0")).collect())
+    } else {
+        None
+    }
+}
+
+/// Flexible Cluster Minimization: treat the request as one total demand
+/// (the sum of preferred sizes) and split it into per-cluster chunks
+/// following descending availability, minimizing the cluster count while
+/// never creating a chunk smaller than the smallest component minimum.
+fn place_flexible(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+    if !req.flexible {
+        return place_cluster_min(req, avail);
+    }
+    let total: u32 = req.components.iter().map(|c| c.preferred).sum();
+    let min_chunk = req.components.iter().map(|c| c.min).min().unwrap_or(1);
+    let mut order: Vec<usize> = (0..avail.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(avail[i]), i));
+    let mut left = total;
+    let mut out = Vec::new();
+    for &ci in &order {
+        if left == 0 {
+            break;
+        }
+        let take = avail[ci].min(left);
+        if take < min_chunk {
+            continue;
+        }
+        // Avoid leaving a remainder smaller than a viable chunk.
+        let take = if left - take > 0 && left - take < min_chunk {
+            take - (min_chunk - (left - take))
+        } else {
+            take
+        };
+        if take < min_chunk {
+            continue;
+        }
+        avail[ci] -= take;
+        left -= take;
+        out.push(ComponentPlacement { cluster: ClusterId(ci as u16), size: take });
+    }
+    if left == 0 {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any(min: u32, max: u32, pref: u32) -> ComponentRequest {
+        ComponentRequest { min, max, preferred: pref, constraint: SizeConstraint::Any }
+    }
+
+    #[test]
+    fn granted_size_follows_section_v_rule() {
+        let c = any(2, 46, 2);
+        assert_eq!(c.granted_size(1), None, "below min: no placement");
+        assert_eq!(c.granted_size(2), Some(2));
+        assert_eq!(c.granted_size(100), Some(2), "preferred caps the grant");
+        let big = any(2, 46, 30);
+        assert_eq!(big.granted_size(10), Some(10), "idle caps the grant");
+    }
+
+    #[test]
+    fn granted_size_respects_constraints() {
+        let ft = ComponentRequest {
+            min: 2,
+            max: 32,
+            preferred: 6,
+            constraint: SizeConstraint::PowerOfTwo,
+        };
+        assert_eq!(ft.granted_size(100), Some(4), "6 floors to 4");
+        assert_eq!(ft.granted_size(3), Some(2));
+        assert_eq!(ft.granted_size(1), None);
+    }
+
+    #[test]
+    fn worst_fit_picks_most_idle() {
+        let req = PlacementRequest::single(any(2, 46, 2));
+        let mut avail = vec![10, 40, 25];
+        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+        assert_eq!(p, vec![ComponentPlacement { cluster: ClusterId(1), size: 2 }]);
+        assert_eq!(avail, vec![10, 38, 25]);
+    }
+
+    #[test]
+    fn worst_fit_spreads_components() {
+        let req = PlacementRequest {
+            components: vec![any(20, 20, 20), any(20, 20, 20)],
+            files: Vec::new(),
+            flexible: false,
+        };
+        let mut avail = vec![30, 25];
+        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(0));
+        assert_eq!(p[1].cluster, ClusterId(1), "after deduction, cluster 1 has more");
+    }
+
+    #[test]
+    fn worst_fit_fails_when_nothing_fits() {
+        let req = PlacementRequest::single(any(50, 50, 50));
+        let mut avail = vec![10, 40, 25];
+        assert_eq!(PlacementPolicy::WorstFit.place(&req, &mut avail, None), None);
+        assert_eq!(avail, vec![10, 40, 25], "failed placement must not deduct");
+    }
+
+    #[test]
+    fn worst_fit_ties_break_to_lowest_id() {
+        let req = PlacementRequest::single(any(2, 4, 2));
+        let mut avail = vec![30, 30];
+        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(0));
+    }
+
+    #[test]
+    fn close_to_files_prefers_replica_sites() {
+        let mut cat = FileCatalog::uniform(3, 1.0);
+        let f = cat.register(50.0, [ClusterId(2)]);
+        let req = PlacementRequest {
+            components: vec![any(2, 8, 4)],
+            files: vec![f],
+            flexible: false,
+        };
+        // Cluster 2 has fewer idle processors but holds the replica.
+        let mut avail = vec![40, 40, 10];
+        let p = PlacementPolicy::CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(2));
+    }
+
+    #[test]
+    fn close_to_files_without_catalog_is_worst_fit() {
+        let req = PlacementRequest::single(any(2, 8, 2));
+        let mut a1 = vec![5, 9];
+        let mut a2 = vec![5, 9];
+        let p1 = PlacementPolicy::CloseToFiles.place(&req, &mut a1, None).unwrap();
+        let p2 = PlacementPolicy::WorstFit.place(&req, &mut a2, None).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn close_to_files_falls_through_full_replica_site() {
+        let mut cat = FileCatalog::uniform(2, 1.0);
+        let f = cat.register(50.0, [ClusterId(0)]);
+        let req = PlacementRequest {
+            components: vec![any(4, 8, 4)],
+            files: vec![f],
+            flexible: false,
+        };
+        let mut avail = vec![2, 20]; // replica site too busy
+        let p = PlacementPolicy::CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn cluster_minimization_packs_components_together() {
+        let req = PlacementRequest {
+            components: vec![any(8, 8, 8), any(8, 8, 8), any(8, 8, 8)],
+            files: Vec::new(),
+            flexible: false,
+        };
+        let mut avail = vec![20, 30, 9];
+        let p = PlacementPolicy::ClusterMinimization.place(&req, &mut avail, None).unwrap();
+        // All three fit in cluster 1 (30 ≥ 24): one cluster used.
+        assert!(p.iter().all(|cp| cp.cluster == ClusterId(1)));
+    }
+
+    #[test]
+    fn cluster_minimization_spills_when_needed() {
+        let req = PlacementRequest {
+            components: vec![any(8, 8, 8), any(8, 8, 8)],
+            files: Vec::new(),
+            flexible: false,
+        };
+        let mut avail = vec![10, 9];
+        let p = PlacementPolicy::ClusterMinimization.place(&req, &mut avail, None).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(0));
+        assert_eq!(p[1].cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn flexible_splits_across_clusters() {
+        let req = PlacementRequest {
+            components: vec![any(2, 32, 24)],
+            files: Vec::new(),
+            flexible: true,
+        };
+        let mut avail = vec![10, 9, 8];
+        let p = PlacementPolicy::FlexibleClusterMinimization.place(&req, &mut avail, None).unwrap();
+        let total: u32 = p.iter().map(|cp| cp.size).sum();
+        assert_eq!(total, 24);
+        assert!(p.len() >= 3, "24 processors cannot fit in fewer than 3 of these clusters");
+        assert!(p.iter().all(|cp| cp.size >= 2));
+    }
+
+    #[test]
+    fn flexible_fails_when_total_capacity_short() {
+        let req = PlacementRequest {
+            components: vec![any(2, 64, 40)],
+            files: Vec::new(),
+            flexible: true,
+        };
+        let mut avail = vec![10, 9, 8];
+        assert_eq!(
+            PlacementPolicy::FlexibleClusterMinimization.place(&req, &mut avail, None),
+            None
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PlacementPolicy::WorstFit.label(), "WF");
+        assert_eq!(PlacementPolicy::FlexibleClusterMinimization.label(), "FCM");
+    }
+}

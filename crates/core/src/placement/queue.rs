@@ -1,0 +1,148 @@
+//! The placement queue (Section IV-A of the paper).
+//!
+//! "If a placement try fails, KOALA places the job at the tail of a
+//! placement queue. This queue holds all the jobs that have not yet been
+//! successfully placed. The scheduler regularly scans this queue from
+//! head to tail to see whether any job is able to be placed. For each job
+//! in the queue we record its number of placement tries, and when this
+//! number exceeds a certain threshold value, the submission of that job
+//! fails."
+
+use std::collections::VecDeque;
+
+use crate::ids::JobId;
+
+/// FIFO placement queue with per-job retry counts.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementQueue {
+    entries: VecDeque<(JobId, u32)>,
+    total_tries: u64,
+    failed_submissions: u64,
+}
+
+impl PlacementQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a newly submitted (or bounced) job at the tail.
+    pub fn push_back(&mut self, job: JobId) {
+        debug_assert!(!self.contains(job), "job queued twice");
+        self.entries.push_back((job, 0));
+    }
+
+    /// Jobs in head-to-tail order (the scan order).
+    pub fn scan_order(&self) -> Vec<JobId> {
+        self.entries.iter().map(|&(j, _)| j).collect()
+    }
+
+    /// The job at the head, if any.
+    pub fn head(&self) -> Option<JobId> {
+        self.entries.front().map(|&(j, _)| j)
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `job` is queued.
+    pub fn contains(&self, job: JobId) -> bool {
+        self.entries.iter().any(|&(j, _)| j == job)
+    }
+
+    /// Current retry count of a queued job.
+    pub fn tries(&self, job: JobId) -> Option<u32> {
+        self.entries.iter().find(|&&(j, _)| j == job).map(|&(_, t)| t)
+    }
+
+    /// Removes a successfully placed job.
+    pub fn remove(&mut self, job: JobId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|&(j, _)| j != job);
+        before != self.entries.len()
+    }
+
+    /// Records a failed placement try. Returns `true` when the job's
+    /// tries now exceed `threshold` — the caller must fail the
+    /// submission (the job is removed from the queue).
+    pub fn record_failed_try(&mut self, job: JobId, threshold: u32) -> bool {
+        self.total_tries += 1;
+        let Some(entry) = self.entries.iter_mut().find(|(j, _)| *j == job) else {
+            return false;
+        };
+        entry.1 += 1;
+        if entry.1 > threshold {
+            self.failed_submissions += 1;
+            self.remove(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total failed placement tries across all jobs (for reports).
+    pub fn total_tries(&self) -> u64 {
+        self.total_tries
+    }
+
+    /// Number of submissions failed by the threshold.
+    pub fn failed_submissions(&self) -> u64 {
+        self.failed_submissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = PlacementQueue::new();
+        q.push_back(JobId(1));
+        q.push_back(JobId(2));
+        q.push_back(JobId(3));
+        assert_eq!(q.scan_order(), vec![JobId(1), JobId(2), JobId(3)]);
+        assert_eq!(q.head(), Some(JobId(1)));
+        q.remove(JobId(2));
+        assert_eq!(q.scan_order(), vec![JobId(1), JobId(3)]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn tries_accumulate_until_threshold() {
+        let mut q = PlacementQueue::new();
+        q.push_back(JobId(7));
+        assert!(!q.record_failed_try(JobId(7), 3));
+        assert!(!q.record_failed_try(JobId(7), 3));
+        assert!(!q.record_failed_try(JobId(7), 3));
+        assert_eq!(q.tries(JobId(7)), Some(3));
+        // The fourth failure exceeds threshold 3: submission fails.
+        assert!(q.record_failed_try(JobId(7), 3));
+        assert!(!q.contains(JobId(7)));
+        assert_eq!(q.failed_submissions(), 1);
+        assert_eq!(q.total_tries(), 4);
+    }
+
+    #[test]
+    fn failed_try_on_unknown_job_is_ignored() {
+        let mut q = PlacementQueue::new();
+        assert!(!q.record_failed_try(JobId(9), 0));
+        assert_eq!(q.failed_submissions(), 0);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut q = PlacementQueue::new();
+        q.push_back(JobId(1));
+        assert!(q.remove(JobId(1)));
+        assert!(!q.remove(JobId(1)));
+        assert!(q.is_empty());
+    }
+}

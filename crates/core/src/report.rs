@@ -1,0 +1,212 @@
+//! Per-run and multi-seed experiment reports.
+//!
+//! A [`RunReport`] carries everything the paper's figures need for one
+//! run; a [`MultiReport`] aggregates the 4-seed repetitions the paper
+//! performs per configuration ("we have done 4 runs for each
+//! combination").
+
+use koala_metrics::{CumulativeCounter, Ecdf, JobTable, StepSeries};
+use simcore::SimTime;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration label (e.g. `"EGS/Wm"`).
+    pub name: String,
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Per-job records.
+    pub jobs: JobTable,
+    /// Total used processors over time (KOALA + background) —
+    /// Figs. 7e/8e.
+    pub utilization: StepSeries,
+    /// Processors used by KOALA-managed jobs only.
+    pub koala_used: StepSeries,
+    /// Accepted grow operations over time — Fig. 7f.
+    pub grow_ops: CumulativeCounter,
+    /// Accepted shrink operations over time — with grows, Fig. 8f.
+    pub shrink_ops: CumulativeCounter,
+    /// Grow requests sent (including declined offers).
+    pub grow_messages: u64,
+    /// Shrink requests sent (including declined requests).
+    pub shrink_messages: u64,
+    /// Instant the last job left the system.
+    pub makespan: SimTime,
+    /// KIS polls performed.
+    pub kis_polls: u64,
+    /// Failed placement tries.
+    pub placement_tries: u64,
+    /// Submissions dropped by the retry threshold.
+    pub failed_submissions: u64,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// Job-lifecycle trace (empty unless `World::with_trace` was used).
+    pub trace: simcore::Trace,
+    /// Used processors over time, per cluster (indexed by cluster id).
+    pub per_cluster_used: Vec<StepSeries>,
+}
+
+impl RunReport {
+    /// Mean platform utilization (processors) over `[from, to]`.
+    pub fn mean_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        self.utilization.time_weighted_mean(from, to, 0.0)
+    }
+
+    /// Total malleability operations (grows + shrinks).
+    pub fn total_operations(&self) -> usize {
+        self.grow_ops.total() + self.shrink_ops.total()
+    }
+
+    /// Mean utilization of one cluster over `[from, to]` (processors).
+    pub fn mean_cluster_utilization(&self, cluster: usize, from: SimTime, to: SimTime) -> f64 {
+        self.per_cluster_used
+            .get(cluster)
+            .map(|s| s.time_weighted_mean(from, to, 0.0))
+            .unwrap_or(0.0)
+    }
+}
+
+/// The runs of one configuration across seeds.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Configuration label.
+    pub name: String,
+    /// One report per seed.
+    pub runs: Vec<RunReport>,
+}
+
+impl MultiReport {
+    /// Builds an aggregate; panics on an empty run list.
+    pub fn new(name: impl Into<String>, runs: Vec<RunReport>) -> Self {
+        assert!(!runs.is_empty(), "MultiReport needs at least one run");
+        MultiReport { name: name.into(), runs }
+    }
+
+    /// All job records across seeds, merged (the paper's CDFs pool the
+    /// 4 runs).
+    pub fn merged_jobs(&self) -> JobTable {
+        let mut t = JobTable::new();
+        for r in &self.runs {
+            for rec in r.jobs.records() {
+                t.push(rec.clone());
+            }
+        }
+        t
+    }
+
+    /// Pooled ECDF of a per-job metric.
+    pub fn ecdf_of(
+        &self,
+        f: impl Fn(&koala_metrics::JobRecord) -> Option<f64> + Copy,
+    ) -> Ecdf {
+        self.merged_jobs().ecdf_of(f)
+    }
+
+    /// Grow operations of all runs merged onto one timeline.
+    pub fn merged_grow_ops(&self) -> CumulativeCounter {
+        let mut c = CumulativeCounter::new();
+        for r in &self.runs {
+            c.merge(&r.grow_ops);
+        }
+        c
+    }
+
+    /// All malleability operations (grow + shrink) merged.
+    pub fn merged_all_ops(&self) -> CumulativeCounter {
+        let mut c = CumulativeCounter::new();
+        for r in &self.runs {
+            c.merge(&r.grow_ops);
+            c.merge(&r.shrink_ops);
+        }
+        c
+    }
+
+    /// Mean across runs of the mean utilization over `[from, to]`.
+    pub fn mean_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        self.runs.iter().map(|r| r.mean_utilization(from, to)).sum::<f64>()
+            / self.runs.len() as f64
+    }
+
+    /// Mean completion ratio across runs.
+    pub fn completion_ratio(&self) -> f64 {
+        self.runs.iter().map(|r| r.jobs.completion_ratio()).sum::<f64>()
+            / self.runs.len() as f64
+    }
+
+    /// Longest makespan across runs.
+    pub fn max_makespan(&self) -> SimTime {
+        self.runs.iter().map(|r| r.makespan).max().unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koala_metrics::{JobOutcome, JobRecord};
+
+    fn tiny_run(seed: u64, exec_s: u64) -> RunReport {
+        let mut jobs = JobTable::new();
+        let mut rec = JobRecord::new(0, "FT", true, SimTime::ZERO);
+        rec.placed = Some(SimTime::ZERO);
+        rec.started = Some(SimTime::ZERO);
+        rec.completed = Some(SimTime::from_secs(exec_s));
+        rec.outcome = JobOutcome::Completed;
+        rec.size_history.set(SimTime::ZERO, 2.0);
+        jobs.push(rec);
+        let mut util = StepSeries::new();
+        util.set(SimTime::ZERO, 2.0);
+        util.set(SimTime::from_secs(exec_s), 0.0);
+        let mut grow_ops = CumulativeCounter::new();
+        grow_ops.record(SimTime::from_secs(1));
+        RunReport {
+            name: "T".into(),
+            seed,
+            jobs,
+            utilization: util,
+            koala_used: StepSeries::new(),
+            grow_ops,
+            shrink_ops: CumulativeCounter::new(),
+            grow_messages: 1,
+            shrink_messages: 0,
+            makespan: SimTime::from_secs(exec_s),
+            kis_polls: 10,
+            placement_tries: 0,
+            failed_submissions: 0,
+            events: 42,
+            trace: simcore::Trace::disabled(),
+            per_cluster_used: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn multi_report_merges_jobs_and_ops() {
+        let m = MultiReport::new("T", vec![tiny_run(1, 100), tiny_run(2, 200)]);
+        assert_eq!(m.merged_jobs().len(), 2);
+        assert_eq!(m.merged_grow_ops().total(), 2);
+        assert_eq!(m.merged_all_ops().total(), 2);
+        assert_eq!(m.max_makespan(), SimTime::from_secs(200));
+        assert!((m.completion_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_utilization_integrates_the_step() {
+        let r = tiny_run(1, 100);
+        let m = r.mean_utilization(SimTime::ZERO, SimTime::from_secs(200));
+        assert!((m - 1.0).abs() < 1e-9, "2 procs for half the window: {m}");
+    }
+
+    #[test]
+    fn pooled_ecdf_spans_runs() {
+        let m = MultiReport::new("T", vec![tiny_run(1, 100), tiny_run(2, 300)]);
+        let e = m.ecdf_of(koala_metrics::JobRecord::execution_time);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.min(), Some(100.0));
+        assert_eq!(e.max(), Some(300.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_multi_report_panics() {
+        MultiReport::new("x", vec![]);
+    }
+}

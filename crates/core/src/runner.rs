@@ -1,0 +1,251 @@
+//! The Malleable Runner (MRunner), Section V-A of the paper.
+//!
+//! KOALA runners are the per-application frontends between user, scheduler
+//! and execution sites. The MRunner extends the usual runner with
+//! malleability: because GRAM cannot manage malleable jobs, the MRunner
+//! manages the application as a **collection of GRAM jobs of size 1**:
+//!
+//! * on *growth* it submits new GRAM jobs (empty stubs, so the submission
+//!   overlaps execution) and hands the enlarged collection to the
+//!   application only once all resources are held;
+//! * on *shrink* it first reclaims processors from the application, and
+//!   only after the application's `shrunk` feedback does it release the
+//!   corresponding GRAM jobs.
+//!
+//! A complete DYNACO instance runs inside the MRunner per application
+//! ([`appsim::dynaco::Dynaco`] here); this module adds the GRAM-collection
+//! bookkeeping and exposes the protocol the scheduler's malleability
+//! manager speaks.
+
+use appsim::dynaco::{Decision, Dynaco, Observation};
+
+/// Protocol state of one MRunner instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MRunner {
+    /// The application-side adaptation framework.
+    pub dynaco: Dynaco,
+    /// Size-1 GRAM jobs currently *held* (stubs or application
+    /// processes). Mirrors the cluster allocation size.
+    active_gram_jobs: u32,
+    /// GRAM submissions in flight (stubs not yet running).
+    submitting: u32,
+    /// Processors the application has agreed to release but whose GRAM
+    /// jobs are not yet released.
+    releasing: u32,
+}
+
+impl MRunner {
+    /// Creates an MRunner for an application started with `initial`
+    /// processors (the initial GRAM collection).
+    pub fn new(dynaco: Dynaco, initial: u32) -> Self {
+        MRunner { dynaco, active_gram_jobs: initial, submitting: 0, releasing: 0 }
+    }
+
+    /// GRAM jobs currently held (the application's processor count plus
+    /// any stubs being recruited).
+    pub fn held(&self) -> u32 {
+        self.active_gram_jobs
+    }
+
+    /// Stub submissions in flight.
+    pub fn submitting(&self) -> u32 {
+        self.submitting
+    }
+
+    /// Processors in the release pipeline.
+    pub fn releasing(&self) -> u32 {
+        self.releasing
+    }
+
+    /// True while any malleability operation is in progress.
+    pub fn busy(&self) -> bool {
+        self.dynaco.is_adapting() || self.submitting > 0 || self.releasing > 0
+    }
+
+    /// Scheduler sends a grow offer. Returns the accepted count; when
+    /// positive, the caller must submit that many GRAM jobs and later
+    /// call [`MRunner::stubs_held`].
+    pub fn offer_grow(&mut self, offered: u32) -> u32 {
+        if self.busy() {
+            return 0;
+        }
+        match self.dynaco.decide(Observation::GrowOffer { offered }) {
+            Decision::Grow { accepted } => {
+                self.submitting = accepted;
+                accepted
+            }
+            _ => 0,
+        }
+    }
+
+    /// Scheduler sends a shrink request. Returns the number of
+    /// processors the application will release; when positive, the caller
+    /// waits for the application's sync and then calls
+    /// [`MRunner::shrunk_feedback`].
+    pub fn request_shrink(&mut self, requested: u32, mandatory: bool) -> u32 {
+        if self.busy() {
+            return 0;
+        }
+        match self.dynaco.decide(Observation::ShrinkRequest { requested, mandatory }) {
+            Decision::Shrink { released } => {
+                self.releasing = released;
+                released
+            }
+            _ => 0,
+        }
+    }
+
+    /// GRAM reports the grow-batch stubs active: the collection enlarges
+    /// and the application can start recruiting them.
+    pub fn stubs_held(&mut self) -> u32 {
+        let n = self.submitting;
+        self.active_gram_jobs += n;
+        self.submitting = 0;
+        n
+    }
+
+    /// The application finished its grow redistribution: commit the new
+    /// size.
+    pub fn grow_complete(&mut self) {
+        self.dynaco.commit();
+        debug_assert_eq!(self.dynaco.size(), self.active_gram_jobs);
+    }
+
+    /// The application reports `shrunk` after its sync: commit the new
+    /// size; the returned count of GRAM jobs must now be released.
+    pub fn shrunk_feedback(&mut self) -> u32 {
+        let n = self.releasing;
+        self.dynaco.commit();
+        self.active_gram_jobs -= n;
+        debug_assert_eq!(self.dynaco.size(), self.active_gram_jobs);
+        n
+    }
+
+    /// GRAM confirms the released jobs are gone.
+    pub fn release_confirmed(&mut self) {
+        self.releasing = 0;
+    }
+
+    /// Abandons an in-flight grow (e.g. the application completed while
+    /// stubs were submitting). Returns the number of stub submissions to
+    /// cancel.
+    pub fn abort_grow(&mut self) -> u32 {
+        let n = self.submitting;
+        self.submitting = 0;
+        self.dynaco.abort();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appsim::SizeConstraint;
+
+    fn runner(initial: u32) -> MRunner {
+        MRunner::new(Dynaco::new(2, 46, SizeConstraint::Any, initial), initial)
+    }
+
+    #[test]
+    fn grow_protocol_roundtrip() {
+        let mut r = runner(2);
+        assert_eq!(r.offer_grow(10), 10);
+        assert!(r.busy());
+        assert_eq!(r.submitting(), 10);
+        assert_eq!(r.held(), 2, "collection grows only when stubs are active");
+        assert_eq!(r.stubs_held(), 10);
+        assert_eq!(r.held(), 12);
+        r.grow_complete();
+        assert!(!r.busy());
+        assert_eq!(r.dynaco.size(), 12);
+    }
+
+    #[test]
+    fn shrink_protocol_roundtrip() {
+        let mut r = runner(12);
+        assert_eq!(r.request_shrink(5, true), 5);
+        assert!(r.busy());
+        assert_eq!(r.held(), 12, "GRAM jobs released only after feedback");
+        assert_eq!(r.shrunk_feedback(), 5);
+        assert_eq!(r.held(), 7);
+        assert!(r.busy(), "release confirmation still pending");
+        r.release_confirmed();
+        assert!(!r.busy());
+    }
+
+    #[test]
+    fn busy_runner_declines_everything() {
+        let mut r = runner(2);
+        r.offer_grow(4);
+        assert_eq!(r.offer_grow(4), 0);
+        assert_eq!(r.request_shrink(1, true), 0);
+    }
+
+    #[test]
+    fn abort_grow_cancels_stubs() {
+        let mut r = runner(2);
+        r.offer_grow(8);
+        assert_eq!(r.abort_grow(), 8);
+        assert!(!r.busy());
+        assert_eq!(r.held(), 2);
+        assert_eq!(r.dynaco.size(), 2);
+    }
+
+    #[test]
+    fn power_of_two_runner_voluntarily_trims_offers() {
+        let mut r = MRunner::new(Dynaco::new(2, 32, SizeConstraint::PowerOfTwo, 4), 4);
+        assert_eq!(r.offer_grow(7), 4, "4 + 7 = 11 floors to 8: accepts 4");
+        r.stubs_held();
+        r.grow_complete();
+        assert_eq!(r.held(), 8);
+    }
+
+    #[test]
+    fn consecutive_operations_serialize() {
+        let mut r = runner(4);
+        // grow, complete, shrink, complete, grow again — each must wait
+        // for the previous protocol round to finish.
+        assert_eq!(r.offer_grow(6), 6);
+        r.stubs_held();
+        r.grow_complete();
+        assert_eq!(r.held(), 10);
+        assert_eq!(r.request_shrink(3, true), 3);
+        assert_eq!(r.shrunk_feedback(), 3);
+        r.release_confirmed();
+        assert_eq!(r.held(), 7);
+        assert_eq!(r.offer_grow(2), 2);
+        r.stubs_held();
+        r.grow_complete();
+        assert_eq!(r.held(), 9);
+        assert_eq!(r.dynaco.size(), 9);
+    }
+
+    #[test]
+    fn shrink_to_minimum_then_decline() {
+        let mut r = runner(4);
+        assert_eq!(r.request_shrink(10, true), 2, "min 2 binds");
+        r.shrunk_feedback();
+        r.release_confirmed();
+        assert_eq!(r.held(), 2);
+        assert_eq!(r.request_shrink(1, true), 0, "nothing left to give");
+        assert!(!r.busy(), "a declined request leaves the runner idle");
+    }
+
+    #[test]
+    fn voluntary_shrink_requests_can_be_declined() {
+        let mut r = runner(20);
+        // Voluntary shrinks of more than half the size are declined by
+        // the decide component.
+        assert_eq!(r.request_shrink(15, false), 0);
+        assert!(!r.busy());
+        // Small voluntary shrinks are honoured.
+        assert_eq!(r.request_shrink(4, false), 4);
+    }
+
+    #[test]
+    fn declined_offer_leaves_runner_idle() {
+        let mut r = runner(46);
+        assert_eq!(r.offer_grow(10), 0, "already at max");
+        assert!(!r.busy());
+    }
+}

@@ -1,0 +1,1464 @@
+//! The simulation world: KOALA + substrates + event handlers.
+//!
+//! The world composes the scheduler (placement, queue, malleability
+//! manager), the multicluster substrate (clusters, LRMs, KIS, GRAM
+//! timing) and the application substrate (DYNACO runners, progress
+//! accounting) under a single deterministic event loop.
+//!
+//! ## Event flows (mirroring Section V of the paper)
+//!
+//! **Initial placement** — `Arrival` enqueues the job and scans the
+//! queue; a successful placement allocates processors (the claim can fail
+//! if the KIS snapshot was stale — the job bounces back to the queue) and
+//! schedules `StartHeld` after the GRAM batch-submission latency; the job
+//! then starts computing and a generation-stamped `Completion` is
+//! scheduled from its speedup model.
+//!
+//! **Grow** — the malleability manager (triggered by freed capacity or by
+//! a KIS poll that shows *new* availability) runs the policy; accepted
+//! offers immediately extend the cluster allocation (stubs occupy nodes
+//! from submission), and `GrowHeld` fires once the stubs run. Only then
+//! does the application suspend (`SyncDone` after recruit + redistribute
+//! cost) and resume at the new size — GRAM interaction overlaps
+//! execution, exactly as the MRunner is designed to do.
+//!
+//! **Shrink** (PWA) — when the first queued job cannot be placed, the
+//! manager mandatorily shrinks running jobs. The application suspends,
+//! redistributes, resumes at the smaller size, and only after the
+//! `shrunk` feedback are the GRAM jobs released (`ShrinkReleased`), which
+//! is when the processors actually free up and the waiting job can place.
+//!
+//! **Background load** — local jobs enter each cluster's LRM directly,
+//! bypassing KOALA; the scheduler only learns about them at the next KIS
+//! poll.
+
+use appsim::dynaco::Dynaco;
+use appsim::workload::SubmittedJob;
+use appsim::JobClass;
+use koala_metrics::{CumulativeCounter, JobOutcome, JobRecord, StepSeries};
+use multicluster::{
+    das3, AllocId, AllocOwner, ClusterId, FileCatalog, InfoService, LocalJob, Multicluster,
+    SubmitOutcome,
+};
+use simcore::{Engine, Generation, SimRng, SimTime, Trace};
+
+use crate::config::{Approach, ClaimingPolicy, ExperimentConfig};
+use crate::ids::JobId;
+use crate::job::{Job, JobPhase};
+use crate::malleability::RunningView;
+use crate::placement::{ComponentRequest, PlacementQueue, PlacementRequest};
+use crate::report::RunReport;
+use crate::runner::MRunner;
+
+/// The flat event type of the whole simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A workload job arrives (payload: workload index = job id).
+    Arrival(u32),
+    /// Periodic placement-queue scan.
+    QueueScan,
+    /// Periodic KIS poll (also triggers job management, Section V-B).
+    KisPoll,
+    /// Initial GRAM batch is running: the job starts executing.
+    StartHeld {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// Grow stubs are running: recruit and redistribute.
+    GrowHeld {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// Reconfiguration synchronization finished: resume at the new size.
+    SyncDone {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+        /// Whether this was a grow or a shrink sync.
+        grow: bool,
+    },
+    /// GRAM jobs released after a shrink: processors are free.
+    ShrinkReleased {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+        /// Processors freed.
+        count: u32,
+    },
+    /// A job's work is complete.
+    Completion {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// A background (local) job arrives at a cluster.
+    BgArrival {
+        /// The cluster.
+        cluster: ClusterId,
+    },
+    /// A background job finishes.
+    BgComplete {
+        /// The cluster.
+        cluster: ClusterId,
+        /// Its allocation.
+        alloc: AllocId,
+    },
+    /// Part of a cluster is withdrawn from the pool (maintenance or
+    /// failure) — the availability variation that motivates malleability
+    /// in the paper's introduction. Free nodes are taken first; if the
+    /// withdrawal cannot be satisfied, running malleable jobs are
+    /// mandatorily shrunk and the event retries until the target is met
+    /// or nothing more can be reclaimed.
+    NodeWithdraw {
+        /// The cluster losing nodes.
+        cluster: ClusterId,
+        /// Nodes still to withdraw.
+        count: u32,
+    },
+    /// A deferred claim fires: staging is nearly done, take the
+    /// processors now (or bounce back to the queue).
+    Claim {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// A job's application-initiated grow request fires (its progress
+    /// crossed the configured phase boundary).
+    AppGrowRequest {
+        /// The job.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// Withdrawn nodes return to the pool.
+    NodeRestore {
+        /// The cluster regaining nodes.
+        cluster: ClusterId,
+        /// Nodes to restore.
+        count: u32,
+    },
+}
+
+/// The simulation world. Construct with [`World::new`], drive with
+/// [`World::run_to_completion`] (or use the [`run_experiment`] helper).
+pub struct World {
+    cfg: ExperimentConfig,
+    mc: Multicluster,
+    kis: InfoService,
+    files: Option<FileCatalog>,
+    workload: Vec<SubmittedJob>,
+    jobs: Vec<Job>,
+    queue: PlacementQueue,
+    records: Vec<JobRecord>,
+    util_total: StepSeries,
+    util_koala: StepSeries,
+    util_per_cluster: Vec<StepSeries>,
+    grow_ops: CumulativeCounter,
+    shrink_ops: CumulativeCounter,
+    grow_messages: u64,
+    shrink_messages: u64,
+    bg_rng: SimRng,
+    /// Per-cluster processors in the shrink pipeline (decided but not yet
+    /// freed) — stops PWA from over-shrinking while releases are in
+    /// flight.
+    pending_release: Vec<u32>,
+    /// Per-cluster idle level already offered to (or declined by) running
+    /// jobs. The malleability manager only offers *newly available*
+    /// processors — the paper's `growValue` is "the number of processors
+    /// to be allocated on behalf of malleable jobs", i.e. the processors
+    /// that just became available, not the whole idle pool. Idle capacity
+    /// present at the start of the run is never offered (jobs start at
+    /// their initial sizes and ratchet up from released processors),
+    /// which is what keeps utilization in the paper's 40–120 processor
+    /// band on a 272-node system.
+    idle_baseline: Vec<u32>,
+    arrivals_seen: usize,
+    terminal: usize,
+    next_bg_local: u64,
+    trace: Trace,
+}
+
+impl World {
+    /// Builds the world: DAS-3, the generated workload, and all
+    /// bookkeeping. All randomness forks from `cfg.seed`.
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        let mut master = SimRng::seed_from_u64(cfg.seed);
+        let mut wl_rng = master.fork(1);
+        let bg_rng = master.fork(2);
+        let workload = match &cfg.trace {
+            Some(trace) => trace.clone(),
+            None => cfg.workload.generate(&mut wl_rng),
+        };
+        let mc = if cfg.heterogeneous {
+            multicluster::das3_heterogeneous()
+        } else {
+            das3()
+        };
+        let n_clusters = mc.len();
+        let jobs: Vec<Job> = workload
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Job::new(JobId(i as u32), s.spec.clone(), s.at))
+            .collect();
+        let records: Vec<JobRecord> = workload
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                JobRecord::new(
+                    i as u64,
+                    s.spec.kind.label().to_string(),
+                    s.spec.class.is_malleable(),
+                    s.at,
+                )
+            })
+            .collect();
+        let w_init = World {
+            cfg: cfg.clone(),
+            mc,
+            kis: InfoService::new(),
+            files: None,
+            workload,
+            jobs,
+            queue: PlacementQueue::new(),
+            records,
+            util_total: StepSeries::with_initial(0.0),
+            util_koala: StepSeries::with_initial(0.0),
+            util_per_cluster: vec![StepSeries::with_initial(0.0); n_clusters],
+            grow_ops: CumulativeCounter::new(),
+            shrink_ops: CumulativeCounter::new(),
+            grow_messages: 0,
+            shrink_messages: 0,
+            bg_rng,
+            pending_release: vec![0; n_clusters],
+            idle_baseline: Vec::new(), // filled below from capacities
+
+            arrivals_seen: 0,
+            terminal: 0,
+            next_bg_local: 0,
+            trace: Trace::disabled(),
+        };
+        let mut w = w_init;
+        w.idle_baseline = w.mc.clusters().map(|c| c.idle()).collect();
+        w
+    }
+
+    /// Installs a file catalog (for Close-to-Files experiments).
+    pub fn with_files(mut self, files: FileCatalog) -> Self {
+        self.files = Some(files);
+        self
+    }
+
+    /// Enables job-lifecycle tracing, keeping the most recent `capacity`
+    /// entries (exported in the run report).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Trace::enabled(capacity);
+        self
+    }
+
+    /// Direct access to the multicluster state (tests and examples).
+    pub fn multicluster(&self) -> &Multicluster {
+        &self.mc
+    }
+
+    /// Job phases (tests).
+    pub fn job_phase(&self, id: JobId) -> JobPhase {
+        self.jobs[id.index()].phase
+    }
+
+    /// Schedules the initial events.
+    pub fn bootstrap(&mut self, engine: &mut Engine<Ev>) {
+        // KIS poll first so the first arrivals see a snapshot.
+        engine.schedule_at(SimTime::ZERO, Ev::KisPoll);
+        for (i, s) in self.workload.iter().enumerate() {
+            engine.schedule_at(s.at, Ev::Arrival(i as u32));
+        }
+        engine.schedule_in(self.cfg.sched.queue_scan_period, Ev::QueueScan);
+        if self.cfg.background.is_active() {
+            for c in 0..self.mc.len() {
+                let cluster = ClusterId(c as u16);
+                let cap = self.mc.cluster(cluster).capacity();
+                if let Some(gap) =
+                    self.cfg.background.sample_interarrival_for(&mut self.bg_rng, cap)
+                {
+                    engine.schedule_in(gap, Ev::BgArrival { cluster });
+                }
+            }
+        }
+    }
+
+    /// True when every KOALA job has reached a terminal state.
+    pub fn done(&self) -> bool {
+        self.arrivals_seen == self.workload.len()
+            && self.queue.is_empty()
+            && self.terminal == self.jobs.len()
+    }
+
+    /// Runs the event loop until all jobs are terminal (or the engine
+    /// drains / hits its horizon) and returns the report.
+    pub fn run_to_completion(mut self, engine: &mut Engine<Ev>) -> RunReport {
+        self.bootstrap(engine);
+        while let Some((_t, ev)) = engine.pop() {
+            self.handle(engine, ev);
+            if self.done() {
+                break;
+            }
+        }
+        self.finish(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles one event.
+    pub fn handle(&mut self, engine: &mut Engine<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival(i) => self.on_arrival(engine, JobId(i)),
+            Ev::QueueScan => {
+                self.scan_queue(engine);
+                if !self.done() {
+                    engine.schedule_in(self.cfg.sched.queue_scan_period, Ev::QueueScan);
+                }
+            }
+            Ev::KisPoll => self.on_kis_poll(engine),
+            Ev::StartHeld { job, gen } => self.on_start_held(engine, job, gen),
+            Ev::GrowHeld { job, gen } => self.on_grow_held(engine, job, gen),
+            Ev::SyncDone { job, gen, grow } => self.on_sync_done(engine, job, gen, grow),
+            Ev::ShrinkReleased { job, gen, count } => {
+                self.on_shrink_released(engine, job, gen, count)
+            }
+            Ev::Completion { job, gen } => self.on_completion(engine, job, gen),
+            Ev::BgArrival { cluster } => self.on_bg_arrival(engine, cluster),
+            Ev::BgComplete { cluster, alloc } => self.on_bg_complete(engine, cluster, alloc),
+            Ev::Claim { job, gen } => self.on_claim(engine, job, gen),
+            Ev::AppGrowRequest { job, gen } => self.on_app_grow_request(engine, job, gen),
+            Ev::NodeWithdraw { cluster, count } => self.on_node_withdraw(engine, cluster, count),
+            Ev::NodeRestore { cluster, count } => self.on_node_restore(engine, cluster, count),
+        }
+        debug_assert!(self.mc.check_invariants().is_ok(), "cluster invariant broken");
+    }
+
+    fn on_arrival(&mut self, engine: &mut Engine<Ev>, id: JobId) {
+        self.arrivals_seen += 1;
+        let label = self.jobs[id.index()].spec.kind.label().to_string();
+        self.trace
+            .record(engine.now(), "arrive", id.0 as u64, || label);
+        self.queue.push_back(id);
+        // "Upon receiving a job request … the scheduler uses one of the
+        // placement policies to try to place job components."
+        self.scan_queue(engine);
+    }
+
+    fn on_kis_poll(&mut self, engine: &mut Engine<Ev>) {
+        let now = engine.now();
+        self.kis.poll(now, self.mc.clusters());
+        // Job management triggers (Section V-B): the poll is how KOALA
+        // notices processors that became available outside its own
+        // bookkeeping — typically released by background users who
+        // bypass it. Only the idle delta above the already-offered
+        // baseline is handed to the policies.
+        match self.cfg.sched.approach {
+            Approach::Pra => {
+                for c in 0..self.mc.len() {
+                    self.offer_new_capacity(engine, ClusterId(c as u16));
+                }
+                self.scan_queue(engine);
+            }
+            Approach::Pwa => {
+                self.scan_queue(engine);
+                if self.queue.is_empty() {
+                    for c in 0..self.mc.len() {
+                        self.offer_new_capacity(engine, ClusterId(c as u16));
+                    }
+                }
+            }
+        }
+        if !self.done() {
+            engine.schedule_in(self.cfg.sched.kis_poll_period, Ev::KisPoll);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    fn request_for(&self, job: &Job) -> PlacementRequest {
+        let constraint = job.spec.kind.constraint();
+        if let Some(comps) = &job.spec.coalloc {
+            // Co-allocated rigid job: one fixed component per entry. The
+            // size constraint applies to the total, which validate()
+            // guarantees; components use Any so CM/FCM can pack them.
+            return PlacementRequest {
+                components: comps
+                    .iter()
+                    .map(|&c| ComponentRequest::fixed(c, appsim::SizeConstraint::Any))
+                    .collect(),
+                files: Vec::new(),
+                flexible: false,
+            };
+        }
+        let comp = match job.spec.class {
+            JobClass::Rigid { size } => ComponentRequest::fixed(size, constraint),
+            JobClass::Moldable { min, max } => {
+                ComponentRequest { min, max, preferred: max, constraint }
+            }
+            JobClass::Malleable { min, max, initial } => {
+                ComponentRequest { min, max, preferred: initial, constraint }
+            }
+        };
+        let mut req = PlacementRequest::single(comp);
+        req.files = job.spec.input_files.iter().map(|&f| multicluster::FileId(f)).collect();
+        req
+    }
+
+    /// Estimated staging time of a job's input files at `cluster` (zero
+    /// without a catalog or files).
+    fn staging_time(&self, job: &Job, cluster: ClusterId) -> simcore::SimDuration {
+        match &self.files {
+            Some(cat) => {
+                let files: Vec<multicluster::FileId> =
+                    job.spec.input_files.iter().map(|&f| multicluster::FileId(f)).collect();
+                cat.staging_time(&files, cluster)
+            }
+            None => simcore::SimDuration::ZERO,
+        }
+    }
+
+    /// Scans the placement queue head-to-tail (Section IV-A), placing
+    /// whatever fits. Under PWA, the first job that does not fit triggers
+    /// mandatory shrinking (Section V-B).
+    fn scan_queue(&mut self, engine: &mut Engine<Ev>) {
+        let Some(snapshot) = self.kis.snapshot() else {
+            return;
+        };
+        let mut avail: Vec<u32> = snapshot.idle.clone();
+        let mut pwa_handled = false;
+        for id in self.queue.scan_order() {
+            let job = &self.jobs[id.index()];
+            if job.phase != JobPhase::Queued {
+                continue;
+            }
+            let req = self.request_for(job);
+            // Availability for KOALA is the snapshot idle count further
+            // capped by the expansion threshold's remaining headroom
+            // (live, since earlier placements in this scan consume it).
+            let budget = self.koala_headroom();
+            let mut eff: Vec<u32> = avail.iter().map(|&a| a.min(budget)).collect();
+            let placed = self.cfg.sched.placement.place(&req, &mut eff, self.files.as_ref());
+            match placed {
+                Some(placement) => {
+                    // Deferred claiming: when the job must stage files
+                    // first, the processors are NOT taken now — the claim
+                    // fires close to the estimated start (Section IV-A's
+                    // claiming policy). Single-component jobs only (the
+                    // co-allocator always reserves).
+                    if let ClaimingPolicy::Deferred { margin } = self.cfg.sched.claiming {
+                        if placement.len() == 1 {
+                            let cp = placement[0];
+                            let stage = self.staging_time(&self.jobs[id.index()], cp.cluster);
+                            if !stage.is_zero() {
+                                self.queue.remove(id);
+                                let now = engine.now();
+                                let job = &mut self.jobs[id.index()];
+                                job.phase = JobPhase::Staging;
+                                job.cluster = Some(cp.cluster);
+                                job.pending_claim = Some(vec![(cp.cluster, cp.size)]);
+                                self.records[id.index()].placed = Some(now);
+                                let delay = simcore::SimDuration::from_millis(
+                                    stage.as_millis().saturating_sub(margin.as_millis()),
+                                );
+                                let gen = job.gen;
+                                engine.schedule_in(delay, Ev::Claim { job: id, gen });
+                                continue;
+                            }
+                        }
+                    }
+                    // The claim runs against *live* state; a stale
+                    // snapshot can make it fail, which counts as a
+                    // failed placement try (the job stays queued).
+                    // Co-allocated claims are all-or-nothing: a partial
+                    // failure releases what was already claimed, as in
+                    // KOALA's co-allocator.
+                    let mut got: Vec<(ClusterId, AllocId, u32)> = Vec::new();
+                    let mut all_ok = true;
+                    for cp in &placement {
+                        match self
+                            .mc
+                            .cluster_mut(cp.cluster)
+                            .allocate(AllocOwner::Koala(id.0 as u64), cp.size)
+                        {
+                            Ok(alloc) => got.push((cp.cluster, alloc, cp.size)),
+                            Err(_) => {
+                                all_ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_ok {
+                        for &(c, _, size) in &got {
+                            avail[c.index()] = avail[c.index()].saturating_sub(size);
+                        }
+                        self.queue.remove(id);
+                        self.commit_placement(engine, id, got);
+                    } else {
+                        for (c, alloc, _) in got {
+                            self.mc.cluster_mut(c).release(alloc).expect("just claimed");
+                        }
+                        self.fail_try(id);
+                    }
+                }
+                None => {
+                    if self.cfg.sched.approach == Approach::Pwa && !pwa_handled {
+                        pwa_handled = true;
+                        self.pwa_make_room(engine, id);
+                    }
+                    self.fail_try(id);
+                }
+            }
+        }
+    }
+
+    fn fail_try(&mut self, id: JobId) {
+        let exceeded = self
+            .queue
+            .record_failed_try(id, self.cfg.sched.placement_retry_threshold);
+        if exceeded {
+            let job = &mut self.jobs[id.index()];
+            job.phase = JobPhase::Failed;
+            self.records[id.index()].outcome = JobOutcome::PlacementFailed;
+            self.terminal += 1;
+        }
+    }
+
+    fn commit_placement(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        id: JobId,
+        components: Vec<(ClusterId, AllocId, u32)>,
+    ) {
+        let now = engine.now();
+        let total: u32 = components.iter().map(|&(_, _, s)| s).sum();
+        let (cluster, alloc, size) = components[0];
+        let job = &mut self.jobs[id.index()];
+        job.phase = JobPhase::Starting;
+        job.cluster = Some(cluster);
+        job.alloc = Some(alloc);
+        job.extra_allocs = components[1..].iter().map(|&(c, a, _)| (c, a)).collect();
+        if let JobClass::Malleable { min, max, .. } = job.spec.class {
+            debug_assert!(job.extra_allocs.is_empty(), "malleable jobs are single-cluster");
+            let dynaco = Dynaco::new(min, max, job.spec.kind.constraint(), size);
+            job.runner = Some(MRunner::new(dynaco, size));
+        }
+        self.records[id.index()].placed = Some(now);
+        self.trace.record(now, "place", id.0 as u64, || {
+            format!("{} procs on {:?} (+{} components)", total, cluster, components.len() - 1)
+        });
+        let gen = job.gen;
+        let delay = self.cfg.sched.gram.batch_submit_time(total);
+        engine.schedule_in(delay, Ev::StartHeld { job: id, gen });
+        for &(c, _, _) in &components {
+            self.sync_baseline(c);
+        }
+        self.touch_util(now);
+    }
+
+    fn on_start_held(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Starting {
+            return;
+        }
+        job.phase = JobPhase::Running;
+        job.started = Some(now);
+        let primary = job
+            .alloc
+            .and_then(|a| self.mc.cluster(job.cluster.expect("placed")).alloc_size(a))
+            .expect("starting job holds an allocation");
+        let extra: u32 = job
+            .extra_allocs
+            .iter()
+            .map(|&(c, a)| self.mc.cluster(c).alloc_size(a).expect("component held"))
+            .sum();
+        let size = primary + extra;
+        // Co-allocated jobs pay the wide-area communication penalty per
+        // additional cluster spanned — the inefficiency the CM policies
+        // minimize.
+        let clusters_spanned = 1 + job
+            .extra_allocs
+            .iter()
+            .map(|&(c, _)| c)
+            .filter(|&c| Some(c) != job.cluster)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let penalty = 1.0 + self.cfg.sched.coalloc_penalty * (clusters_spanned as f64 - 1.0);
+        // Heterogeneous clusters: faster nodes divide the effective work
+        // scale (for co-allocated jobs the slowest spanned cluster
+        // bounds the rate, as in any BSP-style code).
+        let speed = std::iter::once(job.cluster.expect("placed"))
+            .chain(job.extra_allocs.iter().map(|&(c, _)| c))
+            .map(|c| self.mc.cluster(c).spec().speed_factor)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-6);
+        job.progress =
+            Some(appsim::Progress::start(now, size, job.spec.work_scale * penalty / speed));
+        self.records[id.index()].started = Some(now);
+        self.records[id.index()].size_history.set(now, size as f64);
+        self.trace
+            .record(now, "start", id.0 as u64, || format!("size {size}"));
+        self.schedule_completion(engine, id);
+        self.schedule_initiative(engine, id);
+    }
+
+    fn schedule_completion(&mut self, engine: &mut Engine<Ev>, id: JobId) {
+        let job = &self.jobs[id.index()];
+        let remaining = job
+            .progress
+            .as_ref()
+            .expect("running job has progress")
+            .remaining_time(&job.model)
+            .expect("not paused when scheduling completion");
+        let gen = job.gen;
+        // One extra millisecond absorbs the round-to-millisecond error of
+        // `remaining` so the event never fires before the work is done.
+        let pad = simcore::SimDuration::from_millis(1);
+        engine.schedule_in(remaining + pad, Ev::Completion { job: id, gen });
+    }
+
+    // ------------------------------------------------------------------
+    // Malleability: grow
+    // ------------------------------------------------------------------
+
+    /// Offers the *newly available* processors of one cluster (the idle
+    /// delta above the already-offered baseline) to its running malleable
+    /// jobs, respecting the local-user reserve. This is the growth
+    /// procedure trigger of Section V-B; the offered amount is the
+    /// paper's `growValue`.
+    fn offer_new_capacity(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId) {
+        let idle = self.mc.cluster(cluster).idle();
+        let baseline = self.idle_baseline[cluster.index()];
+        let new = idle.saturating_sub(baseline);
+        // Everything at or below the current idle level now counts as
+        // considered, whether jobs accept it or not — declined capacity
+        // is not re-offered until it is released again.
+        self.idle_baseline[cluster.index()] = idle;
+        let reserve_room = idle.saturating_sub(self.cfg.sched.grow_reserve);
+        let grow_value = new.min(reserve_room).min(self.koala_headroom());
+        if grow_value > 0 {
+            self.grow_cluster(engine, cluster, grow_value);
+        }
+    }
+
+    /// Runs the policy's growth procedure with an explicit `grow_value`.
+    fn grow_cluster(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, grow_value: u32) {
+        let now = engine.now();
+        if grow_value == 0 {
+            return;
+        }
+        let views = self.running_views(cluster, true);
+        if views.is_empty() {
+            return;
+        }
+        let policy = self.cfg.sched.malleability;
+        let jobs = &mut self.jobs;
+        let mut accept = |id: JobId, offered: u32| -> u32 {
+            jobs[id.index()]
+                .runner
+                .as_mut()
+                .expect("views contain only malleable jobs")
+                .offer_grow(offered)
+        };
+        let outcome = policy.run_grow(&views, grow_value, &mut accept);
+        self.grow_messages += outcome.messages as u64;
+        for op in &outcome.ops {
+            self.grow_ops.record(now);
+            self.trace.record(now, "grow", op.job.0 as u64, || {
+                format!("accepted {} of {} on {cluster:?}", op.accepted, op.offered)
+            });
+            let job = &self.jobs[op.job.index()];
+            let alloc = job.alloc.expect("running job has an allocation");
+            self.mc
+                .cluster_mut(cluster)
+                .grow(alloc, op.accepted)
+                .expect("policy bounded by idle count");
+            let gen = self.jobs[op.job.index()].gen;
+            let delay = self.cfg.sched.gram.batch_submit_time(op.accepted);
+            engine.schedule_in(delay, Ev::GrowHeld { job: op.job, gen });
+        }
+        if !outcome.ops.is_empty() {
+            self.touch_util(now);
+            self.sync_baseline(cluster);
+        }
+    }
+
+    /// The most processors KOALA may occupy across the whole system —
+    /// the Section V-B expansion threshold: "a threshold is set over
+    /// which KOALA never expands the total set of the jobs it manages".
+    fn koala_cap(&self) -> u32 {
+        (self.mc.total_capacity() as f64 * self.cfg.sched.koala_share).floor() as u32
+    }
+
+    /// Processors KOALA may still take (anywhere) before hitting the
+    /// expansion threshold.
+    fn koala_headroom(&self) -> u32 {
+        self.koala_cap().saturating_sub(self.mc.total_used_by_koala())
+    }
+
+    /// Clamps the offered-idle baseline after consumption so future
+    /// releases are measured against the real idle level.
+    fn sync_baseline(&mut self, cluster: ClusterId) {
+        let idle = self.mc.cluster(cluster).idle();
+        let b = &mut self.idle_baseline[cluster.index()];
+        *b = (*b).min(idle);
+    }
+
+    fn on_grow_held(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Running {
+            return;
+        }
+        let runner = job.runner.as_mut().expect("grow on malleable job");
+        let old = runner.dynaco.size();
+        let added = runner.stubs_held();
+        let new = runner.held();
+        debug_assert_eq!(new, old + added);
+        // All resources held: the application suspends for recruitment
+        // and data redistribution — the only non-overlapped cost.
+        job.progress
+            .as_mut()
+            .expect("running")
+            .pause(now, &job.model);
+        job.phase = JobPhase::Reconfiguring;
+        job.gen.bump(); // invalidate the pending Completion
+        let gen = job.gen;
+        let delay = self.cfg.sched.gram.recruit_time(added)
+            + self.cfg.sched.reconfig.grow_cost(old, new);
+        engine.schedule_in(delay, Ev::SyncDone { job: id, gen, grow: true });
+    }
+
+    // ------------------------------------------------------------------
+    // Malleability: shrink (PWA)
+    // ------------------------------------------------------------------
+
+    /// PWA, Section V-B: queued job `id` cannot be placed. Pick the
+    /// cluster that can yield the most processors; if shrinking running
+    /// malleable jobs there can make room for the job's minimum size,
+    /// mandatorily shrink. Otherwise grow running jobs instead.
+    fn pwa_make_room(&mut self, engine: &mut Engine<Ev>, id: JobId) {
+        let min_needed = self.jobs[id.index()].spec.class.min_size();
+        // Evaluate each cluster's potential: live idle + in-flight
+        // releases + what mandatory shrinks could still reclaim.
+        let mut best: Option<(u32, usize)> = None;
+        for c in 0..self.mc.len() {
+            let cluster = ClusterId(c as u16);
+            // Idle processors usable by KOALA (cap headroom applies);
+            // shrinking running KOALA jobs frees headroom 1:1, so the
+            // shrinkable amount is usable in full.
+            let usable_idle = self.mc.cluster(cluster).idle().min(self.koala_headroom());
+            let shrinkable: u32 = self
+                .running_views(cluster, false)
+                .iter()
+                .map(|v| v.size - v.min)
+                .sum();
+            let potential = usable_idle + self.pending_release[c] + shrinkable;
+            if best.is_none_or(|(b, _)| potential > b) {
+                best = Some((potential, c));
+            }
+        }
+        let Some((potential, c)) = best else {
+            return;
+        };
+        let cluster = ClusterId(c as u16);
+        if potential < min_needed {
+            // "If it is however impossible to get enough available
+            // processors … then the running malleable jobs are
+            // considered for growing."
+            for ci in 0..self.mc.len() {
+                self.offer_new_capacity(engine, ClusterId(ci as u16));
+            }
+            return;
+        }
+        let covered =
+            self.mc.cluster(cluster).idle().min(self.koala_headroom()) + self.pending_release[c];
+        if covered >= min_needed {
+            return; // in-flight releases will make room; just wait.
+        }
+        let shortfall = min_needed - covered;
+        self.shrink_cluster(engine, cluster, shortfall);
+    }
+
+    /// Runs the policy's mandatory-shrink procedure on one cluster.
+    fn shrink_cluster(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, value: u32) {
+        let now = engine.now();
+        let views = self.running_views(cluster, false);
+        if views.is_empty() || value == 0 {
+            return;
+        }
+        let policy = self.cfg.sched.malleability;
+        let jobs = &mut self.jobs;
+        let mut accept = |id: JobId, requested: u32| -> u32 {
+            jobs[id.index()]
+                .runner
+                .as_mut()
+                .expect("views contain only malleable jobs")
+                .request_shrink(requested, true)
+        };
+        let outcome = policy.run_shrink(&views, value, &mut accept);
+        self.shrink_messages += outcome.messages as u64;
+        for op in &outcome.ops {
+            self.shrink_ops.record(now);
+            self.trace.record(now, "shrink", op.job.0 as u64, || {
+                format!("releasing {} of {} requested on {cluster:?}", op.released, op.requested)
+            });
+            self.pending_release[cluster.index()] += op.released;
+            let job = &mut self.jobs[op.job.index()];
+            let runner = job.runner.as_ref().expect("malleable");
+            let old = runner.dynaco.size();
+            let new = old - op.released;
+            job.progress
+                .as_mut()
+                .expect("running")
+                .pause(now, &job.model);
+            job.phase = JobPhase::Reconfiguring;
+            job.gen.bump();
+            let gen = job.gen;
+            let delay = self.cfg.sched.gram.message_latency
+                + self.cfg.sched.reconfig.shrink_cost(old, new);
+            engine.schedule_in(delay, Ev::SyncDone { job: op.job, gen, grow: false });
+        }
+    }
+
+    fn on_sync_done(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation, grow: bool) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Reconfiguring {
+            return;
+        }
+        let runner = job.runner.as_mut().expect("reconfiguring implies malleable");
+        let released = if grow {
+            runner.grow_complete();
+            0
+        } else {
+            runner.shrunk_feedback()
+        };
+        let new_size = runner.dynaco.size();
+        let progress = job.progress.as_mut().expect("running job");
+        progress.resize(now, new_size, &job.model);
+        progress.resume(now, &job.model);
+        job.phase = JobPhase::Running;
+        self.trace
+            .record(now, "resume", id.0 as u64, || format!("size {new_size}"));
+        let rec = &mut self.records[id.index()];
+        rec.size_history.set(now, new_size as f64);
+        if grow {
+            rec.grows += 1;
+        } else {
+            rec.shrinks += 1;
+        }
+        self.schedule_completion(engine, id);
+        self.schedule_initiative(engine, id);
+        if released > 0 {
+            let gen = self.jobs[id.index()].gen;
+            let delay = self.cfg.sched.gram.batch_release_time(released);
+            engine.schedule_in(delay, Ev::ShrinkReleased { job: id, gen, count: released });
+        }
+    }
+
+    fn on_shrink_released(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        id: JobId,
+        gen: Generation,
+        count: u32,
+    ) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) {
+            return;
+        }
+        let cluster = job.cluster.expect("placed");
+        let alloc = job.alloc.expect("allocated");
+        job.runner.as_mut().expect("malleable").release_confirmed();
+        self.mc
+            .cluster_mut(cluster)
+            .shrink(alloc, count)
+            .expect("releasing held processors");
+        self.pending_release[cluster.index()] =
+            self.pending_release[cluster.index()].saturating_sub(count);
+        self.touch_util(now);
+        self.capacity_freed(engine, cluster);
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    fn on_completion(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Running {
+            return;
+        }
+        if let Some(p) = job.progress.as_mut() {
+            p.advance(now, &job.model);
+            debug_assert!(p.is_complete(), "completion event fired early");
+        }
+        let cluster = job.cluster.expect("placed");
+        let alloc = job.alloc.take().expect("allocated");
+        let extras = std::mem::take(&mut job.extra_allocs);
+        // Clean up any in-flight malleability state: pending stubs are
+        // part of the allocation and go back with it; a pending release
+        // pipeline is cancelled.
+        if let Some(runner) = job.runner.as_mut() {
+            runner.abort_grow();
+            let in_release = runner.releasing();
+            if in_release > 0 {
+                self.pending_release[cluster.index()] =
+                    self.pending_release[cluster.index()].saturating_sub(in_release);
+                runner.release_confirmed();
+            }
+        }
+        job.phase = JobPhase::Completed;
+        job.gen.bump(); // invalidate every remaining event for this job
+        self.terminal += 1;
+        self.trace.record(now, "complete", id.0 as u64, String::new);
+        self.records[id.index()].completed = Some(now);
+        self.records[id.index()].outcome = JobOutcome::Completed;
+        self.mc
+            .cluster_mut(cluster)
+            .release(alloc)
+            .expect("completed job held an allocation");
+        let mut freed_clusters = vec![cluster];
+        for (c, a) in extras {
+            self.mc
+                .cluster_mut(c)
+                .release(a)
+                .expect("completed job held all its components");
+            if !freed_clusters.contains(&c) {
+                freed_clusters.push(c);
+            }
+        }
+        self.touch_util(now);
+        for c in freed_clusters {
+            self.capacity_freed(engine, c);
+        }
+    }
+
+    /// KOALA-visible capacity change: trigger job management
+    /// (Section V-B).
+    fn capacity_freed(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId) {
+        match self.cfg.sched.approach {
+            Approach::Pra => {
+                // Running applications take precedence; the queue gets
+                // whatever they decline.
+                self.offer_new_capacity(engine, cluster);
+                self.scan_queue(engine);
+            }
+            Approach::Pwa => {
+                // Waiting applications take precedence: scan first; only
+                // newly freed capacity no waiting job claims goes to the
+                // running jobs.
+                self.scan_queue(engine);
+                if self.queue.is_empty() {
+                    self.offer_new_capacity(engine, cluster);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background load
+    // ------------------------------------------------------------------
+
+    fn on_bg_arrival(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId) {
+        let now = engine.now();
+        let sample = self.cfg.background.sample_job(&mut self.bg_rng);
+        self.next_bg_local += 1;
+        let lrm = self.mc.lrm_mut(cluster);
+        let job = LocalJob {
+            id: multicluster::LocalJobId(self.next_bg_local),
+            size: sample.size,
+            duration: sample.duration,
+            submitted: now,
+        };
+        match lrm.submit_local(job) {
+            SubmitOutcome::Started(alloc) => {
+                engine.schedule_in(sample.duration, Ev::BgComplete { cluster, alloc });
+                self.touch_util(now);
+                self.sync_baseline(cluster);
+            }
+            SubmitOutcome::Queued | SubmitOutcome::Impossible => {}
+        }
+        let cap = self.mc.cluster(cluster).capacity();
+        if let Some(gap) = self.cfg.background.sample_interarrival_for(&mut self.bg_rng, cap) {
+            engine.schedule_in(gap, Ev::BgArrival { cluster });
+        }
+    }
+
+    fn on_bg_complete(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, alloc: AllocId) {
+        let now = engine.now();
+        let lrm = self.mc.lrm_mut(cluster);
+        lrm.complete_local(alloc);
+        // FIFO restart of queued local jobs.
+        for (job, alloc) in lrm.start_queued() {
+            engine.schedule_in(job.duration, Ev::BgComplete { cluster, alloc });
+        }
+        self.touch_util(now);
+        self.sync_baseline(cluster);
+        // KOALA does NOT see this until its next KIS poll — the paper's
+        // motivation for the polling design.
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred claiming (the processor claimer, Section IV-A)
+    // ------------------------------------------------------------------
+
+    /// The postponed claim fires: take the processors now. A failure
+    /// (background users got there first during staging) sends the job
+    /// back to the placement queue — the risk the claiming policy trades
+    /// against holding processors idle through the whole staging window.
+    fn on_claim(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Staging {
+            return;
+        }
+        let components = job.pending_claim.take().expect("staging job has a pending claim");
+        let mut got: Vec<(ClusterId, AllocId, u32)> = Vec::new();
+        let mut all_ok = true;
+        for &(cluster, size) in &components {
+            match self.mc.cluster_mut(cluster).allocate(AllocOwner::Koala(id.0 as u64), size) {
+                Ok(alloc) => got.push((cluster, alloc, size)),
+                Err(_) => {
+                    all_ok = false;
+                    break;
+                }
+            }
+        }
+        if all_ok {
+            self.commit_placement(engine, id, got);
+        } else {
+            for (c, alloc, _) in got {
+                self.mc.cluster_mut(c).release(alloc).expect("just claimed");
+            }
+            let job = &mut self.jobs[id.index()];
+            job.phase = JobPhase::Queued;
+            job.cluster = None;
+            self.queue.push_back(id);
+            self.fail_try(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application-initiated growth (Section VIII extension)
+    // ------------------------------------------------------------------
+
+    /// Schedules the job's pending grow initiative, if any, for the
+    /// instant its progress will cross the configured boundary. Called
+    /// whenever the job (re)enters steady execution; the generation
+    /// stamp invalidates it on the next reconfiguration.
+    fn schedule_initiative(&mut self, engine: &mut Engine<Ev>, id: JobId) {
+        let job = &self.jobs[id.index()];
+        let Some(gi) = job.spec.initiative else { return };
+        if job.initiative_fired {
+            return;
+        }
+        let Some(progress) = job.progress.as_ref() else { return };
+        if progress.done() >= gi.at_progress {
+            engine.schedule_now(Ev::AppGrowRequest { job: id, gen: job.gen });
+            return;
+        }
+        // Time until the boundary at the current rate: the remaining
+        // fraction scaled by the full-work time at the current size.
+        let Some(full) = progress.remaining_time(&job.model) else { return };
+        let frac = (gi.at_progress - progress.done()) / (1.0 - progress.done()).max(1e-12);
+        let delay = simcore::SimDuration::from_secs_f64(full.as_secs_f64() * frac);
+        engine.schedule_in(delay, Ev::AppGrowRequest { job: id, gen: job.gen });
+    }
+
+    /// The application asks for more processors (voluntary from the
+    /// scheduler's side: it grants only what is free under the reserve
+    /// and the expansion threshold, never shrinking other jobs — the
+    /// conservative answer to the design question raised in Section
+    /// VIII).
+    fn on_app_grow_request(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let now = engine.now();
+        let job = &mut self.jobs[id.index()];
+        if !job.gen.matches(gen) || job.phase != JobPhase::Running || job.initiative_fired {
+            return;
+        }
+        job.initiative_fired = true;
+        let Some(gi) = job.spec.initiative else { return };
+        let cluster = job.cluster.expect("running job placed");
+        let idle = self.mc.cluster(cluster).idle();
+        let grant = gi
+            .extra
+            .min(idle.saturating_sub(self.cfg.sched.grow_reserve))
+            .min(self.koala_headroom());
+        if grant == 0 {
+            return;
+        }
+        let job = &mut self.jobs[id.index()];
+        let Some(runner) = job.runner.as_mut() else { return };
+        self.grow_messages += 1;
+        let accepted = runner.offer_grow(grant);
+        if accepted == 0 {
+            return;
+        }
+        self.grow_ops.record(now);
+        let alloc = job.alloc.expect("running job allocated");
+        let gen = job.gen;
+        self.mc
+            .cluster_mut(cluster)
+            .grow(alloc, accepted)
+            .expect("bounded by idle");
+        let delay = self.cfg.sched.gram.batch_submit_time(accepted);
+        engine.schedule_in(delay, Ev::GrowHeld { job: id, gen });
+        self.touch_util(now);
+        self.sync_baseline(cluster);
+    }
+
+    // ------------------------------------------------------------------
+    // Availability variation (node withdrawal / restore)
+    // ------------------------------------------------------------------
+
+    fn on_node_withdraw(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, count: u32) {
+        let now = engine.now();
+        self.trace.record(engine.now(), "withdraw", cluster.0 as u64, || {
+            format!("{count} nodes requested")
+        });
+        let taken = self.mc.cluster_mut(cluster).withdraw_free(count);
+        if taken > 0 {
+            self.sync_baseline(cluster);
+            self.touch_util(now);
+        }
+        let remaining = count - taken;
+        if remaining == 0 {
+            return;
+        }
+        // Not enough free nodes: reclaim from running malleable jobs via
+        // the configured policy (mandatory shrinks), then retry once the
+        // releases have landed.
+        let shrinkable: u32 = self
+            .running_views(cluster, false)
+            .iter()
+            .map(|v| v.size - v.min)
+            .sum();
+        if shrinkable == 0 && self.pending_release[cluster.index()] == 0 {
+            // Nothing left to reclaim without killing rigid jobs; the
+            // withdrawal stays partial (documented behaviour).
+            return;
+        }
+        self.shrink_cluster(engine, cluster, remaining.min(shrinkable));
+        engine.schedule_in(
+            simcore::SimDuration::from_secs(30),
+            Ev::NodeWithdraw { cluster, count: remaining },
+        );
+    }
+
+    fn on_node_restore(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, count: u32) {
+        let now = engine.now();
+        let restored = self.mc.cluster_mut(cluster).restore(count);
+        if restored > 0 {
+            self.touch_util(now);
+            // Restored nodes are newly available processors: the
+            // malleability manager reacts exactly as for any release.
+            self.capacity_freed(engine, cluster);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    /// Scheduler-side views of the malleable jobs running on `cluster`
+    /// that can currently receive requests. `for_grow` filters to jobs
+    /// below their maximum ("as long as at least one running malleable
+    /// job can still be grown"); otherwise to jobs above their minimum.
+    fn running_views(&self, cluster: ClusterId, for_grow: bool) -> Vec<RunningView> {
+        self.jobs
+            .iter()
+            .filter(|j| j.cluster == Some(cluster) && j.eligible_for_malleability())
+            .filter_map(|j| {
+                let runner = j.runner.as_ref().expect("eligible implies runner");
+                let size = runner.dynaco.size();
+                let (min, max) = (runner.dynaco.min(), runner.dynaco.max());
+                let useful = if for_grow { size < max } else { size > min };
+                useful.then_some(RunningView {
+                    job: j.id,
+                    started: j.started.expect("running job started"),
+                    size,
+                    min,
+                    max,
+                })
+            })
+            .collect()
+    }
+
+    fn touch_util(&mut self, now: SimTime) {
+        self.util_total.set(now, self.mc.total_used() as f64);
+        self.util_koala.set(now, self.mc.total_used_by_koala() as f64);
+        for (i, series) in self.util_per_cluster.iter_mut().enumerate() {
+            series.set(now, self.mc.cluster(ClusterId(i as u16)).used() as f64);
+        }
+    }
+
+    /// Finalizes the report.
+    pub fn finish(mut self, engine: &Engine<Ev>) -> RunReport {
+        let now = engine.now();
+        let mut table = koala_metrics::JobTable::new();
+        for rec in self.records.drain(..) {
+            table.push(rec);
+        }
+        RunReport {
+            name: self.cfg.name.clone(),
+            seed: self.cfg.seed,
+            jobs: table,
+            utilization: self.util_total,
+            koala_used: self.util_koala,
+            grow_ops: self.grow_ops,
+            shrink_ops: self.shrink_ops,
+            grow_messages: self.grow_messages,
+            shrink_messages: self.shrink_messages,
+            makespan: now,
+            kis_polls: self.kis.polls(),
+            placement_tries: self.queue.total_tries(),
+            failed_submissions: self.queue.failed_submissions(),
+            events: engine.stats().delivered,
+            trace: self.trace,
+            per_cluster_used: self.util_per_cluster,
+        }
+    }
+}
+
+/// Runs one experiment configuration to completion.
+///
+/// # Panics
+/// Panics on an invalid configuration (see
+/// [`ExperimentConfig::validate`]) — experiments should fail loudly, not
+/// produce subtly wrong numbers.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid experiment configuration: {e}");
+    }
+    let mut engine = match cfg.horizon {
+        Some(h) => Engine::with_horizon(SimTime::ZERO + h),
+        None => Engine::new(),
+    };
+    World::new(cfg).run_to_completion(&mut engine)
+}
+
+/// Runs the same configuration across several seeds in parallel (one OS
+/// thread per seed — the paper repeats every configuration 4 times).
+pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> crate::report::MultiReport {
+    let runs: Vec<RunReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut c = cfg.clone();
+                c.seed = seed;
+                scope.spawn(move || run_experiment(&c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+    });
+    crate::report::MultiReport::new(cfg.name.clone(), runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::malleability::MalleabilityPolicy;
+    use appsim::workload::WorkloadSpec;
+
+    fn small(policy: MalleabilityPolicy, workload: WorkloadSpec, jobs: usize) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_pra(policy, workload);
+        cfg.workload.jobs = jobs;
+        cfg.seed = 7;
+        cfg
+    }
+
+    #[test]
+    fn single_job_runs_to_completion_and_grows_from_releases() {
+        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 1);
+        let r = run_experiment(&cfg);
+        assert_eq!(r.jobs.len(), 1);
+        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
+        let rec = &r.jobs.records()[0];
+        assert!(rec.execution_time().unwrap() > 0.0);
+        // Growth is fuelled by *released* processors only (the paper's
+        // growValue); with background users releasing capacity, the lone
+        // malleable job should pick up at least some of it.
+        assert!(rec.max_size().unwrap() > 2.0, "max size {:?}", rec.max_size());
+    }
+
+    #[test]
+    fn without_releases_nothing_grows() {
+        // No background, one job: no processors are ever released while
+        // it runs, so the paper's growth procedure never fires.
+        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 1);
+        cfg.background = multicluster::BackgroundLoad::none();
+        let r = run_experiment(&cfg);
+        let rec = &r.jobs.records()[0];
+        assert_eq!(rec.max_size(), Some(2.0));
+        assert_eq!(r.grow_ops.total(), 0);
+    }
+
+    #[test]
+    fn small_wm_batch_completes_under_both_policies() {
+        for policy in [MalleabilityPolicy::Fpsma, MalleabilityPolicy::Egs] {
+            let cfg = small(policy, WorkloadSpec::wm(), 20);
+            let r = run_experiment(&cfg);
+            assert!(
+                (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
+                "{policy:?} left jobs unfinished"
+            );
+            assert!(r.grow_ops.total() > 0, "{policy:?} never grew anything");
+        }
+    }
+
+    #[test]
+    fn pwa_shrinks_under_load() {
+        // Shrinks only trigger once grown jobs saturate the platform,
+        // which needs the sustained W'm arrival pressure (the paper's
+        // overload regime); 200 jobs are enough to reach it.
+        let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+        cfg.workload.jobs = 200;
+        cfg.seed = 3;
+        let r = run_experiment(&cfg);
+        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12, "jobs unfinished");
+        assert!(r.shrink_ops.total() > 0, "PWA under W'm should shrink");
+        assert!(r.placement_tries > 0, "saturation should cause failed placement tries");
+    }
+
+    #[test]
+    fn pra_never_shrinks() {
+        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 25);
+        let r = run_experiment(&cfg);
+        assert_eq!(r.shrink_ops.total(), 0);
+        assert_eq!(r.shrink_messages, 0);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wmr(), 15);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.grow_messages, b.grow_messages);
+        let ea: Vec<f64> = a.jobs.execution_time_ecdf().samples().to_vec();
+        let eb: Vec<f64> = b.jobs.execution_time_ecdf().samples().to_vec();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn rigid_jobs_keep_their_size() {
+        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wmr(), 20);
+        cfg.seed = 11;
+        let r = run_experiment(&cfg);
+        for rec in r.jobs.records().iter().filter(|r| !r.malleable) {
+            assert_eq!(rec.max_size(), Some(2.0), "rigid job grew: {rec:?}");
+            assert_eq!(rec.grows, 0);
+        }
+    }
+
+    #[test]
+    fn multi_seed_runs_aggregate() {
+        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 10);
+        let m = run_seeds(&cfg, &[1, 2, 3]);
+        assert_eq!(m.runs.len(), 3);
+        assert_eq!(m.merged_jobs().len(), 30);
+        assert!((m.completion_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn application_initiated_growth_fires_once_per_job() {
+        let mut cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 8);
+        cfg.workload.initiative = Some(appsim::GrowInitiative { at_progress: 0.3, extra: 8 });
+        cfg.workload.initiative_fraction = 1.0;
+        let r = run_experiment(&cfg);
+        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
+        // Every job asked once; grants depend on capacity, but with an
+        // idle platform most requests succeed, so growth must exceed the
+        // release-driven baseline of the same run without initiatives.
+        let mut base = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 8);
+        base.seed = cfg.seed;
+        let b = run_experiment(&base);
+        assert!(
+            r.grow_ops.total() > b.grow_ops.total(),
+            "initiatives should add grow operations ({} vs {})",
+            r.grow_ops.total(),
+            b.grow_ops.total()
+        );
+    }
+
+    #[test]
+    fn moldable_jobs_take_a_size_at_start_and_keep_it() {
+        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 12);
+        cfg.workload.malleable_fraction = 0.0;
+        cfg.workload.moldable_fraction = 1.0;
+        cfg.sched.koala_share = 0.45;
+        let r = run_experiment(&cfg);
+        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(r.grow_ops.total(), 0, "moldable jobs never grow");
+        for rec in r.jobs.records() {
+            let avg = rec.average_size().unwrap();
+            let max = rec.max_size().unwrap();
+            assert!((avg - max).abs() < 1e-9, "moldable size must not change: {rec:?}");
+            assert!(max >= 2.0);
+        }
+    }
+
+    #[test]
+    fn trace_records_the_full_lifecycle() {
+        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 5);
+        let mut engine = simcore::Engine::new();
+        let r = World::new(&cfg).with_trace(10_000).run_to_completion(&mut engine);
+        assert!(r.trace.is_enabled());
+        assert_eq!(r.trace.of_category("arrive").count(), 5);
+        assert_eq!(r.trace.of_category("place").count(), 5);
+        assert_eq!(r.trace.of_category("start").count(), 5);
+        assert_eq!(r.trace.of_category("complete").count(), 5);
+        // Per-job lifecycle order: arrive ≤ place ≤ start ≤ complete.
+        for j in 0..5u64 {
+            let cats: Vec<&str> = r.trace.of_subject(j).map(|e| e.category).collect();
+            let pos = |c: &str| cats.iter().position(|&x| x == c).unwrap();
+            assert!(pos("arrive") < pos("place"));
+            assert!(pos("place") < pos("start"));
+            assert!(pos("start") < pos("complete"));
+        }
+        // Grow entries are always followed by a resume for the same job.
+        assert_eq!(
+            r.trace.of_category("grow").count(),
+            r.trace.of_category("resume").count(),
+            "every accepted grow must resume"
+        );
+    }
+
+    #[test]
+    fn committed_grows_never_exceed_decided_ops() {
+        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 15);
+        let r = run_experiment(&cfg);
+        // Committed (per-job) grows are a subset of decided ops: an op
+        // aborts when the job completes while its stubs submit.
+        assert!(r.jobs.total_grows() <= r.grow_ops.total() as u64);
+        assert!(r.jobs.total_grows() > 0);
+    }
+
+    #[test]
+    fn background_load_runs_alongside() {
+        let mut cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 10);
+        cfg.background = multicluster::BackgroundLoad::light();
+        let r = run_experiment(&cfg);
+        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! # koala-metrics — measurement toolkit for the reproduction
+//!
+//! The evaluation section of the paper reports, per experiment:
+//!
+//! * cumulative distributions (Figs. 7/8 a–d) of per-job quantities:
+//!   time-averaged size, maximum size, execution time, response time;
+//! * utilization over time (Figs. 7/8 e): the total number of used
+//!   processors as a step function;
+//! * malleability-manager activity over time (Figs. 7/8 f): cumulative
+//!   counts of grow/shrink messages.
+//!
+//! This crate provides exactly those abstractions, independent of the
+//! scheduler so they can be unit-tested in isolation:
+//!
+//! * [`Ecdf`] — empirical CDFs with quantiles.
+//! * [`StepSeries`] — right-continuous step functions of simulated time
+//!   with exact integrals and time-weighted means (used for utilization
+//!   and per-job size histories).
+//! * [`CumulativeCounter`] — event-count time series (manager activity).
+//! * [`Summary`] — five-number summaries with mean/std.
+//! * [`JobRecord`] / [`JobTable`] — per-job lifecycle records and derived
+//!   metrics.
+//! * [`csv`] — tiny dependency-free CSV export.
+//! * [`plot`] — ASCII rendering of CDFs and time series for terminal
+//!   reports (the examples and the figure binaries use it).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod counter;
+mod ecdf;
+mod jobs;
+mod series;
+mod summary;
+
+pub mod csv;
+pub mod plot;
+
+pub use counter::CumulativeCounter;
+pub use ecdf::Ecdf;
+pub use jobs::{JobOutcome, JobRecord, JobTable};
+pub use series::StepSeries;
+pub use summary::Summary;

@@ -1,0 +1,226 @@
+//! ASCII rendering of the paper's figure types.
+//!
+//! The figure binaries and examples run in a terminal; these helpers give
+//! an at-a-glance view of the curves (the CSV export carries the precise
+//! data). Output style:
+//!
+//! ```text
+//! 100 |                        ****###
+//!     |                 ****###
+//!  50 |         ****####
+//!     |  ****###
+//!   0 +--------------------------------
+//!     0                             42
+//! ```
+
+use crate::ecdf::Ecdf;
+
+/// Renders several ECDFs into one fixed-size ASCII chart.
+///
+/// Each series is drawn with its own glyph; later series overwrite earlier
+/// ones where they collide (curves near each other is itself informative).
+pub fn ecdf_chart(series: &[(&str, &Ecdf)], width: usize, height: usize) -> String {
+    let glyphs = ['*', '#', 'o', '+', 'x', '%', '@', '&'];
+    let lo = series
+        .iter()
+        .filter_map(|(_, e)| e.min())
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .filter_map(|(_, e)| e.max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no data)\n");
+    }
+    let hi = if hi > lo { hi } else { lo + 1.0 };
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, e)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for col in 0..width {
+            let x = lo + (hi - lo) * col as f64 / (width.max(2) - 1) as f64;
+            let pct = e.percent_at_or_below(x);
+            let row = ((pct / 100.0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col] = g;
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            "100 |"
+        } else if ri == height - 1 {
+            "  0 |"
+        } else if ri == height / 2 {
+            " 50 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    out.push_str(&format!("     {:<10.1}{:>w$.1}\n", lo, hi, w = width.saturating_sub(10)));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("     {} {}\n", glyphs[si % glyphs.len()], name));
+    }
+    out
+}
+
+/// Renders time series `(t_seconds, value)` into an ASCII chart.
+pub fn timeseries_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    let glyphs = ['*', '#', 'o', '+', 'x', '%', '@', '&'];
+    let mut tmin = f64::INFINITY;
+    let mut tmax = f64::NEG_INFINITY;
+    let mut vmax = f64::NEG_INFINITY;
+    for (_, pts) in series {
+        for &(t, v) in *pts {
+            tmin = tmin.min(t);
+            tmax = tmax.max(t);
+            vmax = vmax.max(v);
+        }
+    }
+    if !tmin.is_finite() || !tmax.is_finite() || tmax <= tmin {
+        return String::from("(no data)\n");
+    }
+    let vmax = if vmax > 0.0 { vmax } else { 1.0 };
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(t, v) in *pts {
+            let col = (((t - tmin) / (tmax - tmin)) * (width - 1) as f64).round() as usize;
+            let row = ((v / vmax) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{:>5.0} |", vmax)
+        } else if ri == height - 1 {
+            format!("{:>5} |", 0)
+        } else {
+            "      |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    out.push_str(&format!("       {:<10.0}{:>w$.0}\n", tmin, tmax, w = width.saturating_sub(10)));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("      {} {}\n", glyphs[si % glyphs.len()], name));
+    }
+    out
+}
+
+/// Renders an ASCII Gantt chart of job lifecycles: one row per job,
+/// `.` for queue wait, `=` for execution, `#` for the portion of the run
+/// at more than twice the job's starting size (growth made visible).
+pub fn gantt(jobs: &[&crate::JobRecord], width: usize) -> String {
+    let mut t0 = f64::INFINITY;
+    let mut t1 = f64::NEG_INFINITY;
+    for j in jobs {
+        t0 = t0.min(j.submitted.as_secs_f64());
+        if let Some(c) = j.completed {
+            t1 = t1.max(c.as_secs_f64());
+        }
+    }
+    if !t0.is_finite() || !t1.is_finite() || t1 <= t0 {
+        return String::from("(no completed jobs)\n");
+    }
+    let col_t = |col: usize| t0 + (t1 - t0) * col as f64 / (width.max(2) - 1) as f64;
+    let mut out = String::new();
+    for j in jobs {
+        let (Some(start), Some(end)) = (j.started, j.completed) else {
+            continue;
+        };
+        let submit = j.submitted.as_secs_f64();
+        let start = start.as_secs_f64();
+        let end = end.as_secs_f64();
+        let base = j
+            .size_history
+            .value_at(j.started.unwrap(), 0.0)
+            .max(1.0);
+        let mut row = String::with_capacity(width);
+        for col in 0..width {
+            let t = col_t(col);
+            let ch = if t < submit || t > end {
+                ' '
+            } else if t < start {
+                '.'
+            } else {
+                let sz = j
+                    .size_history
+                    .value_at(simcore::SimTime::from_secs_f64(t), base);
+                if sz >= 2.0 * base {
+                    '#'
+                } else {
+                    '='
+                }
+            };
+            row.push(ch);
+        }
+        out.push_str(&format!("{:>6} |{}|\n", format!("J{}", j.id), row));
+    }
+    out.push_str(&format!("{:>6}  {:<10.0}{:>w$.0}\n", "t(s)", t0, t1, w = width.saturating_sub(10)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let e = Ecdf::from_iter((1..=50).map(|i| i as f64));
+        let chart = ecdf_chart(&[("test", &e)], 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 10 grid rows + axis + scale + 1 legend line.
+        assert_eq!(lines.len(), 13);
+        assert!(lines[0].starts_with("100 |"));
+        assert!(chart.contains("test"));
+    }
+
+    #[test]
+    fn empty_series_say_no_data() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(ecdf_chart(&[("x", &e)], 20, 5), "(no data)\n");
+        assert_eq!(timeseries_chart(&[("x", &[][..])], 20, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn gantt_renders_lifecycle_glyphs() {
+        use crate::{JobOutcome, JobRecord};
+        use simcore::SimTime;
+        let mut j = JobRecord::new(3, "FT", true, SimTime::ZERO);
+        j.started = Some(SimTime::from_secs(100));
+        j.completed = Some(SimTime::from_secs(300));
+        j.outcome = JobOutcome::Completed;
+        j.size_history.set(SimTime::from_secs(100), 2.0);
+        j.size_history.set(SimTime::from_secs(200), 8.0); // grew 4x
+        let chart = gantt(&[&j], 40);
+        assert!(chart.contains("J3"));
+        assert!(chart.contains('.'), "wait phase rendered");
+        assert!(chart.contains('='), "base-size execution rendered");
+        assert!(chart.contains('#'), "grown execution rendered");
+    }
+
+    #[test]
+    fn gantt_with_no_jobs_is_harmless() {
+        assert_eq!(gantt(&[], 20), "(no completed jobs)\n");
+    }
+
+    #[test]
+    fn timeseries_chart_renders_points() {
+        let pts = vec![(0.0, 0.0), (50.0, 5.0), (100.0, 10.0)];
+        let chart = timeseries_chart(&[("u", &pts)], 30, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("u"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Right-continuous step functions of simulated time.
+//!
+//! Two of the paper's reported quantities are step functions:
+//!
+//! * platform utilization — "total number of used processors" over time
+//!   (Figs. 7e/8e);
+//! * a job's processor allocation over its lifetime, whose *time-weighted
+//!   mean* is the x-axis of Figs. 7a/8a and whose max is Figs. 7b/8b.
+//!
+//! [`StepSeries`] records `(time, value)` transitions and integrates them
+//! exactly in integer-millisecond × value space.
+
+use simcore::{SimDuration, SimTime};
+
+/// A right-continuous step function `f(t)` recorded as transitions.
+///
+/// The value at a transition instant is the *new* value. Transitions must
+/// be appended in non-decreasing time order (enforced with a panic, since
+/// out-of-order appends indicate a simulation bug).
+///
+/// ```
+/// use koala_metrics::StepSeries;
+/// use simcore::SimTime;
+/// // A job at 2 processors for 100 s, then 8 processors for 100 s:
+/// let mut sizes = StepSeries::new();
+/// sizes.set(SimTime::ZERO, 2.0);
+/// sizes.set(SimTime::from_secs(100), 8.0);
+/// let avg = sizes.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(200), 0.0);
+/// assert_eq!(avg, 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepSeries {
+    /// `(t, v)`: from `t` (inclusive) onwards, the value is `v`.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates an empty series (value undefined before the first point;
+    /// queries before the first transition return `initial`, see
+    /// [`StepSeries::value_at`]).
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Creates a series with an initial value at time zero.
+    pub fn with_initial(v: f64) -> Self {
+        StepSeries { points: vec![(SimTime::ZERO, v)] }
+    }
+
+    /// Appends a transition: from `t` on, the value is `v`.
+    ///
+    /// Consecutive equal values are coalesced; a transition at the same
+    /// instant as the previous one overwrites it (last-write-wins within
+    /// an event instant).
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last recorded transition.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            assert!(t >= last_t, "StepSeries transitions must be time-ordered");
+            if last_t == t {
+                *last_v = v;
+                // Coalesce with the predecessor if the overwrite made it redundant.
+                if self.points.len() >= 2 && self.points[self.points.len() - 2].1 == v {
+                    self.points.pop();
+                }
+                return;
+            }
+            if *last_v == v {
+                return; // no-op transition
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// Adds `delta` to the current value at time `t` (starting from 0 if
+    /// the series is empty).
+    pub fn add(&mut self, t: SimTime, delta: f64) {
+        let cur = self.points.last().map(|&(_, v)| v).unwrap_or(0.0);
+        self.set(t, cur + delta);
+    }
+
+    /// The recorded transitions.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of transitions recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no transitions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value at instant `t`; `initial` before the first transition.
+    pub fn value_at(&self, t: SimTime, initial: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => initial,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Latest value, if any transition has been recorded.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Largest value attained in `[from, to]` (considering the value
+    /// holding at `from`), or `None` if the series is empty.
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        if self.points.is_empty() || to < from {
+            return None;
+        }
+        let mut best: Option<f64> = None;
+        let start_idx = self.points.partition_point(|&(pt, _)| pt <= from);
+        if start_idx > 0 {
+            best = Some(self.points[start_idx - 1].1);
+        }
+        for &(pt, v) in &self.points[start_idx..] {
+            if pt > to {
+                break;
+            }
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+        best
+    }
+
+    /// Exact integral `∫ f(t) dt` over `[from, to]`, in value ×
+    /// seconds. The value before the first transition is taken as
+    /// `initial`.
+    pub fn integral(&self, from: SimTime, to: SimTime, initial: f64) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cur_t = from;
+        let mut cur_v = self.value_at(from, initial);
+        let start_idx = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start_idx..] {
+            if pt >= to {
+                break;
+            }
+            acc += cur_v * (pt - cur_t).as_secs_f64();
+            cur_t = pt;
+            cur_v = v;
+        }
+        acc += cur_v * (to - cur_t).as_secs_f64();
+        acc
+    }
+
+    /// Time-weighted mean of the value over `[from, to]`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime, initial: f64) -> f64 {
+        let span = (to.saturating_since(from)).as_secs_f64();
+        if span == 0.0 {
+            return self.value_at(from, initial);
+        }
+        self.integral(from, to, initial) / span
+    }
+
+    /// Resamples the series on a fixed grid for plotting/CSV: `(t, value)`
+    /// at `from, from+step, …, to`.
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration, initial: f64) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "resample step must be non-zero");
+        let mut out = Vec::new();
+        let mut t = from;
+        loop {
+            out.push((t, self.value_at(t, initial)));
+            if t >= to {
+                break;
+            }
+            t = (t + step).min(to);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn value_at_follows_steps() {
+        let mut f = StepSeries::new();
+        f.set(s(10), 4.0);
+        f.set(s(20), 7.0);
+        assert_eq!(f.value_at(s(0), 1.0), 1.0);
+        assert_eq!(f.value_at(s(10), 1.0), 4.0);
+        assert_eq!(f.value_at(s(15), 1.0), 4.0);
+        assert_eq!(f.value_at(s(20), 1.0), 7.0);
+        assert_eq!(f.value_at(s(100), 1.0), 7.0);
+    }
+
+    #[test]
+    fn integral_is_exact_for_rectangles() {
+        let mut f = StepSeries::with_initial(2.0);
+        f.set(s(10), 5.0); // 2 for 10s, then 5
+        assert_eq!(f.integral(s(0), s(10), 0.0), 20.0);
+        assert_eq!(f.integral(s(0), s(20), 0.0), 20.0 + 50.0);
+        assert_eq!(f.integral(s(5), s(15), 0.0), 10.0 + 25.0);
+    }
+
+    #[test]
+    fn integral_respects_initial_before_first_point() {
+        let mut f = StepSeries::new();
+        f.set(s(10), 3.0);
+        assert_eq!(f.integral(s(0), s(20), 1.0), 10.0 + 30.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_job_size_history() {
+        // A job at size 2 for 100 s then size 8 for 300 s: mean 6.5.
+        let mut f = StepSeries::new();
+        f.set(s(0), 2.0);
+        f.set(s(100), 8.0);
+        let m = f.time_weighted_mean(s(0), s(400), 0.0);
+        assert!((m - 6.5).abs() < 1e-12, "mean {m}");
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut f = StepSeries::new();
+        f.add(s(1), 4.0);
+        f.add(s(2), -1.0);
+        f.add(s(3), 2.0);
+        assert_eq!(f.last_value(), Some(5.0));
+        assert_eq!(f.value_at(s(2), 0.0), 3.0);
+    }
+
+    #[test]
+    fn same_instant_overwrites_not_appends() {
+        let mut f = StepSeries::new();
+        f.set(s(5), 1.0);
+        f.set(s(5), 2.0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.value_at(s(5), 0.0), 2.0);
+    }
+
+    #[test]
+    fn overwrite_coalesces_with_predecessor() {
+        let mut f = StepSeries::new();
+        f.set(s(1), 3.0);
+        f.set(s(5), 9.0);
+        f.set(s(5), 3.0); // back to the previous value: point removed
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.value_at(s(10), 0.0), 3.0);
+    }
+
+    #[test]
+    fn redundant_transitions_coalesce() {
+        let mut f = StepSeries::new();
+        f.set(s(1), 3.0);
+        f.set(s(2), 3.0);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_panics() {
+        let mut f = StepSeries::new();
+        f.set(s(10), 1.0);
+        f.set(s(5), 2.0);
+    }
+
+    #[test]
+    fn max_in_window() {
+        let mut f = StepSeries::new();
+        f.set(s(0), 1.0);
+        f.set(s(10), 9.0);
+        f.set(s(20), 3.0);
+        assert_eq!(f.max_in(s(0), s(5)), Some(1.0));
+        assert_eq!(f.max_in(s(0), s(30)), Some(9.0));
+        assert_eq!(f.max_in(s(15), s(30)), Some(9.0)); // value holding at 15 is 9
+        assert_eq!(f.max_in(s(21), s(30)), Some(3.0));
+        assert_eq!(StepSeries::new().max_in(s(0), s(1)), None);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut f = StepSeries::new();
+        f.set(s(0), 1.0);
+        f.set(s(10), 2.0);
+        let g = f.resample(s(0), s(20), SimDuration::from_secs(10), 0.0);
+        assert_eq!(g, vec![(s(0), 1.0), (s(10), 2.0), (s(20), 2.0)]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Scalar sample summaries.
+
+use std::fmt;
+
+/// Mean/std/five-number summary of a sample of `f64`s.
+///
+/// Used by `EXPERIMENTS.md` generation and the figure binaries to compress
+/// a distribution into one table row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (nearest rank).
+    pub p25: f64,
+    /// Median (nearest rank).
+    pub median: f64,
+    /// Third quartile (nearest rank).
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; `None` when it is empty (NaNs are dropped).
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let mut xs: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaNs dropped"));
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let rank = |q: f64| xs[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1];
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: xs[0],
+            p25: rank(0.25),
+            median: rank(0.5),
+            p75: rank(0.75),
+            max: xs[n - 1],
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} std={:.2} min={:.2} p25={:.2} med={:.2} p75={:.2} max={:.2}",
+            self.n, self.mean, self.std, self.min, self.p25, self.median, self.p75, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p25, 1.0);
+        assert_eq!(s.p75, 3.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nan_only_are_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        let out = s.to_string();
+        assert!(out.contains("n=2"));
+        assert!(out.contains("mean=1.50"));
+    }
+}

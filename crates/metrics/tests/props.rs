@@ -1,0 +1,107 @@
+//! Property-based tests for the metrics toolkit.
+
+use koala_metrics::{CumulativeCounter, Ecdf, StepSeries, Summary};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+proptest! {
+    /// ECDFs are monotone and bounded in [0, 100].
+    #[test]
+    fn ecdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(samples.clone());
+        let mut xs: Vec<f64> = samples;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for &x in &xs {
+            let p = e.percent_at_or_below(x);
+            prop_assert!((0.0..=100.0).contains(&p));
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+        prop_assert_eq!(e.percent_at_or_below(f64::INFINITY), 100.0);
+    }
+
+    /// Quantiles of an ECDF are always actual samples, ordered by q.
+    #[test]
+    fn quantiles_are_samples(samples in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let e = Ecdf::new(samples.clone());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = e.quantile(q).unwrap();
+            prop_assert!(samples.contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// StepSeries integrals are additive over adjacent windows.
+    #[test]
+    fn integral_is_additive(
+        points in prop::collection::vec((0u64..10_000, 0.0f64..100.0), 1..50),
+        split in 1u64..9_999,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = StepSeries::new();
+        let mut last = None;
+        for (t, v) in sorted {
+            if last == Some(t) { continue; }
+            last = Some(t);
+            s.set(SimTime::from_millis(t), v);
+        }
+        let a = SimTime::ZERO;
+        let m = SimTime::from_millis(split);
+        let b = SimTime::from_millis(10_000);
+        let whole = s.integral(a, b, 0.0);
+        let parts = s.integral(a, m, 0.0) + s.integral(m, b, 0.0);
+        prop_assert!((whole - parts).abs() < 1e-6 * whole.abs().max(1.0));
+    }
+
+    /// The time-weighted mean always lies within the value range.
+    #[test]
+    fn weighted_mean_is_bounded(
+        points in prop::collection::vec((0u64..10_000, 0.0f64..100.0), 1..50),
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = StepSeries::new();
+        let mut last = None;
+        for (t, v) in sorted {
+            if last == Some(t) { continue; }
+            last = Some(t);
+            s.set(SimTime::from_millis(t), v);
+        }
+        let mean = s.time_weighted_mean(SimTime::ZERO, SimTime::from_millis(10_000), 0.0);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&mean));
+    }
+
+    /// Counter curves are monotone and end at the total.
+    #[test]
+    fn counter_curve_is_monotone(instants in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sorted = instants.clone();
+        sorted.sort_unstable();
+        let mut c = CumulativeCounter::new();
+        for t in &sorted {
+            c.record(SimTime::from_millis(*t));
+        }
+        let curve = c.curve(SimTime::ZERO, SimTime::from_millis(10_000), simcore::SimDuration::from_millis(500));
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert_eq!(curve.last().unwrap().1, sorted.len());
+    }
+
+    /// Summary invariants: min ≤ p25 ≤ median ≤ p75 ≤ max and the mean
+    /// lies within [min, max].
+    #[test]
+    fn summary_orderings(samples in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! A cluster of space-shared nodes with growable/shrinkable allocations.
+//!
+//! DAS-3 clusters run SGE configured for exclusive, space-shared node
+//! allocation ("the granularity of allocation is the node", Section
+//! VI-B). A malleable job's holding is a *collection* of such nodes that
+//! the MRunner extends and trims one GRAM job at a time, so the central
+//! abstraction here is an allocation that can [`grow`](Cluster::grow) and
+//! [`shrink`](Cluster::shrink) in place.
+//!
+//! Node identity is tracked explicitly (not just counters) so that the
+//! availability experiments can withdraw specific nodes and so invariants
+//! ("a node belongs to at most one allocation") are checkable.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{AllocId, NodeId};
+
+/// Static description of a cluster (Table I row).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable site name.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Interconnect label (informational; timing effects are captured by
+    /// the application speedup models).
+    pub interconnect: String,
+    /// Relative compute speed of this cluster's nodes (1.0 = the
+    /// reference Delft nodes that calibrate Fig. 6). Execution times
+    /// divide by this factor. The paper stresses that "applications are
+    /// not supposed to scale the same in all of the clusters, which may
+    /// be heterogeneous" — this is the knob that makes them differ.
+    pub speed_factor: f64,
+}
+
+impl ClusterSpec {
+    /// A homogeneous-speed spec (factor 1.0).
+    pub fn new(name: impl Into<String>, nodes: u32, interconnect: impl Into<String>) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            nodes,
+            interconnect: interconnect.into(),
+            speed_factor: 1.0,
+        }
+    }
+}
+
+/// Who owns an allocation — a KOALA-managed job or a local (background)
+/// user bypassing the multicluster scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AllocOwner {
+    /// A job managed by the multicluster scheduler; the payload is the
+    /// scheduler's job identifier.
+    Koala(u64),
+    /// A local user's job submitted directly to the LRM; the payload is
+    /// the LRM-local job identifier.
+    Local(u64),
+}
+
+/// State of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Idle and allocatable.
+    Free,
+    /// Held by the given allocation.
+    Busy(AllocId),
+    /// Withdrawn from the resource pool (maintenance / failure).
+    Down,
+}
+
+/// Errors from allocation operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Fewer free nodes than requested.
+    Insufficient {
+        /// Number of nodes requested.
+        requested: u32,
+        /// Number of nodes currently free.
+        available: u32,
+    },
+    /// The allocation handle is unknown (already released?).
+    UnknownAlloc(AllocId),
+    /// A shrink asked for more nodes than the allocation holds.
+    ShrinkTooLarge {
+        /// Nodes the allocation currently holds.
+        held: u32,
+        /// Nodes the shrink tried to remove.
+        requested: u32,
+    },
+    /// A request for zero nodes (always a caller bug).
+    ZeroRequest,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Insufficient { requested, available } => {
+                write!(f, "requested {requested} nodes but only {available} free")
+            }
+            AllocError::UnknownAlloc(id) => write!(f, "unknown allocation {id:?}"),
+            AllocError::ShrinkTooLarge { held, requested } => {
+                write!(f, "cannot shrink by {requested}: allocation holds {held}")
+            }
+            AllocError::ZeroRequest => write!(f, "zero-node request"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    owner: AllocOwner,
+    nodes: Vec<NodeId>,
+}
+
+/// A cluster: nodes, free list, and live allocations.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    states: Vec<NodeState>,
+    /// Free nodes kept as a stack; lowest ids allocated first for
+    /// determinism.
+    free: Vec<NodeId>,
+    allocs: BTreeMap<AllocId, Allocation>,
+    next_alloc: u64,
+    down: u32,
+}
+
+impl Cluster {
+    /// Builds an all-free cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let n = spec.nodes;
+        Cluster {
+            spec,
+            states: vec![NodeState::Free; n as usize],
+            // Reverse order so pops hand out the lowest node id first.
+            free: (0..n).rev().map(NodeId).collect(),
+            allocs: BTreeMap::new(),
+            next_alloc: 0,
+            down: 0,
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Nodes currently part of the pool (total minus withdrawn).
+    pub fn capacity(&self) -> u32 {
+        self.spec.nodes - self.down
+    }
+
+    /// Free (allocatable) nodes.
+    pub fn idle(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Nodes currently held by allocations.
+    pub fn used(&self) -> u32 {
+        self.capacity() - self.idle()
+    }
+
+    /// Nodes held by KOALA-owned allocations only.
+    pub fn used_by_koala(&self) -> u32 {
+        self.allocs
+            .values()
+            .filter(|a| matches!(a.owner, AllocOwner::Koala(_)))
+            .map(|a| a.nodes.len() as u32)
+            .sum()
+    }
+
+    /// Nodes held by local (background) allocations only.
+    pub fn used_by_local(&self) -> u32 {
+        self.allocs
+            .values()
+            .filter(|a| matches!(a.owner, AllocOwner::Local(_)))
+            .map(|a| a.nodes.len() as u32)
+            .sum()
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Size of a live allocation.
+    pub fn alloc_size(&self, id: AllocId) -> Option<u32> {
+        self.allocs.get(&id).map(|a| a.nodes.len() as u32)
+    }
+
+    /// Owner of a live allocation.
+    pub fn alloc_owner(&self, id: AllocId) -> Option<AllocOwner> {
+        self.allocs.get(&id).map(|a| a.owner)
+    }
+
+    /// Allocates `count` nodes to `owner`.
+    pub fn allocate(&mut self, owner: AllocOwner, count: u32) -> Result<AllocId, AllocError> {
+        if count == 0 {
+            return Err(AllocError::ZeroRequest);
+        }
+        if self.idle() < count {
+            return Err(AllocError::Insufficient { requested: count, available: self.idle() });
+        }
+        let id = AllocId(self.next_alloc);
+        self.next_alloc += 1;
+        let mut nodes = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let n = self.free.pop().expect("checked idle() above");
+            self.states[n.0 as usize] = NodeState::Busy(id);
+            nodes.push(n);
+        }
+        self.allocs.insert(id, Allocation { owner, nodes });
+        Ok(id)
+    }
+
+    /// Extends a live allocation by `extra` nodes.
+    pub fn grow(&mut self, id: AllocId, extra: u32) -> Result<(), AllocError> {
+        if extra == 0 {
+            return Err(AllocError::ZeroRequest);
+        }
+        if !self.allocs.contains_key(&id) {
+            return Err(AllocError::UnknownAlloc(id));
+        }
+        if self.idle() < extra {
+            return Err(AllocError::Insufficient { requested: extra, available: self.idle() });
+        }
+        for _ in 0..extra {
+            let n = self.free.pop().expect("checked idle() above");
+            self.states[n.0 as usize] = NodeState::Busy(id);
+            self.allocs.get_mut(&id).expect("checked").nodes.push(n);
+        }
+        Ok(())
+    }
+
+    /// Trims `by` nodes off a live allocation (most recently added nodes
+    /// are released first, matching the MRunner releasing its newest GRAM
+    /// jobs). Returns the number of nodes actually freed (always `by`).
+    pub fn shrink(&mut self, id: AllocId, by: u32) -> Result<u32, AllocError> {
+        if by == 0 {
+            return Err(AllocError::ZeroRequest);
+        }
+        let alloc = self.allocs.get_mut(&id).ok_or(AllocError::UnknownAlloc(id))?;
+        let held = alloc.nodes.len() as u32;
+        if by > held {
+            return Err(AllocError::ShrinkTooLarge { held, requested: by });
+        }
+        for _ in 0..by {
+            let n = alloc.nodes.pop().expect("checked held above");
+            self.states[n.0 as usize] = NodeState::Free;
+            self.free.push(n);
+        }
+        if alloc.nodes.is_empty() {
+            self.allocs.remove(&id);
+        }
+        Ok(by)
+    }
+
+    /// Releases an allocation entirely; returns the number of nodes freed.
+    pub fn release(&mut self, id: AllocId) -> Result<u32, AllocError> {
+        let alloc = self.allocs.remove(&id).ok_or(AllocError::UnknownAlloc(id))?;
+        let n = alloc.nodes.len() as u32;
+        for node in alloc.nodes {
+            self.states[node.0 as usize] = NodeState::Free;
+            self.free.push(node);
+        }
+        Ok(n)
+    }
+
+    /// Withdraws up to `count` *free* nodes from the pool (maintenance /
+    /// failure model); busy nodes are untouched. Returns how many were
+    /// actually withdrawn.
+    pub fn withdraw_free(&mut self, count: u32) -> u32 {
+        let take = count.min(self.idle());
+        for _ in 0..take {
+            let n = self.free.pop().expect("bounded by idle()");
+            self.states[n.0 as usize] = NodeState::Down;
+            self.down += 1;
+        }
+        take
+    }
+
+    /// Returns withdrawn nodes to the pool. Returns how many came back.
+    pub fn restore(&mut self, count: u32) -> u32 {
+        let mut restored = 0;
+        for (i, st) in self.states.iter_mut().enumerate() {
+            if restored == count {
+                break;
+            }
+            if *st == NodeState::Down {
+                *st = NodeState::Free;
+                self.free.push(NodeId(i as u32));
+                self.down -= 1;
+                restored += 1;
+            }
+        }
+        restored
+    }
+
+    /// Internal consistency check: every node appears in exactly one of
+    /// {free list, some allocation, down}; counters agree. Used by tests
+    /// and debug assertions in the scheduler.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![0u8; self.spec.nodes as usize];
+        for n in &self.free {
+            seen[n.0 as usize] += 1;
+            if self.states[n.0 as usize] != NodeState::Free {
+                return Err(format!("{n:?} in free list but state {:?}", self.states[n.0 as usize]));
+            }
+        }
+        for (id, a) in &self.allocs {
+            if a.nodes.is_empty() {
+                return Err(format!("{id:?} is empty but still registered"));
+            }
+            for n in &a.nodes {
+                seen[n.0 as usize] += 1;
+                if self.states[n.0 as usize] != NodeState::Busy(*id) {
+                    return Err(format!("{n:?} in {id:?} but state {:?}", self.states[n.0 as usize]));
+                }
+            }
+        }
+        let mut down = 0;
+        for (i, st) in self.states.iter().enumerate() {
+            if st == &NodeState::Down {
+                down += 1;
+                seen[i] += 1;
+            }
+        }
+        if down != self.down {
+            return Err(format!("down counter {} != {}", self.down, down));
+        }
+        if let Some(i) = seen.iter().position(|&c| c != 1) {
+            return Err(format!("node n{i} appears {} times", seen[i]));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(ClusterSpec::new("test", n, "GbE"))
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut c = cluster(10);
+        let a = c.allocate(AllocOwner::Koala(1), 4).unwrap();
+        assert_eq!(c.idle(), 6);
+        assert_eq!(c.used(), 4);
+        assert_eq!(c.alloc_size(a), Some(4));
+        assert_eq!(c.release(a).unwrap(), 4);
+        assert_eq!(c.idle(), 10);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut c = cluster(4);
+        c.allocate(AllocOwner::Koala(1), 3).unwrap();
+        let err = c.allocate(AllocOwner::Koala(2), 2).unwrap_err();
+        assert_eq!(err, AllocError::Insufficient { requested: 2, available: 1 });
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_requests_are_bugs() {
+        let mut c = cluster(4);
+        assert_eq!(c.allocate(AllocOwner::Koala(1), 0), Err(AllocError::ZeroRequest));
+        let a = c.allocate(AllocOwner::Koala(1), 1).unwrap();
+        assert_eq!(c.grow(a, 0), Err(AllocError::ZeroRequest));
+        assert_eq!(c.shrink(a, 0), Err(AllocError::ZeroRequest));
+    }
+
+    #[test]
+    fn grow_extends_in_place() {
+        let mut c = cluster(10);
+        let a = c.allocate(AllocOwner::Koala(7), 2).unwrap();
+        c.grow(a, 5).unwrap();
+        assert_eq!(c.alloc_size(a), Some(7));
+        assert_eq!(c.idle(), 3);
+        assert_eq!(c.grow(a, 4), Err(AllocError::Insufficient { requested: 4, available: 3 }));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shrink_trims_and_auto_releases_empty() {
+        let mut c = cluster(10);
+        let a = c.allocate(AllocOwner::Koala(7), 6).unwrap();
+        assert_eq!(c.shrink(a, 2).unwrap(), 2);
+        assert_eq!(c.alloc_size(a), Some(4));
+        assert_eq!(
+            c.shrink(a, 9),
+            Err(AllocError::ShrinkTooLarge { held: 4, requested: 9 })
+        );
+        assert_eq!(c.shrink(a, 4).unwrap(), 4);
+        assert_eq!(c.alloc_size(a), None, "empty allocation disappears");
+        assert_eq!(c.idle(), 10);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn owner_accounting_separates_koala_and_local() {
+        let mut c = cluster(20);
+        c.allocate(AllocOwner::Koala(1), 5).unwrap();
+        c.allocate(AllocOwner::Local(9), 3).unwrap();
+        assert_eq!(c.used_by_koala(), 5);
+        assert_eq!(c.used_by_local(), 3);
+        assert_eq!(c.used(), 8);
+    }
+
+    #[test]
+    fn withdraw_and_restore() {
+        let mut c = cluster(10);
+        c.allocate(AllocOwner::Koala(1), 6).unwrap();
+        assert_eq!(c.withdraw_free(8), 4, "only free nodes can be withdrawn");
+        assert_eq!(c.capacity(), 6);
+        assert_eq!(c.idle(), 0);
+        assert_eq!(c.restore(2), 2);
+        assert_eq!(c.capacity(), 8);
+        assert_eq!(c.idle(), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn released_handle_is_gone() {
+        let mut c = cluster(4);
+        let a = c.allocate(AllocOwner::Koala(1), 2).unwrap();
+        c.release(a).unwrap();
+        assert_eq!(c.release(a), Err(AllocError::UnknownAlloc(a)));
+        assert_eq!(c.grow(a, 1), Err(AllocError::UnknownAlloc(a)));
+    }
+
+    #[test]
+    fn deterministic_node_handout() {
+        let mut a = cluster(8);
+        let mut b = cluster(8);
+        let ia = a.allocate(AllocOwner::Koala(1), 3).unwrap();
+        let ib = b.allocate(AllocOwner::Koala(1), 3).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(a.idle(), b.idle());
+    }
+}

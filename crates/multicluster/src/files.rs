@@ -1,0 +1,179 @@
+//! Replica catalog and transfer-time estimation.
+//!
+//! KOALA's Close-to-Files (CF) placement policy "uses information about
+//! the presence of input files to decide where to place (components of)
+//! jobs. Clusters with the necessary input files already present are
+//! favoured as placement candidates, followed by clusters for which
+//! transfer of those files take the least amount of time." (Section
+//! IV-A.) The paper's malleability experiments use WF and stage no files,
+//! but CF is part of the KOALA design, so the reproduction implements it;
+//! this module is its substrate: a replica location service (RLS) plus a
+//! bandwidth matrix for transfer-time estimates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simcore::SimDuration;
+
+use crate::ids::ClusterId;
+
+/// Identifier of a logical input file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// Metadata of a logical file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMeta {
+    /// Size in gigabytes.
+    pub size_gb: f64,
+    /// Clusters holding a replica.
+    pub replicas: BTreeSet<ClusterId>,
+}
+
+/// Replica location service + wide-area bandwidth model.
+#[derive(Debug, Clone)]
+pub struct FileCatalog {
+    files: BTreeMap<FileId, FileMeta>,
+    /// `bandwidth_gbps[i][j]`: bandwidth from cluster i to cluster j in
+    /// gigabits per second. Diagonal entries are ignored (local access is
+    /// free).
+    bandwidth_gbps: Vec<Vec<f64>>,
+    next_file: u64,
+}
+
+impl FileCatalog {
+    /// Creates a catalog for `n` clusters with a uniform wide-area
+    /// bandwidth (Gb/s) between distinct clusters.
+    pub fn uniform(n: usize, wan_gbps: f64) -> Self {
+        assert!(wan_gbps > 0.0, "bandwidth must be positive");
+        FileCatalog {
+            files: BTreeMap::new(),
+            bandwidth_gbps: vec![vec![wan_gbps; n]; n],
+            next_file: 0,
+        }
+    }
+
+    /// Creates a catalog with an explicit bandwidth matrix.
+    pub fn with_matrix(bandwidth_gbps: Vec<Vec<f64>>) -> Self {
+        let n = bandwidth_gbps.len();
+        for row in &bandwidth_gbps {
+            assert_eq!(row.len(), n, "bandwidth matrix must be square");
+        }
+        FileCatalog { files: BTreeMap::new(), bandwidth_gbps, next_file: 0 }
+    }
+
+    /// Registers a file with replicas at the given clusters; returns its id.
+    pub fn register(&mut self, size_gb: f64, replicas: impl IntoIterator<Item = ClusterId>) -> FileId {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            id,
+            FileMeta { size_gb, replicas: replicas.into_iter().collect() },
+        );
+        id
+    }
+
+    /// Adds a replica (e.g. after a staged transfer completes).
+    pub fn add_replica(&mut self, file: FileId, at: ClusterId) {
+        if let Some(meta) = self.files.get_mut(&file) {
+            meta.replicas.insert(at);
+        }
+    }
+
+    /// Metadata of a file.
+    pub fn meta(&self, file: FileId) -> Option<&FileMeta> {
+        self.files.get(&file)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Estimated time to make `file` available at `dest`: zero if a
+    /// replica is local, otherwise the transfer time from the
+    /// best-connected replica site. `None` for unknown files.
+    pub fn transfer_time(&self, file: FileId, dest: ClusterId) -> Option<SimDuration> {
+        let meta = self.files.get(&file)?;
+        if meta.replicas.contains(&dest) {
+            return Some(SimDuration::ZERO);
+        }
+        let mut best: Option<f64> = None;
+        for &src in &meta.replicas {
+            let bw = self.bandwidth_gbps[src.index()][dest.index()];
+            if bw <= 0.0 {
+                continue;
+            }
+            // size GB → gigabits, divided by Gb/s.
+            let secs = meta.size_gb * 8.0 / bw;
+            best = Some(best.map_or(secs, |b: f64| b.min(secs)));
+        }
+        best.map(SimDuration::from_secs_f64)
+    }
+
+    /// Total estimated staging time for a set of files at `dest`
+    /// (transfers run sequentially from the runner's submission site, per
+    /// KOALA's third-party transfer model). Unknown files count as zero.
+    pub fn staging_time(&self, files: &[FileId], dest: ClusterId) -> SimDuration {
+        files
+            .iter()
+            .filter_map(|&f| self.transfer_time(f, dest))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_replica_is_free() {
+        let mut cat = FileCatalog::uniform(3, 10.0);
+        let f = cat.register(100.0, [ClusterId(1)]);
+        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn remote_transfer_uses_bandwidth() {
+        let mut cat = FileCatalog::uniform(2, 10.0); // 10 Gb/s
+        let f = cat.register(10.0, [ClusterId(0)]); // 10 GB = 80 Gb
+        // 80 Gb / 10 Gb/s = 8 s.
+        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::from_secs(8)));
+    }
+
+    #[test]
+    fn best_replica_wins() {
+        let mut m = vec![vec![1.0; 3]; 3];
+        m[2][1] = 40.0; // cluster 2 → 1 is fast
+        let mut cat = FileCatalog::with_matrix(m);
+        let f = cat.register(10.0, [ClusterId(0), ClusterId(2)]);
+        // From 0: 80/1 = 80 s; from 2: 80/40 = 2 s.
+        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn unknown_file_is_none_and_replica_updates() {
+        let mut cat = FileCatalog::uniform(2, 10.0);
+        assert_eq!(cat.transfer_time(FileId(99), ClusterId(0)), None);
+        let f = cat.register(10.0, [ClusterId(0)]);
+        assert!(cat.transfer_time(f, ClusterId(1)).unwrap() > SimDuration::ZERO);
+        cat.add_replica(f, ClusterId(1));
+        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn staging_time_sums_files() {
+        let mut cat = FileCatalog::uniform(2, 8.0);
+        let f1 = cat.register(1.0, [ClusterId(0)]); // 8 Gb / 8 = 1 s
+        let f2 = cat.register(2.0, [ClusterId(0)]); // 16 Gb / 8 = 2 s
+        assert_eq!(
+            cat.staging_time(&[f1, f2], ClusterId(1)),
+            SimDuration::from_secs(3)
+        );
+        assert_eq!(cat.staging_time(&[f1, f2], ClusterId(0)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,143 @@
+//! GRAM-style submission latency model.
+//!
+//! Section V-A of the paper describes how the MRunner works around GRAM's
+//! inability to manage malleable jobs: a malleable application is run as
+//! a *collection of GRAM jobs of size 1*. Growing submits new GRAM jobs;
+//! to hide their cost, submissions launch an **empty stub** that is
+//! turned into an application process later ("that latter operation is
+//! faster than submitting a job to GRAM as it is relieved from tasks such
+//! as security enforcement and queue management"). Interactions with GRAM
+//! overlap application execution; the application suspends only once all
+//! resources are held.
+//!
+//! This module captures those costs as a pure timing model. Defaults are
+//! justified in `koala::config` (they reproduce the order of magnitude of
+//! GLOBUS pre-WS GRAM on DAS-3-era hardware).
+
+use simcore::SimDuration;
+
+/// Latency model for GRAM-like interactions.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GramConfig {
+    /// Submitting one GRAM job (security, queue handling) until the stub
+    /// is running on the node.
+    pub submit_latency: SimDuration,
+    /// Additional per-job serialization when a batch of GRAM jobs is
+    /// submitted at once (submissions pipeline but not perfectly).
+    pub submit_per_job: SimDuration,
+    /// Releasing a GRAM job after the application has shrunk.
+    pub release_latency: SimDuration,
+    /// Turning an already-running stub into an application process
+    /// (the fast path the paper contrasts with full submission).
+    pub stub_recruit_latency: SimDuration,
+    /// One-way scheduler ↔ runner ↔ application message latency.
+    pub message_latency: SimDuration,
+}
+
+impl Default for GramConfig {
+    fn default() -> Self {
+        GramConfig {
+            submit_latency: SimDuration::from_secs(2),
+            submit_per_job: SimDuration::from_millis(100),
+            release_latency: SimDuration::from_secs(1),
+            stub_recruit_latency: SimDuration::from_millis(500),
+            message_latency: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl GramConfig {
+    /// A zero-latency model, for tests that want pure scheduling
+    /// behaviour without timing noise.
+    pub fn instantaneous() -> Self {
+        GramConfig {
+            submit_latency: SimDuration::ZERO,
+            submit_per_job: SimDuration::ZERO,
+            release_latency: SimDuration::ZERO,
+            stub_recruit_latency: SimDuration::ZERO,
+            message_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Time until a batch of `n` size-1 GRAM jobs all have running stubs.
+    ///
+    /// The batch submits in parallel but serializes partially at the
+    /// gatekeeper: `submit_latency + n · submit_per_job`.
+    pub fn batch_submit_time(&self, n: u32) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.submit_latency + self.submit_per_job.saturating_mul(n as u64)
+    }
+
+    /// Time from "stubs all running" until the application actually holds
+    /// the new processes (recruitment of the stubs).
+    pub fn recruit_time(&self, n: u32) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        // Stub recruitment is a local operation per node, done in
+        // parallel; model as a single constant.
+        self.stub_recruit_latency
+    }
+
+    /// Time to release `n` GRAM jobs after a shrink.
+    pub fn batch_release_time(&self, n: u32) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.release_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_submission_scales_per_job() {
+        let g = GramConfig::default();
+        let one = g.batch_submit_time(1);
+        let ten = g.batch_submit_time(10);
+        assert!(ten > one);
+        assert_eq!(
+            ten - one,
+            g.submit_per_job.saturating_mul(9),
+            "difference is 9 per-job increments"
+        );
+    }
+
+    #[test]
+    fn zero_jobs_cost_nothing() {
+        let g = GramConfig::default();
+        assert_eq!(g.batch_submit_time(0), SimDuration::ZERO);
+        assert_eq!(g.recruit_time(0), SimDuration::ZERO);
+        assert_eq!(g.batch_release_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn recruitment_is_cheaper_than_submission() {
+        // The design point from the paper: turning a stub into a process
+        // beats a full GRAM submission.
+        let g = GramConfig::default();
+        assert!(g.recruit_time(4) < g.batch_submit_time(4));
+    }
+
+    #[test]
+    fn batch_submit_is_monotone_in_size() {
+        let g = GramConfig::default();
+        let mut last = simcore::SimDuration::ZERO;
+        for n in 1..=64 {
+            let t = g.batch_submit_time(n);
+            assert!(t >= last, "submission time must not shrink with batch size");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn instantaneous_model_is_all_zero() {
+        let g = GramConfig::instantaneous();
+        assert_eq!(g.batch_submit_time(32), SimDuration::ZERO);
+        assert_eq!(g.batch_release_time(32), SimDuration::ZERO);
+    }
+}

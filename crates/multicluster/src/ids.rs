@@ -1,0 +1,68 @@
+//! Identifier newtypes for the substrate.
+//!
+//! Newtypes keep cluster indices, node indices and allocation handles
+//! from being mixed up at compile time; all are `Copy` and order by the
+//! underlying integer, so they can key `BTreeMap`s deterministically.
+
+use std::fmt;
+
+/// Index of a cluster within a [`crate::Multicluster`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClusterId(pub u16);
+
+/// Index of a node within its cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Handle of a live allocation on a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocId(pub u64);
+
+impl fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc#{}", self.0)
+    }
+}
+
+impl ClusterId {
+    /// The cluster's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{:?}", ClusterId(3)), "C3");
+        assert_eq!(format!("{:?}", NodeId(12)), "n12");
+        assert_eq!(format!("{:?}", AllocId(7)), "alloc#7");
+    }
+
+    #[test]
+    fn ordering_follows_integers() {
+        assert!(ClusterId(1) < ClusterId(2));
+        assert!(AllocId(9) < AllocId(10));
+    }
+}

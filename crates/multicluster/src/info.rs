@@ -1,0 +1,175 @@
+//! The KOALA Information Service (KIS).
+//!
+//! "In order to trigger job management, the scheduler periodically polls
+//! the KOALA information service. In doing so, the scheduler is able to
+//! take into account dynamically the background load due to other users
+//! even if they bypass KOALA." (Section V-B.)
+//!
+//! The crucial modelling point is that the scheduler acts on a
+//! **snapshot**, not on live state: between polls, background jobs may
+//! have taken or released nodes, so placement decisions can fail and must
+//! be retried — precisely the pathway the paper's placement queue exists
+//! for. [`InfoService`] therefore stores the snapshot taken at poll time
+//! and hands that out until the next poll.
+
+use simcore::SimTime;
+
+use crate::cluster::Cluster;
+use crate::ids::ClusterId;
+
+/// A poll-time snapshot of per-cluster processor availability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoSnapshot {
+    /// When the snapshot was taken.
+    pub taken_at: SimTime,
+    /// Idle processors per cluster, indexed by [`ClusterId`].
+    pub idle: Vec<u32>,
+    /// Pool capacity per cluster (total minus withdrawn nodes).
+    pub capacity: Vec<u32>,
+    /// Processors used by KOALA-managed jobs per cluster.
+    pub used_by_koala: Vec<u32>,
+    /// Processors used by local/background jobs per cluster.
+    pub used_by_local: Vec<u32>,
+}
+
+impl InfoSnapshot {
+    /// Idle processors of one cluster.
+    pub fn idle_of(&self, c: ClusterId) -> u32 {
+        self.idle[c.index()]
+    }
+
+    /// Capacity of one cluster.
+    pub fn capacity_of(&self, c: ClusterId) -> u32 {
+        self.capacity[c.index()]
+    }
+
+    /// Total idle processors across the system.
+    pub fn total_idle(&self) -> u32 {
+        self.idle.iter().sum()
+    }
+
+    /// Total capacity across the system.
+    pub fn total_capacity(&self) -> u32 {
+        self.capacity.iter().sum()
+    }
+
+    /// Cluster ids sorted by descending idle count (ties by ascending
+    /// id, keeping Worst-Fit deterministic).
+    pub fn clusters_by_idle_desc(&self) -> Vec<ClusterId> {
+        let mut ids: Vec<ClusterId> = (0..self.idle.len()).map(|i| ClusterId(i as u16)).collect();
+        ids.sort_by_key(|c| (std::cmp::Reverse(self.idle[c.index()]), c.0));
+        ids
+    }
+}
+
+/// The information service: takes and caches snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct InfoService {
+    snapshot: Option<InfoSnapshot>,
+    polls: u64,
+}
+
+impl InfoService {
+    /// Creates a service with no snapshot yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Polls the processor information providers: records a fresh
+    /// snapshot of every cluster.
+    pub fn poll<'a>(&mut self, now: SimTime, clusters: impl Iterator<Item = &'a Cluster>) {
+        let mut idle = Vec::new();
+        let mut capacity = Vec::new();
+        let mut used_by_koala = Vec::new();
+        let mut used_by_local = Vec::new();
+        for c in clusters {
+            idle.push(c.idle());
+            capacity.push(c.capacity());
+            used_by_koala.push(c.used_by_koala());
+            used_by_local.push(c.used_by_local());
+        }
+        self.snapshot = Some(InfoSnapshot { taken_at: now, idle, capacity, used_by_koala, used_by_local });
+        self.polls += 1;
+    }
+
+    /// The latest snapshot, if any poll has happened.
+    pub fn snapshot(&self) -> Option<&InfoSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Number of polls performed.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Age of the current snapshot at `now`.
+    pub fn staleness(&self, now: SimTime) -> Option<simcore::SimDuration> {
+        self.snapshot.as_ref().map(|s| now.saturating_since(s.taken_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{AllocOwner, ClusterSpec};
+
+    fn cluster(name: &str, nodes: u32) -> Cluster {
+        Cluster::new(ClusterSpec::new(name, nodes, "GbE"))
+    }
+
+    #[test]
+    fn snapshot_captures_poll_time_state() {
+        let mut a = cluster("a", 10);
+        let b = cluster("b", 20);
+        a.allocate(AllocOwner::Koala(1), 4).unwrap();
+        let mut kis = InfoService::new();
+        kis.poll(SimTime::from_secs(5), [&a, &b].into_iter());
+        let s = kis.snapshot().unwrap();
+        assert_eq!(s.taken_at, SimTime::from_secs(5));
+        assert_eq!(s.idle_of(ClusterId(0)), 6);
+        assert_eq!(s.idle_of(ClusterId(1)), 20);
+        assert_eq!(s.total_idle(), 26);
+        assert_eq!(s.used_by_koala[0], 4);
+    }
+
+    #[test]
+    fn snapshot_is_stale_not_live() {
+        let mut a = cluster("a", 10);
+        let mut kis = InfoService::new();
+        kis.poll(SimTime::ZERO, [&a].into_iter());
+        // Background job takes nodes *after* the poll.
+        a.allocate(AllocOwner::Local(1), 8).unwrap();
+        let s = kis.snapshot().unwrap();
+        assert_eq!(s.idle_of(ClusterId(0)), 10, "snapshot must not see the new job");
+        assert_eq!(a.idle(), 2, "live state did change");
+    }
+
+    #[test]
+    fn staleness_grows_until_next_poll() {
+        let a = cluster("a", 4);
+        let mut kis = InfoService::new();
+        assert_eq!(kis.staleness(SimTime::from_secs(1)), None);
+        kis.poll(SimTime::from_secs(10), [&a].into_iter());
+        assert_eq!(
+            kis.staleness(SimTime::from_secs(25)),
+            Some(simcore::SimDuration::from_secs(15))
+        );
+        kis.poll(SimTime::from_secs(30), [&a].into_iter());
+        assert_eq!(
+            kis.staleness(SimTime::from_secs(30)),
+            Some(simcore::SimDuration::ZERO)
+        );
+        assert_eq!(kis.polls(), 2);
+    }
+
+    #[test]
+    fn worst_fit_ordering_breaks_ties_by_id() {
+        let a = cluster("a", 10);
+        let b = cluster("b", 30);
+        let c = cluster("c", 10);
+        let mut kis = InfoService::new();
+        kis.poll(SimTime::ZERO, [&a, &b, &c].into_iter());
+        let order = kis.snapshot().unwrap().clusters_by_idle_desc();
+        assert_eq!(order, vec![ClusterId(1), ClusterId(0), ClusterId(2)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # multicluster — the execution-environment substrate
+//!
+//! The paper runs on DAS-3: five clusters of dual-Opteron nodes, each
+//! managed by the Sun Grid Engine in *space-shared* mode with *node*
+//! allocation granularity, fronted by GLOBUS GRAM for remote submission,
+//! and observed through the KOALA Information Service (KIS). This crate
+//! models that environment as plain state machines — no event types of
+//! its own — so the scheduler crate can compose them into its simulation
+//! world and the pieces stay independently unit-testable:
+//!
+//! * [`Cluster`] — a set of nodes with space-shared allocations that can
+//!   grow and shrink in place (the substrate feature malleability needs);
+//!   supports withdrawing/restoring nodes for availability experiments.
+//! * [`Lrm`] — an SGE-like local resource manager: a FIFO queue of local
+//!   (background) jobs running on a cluster, bypassing KOALA exactly as
+//!   "local users" do in the paper.
+//! * [`GramConfig`] — the latency model of GRAM-style job submission,
+//!   including the cheap *stub recruitment* path the MRunner uses
+//!   (Section V-A of the paper).
+//! * [`InfoService`] — the KIS: periodic snapshots of per-cluster idle
+//!   counts; schedulers see the (possibly stale) snapshot, never live
+//!   state.
+//! * [`FileCatalog`] — replica locations and transfer-time estimates for
+//!   the Close-to-Files placement policy.
+//! * [`Multicluster`] / [`das3`] — topology presets, including Table I of
+//!   the paper.
+//! * [`BackgroundLoad`] — stochastic local-user workload parameters.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod background;
+mod cluster;
+mod files;
+mod gram;
+mod ids;
+mod info;
+mod lrm;
+mod topology;
+
+pub use background::{BackgroundLoad, BackgroundSample};
+pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, NodeState};
+pub use files::{FileCatalog, FileId, FileMeta};
+pub use gram::GramConfig;
+pub use ids::{AllocId, ClusterId, NodeId};
+pub use info::{InfoService, InfoSnapshot};
+pub use lrm::{LocalJob, LocalJobId, Lrm, SubmitOutcome};
+pub use topology::{das3, das3_heterogeneous, Interconnect, Multicluster, DAS3_DELFT};

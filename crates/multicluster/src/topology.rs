@@ -1,0 +1,206 @@
+//! Multicluster topologies, including the DAS-3 preset (Table I).
+
+use crate::cluster::{Cluster, ClusterSpec};
+use crate::ids::ClusterId;
+use crate::lrm::Lrm;
+
+/// Interconnect technology of a DAS-3 cluster (informational).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interconnect {
+    /// Myri-10G plus 1/10 Gbit Ethernet.
+    Myri10GPlusEthernet,
+    /// 1/10 Gbit Ethernet only (the Delft cluster).
+    EthernetOnly,
+}
+
+impl Interconnect {
+    /// The label used in Table I of the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interconnect::Myri10GPlusEthernet => "Myri-10G & 1/10 GbE",
+            Interconnect::EthernetOnly => "1/10 GbE",
+        }
+    }
+}
+
+/// A multicluster system: one LRM-fronted cluster per site.
+#[derive(Debug, Clone)]
+pub struct Multicluster {
+    lrms: Vec<Lrm>,
+}
+
+impl Multicluster {
+    /// Builds a system from cluster specs.
+    pub fn new(specs: impl IntoIterator<Item = ClusterSpec>) -> Self {
+        Multicluster {
+            lrms: specs.into_iter().map(|s| Lrm::new(Cluster::new(s))).collect(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.lrms.len()
+    }
+
+    /// True when the system has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.lrms.is_empty()
+    }
+
+    /// All cluster ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.lrms.len()).map(|i| ClusterId(i as u16))
+    }
+
+    /// The LRM of one cluster.
+    pub fn lrm(&self, c: ClusterId) -> &Lrm {
+        &self.lrms[c.index()]
+    }
+
+    /// Mutable LRM of one cluster.
+    pub fn lrm_mut(&mut self, c: ClusterId) -> &mut Lrm {
+        &mut self.lrms[c.index()]
+    }
+
+    /// The cluster state of one site.
+    pub fn cluster(&self, c: ClusterId) -> &Cluster {
+        self.lrms[c.index()].cluster()
+    }
+
+    /// Mutable cluster state of one site.
+    pub fn cluster_mut(&mut self, c: ClusterId) -> &mut Cluster {
+        self.lrms[c.index()].cluster_mut()
+    }
+
+    /// Iterates over the clusters (for KIS polls).
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.lrms.iter().map(|l| l.cluster())
+    }
+
+    /// Total pool capacity.
+    pub fn total_capacity(&self) -> u32 {
+        self.clusters().map(|c| c.capacity()).sum()
+    }
+
+    /// Total idle processors right now (live, not snapshot).
+    pub fn total_idle(&self) -> u32 {
+        self.clusters().map(|c| c.idle()).sum()
+    }
+
+    /// Total processors in use right now.
+    pub fn total_used(&self) -> u32 {
+        self.clusters().map(|c| c.used()).sum()
+    }
+
+    /// Total processors used by KOALA-managed jobs right now.
+    pub fn total_used_by_koala(&self) -> u32 {
+        self.clusters().map(|c| c.used_by_koala()).sum()
+    }
+
+    /// Checks every cluster's internal invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, l) in self.lrms.iter().enumerate() {
+            l.cluster()
+                .check_invariants()
+                .map_err(|e| format!("cluster {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The DAS-3 testbed of the paper, Table I:
+///
+/// | Cluster            | Nodes | Interconnect        |
+/// |--------------------|-------|---------------------|
+/// | Vrije University   |   85  | Myri-10G & 1/10 GbE |
+/// | U. of Amsterdam    |   41  | Myri-10G & 1/10 GbE |
+/// | Delft University   |   68  | 1/10 GbE            |
+/// | MultimediaN        |   46  | Myri-10G & 1/10 GbE |
+/// | Leiden University  |   32  | Myri-10G & 1/10 GbE |
+///
+/// 272 nodes in total; SGE allocates whole nodes, so "processors" in the
+/// experiments are nodes (the dual-core distinction is invisible at the
+/// allocation granularity).
+pub fn das3() -> Multicluster {
+    let rows: [(&str, u32, Interconnect); 5] = [
+        ("Vrije University", 85, Interconnect::Myri10GPlusEthernet),
+        ("U. of Amsterdam", 41, Interconnect::Myri10GPlusEthernet),
+        ("Delft University", 68, Interconnect::EthernetOnly),
+        ("MultimediaN", 46, Interconnect::Myri10GPlusEthernet),
+        ("Leiden University", 32, Interconnect::Myri10GPlusEthernet),
+    ];
+    Multicluster::new(rows.map(|(name, nodes, ic)| ClusterSpec::new(name, nodes, ic.label())))
+}
+
+/// Index of the Delft cluster in [`das3`] — the site whose measurements
+/// calibrate Fig. 6 of the paper.
+pub const DAS3_DELFT: ClusterId = ClusterId(2);
+
+/// A heterogeneous DAS-3 variant: same node counts, but per-site compute
+/// speeds differ (Myri-10G sites run the communication-bound benchmarks
+/// faster than the Ethernet-only Delft reference). The paper motivates
+/// its max-size rule with exactly this: "applications are not supposed
+/// to scale the same in all of the clusters, which may be heterogeneous."
+pub fn das3_heterogeneous() -> Multicluster {
+    let specs = [
+        ("Vrije University", 85, Interconnect::Myri10GPlusEthernet, 1.25),
+        ("U. of Amsterdam", 41, Interconnect::Myri10GPlusEthernet, 1.15),
+        ("Delft University", 68, Interconnect::EthernetOnly, 1.0),
+        ("MultimediaN", 46, Interconnect::Myri10GPlusEthernet, 1.15),
+        ("Leiden University", 32, Interconnect::Myri10GPlusEthernet, 1.1),
+    ]
+    .map(|(name, nodes, ic, speed)| {
+        let mut spec = ClusterSpec::new(name, nodes, ic.label());
+        spec.speed_factor = speed;
+        spec
+    });
+    Multicluster::new(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::AllocOwner;
+
+    #[test]
+    fn das3_matches_table_i() {
+        let das = das3();
+        assert_eq!(das.len(), 5);
+        let expected = [
+            ("Vrije University", 85),
+            ("U. of Amsterdam", 41),
+            ("Delft University", 68),
+            ("MultimediaN", 46),
+            ("Leiden University", 32),
+        ];
+        for (i, (name, nodes)) in expected.iter().enumerate() {
+            let c = das.cluster(ClusterId(i as u16));
+            assert_eq!(c.spec().name, *name);
+            assert_eq!(c.spec().nodes, *nodes);
+        }
+        assert_eq!(das.total_capacity(), 272);
+        assert_eq!(
+            das.cluster(DAS3_DELFT).spec().interconnect,
+            Interconnect::EthernetOnly.label()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_preset_keeps_table_i_shape() {
+        let das = das3_heterogeneous();
+        assert_eq!(das.total_capacity(), 272);
+        assert_eq!(das.cluster(DAS3_DELFT).spec().speed_factor, 1.0, "Delft is the reference");
+        assert!(das.cluster(ClusterId(0)).spec().speed_factor > 1.0, "VU is faster");
+    }
+
+    #[test]
+    fn totals_track_allocations() {
+        let mut das = das3();
+        das.cluster_mut(ClusterId(0)).allocate(AllocOwner::Koala(1), 10).unwrap();
+        das.cluster_mut(ClusterId(3)).allocate(AllocOwner::Local(2), 6).unwrap();
+        assert_eq!(das.total_used(), 16);
+        assert_eq!(das.total_used_by_koala(), 10);
+        assert_eq!(das.total_idle(), 272 - 16);
+        das.check_invariants().unwrap();
+    }
+}

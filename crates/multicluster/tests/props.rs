@@ -1,0 +1,100 @@
+//! Property-based tests: random allocation/release/grow/shrink/withdraw
+//! sequences never violate cluster invariants.
+
+use multicluster::{AllocId, AllocOwner, Cluster, ClusterSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate(u32),
+    Grow(usize, u32),
+    Shrink(usize, u32),
+    Release(usize),
+    WithdrawFree(u32),
+    Restore(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..20).prop_map(Op::Allocate),
+        (0usize..8, 1u32..10).prop_map(|(i, n)| Op::Grow(i, n)),
+        (0usize..8, 1u32..10).prop_map(|(i, n)| Op::Shrink(i, n)),
+        (0usize..8).prop_map(Op::Release),
+        (1u32..30).prop_map(Op::WithdrawFree),
+        (1u32..30).prop_map(Op::Restore),
+    ]
+}
+
+proptest! {
+    /// After any operation sequence: node states, free list and counters
+    /// stay mutually consistent, and used + idle == capacity.
+    #[test]
+    fn invariants_hold_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut c = Cluster::new(ClusterSpec::new("prop", 64, "GbE"));
+        let mut live: Vec<AllocId> = Vec::new();
+        let mut next_owner = 0u64;
+        for op in ops {
+            match op {
+                Op::Allocate(n) => {
+                    next_owner += 1;
+                    if let Ok(id) = c.allocate(AllocOwner::Koala(next_owner), n) {
+                        live.push(id);
+                    }
+                }
+                Op::Grow(i, n) => {
+                    if let Some(&id) = live.get(i) {
+                        let _ = c.grow(id, n);
+                    }
+                }
+                Op::Shrink(i, n) => {
+                    if let Some(&id) = live.get(i) {
+                        if c.shrink(id, n).is_ok() && c.alloc_size(id).is_none() {
+                            live.remove(i);
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if i < live.len() {
+                        let id = live.remove(i);
+                        let _ = c.release(id);
+                    }
+                }
+                Op::WithdrawFree(n) => {
+                    c.withdraw_free(n);
+                }
+                Op::Restore(n) => {
+                    c.restore(n);
+                }
+            }
+            prop_assert!(c.check_invariants().is_ok(), "{:?}", c.check_invariants());
+            prop_assert_eq!(c.used() + c.idle(), c.capacity());
+            prop_assert!(c.capacity() <= 64);
+        }
+        // Releasing everything must return the cluster to fully free.
+        for id in live {
+            let _ = c.release(id);
+        }
+        prop_assert_eq!(c.used(), 0);
+        prop_assert!(c.check_invariants().is_ok());
+    }
+
+    /// Allocation sizes are conserved: what you allocate is what
+    /// `alloc_size` reports and what `release` frees.
+    #[test]
+    fn sizes_are_conserved(sizes in prop::collection::vec(1u32..16, 1..8)) {
+        let total: u32 = sizes.iter().sum();
+        prop_assume!(total <= 64);
+        let mut c = Cluster::new(ClusterSpec::new("prop", 64, "GbE"));
+        let ids: Vec<AllocId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| c.allocate(AllocOwner::Local(i as u64), n).unwrap())
+            .collect();
+        prop_assert_eq!(c.used(), total);
+        for (&id, &n) in ids.iter().zip(&sizes) {
+            prop_assert_eq!(c.alloc_size(id), Some(n));
+            prop_assert_eq!(c.release(id).unwrap(), n);
+        }
+        prop_assert_eq!(c.used(), 0);
+    }
+}

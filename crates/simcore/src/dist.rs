@@ -1,0 +1,432 @@
+//! Analytic probability distributions for workload modelling.
+//!
+//! Grid-workload literature (e.g. Iosup et al., JSSPP'06 — reference \[3\]
+//! of the paper) models inter-arrival times, job sizes, and runtimes with
+//! a small family of distributions. The reproduction's headline workloads
+//! use fixed inter-arrival times, but the workload generator also supports
+//! these distributions for the ablation experiments and for
+//! background-load modelling.
+//!
+//! Everything here is implemented from first principles (inverse-CDF or
+//! Box–Muller) over [`SimRng`] so the streams are portable and stable.
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` that can be sampled with a [`SimRng`].
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution's mean, if finite and known in closed form.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Degenerate distribution: always `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Continuous uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution; panics if the interval is empty or
+    /// inverted.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform requires lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.f64()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`). The canonical model
+/// for Poisson arrival processes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (events per unit time).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// From a rate; panics unless `lambda > 0`.
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Exponential rate must be positive");
+        Exponential { lambda }
+    }
+
+    /// From a mean; panics unless `mean > 0`.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::with_rate(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.f64_open0().ln() / self.lambda
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Normal via Box–Muller (one value per draw; the antithetic twin is
+/// discarded to keep the stream stateless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Location.
+    pub mu: f64,
+    /// Scale; must be non-negative.
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; panics on negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "Normal sigma must be non-negative");
+        Normal { mu, sigma }
+    }
+
+    fn standard(rng: &mut SimRng) -> f64 {
+        let u1 = rng.f64_open0();
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mu + self.sigma * Self::standard(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma))`. The classic heavy-tailed model for
+/// parallel-job runtimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From underlying-normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "LogNormal sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Parameterized by the desired mean and coefficient of variation of
+    /// the log-normal itself (not of the underlying normal).
+    pub fn with_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0);
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        LogNormal { mu, sigma: sigma2.sqrt() }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + 0.5 * self.sigma * self.sigma).exp())
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`; models machine availability
+/// intervals in multicluster traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Shape parameter.
+    pub k: f64,
+    /// Scale parameter.
+    pub lambda: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution; panics unless both parameters are
+    /// positive.
+    pub fn new(k: f64, lambda: f64) -> Self {
+        assert!(k > 0.0 && lambda > 0.0, "Weibull parameters must be positive");
+        Weibull { k, lambda }
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lambda * (-rng.f64_open0().ln()).powf(1.0 / self.k)
+    }
+    fn mean(&self) -> Option<f64> {
+        // lambda * Gamma(1 + 1/k); use the Lanczos approximation.
+        Some(self.lambda * gamma(1.0 + 1.0 / self.k))
+    }
+}
+
+/// Bounded Pareto on `[lo, hi]` with tail index `alpha`; a standard model
+/// for heavy-tailed service demands that still need a finite support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Tail index.
+    pub alpha: f64,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto; panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> Self {
+        assert!(alpha > 0.0 && lo > 0.0 && lo < hi, "invalid BoundedPareto");
+        BoundedPareto { alpha, lo, hi }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.f64();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Inverse CDF of the truncated Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+    fn mean(&self) -> Option<f64> {
+        let a = self.alpha;
+        let (l, h) = (self.lo, self.hi);
+        if (a - 1.0).abs() < 1e-12 {
+            let la = l.powf(a);
+            let ha = h.powf(a);
+            Some(la / (1.0 - la / ha) * (h.ln() - l.ln()))
+        } else {
+            let la = l.powf(a);
+            let ha = h.powf(a);
+            Some(la / (1.0 - la / ha) * a / (a - 1.0) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)))
+        }
+    }
+}
+
+/// Zipf over `{1, …, n}` with exponent `s`; used to skew cluster/file
+/// popularity in the Close-to-Files experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: usize,
+    s: f64,
+    /// Precomputed cumulative weights for inverse-CDF sampling.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, …, n}`; panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { n, s, cdf }
+    }
+
+    /// Draws a rank in `{1, …, n}`.
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        let i = self.cdf.partition_point(|&c| c <= u);
+        (i + 1).min(self.n)
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+}
+
+impl Distribution for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(
+            (1..=self.n)
+                .map(|k| k as f64 / (k as f64).powf(self.s))
+                .sum::<f64>()
+                / (1..=self.n).map(|k| 1.0 / (k as f64).powf(self.s)).sum::<f64>(),
+        )
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), accurate to
+/// ~15 significant digits for positive arguments — plenty for Weibull
+/// means in reports.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &impl Distribution, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let d = Constant(42.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_mean_matches() {
+        let d = Uniform::new(10.0, 20.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&x));
+        }
+        let m = empirical_mean(&d, 2, 100_000);
+        assert!((m - 15.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(30.0);
+        let m = empirical_mean(&d, 3, 200_000);
+        assert!((m - 30.0).abs() < 0.5, "mean {m}");
+        assert_eq!(d.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(5.0, 2.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_cv_hits_requested_mean() {
+        let d = LogNormal::with_mean_cv(100.0, 1.5);
+        let m = empirical_mean(&d, 5, 400_000);
+        assert!((m - 100.0).abs() < 2.0, "mean {m}");
+        assert!((d.mean().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mean_matches_closed_form() {
+        let d = Weibull::new(1.5, 50.0);
+        let m = empirical_mean(&d, 6, 300_000);
+        let closed = d.mean().unwrap();
+        assert!((m - closed).abs() / closed < 0.02, "mean {m} vs {closed}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 25.0);
+        assert!((d.mean().unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1.2, 1.0, 1000.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_matches() {
+        let d = BoundedPareto::new(1.5, 1.0, 100.0);
+        let m = empirical_mean(&d, 8, 400_000);
+        let closed = d.mean().unwrap();
+        assert!((m - closed).abs() / closed < 0.03, "mean {m} vs {closed}");
+    }
+
+    #[test]
+    fn zipf_ranks_in_support_and_skewed() {
+        let d = Zipf::new(10, 1.0);
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let r = d.sample_rank(&mut rng);
+            assert!((1..=10).contains(&r));
+            counts[r - 1] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[9], "{counts:?}");
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+}

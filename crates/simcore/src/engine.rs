@@ -1,0 +1,220 @@
+//! The simulation engine: clock + event queue + run bookkeeping.
+//!
+//! The engine intentionally does **not** own the simulated world. A typical
+//! driver loop looks like:
+//!
+//! ```
+//! use simcore::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut engine: Engine<Ev> = Engine::new();
+//! engine.schedule_in(SimDuration::from_secs(1), Ev::Tick(0));
+//! let mut ticks = 0;
+//! while let Some((now, ev)) = engine.pop() {
+//!     match ev {
+//!         Ev::Tick(n) if n < 3 => {
+//!             ticks += 1;
+//!             engine.schedule_in(SimDuration::from_secs(1), Ev::Tick(n + 1));
+//!         }
+//!         Ev::Tick(_) => { ticks += 1; }
+//!     }
+//!     assert_eq!(now, engine.now());
+//! }
+//! assert_eq!(ticks, 4);
+//! assert_eq!(engine.now(), SimTime::from_secs(4));
+//! ```
+//!
+//! Keeping the world outside the engine sidesteps every borrow conflict
+//! between "handle this event" and "schedule follow-up events", and lets
+//! each crate in the workspace define its own event enum.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Counters the engine maintains about a run; cheap enough to keep always.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered through [`Engine::pop`].
+    pub delivered: u64,
+    /// Events scheduled (including not-yet-delivered ones).
+    pub scheduled: u64,
+    /// Events dropped because they were scheduled past the horizon.
+    pub beyond_horizon: u64,
+}
+
+/// Discrete-event simulation engine.
+///
+/// Generic over the event type `E`; see the module docs for the driver
+/// pattern. The clock only moves forward, in the order fixed by the
+/// stable [`EventQueue`].
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    horizon: SimTime,
+    stats: EngineStats,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an unbounded horizon.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            horizon: SimTime::MAX,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Creates an engine that silently drops events scheduled at or after
+    /// `horizon`. Useful for fixed-length experiments: periodic timers
+    /// stop propagating themselves past the end instead of requiring an
+    /// explicit cancellation pass.
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        Engine { horizon, ..Engine::new() }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon ([`SimTime::MAX`] when unbounded).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// Events in the past are clamped to `now` (they will still run, after
+    /// the events already pending at `now`); events at or past the horizon
+    /// are dropped and counted in [`EngineStats::beyond_horizon`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        if at >= self.horizon {
+            self.stats.beyond_horizon += 1;
+            return;
+        }
+        self.stats.scheduled += 1;
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after the relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` to run at the current instant, after everything
+    /// already pending at this instant.
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Pops the earliest event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        self.stats.delivered += 1;
+        Some((t, e))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drops every pending event (the clock keeps its value).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), 2);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.pop(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        assert_eq!(e.pop(), Some((SimTime::from_secs(2), 2)));
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        assert_eq!(e.pop(), None);
+        // Popping from an empty queue leaves the clock alone.
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_secs(10), "a");
+        e.pop();
+        e.schedule_at(SimTime::from_secs(3), "late-scheduled");
+        let (t, ev) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(10));
+        assert_eq!(ev, "late-scheduled");
+    }
+
+    #[test]
+    fn horizon_drops_far_events() {
+        let mut e: Engine<u8> = Engine::with_horizon(SimTime::from_secs(100));
+        e.schedule_at(SimTime::from_secs(99), 1);
+        e.schedule_at(SimTime::from_secs(100), 2); // at horizon: dropped
+        e.schedule_at(SimTime::from_secs(101), 3);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.stats().beyond_horizon, 2);
+        assert_eq!(e.pop(), Some((SimTime::from_secs(99), 1)));
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn schedule_now_runs_after_pending_at_same_instant() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), "first");
+        e.schedule_at(SimTime::from_secs(1), "second");
+        let (_, ev) = e.pop().unwrap();
+        assert_eq!(ev, "first");
+        e.schedule_now("third");
+        assert_eq!(e.pop().unwrap().1, "second");
+        assert_eq!(e.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn stats_count_scheduled_and_delivered() {
+        let mut e: Engine<u8> = Engine::new();
+        for i in 0..10 {
+            e.schedule_in(SimDuration::from_millis(i as u64), i);
+        }
+        while e.pop().is_some() {}
+        assert_eq!(e.stats().scheduled, 10);
+        assert_eq!(e.stats().delivered, 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Generation counters: cheap invalidation of superseded events.
+//!
+//! A discrete-event simulation frequently schedules a *provisional* future
+//! event — "this job completes at time T" — that a later development
+//! invalidates ("the job grew, so it now completes earlier"). Rather than
+//! removing events from the heap (expensive, and `BinaryHeap` offers no
+//! handle), the standard trick is to stamp both the scheduled event and the
+//! owning entity with a generation counter, bump the entity's counter when
+//! the state changes, and discard popped events whose stamp is stale.
+
+use std::fmt;
+
+/// A monotonically increasing stamp owned by some simulated entity.
+///
+/// Copies of the current value travel inside scheduled events; when the
+/// entity's state changes in a way that invalidates its pending events,
+/// call [`Generation::bump`]. A popped event is valid only if its carried
+/// stamp [`matches`](Generation::matches) the entity's current one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Generation(u32);
+
+impl Generation {
+    /// The initial generation.
+    pub const fn new() -> Self {
+        Generation(0)
+    }
+
+    /// Invalidates every event carrying the current stamp.
+    pub fn bump(&mut self) {
+        self.0 = self.0.wrapping_add(1);
+    }
+
+    /// True when `stamp` (carried by a popped event) is still current.
+    pub fn matches(self, stamp: Generation) -> bool {
+        self == stamp
+    }
+}
+
+impl fmt::Debug for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gen#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_invalidates_old_stamps() {
+        let mut g = Generation::new();
+        let stamp = g;
+        assert!(g.matches(stamp));
+        g.bump();
+        assert!(!g.matches(stamp));
+        assert!(g.matches(g));
+    }
+
+    #[test]
+    fn wraps_without_panicking() {
+        let mut g = Generation(u32::MAX);
+        g.bump();
+        assert_eq!(g, Generation(0));
+    }
+}

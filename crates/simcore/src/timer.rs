@@ -1,0 +1,96 @@
+//! Fixed-period timers.
+//!
+//! The scheduler in the paper is driven by several periodic activities:
+//! the KOALA information service is polled, the placement queue is
+//! scanned, and our measurement layer samples utilization. [`Periodic`]
+//! encapsulates the "compute the next tick" arithmetic so that every user
+//! ticks on the same grid regardless of when handlers actually ran.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A fixed-period timer anchored at a start instant.
+///
+/// `next_after(now)` always returns the first grid point *strictly after*
+/// `now`, so a handler that runs late does not drift the grid and a
+/// handler that reschedules from inside the tick does not double-fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodic {
+    start: SimTime,
+    period: SimDuration,
+}
+
+impl Periodic {
+    /// Creates a timer ticking at `start`, `start + period`, `start + 2·period`, …
+    ///
+    /// # Panics
+    /// Panics if `period` is zero — a zero-period timer would livelock the
+    /// event loop.
+    pub fn new(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "Periodic requires a non-zero period");
+        Periodic { start, period }
+    }
+
+    /// The timer's period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The first tick at or after `now`.
+    pub fn next_at_or_after(&self, now: SimTime) -> SimTime {
+        if now <= self.start {
+            return self.start;
+        }
+        let elapsed = (now - self.start).as_millis();
+        let p = self.period.as_millis();
+        let k = elapsed.div_ceil(p);
+        self.start + SimDuration::from_millis(k * p)
+    }
+
+    /// The first tick strictly after `now`.
+    pub fn next_after(&self, now: SimTime) -> SimTime {
+        let t = self.next_at_or_after(now);
+        if t > now {
+            t
+        } else {
+            t + self.period
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(start_s: u64, period_s: u64) -> Periodic {
+        Periodic::new(SimTime::from_secs(start_s), SimDuration::from_secs(period_s))
+    }
+
+    #[test]
+    fn first_tick_is_the_anchor() {
+        let t = timer(5, 10);
+        assert_eq!(t.next_at_or_after(SimTime::ZERO), SimTime::from_secs(5));
+        assert_eq!(t.next_after(SimTime::ZERO), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn ticks_stay_on_grid() {
+        let t = timer(0, 10);
+        assert_eq!(t.next_after(SimTime::from_secs(0)), SimTime::from_secs(10));
+        assert_eq!(t.next_after(SimTime::from_secs(9)), SimTime::from_secs(10));
+        assert_eq!(t.next_after(SimTime::from_secs(10)), SimTime::from_secs(20));
+        assert_eq!(t.next_after(SimTime::from_millis(10_001)), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn at_or_after_includes_grid_points() {
+        let t = timer(0, 10);
+        assert_eq!(t.next_at_or_after(SimTime::from_secs(10)), SimTime::from_secs(10));
+        assert_eq!(t.next_at_or_after(SimTime::from_secs(11)), SimTime::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn zero_period_panics() {
+        Periodic::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,178 @@
+//! Lightweight event tracing.
+//!
+//! A simulation bug usually shows up as a *sequence* problem — an offer
+//! sent to a job that had already completed, a completion firing during
+//! a reconfiguration. [`Trace`] records timestamped, categorized entries
+//! with near-zero cost when disabled (the detail string is built lazily),
+//! bounded memory when enabled, and CSV export for timeline tools.
+//!
+//! The scheduler world records every job-lifecycle transition and
+//! malleability operation when tracing is enabled; see
+//! `koala::World::enable_trace`.
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Category label (e.g. `"place"`, `"grow"`, `"complete"`).
+    pub category: &'static str,
+    /// The subject entity (job id, cluster id, …).
+    pub subject: u64,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded trace recorder.
+///
+/// Disabled recorders ignore everything; enabled ones keep the most
+/// recent `capacity` entries (older entries are dropped from the front
+/// in batches, keeping amortized O(1) appends).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A recorder that ignores everything (the default).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A recorder keeping the most recent `capacity` entries.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace { enabled: true, capacity: capacity.max(1), events: Vec::new(), dropped: 0 }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry; `detail` is only evaluated when enabled.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        category: &'static str,
+        subject: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            // Drop the oldest half in one move to amortize.
+            let keep = self.capacity / 2;
+            let cut = self.events.len() - keep;
+            self.dropped += cut as u64;
+            self.events.drain(..cut);
+        }
+        self.events.push(TraceEvent { at, category, subject, detail: detail() });
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Entries of one category.
+    pub fn of_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Entries concerning one subject.
+    pub fn of_subject(&self, subject: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.subject == subject)
+    }
+
+    /// Entries dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// CSV rendering (`t_seconds,category,subject,detail`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_seconds,category,subject,detail\n");
+        for e in &self.events {
+            let detail = if e.detail.contains([',', '"', '\n']) {
+                format!("\"{}\"", e.detail.replace('"', "\"\""))
+            } else {
+                e.detail.clone()
+            };
+            let _ = writeln!(
+                out,
+                "{:.3},{},{},{}",
+                e.at.as_secs_f64(),
+                e.category,
+                e.subject,
+                detail
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_skips_detail() {
+        let mut tr = Trace::disabled();
+        let mut evaluated = false;
+        tr.record(t(1), "x", 0, || {
+            evaluated = true;
+            "detail".into()
+        });
+        assert!(tr.events().is_empty());
+        assert!(!evaluated, "detail closure must not run when disabled");
+    }
+
+    #[test]
+    fn enabled_records_in_order() {
+        let mut tr = Trace::enabled(16);
+        tr.record(t(1), "place", 7, || "J7 on C0".into());
+        tr.record(t(2), "grow", 7, || "+4".into());
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].category, "place");
+        assert_eq!(tr.of_subject(7).count(), 2);
+        assert_eq!(tr.of_category("grow").count(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let mut tr = Trace::enabled(8);
+        for i in 0..20u64 {
+            tr.record(t(i), "tick", i, || format!("{i}"));
+        }
+        assert!(tr.events().len() <= 8);
+        assert!(tr.dropped() > 0);
+        // The newest entry always survives.
+        assert_eq!(tr.events().last().unwrap().subject, 19);
+        // And order is preserved.
+        let subjects: Vec<u64> = tr.events().iter().map(|e| e.subject).collect();
+        let mut sorted = subjects.clone();
+        sorted.sort_unstable();
+        assert_eq!(subjects, sorted);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut tr = Trace::enabled(4);
+        tr.record(t(1), "msg", 1, || "a,b".into());
+        let csv = tr.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.starts_with("t_seconds,category"));
+    }
+}

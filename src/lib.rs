@@ -1,0 +1,18 @@
+//! # malleable-koala — workspace facade
+//!
+//! This crate re-exports the public APIs of the workspace so that the
+//! `examples/` and `tests/` directories (which span every crate) have a
+//! single import root. See the individual crates for the substance:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation engine.
+//! * [`multicluster`] — DAS-3-style multicluster substrate.
+//! * [`appsim`] — malleable application models (NPB-FT, GADGET-2).
+//! * [`koala`] — the KOALA scheduler with malleability support (the
+//!   paper's contribution).
+//! * [`koala_metrics`] — measurement and reporting toolkit.
+
+pub use appsim;
+pub use koala;
+pub use koala_metrics;
+pub use multicluster;
+pub use simcore;

@@ -1,0 +1,70 @@
+//! End-to-end determinism: the contract that given a seed, a whole
+//! experiment is bit-reproducible — including across threads.
+
+use malleable_koala::appsim::workload::WorkloadSpec;
+use malleable_koala::koala::config::ExperimentConfig;
+use malleable_koala::koala::malleability::MalleabilityPolicy;
+use malleable_koala::koala::{run_experiment, run_seeds, RunReport};
+
+fn cfg(seed: u64) -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime());
+    c.workload.jobs = 40;
+    c.seed = seed;
+    c
+}
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, usize, usize, Vec<u64>) {
+    (
+        r.makespan.as_millis(),
+        r.events,
+        r.grow_messages,
+        r.grow_ops.total(),
+        r.shrink_ops.total(),
+        r.jobs
+            .records()
+            .iter()
+            .map(|rec| rec.completed.map(|t| t.as_millis()).unwrap_or(0))
+            .collect(),
+    )
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run_experiment(&cfg(1234));
+    let b = run_experiment(&cfg(1234));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // Including the exact utilization trace.
+    assert_eq!(a.utilization.points(), b.utilization.points());
+}
+
+#[test]
+fn determinism_holds_across_threads() {
+    let sequential: Vec<_> = [5u64, 6, 7]
+        .iter()
+        .map(|&s| fingerprint(&run_experiment(&cfg(s))))
+        .collect();
+    let parallel = run_seeds(&cfg(0), &[5, 6, 7]);
+    let parallel_fp: Vec<_> = parallel.runs.iter().map(fingerprint).collect();
+    assert_eq!(sequential, parallel_fp, "thread scheduling must not affect results");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_experiment(&cfg(1));
+    let b = run_experiment(&cfg(2));
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different seeds should explore different trajectories"
+    );
+}
+
+#[test]
+fn policy_choice_changes_the_trajectory() {
+    let mut base = cfg(3);
+    let a = run_experiment(&base);
+    base.sched.malleability = MalleabilityPolicy::Fpsma;
+    base.name = "FPSMA/Wmr'".into();
+    let b = run_experiment(&base);
+    assert_ne!(a.grow_messages, b.grow_messages, "EGS and FPSMA must behave differently");
+}

@@ -1,0 +1,135 @@
+//! Reduced-scale versions of the paper's qualitative claims — the same
+//! orderings the `fig7`/`fig8` binaries verify at full scale (300 jobs ×
+//! 4 seeds), here at a scale suitable for CI.
+
+use malleable_koala::appsim::workload::WorkloadSpec;
+use malleable_koala::koala::config::ExperimentConfig;
+use malleable_koala::koala::malleability::MalleabilityPolicy;
+use malleable_koala::koala::report::MultiReport;
+use malleable_koala::koala::run_seeds;
+use malleable_koala::koala_metrics::JobRecord;
+
+const SEEDS: [u64; 2] = [101, 202];
+const JOBS: usize = 150;
+
+fn pra(policy: MalleabilityPolicy, workload: WorkloadSpec) -> MultiReport {
+    let mut cfg = ExperimentConfig::paper_pra(policy, workload);
+    cfg.workload.jobs = JOBS;
+    run_seeds(&cfg, &SEEDS)
+}
+
+fn pwa(policy: MalleabilityPolicy, workload: WorkloadSpec) -> MultiReport {
+    let mut cfg = ExperimentConfig::paper_pwa(policy, workload);
+    cfg.workload.jobs = JOBS;
+    run_seeds(&cfg, &SEEDS)
+}
+
+#[test]
+fn all_jobs_complete_in_every_cell() {
+    for m in [
+        pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
+        pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
+        pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime()),
+        pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime()),
+    ] {
+        assert!(
+            (m.completion_ratio() - 1.0).abs() < 1e-12,
+            "{} left jobs unfinished",
+            m.name
+        );
+    }
+}
+
+/// Fig. 7(a): "EGS tends to give more processors to the malleable jobs
+/// than FPSMA" — visible as fewer jobs stuck at their minimal size.
+#[test]
+fn egs_leaves_fewer_jobs_at_minimal_size_than_fpsma() {
+    let fpsma = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let egs = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let stuck = |m: &MultiReport| m.ecdf_of(JobRecord::average_size).fraction_at_or_below(3.0);
+    assert!(
+        stuck(&egs) < stuck(&fpsma),
+        "EGS stuck fraction {:.2} should be below FPSMA's {:.2}",
+        stuck(&egs),
+        stuck(&fpsma)
+    );
+}
+
+/// Fig. 7(c,d): "the Wm workload results in better performance than the
+/// Wmr workload, which means that malleability makes applications
+/// actually perform better."
+#[test]
+fn all_malleable_workload_beats_the_mixed_one() {
+    let wm = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let wmr = pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr());
+    let exec = |m: &MultiReport| m.ecdf_of(JobRecord::execution_time).mean().unwrap();
+    assert!(
+        exec(&wm) < exec(&wmr),
+        "Wm mean exec {:.0}s should beat Wmr's {:.0}s",
+        exec(&wm),
+        exec(&wmr)
+    );
+}
+
+/// Fig. 7(f): the malleability manager is more active with EGS than with
+/// FPSMA, and with Wm than with Wmr.
+#[test]
+fn grow_activity_orderings() {
+    let grows = |m: &MultiReport| m.merged_grow_ops().total();
+    let fpsma_wm = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let egs_wm = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let egs_wmr = pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr());
+    assert!(grows(&egs_wm) > grows(&fpsma_wm), "EGS should grow more often");
+    assert!(grows(&egs_wm) > grows(&egs_wmr), "Wm should grow more often than Wmr");
+}
+
+/// PRA never shrinks (its definition); PWA under the primed workloads
+/// does (Fig. 8f).
+#[test]
+fn shrinking_is_exclusive_to_pwa() {
+    let p = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    assert_eq!(
+        p.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>(),
+        0,
+        "PRA must never shrink"
+    );
+    let w = pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    assert!(
+        w.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() > 0,
+        "PWA under W'm should shrink"
+    );
+}
+
+/// Fig. 8(c): under PWA, GADGET-2 execution times sit near their
+/// minimum-size value (~600 s) — clearly above the PRA ones.
+#[test]
+fn pwa_gadget_runs_near_minimum_size() {
+    let p = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let w = pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime());
+    let gadget_exec = |m: &MultiReport| {
+        m.merged_jobs()
+            .filter_app("GADGET2")
+            .execution_time_ecdf()
+            .median()
+            .unwrap()
+    };
+    let pra_exec = gadget_exec(&p);
+    let pwa_exec = gadget_exec(&w);
+    assert!(
+        pwa_exec > pra_exec * 1.2,
+        "PWA GADGET-2 median {pwa_exec:.0}s should exceed PRA's {pra_exec:.0}s by well over 20%"
+    );
+    assert!(pwa_exec > 500.0, "PWA GADGET-2 median {pwa_exec:.0}s should be near T(2) = 600s");
+}
+
+/// Two application populations (Fig. 7c): FT completes in well under
+/// 200 s, GADGET-2 takes over 240 s, with a visible gap.
+#[test]
+fn two_application_groups_are_visible() {
+    let m = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let jobs = m.merged_jobs();
+    let ft = jobs.filter_app("FT").execution_time_ecdf();
+    let gadget = jobs.filter_app("GADGET2").execution_time_ecdf();
+    assert!(ft.quantile(0.9).unwrap() < 250.0, "FT p90 {:?}", ft.quantile(0.9));
+    assert!(gadget.quantile(0.1).unwrap() > 230.0, "GADGET p10 {:?}", gadget.quantile(0.1));
+}

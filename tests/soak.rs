@@ -1,0 +1,84 @@
+//! Soak tests: long runs through every code path with the World's
+//! internal invariant checks active (debug builds assert cluster
+//! consistency after every event).
+
+use malleable_koala::appsim::workload::WorkloadSpec;
+use malleable_koala::appsim::GrowInitiative;
+use malleable_koala::koala::config::ExperimentConfig;
+use malleable_koala::koala::malleability::MalleabilityPolicy;
+use malleable_koala::koala::run_experiment;
+use malleable_koala::simcore::SimTime;
+
+#[test]
+fn six_hundred_jobs_with_everything_enabled() {
+    // A deliberately busy configuration: mixed classes, initiatives,
+    // heterogeneous clusters, heavy-ish background, PWA shrinking.
+    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    cfg.workload.jobs = 600;
+    cfg.workload.malleable_fraction = 0.6;
+    cfg.workload.moldable_fraction = 0.2;
+    cfg.workload.initiative = Some(GrowInitiative { at_progress: 0.5, extra: 6 });
+    cfg.workload.initiative_fraction = 0.3;
+    cfg.heterogeneous = true;
+    cfg.seed = 2024;
+    let r = run_experiment(&cfg);
+    assert_eq!(r.jobs.len(), 600);
+    assert!(
+        (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
+        "everything must complete ({}%)",
+        100.0 * r.jobs.completion_ratio()
+    );
+    // Platform-wide sanity at every utilization transition.
+    for &(_, used) in r.utilization.points() {
+        assert!((0.0..=272.0).contains(&used), "used {used} outside [0, 272]");
+    }
+    // Final state: every KOALA processor is back (background jobs may
+    // still be running when the last KOALA job completes — the run ends
+    // there).
+    assert_eq!(r.koala_used.last_value(), Some(0.0));
+    // Accounting cross-checks: every committed grow/shrink was a decided
+    // op; a few decided ops never commit because the job completes while
+    // its stubs are still submitting (the abort path).
+    assert!(r.jobs.total_grows() <= r.grow_ops.total() as u64);
+    assert!(r.jobs.total_shrinks() <= r.shrink_ops.total() as u64);
+    let aborted = r.grow_ops.total() as u64 - r.jobs.total_grows();
+    assert!(
+        (aborted as f64) < 0.05 * r.grow_ops.total() as f64,
+        "aborted grows should be rare ({aborted} of {})",
+        r.grow_ops.total()
+    );
+    assert!(r.grow_ops.total() > 0 && r.shrink_ops.total() > 0);
+}
+
+#[test]
+fn per_job_times_are_internally_consistent() {
+    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr());
+    cfg.workload.jobs = 250;
+    cfg.seed = 777;
+    let r = run_experiment(&cfg);
+    for rec in r.jobs.records() {
+        let submit = rec.submitted;
+        let placed = rec.placed.expect("all placed");
+        let started = rec.started.expect("all started");
+        let completed = rec.completed.expect("all completed");
+        assert!(submit <= placed, "{}", rec.id);
+        assert!(placed <= started, "{}", rec.id);
+        assert!(started < completed, "{}", rec.id);
+        // response = wait + execution, exactly.
+        let resp = rec.response_time().unwrap();
+        let wait = rec.wait_time().unwrap();
+        let exec = rec.execution_time().unwrap();
+        assert!((resp - wait - exec).abs() < 1e-9, "{}", rec.id);
+        // The size history exists exactly over the execution.
+        assert!(rec.size_history.value_at(started, 0.0) >= 2.0);
+    }
+    // Makespan is the last completion.
+    let last = r
+        .jobs
+        .records()
+        .iter()
+        .filter_map(|rec| rec.completed)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    assert!(r.makespan >= last);
+}
