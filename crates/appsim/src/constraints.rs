@@ -163,7 +163,11 @@ mod tests {
 
     #[test]
     fn shrink_never_goes_below_min() {
-        for c in [SizeConstraint::Any, SizeConstraint::PowerOfTwo, SizeConstraint::MultipleOf(2)] {
+        for c in [
+            SizeConstraint::Any,
+            SizeConstraint::PowerOfTwo,
+            SizeConstraint::MultipleOf(2),
+        ] {
             for current in 2..=64u32 {
                 if !c.allows(current) {
                     continue;

@@ -159,7 +159,13 @@ impl Dynaco {
         assert!(min >= 1 && min <= max, "bad bounds [{min}, {max}]");
         assert!((min..=max).contains(&initial), "initial outside bounds");
         assert!(constraint.allows(initial), "initial violates constraint");
-        Dynaco { min, max, constraint, size: initial, phase: Phase::Steady }
+        Dynaco {
+            min,
+            max,
+            constraint,
+            size: initial,
+            phase: Phase::Steady,
+        }
     }
 
     /// Current (committed) processor count.
@@ -201,12 +207,19 @@ impl Dynaco {
                 if accepted == 0 {
                     Decision::Decline
                 } else {
-                    self.phase = Phase::Growing { target: self.size + accepted };
+                    self.phase = Phase::Growing {
+                        target: self.size + accepted,
+                    };
                     Decision::Grow { accepted }
                 }
             }
-            Observation::ShrinkRequest { requested, mandatory } => {
-                let released = self.constraint.accept_shrink(self.size, requested, self.min);
+            Observation::ShrinkRequest {
+                requested,
+                mandatory,
+            } => {
+                let released = self
+                    .constraint
+                    .accept_shrink(self.size, requested, self.min);
                 // A voluntary request may be declined outright; model:
                 // decline voluntary shrinks that would push below the
                 // current best-efficiency region (simplified to: decline
@@ -214,7 +227,9 @@ impl Dynaco {
                 if released == 0 || (!mandatory && released * 2 > self.size) {
                     return Decision::Decline;
                 }
-                self.phase = Phase::Shrinking { target: self.size - released };
+                self.phase = Phase::Shrinking {
+                    target: self.size - released,
+                };
                 Decision::Shrink { released }
             }
         }
@@ -224,18 +239,30 @@ impl Dynaco {
     /// Empty in `Steady`.
     pub fn plan(&self) -> Plan {
         match self.phase {
-            Phase::Steady => Plan { actions: Vec::new() },
+            Phase::Steady => Plan {
+                actions: Vec::new(),
+            },
             Phase::Growing { target } => Plan {
                 actions: vec![
-                    Action::RecruitProcessors { count: target - self.size },
-                    Action::SuspendAndRedistribute { from: self.size, to: target },
+                    Action::RecruitProcessors {
+                        count: target - self.size,
+                    },
+                    Action::SuspendAndRedistribute {
+                        from: self.size,
+                        to: target,
+                    },
                     Action::Resume,
                 ],
             },
             Phase::Shrinking { target } => Plan {
                 actions: vec![
-                    Action::SuspendAndRedistribute { from: self.size, to: target },
-                    Action::ReleaseProcessors { count: self.size - target },
+                    Action::SuspendAndRedistribute {
+                        from: self.size,
+                        to: target,
+                    },
+                    Action::ReleaseProcessors {
+                        count: self.size - target,
+                    },
                     Action::Resume,
                 ],
             },
@@ -296,15 +323,24 @@ mod tests {
     #[test]
     fn ft_declines_non_power_of_two_offers() {
         let mut d = ft(8);
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 5 }), Decision::Decline);
+        assert_eq!(
+            d.decide(Observation::GrowOffer { offered: 5 }),
+            Decision::Decline
+        );
         assert!(!d.is_adapting());
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 8 }), Decision::Grow { accepted: 8 });
+        assert_eq!(
+            d.decide(Observation::GrowOffer { offered: 8 }),
+            Decision::Grow { accepted: 8 }
+        );
     }
 
     #[test]
     fn mandatory_shrink_is_honoured() {
         let mut d = gadget(20);
-        let dec = d.decide(Observation::ShrinkRequest { requested: 15, mandatory: true });
+        let dec = d.decide(Observation::ShrinkRequest {
+            requested: 15,
+            mandatory: true,
+        });
         assert_eq!(dec, Decision::Shrink { released: 15 });
         let plan = d.plan();
         assert_eq!(
@@ -322,13 +358,19 @@ mod tests {
     #[test]
     fn mandatory_shrink_stops_at_min() {
         let mut d = gadget(4);
-        let dec = d.decide(Observation::ShrinkRequest { requested: 10, mandatory: true });
+        let dec = d.decide(Observation::ShrinkRequest {
+            requested: 10,
+            mandatory: true,
+        });
         assert_eq!(dec, Decision::Shrink { released: 2 });
         d.commit();
         assert_eq!(d.size(), 2);
         // At min: nothing to give.
         assert_eq!(
-            d.decide(Observation::ShrinkRequest { requested: 1, mandatory: true }),
+            d.decide(Observation::ShrinkRequest {
+                requested: 1,
+                mandatory: true
+            }),
             Decision::Decline
         );
     }
@@ -337,12 +379,18 @@ mod tests {
     fn voluntary_large_shrinks_are_declined() {
         let mut d = gadget(20);
         assert_eq!(
-            d.decide(Observation::ShrinkRequest { requested: 15, mandatory: false }),
+            d.decide(Observation::ShrinkRequest {
+                requested: 15,
+                mandatory: false
+            }),
             Decision::Decline
         );
         // Small voluntary shrinks are honoured.
         assert_eq!(
-            d.decide(Observation::ShrinkRequest { requested: 4, mandatory: false }),
+            d.decide(Observation::ShrinkRequest {
+                requested: 4,
+                mandatory: false
+            }),
             Decision::Shrink { released: 4 }
         );
     }
@@ -350,8 +398,15 @@ mod tests {
     #[test]
     fn ft_shrink_over_releases_to_power_of_two() {
         let mut d = ft(16);
-        let dec = d.decide(Observation::ShrinkRequest { requested: 3, mandatory: true });
-        assert_eq!(dec, Decision::Shrink { released: 8 }, "13 is not a power of two; drops to 8");
+        let dec = d.decide(Observation::ShrinkRequest {
+            requested: 3,
+            mandatory: true,
+        });
+        assert_eq!(
+            dec,
+            Decision::Shrink { released: 8 },
+            "13 is not a power of two; drops to 8"
+        );
         d.commit();
         assert_eq!(d.size(), 8);
     }
@@ -361,15 +416,24 @@ mod tests {
         let mut d = gadget(2);
         d.decide(Observation::GrowOffer { offered: 4 });
         assert!(d.is_adapting());
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 4 }), Decision::Decline);
         assert_eq!(
-            d.decide(Observation::ShrinkRequest { requested: 1, mandatory: true }),
+            d.decide(Observation::GrowOffer { offered: 4 }),
+            Decision::Decline
+        );
+        assert_eq!(
+            d.decide(Observation::ShrinkRequest {
+                requested: 1,
+                mandatory: true
+            }),
             Decision::Decline
         );
         d.commit();
         assert_eq!(d.size(), 6);
         // After commit, new adaptations are accepted again.
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 1 }), Decision::Grow { accepted: 1 });
+        assert_eq!(
+            d.decide(Observation::GrowOffer { offered: 1 }),
+            Decision::Grow { accepted: 1 }
+        );
     }
 
     #[test]
@@ -384,10 +448,16 @@ mod tests {
     #[test]
     fn grow_never_exceeds_max() {
         let mut d = gadget(44);
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 10 }), Decision::Grow { accepted: 2 });
+        assert_eq!(
+            d.decide(Observation::GrowOffer { offered: 10 }),
+            Decision::Grow { accepted: 2 }
+        );
         d.commit();
         assert_eq!(d.size(), 46);
-        assert_eq!(d.decide(Observation::GrowOffer { offered: 10 }), Decision::Decline);
+        assert_eq!(
+            d.decide(Observation::GrowOffer { offered: 10 }),
+            Decision::Decline
+        );
     }
 
     #[test]

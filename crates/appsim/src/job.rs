@@ -196,7 +196,11 @@ impl JobSpec {
         let max = kind.paper_max_size();
         JobSpec {
             kind,
-            class: JobClass::Malleable { min: 2, max, initial: 2 },
+            class: JobClass::Malleable {
+                min: 2,
+                max,
+                initial: 2,
+            },
             work_scale: 1.0,
             initiative: None,
             coalloc: None,
@@ -250,7 +254,10 @@ impl JobSpec {
         }
         if let Some(gi) = self.initiative {
             if !(0.0..1.0).contains(&gi.at_progress) || gi.at_progress <= 0.0 {
-                return Err(format!("initiative progress {} outside (0, 1)", gi.at_progress));
+                return Err(format!(
+                    "initiative progress {} outside (0, 1)",
+                    gi.at_progress
+                ));
             }
             if !self.class.is_malleable() {
                 return Err("grow initiative on a non-malleable job".into());
@@ -267,9 +274,23 @@ mod tests {
     #[test]
     fn paper_defaults_match_section_vi() {
         let ft = JobSpec::paper_malleable(AppKind::Ft);
-        assert_eq!(ft.class, JobClass::Malleable { min: 2, max: 32, initial: 2 });
+        assert_eq!(
+            ft.class,
+            JobClass::Malleable {
+                min: 2,
+                max: 32,
+                initial: 2
+            }
+        );
         let g = JobSpec::paper_malleable(AppKind::Gadget2);
-        assert_eq!(g.class, JobClass::Malleable { min: 2, max: 46, initial: 2 });
+        assert_eq!(
+            g.class,
+            JobClass::Malleable {
+                min: 2,
+                max: 46,
+                initial: 2
+            }
+        );
         ft.validate().unwrap();
         g.validate().unwrap();
     }
@@ -284,7 +305,11 @@ mod tests {
     #[test]
     fn validation_catches_bad_specs() {
         let mut s = JobSpec::paper_malleable(AppKind::Ft);
-        s.class = JobClass::Malleable { min: 2, max: 32, initial: 3 };
+        s.class = JobClass::Malleable {
+            min: 2,
+            max: 32,
+            initial: 3,
+        };
         assert!(s.validate().is_err(), "initial 3 is not a power of two");
         let mut s = JobSpec::rigid(AppKind::Ft, 6);
         assert!(s.validate().is_err(), "rigid 6 is not a power of two");
@@ -297,7 +322,11 @@ mod tests {
 
     #[test]
     fn class_bounds() {
-        let c = JobClass::Malleable { min: 2, max: 46, initial: 2 };
+        let c = JobClass::Malleable {
+            min: 2,
+            max: 46,
+            initial: 2,
+        };
         assert!(c.is_malleable());
         assert_eq!(c.min_size(), 2);
         assert_eq!(c.max_size(), 46);

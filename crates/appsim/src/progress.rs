@@ -36,7 +36,13 @@ impl Progress {
     pub fn start(start: SimTime, size: u32, work_scale: f64) -> Self {
         assert!(size >= 1, "cannot run on zero processors");
         assert!(work_scale > 0.0, "work scale must be positive");
-        Progress { done: 0.0, updated: start, size, paused: false, work_scale }
+        Progress {
+            done: 0.0,
+            updated: start,
+            size,
+            paused: false,
+            work_scale,
+        }
     }
 
     /// Fraction of work completed as of the last update.
@@ -161,7 +167,10 @@ mod tests {
         assert!(p.remaining_time(&m).is_none());
         let done_at_pause = p.done();
         p.resume(t(50), &m);
-        assert!((p.done() - done_at_pause).abs() < 1e-12, "no work while paused");
+        assert!(
+            (p.done() - done_at_pause).abs() < 1e-12,
+            "no work while paused"
+        );
         // The 40 s pause shifts completion by exactly 40 s.
         let rem = p.remaining_time(&m).unwrap().as_secs_f64();
         let expected_total = 50.0 + rem;

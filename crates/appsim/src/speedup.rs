@@ -220,8 +220,16 @@ mod tests {
     #[test]
     fn ft_calibration_matches_fig6() {
         let m = ft_model();
-        assert!((m.exec_time(2) - 120.0).abs() < 1e-9, "T(2) = {}", m.exec_time(2));
-        assert!((m.exec_time(16) - 60.0).abs() < 1e-9, "T(16) = {}", m.exec_time(16));
+        assert!(
+            (m.exec_time(2) - 120.0).abs() < 1e-9,
+            "T(2) = {}",
+            m.exec_time(2)
+        );
+        assert!(
+            (m.exec_time(16) - 60.0).abs() < 1e-9,
+            "T(16) = {}",
+            m.exec_time(16)
+        );
         // Best time is ~1 minute, attained at 16.
         assert_eq!(m.best_size(32), 16);
         // Past the optimum the curve rises but stays near the floor.
@@ -302,7 +310,11 @@ mod tests {
 
     #[test]
     fn downey_speedup_caps_at_average_parallelism() {
-        let m = DowneyModel { big_a: 16.0, sigma: 0.5, t1: 1000.0 };
+        let m = DowneyModel {
+            big_a: 16.0,
+            sigma: 0.5,
+            t1: 1000.0,
+        };
         assert!((m.downey_speedup(1) - 1.0).abs() < 1e-9);
         assert!(m.downey_speedup(64) <= 16.0 + 1e-9);
         assert!(m.exec_time(64) >= m.exec_time(1) / 16.0 - 1e-9);
@@ -314,7 +326,11 @@ mod tests {
 
     #[test]
     fn downey_high_variance_branch() {
-        let m = DowneyModel { big_a: 8.0, sigma: 2.0, t1: 100.0 };
+        let m = DowneyModel {
+            big_a: 8.0,
+            sigma: 2.0,
+            t1: 100.0,
+        };
         assert!((m.downey_speedup(1) - 1.0).abs() < 1e-6);
         assert!(m.downey_speedup(100) <= 8.0 + 1e-9);
     }

@@ -85,12 +85,18 @@ pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 18 {
-            return Err(SwfError::TooFewFields { line: lineno + 1, found: fields.len() });
+            return Err(SwfError::TooFewFields {
+                line: lineno + 1,
+                found: fields.len(),
+            });
         }
         let num = |i: usize| -> Result<f64, SwfError> {
             fields[i - 1]
                 .parse::<f64>()
-                .map_err(|_| SwfError::BadNumber { line: lineno + 1, field: i })
+                .map_err(|_| SwfError::BadNumber {
+                    line: lineno + 1,
+                    field: i,
+                })
         };
         out.push(SwfRecord {
             job_id: num(1)? as i64,
@@ -118,7 +124,11 @@ pub struct SwfImport {
 
 impl Default for SwfImport {
     fn default() -> Self {
-        SwfImport { kind: AppKind::Gadget2, as_malleable: true, min_size: 2 }
+        SwfImport {
+            kind: AppKind::Gadget2,
+            as_malleable: true,
+            min_size: 2,
+        }
     }
 }
 
@@ -150,7 +160,11 @@ impl SwfImport {
                 // The initial size must satisfy the application's
                 // constraint; fall back to the constraint floor.
                 let initial = self.kind.constraint().floor(alloc).unwrap_or(min);
-                JobClass::Malleable { min, max, initial: initial.clamp(min, max) }
+                JobClass::Malleable {
+                    min,
+                    max,
+                    initial: initial.clamp(min, max),
+                }
             } else {
                 JobClass::Rigid { size: alloc }
             };
@@ -187,7 +201,11 @@ pub fn export(jobs: &[SubmittedJob]) -> String {
         let (size, max) = match j.spec.class {
             JobClass::Rigid { size } => (size, size),
             JobClass::Moldable { min, max } => (min, max),
-            JobClass::Malleable { min: _, max, initial } => (initial, max),
+            JobClass::Malleable {
+                min: _,
+                max,
+                initial,
+            } => (initial, max),
         };
         let runtime = model.exec_time(size) * j.spec.work_scale;
         out.push_str(&format!(
@@ -254,7 +272,10 @@ mod tests {
     #[test]
     fn work_scale_reproduces_swf_runtime() {
         let recs = parse(SAMPLE).unwrap();
-        let imp = SwfImport { as_malleable: false, ..SwfImport::default() };
+        let imp = SwfImport {
+            as_malleable: false,
+            ..SwfImport::default()
+        };
         let jobs = imp.convert(&recs);
         let model = AppKind::Gadget2.model();
         // Record 1: 120 s on 2 procs.
@@ -302,8 +323,14 @@ mod tests {
         let recs = parse(SAMPLE).unwrap();
         for imp in [
             SwfImport::default(),
-            SwfImport { as_malleable: false, ..SwfImport::default() },
-            SwfImport { kind: AppKind::Ft, ..SwfImport::default() },
+            SwfImport {
+                as_malleable: false,
+                ..SwfImport::default()
+            },
+            SwfImport {
+                kind: AppKind::Ft,
+                ..SwfImport::default()
+            },
         ] {
             for j in imp.convert(&recs) {
                 j.spec.validate().unwrap();

@@ -90,18 +90,27 @@ impl WorkloadSpec {
     /// The paper's **Wmr**: 50% malleable, 50% rigid (size 2), 2-minute
     /// inter-arrival.
     pub fn wmr() -> Self {
-        WorkloadSpec { malleable_fraction: 0.5, ..Self::wm() }
+        WorkloadSpec {
+            malleable_fraction: 0.5,
+            ..Self::wm()
+        }
     }
 
     /// The paper's **W'm**: Wm with 30-second inter-arrival (PWA
     /// experiments).
     pub fn wm_prime() -> Self {
-        WorkloadSpec { arrival: Arrival::Fixed(SimDuration::from_secs(30)), ..Self::wm() }
+        WorkloadSpec {
+            arrival: Arrival::Fixed(SimDuration::from_secs(30)),
+            ..Self::wm()
+        }
     }
 
     /// The paper's **W'mr**: Wmr with 30-second inter-arrival.
     pub fn wmr_prime() -> Self {
-        WorkloadSpec { arrival: Arrival::Fixed(SimDuration::from_secs(30)), ..Self::wmr() }
+        WorkloadSpec {
+            arrival: Arrival::Fixed(SimDuration::from_secs(30)),
+            ..Self::wmr()
+        }
     }
 
     /// Generates the job stream. Every random draw comes from `rng`, so
@@ -173,13 +182,18 @@ mod tests {
     fn wmr_is_roughly_half_rigid_at_size_2() {
         let mut rng = SimRng::seed_from_u64(2);
         let jobs = WorkloadSpec::wmr().generate(&mut rng);
-        let rigid: Vec<_> = jobs.iter().filter(|j| !j.spec.class.is_malleable()).collect();
+        let rigid: Vec<_> = jobs
+            .iter()
+            .filter(|j| !j.spec.class.is_malleable())
+            .collect();
         assert!(
             (100..=200).contains(&rigid.len()),
             "rigid share {} should be near 150",
             rigid.len()
         );
-        assert!(rigid.iter().all(|j| j.spec.class == JobClass::Rigid { size: 2 }));
+        assert!(rigid
+            .iter()
+            .all(|j| j.spec.class == JobClass::Rigid { size: 2 }));
     }
 
     #[test]
@@ -198,21 +212,30 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(4);
         let jobs = WorkloadSpec::wm().generate(&mut rng);
         let ft = jobs.iter().filter(|j| j.spec.kind == AppKind::Ft).count();
-        assert!((100..=200).contains(&ft), "FT share {ft} should be near 150");
+        assert!(
+            (100..=200).contains(&ft),
+            "FT share {ft} should be near 150"
+        );
     }
 
     #[test]
     fn same_seed_same_workload() {
         let mut a = SimRng::seed_from_u64(42);
         let mut b = SimRng::seed_from_u64(42);
-        assert_eq!(WorkloadSpec::wmr().generate(&mut a), WorkloadSpec::wmr().generate(&mut b));
+        assert_eq!(
+            WorkloadSpec::wmr().generate(&mut a),
+            WorkloadSpec::wmr().generate(&mut b)
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        assert_ne!(WorkloadSpec::wmr().generate(&mut a), WorkloadSpec::wmr().generate(&mut b));
+        assert_ne!(
+            WorkloadSpec::wmr().generate(&mut a),
+            WorkloadSpec::wmr().generate(&mut b)
+        );
     }
 
     #[test]
@@ -223,7 +246,10 @@ mod tests {
             ..WorkloadSpec::wm()
         };
         let jobs = spec.generate(&mut rng);
-        let gaps: Vec<u64> = jobs.windows(2).map(|w| (w[1].at - w[0].at).as_millis()).collect();
+        let gaps: Vec<u64> = jobs
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_millis())
+            .collect();
         let distinct: std::collections::BTreeSet<_> = gaps.iter().collect();
         assert!(distinct.len() > 50, "Poisson gaps should vary");
         let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64 / 1000.0;
@@ -266,20 +292,29 @@ mod tests {
             .filter(|j| matches!(j.spec.class, JobClass::Rigid { .. }))
             .count();
         assert_eq!(malleable + moldable + rigid, 300);
-        assert!(malleable > 60 && moldable > 60 && rigid > 60, "{malleable}/{moldable}/{rigid}");
+        assert!(
+            malleable > 60 && moldable > 60 && rigid > 60,
+            "{malleable}/{moldable}/{rigid}"
+        );
     }
 
     #[test]
     fn initiative_attaches_to_the_requested_share() {
         let mut rng = SimRng::seed_from_u64(8);
         let spec = WorkloadSpec {
-            initiative: Some(GrowInitiative { at_progress: 0.5, extra: 8 }),
+            initiative: Some(GrowInitiative {
+                at_progress: 0.5,
+                extra: 8,
+            }),
             initiative_fraction: 0.5,
             ..WorkloadSpec::wm()
         };
         let jobs = spec.generate(&mut rng);
         let with: usize = jobs.iter().filter(|j| j.spec.initiative.is_some()).count();
-        assert!((90..=210).contains(&with), "about half should carry it, got {with}");
+        assert!(
+            (90..=210).contains(&with),
+            "about half should carry it, got {with}"
+        );
         for j in &jobs {
             j.spec.validate().unwrap();
         }
@@ -288,7 +323,12 @@ mod tests {
     #[test]
     fn all_generated_specs_validate() {
         let mut rng = SimRng::seed_from_u64(6);
-        for w in [WorkloadSpec::wm(), WorkloadSpec::wmr(), WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()] {
+        for w in [
+            WorkloadSpec::wm(),
+            WorkloadSpec::wmr(),
+            WorkloadSpec::wm_prime(),
+            WorkloadSpec::wmr_prime(),
+        ] {
             for j in w.generate(&mut rng) {
                 j.spec.validate().unwrap();
             }

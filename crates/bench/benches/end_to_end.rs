@@ -13,9 +13,21 @@ fn end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     for (label, policy, workload) in [
-        ("PRA_FPSMA_Wm_60jobs", MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
-        ("PRA_EGS_Wm_60jobs", MalleabilityPolicy::Egs, WorkloadSpec::wm()),
-        ("PRA_EGS_Wmr_60jobs", MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
+        (
+            "PRA_FPSMA_Wm_60jobs",
+            MalleabilityPolicy::Fpsma,
+            WorkloadSpec::wm(),
+        ),
+        (
+            "PRA_EGS_Wm_60jobs",
+            MalleabilityPolicy::Egs,
+            WorkloadSpec::wm(),
+        ),
+        (
+            "PRA_EGS_Wmr_60jobs",
+            MalleabilityPolicy::Egs,
+            WorkloadSpec::wmr(),
+        ),
     ] {
         let mut cfg = ExperimentConfig::paper_pra(policy, workload);
         cfg.workload.jobs = 60;

@@ -12,8 +12,9 @@ fn queue_push_pop(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_function(format!("push_pop_random_{n}"), |b| {
             let mut rng = SimRng::seed_from_u64(1);
-            let times: Vec<SimTime> =
-                (0..n).map(|_| SimTime::from_millis(rng.u64_below(1_000_000))).collect();
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_millis(rng.u64_below(1_000_000)))
+                .collect();
             b.iter_batched(
                 || times.clone(),
                 |times| {

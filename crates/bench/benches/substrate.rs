@@ -89,5 +89,11 @@ fn trace_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, cluster_churn, kis_polling, swf_roundtrip, trace_overhead);
+criterion_group!(
+    benches,
+    cluster_churn,
+    kis_polling,
+    swf_roundtrip,
+    trace_overhead
+);
 criterion_main!(benches);

@@ -31,14 +31,20 @@ fn schedule_storm(engine: &mut Engine<Ev>) {
         let c = (k % 5) as u16;
         let lost = (sizes[c as usize] as f64 * 0.6) as u32;
         let t0 = 1000 + k * 2000;
-        engine.schedule_at(SimTime::from_secs(t0), Ev::NodeWithdraw {
-            cluster: ClusterId(c),
-            count: lost,
-        });
-        engine.schedule_at(SimTime::from_secs(t0 + 1000), Ev::NodeRestore {
-            cluster: ClusterId(c),
-            count: lost,
-        });
+        engine.schedule_at(
+            SimTime::from_secs(t0),
+            Ev::NodeWithdraw {
+                cluster: ClusterId(c),
+                count: lost,
+            },
+        );
+        engine.schedule_at(
+            SimTime::from_secs(t0 + 1000),
+            Ev::NodeRestore {
+                cluster: ClusterId(c),
+                count: lost,
+            },
+        );
     }
 }
 
@@ -74,10 +80,13 @@ fn main() {
             "{:<12} {:>8.1} {:>11.0} {:>11.0} {:>11.0} {:>10.0}",
             label,
             100.0 * m.completion_ratio(),
-            jobs.ecdf_of(JobRecord::execution_time).mean().unwrap_or(f64::NAN),
-            jobs.ecdf_of(JobRecord::response_time).mean().unwrap_or(f64::NAN),
-            m.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64
-                / m.runs.len() as f64,
+            jobs.ecdf_of(JobRecord::execution_time)
+                .mean()
+                .unwrap_or(f64::NAN),
+            jobs.ecdf_of(JobRecord::response_time)
+                .mean()
+                .unwrap_or(f64::NAN),
+            m.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
             m.runs.iter().map(|r| r.grow_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
         );
     }

@@ -23,7 +23,11 @@ fn main() {
         // Print the sizes the applications can actually use.
         let is_pow2 = n.is_power_of_two();
         if is_pow2 || n % 4 == 0 || n == 46 || n <= 4 {
-            let ft_col = if is_pow2 { format!("{t_ft:>12.1}") } else { format!("{:>12}", "-") };
+            let ft_col = if is_pow2 {
+                format!("{t_ft:>12.1}")
+            } else {
+                format!("{:>12}", "-")
+            };
             println!("{n:>9} {ft_col} {t_g2:>16.1}");
         }
     }

@@ -18,8 +18,8 @@ use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
 use koala::malleability::MalleabilityPolicy;
 use koala_bench::{
-    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points,
-    write_ecdf_csv, write_timeseries_csv,
+    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points, write_ecdf_csv,
+    write_timeseries_csv,
 };
 use koala_metrics::plot;
 
@@ -40,10 +40,17 @@ fn main() {
     let dir = out_dir();
     // Panels (a)-(d): pooled ECDFs.
     for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(panel_metrics()) {
-        let ecdfs: Vec<_> = reports.iter().map(|m| (m.name.as_str(), m.ecdf_of(f))).collect();
+        let ecdfs: Vec<_> = reports
+            .iter()
+            .map(|m| (m.name.as_str(), m.ecdf_of(f)))
+            .collect();
         let series: Vec<(&str, &koala_metrics::Ecdf)> =
             ecdfs.iter().map(|(n, e)| (*n, e)).collect();
-        write_ecdf_csv(&dir.join(format!("fig7{panel}_{metric}.csv")), metric, &series);
+        write_ecdf_csv(
+            &dir.join(format!("fig7{panel}_{metric}.csv")),
+            metric,
+            &series,
+        );
         println!("\nFig. 7({panel}) — cumulative distribution of {metric}");
         print!("{}", plot::ecdf_chart(&series, 64, 12));
     }
@@ -90,19 +97,29 @@ fn main() {
     };
     println!(
         "  Wm beats Wmr on execution time (FPSMA): {:.1}s vs {:.1}s  [paper: Wm < Wmr] {}",
-        exec_mean(0), exec_mean(1), verdict(exec_mean(0) < exec_mean(1)),
+        exec_mean(0),
+        exec_mean(1),
+        verdict(exec_mean(0) < exec_mean(1)),
     );
     let grows = |i: usize| {
-        reports[i].runs.iter().map(|r| r.grow_ops.total()).sum::<usize>() as f64
+        reports[i]
+            .runs
+            .iter()
+            .map(|r| r.grow_ops.total())
+            .sum::<usize>() as f64
             / reports[i].runs.len() as f64
     };
     println!(
         "  grow activity EGS/Wm > FPSMA/Wm: {:.0} vs {:.0}  [paper: EGS > FPSMA] {}",
-        grows(2), grows(0), verdict(grows(2) > grows(0)),
+        grows(2),
+        grows(0),
+        verdict(grows(2) > grows(0)),
     );
     println!(
         "  grow activity Wm > Wmr (EGS): {:.0} vs {:.0}  [paper: Wm > Wmr] {}",
-        grows(2), grows(3), verdict(grows(2) > grows(3)),
+        grows(2),
+        grows(3),
+        verdict(grows(2) > grows(3)),
     );
     println!("\nCSV panels written under {}", dir.display());
 }

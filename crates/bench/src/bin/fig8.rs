@@ -14,8 +14,8 @@ use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
 use koala::malleability::MalleabilityPolicy;
 use koala_bench::{
-    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points,
-    write_ecdf_csv, write_timeseries_csv,
+    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points, write_ecdf_csv,
+    write_timeseries_csv,
 };
 use koala_metrics::plot;
 
@@ -35,10 +35,17 @@ fn main() {
 
     let dir = out_dir();
     for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(panel_metrics()) {
-        let ecdfs: Vec<_> = reports.iter().map(|m| (m.name.as_str(), m.ecdf_of(f))).collect();
+        let ecdfs: Vec<_> = reports
+            .iter()
+            .map(|m| (m.name.as_str(), m.ecdf_of(f)))
+            .collect();
         let series: Vec<(&str, &koala_metrics::Ecdf)> =
             ecdfs.iter().map(|(n, e)| (*n, e)).collect();
-        write_ecdf_csv(&dir.join(format!("fig8{panel}_{metric}.csv")), metric, &series);
+        write_ecdf_csv(
+            &dir.join(format!("fig8{panel}_{metric}.csv")),
+            metric,
+            &series,
+        );
         println!("\nFig. 8({panel}) — cumulative distribution of {metric}");
         print!("{}", plot::ecdf_chart(&series, 64, 12));
     }
@@ -91,7 +98,11 @@ fn main() {
         verdict(resp_mean(2) >= resp_mean(0) && resp_mean(2) >= resp_mean(1) && resp_mean(2) >= resp_mean(3)),
     );
     let shrinks = |i: usize| {
-        reports[i].runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64
+        reports[i]
+            .runs
+            .iter()
+            .map(|r| r.shrink_ops.total())
+            .sum::<usize>() as f64
             / reports[i].runs.len() as f64
     };
     println!(

@@ -46,12 +46,18 @@ fn sweep_reconfig() {
         ("free", ReconfigCost::Free),
         (
             "fixed 2s/1s",
-            ReconfigCost::Fixed { grow: SimDuration::from_secs(2), shrink: SimDuration::from_secs(1) },
+            ReconfigCost::Fixed {
+                grow: SimDuration::from_secs(2),
+                shrink: SimDuration::from_secs(1),
+            },
         ),
         ("fixed 10s/5s (default)", ReconfigCost::default()),
         (
             "fixed 30s/15s",
-            ReconfigCost::Fixed { grow: SimDuration::from_secs(30), shrink: SimDuration::from_secs(15) },
+            ReconfigCost::Fixed {
+                grow: SimDuration::from_secs(30),
+                shrink: SimDuration::from_secs(15),
+            },
         ),
         (
             "data 1s + 0.5s/proc",
@@ -118,7 +124,10 @@ fn sweep_policies() {
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    println!("ablation sweeps ({SWEEP_JOBS} jobs x {} seeds per point)", SWEEP_SEEDS.len());
+    println!(
+        "ablation sweeps ({SWEEP_JOBS} jobs x {} seeds per point)",
+        SWEEP_SEEDS.len()
+    );
     match arg.as_str() {
         "reconfig" => sweep_reconfig(),
         "polling" => sweep_polling(),

@@ -19,8 +19,16 @@ use koala_bench::{run_cell, SEEDS};
 use koala_metrics::JobRecord;
 
 fn class_workload(malleable: f64, moldable: f64, prime: bool) -> WorkloadSpec {
-    let base = if prime { WorkloadSpec::wm_prime() } else { WorkloadSpec::wm() };
-    WorkloadSpec { malleable_fraction: malleable, moldable_fraction: moldable, ..base }
+    let base = if prime {
+        WorkloadSpec::wm_prime()
+    } else {
+        WorkloadSpec::wm()
+    };
+    WorkloadSpec {
+        malleable_fraction: malleable,
+        moldable_fraction: moldable,
+        ..base
+    }
 }
 
 fn main() {
@@ -29,15 +37,21 @@ fn main() {
         SEEDS.len()
     );
     for (approach, prime) in [(Approach::Pra, false), (Approach::Pwa, true)] {
-        let label = if prime { "PWA / 30 s arrivals" } else { "PRA / 2 min arrivals" };
+        let label = if prime {
+            "PWA / 30 s arrivals"
+        } else {
+            "PRA / 2 min arrivals"
+        };
         println!("== {label} ==");
         println!(
             "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11}",
             "class", "avg size", "exec (s)", "resp (s)", "slowdown", "grows/run"
         );
-        for (class, malleable, moldable) in
-            [("rigid", 0.0, 0.0), ("moldable", 0.0, 1.0), ("malleable", 1.0, 0.0)]
-        {
+        for (class, malleable, moldable) in [
+            ("rigid", 0.0, 0.0),
+            ("moldable", 0.0, 1.0),
+            ("malleable", 1.0, 0.0),
+        ] {
             let mut cfg = ExperimentConfig {
                 name: class.to_string(),
                 ..ExperimentConfig::paper_pra(
@@ -54,14 +68,24 @@ fn main() {
             cfg.sched.koala_share = 0.45;
             let m = run_cell(&cfg);
             let jobs = m.merged_jobs();
-            let grows: f64 = m.runs.iter().map(|r| r.grow_ops.total() as f64).sum::<f64>()
+            let grows: f64 = m
+                .runs
+                .iter()
+                .map(|r| r.grow_ops.total() as f64)
+                .sum::<f64>()
                 / m.runs.len() as f64;
             println!(
                 "{:<10} {:>11.1} {:>11.0} {:>11.0} {:>11.2} {:>11.0}",
                 class,
-                jobs.ecdf_of(JobRecord::average_size).mean().unwrap_or(f64::NAN),
-                jobs.ecdf_of(JobRecord::execution_time).mean().unwrap_or(f64::NAN),
-                jobs.ecdf_of(JobRecord::response_time).mean().unwrap_or(f64::NAN),
+                jobs.ecdf_of(JobRecord::average_size)
+                    .mean()
+                    .unwrap_or(f64::NAN),
+                jobs.ecdf_of(JobRecord::execution_time)
+                    .mean()
+                    .unwrap_or(f64::NAN),
+                jobs.ecdf_of(JobRecord::response_time)
+                    .mean()
+                    .unwrap_or(f64::NAN),
                 jobs.slowdown_ecdf().mean().unwrap_or(f64::NAN),
                 grows,
             );

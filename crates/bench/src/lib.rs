@@ -46,8 +46,14 @@ pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) 
     }
     let mut csv = Csv::with_header(&header);
     // A common grid spanning all series.
-    let lo = series.iter().filter_map(|(_, e)| e.min()).fold(f64::INFINITY, f64::min);
-    let hi = series.iter().filter_map(|(_, e)| e.max()).fold(f64::NEG_INFINITY, f64::max);
+    let lo = series
+        .iter()
+        .filter_map(|(_, e)| e.min())
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .filter_map(|(_, e)| e.max())
+        .fold(f64::NEG_INFINITY, f64::max);
     if !lo.is_finite() || !hi.is_finite() {
         return;
     }
@@ -71,8 +77,10 @@ pub fn write_timeseries_csv(path: &Path, series: &[(&str, Vec<(f64, f64)>)]) {
     }
     let mut csv = Csv::with_header(&header);
     // Union of sampling instants, resampled stepwise.
-    let mut ts: Vec<f64> =
-        series.iter().flat_map(|(_, pts)| pts.iter().map(|&(t, _)| t)).collect();
+    let mut ts: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(t, _)| t))
+        .collect();
     ts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     ts.dedup();
     for &t in &ts {
@@ -122,7 +130,11 @@ pub fn utilization_points(report: &MultiReport, step_s: u64) -> Vec<(f64, f64)> 
 /// Cumulative-operations curve (merged across seeds, divided by the seed
 /// count: a per-run average).
 pub fn ops_points(report: &MultiReport, grow_only: bool, step_s: u64) -> Vec<(f64, f64)> {
-    let counter = if grow_only { report.merged_grow_ops() } else { report.merged_all_ops() };
+    let counter = if grow_only {
+        report.merged_grow_ops()
+    } else {
+        report.merged_all_ops()
+    };
     let horizon = report.max_makespan();
     let step = SimDuration::from_secs(step_s.max(1));
     let runs = report.runs.len() as f64;
@@ -138,10 +150,13 @@ pub fn ops_points(report: &MultiReport, grow_only: bool, step_s: u64) -> Vec<(f6
     out
 }
 
+/// A per-job metric extractor, as plotted in the figure panels.
+pub type PanelMetric = fn(&JobRecord) -> Option<f64>;
+
 /// The four per-job metrics of Figs. 7/8(a–d).
-pub fn panel_metrics() -> [(&'static str, fn(&JobRecord) -> Option<f64>); 4] {
+pub fn panel_metrics() -> [(&'static str, PanelMetric); 4] {
     [
-        ("avg_processors", JobRecord::average_size as fn(&JobRecord) -> Option<f64>),
+        ("avg_processors", JobRecord::average_size as PanelMetric),
         ("max_processors", JobRecord::max_size),
         ("execution_time_s", JobRecord::execution_time),
         ("response_time_s", JobRecord::response_time),
@@ -192,6 +207,9 @@ mod tests {
         let m = run_seeds(&cfg, &[1]);
         let pts = utilization_points(&m, 60);
         assert!(pts.len() > 2);
-        assert!(pts.iter().any(|&(_, v)| v > 0.0), "some utilization observed");
+        assert!(
+            pts.iter().any(|&(_, v)| v > 0.0),
+            "some utilization observed"
+        );
     }
 }

@@ -1,0 +1,124 @@
+//! Smoke tests for the paper-figure pipeline: each figure binary's
+//! underlying `koala_bench::` entry points are exercised on a tiny 10-job
+//! configuration, so CI runs the actual experiment code paths (config →
+//! multi-seed run → pooled metrics → CSV) and not just their compilation.
+//! The full 300-job × 4-seed reproductions stay in the `fig7`/`fig8`/
+//! `sweeps` binaries.
+
+use appsim::speedup::{ft_model, gadget2_model, SpeedupModel};
+use appsim::workload::WorkloadSpec;
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala::run_seeds;
+use koala_bench::{
+    cell_summary, ops_points, panel_metrics, utilization_points, write_ecdf_csv,
+    write_timeseries_csv,
+};
+use koala_metrics::Ecdf;
+use multicluster::das3;
+
+/// Two seeds (instead of the paper's four) on 10 jobs: seconds, not minutes.
+const SMOKE_SEEDS: [u64; 2] = [7, 11];
+
+fn tiny(mut cfg: ExperimentConfig) -> ExperimentConfig {
+    cfg.workload.jobs = 10;
+    cfg
+}
+
+fn smoke_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("koala_figure_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create smoke output dir");
+    dir
+}
+
+/// Fig. 6's entry points: the calibrated analytic speedup models.
+#[test]
+fn fig6_speedup_models_are_calibrated() {
+    let ft = ft_model();
+    let g2 = gadget2_model();
+    for n in 1..=46u32 {
+        assert!(
+            ft.exec_time(n).is_finite() && ft.exec_time(n) > 0.0,
+            "FT T({n}) finite"
+        );
+        assert!(
+            g2.exec_time(n).is_finite() && g2.exec_time(n) > 0.0,
+            "G2 T({n}) finite"
+        );
+    }
+    // More machines beat two machines at each model's best size, and the
+    // paper's maximum sizes lie beyond the best-time sizes (Fig. 6's point).
+    let ft_best = ft.best_size(32);
+    let g2_best = g2.best_size(46);
+    assert!(ft.exec_time(ft_best) < ft.exec_time(2));
+    assert!(g2.exec_time(g2_best) < g2.exec_time(2));
+    assert!(ft.exec_time(32) > ft.exec_time(ft_best));
+    assert!(g2.exec_time(46) > g2.exec_time(g2_best));
+}
+
+/// Fig. 7's pipeline: a PRA cell through run → pooled ECDF panels → CSV.
+#[test]
+fn fig7_pra_cell_runs_end_to_end() {
+    let cfg = tiny(ExperimentConfig::paper_pra(
+        MalleabilityPolicy::Egs,
+        WorkloadSpec::wm(),
+    ));
+    let m = run_seeds(&cfg, &SMOKE_SEEDS);
+    assert_eq!(m.runs.len(), SMOKE_SEEDS.len());
+    assert_eq!(m.completion_ratio(), 1.0, "10 jobs all complete");
+    assert!(cell_summary(&m).contains(&m.name));
+
+    // Panels (a)-(d): every per-job metric yields a populated pooled ECDF.
+    let dir = smoke_dir();
+    for (metric, f) in panel_metrics() {
+        let ecdf = m.ecdf_of(f);
+        assert!(!ecdf.is_empty(), "{metric} ECDF populated");
+        let path = dir.join(format!("fig7_smoke_{metric}.csv"));
+        let series: Vec<(&str, &Ecdf)> = vec![(m.name.as_str(), &ecdf)];
+        write_ecdf_csv(&path, metric, &series);
+        let text = std::fs::read_to_string(&path).expect("CSV written");
+        assert!(text.lines().count() > 2, "{metric} CSV has header and rows");
+        assert!(text.lines().next().unwrap().contains(metric));
+    }
+
+    // Panels (e)/(f): time series cover the horizon and reach the CSV writer.
+    let util = utilization_points(&m, 60);
+    let grows = ops_points(&m, true, 60);
+    assert!(util.len() > 1 && grows.len() > 1);
+    assert!(
+        util.iter().any(|&(_, v)| v > 0.0),
+        "some utilization observed"
+    );
+    let path = dir.join("fig7_smoke_timeseries.csv");
+    write_timeseries_csv(&path, &[("util", util), ("grows", grows)]);
+    assert!(std::fs::read_to_string(&path).unwrap().lines().count() > 2);
+}
+
+/// Fig. 8's pipeline: a PWA cell (growing *and* shrinking) actually shrinks.
+#[test]
+fn fig8_pwa_cell_runs_end_to_end() {
+    let cfg = tiny(ExperimentConfig::paper_pwa(
+        MalleabilityPolicy::Fpsma,
+        WorkloadSpec::wm_prime(),
+    ));
+    let m = run_seeds(&cfg, &SMOKE_SEEDS);
+    assert_eq!(m.runs.len(), SMOKE_SEEDS.len());
+    assert_eq!(m.completion_ratio(), 1.0, "10 jobs all complete");
+    let grows: usize = m.runs.iter().map(|r| r.grow_ops.total()).sum();
+    assert!(grows > 0, "PWA cells grow malleable jobs");
+    let all = ops_points(&m, false, 60);
+    let grow_only = ops_points(&m, true, 60);
+    assert!(all.last().unwrap().1 >= grow_only.last().unwrap().1);
+}
+
+/// Table I's entry point: the DAS-3 topology constant.
+#[test]
+fn table1_das3_topology_matches_paper() {
+    let das = das3();
+    assert_eq!(das.ids().count(), 5, "five DAS-3 clusters");
+    assert_eq!(das.total_capacity(), 272, "272 nodes in total");
+    for c in das.ids() {
+        let spec = das.cluster(c).spec();
+        assert!(!spec.name.is_empty() && spec.nodes > 0);
+    }
+}

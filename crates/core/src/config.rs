@@ -244,7 +244,9 @@ impl ExperimentConfig {
         }
         if let Some(trace) = &self.trace {
             for (i, j) in trace.iter().enumerate() {
-                j.spec.validate().map_err(|e| format!("trace job {i}: {e}"))?;
+                j.spec
+                    .validate()
+                    .map_err(|e| format!("trace job {i}: {e}"))?;
             }
         }
         Ok(())
@@ -266,7 +268,11 @@ impl ExperimentConfig {
 /// composition (used in report names).
 pub fn workload_label(w: &WorkloadSpec) -> String {
     let prime = w.nominal_span() <= SimDuration::from_secs(30 * 299);
-    let mix = if w.malleable_fraction >= 1.0 { "Wm" } else { "Wmr" };
+    let mix = if w.malleable_fraction >= 1.0 {
+        "Wm"
+    } else {
+        "Wmr"
+    };
     if prime {
         format!("{}'", mix)
     } else {

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// Identifier of a KOALA-managed job: its index in the submission order.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct JobId(pub u32);
 
 impl JobId {

@@ -105,8 +105,7 @@ impl Job {
     /// requests right now: it is a malleable job, executing, with no
     /// operation already in flight.
     pub fn eligible_for_malleability(&self) -> bool {
-        self.phase == JobPhase::Running
-            && self.runner.as_ref().is_some_and(|r| !r.busy())
+        self.phase == JobPhase::Running && self.runner.as_ref().is_some_and(|r| !r.busy())
     }
 
     /// True when the job has reached a terminal phase.
@@ -156,7 +155,11 @@ mod tests {
         let mut j = job(false);
         j.phase = JobPhase::Running;
         assert!(!j.eligible_for_malleability());
-        assert_eq!(j.current_size(), 2, "rigid running job reports its fixed size");
+        assert_eq!(
+            j.current_size(),
+            2,
+            "rigid running job reports its fixed size"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub struct PolicyOutcome<Op> {
 
 impl<Op> Default for PolicyOutcome<Op> {
     fn default() -> Self {
-        PolicyOutcome { ops: Vec::new(), messages: 0 }
+        PolicyOutcome {
+            ops: Vec::new(),
+            messages: 0,
+        }
     }
 }
 
@@ -152,7 +155,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let accepted = accept(v.job, remaining).min(remaining);
                     if accepted > 0 {
-                        out.ops.push(GrowOp { job: v.job, offered: remaining, accepted });
+                        out.ops.push(GrowOp {
+                            job: v.job,
+                            offered: remaining,
+                            accepted,
+                        });
                         remaining -= accepted;
                     }
                     if remaining == 0 {
@@ -177,7 +184,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let accepted = accept(v.job, offered).min(offered);
                     if accepted > 0 {
-                        out.ops.push(GrowOp { job: v.job, offered, accepted });
+                        out.ops.push(GrowOp {
+                            job: v.job,
+                            offered,
+                            accepted,
+                        });
                     }
                 }
             }
@@ -200,7 +211,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let accepted = accept(v.job, offered).min(offered);
                     if accepted > 0 {
-                        out.ops.push(GrowOp { job: v.job, offered, accepted });
+                        out.ops.push(GrowOp {
+                            job: v.job,
+                            offered,
+                            accepted,
+                        });
                         remaining -= accepted;
                     }
                 }
@@ -223,7 +238,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let accepted = accept(v.job, offered).min(offered);
                     if accepted > 0 {
-                        out.ops.push(GrowOp { job: v.job, offered, accepted });
+                        out.ops.push(GrowOp {
+                            job: v.job,
+                            offered,
+                            accepted,
+                        });
                         remaining -= accepted;
                     }
                 }
@@ -259,7 +278,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let released = accept(v.job, remaining);
                     if released > 0 {
-                        out.ops.push(ShrinkOp { job: v.job, requested: remaining, released });
+                        out.ops.push(ShrinkOp {
+                            job: v.job,
+                            requested: remaining,
+                            released,
+                        });
                         remaining = remaining.saturating_sub(released);
                     }
                     if remaining == 0 {
@@ -287,7 +310,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let released = accept(v.job, requested);
                     if released > 0 {
-                        out.ops.push(ShrinkOp { job: v.job, requested, released });
+                        out.ops.push(ShrinkOp {
+                            job: v.job,
+                            requested,
+                            released,
+                        });
                     }
                 }
             }
@@ -312,7 +339,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let released = accept(v.job, requested);
                     if released > 0 {
-                        out.ops.push(ShrinkOp { job: v.job, requested, released });
+                        out.ops.push(ShrinkOp {
+                            job: v.job,
+                            requested,
+                            released,
+                        });
                         remaining = remaining.saturating_sub(released);
                     }
                 }
@@ -334,7 +365,11 @@ impl MalleabilityPolicy {
                     out.messages += 1;
                     let released = accept(v.job, requested);
                     if released > 0 {
-                        out.ops.push(ShrinkOp { job: v.job, requested, released });
+                        out.ops.push(ShrinkOp {
+                            job: v.job,
+                            requested,
+                            released,
+                        });
                         remaining = remaining.saturating_sub(released);
                     }
                 }
@@ -377,11 +412,22 @@ mod tests {
 
     #[test]
     fn fpsma_grows_oldest_first() {
-        let jobs = [view(1, 100, 2, 2, 46), view(2, 50, 2, 2, 46), view(3, 200, 2, 2, 46)];
+        let jobs = [
+            view(1, 100, 2, 2, 46),
+            view(2, 50, 2, 2, 46),
+            view(3, 200, 2, 2, 46),
+        ];
         let out = MalleabilityPolicy::Fpsma.run_grow(&jobs, 10, &mut greedy_accept(&jobs));
         // Job 2 (started at 50 s) gets the whole offer first and accepts
         // all 10 (max 46).
-        assert_eq!(out.ops, vec![GrowOp { job: JobId(2), offered: 10, accepted: 10 }]);
+        assert_eq!(
+            out.ops,
+            vec![GrowOp {
+                job: JobId(2),
+                offered: 10,
+                accepted: 10
+            }]
+        );
         assert_eq!(out.messages, 1);
     }
 
@@ -392,8 +438,16 @@ mod tests {
         assert_eq!(
             out.ops,
             vec![
-                GrowOp { job: JobId(1), offered: 10, accepted: 6 },
-                GrowOp { job: JobId(2), offered: 4, accepted: 4 },
+                GrowOp {
+                    job: JobId(1),
+                    offered: 10,
+                    accepted: 6
+                },
+                GrowOp {
+                    job: JobId(2),
+                    offered: 4,
+                    accepted: 4
+                },
             ]
         );
         assert_eq!(out.messages, 2);
@@ -403,7 +457,14 @@ mod tests {
     fn fpsma_shrinks_youngest_first() {
         let jobs = [view(1, 50, 20, 2, 46), view(2, 100, 20, 2, 46)];
         let out = MalleabilityPolicy::Fpsma.run_shrink(&jobs, 10, &mut greedy_release(&jobs));
-        assert_eq!(out.ops, vec![ShrinkOp { job: JobId(2), requested: 10, released: 10 }]);
+        assert_eq!(
+            out.ops,
+            vec![ShrinkOp {
+                job: JobId(2),
+                requested: 10,
+                released: 10
+            }]
+        );
     }
 
     #[test]
@@ -415,15 +476,27 @@ mod tests {
         assert_eq!(
             out.ops,
             vec![
-                ShrinkOp { job: JobId(2), requested: 10, released: 4 },
-                ShrinkOp { job: JobId(1), requested: 6, released: 6 },
+                ShrinkOp {
+                    job: JobId(2),
+                    requested: 10,
+                    released: 4
+                },
+                ShrinkOp {
+                    job: JobId(1),
+                    requested: 6,
+                    released: 6
+                },
             ]
         );
     }
 
     #[test]
     fn egs_splits_equally_with_bonus_to_oldest() {
-        let jobs = [view(1, 100, 2, 2, 46), view(2, 50, 2, 2, 46), view(3, 200, 2, 2, 46)];
+        let jobs = [
+            view(1, 100, 2, 2, 46),
+            view(2, 50, 2, 2, 46),
+            view(3, 200, 2, 2, 46),
+        ];
         let out = MalleabilityPolicy::Egs.run_grow(&jobs, 11, &mut greedy_accept(&jobs));
         // share 3, remainder 2 → oldest two (jobs 2 and 1) get 4.
         let by_job: std::collections::BTreeMap<_, _> =
@@ -436,18 +509,29 @@ mod tests {
 
     #[test]
     fn egs_grow_value_smaller_than_job_count() {
-        let jobs = [view(1, 1, 2, 2, 46), view(2, 2, 2, 2, 46), view(3, 3, 2, 2, 46)];
+        let jobs = [
+            view(1, 1, 2, 2, 46),
+            view(2, 2, 2, 2, 46),
+            view(3, 3, 2, 2, 46),
+        ];
         let out = MalleabilityPolicy::Egs.run_grow(&jobs, 2, &mut greedy_accept(&jobs));
         // share 0, remainder 2: only the two oldest get an offer.
         assert_eq!(out.ops.len(), 2);
         assert_eq!(out.messages, 2);
         assert!(out.ops.iter().all(|o| o.accepted == 1));
-        assert_eq!(out.ops.iter().map(|o| o.job).collect::<Vec<_>>(), vec![JobId(1), JobId(2)]);
+        assert_eq!(
+            out.ops.iter().map(|o| o.job).collect::<Vec<_>>(),
+            vec![JobId(1), JobId(2)]
+        );
     }
 
     #[test]
     fn egs_shrink_malus_hits_youngest() {
-        let jobs = [view(1, 100, 10, 2, 46), view(2, 50, 10, 2, 46), view(3, 200, 10, 2, 46)];
+        let jobs = [
+            view(1, 100, 10, 2, 46),
+            view(2, 50, 10, 2, 46),
+            view(3, 200, 10, 2, 46),
+        ];
         let out = MalleabilityPolicy::Egs.run_shrink(&jobs, 7, &mut greedy_release(&jobs));
         // share 2, remainder 1 → youngest (job 3) releases 3.
         let by_job: std::collections::BTreeMap<_, _> =
@@ -479,11 +563,18 @@ mod tests {
             MalleabilityPolicy::Equipartition,
             MalleabilityPolicy::Folding,
         ] {
-            let jobs = [view(1, 1, 2, 2, 46), view(2, 2, 4, 2, 46), view(3, 3, 8, 2, 46)];
+            let jobs = [
+                view(1, 1, 2, 2, 46),
+                view(2, 2, 4, 2, 46),
+                view(3, 3, 8, 2, 46),
+            ];
             for budget in [0u32, 1, 3, 7, 20, 100] {
                 let out = policy.run_grow(&jobs, budget, &mut greedy_accept(&jobs));
                 let total: u32 = out.ops.iter().map(|o| o.accepted).sum();
-                assert!(total <= budget, "{policy:?} budget {budget} handed out {total}");
+                assert!(
+                    total <= budget,
+                    "{policy:?} budget {budget} handed out {total}"
+                );
             }
         }
     }
@@ -495,12 +586,23 @@ mod tests {
         let jobs = [view(1, 1, 8, 2, 32), view(2, 2, 2, 2, 46)];
         let mut accept = |id: JobId, offered: u32| {
             let v = jobs.iter().find(|v| v.job == id).unwrap();
-            let c = if id == JobId(1) { SizeConstraint::PowerOfTwo } else { SizeConstraint::Any };
+            let c = if id == JobId(1) {
+                SizeConstraint::PowerOfTwo
+            } else {
+                SizeConstraint::Any
+            };
             c.accept_grow(v.size, offered, v.max)
         };
         let out = MalleabilityPolicy::Fpsma.run_grow(&jobs, 7, &mut accept);
         assert_eq!(out.messages, 2);
-        assert_eq!(out.ops, vec![GrowOp { job: JobId(2), offered: 7, accepted: 7 }]);
+        assert_eq!(
+            out.ops,
+            vec![GrowOp {
+                job: JobId(2),
+                offered: 7,
+                accepted: 7
+            }]
+        );
     }
 
     #[test]
@@ -509,22 +611,50 @@ mod tests {
         let out = MalleabilityPolicy::Equipartition.run_grow(&jobs, 8, &mut greedy_accept(&jobs));
         // Pool = 30, share 15: job 2 should be offered up to 13 but the
         // budget is 8.
-        assert_eq!(out.ops, vec![GrowOp { job: JobId(2), offered: 8, accepted: 8 }]);
+        assert_eq!(
+            out.ops,
+            vec![GrowOp {
+                job: JobId(2),
+                offered: 8,
+                accepted: 8
+            }]
+        );
     }
 
     #[test]
     fn folding_doubles_oldest() {
         let jobs = [view(1, 1, 8, 2, 46), view(2, 2, 4, 2, 46)];
         let out = MalleabilityPolicy::Folding.run_grow(&jobs, 20, &mut greedy_accept(&jobs));
-        assert_eq!(out.ops[0], GrowOp { job: JobId(1), offered: 8, accepted: 8 });
-        assert_eq!(out.ops[1], GrowOp { job: JobId(2), offered: 4, accepted: 4 });
+        assert_eq!(
+            out.ops[0],
+            GrowOp {
+                job: JobId(1),
+                offered: 8,
+                accepted: 8
+            }
+        );
+        assert_eq!(
+            out.ops[1],
+            GrowOp {
+                job: JobId(2),
+                offered: 4,
+                accepted: 4
+            }
+        );
     }
 
     #[test]
     fn folding_halves_youngest() {
         let jobs = [view(1, 1, 8, 2, 46), view(2, 2, 8, 2, 46)];
         let out = MalleabilityPolicy::Folding.run_shrink(&jobs, 4, &mut greedy_release(&jobs));
-        assert_eq!(out.ops, vec![ShrinkOp { job: JobId(2), requested: 4, released: 4 }]);
+        assert_eq!(
+            out.ops,
+            vec![ShrinkOp {
+                job: JobId(2),
+                requested: 4,
+                released: 4
+            }]
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct ComponentRequest {
 impl ComponentRequest {
     /// A fixed-size component (rigid jobs).
     pub fn fixed(size: u32, constraint: SizeConstraint) -> Self {
-        ComponentRequest { min: size, max: size, preferred: size, constraint }
+        ComponentRequest {
+            min: size,
+            max: size,
+            preferred: size,
+            constraint,
+        }
     }
 
     /// The size granted on a cluster with `avail` idle processors:
@@ -81,7 +86,11 @@ pub struct PlacementRequest {
 impl PlacementRequest {
     /// A single-component request with no files.
     pub fn single(c: ComponentRequest) -> Self {
-        PlacementRequest { components: vec![c], files: Vec::new(), flexible: false }
+        PlacementRequest {
+            components: vec![c],
+            files: Vec::new(),
+            flexible: false,
+        }
     }
 }
 
@@ -235,7 +244,11 @@ fn place_cluster_min(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placem
         }
     }
     if remaining == 0 {
-        Some(out.into_iter().map(|o| o.expect("remaining == 0")).collect())
+        Some(
+            out.into_iter()
+                .map(|o| o.expect("remaining == 0"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -274,7 +287,10 @@ fn place_flexible(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement
         }
         avail[ci] -= take;
         left -= take;
-        out.push(ComponentPlacement { cluster: ClusterId(ci as u16), size: take });
+        out.push(ComponentPlacement {
+            cluster: ClusterId(ci as u16),
+            size: take,
+        });
     }
     if left == 0 {
         Some(out)
@@ -288,7 +304,12 @@ mod tests {
     use super::*;
 
     fn any(min: u32, max: u32, pref: u32) -> ComponentRequest {
-        ComponentRequest { min, max, preferred: pref, constraint: SizeConstraint::Any }
+        ComponentRequest {
+            min,
+            max,
+            preferred: pref,
+            constraint: SizeConstraint::Any,
+        }
     }
 
     #[test]
@@ -318,8 +339,16 @@ mod tests {
     fn worst_fit_picks_most_idle() {
         let req = PlacementRequest::single(any(2, 46, 2));
         let mut avail = vec![10, 40, 25];
-        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
-        assert_eq!(p, vec![ComponentPlacement { cluster: ClusterId(1), size: 2 }]);
+        let p = PlacementPolicy::WorstFit
+            .place(&req, &mut avail, None)
+            .unwrap();
+        assert_eq!(
+            p,
+            vec![ComponentPlacement {
+                cluster: ClusterId(1),
+                size: 2
+            }]
+        );
         assert_eq!(avail, vec![10, 38, 25]);
     }
 
@@ -331,16 +360,25 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![30, 25];
-        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+        let p = PlacementPolicy::WorstFit
+            .place(&req, &mut avail, None)
+            .unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
-        assert_eq!(p[1].cluster, ClusterId(1), "after deduction, cluster 1 has more");
+        assert_eq!(
+            p[1].cluster,
+            ClusterId(1),
+            "after deduction, cluster 1 has more"
+        );
     }
 
     #[test]
     fn worst_fit_fails_when_nothing_fits() {
         let req = PlacementRequest::single(any(50, 50, 50));
         let mut avail = vec![10, 40, 25];
-        assert_eq!(PlacementPolicy::WorstFit.place(&req, &mut avail, None), None);
+        assert_eq!(
+            PlacementPolicy::WorstFit.place(&req, &mut avail, None),
+            None
+        );
         assert_eq!(avail, vec![10, 40, 25], "failed placement must not deduct");
     }
 
@@ -348,7 +386,9 @@ mod tests {
     fn worst_fit_ties_break_to_lowest_id() {
         let req = PlacementRequest::single(any(2, 4, 2));
         let mut avail = vec![30, 30];
-        let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+        let p = PlacementPolicy::WorstFit
+            .place(&req, &mut avail, None)
+            .unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
     }
 
@@ -363,7 +403,9 @@ mod tests {
         };
         // Cluster 2 has fewer idle processors but holds the replica.
         let mut avail = vec![40, 40, 10];
-        let p = PlacementPolicy::CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
+        let p = PlacementPolicy::CloseToFiles
+            .place(&req, &mut avail, Some(&cat))
+            .unwrap();
         assert_eq!(p[0].cluster, ClusterId(2));
     }
 
@@ -372,8 +414,12 @@ mod tests {
         let req = PlacementRequest::single(any(2, 8, 2));
         let mut a1 = vec![5, 9];
         let mut a2 = vec![5, 9];
-        let p1 = PlacementPolicy::CloseToFiles.place(&req, &mut a1, None).unwrap();
-        let p2 = PlacementPolicy::WorstFit.place(&req, &mut a2, None).unwrap();
+        let p1 = PlacementPolicy::CloseToFiles
+            .place(&req, &mut a1, None)
+            .unwrap();
+        let p2 = PlacementPolicy::WorstFit
+            .place(&req, &mut a2, None)
+            .unwrap();
         assert_eq!(p1, p2);
     }
 
@@ -387,7 +433,9 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![2, 20]; // replica site too busy
-        let p = PlacementPolicy::CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
+        let p = PlacementPolicy::CloseToFiles
+            .place(&req, &mut avail, Some(&cat))
+            .unwrap();
         assert_eq!(p[0].cluster, ClusterId(1));
     }
 
@@ -399,7 +447,9 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![20, 30, 9];
-        let p = PlacementPolicy::ClusterMinimization.place(&req, &mut avail, None).unwrap();
+        let p = PlacementPolicy::ClusterMinimization
+            .place(&req, &mut avail, None)
+            .unwrap();
         // All three fit in cluster 1 (30 ≥ 24): one cluster used.
         assert!(p.iter().all(|cp| cp.cluster == ClusterId(1)));
     }
@@ -412,7 +462,9 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![10, 9];
-        let p = PlacementPolicy::ClusterMinimization.place(&req, &mut avail, None).unwrap();
+        let p = PlacementPolicy::ClusterMinimization
+            .place(&req, &mut avail, None)
+            .unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
         assert_eq!(p[1].cluster, ClusterId(1));
     }
@@ -425,10 +477,15 @@ mod tests {
             flexible: true,
         };
         let mut avail = vec![10, 9, 8];
-        let p = PlacementPolicy::FlexibleClusterMinimization.place(&req, &mut avail, None).unwrap();
+        let p = PlacementPolicy::FlexibleClusterMinimization
+            .place(&req, &mut avail, None)
+            .unwrap();
         let total: u32 = p.iter().map(|cp| cp.size).sum();
         assert_eq!(total, 24);
-        assert!(p.len() >= 3, "24 processors cannot fit in fewer than 3 of these clusters");
+        assert!(
+            p.len() >= 3,
+            "24 processors cannot fit in fewer than 3 of these clusters"
+        );
         assert!(p.iter().all(|cp| cp.size >= 2));
     }
 

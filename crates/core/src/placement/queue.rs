@@ -59,7 +59,10 @@ impl PlacementQueue {
 
     /// Current retry count of a queued job.
     pub fn tries(&self, job: JobId) -> Option<u32> {
-        self.entries.iter().find(|&&(j, _)| j == job).map(|&(_, t)| t)
+        self.entries
+            .iter()
+            .find(|&&(j, _)| j == job)
+            .map(|&(_, t)| t)
     }
 
     /// Removes a successfully placed job.

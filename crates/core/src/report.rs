@@ -79,7 +79,10 @@ impl MultiReport {
     /// Builds an aggregate; panics on an empty run list.
     pub fn new(name: impl Into<String>, runs: Vec<RunReport>) -> Self {
         assert!(!runs.is_empty(), "MultiReport needs at least one run");
-        MultiReport { name: name.into(), runs }
+        MultiReport {
+            name: name.into(),
+            runs,
+        }
     }
 
     /// All job records across seeds, merged (the paper's CDFs pool the
@@ -95,10 +98,7 @@ impl MultiReport {
     }
 
     /// Pooled ECDF of a per-job metric.
-    pub fn ecdf_of(
-        &self,
-        f: impl Fn(&koala_metrics::JobRecord) -> Option<f64> + Copy,
-    ) -> Ecdf {
+    pub fn ecdf_of(&self, f: impl Fn(&koala_metrics::JobRecord) -> Option<f64> + Copy) -> Ecdf {
         self.merged_jobs().ecdf_of(f)
     }
 
@@ -123,19 +123,29 @@ impl MultiReport {
 
     /// Mean across runs of the mean utilization over `[from, to]`.
     pub fn mean_utilization(&self, from: SimTime, to: SimTime) -> f64 {
-        self.runs.iter().map(|r| r.mean_utilization(from, to)).sum::<f64>()
+        self.runs
+            .iter()
+            .map(|r| r.mean_utilization(from, to))
+            .sum::<f64>()
             / self.runs.len() as f64
     }
 
     /// Mean completion ratio across runs.
     pub fn completion_ratio(&self) -> f64 {
-        self.runs.iter().map(|r| r.jobs.completion_ratio()).sum::<f64>()
+        self.runs
+            .iter()
+            .map(|r| r.jobs.completion_ratio())
+            .sum::<f64>()
             / self.runs.len() as f64
     }
 
     /// Longest makespan across runs.
     pub fn max_makespan(&self) -> SimTime {
-        self.runs.iter().map(|r| r.makespan).max().unwrap_or(SimTime::ZERO)
+        self.runs
+            .iter()
+            .map(|r| r.makespan)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 

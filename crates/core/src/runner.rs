@@ -38,7 +38,12 @@ impl MRunner {
     /// Creates an MRunner for an application started with `initial`
     /// processors (the initial GRAM collection).
     pub fn new(dynaco: Dynaco, initial: u32) -> Self {
-        MRunner { dynaco, active_gram_jobs: initial, submitting: 0, releasing: 0 }
+        MRunner {
+            dynaco,
+            active_gram_jobs: initial,
+            submitting: 0,
+            releasing: 0,
+        }
     }
 
     /// GRAM jobs currently held (the application's processor count plus
@@ -86,7 +91,10 @@ impl MRunner {
         if self.busy() {
             return 0;
         }
-        match self.dynaco.decide(Observation::ShrinkRequest { requested, mandatory }) {
+        match self.dynaco.decide(Observation::ShrinkRequest {
+            requested,
+            mandatory,
+        }) {
             Decision::Shrink { released } => {
                 self.releasing = released;
                 released

@@ -285,8 +285,10 @@ impl World {
             for c in 0..self.mc.len() {
                 let cluster = ClusterId(c as u16);
                 let cap = self.mc.cluster(cluster).capacity();
-                if let Some(gap) =
-                    self.cfg.background.sample_interarrival_for(&mut self.bg_rng, cap)
+                if let Some(gap) = self
+                    .cfg
+                    .background
+                    .sample_interarrival_for(&mut self.bg_rng, cap)
                 {
                     engine.schedule_in(gap, Ev::BgArrival { cluster });
                 }
@@ -343,7 +345,10 @@ impl World {
             Ev::NodeWithdraw { cluster, count } => self.on_node_withdraw(engine, cluster, count),
             Ev::NodeRestore { cluster, count } => self.on_node_restore(engine, cluster, count),
         }
-        debug_assert!(self.mc.check_invariants().is_ok(), "cluster invariant broken");
+        debug_assert!(
+            self.mc.check_invariants().is_ok(),
+            "cluster invariant broken"
+        );
     }
 
     fn on_arrival(&mut self, engine: &mut Engine<Ev>, id: JobId) {
@@ -407,15 +412,26 @@ impl World {
         }
         let comp = match job.spec.class {
             JobClass::Rigid { size } => ComponentRequest::fixed(size, constraint),
-            JobClass::Moldable { min, max } => {
-                ComponentRequest { min, max, preferred: max, constraint }
-            }
-            JobClass::Malleable { min, max, initial } => {
-                ComponentRequest { min, max, preferred: initial, constraint }
-            }
+            JobClass::Moldable { min, max } => ComponentRequest {
+                min,
+                max,
+                preferred: max,
+                constraint,
+            },
+            JobClass::Malleable { min, max, initial } => ComponentRequest {
+                min,
+                max,
+                preferred: initial,
+                constraint,
+            },
         };
         let mut req = PlacementRequest::single(comp);
-        req.files = job.spec.input_files.iter().map(|&f| multicluster::FileId(f)).collect();
+        req.files = job
+            .spec
+            .input_files
+            .iter()
+            .map(|&f| multicluster::FileId(f))
+            .collect();
         req
     }
 
@@ -424,8 +440,12 @@ impl World {
     fn staging_time(&self, job: &Job, cluster: ClusterId) -> simcore::SimDuration {
         match &self.files {
             Some(cat) => {
-                let files: Vec<multicluster::FileId> =
-                    job.spec.input_files.iter().map(|&f| multicluster::FileId(f)).collect();
+                let files: Vec<multicluster::FileId> = job
+                    .spec
+                    .input_files
+                    .iter()
+                    .map(|&f| multicluster::FileId(f))
+                    .collect();
                 cat.staging_time(&files, cluster)
             }
             None => simcore::SimDuration::ZERO,
@@ -452,7 +472,11 @@ impl World {
             // (live, since earlier placements in this scan consume it).
             let budget = self.koala_headroom();
             let mut eff: Vec<u32> = avail.iter().map(|&a| a.min(budget)).collect();
-            let placed = self.cfg.sched.placement.place(&req, &mut eff, self.files.as_ref());
+            let placed = self
+                .cfg
+                .sched
+                .placement
+                .place(&req, &mut eff, self.files.as_ref());
             match placed {
                 Some(placement) => {
                     // Deferred claiming: when the job must stage files
@@ -553,13 +577,21 @@ impl World {
         job.alloc = Some(alloc);
         job.extra_allocs = components[1..].iter().map(|&(c, a, _)| (c, a)).collect();
         if let JobClass::Malleable { min, max, .. } = job.spec.class {
-            debug_assert!(job.extra_allocs.is_empty(), "malleable jobs are single-cluster");
+            debug_assert!(
+                job.extra_allocs.is_empty(),
+                "malleable jobs are single-cluster"
+            );
             let dynaco = Dynaco::new(min, max, job.spec.kind.constraint(), size);
             job.runner = Some(MRunner::new(dynaco, size));
         }
         self.records[id.index()].placed = Some(now);
         self.trace.record(now, "place", id.0 as u64, || {
-            format!("{} procs on {:?} (+{} components)", total, cluster, components.len() - 1)
+            format!(
+                "{} procs on {:?} (+{} components)",
+                total,
+                cluster,
+                components.len() - 1
+            )
         });
         let gen = job.gen;
         let delay = self.cfg.sched.gram.batch_submit_time(total);
@@ -607,8 +639,11 @@ impl World {
             .map(|c| self.mc.cluster(c).spec().speed_factor)
             .fold(f64::INFINITY, f64::min)
             .max(1e-6);
-        job.progress =
-            Some(appsim::Progress::start(now, size, job.spec.work_scale * penalty / speed));
+        job.progress = Some(appsim::Progress::start(
+            now,
+            size,
+            job.spec.work_scale * penalty / speed,
+        ));
         self.records[id.index()].started = Some(now);
         self.records[id.index()].size_history.set(now, size as f64);
         self.trace
@@ -708,7 +743,8 @@ impl World {
     /// Processors KOALA may still take (anywhere) before hitting the
     /// expansion threshold.
     fn koala_headroom(&self) -> u32 {
-        self.koala_cap().saturating_sub(self.mc.total_used_by_koala())
+        self.koala_cap()
+            .saturating_sub(self.mc.total_used_by_koala())
     }
 
     /// Clamps the offered-idle baseline after consumption so future
@@ -739,9 +775,16 @@ impl World {
         job.phase = JobPhase::Reconfiguring;
         job.gen.bump(); // invalidate the pending Completion
         let gen = job.gen;
-        let delay = self.cfg.sched.gram.recruit_time(added)
-            + self.cfg.sched.reconfig.grow_cost(old, new);
-        engine.schedule_in(delay, Ev::SyncDone { job: id, gen, grow: true });
+        let delay =
+            self.cfg.sched.gram.recruit_time(added) + self.cfg.sched.reconfig.grow_cost(old, new);
+        engine.schedule_in(
+            delay,
+            Ev::SyncDone {
+                job: id,
+                gen,
+                grow: true,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -816,7 +859,10 @@ impl World {
         for op in &outcome.ops {
             self.shrink_ops.record(now);
             self.trace.record(now, "shrink", op.job.0 as u64, || {
-                format!("releasing {} of {} requested on {cluster:?}", op.released, op.requested)
+                format!(
+                    "releasing {} of {} requested on {cluster:?}",
+                    op.released, op.requested
+                )
             });
             self.pending_release[cluster.index()] += op.released;
             let job = &mut self.jobs[op.job.index()];
@@ -830,9 +876,16 @@ impl World {
             job.phase = JobPhase::Reconfiguring;
             job.gen.bump();
             let gen = job.gen;
-            let delay = self.cfg.sched.gram.message_latency
-                + self.cfg.sched.reconfig.shrink_cost(old, new);
-            engine.schedule_in(delay, Ev::SyncDone { job: op.job, gen, grow: false });
+            let delay =
+                self.cfg.sched.gram.message_latency + self.cfg.sched.reconfig.shrink_cost(old, new);
+            engine.schedule_in(
+                delay,
+                Ev::SyncDone {
+                    job: op.job,
+                    gen,
+                    grow: false,
+                },
+            );
         }
     }
 
@@ -842,7 +895,10 @@ impl World {
         if !job.gen.matches(gen) || job.phase != JobPhase::Reconfiguring {
             return;
         }
-        let runner = job.runner.as_mut().expect("reconfiguring implies malleable");
+        let runner = job
+            .runner
+            .as_mut()
+            .expect("reconfiguring implies malleable");
         let released = if grow {
             runner.grow_complete();
             0
@@ -868,7 +924,14 @@ impl World {
         if released > 0 {
             let gen = self.jobs[id.index()].gen;
             let delay = self.cfg.sched.gram.batch_release_time(released);
-            engine.schedule_in(delay, Ev::ShrinkReleased { job: id, gen, count: released });
+            engine.schedule_in(
+                delay,
+                Ev::ShrinkReleased {
+                    job: id,
+                    gen,
+                    count: released,
+                },
+            );
         }
     }
 
@@ -998,7 +1061,11 @@ impl World {
             SubmitOutcome::Queued | SubmitOutcome::Impossible => {}
         }
         let cap = self.mc.cluster(cluster).capacity();
-        if let Some(gap) = self.cfg.background.sample_interarrival_for(&mut self.bg_rng, cap) {
+        if let Some(gap) = self
+            .cfg
+            .background
+            .sample_interarrival_for(&mut self.bg_rng, cap)
+        {
             engine.schedule_in(gap, Ev::BgArrival { cluster });
         }
     }
@@ -1030,11 +1097,18 @@ impl World {
         if !job.gen.matches(gen) || job.phase != JobPhase::Staging {
             return;
         }
-        let components = job.pending_claim.take().expect("staging job has a pending claim");
+        let components = job
+            .pending_claim
+            .take()
+            .expect("staging job has a pending claim");
         let mut got: Vec<(ClusterId, AllocId, u32)> = Vec::new();
         let mut all_ok = true;
         for &(cluster, size) in &components {
-            match self.mc.cluster_mut(cluster).allocate(AllocOwner::Koala(id.0 as u64), size) {
+            match self
+                .mc
+                .cluster_mut(cluster)
+                .allocate(AllocOwner::Koala(id.0 as u64), size)
+            {
                 Ok(alloc) => got.push((cluster, alloc, size)),
                 Err(_) => {
                     all_ok = false;
@@ -1066,21 +1140,36 @@ impl World {
     /// stamp invalidates it on the next reconfiguration.
     fn schedule_initiative(&mut self, engine: &mut Engine<Ev>, id: JobId) {
         let job = &self.jobs[id.index()];
-        let Some(gi) = job.spec.initiative else { return };
+        let Some(gi) = job.spec.initiative else {
+            return;
+        };
         if job.initiative_fired {
             return;
         }
-        let Some(progress) = job.progress.as_ref() else { return };
+        let Some(progress) = job.progress.as_ref() else {
+            return;
+        };
         if progress.done() >= gi.at_progress {
-            engine.schedule_now(Ev::AppGrowRequest { job: id, gen: job.gen });
+            engine.schedule_now(Ev::AppGrowRequest {
+                job: id,
+                gen: job.gen,
+            });
             return;
         }
         // Time until the boundary at the current rate: the remaining
         // fraction scaled by the full-work time at the current size.
-        let Some(full) = progress.remaining_time(&job.model) else { return };
+        let Some(full) = progress.remaining_time(&job.model) else {
+            return;
+        };
         let frac = (gi.at_progress - progress.done()) / (1.0 - progress.done()).max(1e-12);
         let delay = simcore::SimDuration::from_secs_f64(full.as_secs_f64() * frac);
-        engine.schedule_in(delay, Ev::AppGrowRequest { job: id, gen: job.gen });
+        engine.schedule_in(
+            delay,
+            Ev::AppGrowRequest {
+                job: id,
+                gen: job.gen,
+            },
+        );
     }
 
     /// The application asks for more processors (voluntary from the
@@ -1095,7 +1184,9 @@ impl World {
             return;
         }
         job.initiative_fired = true;
-        let Some(gi) = job.spec.initiative else { return };
+        let Some(gi) = job.spec.initiative else {
+            return;
+        };
         let cluster = job.cluster.expect("running job placed");
         let idle = self.mc.cluster(cluster).idle();
         let grant = gi
@@ -1106,7 +1197,9 @@ impl World {
             return;
         }
         let job = &mut self.jobs[id.index()];
-        let Some(runner) = job.runner.as_mut() else { return };
+        let Some(runner) = job.runner.as_mut() else {
+            return;
+        };
         self.grow_messages += 1;
         let accepted = runner.offer_grow(grant);
         if accepted == 0 {
@@ -1131,9 +1224,10 @@ impl World {
 
     fn on_node_withdraw(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, count: u32) {
         let now = engine.now();
-        self.trace.record(engine.now(), "withdraw", cluster.0 as u64, || {
-            format!("{count} nodes requested")
-        });
+        self.trace
+            .record(engine.now(), "withdraw", cluster.0 as u64, || {
+                format!("{count} nodes requested")
+            });
         let taken = self.mc.cluster_mut(cluster).withdraw_free(count);
         if taken > 0 {
             self.sync_baseline(cluster);
@@ -1159,7 +1253,10 @@ impl World {
         self.shrink_cluster(engine, cluster, remaining.min(shrinkable));
         engine.schedule_in(
             simcore::SimDuration::from_secs(30),
-            Ev::NodeWithdraw { cluster, count: remaining },
+            Ev::NodeWithdraw {
+                cluster,
+                count: remaining,
+            },
         );
     }
 
@@ -1204,7 +1301,8 @@ impl World {
 
     fn touch_util(&mut self, now: SimTime) {
         self.util_total.set(now, self.mc.total_used() as f64);
-        self.util_koala.set(now, self.mc.total_used_by_koala() as f64);
+        self.util_koala
+            .set(now, self.mc.total_used_by_koala() as f64);
         for (i, series) in self.util_per_cluster.iter_mut().enumerate() {
             series.set(now, self.mc.cluster(ClusterId(i as u16)).used() as f64);
         }
@@ -1267,7 +1365,10 @@ pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> crate::report::MultiR
                 scope.spawn(move || run_experiment(&c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed run panicked"))
+            .collect()
     });
     crate::report::MultiReport::new(cfg.name.clone(), runs)
 }
@@ -1297,7 +1398,11 @@ mod tests {
         // Growth is fuelled by *released* processors only (the paper's
         // growValue); with background users releasing capacity, the lone
         // malleable job should pick up at least some of it.
-        assert!(rec.max_size().unwrap() > 2.0, "max size {:?}", rec.max_size());
+        assert!(
+            rec.max_size().unwrap() > 2.0,
+            "max size {:?}",
+            rec.max_size()
+        );
     }
 
     #[test]
@@ -1330,13 +1435,20 @@ mod tests {
         // Shrinks only trigger once grown jobs saturate the platform,
         // which needs the sustained W'm arrival pressure (the paper's
         // overload regime); 200 jobs are enough to reach it.
-        let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+        let mut cfg =
+            ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
         cfg.workload.jobs = 200;
         cfg.seed = 3;
         let r = run_experiment(&cfg);
-        assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12, "jobs unfinished");
+        assert!(
+            (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
+            "jobs unfinished"
+        );
         assert!(r.shrink_ops.total() > 0, "PWA under W'm should shrink");
-        assert!(r.placement_tries > 0, "saturation should cause failed placement tries");
+        assert!(
+            r.placement_tries > 0,
+            "saturation should cause failed placement tries"
+        );
     }
 
     #[test]
@@ -1383,7 +1495,10 @@ mod tests {
     #[test]
     fn application_initiated_growth_fires_once_per_job() {
         let mut cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 8);
-        cfg.workload.initiative = Some(appsim::GrowInitiative { at_progress: 0.3, extra: 8 });
+        cfg.workload.initiative = Some(appsim::GrowInitiative {
+            at_progress: 0.3,
+            extra: 8,
+        });
         cfg.workload.initiative_fraction = 1.0;
         let r = run_experiment(&cfg);
         assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
@@ -1413,7 +1528,10 @@ mod tests {
         for rec in r.jobs.records() {
             let avg = rec.average_size().unwrap();
             let max = rec.max_size().unwrap();
-            assert!((avg - max).abs() < 1e-9, "moldable size must not change: {rec:?}");
+            assert!(
+                (avg - max).abs() < 1e-9,
+                "moldable size must not change: {rec:?}"
+            );
             assert!(max >= 2.0);
         }
     }
@@ -1422,7 +1540,9 @@ mod tests {
     fn trace_records_the_full_lifecycle() {
         let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 5);
         let mut engine = simcore::Engine::new();
-        let r = World::new(&cfg).with_trace(10_000).run_to_completion(&mut engine);
+        let r = World::new(&cfg)
+            .with_trace(10_000)
+            .run_to_completion(&mut engine);
         assert!(r.trace.is_enabled());
         assert_eq!(r.trace.of_category("arrive").count(), 5);
         assert_eq!(r.trace.of_category("place").count(), 5);

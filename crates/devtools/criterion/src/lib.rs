@@ -1,0 +1,155 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate, providing the API surface this workspace's benches use. The build
+//! environment has no network access, so the real crate cannot be vendored.
+//!
+//! Measurement model: each `Bencher::iter` call runs the routine once to warm
+//! up, then times batches until ~50 ms of wall clock has accumulated (capped
+//! at 100k iterations) and reports the mean ns/iter on stdout. Good enough to
+//! spot order-of-magnitude regressions; not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET: Duration = Duration::from_millis(50);
+const MAX_ITERS: u64 = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        while self.total < TARGET && self.iters < MAX_ITERS {
+            black_box(routine());
+            self.iters += 1;
+            self.total = start.elapsed();
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        while self.total < TARGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let per_iter_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.total.as_nanos() as f64 / b.iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / per_iter_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $( $target:path ),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($( $group:path ),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

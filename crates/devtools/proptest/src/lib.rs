@@ -1,0 +1,415 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing exactly the API surface this workspace's property tests
+//! use. The build environment has no network access, so the real crate
+//! cannot be vendored; this shim keeps the seed tests compiling and running
+//! as-written.
+//!
+//! Semantics versus real proptest:
+//!
+//! * Inputs are drawn from a deterministic SplitMix64 stream keyed by the
+//!   fully-qualified test name and case index, so failures reproduce exactly
+//!   across runs and machines.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately (no shrinking).
+//! * `prop_assume!` skips the current case.
+//! * The default case count is 64 (`ProptestConfig::with_cases` overrides).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator used to derive all test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a stream for one test case. The seed mixes a stable hash of the
+    /// test's module path and name with the case index, so every case of
+    /// every test draws from an independent, reproducible stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then fold in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test inputs. Unlike real proptest there is no shrink tree;
+/// `generate` draws one value.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Coerce a concrete strategy into a boxed one (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident : $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a canonical "whole domain" strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only, spanning a wide magnitude band.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Why a test case body bailed out early. `Reject` marks a `prop_assume!`
+/// failure (the case is skipped, not failed); `Ok(())`-style early returns in
+/// test bodies also produce this type via inference.
+#[derive(Debug)]
+pub enum CaseError {
+    Reject,
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, CaseError, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Mirror of real proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_cases! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        cfg = $cfg:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __executed: u32 = 0;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    // Run the case body as a Result-returning closure, like
+                    // real proptest: bodies may `return Ok(())` early, and
+                    // `prop_assume!` rejects via `Err` (case skipped).
+                    let __outcome: ::std::result::Result<(), $crate::CaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if __outcome.is_ok() {
+                        __executed += 1;
+                    }
+                }
+                // Mirror real proptest's global-reject limit: a test whose
+                // every case was rejected has asserted nothing.
+                assert!(
+                    __executed > 0,
+                    "proptest stand-in: all {} cases of `{}` were rejected by prop_assume!",
+                    __config.cases,
+                    stringify!($name),
+                );
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to an early `Err` return from the per-case closure in `proptest!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::CaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::OneOf(vec![ $( $crate::boxed($strat) ),+ ])
+    };
+}

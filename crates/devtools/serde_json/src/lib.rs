@@ -1,0 +1,445 @@
+//! JSON text layer for the offline serde stand-in: renders and parses the
+//! [`serde::Value`] tree. Covers `to_string`, `to_string_pretty`, and
+//! `from_str` — the calls this workspace makes.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Guarantee a re-parseable float token (keep a `.0` on integral values).
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf; match real serde_json
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            level,
+            ('[', ']'),
+            write_value,
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            level,
+            ('{', '}'),
+            |out, (k, v), ind, lvl| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, ind, lvl);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        write_item(out, item, indent, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    /// Reads four hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::custom("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::custom("bad \\u escape"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let c = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a low-surrogate `\uXXXX`
+                                // must follow (JSON escapes non-BMP chars as
+                                // UTF-16 surrogate pairs).
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error::custom(
+                                        "unpaired high surrogate in \\u escape",
+                                    ));
+                                }
+                                let low = self.hex4(self.pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error::custom(
+                                        "invalid low surrogate in \\u escape",
+                                    ));
+                                }
+                                self.pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?
+                            } else if (0xDC00..=0xDFFF).contains(&code) {
+                                return Err(Error::custom("unpaired low surrogate in \\u escape"));
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?
+                            };
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            // Integer literals beyond i64/u64 range (e.g. a serialized f64
+            // like 1e20 printed in full) degrade to Float, like serde_json's
+            // arbitrary-precision fallback.
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(42)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
+            ("c".into(), Value::String("x \"y\"\n".into())),
+            ("d".into(), Value::Int(-7)),
+            ("e".into(), Value::Bool(true)),
+        ]);
+        let mut text = String::new();
+        write_value(&mut text, &v, Some(2), 0);
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut text = String::new();
+        write_value(&mut text, &Value::Float(3.0), None, 0);
+        assert_eq!(text, "3.0");
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn huge_integral_floats_round_trip() {
+        // 1e20 prints as a 21-digit integer token; the parser must degrade
+        // to Float instead of failing the u64 parse.
+        let mut text = String::new();
+        write_value(&mut text, &Value::Float(1e20), None, 0);
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), Value::Float(1e20));
+        let mut p = Parser {
+            bytes: b"-100000000000000000000",
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), Value::Float(-1e20));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // Python's json.dumps default (ensure_ascii) escapes non-BMP chars
+        // as UTF-16 surrogate pairs.
+        let v: String = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, "😀");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "unpaired high");
+        assert!(from_str::<String>(r#""\ude00""#).is_err(), "unpaired low");
+        assert!(
+            from_str::<String>(r#""\ud83dx""#).is_err(),
+            "high not followed by escape"
+        );
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+    struct WithOpt {
+        a: u32,
+        b: Option<u64>,
+    }
+
+    #[test]
+    fn missing_option_field_is_none_like_real_serde() {
+        let v: WithOpt = from_str(r#"{"a": 3}"#).unwrap();
+        assert_eq!(v, WithOpt { a: 3, b: None });
+        let v: WithOpt = from_str(r#"{"a": 3, "b": null}"#).unwrap();
+        assert_eq!(v, WithOpt { a: 3, b: None });
+        let v: WithOpt = from_str(r#"{"a": 3, "b": 9}"#).unwrap();
+        assert_eq!(v, WithOpt { a: 3, b: Some(9) });
+        let err = from_str::<WithOpt>(r#"{"b": 9}"#).unwrap_err();
+        assert!(err.0.contains("missing field `a`"), "got: {}", err.0);
+    }
+}

@@ -18,7 +18,10 @@ pub struct Csv {
 impl Csv {
     /// Starts a document with a header row.
     pub fn with_header(cols: &[&str]) -> Self {
-        let mut c = Csv { buf: String::new(), columns: cols.len() };
+        let mut c = Csv {
+            buf: String::new(),
+            columns: cols.len(),
+        };
         c.raw_row(cols.iter().copied());
         c
     }

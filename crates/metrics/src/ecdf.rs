@@ -30,11 +30,6 @@ impl Ecdf {
         Ecdf { sorted: samples }
     }
 
-    /// Builds an ECDF from an iterator.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Self::new(iter.into_iter().collect())
-    }
-
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -134,6 +129,13 @@ impl Ecdf {
                 (x, self.percent_at_or_below(x))
             })
             .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    /// Builds an ECDF from an iterator of samples. NaNs are filtered out.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
     }
 }
 

@@ -142,7 +142,9 @@ impl JobTable {
 
     /// Records that completed.
     pub fn completed(&self) -> impl Iterator<Item = &JobRecord> {
-        self.records.iter().filter(|r| r.outcome == JobOutcome::Completed)
+        self.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
     }
 
     /// Fraction of submitted jobs that completed.
@@ -186,7 +188,12 @@ impl JobTable {
     /// Restricts to jobs whose application label matches.
     pub fn filter_app(&self, app: &str) -> JobTable {
         JobTable {
-            records: self.records.iter().filter(|r| r.app == app).cloned().collect(),
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.app == app)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -203,8 +210,19 @@ impl JobTable {
     /// Per-job CSV dump (one row per record, derived metrics included).
     pub fn to_csv(&self) -> String {
         let mut csv = crate::csv::Csv::with_header(&[
-            "id", "app", "malleable", "submit_s", "start_s", "complete_s", "exec_s",
-            "response_s", "wait_s", "avg_size", "max_size", "grows", "shrinks",
+            "id",
+            "app",
+            "malleable",
+            "submit_s",
+            "start_s",
+            "complete_s",
+            "exec_s",
+            "response_s",
+            "wait_s",
+            "avg_size",
+            "max_size",
+            "grows",
+            "shrinks",
         ]);
         let fmt = |v: Option<f64>| v.map_or_else(|| "-1".to_string(), |x| format!("{x:.3}"));
         for r in &self.records {

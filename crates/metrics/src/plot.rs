@@ -36,6 +36,9 @@ pub fn ecdf_chart(series: &[(&str, &Ecdf)], width: usize, height: usize) -> Stri
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, e)) in series.iter().enumerate() {
         let g = glyphs[si % glyphs.len()];
+        // Indexing is row-major but each column lands on its own row, so the
+        // write target is grid[row][col] with row a function of col.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let x = lo + (hi - lo) * col as f64 / (width.max(2) - 1) as f64;
             let pct = e.percent_at_or_below(x);
@@ -62,7 +65,12 @@ pub fn ecdf_chart(series: &[(&str, &Ecdf)], width: usize, height: usize) -> Stri
     out.push_str("    +");
     out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
-    out.push_str(&format!("     {:<10.1}{:>w$.1}\n", lo, hi, w = width.saturating_sub(10)));
+    out.push_str(&format!(
+        "     {:<10.1}{:>w$.1}\n",
+        lo,
+        hi,
+        w = width.saturating_sub(10)
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!("     {} {}\n", glyphs[si % glyphs.len()], name));
     }
@@ -112,7 +120,12 @@ pub fn timeseries_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: 
     out.push_str("      +");
     out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
-    out.push_str(&format!("       {:<10.0}{:>w$.0}\n", tmin, tmax, w = width.saturating_sub(10)));
+    out.push_str(&format!(
+        "       {:<10.0}{:>w$.0}\n",
+        tmin,
+        tmax,
+        w = width.saturating_sub(10)
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!("      {} {}\n", glyphs[si % glyphs.len()], name));
     }
@@ -143,10 +156,7 @@ pub fn gantt(jobs: &[&crate::JobRecord], width: usize) -> String {
         let submit = j.submitted.as_secs_f64();
         let start = start.as_secs_f64();
         let end = end.as_secs_f64();
-        let base = j
-            .size_history
-            .value_at(j.started.unwrap(), 0.0)
-            .max(1.0);
+        let base = j.size_history.value_at(j.started.unwrap(), 0.0).max(1.0);
         let mut row = String::with_capacity(width);
         for col in 0..width {
             let t = col_t(col);
@@ -168,7 +178,13 @@ pub fn gantt(jobs: &[&crate::JobRecord], width: usize) -> String {
         }
         out.push_str(&format!("{:>6} |{}|\n", format!("J{}", j.id), row));
     }
-    out.push_str(&format!("{:>6}  {:<10.0}{:>w$.0}\n", "t(s)", t0, t1, w = width.saturating_sub(10)));
+    out.push_str(&format!(
+        "{:>6}  {:<10.0}{:>w$.0}\n",
+        "t(s)",
+        t0,
+        t1,
+        w = width.saturating_sub(10)
+    ));
     out
 }
 

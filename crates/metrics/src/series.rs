@@ -44,7 +44,9 @@ impl StepSeries {
 
     /// Creates a series with an initial value at time zero.
     pub fn with_initial(v: f64) -> Self {
-        StepSeries { points: vec![(SimTime::ZERO, v)] }
+        StepSeries {
+            points: vec![(SimTime::ZERO, v)],
+        }
     }
 
     /// Appends a transition: from `t` on, the value is `v`.
@@ -162,7 +164,13 @@ impl StepSeries {
 
     /// Resamples the series on a fixed grid for plotting/CSV: `(t, value)`
     /// at `from, from+step, …, to`.
-    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration, initial: f64) -> Vec<(SimTime, f64)> {
+    pub fn resample(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+        initial: f64,
+    ) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "resample step must be non-zero");
         let mut out = Vec::new();
         let mut t = from;

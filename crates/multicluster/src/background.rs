@@ -170,13 +170,20 @@ mod tests {
         let capacity = 68;
         let n = 30_000;
         let mean_gap: f64 = (0..n)
-            .map(|_| bg.sample_interarrival_for(&mut rng, capacity).unwrap().as_secs_f64())
+            .map(|_| {
+                bg.sample_interarrival_for(&mut rng, capacity)
+                    .unwrap()
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / n as f64;
         let mean_size = 4.5; // uniform 1..=8
         let occupancy = mean_size * 300.0 / mean_gap;
         let target = 0.25 * capacity as f64;
-        assert!((occupancy - target).abs() / target < 0.05, "occupancy {occupancy} vs {target}");
+        assert!(
+            (occupancy - target).abs() / target < 0.05,
+            "occupancy {occupancy} vs {target}"
+        );
     }
 
     #[test]
@@ -192,7 +199,10 @@ mod tests {
         };
         let big = mean(&mut rng, 85);
         let small = mean(&mut rng, 32);
-        assert!(small > big * 2.0, "small clusters see fewer local jobs: {small} vs {big}");
+        assert!(
+            small > big * 2.0,
+            "small clusters see fewer local jobs: {small} vs {big}"
+        );
     }
 
     #[test]
@@ -200,7 +210,9 @@ mod tests {
         let bg = BackgroundLoad::light();
         let mut rng = SimRng::seed_from_u64(4);
         let n = 40_000;
-        let total: f64 = (0..n).map(|_| bg.sample_job(&mut rng).duration.as_secs_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| bg.sample_job(&mut rng).duration.as_secs_f64())
+            .sum();
         let mean = total / n as f64;
         assert!((mean - 300.0).abs() < 10.0, "mean {mean}");
     }

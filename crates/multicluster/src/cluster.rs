@@ -94,7 +94,10 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::Insufficient { requested, available } => {
+            AllocError::Insufficient {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} nodes but only {available} free")
             }
             AllocError::UnknownAlloc(id) => write!(f, "unknown allocation {id:?}"),
@@ -201,7 +204,10 @@ impl Cluster {
             return Err(AllocError::ZeroRequest);
         }
         if self.idle() < count {
-            return Err(AllocError::Insufficient { requested: count, available: self.idle() });
+            return Err(AllocError::Insufficient {
+                requested: count,
+                available: self.idle(),
+            });
         }
         let id = AllocId(self.next_alloc);
         self.next_alloc += 1;
@@ -224,7 +230,10 @@ impl Cluster {
             return Err(AllocError::UnknownAlloc(id));
         }
         if self.idle() < extra {
-            return Err(AllocError::Insufficient { requested: extra, available: self.idle() });
+            return Err(AllocError::Insufficient {
+                requested: extra,
+                available: self.idle(),
+            });
         }
         for _ in 0..extra {
             let n = self.free.pop().expect("checked idle() above");
@@ -241,10 +250,16 @@ impl Cluster {
         if by == 0 {
             return Err(AllocError::ZeroRequest);
         }
-        let alloc = self.allocs.get_mut(&id).ok_or(AllocError::UnknownAlloc(id))?;
+        let alloc = self
+            .allocs
+            .get_mut(&id)
+            .ok_or(AllocError::UnknownAlloc(id))?;
         let held = alloc.nodes.len() as u32;
         if by > held {
-            return Err(AllocError::ShrinkTooLarge { held, requested: by });
+            return Err(AllocError::ShrinkTooLarge {
+                held,
+                requested: by,
+            });
         }
         for _ in 0..by {
             let n = alloc.nodes.pop().expect("checked held above");
@@ -259,7 +274,10 @@ impl Cluster {
 
     /// Releases an allocation entirely; returns the number of nodes freed.
     pub fn release(&mut self, id: AllocId) -> Result<u32, AllocError> {
-        let alloc = self.allocs.remove(&id).ok_or(AllocError::UnknownAlloc(id))?;
+        let alloc = self
+            .allocs
+            .remove(&id)
+            .ok_or(AllocError::UnknownAlloc(id))?;
         let n = alloc.nodes.len() as u32;
         for node in alloc.nodes {
             self.states[node.0 as usize] = NodeState::Free;
@@ -306,7 +324,10 @@ impl Cluster {
         for n in &self.free {
             seen[n.0 as usize] += 1;
             if self.states[n.0 as usize] != NodeState::Free {
-                return Err(format!("{n:?} in free list but state {:?}", self.states[n.0 as usize]));
+                return Err(format!(
+                    "{n:?} in free list but state {:?}",
+                    self.states[n.0 as usize]
+                ));
             }
         }
         for (id, a) in &self.allocs {
@@ -316,7 +337,10 @@ impl Cluster {
             for n in &a.nodes {
                 seen[n.0 as usize] += 1;
                 if self.states[n.0 as usize] != NodeState::Busy(*id) {
-                    return Err(format!("{n:?} in {id:?} but state {:?}", self.states[n.0 as usize]));
+                    return Err(format!(
+                        "{n:?} in {id:?} but state {:?}",
+                        self.states[n.0 as usize]
+                    ));
                 }
             }
         }
@@ -362,14 +386,23 @@ mod tests {
         let mut c = cluster(4);
         c.allocate(AllocOwner::Koala(1), 3).unwrap();
         let err = c.allocate(AllocOwner::Koala(2), 2).unwrap_err();
-        assert_eq!(err, AllocError::Insufficient { requested: 2, available: 1 });
+        assert_eq!(
+            err,
+            AllocError::Insufficient {
+                requested: 2,
+                available: 1
+            }
+        );
         c.check_invariants().unwrap();
     }
 
     #[test]
     fn zero_requests_are_bugs() {
         let mut c = cluster(4);
-        assert_eq!(c.allocate(AllocOwner::Koala(1), 0), Err(AllocError::ZeroRequest));
+        assert_eq!(
+            c.allocate(AllocOwner::Koala(1), 0),
+            Err(AllocError::ZeroRequest)
+        );
         let a = c.allocate(AllocOwner::Koala(1), 1).unwrap();
         assert_eq!(c.grow(a, 0), Err(AllocError::ZeroRequest));
         assert_eq!(c.shrink(a, 0), Err(AllocError::ZeroRequest));
@@ -382,7 +415,13 @@ mod tests {
         c.grow(a, 5).unwrap();
         assert_eq!(c.alloc_size(a), Some(7));
         assert_eq!(c.idle(), 3);
-        assert_eq!(c.grow(a, 4), Err(AllocError::Insufficient { requested: 4, available: 3 }));
+        assert_eq!(
+            c.grow(a, 4),
+            Err(AllocError::Insufficient {
+                requested: 4,
+                available: 3
+            })
+        );
         c.check_invariants().unwrap();
     }
 
@@ -394,7 +433,10 @@ mod tests {
         assert_eq!(c.alloc_size(a), Some(4));
         assert_eq!(
             c.shrink(a, 9),
-            Err(AllocError::ShrinkTooLarge { held: 4, requested: 9 })
+            Err(AllocError::ShrinkTooLarge {
+                held: 4,
+                requested: 9
+            })
         );
         assert_eq!(c.shrink(a, 4).unwrap(), 4);
         assert_eq!(c.alloc_size(a), None, "empty allocation disappears");

@@ -58,16 +58,27 @@ impl FileCatalog {
         for row in &bandwidth_gbps {
             assert_eq!(row.len(), n, "bandwidth matrix must be square");
         }
-        FileCatalog { files: BTreeMap::new(), bandwidth_gbps, next_file: 0 }
+        FileCatalog {
+            files: BTreeMap::new(),
+            bandwidth_gbps,
+            next_file: 0,
+        }
     }
 
     /// Registers a file with replicas at the given clusters; returns its id.
-    pub fn register(&mut self, size_gb: f64, replicas: impl IntoIterator<Item = ClusterId>) -> FileId {
+    pub fn register(
+        &mut self,
+        size_gb: f64,
+        replicas: impl IntoIterator<Item = ClusterId>,
+    ) -> FileId {
         let id = FileId(self.next_file);
         self.next_file += 1;
         self.files.insert(
             id,
-            FileMeta { size_gb, replicas: replicas.into_iter().collect() },
+            FileMeta {
+                size_gb,
+                replicas: replicas.into_iter().collect(),
+            },
         );
         id
     }
@@ -141,8 +152,11 @@ mod tests {
     fn remote_transfer_uses_bandwidth() {
         let mut cat = FileCatalog::uniform(2, 10.0); // 10 Gb/s
         let f = cat.register(10.0, [ClusterId(0)]); // 10 GB = 80 Gb
-        // 80 Gb / 10 Gb/s = 8 s.
-        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::from_secs(8)));
+                                                    // 80 Gb / 10 Gb/s = 8 s.
+        assert_eq!(
+            cat.transfer_time(f, ClusterId(1)),
+            Some(SimDuration::from_secs(8))
+        );
     }
 
     #[test]
@@ -152,7 +166,10 @@ mod tests {
         let mut cat = FileCatalog::with_matrix(m);
         let f = cat.register(10.0, [ClusterId(0), ClusterId(2)]);
         // From 0: 80/1 = 80 s; from 2: 80/40 = 2 s.
-        assert_eq!(cat.transfer_time(f, ClusterId(1)), Some(SimDuration::from_secs(2)));
+        assert_eq!(
+            cat.transfer_time(f, ClusterId(1)),
+            Some(SimDuration::from_secs(2))
+        );
     }
 
     #[test]

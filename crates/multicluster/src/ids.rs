@@ -7,7 +7,9 @@
 use std::fmt;
 
 /// Index of a cluster within a [`crate::Multicluster`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClusterId(pub u16);
 
 /// Index of a node within its cluster.

@@ -88,7 +88,13 @@ impl InfoService {
             used_by_koala.push(c.used_by_koala());
             used_by_local.push(c.used_by_local());
         }
-        self.snapshot = Some(InfoSnapshot { taken_at: now, idle, capacity, used_by_koala, used_by_local });
+        self.snapshot = Some(InfoSnapshot {
+            taken_at: now,
+            idle,
+            capacity,
+            used_by_koala,
+            used_by_local,
+        });
         self.polls += 1;
     }
 
@@ -104,7 +110,9 @@ impl InfoService {
 
     /// Age of the current snapshot at `now`.
     pub fn staleness(&self, now: SimTime) -> Option<simcore::SimDuration> {
-        self.snapshot.as_ref().map(|s| now.saturating_since(s.taken_at))
+        self.snapshot
+            .as_ref()
+            .map(|s| now.saturating_since(s.taken_at))
     }
 }
 
@@ -140,7 +148,11 @@ mod tests {
         // Background job takes nodes *after* the poll.
         a.allocate(AllocOwner::Local(1), 8).unwrap();
         let s = kis.snapshot().unwrap();
-        assert_eq!(s.idle_of(ClusterId(0)), 10, "snapshot must not see the new job");
+        assert_eq!(
+            s.idle_of(ClusterId(0)),
+            10,
+            "snapshot must not see the new job"
+        );
         assert_eq!(a.idle(), 2, "live state did change");
     }
 

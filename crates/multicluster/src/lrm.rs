@@ -65,7 +65,12 @@ pub struct Lrm {
 impl Lrm {
     /// Wraps a cluster.
     pub fn new(cluster: Cluster) -> Self {
-        Lrm { cluster, queue: VecDeque::new(), next_local: 0, completed_local: 0 }
+        Lrm {
+            cluster,
+            queue: VecDeque::new(),
+            next_local: 0,
+            completed_local: 0,
+        }
     }
 
     /// Immutable access to the underlying cluster.
@@ -140,7 +145,9 @@ impl Lrm {
     /// Completes a local job: releases its allocation.
     pub fn complete_local(&mut self, alloc: AllocId) -> u32 {
         self.completed_local += 1;
-        self.cluster.release(alloc).expect("completion of live local job")
+        self.cluster
+            .release(alloc)
+            .expect("completion of live local job")
     }
 }
 

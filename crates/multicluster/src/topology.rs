@@ -33,7 +33,10 @@ impl Multicluster {
     /// Builds a system from cluster specs.
     pub fn new(specs: impl IntoIterator<Item = ClusterSpec>) -> Self {
         Multicluster {
-            lrms: specs.into_iter().map(|s| Lrm::new(Cluster::new(s))).collect(),
+            lrms: specs
+                .into_iter()
+                .map(|s| Lrm::new(Cluster::new(s)))
+                .collect(),
         }
     }
 
@@ -143,11 +146,26 @@ pub const DAS3_DELFT: ClusterId = ClusterId(2);
 /// to scale the same in all of the clusters, which may be heterogeneous."
 pub fn das3_heterogeneous() -> Multicluster {
     let specs = [
-        ("Vrije University", 85, Interconnect::Myri10GPlusEthernet, 1.25),
-        ("U. of Amsterdam", 41, Interconnect::Myri10GPlusEthernet, 1.15),
+        (
+            "Vrije University",
+            85,
+            Interconnect::Myri10GPlusEthernet,
+            1.25,
+        ),
+        (
+            "U. of Amsterdam",
+            41,
+            Interconnect::Myri10GPlusEthernet,
+            1.15,
+        ),
         ("Delft University", 68, Interconnect::EthernetOnly, 1.0),
         ("MultimediaN", 46, Interconnect::Myri10GPlusEthernet, 1.15),
-        ("Leiden University", 32, Interconnect::Myri10GPlusEthernet, 1.1),
+        (
+            "Leiden University",
+            32,
+            Interconnect::Myri10GPlusEthernet,
+            1.1,
+        ),
     ]
     .map(|(name, nodes, ic, speed)| {
         let mut spec = ClusterSpec::new(name, nodes, ic.label());
@@ -189,15 +207,26 @@ mod tests {
     fn heterogeneous_preset_keeps_table_i_shape() {
         let das = das3_heterogeneous();
         assert_eq!(das.total_capacity(), 272);
-        assert_eq!(das.cluster(DAS3_DELFT).spec().speed_factor, 1.0, "Delft is the reference");
-        assert!(das.cluster(ClusterId(0)).spec().speed_factor > 1.0, "VU is faster");
+        assert_eq!(
+            das.cluster(DAS3_DELFT).spec().speed_factor,
+            1.0,
+            "Delft is the reference"
+        );
+        assert!(
+            das.cluster(ClusterId(0)).spec().speed_factor > 1.0,
+            "VU is faster"
+        );
     }
 
     #[test]
     fn totals_track_allocations() {
         let mut das = das3();
-        das.cluster_mut(ClusterId(0)).allocate(AllocOwner::Koala(1), 10).unwrap();
-        das.cluster_mut(ClusterId(3)).allocate(AllocOwner::Local(2), 6).unwrap();
+        das.cluster_mut(ClusterId(0))
+            .allocate(AllocOwner::Koala(1), 10)
+            .unwrap();
+        das.cluster_mut(ClusterId(3))
+            .allocate(AllocOwner::Local(2), 6)
+            .unwrap();
         assert_eq!(das.total_used(), 16);
         assert_eq!(das.total_used_by_koala(), 10);
         assert_eq!(das.total_idle(), 272 - 16);

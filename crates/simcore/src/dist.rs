@@ -147,7 +147,10 @@ impl LogNormal {
         assert!(mean > 0.0 && cv >= 0.0);
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - 0.5 * sigma2;
-        LogNormal { mu, sigma: sigma2.sqrt() }
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 }
 
@@ -174,7 +177,10 @@ impl Weibull {
     /// Creates a Weibull distribution; panics unless both parameters are
     /// positive.
     pub fn new(k: f64, lambda: f64) -> Self {
-        assert!(k > 0.0 && lambda > 0.0, "Weibull parameters must be positive");
+        assert!(
+            k > 0.0 && lambda > 0.0,
+            "Weibull parameters must be positive"
+        );
         Weibull { k, lambda }
     }
 }
@@ -227,7 +233,10 @@ impl Distribution for BoundedPareto {
         } else {
             let la = l.powf(a);
             let ha = h.powf(a);
-            Some(la / (1.0 - la / ha) * a / (a - 1.0) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)))
+            Some(
+                la / (1.0 - la / ha) * a / (a - 1.0)
+                    * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)),
+            )
         }
     }
 }
@@ -286,7 +295,9 @@ impl Distribution for Zipf {
             (1..=self.n)
                 .map(|k| k as f64 / (k as f64).powf(self.s))
                 .sum::<f64>()
-                / (1..=self.n).map(|k| 1.0 / (k as f64).powf(self.s)).sum::<f64>(),
+                / (1..=self.n)
+                    .map(|k| 1.0 / (k as f64).powf(self.s))
+                    .sum::<f64>(),
         )
     }
 }

@@ -78,7 +78,10 @@ impl<E> Engine<E> {
     /// stop propagating themselves past the end instead of requiring an
     /// explicit cancellation pass.
     pub fn with_horizon(horizon: SimTime) -> Self {
-        Engine { horizon, ..Engine::new() }
+        Engine {
+            horizon,
+            ..Engine::new()
+        }
     }
 
     /// Current simulated time: the timestamp of the most recently popped

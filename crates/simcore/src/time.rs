@@ -10,12 +10,16 @@ use std::ops::{Add, AddAssign, Sub};
 
 /// An absolute instant in simulated time (milliseconds since simulation
 /// start).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (milliseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(u64);
 
@@ -194,14 +198,20 @@ mod tests {
         assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3000));
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1500));
-        assert_eq!(SimDuration::from_secs_f64(0.0015), SimDuration::from_millis(2));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0015),
+            SimDuration::from_millis(2)
+        );
     }
 
     #[test]
     fn negative_and_nan_seconds_clamp_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-4.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ mod tests {
     use super::*;
 
     fn timer(start_s: u64, period_s: u64) -> Periodic {
-        Periodic::new(SimTime::from_secs(start_s), SimDuration::from_secs(period_s))
+        Periodic::new(
+            SimTime::from_secs(start_s),
+            SimDuration::from_secs(period_s),
+        )
     }
 
     #[test]
@@ -78,14 +81,23 @@ mod tests {
         assert_eq!(t.next_after(SimTime::from_secs(0)), SimTime::from_secs(10));
         assert_eq!(t.next_after(SimTime::from_secs(9)), SimTime::from_secs(10));
         assert_eq!(t.next_after(SimTime::from_secs(10)), SimTime::from_secs(20));
-        assert_eq!(t.next_after(SimTime::from_millis(10_001)), SimTime::from_secs(20));
+        assert_eq!(
+            t.next_after(SimTime::from_millis(10_001)),
+            SimTime::from_secs(20)
+        );
     }
 
     #[test]
     fn at_or_after_includes_grid_points() {
         let t = timer(0, 10);
-        assert_eq!(t.next_at_or_after(SimTime::from_secs(10)), SimTime::from_secs(10));
-        assert_eq!(t.next_at_or_after(SimTime::from_secs(11)), SimTime::from_secs(20));
+        assert_eq!(
+            t.next_at_or_after(SimTime::from_secs(10)),
+            SimTime::from_secs(10)
+        );
+        assert_eq!(
+            t.next_at_or_after(SimTime::from_secs(11)),
+            SimTime::from_secs(20)
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl Trace {
 
     /// A recorder keeping the most recent `capacity` entries.
     pub fn enabled(capacity: usize) -> Self {
-        Trace { enabled: true, capacity: capacity.max(1), events: Vec::new(), dropped: 0 }
+        Trace {
+            enabled: true,
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Whether recording is active.
@@ -74,7 +79,12 @@ impl Trace {
             self.dropped += cut as u64;
             self.events.drain(..cut);
         }
-        self.events.push(TraceEvent { at, category, subject, detail: detail() });
+        self.events.push(TraceEvent {
+            at,
+            category,
+            subject,
+            detail: detail(),
+        });
     }
 
     /// The recorded entries, oldest first.

@@ -24,12 +24,17 @@ fn main() {
     for (label, bg) in [
         ("none", BackgroundLoad::none()),
         ("light (fixed trickle)", BackgroundLoad::light()),
-        ("concurrent users 30%", BackgroundLoad::concurrent_users(0.30)),
-        ("concurrent users 60%", BackgroundLoad::concurrent_users(0.60)),
+        (
+            "concurrent users 30%",
+            BackgroundLoad::concurrent_users(0.30),
+        ),
+        (
+            "concurrent users 60%",
+            BackgroundLoad::concurrent_users(0.60),
+        ),
     ] {
         for reserve in [0u32, 16] {
-            let mut cfg =
-                ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+            let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
             cfg.workload.jobs = 80;
             cfg.background = bg.clone();
             cfg.sched.grow_reserve = reserve;

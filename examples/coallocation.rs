@@ -53,7 +53,9 @@ fn main() {
                 println!(
                     "  {:<4} -> {:?} ({} clusters; remaining {})",
                     policy.label(),
-                    p.iter().map(|cp| (cp.cluster.0, cp.size)).collect::<Vec<_>>(),
+                    p.iter()
+                        .map(|cp| (cp.cluster.0, cp.size))
+                        .collect::<Vec<_>>(),
                     clusters.len(),
                     show(&avail)
                 );
@@ -80,7 +82,9 @@ fn main() {
         Some(p) => {
             println!(
                 "  FCM  -> {:?} (remaining {})",
-                p.iter().map(|cp| (cp.cluster.0, cp.size)).collect::<Vec<_>>(),
+                p.iter()
+                    .map(|cp| (cp.cluster.0, cp.size))
+                    .collect::<Vec<_>>(),
                 show(&avail)
             );
         }

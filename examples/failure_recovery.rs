@@ -26,10 +26,25 @@ fn main() {
     // jobs for the rest.
     let vu = ClusterId(0);
     let mut engine = Engine::new();
-    engine.schedule_at(SimTime::from_secs(1500), Ev::NodeWithdraw { cluster: vu, count: 60 });
-    engine.schedule_at(SimTime::from_secs(4000), Ev::NodeRestore { cluster: vu, count: 60 });
+    engine.schedule_at(
+        SimTime::from_secs(1500),
+        Ev::NodeWithdraw {
+            cluster: vu,
+            count: 60,
+        },
+    );
+    engine.schedule_at(
+        SimTime::from_secs(4000),
+        Ev::NodeRestore {
+            cluster: vu,
+            count: 60,
+        },
+    );
 
-    println!("running {} with a 60-node withdrawal at t=1500s (restore t=4000s) ...", cfg.name);
+    println!(
+        "running {} with a 60-node withdrawal at t=1500s (restore t=4000s) ...",
+        cfg.name
+    );
     let report = World::new(&cfg).run_to_completion(&mut engine);
 
     println!(
@@ -48,7 +63,11 @@ fn main() {
     for t in (0..=6000).step_by(500) {
         let used = report.utilization.value_at(SimTime::from_secs(t), 0.0);
         let bar = "#".repeat((used / 2.0).round() as usize);
-        let marker = if (1500..4000).contains(&t) { " <- degraded" } else { "" };
+        let marker = if (1500..4000).contains(&t) {
+            " <- degraded"
+        } else {
+            ""
+        };
         println!("  t={t:>5}s {used:>5.0} {bar}{marker}");
     }
 

@@ -34,7 +34,11 @@ fn main() {
         let avg = jobs.average_size_ecdf();
         let exec = jobs.execution_time_ecdf();
         let resp = jobs.response_time_ecdf();
-        let grows: f64 = m.runs.iter().map(|r| r.grow_ops.total() as f64).sum::<f64>()
+        let grows: f64 = m
+            .runs
+            .iter()
+            .map(|r| r.grow_ops.total() as f64)
+            .sum::<f64>()
             / m.runs.len() as f64;
         let horizon = m.max_makespan();
         println!(

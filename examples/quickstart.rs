@@ -19,10 +19,17 @@ fn main() {
     cfg.workload.jobs = 60;
     cfg.seed = 42;
 
-    println!("running {} ({} jobs, seed {}) ...", cfg.name, cfg.workload.jobs, cfg.seed);
+    println!(
+        "running {} ({} jobs, seed {}) ...",
+        cfg.name, cfg.workload.jobs, cfg.seed
+    );
     let report = run_experiment(&cfg);
 
-    println!("\ncompleted {:.1}% of {} jobs", 100.0 * report.jobs.completion_ratio(), report.jobs.len());
+    println!(
+        "\ncompleted {:.1}% of {} jobs",
+        100.0 * report.jobs.completion_ratio(),
+        report.jobs.len()
+    );
     println!("makespan: {}", report.makespan);
     println!("events: {}, KIS polls: {}", report.events, report.kis_polls);
     println!(
@@ -58,7 +65,10 @@ fn main() {
     for app in ["FT", "GADGET2"] {
         let t = report.jobs.filter_app(app);
         if let Some(med) = t.execution_time_ecdf().median() {
-            println!("  {app:<8} median execution {med:.0}s over {} jobs", t.len());
+            println!(
+                "  {app:<8} median execution {med:.0}s over {} jobs",
+                t.len()
+            );
         }
     }
 

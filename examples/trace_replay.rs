@@ -31,7 +31,9 @@ fn main() {
     cfg.trace = Some(reimported);
     cfg.seed = 99;
     let mut engine = Engine::new();
-    let report = World::new(&cfg).with_trace(4096).run_to_completion(&mut engine);
+    let report = World::new(&cfg)
+        .with_trace(4096)
+        .run_to_completion(&mut engine);
 
     println!(
         "\nreplayed {} jobs, {:.0}% complete, {} trace entries",
@@ -48,7 +50,9 @@ fn main() {
 
     // 4. Category statistics.
     println!("\n--- trace categories ---");
-    for cat in ["arrive", "place", "start", "grow", "shrink", "resume", "complete"] {
+    for cat in [
+        "arrive", "place", "start", "grow", "shrink", "resume", "complete",
+    ] {
         let n = report.trace.of_category(cat).count();
         if n > 0 {
             println!("{cat:<9} {n}");
@@ -57,5 +61,9 @@ fn main() {
 
     // 5. The CSV is ready for timeline tooling.
     let csv = report.trace.to_csv();
-    println!("\ntrace CSV: {} bytes, first row: {}", csv.len(), csv.lines().nth(1).unwrap_or(""));
+    println!(
+        "\ntrace CSV: {} bytes, first row: {}",
+        csv.len(),
+        csv.lines().nth(1).unwrap_or("")
+    );
 }

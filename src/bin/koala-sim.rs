@@ -35,7 +35,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("init") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
             let json = serde_json::to_string_pretty(&cfg).expect("config serializes");
             if let Err(e) = std::fs::write(path, json) {
@@ -46,7 +48,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -68,7 +72,9 @@ fn main() -> ExitCode {
             while i < args.len() {
                 match args[i].as_str() {
                     "--seeds" => {
-                        let Some(list) = args.get(i + 1) else { return usage() };
+                        let Some(list) = args.get(i + 1) else {
+                            return usage();
+                        };
                         seeds = list
                             .split(',')
                             .filter_map(|s| s.trim().parse().ok())
@@ -79,12 +85,16 @@ fn main() -> ExitCode {
                         i += 2;
                     }
                     "--csv" => {
-                        let Some(d) = args.get(i + 1) else { return usage() };
+                        let Some(d) = args.get(i + 1) else {
+                            return usage();
+                        };
                         csv_dir = Some(PathBuf::from(d));
                         i += 2;
                     }
                     "--swf" => {
-                        let Some(f) = args.get(i + 1) else { return usage() };
+                        let Some(f) = args.get(i + 1) else {
+                            return usage();
+                        };
                         swf_out = Some(PathBuf::from(f));
                         i += 2;
                     }
@@ -133,6 +143,9 @@ fn run(
     ExitCode::SUCCESS
 }
 
+/// A per-job metric extractor, as accepted by `JobTable::ecdf_of`.
+type Metric = fn(&JobRecord) -> Option<f64>;
+
 fn print_report(m: &MultiReport) {
     let jobs = m.merged_jobs();
     println!(
@@ -141,14 +154,17 @@ fn print_report(m: &MultiReport) {
         jobs.len(),
         m.max_makespan()
     );
-    let rows: [(&str, fn(&JobRecord) -> Option<f64>); 5] = [
+    let rows: [(&str, Metric); 5] = [
         ("execution time (s)", JobRecord::execution_time),
         ("response time (s)", JobRecord::response_time),
         ("wait time (s)", JobRecord::wait_time),
         ("avg processors", JobRecord::average_size),
         ("max processors", JobRecord::max_size),
     ];
-    println!("{:<20} {:>9} {:>9} {:>9} {:>9}", "metric", "median", "mean", "p90", "max");
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9}",
+        "metric", "median", "mean", "p90", "max"
+    );
     for (name, f) in rows {
         let e = jobs.ecdf_of(f);
         println!(
@@ -178,7 +194,7 @@ fn print_report(m: &MultiReport) {
 
 fn write_csvs(m: &MultiReport, dir: &std::path::Path) {
     let jobs = m.merged_jobs();
-    let metrics: [(&str, fn(&JobRecord) -> Option<f64>); 4] = [
+    let metrics: [(&str, Metric); 4] = [
         ("execution_time", JobRecord::execution_time),
         ("response_time", JobRecord::response_time),
         ("avg_size", JobRecord::average_size),

@@ -12,7 +12,11 @@ use malleable_koala::koala::run_experiment;
 fn ft_only(policy: MalleabilityPolicy, pwa: bool, jobs: usize, seed: u64) -> ExperimentConfig {
     let workload = WorkloadSpec {
         apps: vec![AppKind::Ft],
-        ..if pwa { WorkloadSpec::wm_prime() } else { WorkloadSpec::wm() }
+        ..if pwa {
+            WorkloadSpec::wm_prime()
+        } else {
+            WorkloadSpec::wm()
+        }
     };
     let mut cfg = if pwa {
         ExperimentConfig::paper_pwa(policy, workload)
@@ -52,10 +56,18 @@ fn mixed_workload_respects_per_app_constraints_and_bounds() {
     cfg.seed = 77;
     let r = run_experiment(&cfg);
     for rec in r.jobs.records() {
-        let (min, max) = if rec.app == "FT" { (2u32, 32u32) } else { (2, 46) };
+        let (min, max) = if rec.app == "FT" {
+            (2u32, 32u32)
+        } else {
+            (2, 46)
+        };
         for &(_, size) in rec.size_history.points() {
             let s = size as u32;
-            assert!(s >= min && s <= max, "{} size {s} outside [{min}, {max}]", rec.app);
+            assert!(
+                s >= min && s <= max,
+                "{} size {s} outside [{min}, {max}]",
+                rec.app
+            );
             if rec.app == "FT" {
                 assert!(s.is_power_of_two(), "FT at {s}");
             }
@@ -76,7 +88,10 @@ fn mixed_workload_respects_per_app_constraints_and_bounds() {
 fn gadget_accepts_arbitrary_sizes() {
     // With the Any constraint at least one non-power-of-two size should
     // appear in a grown GADGET-2 population.
-    let workload = WorkloadSpec { apps: vec![AppKind::Gadget2], ..WorkloadSpec::wm() };
+    let workload = WorkloadSpec {
+        apps: vec![AppKind::Gadget2],
+        ..WorkloadSpec::wm()
+    };
     let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, workload);
     cfg.workload.jobs = 60;
     cfg.seed = 8;

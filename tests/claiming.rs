@@ -23,7 +23,10 @@ fn catalog() -> FileCatalog {
 fn staged_job(at_s: u64) -> SubmittedJob {
     let mut spec = JobSpec::rigid(AppKind::Gadget2, 4);
     spec.input_files = vec![0];
-    SubmittedJob { at: SimTime::from_secs(at_s), spec }
+    SubmittedJob {
+        at: SimTime::from_secs(at_s),
+        spec,
+    }
 }
 
 fn cfg(claiming: ClaimingPolicy, placement: PlacementPolicy) -> ExperimentConfig {
@@ -42,13 +45,20 @@ fn close_to_files_avoids_staging_entirely() {
     // With CF the job lands at Leiden where the replica lives: staging
     // is zero and deferred claiming degenerates to immediate.
     let c = cfg(
-        ClaimingPolicy::Deferred { margin: SimDuration::from_secs(10) },
+        ClaimingPolicy::Deferred {
+            margin: SimDuration::from_secs(10),
+        },
         PlacementPolicy::CloseToFiles,
     );
     let mut engine = Engine::new();
-    let r = World::new(&c).with_files(catalog()).run_to_completion(&mut engine);
+    let r = World::new(&c)
+        .with_files(catalog())
+        .run_to_completion(&mut engine);
     let rec = &r.jobs.records()[0];
-    assert!(rec.wait_time().unwrap() < 10.0, "no staging at the replica site");
+    assert!(
+        rec.wait_time().unwrap() < 10.0,
+        "no staging at the replica site"
+    );
 }
 
 #[test]
@@ -58,11 +68,15 @@ fn deferred_claim_fires_near_the_end_of_staging() {
     // start, so execution starts around t = 800 s — and the processors
     // were NOT held during the staging window.
     let c = cfg(
-        ClaimingPolicy::Deferred { margin: SimDuration::from_secs(30) },
+        ClaimingPolicy::Deferred {
+            margin: SimDuration::from_secs(30),
+        },
         PlacementPolicy::WorstFit,
     );
     let mut engine = Engine::new();
-    let r = World::new(&c).with_files(catalog()).run_to_completion(&mut engine);
+    let r = World::new(&c)
+        .with_files(catalog())
+        .run_to_completion(&mut engine);
     let rec = &r.jobs.records()[0];
     let wait = rec.wait_time().unwrap();
     assert!(
@@ -86,7 +100,9 @@ fn immediate_claiming_holds_processors_through_staging() {
     // difference is what we assert).
     let c = cfg(ClaimingPolicy::Immediate, PlacementPolicy::WorstFit);
     let mut engine = Engine::new();
-    let r = World::new(&c).with_files(catalog()).run_to_completion(&mut engine);
+    let r = World::new(&c)
+        .with_files(catalog())
+        .run_to_completion(&mut engine);
     assert!(
         r.koala_used.value_at(SimTime::from_secs(1), 0.0) > 0.0,
         "immediate claiming takes processors at placement"
@@ -99,18 +115,28 @@ fn failed_deferred_claims_bounce_back_to_the_queue() {
     // fails; the job returns to the queue, is re-placed, and still
     // completes.
     let c = cfg(
-        ClaimingPolicy::Deferred { margin: SimDuration::from_secs(30) },
+        ClaimingPolicy::Deferred {
+            margin: SimDuration::from_secs(30),
+        },
         PlacementPolicy::WorstFit,
     );
     let mut engine = Engine::new();
     engine.schedule_at(
         SimTime::from_secs(100),
-        malleable_koala::koala::sim::Ev::NodeWithdraw { cluster: ClusterId(0), count: 85 },
+        malleable_koala::koala::sim::Ev::NodeWithdraw {
+            cluster: ClusterId(0),
+            count: 85,
+        },
     );
-    let r = World::new(&c).with_files(catalog()).run_to_completion(&mut engine);
+    let r = World::new(&c)
+        .with_files(catalog())
+        .run_to_completion(&mut engine);
     assert!(
         (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
         "the job must be re-placed and complete"
     );
-    assert!(r.placement_tries > 0, "the failed claim counts as a placement try");
+    assert!(
+        r.placement_tries > 0,
+        "the failed claim counts as a placement try"
+    );
 }

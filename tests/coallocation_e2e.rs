@@ -33,7 +33,10 @@ fn coallocated_jobs_run_and_release_all_components() {
     let trace = vec![
         coalloc_job(0, vec![16, 16, 16]),
         coalloc_job(60, vec![8, 8]),
-        SubmittedJob { at: SimTime::from_secs(120), spec: JobSpec::rigid(AppKind::Ft, 4) },
+        SubmittedJob {
+            at: SimTime::from_secs(120),
+            spec: JobSpec::rigid(AppKind::Ft, 4),
+        },
     ];
     let r = run_experiment(&trace_cfg(trace));
     assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
@@ -74,8 +77,12 @@ fn cluster_minimization_packs_and_beats_worst_fit() {
     wf.sched.placement = PlacementPolicy::WorstFit;
     let mut cm = trace_cfg(trace);
     cm.sched.placement = PlacementPolicy::ClusterMinimization;
-    let e_wf = run_experiment(&wf).jobs.records()[0].execution_time().unwrap();
-    let e_cm = run_experiment(&cm).jobs.records()[0].execution_time().unwrap();
+    let e_wf = run_experiment(&wf).jobs.records()[0]
+        .execution_time()
+        .unwrap();
+    let e_cm = run_experiment(&cm).jobs.records()[0]
+        .execution_time()
+        .unwrap();
     assert!(
         e_cm < e_wf,
         "CM ({e_cm:.0}s) should beat WF ({e_wf:.0}s) for co-allocated jobs"

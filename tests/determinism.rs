@@ -45,7 +45,10 @@ fn determinism_holds_across_threads() {
         .collect();
     let parallel = run_seeds(&cfg(0), &[5, 6, 7]);
     let parallel_fp: Vec<_> = parallel.runs.iter().map(fingerprint).collect();
-    assert_eq!(sequential, parallel_fp, "thread scheduling must not affect results");
+    assert_eq!(
+        sequential, parallel_fp,
+        "thread scheduling must not affect results"
+    );
 }
 
 #[test]
@@ -66,5 +69,8 @@ fn policy_choice_changes_the_trajectory() {
     base.sched.malleability = MalleabilityPolicy::Fpsma;
     base.name = "FPSMA/Wmr'".into();
     let b = run_experiment(&base);
-    assert_ne!(a.grow_messages, b.grow_messages, "EGS and FPSMA must behave differently");
+    assert_ne!(
+        a.grow_messages, b.grow_messages,
+        "EGS and FPSMA must behave differently"
+    );
 }

@@ -23,7 +23,10 @@ fn withdrawal_of_free_nodes_is_absorbed() {
     for c in 0..5u16 {
         engine.schedule_at(
             SimTime::from_secs(60),
-            Ev::NodeWithdraw { cluster: ClusterId(c), count: 16 },
+            Ev::NodeWithdraw {
+                cluster: ClusterId(c),
+                count: 16,
+            },
         );
     }
     let report = World::new(&cfg(30, 5)).run_to_completion(&mut engine);
@@ -39,7 +42,10 @@ fn withdrawal_beyond_free_nodes_forces_shrinks() {
     // Give jobs time to grow, then take most of the biggest cluster.
     engine.schedule_at(
         SimTime::from_secs(2000),
-        Ev::NodeWithdraw { cluster: ClusterId(0), count: 80 },
+        Ev::NodeWithdraw {
+            cluster: ClusterId(0),
+            count: 80,
+        },
     );
     let report = World::new(&cfg(40, 9)).run_to_completion(&mut engine);
     assert!((report.jobs.completion_ratio() - 1.0).abs() < 1e-12);
@@ -61,11 +67,17 @@ fn restore_after_withdrawal_reenables_growth() {
     for c in 0..5u16 {
         engine.schedule_at(
             SimTime::from_secs(10),
-            Ev::NodeWithdraw { cluster: ClusterId(c), count: 30 },
+            Ev::NodeWithdraw {
+                cluster: ClusterId(c),
+                count: 30,
+            },
         );
         engine.schedule_at(
             SimTime::from_secs(3000),
-            Ev::NodeRestore { cluster: ClusterId(c), count: 30 },
+            Ev::NodeRestore {
+                cluster: ClusterId(c),
+                count: 30,
+            },
         );
     }
     let report = World::new(&cfg(40, 11)).run_to_completion(&mut engine);
@@ -88,11 +100,17 @@ fn repeated_withdraw_restore_cycles_are_stable() {
         let t0 = 500 + k * 1000;
         engine.schedule_at(
             SimTime::from_secs(t0),
-            Ev::NodeWithdraw { cluster: ClusterId((k % 5) as u16), count: 20 },
+            Ev::NodeWithdraw {
+                cluster: ClusterId((k % 5) as u16),
+                count: 20,
+            },
         );
         engine.schedule_at(
             SimTime::from_secs(t0 + 500),
-            Ev::NodeRestore { cluster: ClusterId((k % 5) as u16), count: 20 },
+            Ev::NodeRestore {
+                cluster: ClusterId((k % 5) as u16),
+                count: 20,
+            },
         );
     }
     let report = World::new(&cfg(35, 13)).run_to_completion(&mut engine);

@@ -25,8 +25,7 @@ fn every_policy_combination_completes() {
             MalleabilityPolicy::Folding,
         ] {
             for approach in [Approach::Pra, Approach::Pwa] {
-                let mut cfg =
-                    ExperimentConfig::paper_pra(malleability, WorkloadSpec::wmr_prime());
+                let mut cfg = ExperimentConfig::paper_pra(malleability, WorkloadSpec::wmr_prime());
                 cfg.sched.placement = placement;
                 cfg.sched.approach = approach;
                 cfg.workload.jobs = 15;
@@ -59,7 +58,9 @@ fn moldable_requests_take_the_largest_feasible_size() {
         constraint: SizeConstraint::MultipleOf(4),
     });
     let mut avail = vec![10, 30, 22];
-    let p = PlacementPolicy::WorstFit.place(&req, &mut avail, None).unwrap();
+    let p = PlacementPolicy::WorstFit
+        .place(&req, &mut avail, None)
+        .unwrap();
     assert_eq!(p[0].cluster, ClusterId(1));
     assert_eq!(p[0].size, 28, "30 idle floors to 28 under MultipleOf(4)");
 }
@@ -82,8 +83,14 @@ fn close_to_files_end_to_end_with_catalog() {
         flexible: false,
     };
     let mut avail: Vec<u32> = das.clusters().map(|c| c.idle()).collect();
-    let p = PlacementPolicy::CloseToFiles.place(&req, &mut avail, Some(&catalog)).unwrap();
-    assert_eq!(p[0].cluster, ClusterId(4), "CF must prefer the replica site");
+    let p = PlacementPolicy::CloseToFiles
+        .place(&req, &mut avail, Some(&catalog))
+        .unwrap();
+    assert_eq!(
+        p[0].cluster,
+        ClusterId(4),
+        "CF must prefer the replica site"
+    );
 }
 
 #[test]
@@ -96,7 +103,10 @@ fn engine_horizon_bounds_runaway_runs() {
     cfg.seed = 33;
     let r = run_experiment(&cfg);
     assert_eq!(r.jobs.len(), 50);
-    assert!(r.jobs.completion_ratio() < 1.0, "500s cannot finish 50 jobs");
+    assert!(
+        r.jobs.completion_ratio() < 1.0,
+        "500s cannot finish 50 jobs"
+    );
     assert!(r.makespan <= simcore::SimTime::from_secs(500));
 }
 

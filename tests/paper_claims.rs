@@ -79,8 +79,14 @@ fn grow_activity_orderings() {
     let fpsma_wm = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
     let egs_wm = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
     let egs_wmr = pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr());
-    assert!(grows(&egs_wm) > grows(&fpsma_wm), "EGS should grow more often");
-    assert!(grows(&egs_wm) > grows(&egs_wmr), "Wm should grow more often than Wmr");
+    assert!(
+        grows(&egs_wm) > grows(&fpsma_wm),
+        "EGS should grow more often"
+    );
+    assert!(
+        grows(&egs_wm) > grows(&egs_wmr),
+        "Wm should grow more often than Wmr"
+    );
 }
 
 /// PRA never shrinks (its definition); PWA under the primed workloads
@@ -119,7 +125,10 @@ fn pwa_gadget_runs_near_minimum_size() {
         pwa_exec > pra_exec * 1.2,
         "PWA GADGET-2 median {pwa_exec:.0}s should exceed PRA's {pra_exec:.0}s by well over 20%"
     );
-    assert!(pwa_exec > 500.0, "PWA GADGET-2 median {pwa_exec:.0}s should be near T(2) = 600s");
+    assert!(
+        pwa_exec > 500.0,
+        "PWA GADGET-2 median {pwa_exec:.0}s should be near T(2) = 600s"
+    );
 }
 
 /// Two application populations (Fig. 7c): FT completes in well under
@@ -130,6 +139,14 @@ fn two_application_groups_are_visible() {
     let jobs = m.merged_jobs();
     let ft = jobs.filter_app("FT").execution_time_ecdf();
     let gadget = jobs.filter_app("GADGET2").execution_time_ecdf();
-    assert!(ft.quantile(0.9).unwrap() < 250.0, "FT p90 {:?}", ft.quantile(0.9));
-    assert!(gadget.quantile(0.1).unwrap() > 230.0, "GADGET p10 {:?}", gadget.quantile(0.1));
+    assert!(
+        ft.quantile(0.9).unwrap() < 250.0,
+        "FT p90 {:?}",
+        ft.quantile(0.9)
+    );
+    assert!(
+        gadget.quantile(0.1).unwrap() > 230.0,
+        "GADGET p10 {:?}",
+        gadget.quantile(0.1)
+    );
 }

@@ -17,7 +17,10 @@ fn six_hundred_jobs_with_everything_enabled() {
     cfg.workload.jobs = 600;
     cfg.workload.malleable_fraction = 0.6;
     cfg.workload.moldable_fraction = 0.2;
-    cfg.workload.initiative = Some(GrowInitiative { at_progress: 0.5, extra: 6 });
+    cfg.workload.initiative = Some(GrowInitiative {
+        at_progress: 0.5,
+        extra: 6,
+    });
     cfg.workload.initiative_fraction = 0.3;
     cfg.heterogeneous = true;
     cfg.seed = 2024;
@@ -30,7 +33,10 @@ fn six_hundred_jobs_with_everything_enabled() {
     );
     // Platform-wide sanity at every utilization transition.
     for &(_, used) in r.utilization.points() {
-        assert!((0.0..=272.0).contains(&used), "used {used} outside [0, 272]");
+        assert!(
+            (0.0..=272.0).contains(&used),
+            "used {used} outside [0, 272]"
+        );
     }
     // Final state: every KOALA processor is back (background jobs may
     // still be running when the last KOALA job completes — the run ends

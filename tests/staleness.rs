@@ -66,8 +66,8 @@ fn heterogeneous_clusters_speed_up_fast_site_jobs() {
     // The same rigid job on the homogeneous vs. heterogeneous testbed:
     // placed on VU (the fastest site under WF), it must finish sooner on
     // the heterogeneous variant.
-    use malleable_koala::appsim::{AppKind, JobSpec};
     use malleable_koala::appsim::workload::SubmittedJob;
+    use malleable_koala::appsim::{AppKind, JobSpec};
     let job = SubmittedJob {
         at: malleable_koala::simcore::SimTime::ZERO,
         spec: JobSpec::rigid(AppKind::Gadget2, 8),
@@ -85,7 +85,10 @@ fn heterogeneous_clusters_speed_up_fast_site_jobs() {
         e_hetero < e_homo,
         "VU at 1.25x speed must beat the homogeneous run ({e_hetero:.0}s vs {e_homo:.0}s)"
     );
-    assert!((e_homo / e_hetero - 1.25).abs() < 0.05, "ratio should be ~the speed factor");
+    assert!(
+        (e_homo / e_hetero - 1.25).abs() < 0.05,
+        "ratio should be ~the speed factor"
+    );
 }
 
 #[test]
