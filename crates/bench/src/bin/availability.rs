@@ -10,7 +10,7 @@
 //! the robustness malleability buys.
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin availability
+//! cargo run --release -p koala_bench --bin availability [-- --threads N]
 //! ```
 
 use appsim::workload::WorkloadSpec;
@@ -18,7 +18,7 @@ use koala::config::ExperimentConfig;
 use koala::malleability::MalleabilityPolicy;
 use koala::report::MultiReport;
 use koala::sim::{Ev, World};
-use koala_bench::SEEDS;
+use koala_bench::{init_threads, SEEDS};
 use koala_metrics::JobRecord;
 use multicluster::ClusterId;
 use simcore::{Engine, SimTime};
@@ -49,21 +49,22 @@ fn schedule_storm(engine: &mut Engine<Ev>) {
 }
 
 fn run_under_storm(cfg: &ExperimentConfig) -> MultiReport {
-    let runs = SEEDS
-        .iter()
-        .map(|&seed| {
-            let mut c = cfg.clone();
-            c.seed = seed;
-            let mut engine = Engine::new();
-            schedule_storm(&mut engine);
-            World::new(&c).run_to_completion(&mut engine)
-        })
-        .collect();
+    // The storm pre-loads each engine with withdraw/restore events, so
+    // this binary cannot go through `run_seeds`; the seeds still run on
+    // the shared work-stealing pool, merged back in seed order.
+    let runs = koala::parallel::parallel_map(&SEEDS, koala::parallel::default_threads(), |&seed| {
+        let mut engine = Engine::new();
+        schedule_storm(&mut engine);
+        World::for_seed(cfg, seed).run_to_completion(&mut engine)
+    });
     MultiReport::new(cfg.name.clone(), runs)
 }
 
 fn main() {
-    println!("availability variation: rolling 60% node withdrawals, one cluster at a time\n");
+    let threads = init_threads();
+    println!(
+        "availability variation: rolling 60% node withdrawals, one cluster at a time ({threads} thread(s))\n"
+    );
     println!(
         "{:<12} {:>8} {:>11} {:>11} {:>11} {:>10}",
         "workload", "done %", "exec (s)", "resp (s)", "shrinks", "grows"

@@ -3,7 +3,7 @@
 //! cluster in the paper; analytic calibrations here — see DESIGN.md §2).
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin fig6
+//! cargo run --release -p koala_bench --bin fig6
 //! ```
 
 use appsim::speedup::{ft_model, gadget2_model, SpeedupModel};

@@ -11,19 +11,20 @@
 //!   (f) cumulative grow operations over time
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin fig7
+//! cargo run --release -p koala_bench --bin fig7 [-- --threads N]
 //! ```
 
 use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
 use koala::malleability::MalleabilityPolicy;
 use koala_bench::{
-    cell_summary, ops_points, out_dir, panel_metrics, run_cell, utilization_points, write_ecdf_csv,
-    write_timeseries_csv,
+    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, utilization_points,
+    write_ecdf_csv, write_timeseries_csv,
 };
 use koala_metrics::plot;
 
 fn main() {
+    let threads = init_threads();
     let cells: Vec<ExperimentConfig> = vec![
         ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
         ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr()),
@@ -31,8 +32,8 @@ fn main() {
         ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
     ];
     println!("Fig. 7 — FPSMA vs. EGS with the PRA approach (no shrinking)");
-    println!("running 4 configurations x 4 seeds x 300 jobs ...\n");
-    let reports: Vec<_> = cells.iter().map(run_cell).collect();
+    println!("running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s) ...\n");
+    let reports = run_cells(&cells);
     for m in &reports {
         println!("{}", cell_summary(m));
     }

@@ -1,0 +1,322 @@
+//! `koala-bench perf` — the measurement harness of the performance
+//! subsystem (ISSUE 2, layer 3).
+//!
+//! Runs a standard workload matrix through both the sequential and the
+//! parallel cell runner, reports events/sec and wall-clock per figure
+//! pipeline, **verifies the determinism guarantee on the real matrix**
+//! (the parallel `MultiReport` must render byte-identically to the
+//! sequential one), and writes the machine-readable baseline
+//! `BENCH_2.json` at the current directory (the repo root when run via
+//! `cargo run`), so future perf PRs have a trajectory to beat.
+//!
+//! ```text
+//! cargo run --release -p koala_bench --bin perf [-- --smoke] [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--smoke`   — tiny matrix (20 jobs × 2 seeds) for CI: exercises the
+//!   parallel runner and the determinism check in seconds, writes the
+//!   JSON to a temp file unless `--out` is given.
+//! * `--threads` — worker count for the parallel passes (default:
+//!   `KOALA_THREADS`, then the detected hardware parallelism).
+//! * `--out`     — output path for the JSON report.
+
+use std::time::Instant;
+
+use appsim::workload::WorkloadSpec;
+use koala::config::ExperimentConfig;
+use koala::malleability::MalleabilityPolicy;
+use koala::parallel::{run_cells, Cell};
+use koala::report::RunReport;
+use koala_bench::{init_threads, SEEDS};
+use serde::Value;
+
+/// One measured pipeline: label + cell configs (each run across seeds).
+struct Pipeline {
+    name: &'static str,
+    cfgs: Vec<ExperimentConfig>,
+}
+
+struct Measurement {
+    name: &'static str,
+    cells: usize,
+    seeds: usize,
+    jobs: usize,
+    runs: usize,
+    events: u64,
+    sequential_s: f64,
+    parallel_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.sequential_s / self.parallel_s.max(1e-12)
+    }
+    fn events_per_sec_sequential(&self) -> f64 {
+        self.events as f64 / self.sequential_s.max(1e-12)
+    }
+    fn events_per_sec_parallel(&self) -> f64 {
+        self.events as f64 / self.parallel_s.max(1e-12)
+    }
+}
+
+fn pipelines(jobs: usize, smoke: bool) -> Vec<Pipeline> {
+    let sized = |mut cfg: ExperimentConfig| {
+        cfg.workload.jobs = jobs;
+        cfg
+    };
+    let fig7 = Pipeline {
+        name: "fig7",
+        cfgs: vec![
+            sized(ExperimentConfig::paper_pra(
+                MalleabilityPolicy::Fpsma,
+                WorkloadSpec::wm(),
+            )),
+            sized(ExperimentConfig::paper_pra(
+                MalleabilityPolicy::Fpsma,
+                WorkloadSpec::wmr(),
+            )),
+            sized(ExperimentConfig::paper_pra(
+                MalleabilityPolicy::Egs,
+                WorkloadSpec::wm(),
+            )),
+            sized(ExperimentConfig::paper_pra(
+                MalleabilityPolicy::Egs,
+                WorkloadSpec::wmr(),
+            )),
+        ],
+    };
+    if smoke {
+        return vec![fig7];
+    }
+    let fig8 = Pipeline {
+        name: "fig8",
+        cfgs: vec![
+            sized(ExperimentConfig::paper_pwa(
+                MalleabilityPolicy::Fpsma,
+                WorkloadSpec::wm_prime(),
+            )),
+            sized(ExperimentConfig::paper_pwa(
+                MalleabilityPolicy::Fpsma,
+                WorkloadSpec::wmr_prime(),
+            )),
+            sized(ExperimentConfig::paper_pwa(
+                MalleabilityPolicy::Egs,
+                WorkloadSpec::wm_prime(),
+            )),
+            sized(ExperimentConfig::paper_pwa(
+                MalleabilityPolicy::Egs,
+                WorkloadSpec::wmr_prime(),
+            )),
+        ],
+    };
+    // Table I of the paper is analytic (no simulation); its pipeline cost
+    // is negligible and not measured. The two headline figure pipelines
+    // dominate the reproduction's wall-clock.
+    vec![fig7, fig8]
+}
+
+fn measure(p: &Pipeline, seeds: &[u64], threads: usize, jobs: usize) -> Measurement {
+    let cells: Vec<Cell<'_>> = p
+        .cfgs
+        .iter()
+        .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
+        .collect();
+
+    // Untimed warm-up of the full matrix: the first pass of a process
+    // absorbs one-time costs (code-page faults, allocator growth), and
+    // timing it would bias whichever of the two measured passes runs
+    // first — this baseline must not flatter either side.
+    let _ = run_cells(&cells, threads);
+
+    let t0 = Instant::now();
+    let sequential: Vec<RunReport> = run_cells(&cells, 1);
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel: Vec<RunReport> = run_cells(&cells, threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    // The determinism guarantee, enforced on the real matrix: merged
+    // parallel output must be bit-identical to the sequential loop.
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "{}: parallel output diverged from sequential",
+        p.name
+    );
+
+    Measurement {
+        name: p.name,
+        cells: p.cfgs.len(),
+        seeds: seeds.len(),
+        jobs,
+        runs: cells.len(),
+        events: sequential.iter().map(|r| r.events).sum(),
+        sequential_s,
+        parallel_s,
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn report_json(
+    smoke: bool,
+    threads: usize,
+    hardware_threads: usize,
+    measurements: &[Measurement],
+) -> Value {
+    let total_events: u64 = measurements.iter().map(|m| m.events).sum();
+    let total_seq: f64 = measurements.iter().map(|m| m.sequential_s).sum();
+    let total_par: f64 = measurements.iter().map(|m| m.parallel_s).sum();
+    obj(vec![
+        ("bench", Value::String("BENCH_2".into())),
+        (
+            "description",
+            Value::String(
+                "Parallel experiment runner + allocation-free scheduling hot path: \
+                 wall-clock and events/sec per figure pipeline, sequential vs parallel"
+                    .into(),
+            ),
+        ),
+        (
+            "command",
+            Value::String(format!(
+                "cargo run --release -p koala_bench --bin perf{}",
+                if smoke { " -- --smoke" } else { "" }
+            )),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("threads", Value::UInt(threads as u64)),
+        ("hardware_threads", Value::UInt(hardware_threads as u64)),
+        (
+            "determinism_verified",
+            // measure() asserts sequential == parallel before we get here.
+            Value::Bool(true),
+        ),
+        (
+            "pipelines",
+            Value::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("name", Value::String(m.name.into())),
+                            ("cells", Value::UInt(m.cells as u64)),
+                            ("seeds", Value::UInt(m.seeds as u64)),
+                            ("jobs_per_run", Value::UInt(m.jobs as u64)),
+                            ("runs", Value::UInt(m.runs as u64)),
+                            ("events", Value::UInt(m.events)),
+                            ("sequential_s", Value::Float(round3(m.sequential_s))),
+                            ("parallel_s", Value::Float(round3(m.parallel_s))),
+                            ("speedup", Value::Float(round3(m.speedup()))),
+                            (
+                                "events_per_sec_sequential",
+                                Value::Float(m.events_per_sec_sequential().round()),
+                            ),
+                            (
+                                "events_per_sec_parallel",
+                                Value::Float(m.events_per_sec_parallel().round()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "totals",
+            obj(vec![
+                ("events", Value::UInt(total_events)),
+                ("sequential_s", Value::Float(round3(total_seq))),
+                ("parallel_s", Value::Float(round3(total_par))),
+                (
+                    "speedup",
+                    Value::Float(round3(total_seq / total_par.max(1e-12))),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        });
+    let threads = init_threads();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (jobs, seeds): (usize, &[u64]) = if smoke {
+        (20, &SEEDS[..2])
+    } else {
+        (300, &SEEDS[..])
+    };
+    println!(
+        "koala-bench perf — {} matrix, {} thread(s) (hardware: {hardware_threads})",
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+
+    let mut measurements = Vec::new();
+    for p in pipelines(jobs, smoke) {
+        let m = measure(&p, seeds, threads, jobs);
+        println!(
+            "  {:<6} {:>3} runs ({} cells x {} seeds x {} jobs): \
+             seq {:>7.3} s | par {:>7.3} s | speedup {:>5.2}x | {:>9.0} ev/s parallel",
+            m.name,
+            m.runs,
+            m.cells,
+            m.seeds,
+            m.jobs,
+            m.sequential_s,
+            m.parallel_s,
+            m.speedup(),
+            m.events_per_sec_parallel(),
+        );
+        measurements.push(m);
+    }
+    println!("  determinism: parallel output bit-identical to sequential on every pipeline");
+
+    let json = report_json(smoke, threads, hardware_threads, &measurements);
+    let text = serde_json::to_string_pretty(&ValueWrap(json)).expect("render JSON");
+    let path = out.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_2_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            "BENCH_2.json".to_string()
+        }
+    });
+    std::fs::write(&path, text + "\n").expect("write BENCH json");
+    println!("wrote {path}");
+}
+
+/// Adapter: the offline `serde_json` stand-in serializes through the
+/// `serde::Serialize` trait; a raw [`Value`] tree passes through as-is.
+struct ValueWrap(Value);
+
+impl serde::Serialize for ValueWrap {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}

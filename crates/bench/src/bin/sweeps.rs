@@ -1,8 +1,12 @@
 //! Ablation sweeps over the design choices DESIGN.md calls out.
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin sweeps [-- reconfig|polling|background|policies]
+//! cargo run --release -p koala_bench --bin sweeps [-- reconfig|polling|background|policies] [--threads N]
 //! ```
+//!
+//! Every sweep's `(configuration, seed)` cells are flattened into one
+//! work-stealing pool (see `koala::parallel`), so points run
+//! concurrently across `--threads`/`KOALA_THREADS` workers.
 //!
 //! * `reconfig`   — A1: how the grow/shrink suspension cost erodes the
 //!   benefit of malleability (the overhead the paper says prior
@@ -17,8 +21,7 @@ use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
 use koala::config::ExperimentConfig;
 use koala::malleability::MalleabilityPolicy;
-use koala::run_seeds;
-use koala_bench::cell_summary;
+use koala_bench::{cell_summary, init_threads_with_args, run_cells_with_seeds};
 use multicluster::BackgroundLoad;
 use simcore::SimDuration;
 
@@ -31,17 +34,26 @@ fn base(policy: MalleabilityPolicy) -> ExperimentConfig {
     cfg
 }
 
-fn run(name: &str, cfg: &ExperimentConfig) {
+/// Renames a configuration for its sweep label.
+fn named(name: &str, cfg: &ExperimentConfig) -> ExperimentConfig {
     let mut cfg = cfg.clone();
     cfg.name = name.to_string();
-    let m = run_seeds(&cfg, &SWEEP_SEEDS);
-    println!("{}", cell_summary(&m));
+    cfg
+}
+
+/// Runs one sweep's points as a single parallel batch and prints each
+/// point's summary in sweep order.
+fn run_batch(points: Vec<ExperimentConfig>) {
+    for m in run_cells_with_seeds(&points, &SWEEP_SEEDS) {
+        println!("{}", cell_summary(&m));
+    }
 }
 
 fn sweep_reconfig() {
     println!("\n== A1: reconfiguration-cost sweep (EGS/Wm, PRA) ==");
     println!("   (cost = application suspension per grow/shrink; the paper's MRunner");
     println!("    overlaps everything else with execution)");
+    let mut points = Vec::new();
     for (label, cost) in [
         ("free", ReconfigCost::Free),
         (
@@ -69,22 +81,26 @@ fn sweep_reconfig() {
     ] {
         let mut cfg = base(MalleabilityPolicy::Egs);
         cfg.sched.reconfig = cost;
-        run(&format!("cost={label}"), &cfg);
+        points.push(named(&format!("cost={label}"), &cfg));
     }
+    run_batch(points);
 }
 
 fn sweep_polling() {
     println!("\n== A2: KIS polling-period sweep (FPSMA/Wm, PRA) ==");
+    let mut points = Vec::new();
     for secs in [2u64, 10, 30, 60, 120] {
         let mut cfg = base(MalleabilityPolicy::Fpsma);
         cfg.sched.kis_poll_period = SimDuration::from_secs(secs);
         cfg.sched.queue_scan_period = SimDuration::from_secs(secs);
-        run(&format!("poll={secs}s"), &cfg);
+        points.push(named(&format!("poll={secs}s"), &cfg));
     }
+    run_batch(points);
 }
 
 fn sweep_background() {
     println!("\n== A3: background load and grow reserve (EGS/Wm, PRA) ==");
+    let mut points = Vec::new();
     for (bg_label, bg) in [
         ("none", BackgroundLoad::none()),
         ("light", BackgroundLoad::light()),
@@ -94,13 +110,15 @@ fn sweep_background() {
             let mut cfg = base(MalleabilityPolicy::Egs);
             cfg.background = bg.clone();
             cfg.sched.grow_reserve = reserve;
-            run(&format!("bg={bg_label},reserve={reserve}"), &cfg);
+            points.push(named(&format!("bg={bg_label},reserve={reserve}"), &cfg));
         }
     }
+    run_batch(points);
 }
 
 fn sweep_policies() {
     println!("\n== A4: policy cross-product incl. baselines (Wm, PRA then PWA/W'm) ==");
+    let mut points = Vec::new();
     for policy in [
         MalleabilityPolicy::Fpsma,
         MalleabilityPolicy::Egs,
@@ -108,7 +126,7 @@ fn sweep_policies() {
         MalleabilityPolicy::Folding,
     ] {
         let cfg = base(policy);
-        run(&format!("PRA/{}", policy.label()), &cfg);
+        points.push(named(&format!("PRA/{}", policy.label()), &cfg));
     }
     for policy in [
         MalleabilityPolicy::Fpsma,
@@ -118,14 +136,19 @@ fn sweep_policies() {
     ] {
         let mut cfg = ExperimentConfig::paper_pwa(policy, WorkloadSpec::wm_prime());
         cfg.workload.jobs = SWEEP_JOBS;
-        run(&format!("PWA/{}", policy.label()), &cfg);
+        points.push(named(&format!("PWA/{}", policy.label()), &cfg));
     }
+    run_batch(points);
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let (threads, positional) = init_threads_with_args();
+    let arg = positional
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".to_string());
     println!(
-        "ablation sweeps ({SWEEP_JOBS} jobs x {} seeds per point)",
+        "ablation sweeps ({SWEEP_JOBS} jobs x {} seeds per point, {threads} thread(s))",
         SWEEP_SEEDS.len()
     );
     match arg.as_str() {

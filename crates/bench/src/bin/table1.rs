@@ -2,7 +2,7 @@
 //! over the DAS-3 clusters.
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin table1
+//! cargo run --release -p koala_bench --bin table1
 //! ```
 
 use multicluster::das3;

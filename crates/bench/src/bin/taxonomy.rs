@@ -9,13 +9,13 @@
 //! adaptation on top.
 //!
 //! ```text
-//! cargo run --release -p koala-bench --bin taxonomy
+//! cargo run --release -p koala_bench --bin taxonomy [-- --threads N]
 //! ```
 
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
 use koala::malleability::MalleabilityPolicy;
-use koala_bench::{run_cell, SEEDS};
+use koala_bench::{init_threads, run_cells, SEEDS};
 use koala_metrics::JobRecord;
 
 fn class_workload(malleable: f64, moldable: f64, prime: bool) -> WorkloadSpec {
@@ -32,8 +32,9 @@ fn class_workload(malleable: f64, moldable: f64, prime: bool) -> WorkloadSpec {
 }
 
 fn main() {
+    let threads = init_threads();
     println!(
-        "job-class taxonomy: rigid vs moldable vs malleable (300 jobs x {} seeds)\n",
+        "job-class taxonomy: rigid vs moldable vs malleable (300 jobs x {} seeds, {threads} thread(s))\n",
         SEEDS.len()
     );
     for (approach, prime) in [(Approach::Pra, false), (Approach::Pwa, true)] {
@@ -47,26 +48,33 @@ fn main() {
             "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11}",
             "class", "avg size", "exec (s)", "resp (s)", "slowdown", "grows/run"
         );
-        for (class, malleable, moldable) in [
+        let classes = [
             ("rigid", 0.0, 0.0),
             ("moldable", 0.0, 1.0),
             ("malleable", 1.0, 0.0),
-        ] {
-            let mut cfg = ExperimentConfig {
-                name: class.to_string(),
-                ..ExperimentConfig::paper_pra(
-                    MalleabilityPolicy::Egs,
-                    class_workload(malleable, moldable, prime),
-                )
-            };
-            cfg.sched.approach = approach;
-            // A fair class comparison needs room for all three classes'
-            // natural sizes: with the paper-calibrated 12% expansion
-            // threshold a single moldable job would monopolize the
-            // entire malleable pool and serialize the system. Lift the
-            // threshold to 45% for this extension experiment.
-            cfg.sched.koala_share = 0.45;
-            let m = run_cell(&cfg);
+        ];
+        let cfgs: Vec<ExperimentConfig> = classes
+            .iter()
+            .map(|&(class, malleable, moldable)| {
+                let mut cfg = ExperimentConfig {
+                    name: class.to_string(),
+                    ..ExperimentConfig::paper_pra(
+                        MalleabilityPolicy::Egs,
+                        class_workload(malleable, moldable, prime),
+                    )
+                };
+                cfg.sched.approach = approach;
+                // A fair class comparison needs room for all three classes'
+                // natural sizes: with the paper-calibrated 12% expansion
+                // threshold a single moldable job would monopolize the
+                // entire malleable pool and serialize the system. Lift the
+                // threshold to 45% for this extension experiment.
+                cfg.sched.koala_share = 0.45;
+                cfg
+            })
+            .collect();
+        // All three classes' (config, seed) cells share one parallel pool.
+        for (&(class, _, _), m) in classes.iter().zip(run_cells(&cfgs)) {
             let jobs = m.merged_jobs();
             let grows: f64 = m
                 .runs

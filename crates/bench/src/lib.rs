@@ -16,6 +16,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use koala::config::ExperimentConfig;
+use koala::parallel::{self, Cell};
 use koala::report::MultiReport;
 use koala::run_seeds;
 use koala_metrics::csv::Csv;
@@ -33,9 +34,68 @@ pub fn out_dir() -> PathBuf {
     p
 }
 
-/// Runs one paper cell across [`SEEDS`].
+/// Parses a `--threads N` (or `--threads=N`) flag from the process
+/// arguments, installs it as the process-wide thread override, and
+/// returns the resolved worker count. Every figure binary calls this
+/// first; without the flag the `KOALA_THREADS` environment variable and
+/// then the detected hardware parallelism apply (see
+/// [`koala::parallel::default_threads`]).
+pub fn init_threads() -> usize {
+    init_threads_with_args().0
+}
+
+/// [`init_threads`], additionally returning the process arguments
+/// (after the binary name) with the `--threads` flag and its value
+/// stripped — the single place the flag's shape is encoded, so binaries
+/// with positional arguments (e.g. `sweeps`) cannot drift from the
+/// parser.
+pub fn init_threads_with_args() -> (usize, Vec<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            it.next()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            rest.push(a);
+            continue;
+        };
+        match value.as_deref().map(|v| v.trim().parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => parallel::set_thread_override(n),
+            _ => eprintln!("ignoring invalid --threads value {value:?}"),
+        }
+    }
+    (parallel::default_threads(), rest)
+}
+
+/// Runs one paper cell across [`SEEDS`] on the parallel cell runner.
 pub fn run_cell(cfg: &ExperimentConfig) -> MultiReport {
     run_seeds(cfg, &SEEDS)
+}
+
+/// Runs a whole sweep of configurations, each across [`SEEDS`], by
+/// flattening every `(config, seed)` pair into one work-stealing pool —
+/// a slow configuration's seeds overlap with a fast one's instead of the
+/// sweep executing cell after cell. Reports come back in configuration
+/// order, each aggregated in seed order (bit-identical to the
+/// sequential loop).
+pub fn run_cells(cfgs: &[ExperimentConfig]) -> Vec<MultiReport> {
+    run_cells_with_seeds(cfgs, &SEEDS)
+}
+
+/// [`run_cells`] with an explicit seed list (the perf harness uses a
+/// reduced list in smoke mode).
+pub fn run_cells_with_seeds(cfgs: &[ExperimentConfig], seeds: &[u64]) -> Vec<MultiReport> {
+    let cells: Vec<Cell<'_>> = cfgs
+        .iter()
+        .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
+        .collect();
+    let mut runs = parallel::run_cells(&cells, parallel::default_threads()).into_iter();
+    cfgs.iter()
+        .map(|cfg| MultiReport::new(cfg.name.clone(), runs.by_ref().take(seeds.len()).collect()))
+        .collect()
 }
 
 /// Writes an ECDF panel (one column per configuration) as CSV.
@@ -198,6 +258,21 @@ mod tests {
         let s = cell_summary(&m);
         assert!(s.contains("FPSMA/Wm"));
         assert!(s.contains("done=100.0%"));
+    }
+
+    #[test]
+    fn run_cells_matches_per_cell_runs() {
+        let mut a = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+        a.workload.jobs = 4;
+        let mut b = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        b.workload.jobs = 6;
+        let seeds = [5u64, 9];
+        let pooled = run_cells_with_seeds(&[a.clone(), b.clone()], &seeds);
+        assert_eq!(pooled.len(), 2);
+        let solo_a = koala::run_seeds_sequential(&a, &seeds);
+        let solo_b = koala::run_seeds_sequential(&b, &seeds);
+        assert_eq!(format!("{:?}", pooled[0]), format!("{solo_a:?}"));
+        assert_eq!(format!("{:?}", pooled[1]), format!("{solo_b:?}"));
     }
 
     #[test]

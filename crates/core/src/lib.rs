@@ -22,6 +22,9 @@
 //! * [`sim`] — the simulation world tying the scheduler to the
 //!   `multicluster` and `appsim` substrates; event definitions and
 //!   handlers.
+//! * [`parallel`] — the work-stealing cell runner executing
+//!   `(configuration × seed)` sweeps across OS threads with
+//!   deterministic, sequential-identical merged output.
 //! * [`config`] — scheduler and experiment configuration, including every
 //!   constant the paper leaves unspecified (with justifications).
 //! * [`report`] — per-run and multi-seed reports feeding the figure
@@ -48,6 +51,7 @@
 
 pub mod config;
 pub mod malleability;
+pub mod parallel;
 pub mod placement;
 pub mod report;
 pub mod runner;
@@ -59,5 +63,6 @@ mod job;
 pub use config::{Approach, ClaimingPolicy, ExperimentConfig, SchedulerConfig};
 pub use ids::JobId;
 pub use job::{Job, JobPhase};
+pub use parallel::{run_seeds_sequential, run_seeds_with_threads};
 pub use report::{MultiReport, RunReport};
-pub use sim::{run_experiment, run_seeds, World};
+pub use sim::{run_experiment, run_experiment_seeded, run_seeds, World};

@@ -1,0 +1,231 @@
+//! Parallel experiment execution: a `std::thread::scope`-based
+//! work-stealing cell runner.
+//!
+//! Every figure of the paper aggregates many independent
+//! `(configuration × seed)` simulation runs — an embarrassingly parallel
+//! sweep. This module executes such *cells* across N OS threads with a
+//! shared work queue (an atomic cursor every idle worker steals the next
+//! cell from, so long cells never serialize behind short ones) and merges
+//! the results back **in submission order**, which makes the parallel
+//! output bit-identical to a sequential loop: each cell is itself a
+//! deterministic function of its seed, and nothing about scheduling order
+//! can leak into the merged result.
+//!
+//! No external dependencies (rayon is unavailable offline); plain
+//! `std::thread::scope` keeps borrows of the shared configuration alive
+//! across workers without `Arc`.
+//!
+//! ## Thread-count resolution
+//!
+//! [`default_threads`] resolves, in order:
+//!
+//! 1. a process-wide override installed with [`set_thread_override`]
+//!    (the figure binaries wire their `--threads` flag to this);
+//! 2. the `KOALA_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::config::ExperimentConfig;
+use crate::report::{MultiReport, RunReport};
+
+static THREAD_OVERRIDE: OnceLock<usize> = OnceLock::new();
+
+/// Installs a process-wide thread-count override (first caller wins, as
+/// with any [`OnceLock`]). Used by the binaries' `--threads` flag; takes
+/// precedence over `KOALA_THREADS` and the detected parallelism.
+pub fn set_thread_override(threads: usize) {
+    let _ = THREAD_OVERRIDE.set(threads.max(1));
+}
+
+/// The number of worker threads sweeps use unless a call site passes an
+/// explicit count. See the module docs for the resolution order.
+pub fn default_threads() -> usize {
+    if let Some(&n) = THREAD_OVERRIDE.get() {
+        return n;
+    }
+    if let Ok(v) = std::env::var("KOALA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item across `threads` workers and returns the
+/// results **in item order** (deterministic regardless of which worker
+/// ran which item, or in what order they finished).
+///
+/// Work distribution is pull-based: workers repeatedly claim the next
+/// unprocessed index from a shared atomic cursor, so an item that takes
+/// 10× longer than the rest only ever occupies one worker. With
+/// `threads <= 1` (or fewer than two items) the map degenerates to a
+/// plain sequential loop on the calling thread — no worker threads are
+/// spawned, which keeps the sequential reference path trivially
+/// comparable in benchmarks.
+///
+/// # Panics
+/// Propagates a panic from `f` (the first panicking worker's payload).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(done) => done,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} ran twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell claimed exactly once"))
+        .collect()
+}
+
+/// One unit of sweep work: a configuration run under one seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'a> {
+    /// The experiment configuration (shared, not cloned per cell).
+    pub cfg: &'a ExperimentConfig,
+    /// The seed this cell runs under (overrides `cfg.seed`).
+    pub seed: u64,
+}
+
+/// Runs a batch of cells across `threads` workers, returning one report
+/// per cell in input order. This is the single execution pathway behind
+/// [`crate::run_seeds`] and the figure binaries: cross-configuration
+/// sweeps flatten all their `(config, seed)` pairs into one batch so a
+/// slow configuration's seeds can run while a fast one's finish.
+///
+/// # Panics
+/// Panics on an invalid configuration, like [`crate::run_experiment`].
+pub fn run_cells(cells: &[Cell<'_>], threads: usize) -> Vec<RunReport> {
+    parallel_map(cells, threads, |cell| {
+        crate::sim::run_experiment_seeded(cell.cfg, cell.seed)
+    })
+}
+
+/// Runs `cfg` once per seed on `threads` workers and aggregates the
+/// reports in **seed order** — bit-identical to the sequential loop for
+/// any thread count.
+pub fn run_seeds_with_threads(
+    cfg: &ExperimentConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> MultiReport {
+    let cells: Vec<Cell<'_>> = seeds.iter().map(|&seed| Cell { cfg, seed }).collect();
+    MultiReport::new(cfg.name.clone(), run_cells(&cells, threads))
+}
+
+/// Single-threaded reference implementation of [`crate::run_seeds`]:
+/// the baseline the determinism tests and the perf harness compare the
+/// parallel runner against.
+pub fn run_seeds_sequential(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiReport {
+    run_seeds_with_threads(cfg, seeds, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::malleability::MalleabilityPolicy;
+    use appsim::workload::WorkloadSpec;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(&items, threads, |&x| x * x);
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41u32], 4, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn parallel_map_runs_every_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = parallel_map(&items, 7, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom from worker")]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..16).collect();
+        parallel_map(&items, 4, |&x| {
+            if x == 9 {
+                panic!("boom from worker");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn seeded_sweep_is_identical_across_thread_counts() {
+        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        cfg.workload.jobs = 8;
+        let seeds = [3u64, 5, 8, 13];
+        let sequential = run_seeds_sequential(&cfg, &seeds);
+        for threads in [2, 4] {
+            let parallel = run_seeds_with_threads(&cfg, &seeds, threads);
+            assert_eq!(
+                format!("{sequential:?}"),
+                format!("{parallel:?}"),
+                "threads={threads} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

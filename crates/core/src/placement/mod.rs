@@ -73,7 +73,10 @@ impl ComponentRequest {
 /// A placement request: one component per cluster the job may span.
 /// Malleable jobs are single-component (the paper runs them without
 /// co-allocation).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` builds an empty (zero-component) request — a reusable
+/// buffer the queue scan refills in place per job instead of allocating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PlacementRequest {
     /// The components to place.
     pub components: Vec<ComponentRequest>,
@@ -142,17 +145,33 @@ impl PlacementPolicy {
         avail: &mut [u32],
         catalog: Option<&FileCatalog>,
     ) -> Option<Placement> {
-        // Run on a scratch copy so a failed multi-component placement
-        // leaves `avail` untouched (all-or-nothing placement, as in
-        // KOALA's co-allocator).
-        let mut scratch = avail.to_vec();
+        let mut scratch = Vec::with_capacity(avail.len());
+        self.place_in(req, avail, &mut scratch, catalog)
+    }
+
+    /// [`PlacementPolicy::place`] with a caller-provided scratch buffer.
+    ///
+    /// The policies need a working copy of `avail` so a failed
+    /// multi-component placement leaves it untouched (all-or-nothing, as
+    /// in KOALA's co-allocator); `scratch` is that copy. The queue scan
+    /// calls this once per queued job per tick, reusing one buffer for
+    /// the whole run instead of allocating a fresh copy every call.
+    pub fn place_in(
+        self,
+        req: &PlacementRequest,
+        avail: &mut [u32],
+        scratch: &mut Vec<u32>,
+        catalog: Option<&FileCatalog>,
+    ) -> Option<Placement> {
+        scratch.clear();
+        scratch.extend_from_slice(avail);
         let placement = match self {
-            PlacementPolicy::WorstFit => place_worst_fit(req, &mut scratch),
-            PlacementPolicy::CloseToFiles => place_close_to_files(req, &mut scratch, catalog),
-            PlacementPolicy::ClusterMinimization => place_cluster_min(req, &mut scratch),
-            PlacementPolicy::FlexibleClusterMinimization => place_flexible(req, &mut scratch),
+            PlacementPolicy::WorstFit => place_worst_fit(req, scratch),
+            PlacementPolicy::CloseToFiles => place_close_to_files(req, scratch, catalog),
+            PlacementPolicy::ClusterMinimization => place_cluster_min(req, scratch),
+            PlacementPolicy::FlexibleClusterMinimization => place_flexible(req, scratch),
         }?;
-        avail.copy_from_slice(&scratch);
+        avail.copy_from_slice(scratch);
         Some(placement)
     }
 }

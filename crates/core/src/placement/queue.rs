@@ -37,6 +37,14 @@ impl PlacementQueue {
         self.entries.iter().map(|&(j, _)| j).collect()
     }
 
+    /// [`PlacementQueue::scan_order`] into a reusable buffer — the queue
+    /// scan snapshots the order every tick (it mutates the queue while
+    /// iterating) and must not allocate per tick.
+    pub fn scan_order_into(&self, buf: &mut Vec<JobId>) {
+        buf.clear();
+        buf.extend(self.entries.iter().map(|&(j, _)| j));
+    }
+
     /// The job at the head, if any.
     pub fn head(&self) -> Option<JobId> {
         self.entries.front().map(|&(j, _)| j)

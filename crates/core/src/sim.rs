@@ -149,12 +149,20 @@ pub enum Ev {
 
 /// The simulation world. Construct with [`World::new`], drive with
 /// [`World::run_to_completion`] (or use the [`run_experiment`] helper).
-pub struct World {
-    cfg: ExperimentConfig,
+///
+/// The world **borrows** its configuration: a run no longer clones the
+/// `ExperimentConfig` (or an explicit trace, which can be an arbitrarily
+/// large job list) — important for multi-seed sweeps, where
+/// [`crate::parallel`] shares one configuration across worker threads.
+pub struct World<'a> {
+    cfg: &'a ExperimentConfig,
+    /// The seed this run executes under (usually `cfg.seed`; sweeps
+    /// override it per cell without cloning the configuration).
+    seed: u64,
     mc: Multicluster,
     kis: InfoService,
     files: Option<FileCatalog>,
-    workload: Vec<SubmittedJob>,
+    workload: std::borrow::Cow<'a, [SubmittedJob]>,
     jobs: Vec<Job>,
     queue: PlacementQueue,
     records: Vec<JobRecord>,
@@ -184,18 +192,36 @@ pub struct World {
     terminal: usize,
     next_bg_local: u64,
     trace: Trace,
+    /// Reusable scratch for [`World::scan_queue`] (scan-order snapshot,
+    /// live availability, budget-capped availability, the placement
+    /// policy's all-or-nothing copy, and the request being placed) —
+    /// the scheduling hot path allocates nothing per tick in steady
+    /// state.
+    scan_buf: Vec<JobId>,
+    scratch_avail: Vec<u32>,
+    scratch_eff: Vec<u32>,
+    scratch_place: Vec<u32>,
+    scratch_req: PlacementRequest,
 }
 
-impl World {
+impl<'a> World<'a> {
     /// Builds the world: DAS-3, the generated workload, and all
     /// bookkeeping. All randomness forks from `cfg.seed`.
-    pub fn new(cfg: &ExperimentConfig) -> Self {
-        let mut master = SimRng::seed_from_u64(cfg.seed);
+    pub fn new(cfg: &'a ExperimentConfig) -> Self {
+        Self::for_seed(cfg, cfg.seed)
+    }
+
+    /// Builds the world for an explicit `seed`, ignoring `cfg.seed` —
+    /// the per-cell entry point of multi-seed sweeps, which would
+    /// otherwise have to clone the whole configuration (including any
+    /// explicit trace) just to restamp the seed.
+    pub fn for_seed(cfg: &'a ExperimentConfig, seed: u64) -> Self {
+        let mut master = SimRng::seed_from_u64(seed);
         let mut wl_rng = master.fork(1);
         let bg_rng = master.fork(2);
-        let workload = match &cfg.trace {
-            Some(trace) => trace.clone(),
-            None => cfg.workload.generate(&mut wl_rng),
+        let workload: std::borrow::Cow<'a, [SubmittedJob]> = match &cfg.trace {
+            Some(trace) => std::borrow::Cow::Borrowed(trace.as_slice()),
+            None => std::borrow::Cow::Owned(cfg.workload.generate(&mut wl_rng)),
         };
         let mc = if cfg.heterogeneous {
             multicluster::das3_heterogeneous()
@@ -221,7 +247,8 @@ impl World {
             })
             .collect();
         let w_init = World {
-            cfg: cfg.clone(),
+            cfg,
+            seed,
             mc,
             kis: InfoService::new(),
             files: None,
@@ -244,6 +271,11 @@ impl World {
             terminal: 0,
             next_bg_local: 0,
             trace: Trace::disabled(),
+            scan_buf: Vec::new(),
+            scratch_avail: Vec::with_capacity(n_clusters),
+            scratch_eff: Vec::with_capacity(n_clusters),
+            scratch_place: Vec::with_capacity(n_clusters),
+            scratch_req: PlacementRequest::default(),
         };
         let mut w = w_init;
         w.idle_baseline = w.mc.clusters().map(|c| c.idle()).collect();
@@ -395,20 +427,24 @@ impl World {
     // Placement
     // ------------------------------------------------------------------
 
-    fn request_for(&self, job: &Job) -> PlacementRequest {
+    /// Rebuilds `req` in place for `job`, reusing the buffer's component
+    /// and file allocations (the queue scan calls this once per queued
+    /// job per tick).
+    fn request_for(job: &Job, req: &mut PlacementRequest) {
         let constraint = job.spec.kind.constraint();
+        req.components.clear();
+        req.files.clear();
+        req.flexible = false;
         if let Some(comps) = &job.spec.coalloc {
             // Co-allocated rigid job: one fixed component per entry. The
             // size constraint applies to the total, which validate()
             // guarantees; components use Any so CM/FCM can pack them.
-            return PlacementRequest {
-                components: comps
+            req.components.extend(
+                comps
                     .iter()
-                    .map(|&c| ComponentRequest::fixed(c, appsim::SizeConstraint::Any))
-                    .collect(),
-                files: Vec::new(),
-                flexible: false,
-            };
+                    .map(|&c| ComponentRequest::fixed(c, appsim::SizeConstraint::Any)),
+            );
+            return;
         }
         let comp = match job.spec.class {
             JobClass::Rigid { size } => ComponentRequest::fixed(size, constraint),
@@ -425,14 +461,13 @@ impl World {
                 constraint,
             },
         };
-        let mut req = PlacementRequest::single(comp);
-        req.files = job
-            .spec
-            .input_files
-            .iter()
-            .map(|&f| multicluster::FileId(f))
-            .collect();
-        req
+        req.components.push(comp);
+        req.files.extend(
+            job.spec
+                .input_files
+                .iter()
+                .map(|&f| multicluster::FileId(f)),
+        );
     }
 
     /// Estimated staging time of a job's input files at `cluster` (zero
@@ -455,30 +490,64 @@ impl World {
     /// Scans the placement queue head-to-tail (Section IV-A), placing
     /// whatever fits. Under PWA, the first job that does not fit triggers
     /// mandatory shrinking (Section V-B).
+    ///
+    /// This is the scheduling hot path: with hundreds of queued jobs and
+    /// a 10 s scan period it runs O(jobs × clusters) work per tick, so
+    /// every buffer it touches is a reusable scratch field of the world
+    /// (zero allocations in steady state) and the budget-capped
+    /// availability `eff` is only recomputed when a successful placement
+    /// or a PWA intervention actually invalidated it (the dirty flag),
+    /// instead of once per queued job.
     fn scan_queue(&mut self, engine: &mut Engine<Ev>) {
-        let Some(snapshot) = self.kis.snapshot() else {
-            return;
-        };
-        let mut avail: Vec<u32> = snapshot.idle.clone();
+        // Detach the scratch buffers from `self` for the duration of the
+        // scan (they are re-attached at the end, keeping their capacity).
+        let mut avail = std::mem::take(&mut self.scratch_avail);
+        avail.clear();
+        match self.kis.snapshot() {
+            Some(snapshot) => avail.extend_from_slice(&snapshot.idle),
+            None => {
+                self.scratch_avail = avail;
+                return;
+            }
+        }
+        let mut eff = std::mem::take(&mut self.scratch_eff);
+        let mut place_scratch = std::mem::take(&mut self.scratch_place);
+        let mut req = std::mem::take(&mut self.scratch_req);
+        let mut scan = std::mem::take(&mut self.scan_buf);
+        self.queue.scan_order_into(&mut scan);
+        // `eff` is `avail` capped by the expansion threshold's remaining
+        // headroom; both inputs only change when a placement claims
+        // processors (or a PWA intervention grows running jobs), so the
+        // recomputation is gated on this dirty flag.
+        let mut eff_dirty = true;
         let mut pwa_handled = false;
-        for id in self.queue.scan_order() {
+        for &id in &scan {
             let job = &self.jobs[id.index()];
             if job.phase != JobPhase::Queued {
                 continue;
             }
-            let req = self.request_for(job);
+            Self::request_for(job, &mut req);
             // Availability for KOALA is the snapshot idle count further
             // capped by the expansion threshold's remaining headroom
             // (live, since earlier placements in this scan consume it).
-            let budget = self.koala_headroom();
-            let mut eff: Vec<u32> = avail.iter().map(|&a| a.min(budget)).collect();
-            let placed = self
-                .cfg
-                .sched
-                .placement
-                .place(&req, &mut eff, self.files.as_ref());
+            if eff_dirty {
+                let budget = self.koala_headroom();
+                eff.clear();
+                eff.extend(avail.iter().map(|&a| a.min(budget)));
+                eff_dirty = false;
+            }
+            let placed = self.cfg.sched.placement.place_in(
+                &req,
+                &mut eff,
+                &mut place_scratch,
+                self.files.as_ref(),
+            );
             match placed {
                 Some(placement) => {
+                    // The policy deducted its grant from `eff` (and a
+                    // claim below may change the live budget): recompute
+                    // before the next job either way.
+                    eff_dirty = true;
                     // Deferred claiming: when the job must stage files
                     // first, the processors are NOT taken now — the claim
                     // fires close to the estimated start (Section IV-A's
@@ -543,11 +612,19 @@ impl World {
                     if self.cfg.sched.approach == Approach::Pwa && !pwa_handled {
                         pwa_handled = true;
                         self.pwa_make_room(engine, id);
+                        // PWA may have grown running jobs on the spot,
+                        // consuming expansion-threshold headroom.
+                        eff_dirty = true;
                     }
                     self.fail_try(id);
                 }
             }
         }
+        self.scan_buf = scan;
+        self.scratch_avail = avail;
+        self.scratch_eff = eff;
+        self.scratch_place = place_scratch;
+        self.scratch_req = req;
     }
 
     fn fail_try(&mut self, id: JobId) {
@@ -1317,7 +1394,7 @@ impl World {
         }
         RunReport {
             name: self.cfg.name.clone(),
-            seed: self.cfg.seed,
+            seed: self.seed,
             jobs: table,
             utilization: self.util_total,
             koala_used: self.util_koala,
@@ -1336,6 +1413,23 @@ impl World {
     }
 }
 
+/// Builds a run engine for `cfg`: horizon from the configuration, event
+/// queue pre-sized from the workload (the bootstrap schedules one arrival
+/// per job up front, so the pending-event peak is at least the job
+/// count — sizing here avoids the heap growing incrementally mid-run).
+pub(crate) fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
+    let jobs = cfg
+        .trace
+        .as_ref()
+        .map(|t| t.len())
+        .unwrap_or(cfg.workload.jobs);
+    let cap = jobs * 2 + 64;
+    match cfg.horizon {
+        Some(h) => Engine::with_horizon_and_capacity(SimTime::ZERO + h, cap),
+        None => Engine::with_capacity(cap),
+    }
+}
+
 /// Runs one experiment configuration to completion.
 ///
 /// # Panics
@@ -1343,34 +1437,30 @@ impl World {
 /// [`ExperimentConfig::validate`]) — experiments should fail loudly, not
 /// produce subtly wrong numbers.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
+    run_experiment_seeded(cfg, cfg.seed)
+}
+
+/// Runs one configuration under an explicit `seed` without cloning the
+/// configuration — the cell entry point of [`crate::parallel`].
+///
+/// # Panics
+/// Panics on an invalid configuration, like [`run_experiment`].
+pub fn run_experiment_seeded(cfg: &ExperimentConfig, seed: u64) -> RunReport {
     if let Err(e) = cfg.validate() {
         panic!("invalid experiment configuration: {e}");
     }
-    let mut engine = match cfg.horizon {
-        Some(h) => Engine::with_horizon(SimTime::ZERO + h),
-        None => Engine::new(),
-    };
-    World::new(cfg).run_to_completion(&mut engine)
+    let mut engine = engine_for(cfg);
+    World::for_seed(cfg, seed).run_to_completion(&mut engine)
 }
 
-/// Runs the same configuration across several seeds in parallel (one OS
-/// thread per seed — the paper repeats every configuration 4 times).
+/// Runs the same configuration across several seeds in parallel on the
+/// work-stealing cell runner (the paper repeats every configuration 4
+/// times), with [`crate::parallel::default_threads`] workers —
+/// overridable via `KOALA_THREADS` or the binaries' `--threads` flag.
+/// The aggregate is merged in seed order and is bit-identical to
+/// [`crate::parallel::run_seeds_sequential`] for any thread count.
 pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> crate::report::MultiReport {
-    let runs: Vec<RunReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let mut c = cfg.clone();
-                c.seed = seed;
-                scope.spawn(move || run_experiment(&c))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed run panicked"))
-            .collect()
-    });
-    crate::report::MultiReport::new(cfg.name.clone(), runs)
+    crate::parallel::run_seeds_with_threads(cfg, seeds, crate::parallel::default_threads())
 }
 
 #[cfg(test)]

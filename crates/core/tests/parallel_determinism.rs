@@ -1,0 +1,74 @@
+//! Property test for the parallel runner's determinism guarantee: a
+//! parallel `run_seeds` (2–8 threads) produces a `MultiReport`
+//! byte-identical to the sequential one on random small configurations.
+//!
+//! "Byte-identical" is checked on the full `Debug` rendering of the
+//! aggregate, which covers every field of every `RunReport` — job tables,
+//! step series, counters, makespans, event counts — so any scheduling
+//! nondeterminism leaking into results (merge order, RNG sharing, shared
+//! mutable state) fails the property.
+
+use appsim::workload::WorkloadSpec;
+use koala::config::{Approach, ExperimentConfig};
+use koala::malleability::MalleabilityPolicy;
+use koala::{run_seeds_sequential, run_seeds_with_threads};
+use proptest::prelude::*;
+
+fn policies() -> [MalleabilityPolicy; 4] {
+    [
+        MalleabilityPolicy::Fpsma,
+        MalleabilityPolicy::Egs,
+        MalleabilityPolicy::Equipartition,
+        MalleabilityPolicy::Folding,
+    ]
+}
+
+fn random_cfg(
+    policy_idx: usize,
+    pwa: bool,
+    prime: bool,
+    jobs: usize,
+    seed0: u64,
+) -> (ExperimentConfig, Vec<u64>) {
+    let policy = policies()[policy_idx % 4];
+    let workload = if prime {
+        WorkloadSpec::wm_prime()
+    } else {
+        WorkloadSpec::wm()
+    };
+    let mut cfg = if pwa {
+        ExperimentConfig::paper_pwa(policy, workload)
+    } else {
+        ExperimentConfig::paper_pra(policy, workload)
+    };
+    cfg.workload.jobs = jobs;
+    // Distinct, deterministic seeds derived from the drawn base.
+    let seeds: Vec<u64> = (0..4).map(|i| seed0.wrapping_add(i * 7919)).collect();
+    (cfg, seeds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn parallel_run_seeds_is_byte_identical_to_sequential(
+        policy_idx in 0usize..4,
+        pwa in any::<bool>(),
+        prime in any::<bool>(),
+        jobs in 2usize..9,
+        seed0 in 1u64..1_000_000,
+        threads in 2usize..9,
+    ) {
+        let (cfg, seeds) = random_cfg(policy_idx, pwa, prime, jobs, seed0);
+        let sequential = run_seeds_sequential(&cfg, &seeds);
+        let parallel = run_seeds_with_threads(&cfg, &seeds, threads);
+        prop_assert_eq!(
+            format!("{sequential:?}"),
+            format!("{parallel:?}"),
+            "threads={} diverged on {:?}/{} jobs={}",
+            threads,
+            cfg.sched.malleability,
+            if cfg.sched.approach == Approach::Pwa { "PWA" } else { "PRA" },
+            cfg.workload.jobs,
+        );
+    }
+}

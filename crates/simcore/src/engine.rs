@@ -84,6 +84,26 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Creates an engine whose event queue has room for `cap` pending
+    /// events before reallocating. Drivers that know their workload size
+    /// up front (e.g. one arrival per job plus periodic timers) use this
+    /// to keep the heap from growing incrementally during the run.
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(cap),
+            ..Engine::new()
+        }
+    }
+
+    /// [`Engine::with_horizon`] and [`Engine::with_capacity`] combined.
+    pub fn with_horizon_and_capacity(horizon: SimTime, cap: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(cap),
+            horizon,
+            ..Engine::new()
+        }
+    }
+
     /// Current simulated time: the timestamp of the most recently popped
     /// event (or zero before the first pop).
     pub fn now(&self) -> SimTime {
@@ -151,6 +171,17 @@ impl<E> Engine<E> {
     }
 
     /// Drops every pending event (the clock keeps its value).
+    ///
+    /// Bookkeeping semantics, pinned by regression tests:
+    ///
+    /// * [`EngineStats::scheduled`] **keeps counting the cleared
+    ///   events** — it records how many events were ever accepted by
+    ///   `schedule_*`, not how many are still pending or will be
+    ///   delivered. After a clear, `scheduled` may permanently exceed
+    ///   `delivered` even once the queue drains.
+    /// * The underlying [`EventQueue`] keeps its sequence counter, so
+    ///   FIFO tie-breaking stays stable across the clear (see
+    ///   [`EventQueue::clear`]).
     pub fn clear(&mut self) {
         self.queue.clear();
     }

@@ -95,8 +95,13 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events but keeps the sequence counter, so
-    /// ordering remains stable across a clear.
+    /// Drops all pending events but **keeps the sequence counter**:
+    /// events pushed after a `clear` still order after anything pushed
+    /// before it, so FIFO tie-breaking at equal timestamps remains stable
+    /// across the clear. Resetting `next_seq` here would let a post-clear
+    /// push overtake the ordering position of a pre-clear push replayed at
+    /// the same instant — a reproducibility hazard. The backing
+    /// allocation is also retained for reuse.
     pub fn clear(&mut self) {
         self.heap.clear();
     }

@@ -154,3 +154,49 @@ fn peek_time_tracks_next_delivery() {
     e.pop();
     assert_eq!(e.peek_time(), None);
 }
+
+#[test]
+fn clear_keeps_scheduled_count_and_sequence_stability() {
+    // Pins the documented clear semantics on both layers:
+    //
+    // 1. `Engine::clear` leaves `stats.scheduled` counting the cleared
+    //    events — `scheduled` means "ever accepted", not "pending or
+    //    delivered", so it may permanently exceed `delivered`.
+    // 2. `EventQueue::clear` keeps `next_seq`, so events pushed after the
+    //    clear never overtake the FIFO position of same-instant pushes
+    //    made before it.
+    let mut e: Engine<&str> = Engine::new();
+    e.schedule_at(SimTime::from_secs(1), "a");
+    e.schedule_at(SimTime::from_secs(1), "b");
+    assert_eq!(e.stats().scheduled, 2);
+    e.clear();
+    assert!(e.is_idle());
+    assert_eq!(
+        e.stats().scheduled,
+        2,
+        "clear must not retroactively un-count cleared events"
+    );
+    assert_eq!(e.stats().delivered, 0);
+
+    // Reschedule at the same instant: the engine drains fully, yet
+    // scheduled stays ahead of delivered by exactly the cleared events.
+    e.schedule_at(SimTime::from_secs(1), "c");
+    e.schedule_at(SimTime::from_secs(1), "d");
+    assert_eq!(e.pop().unwrap().1, "c");
+    assert_eq!(e.pop().unwrap().1, "d");
+    assert_eq!(e.pop(), None);
+    let s = e.stats();
+    assert_eq!(s.scheduled, 4);
+    assert_eq!(s.delivered, 2);
+
+    // The bare queue: sequence numbers survive the clear.
+    let mut q: simcore::EventQueue<u32> = simcore::EventQueue::new();
+    let t = SimTime::from_secs(9);
+    q.push(t, 0);
+    q.push(t, 1);
+    q.clear();
+    q.push(t, 2);
+    q.push(t, 3);
+    let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+    assert_eq!(order, vec![2, 3], "post-clear pushes keep insertion order");
+}
