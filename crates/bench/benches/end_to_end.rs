@@ -5,7 +5,6 @@
 use appsim::workload::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
 use koala::run_experiment;
 use std::hint::black_box;
 
@@ -13,21 +12,9 @@ fn end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     for (label, policy, workload) in [
-        (
-            "PRA_FPSMA_Wm_60jobs",
-            MalleabilityPolicy::Fpsma,
-            WorkloadSpec::wm(),
-        ),
-        (
-            "PRA_EGS_Wm_60jobs",
-            MalleabilityPolicy::Egs,
-            WorkloadSpec::wm(),
-        ),
-        (
-            "PRA_EGS_Wmr_60jobs",
-            MalleabilityPolicy::Egs,
-            WorkloadSpec::wmr(),
-        ),
+        ("PRA_FPSMA_Wm_60jobs", "fpsma", WorkloadSpec::wm()),
+        ("PRA_EGS_Wm_60jobs", "egs", WorkloadSpec::wm()),
+        ("PRA_EGS_Wmr_60jobs", "egs", WorkloadSpec::wmr()),
     ] {
         let mut cfg = ExperimentConfig::paper_pra(policy, workload);
         cfg.workload.jobs = 60;
@@ -36,7 +23,7 @@ fn end_to_end(c: &mut Criterion) {
             b.iter(|| black_box(run_experiment(black_box(&cfg))));
         });
     }
-    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
     cfg.workload.jobs = 60;
     cfg.seed = 5;
     g.bench_function("PWA_EGS_Wm'_60jobs", |b| {

@@ -3,7 +3,8 @@
 
 use appsim::SizeConstraint;
 use criterion::{criterion_group, criterion_main, Criterion};
-use koala::placement::{ComponentRequest, PlacementPolicy, PlacementRequest};
+use koala::placement::{CloseToFiles, ComponentRequest, Placement, PlacementRequest};
+use koala::policy::PolicyRegistry;
 use multicluster::{ClusterId, FileCatalog};
 use std::hint::black_box;
 
@@ -42,12 +43,9 @@ fn placement_policies(c: &mut Criterion) {
     let mut req_cf = single_request();
     req_cf.files.push(f);
 
-    for policy in [
-        PlacementPolicy::WorstFit,
-        PlacementPolicy::CloseToFiles,
-        PlacementPolicy::ClusterMinimization,
-        PlacementPolicy::FlexibleClusterMinimization,
-    ] {
+    let registry = PolicyRegistry::global();
+    for name in registry.placement_names() {
+        let policy = registry.placement(&name).unwrap();
         g.bench_function(format!("{}_single", policy.label()), |b| {
             let req = single_request();
             b.iter(|| {
@@ -66,11 +64,7 @@ fn placement_policies(c: &mut Criterion) {
     g.bench_function("CF_with_files", |b| {
         b.iter(|| {
             let mut avail = das3_avail();
-            black_box(PlacementPolicy::CloseToFiles.place(
-                black_box(&req_cf),
-                &mut avail,
-                Some(&catalog),
-            ))
+            black_box(CloseToFiles.place(black_box(&req_cf), &mut avail, Some(&catalog)))
         });
     });
     g.finish();

@@ -4,7 +4,8 @@
 
 use appsim::SizeConstraint;
 use criterion::{criterion_group, criterion_main, Criterion};
-use koala::malleability::{MalleabilityPolicy, RunningView};
+use koala::malleability::RunningView;
+use koala::policy::PolicyRegistry;
 use koala::JobId;
 use simcore::SimTime;
 use std::hint::black_box;
@@ -25,12 +26,9 @@ fn policy_decisions(c: &mut Criterion) {
     let mut g = c.benchmark_group("malleability_policies");
     for &n in &[10u32, 100, 1000] {
         let jobs = views(n);
-        for policy in [
-            MalleabilityPolicy::Fpsma,
-            MalleabilityPolicy::Egs,
-            MalleabilityPolicy::Equipartition,
-            MalleabilityPolicy::Folding,
-        ] {
+        let registry = PolicyRegistry::global();
+        for name in registry.malleability_names() {
+            let policy = registry.malleability(&name).unwrap();
             g.bench_function(format!("{}_grow_{n}_jobs", policy.label()), |b| {
                 b.iter(|| {
                     let mut accept = |id: JobId, offered: u32| {

@@ -13,7 +13,6 @@ use appsim::workload::SubmittedJob;
 use appsim::{AppKind, JobSpec};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
 use koala::sim::{Ev, World};
 use simcore::{Engine, SimTime};
 use std::hint::black_box;
@@ -22,10 +21,7 @@ use std::hint::black_box;
 /// GADGET-2 at size 46 needs more than the 12% expansion threshold
 /// (32 processors) ever admits, so every scan fails every job.
 fn deep_queue_cfg(jobs: usize) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_pra(
-        MalleabilityPolicy::Egs,
-        appsim::workload::WorkloadSpec::wm(),
-    );
+    let mut cfg = ExperimentConfig::paper_pra("egs", appsim::workload::WorkloadSpec::wm());
     cfg.background = multicluster::BackgroundLoad::none();
     // Keep jobs queued forever: the bench delivers far more scan ticks
     // than any realistic run, and the retry threshold must not start

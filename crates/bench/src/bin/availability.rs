@@ -15,8 +15,8 @@
 
 use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
 use koala::report::MultiReport;
+use koala::scenario::Scenario;
 use koala::sim::{Ev, World};
 use koala_bench::{init_threads, SEEDS};
 use koala_metrics::JobRecord;
@@ -72,9 +72,14 @@ fn main() {
     for (label, malleable) in [("malleable", 1.0), ("rigid", 0.0)] {
         let mut workload = WorkloadSpec::wm();
         workload.malleable_fraction = malleable;
-        workload.jobs = 200;
-        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, workload);
-        cfg.name = label.to_string();
+        let cfg = Scenario::builder()
+            .name(label)
+            .malleability("egs")
+            .workload(workload)
+            .jobs(200)
+            .build()
+            .expect("storm scenario is valid")
+            .into_config();
         let m = run_under_storm(&cfg);
         let jobs = m.merged_jobs();
         println!(

@@ -15,22 +15,23 @@
 //! ```
 
 use appsim::workload::WorkloadSpec;
-use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
+use koala::config::Approach;
 use koala_bench::{
-    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, utilization_points,
-    write_ecdf_csv, write_timeseries_csv,
+    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, scenario_matrix,
+    utilization_points, write_ecdf_csv, write_timeseries_csv,
 };
 use koala_metrics::plot;
 
 fn main() {
     let threads = init_threads();
-    let cells: Vec<ExperimentConfig> = vec![
-        ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
-        ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr()),
-        ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm()),
-        ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
-    ];
+    // The figure as a declarative matrix: {FPSMA, EGS} × {Wm, Wmr}
+    // under PRA, policies resolved by registry name.
+    let cells = scenario_matrix(
+        Approach::Pra,
+        &["worst_fit"],
+        &["fpsma", "egs"],
+        &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+    );
     println!("Fig. 7 — FPSMA vs. EGS with the PRA approach (no shrinking)");
     println!("running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s) ...\n");
     let reports = run_cells(&cells);

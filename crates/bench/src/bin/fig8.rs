@@ -11,22 +11,23 @@
 //! ```
 
 use appsim::workload::WorkloadSpec;
-use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
+use koala::config::Approach;
 use koala_bench::{
-    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, utilization_points,
-    write_ecdf_csv, write_timeseries_csv,
+    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, scenario_matrix,
+    utilization_points, write_ecdf_csv, write_timeseries_csv,
 };
 use koala_metrics::plot;
 
 fn main() {
     let threads = init_threads();
-    let cells: Vec<ExperimentConfig> = vec![
-        ExperimentConfig::paper_pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime()),
-        ExperimentConfig::paper_pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr_prime()),
-        ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime()),
-        ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime()),
-    ];
+    // The figure as a declarative matrix: {FPSMA, EGS} × {W'm, W'mr}
+    // under PWA, policies resolved by registry name.
+    let cells = scenario_matrix(
+        Approach::Pwa,
+        &["worst_fit"],
+        &["fpsma", "egs"],
+        &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
+    );
     println!("Fig. 8 — FPSMA vs. EGS with the PWA approach (growing and shrinking)");
     println!("running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s) ...\n");
     let reports = run_cells(&cells);

@@ -23,11 +23,10 @@
 use std::time::Instant;
 
 use appsim::workload::WorkloadSpec;
-use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
+use koala::config::{Approach, ExperimentConfig};
 use koala::parallel::{run_cells, Cell};
 use koala::report::RunReport;
-use koala_bench::{init_threads, SEEDS};
+use koala_bench::{init_threads, scenario_matrix, SEEDS};
 use serde::Value;
 
 /// One measured pipeline: label + cell configs (each run across seeds).
@@ -60,59 +59,52 @@ impl Measurement {
 }
 
 fn pipelines(jobs: usize, smoke: bool) -> Vec<Pipeline> {
-    let sized = |mut cfg: ExperimentConfig| {
-        cfg.workload.jobs = jobs;
-        cfg
+    let sized = |cfgs: Vec<ExperimentConfig>| {
+        cfgs.into_iter()
+            .map(|mut cfg| {
+                cfg.workload.jobs = jobs;
+                cfg
+            })
+            .collect()
     };
     let fig7 = Pipeline {
         name: "fig7",
-        cfgs: vec![
-            sized(ExperimentConfig::paper_pra(
-                MalleabilityPolicy::Fpsma,
-                WorkloadSpec::wm(),
-            )),
-            sized(ExperimentConfig::paper_pra(
-                MalleabilityPolicy::Fpsma,
-                WorkloadSpec::wmr(),
-            )),
-            sized(ExperimentConfig::paper_pra(
-                MalleabilityPolicy::Egs,
-                WorkloadSpec::wm(),
-            )),
-            sized(ExperimentConfig::paper_pra(
-                MalleabilityPolicy::Egs,
-                WorkloadSpec::wmr(),
-            )),
-        ],
+        cfgs: sized(scenario_matrix(
+            Approach::Pra,
+            &["worst_fit"],
+            &["fpsma", "egs"],
+            &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+        )),
+    };
+    // Cross-policy sweep over the open registry: the placements ×
+    // malleability variants the old closed enums could not express run
+    // through the same measured pathway (and the smoke job, so CI
+    // exercises registry-name dispatch end to end on every push).
+    let cross = Pipeline {
+        name: "cross_policy",
+        cfgs: sized(scenario_matrix(
+            Approach::Pra,
+            &["worst_fit", "first_fit"],
+            &["egs", "greedy_grow_lazy_shrink"],
+            &[WorkloadSpec::wm()],
+        )),
     };
     if smoke {
-        return vec![fig7];
+        return vec![fig7, cross];
     }
     let fig8 = Pipeline {
         name: "fig8",
-        cfgs: vec![
-            sized(ExperimentConfig::paper_pwa(
-                MalleabilityPolicy::Fpsma,
-                WorkloadSpec::wm_prime(),
-            )),
-            sized(ExperimentConfig::paper_pwa(
-                MalleabilityPolicy::Fpsma,
-                WorkloadSpec::wmr_prime(),
-            )),
-            sized(ExperimentConfig::paper_pwa(
-                MalleabilityPolicy::Egs,
-                WorkloadSpec::wm_prime(),
-            )),
-            sized(ExperimentConfig::paper_pwa(
-                MalleabilityPolicy::Egs,
-                WorkloadSpec::wmr_prime(),
-            )),
-        ],
+        cfgs: sized(scenario_matrix(
+            Approach::Pwa,
+            &["worst_fit"],
+            &["fpsma", "egs"],
+            &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
+        )),
     };
     // Table I of the paper is analytic (no simulation); its pipeline cost
     // is negligible and not measured. The two headline figure pipelines
     // dominate the reproduction's wall-clock.
-    vec![fig7, fig8]
+    vec![fig7, fig8, cross]
 }
 
 fn measure(p: &Pipeline, seeds: &[u64], threads: usize, jobs: usize) -> Measurement {
@@ -184,8 +176,10 @@ fn report_json(
         (
             "description",
             Value::String(
-                "Parallel experiment runner + allocation-free scheduling hot path: \
-                 wall-clock and events/sec per figure pipeline, sequential vs parallel"
+                "Parallel experiment runner + allocation-free scheduling hot path \
+                 (now dispatching policies through the open registry): wall-clock \
+                 and events/sec per figure pipeline incl. the cross_policy registry \
+                 sweep, sequential vs parallel"
                     .into(),
             ),
         ),

@@ -1,7 +1,7 @@
 //! Ablation sweeps over the design choices DESIGN.md calls out.
 //!
 //! ```text
-//! cargo run --release -p koala_bench --bin sweeps [-- reconfig|polling|background|policies] [--threads N]
+//! cargo run --release -p koala_bench --bin sweeps [-- reconfig|polling|background|policies|cross] [--threads N]
 //! ```
 //!
 //! Every sweep's `(configuration, seed)` cells are flattened into one
@@ -14,24 +14,33 @@
 //! * `polling`    — A2: KIS polling period vs. responsiveness.
 //! * `background` — A3: background load and the grow-reserve threshold
 //!   that protects local users.
-//! * `policies`   — A4: FPSMA/EGS vs. the equipartition and folding
-//!   baselines from the related work.
+//! * `policies`   — A4: every *registered* malleability policy under PRA
+//!   and PWA — FPSMA/EGS, the equipartition/folding baselines, and any
+//!   policy later dropped into the registry, with zero changes here.
+//! * `cross`      — A5: the placement × malleability cross product over
+//!   the registry (including the first-fit and greedy-grow/lazy-shrink
+//!   policies the old closed enums could not express).
 
 use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
-use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
-use koala_bench::{cell_summary, init_threads_with_args, run_cells_with_seeds};
+use koala::config::{Approach, ExperimentConfig};
+use koala::policy::PolicyRegistry;
+use koala::scenario::{cell_label, Scenario};
+use koala_bench::{cell_summary, init_threads_with_args, run_cells_with_seeds, scenario_matrix};
 use multicluster::BackgroundLoad;
 use simcore::SimDuration;
 
 const SWEEP_SEEDS: [u64; 2] = [11, 22];
 const SWEEP_JOBS: usize = 150;
 
-fn base(policy: MalleabilityPolicy) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_pra(policy, WorkloadSpec::wm());
-    cfg.workload.jobs = SWEEP_JOBS;
-    cfg
+fn base(policy: &str) -> ExperimentConfig {
+    Scenario::builder()
+        .malleability(policy)
+        .workload(WorkloadSpec::wm())
+        .jobs(SWEEP_JOBS)
+        .build()
+        .expect("sweep base scenario is valid")
+        .into_config()
 }
 
 /// Renames a configuration for its sweep label.
@@ -79,7 +88,7 @@ fn sweep_reconfig() {
             },
         ),
     ] {
-        let mut cfg = base(MalleabilityPolicy::Egs);
+        let mut cfg = base("egs");
         cfg.sched.reconfig = cost;
         points.push(named(&format!("cost={label}"), &cfg));
     }
@@ -90,7 +99,7 @@ fn sweep_polling() {
     println!("\n== A2: KIS polling-period sweep (FPSMA/Wm, PRA) ==");
     let mut points = Vec::new();
     for secs in [2u64, 10, 30, 60, 120] {
-        let mut cfg = base(MalleabilityPolicy::Fpsma);
+        let mut cfg = base("fpsma");
         cfg.sched.kis_poll_period = SimDuration::from_secs(secs);
         cfg.sched.queue_scan_period = SimDuration::from_secs(secs);
         points.push(named(&format!("poll={secs}s"), &cfg));
@@ -107,7 +116,7 @@ fn sweep_background() {
         ("heavy", BackgroundLoad::heavy()),
     ] {
         for reserve in [0u32, 8, 32] {
-            let mut cfg = base(MalleabilityPolicy::Egs);
+            let mut cfg = base("egs");
             cfg.background = bg.clone();
             cfg.sched.grow_reserve = reserve;
             points.push(named(&format!("bg={bg_label},reserve={reserve}"), &cfg));
@@ -117,26 +126,51 @@ fn sweep_background() {
 }
 
 fn sweep_policies() {
-    println!("\n== A4: policy cross-product incl. baselines (Wm, PRA then PWA/W'm) ==");
+    println!("\n== A4: every registered malleability policy (Wm/PRA, then W'm/PWA) ==");
+    let registry = PolicyRegistry::global();
+    let names = registry.malleability_names();
     let mut points = Vec::new();
-    for policy in [
-        MalleabilityPolicy::Fpsma,
-        MalleabilityPolicy::Egs,
-        MalleabilityPolicy::Equipartition,
-        MalleabilityPolicy::Folding,
-    ] {
-        let cfg = base(policy);
-        points.push(named(&format!("PRA/{}", policy.label()), &cfg));
+    for name in &names {
+        let label = registry.malleability(name).expect("registered").label();
+        let cfg = base(name);
+        points.push(named(
+            &cell_label(Some(Approach::Pra), None, label, &cfg.workload),
+            &cfg,
+        ));
     }
-    for policy in [
-        MalleabilityPolicy::Fpsma,
-        MalleabilityPolicy::Egs,
-        MalleabilityPolicy::Equipartition,
-        MalleabilityPolicy::Folding,
-    ] {
-        let mut cfg = ExperimentConfig::paper_pwa(policy, WorkloadSpec::wm_prime());
+    for name in &names {
+        let label = registry.malleability(name).expect("registered").label();
+        let cfg = Scenario::builder()
+            .malleability(name.as_str())
+            .workload(WorkloadSpec::wm_prime())
+            .jobs(SWEEP_JOBS)
+            .pwa()
+            .build()
+            .expect("sweep scenario is valid")
+            .into_config();
+        points.push(named(
+            &cell_label(Some(Approach::Pwa), None, label, &cfg.workload),
+            &cfg,
+        ));
+    }
+    run_batch(points);
+}
+
+fn sweep_cross() {
+    println!("\n== A5: placement × malleability cross product over the registry (Wm, PRA) ==");
+    // Single-cluster-job workloads never exercise the co-allocation
+    // policies meaningfully; sweep the single-component placements
+    // against the full malleability registry.
+    let malleability = PolicyRegistry::global().malleability_names();
+    let malleability: Vec<&str> = malleability.iter().map(String::as_str).collect();
+    let mut points = scenario_matrix(
+        Approach::Pra,
+        &["worst_fit", "first_fit"],
+        &malleability,
+        &[WorkloadSpec::wm()],
+    );
+    for cfg in &mut points {
         cfg.workload.jobs = SWEEP_JOBS;
-        points.push(named(&format!("PWA/{}", policy.label()), &cfg));
     }
     run_batch(points);
 }
@@ -156,14 +190,18 @@ fn main() {
         "polling" => sweep_polling(),
         "background" => sweep_background(),
         "policies" => sweep_policies(),
+        "cross" => sweep_cross(),
         "all" => {
             sweep_reconfig();
             sweep_polling();
             sweep_background();
             sweep_policies();
+            sweep_cross();
         }
         other => {
-            eprintln!("unknown sweep '{other}'; expected reconfig|polling|background|policies|all");
+            eprintln!(
+                "unknown sweep '{other}'; expected reconfig|polling|background|policies|cross|all"
+            );
             std::process::exit(2);
         }
     }

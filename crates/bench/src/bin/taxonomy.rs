@@ -14,7 +14,7 @@
 
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
-use koala::malleability::MalleabilityPolicy;
+use koala::scenario::Scenario;
 use koala_bench::{init_threads, run_cells, SEEDS};
 use koala_metrics::JobRecord;
 
@@ -56,21 +56,21 @@ fn main() {
         let cfgs: Vec<ExperimentConfig> = classes
             .iter()
             .map(|&(class, malleable, moldable)| {
-                let mut cfg = ExperimentConfig {
-                    name: class.to_string(),
-                    ..ExperimentConfig::paper_pra(
-                        MalleabilityPolicy::Egs,
-                        class_workload(malleable, moldable, prime),
-                    )
-                };
-                cfg.sched.approach = approach;
-                // A fair class comparison needs room for all three classes'
-                // natural sizes: with the paper-calibrated 12% expansion
-                // threshold a single moldable job would monopolize the
-                // entire malleable pool and serialize the system. Lift the
-                // threshold to 45% for this extension experiment.
-                cfg.sched.koala_share = 0.45;
-                cfg
+                Scenario::builder()
+                    .name(class)
+                    .malleability("egs")
+                    .workload(class_workload(malleable, moldable, prime))
+                    .approach(approach)
+                    // A fair class comparison needs room for all three
+                    // classes' natural sizes: with the paper-calibrated
+                    // 12% expansion threshold a single moldable job would
+                    // monopolize the entire malleable pool and serialize
+                    // the system. Lift the threshold to 45% for this
+                    // extension experiment.
+                    .scheduler(|s| s.koala_share = 0.45)
+                    .build()
+                    .expect("taxonomy scenario is valid")
+                    .into_config()
             })
             .collect();
         // All three classes' (config, seed) cells share one parallel pool.

@@ -15,10 +15,13 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use koala::config::ExperimentConfig;
+use appsim::workload::WorkloadSpec;
+use koala::config::{Approach, ExperimentConfig};
 use koala::parallel::{self, Cell};
+use koala::policy::PolicyRegistry;
 use koala::report::MultiReport;
 use koala::run_seeds;
+use koala::scenario::{cell_label, Scenario};
 use koala_metrics::csv::Csv;
 use koala_metrics::{Ecdf, JobRecord};
 use simcore::{SimDuration, SimTime};
@@ -68,6 +71,53 @@ pub fn init_threads_with_args() -> (usize, Vec<String>) {
         }
     }
     (parallel::default_threads(), rest)
+}
+
+/// Expands a declarative scenario matrix — the cross product of
+/// placement names × malleability names × workloads under one approach —
+/// into experiment configurations, in placement-major, then
+/// policy-major, then workload order. Policies are resolved by registry
+/// name through [`Scenario::builder`], so a policy registered by any
+/// crate (or binary) is one string away from a full figure pipeline.
+///
+/// Cell names come from the builder's single label-derivation point;
+/// multi-placement matrices prefix the placement label
+/// (`"FF+EGS/Wm"`) so cells never collide.
+///
+/// # Panics
+/// Panics when a name does not resolve against
+/// [`PolicyRegistry::global`] — matrices are static experiment
+/// definitions, and a typo should fail the binary loudly.
+pub fn scenario_matrix(
+    approach: Approach,
+    placements: &[&str],
+    malleability: &[&str],
+    workloads: &[WorkloadSpec],
+) -> Vec<ExperimentConfig> {
+    let registry = PolicyRegistry::global();
+    let mut out = Vec::new();
+    for &p in placements {
+        for &m in malleability {
+            for w in workloads {
+                let mut b = Scenario::builder()
+                    .placement(p)
+                    .malleability(m)
+                    .approach(approach)
+                    .workload(w.clone());
+                if placements.len() > 1 {
+                    let pl = registry.placement(p).expect("registered placement");
+                    let ml = registry.malleability(m).expect("registered malleability");
+                    b = b.name(cell_label(None, Some(pl.label()), ml.label(), w));
+                }
+                out.push(
+                    b.build()
+                        .expect("matrix cell must be a valid scenario")
+                        .into_config(),
+                );
+            }
+        }
+    }
+    out
 }
 
 /// Runs one paper cell across [`SEEDS`] on the parallel cell runner.
@@ -247,12 +297,10 @@ pub fn cell_summary(m: &MultiReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use appsim::workload::WorkloadSpec;
-    use koala::malleability::MalleabilityPolicy;
 
     #[test]
     fn cell_summary_formats() {
-        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
         cfg.workload.jobs = 5;
         let m = run_seeds(&cfg, &[1, 2]);
         let s = cell_summary(&m);
@@ -261,10 +309,36 @@ mod tests {
     }
 
     #[test]
+    fn scenario_matrix_expands_the_cross_product() {
+        let cfgs = scenario_matrix(
+            Approach::Pra,
+            &["worst_fit"],
+            &["fpsma", "egs"],
+            &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+        );
+        let names: Vec<&str> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["FPSMA/Wm", "FPSMA/Wmr", "EGS/Wm", "EGS/Wmr"]);
+        assert!(cfgs.iter().all(|c| c.sched.approach == Approach::Pra));
+    }
+
+    #[test]
+    fn multi_placement_matrices_prefix_the_placement_label() {
+        let cfgs = scenario_matrix(
+            Approach::Pra,
+            &["worst_fit", "first_fit"],
+            &["greedy_grow_lazy_shrink"],
+            &[WorkloadSpec::wm()],
+        );
+        let names: Vec<&str> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["WF+GGLS/Wm", "FF+GGLS/Wm"]);
+        assert_eq!(cfgs[1].sched.placement, "first_fit");
+    }
+
+    #[test]
     fn run_cells_matches_per_cell_runs() {
-        let mut a = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+        let mut a = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
         a.workload.jobs = 4;
-        let mut b = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        let mut b = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
         b.workload.jobs = 6;
         let seeds = [5u64, 9];
         let pooled = run_cells_with_seeds(&[a.clone(), b.clone()], &seeds);
@@ -277,7 +351,7 @@ mod tests {
 
     #[test]
     fn utilization_points_cover_horizon() {
-        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
         cfg.workload.jobs = 3;
         let m = run_seeds(&cfg, &[1]);
         let pts = utilization_points(&m, 60);

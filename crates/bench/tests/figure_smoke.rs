@@ -8,7 +8,6 @@
 use appsim::speedup::{ft_model, gadget2_model, SpeedupModel};
 use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
-use koala::malleability::MalleabilityPolicy;
 use koala::run_seeds;
 use koala_bench::{
     cell_summary, ops_points, panel_metrics, utilization_points, write_ecdf_csv,
@@ -59,10 +58,7 @@ fn fig6_speedup_models_are_calibrated() {
 /// Fig. 7's pipeline: a PRA cell through run → pooled ECDF panels → CSV.
 #[test]
 fn fig7_pra_cell_runs_end_to_end() {
-    let cfg = tiny(ExperimentConfig::paper_pra(
-        MalleabilityPolicy::Egs,
-        WorkloadSpec::wm(),
-    ));
+    let cfg = tiny(ExperimentConfig::paper_pra("egs", WorkloadSpec::wm()));
     let m = run_seeds(&cfg, &SMOKE_SEEDS);
     assert_eq!(m.runs.len(), SMOKE_SEEDS.len());
     assert_eq!(m.completion_ratio(), 1.0, "10 jobs all complete");
@@ -98,7 +94,7 @@ fn fig7_pra_cell_runs_end_to_end() {
 #[test]
 fn fig8_pwa_cell_runs_end_to_end() {
     let cfg = tiny(ExperimentConfig::paper_pwa(
-        MalleabilityPolicy::Fpsma,
+        "fpsma",
         WorkloadSpec::wm_prime(),
     ));
     let m = run_seeds(&cfg, &SMOKE_SEEDS);

@@ -3,14 +3,22 @@
 //! Every constant the paper leaves unspecified is a field here, with its
 //! default and justification; the ablation binary (`sweeps`) varies the
 //! interesting ones.
+//!
+//! Policies are selected **by name** against the
+//! [`PolicyRegistry`] — the configuration
+//! stores the string keys and [`World`](crate::sim::World) resolves them
+//! at construction, so adding a policy never touches this module.
+//! Experiment configurations are usually assembled through
+//! [`Scenario::builder`](crate::scenario::Scenario::builder); the
+//! [`ExperimentConfig::paper_pra`] / [`ExperimentConfig::paper_pwa`]
+//! presets are thin wrappers over it.
 
 use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
 use multicluster::{BackgroundLoad, GramConfig};
 use simcore::SimDuration;
 
-use crate::malleability::MalleabilityPolicy;
-use crate::placement::PlacementPolicy;
+use crate::policy::{PolicyError, PolicyRegistry};
 
 /// When the malleability-management policies are initiated
 /// (Section V-B of the paper).
@@ -38,6 +46,97 @@ impl Approach {
     }
 }
 
+/// A configuration-validation failure (see
+/// [`ExperimentConfig::validate`] and [`SchedulerConfig::validate`]).
+///
+/// Implements [`std::error::Error`]; callers that used to pass
+/// stringly-typed errors along can still do so through the `Display`
+/// impl or the `From<ConfigError> for String` conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A policy name did not resolve against the registry.
+    Policy(PolicyError),
+    /// `koala_share` outside `[0, 1]`.
+    KoalaShareOutOfRange(f64),
+    /// `koala_share` of zero admits no jobs at all.
+    KoalaShareZero,
+    /// Negative co-allocation penalty.
+    NegativeCoallocPenalty(f64),
+    /// A zero polling/scan period would livelock the event loop.
+    ZeroPeriod,
+    /// Negative malleable/moldable class fractions.
+    NegativeClassFraction,
+    /// Class fractions summing over 1.
+    ClassFractionsExceedOne(f64),
+    /// Workload with no application kinds and no explicit trace.
+    EmptyWorkload,
+    /// An invalid job inside an explicit trace.
+    TraceJob {
+        /// Index of the offending job in the trace.
+        index: usize,
+        /// The job's own validation failure.
+        reason: String,
+    },
+    /// A scenario was built without a workload (see
+    /// [`crate::scenario::ScenarioBuilder`]).
+    MissingWorkload,
+    /// A scenario was built with an empty seed list.
+    NoSeeds,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Policy(e) => e.fmt(f),
+            ConfigError::KoalaShareOutOfRange(v) => {
+                write!(f, "koala_share {v} outside [0, 1]")
+            }
+            ConfigError::KoalaShareZero => write!(f, "koala_share 0 admits no jobs at all"),
+            ConfigError::NegativeCoallocPenalty(v) => {
+                write!(f, "negative coalloc_penalty {v}")
+            }
+            ConfigError::ZeroPeriod => {
+                write!(f, "zero polling/scan periods would livelock the event loop")
+            }
+            ConfigError::NegativeClassFraction => write!(f, "negative class fractions"),
+            ConfigError::ClassFractionsExceedOne(sum) => {
+                write!(f, "class fractions sum to {sum} > 1")
+            }
+            ConfigError::EmptyWorkload => {
+                write!(f, "workload needs at least one application kind")
+            }
+            ConfigError::TraceJob { index, reason } => {
+                write!(f, "trace job {index}: {reason}")
+            }
+            ConfigError::MissingWorkload => {
+                write!(f, "scenario needs a workload (ScenarioBuilder::workload)")
+            }
+            ConfigError::NoSeeds => write!(f, "scenario needs at least one seed"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Policy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolicyError> for ConfigError {
+    fn from(e: PolicyError) -> Self {
+        ConfigError::Policy(e)
+    }
+}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> Self {
+        e.to_string()
+    }
+}
+
 /// When KOALA claims the processors of a placed job (the processor
 /// claimer, Section IV-A: "If processor reservation is supported by local
 /// resource managers, the PC can reserve processors immediately after the
@@ -61,11 +160,13 @@ pub enum ClaimingPolicy {
 /// Tunables of the scheduler proper.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SchedulerConfig {
-    /// Placement policy for initial placement (the paper's experiments
-    /// use Worst Fit).
-    pub placement: PlacementPolicy,
-    /// Malleability-management policy (FPSMA or EGS in the paper).
-    pub malleability: MalleabilityPolicy,
+    /// Registry name of the placement policy for initial placement (the
+    /// paper's experiments use Worst Fit, `"worst_fit"`). Resolved
+    /// against [`PolicyRegistry::global`] when the world is built.
+    pub placement: String,
+    /// Registry name of the malleability-management policy (`"fpsma"`
+    /// or `"egs"` in the paper).
+    pub malleability: String,
     /// Job-management approach (PRA or PWA).
     pub approach: Approach,
     /// KIS polling period. Unspecified in the paper ("periodically");
@@ -115,8 +216,8 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            placement: PlacementPolicy::WorstFit,
-            malleability: MalleabilityPolicy::Fpsma,
+            placement: "worst_fit".to_string(),
+            malleability: "fpsma".to_string(),
             approach: Approach::Pra,
             kis_poll_period: SimDuration::from_secs(10),
             queue_scan_period: SimDuration::from_secs(10),
@@ -159,63 +260,60 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// A Fig. 7 cell: PRA with the given policy and workload (Wm or Wmr),
-    /// Worst-Fit placement, and the testbed's "activity of concurrent
-    /// users" as background (Section VI-C: it was present during the
-    /// paper's runs; its releases are also what the KIS-poll pathway
-    /// exists to detect).
-    pub fn paper_pra(policy: MalleabilityPolicy, workload: WorkloadSpec) -> Self {
-        ExperimentConfig {
-            name: format!("{}/{}", policy.label(), workload_label(&workload)),
-            sched: SchedulerConfig {
-                malleability: policy,
-                approach: Approach::Pra,
-                ..SchedulerConfig::default()
-            },
-            workload,
-            background: BackgroundLoad::concurrent_users(0.30),
-            seed: 0,
-            horizon: Some(SimDuration::from_secs(200_000)),
-            trace: None,
-            heterogeneous: false,
-        }
+    /// A Fig. 7 cell: PRA with the given malleability policy (by registry
+    /// name) and workload (Wm or Wmr), Worst-Fit placement, and the
+    /// testbed's "activity of concurrent users" as background
+    /// (Section VI-C: it was present during the paper's runs; its
+    /// releases are also what the KIS-poll pathway exists to detect).
+    ///
+    /// A thin preset over [`Scenario::builder`](crate::scenario::Scenario::builder).
+    ///
+    /// # Panics
+    /// Panics when `policy` is not a registered malleability policy.
+    pub fn paper_pra(policy: &str, workload: WorkloadSpec) -> Self {
+        crate::scenario::Scenario::builder()
+            .malleability(policy)
+            .workload(workload)
+            .pra()
+            .build()
+            .expect("paper preset must be a valid scenario")
+            .into_config()
     }
 
-    /// A Fig. 8 cell: PWA with the given policy and workload (W'm or
-    /// W'mr).
-    pub fn paper_pwa(policy: MalleabilityPolicy, workload: WorkloadSpec) -> Self {
-        ExperimentConfig {
-            name: format!("{}/{}", policy.label(), workload_label(&workload)),
-            sched: SchedulerConfig {
-                malleability: policy,
-                approach: Approach::Pwa,
-                ..SchedulerConfig::default()
-            },
-            workload,
-            background: BackgroundLoad::concurrent_users(0.30),
-            seed: 0,
-            horizon: Some(SimDuration::from_secs(200_000)),
-            trace: None,
-            heterogeneous: false,
-        }
+    /// A Fig. 8 cell: PWA with the given malleability policy (by registry
+    /// name) and workload (W'm or W'mr).
+    ///
+    /// # Panics
+    /// Panics when `policy` is not a registered malleability policy.
+    pub fn paper_pwa(policy: &str, workload: WorkloadSpec) -> Self {
+        crate::scenario::Scenario::builder()
+            .malleability(policy)
+            .workload(workload)
+            .pwa()
+            .build()
+            .expect("paper preset must be a valid scenario")
+            .into_config()
     }
 }
 
 impl SchedulerConfig {
-    /// Validates the configuration, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found.
+    /// Policy names are resolved against [`PolicyRegistry::global`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let registry = PolicyRegistry::global();
+        registry.placement(&self.placement)?;
+        registry.malleability(&self.malleability)?;
         if !(0.0..=1.0).contains(&self.koala_share) {
-            return Err(format!("koala_share {} outside [0, 1]", self.koala_share));
+            return Err(ConfigError::KoalaShareOutOfRange(self.koala_share));
         }
         if self.koala_share == 0.0 {
-            return Err("koala_share 0 admits no jobs at all".into());
+            return Err(ConfigError::KoalaShareZero);
         }
         if self.coalloc_penalty < 0.0 {
-            return Err(format!("negative coalloc_penalty {}", self.coalloc_penalty));
+            return Err(ConfigError::NegativeCoallocPenalty(self.coalloc_penalty));
         }
         if self.kis_poll_period.is_zero() || self.queue_scan_period.is_zero() {
-            return Err("zero polling/scan periods would livelock the event loop".into());
+            return Err(ConfigError::ZeroPeriod);
         }
         if let ClaimingPolicy::Deferred { margin } = self.claiming {
             let _ = margin; // any margin is legal; zero means claim at start
@@ -227,26 +325,25 @@ impl SchedulerConfig {
 impl ExperimentConfig {
     /// Validates the scheduler settings, the workload composition and
     /// every job of an explicit trace.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.sched.validate()?;
         let w = &self.workload;
         if w.malleable_fraction < 0.0 || w.moldable_fraction < 0.0 {
-            return Err("negative class fractions".into());
+            return Err(ConfigError::NegativeClassFraction);
         }
         if w.malleable_fraction + w.moldable_fraction > 1.0 + 1e-9 {
-            return Err(format!(
-                "class fractions sum to {} > 1",
-                w.malleable_fraction + w.moldable_fraction
+            return Err(ConfigError::ClassFractionsExceedOne(
+                w.malleable_fraction + w.moldable_fraction,
             ));
         }
         if w.apps.is_empty() && self.trace.is_none() {
-            return Err("workload needs at least one application kind".into());
+            return Err(ConfigError::EmptyWorkload);
         }
         if let Some(trace) = &self.trace {
             for (i, j) in trace.iter().enumerate() {
                 j.spec
                     .validate()
-                    .map_err(|e| format!("trace job {i}: {e}"))?;
+                    .map_err(|reason| ConfigError::TraceJob { index: i, reason })?;
             }
         }
         Ok(())
@@ -288,7 +385,8 @@ mod tests {
     #[test]
     fn defaults_are_the_documented_choices() {
         let c = SchedulerConfig::default();
-        assert_eq!(c.placement, PlacementPolicy::WorstFit);
+        assert_eq!(c.placement, "worst_fit");
+        assert_eq!(c.malleability, "fpsma");
         assert_eq!(c.approach, Approach::Pra);
         assert_eq!(c.kis_poll_period, SimDuration::from_secs(10));
         assert_eq!(c.grow_reserve, 0);
@@ -297,34 +395,57 @@ mod tests {
 
     #[test]
     fn paper_cells_are_named_after_policy_and_workload() {
-        let c = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        let c = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
         assert_eq!(c.name, "EGS/Wm");
         assert_eq!(c.sched.approach, Approach::Pra);
-        let c = ExperimentConfig::paper_pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr_prime());
+        let c = ExperimentConfig::paper_pwa("fpsma", WorkloadSpec::wmr_prime());
         assert_eq!(c.name, "FPSMA/Wmr'");
         assert_eq!(c.sched.approach, Approach::Pwa);
     }
 
     #[test]
     fn validation_accepts_defaults_and_catches_bad_values() {
-        let cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+        let cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
         cfg.validate().unwrap();
         let mut bad = cfg.clone();
         bad.sched.koala_share = 1.5;
-        assert!(bad.validate().is_err());
+        assert_eq!(bad.validate(), Err(ConfigError::KoalaShareOutOfRange(1.5)));
         let mut bad = cfg.clone();
         bad.sched.kis_poll_period = SimDuration::ZERO;
-        assert!(bad.validate().is_err());
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroPeriod));
         let mut bad = cfg.clone();
         bad.workload.malleable_fraction = 0.8;
         bad.workload.moldable_fraction = 0.5;
-        assert!(bad.validate().is_err(), "fractions over 1");
-        let mut bad = cfg;
+        assert!(
+            matches!(bad.validate(), Err(ConfigError::ClassFractionsExceedOne(_))),
+            "fractions over 1"
+        );
+        let mut bad = cfg.clone();
         bad.trace = Some(vec![appsim::workload::SubmittedJob {
             at: simcore::SimTime::ZERO,
             spec: appsim::JobSpec::rigid(appsim::AppKind::Ft, 6), // not a power of two
         }]);
-        assert!(bad.validate().is_err(), "invalid trace job");
+        assert!(
+            matches!(bad.validate(), Err(ConfigError::TraceJob { index: 0, .. })),
+            "invalid trace job"
+        );
+        let mut bad = cfg;
+        bad.sched.malleability = "not_a_policy".to_string();
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Policy(_)));
+        assert!(err.to_string().contains("not_a_policy"));
+    }
+
+    #[test]
+    fn config_errors_convert_to_strings_for_legacy_callers() {
+        let s: String = ConfigError::KoalaShareZero.into();
+        assert_eq!(s, "koala_share 0 admits no jobs at all");
+        let e: ConfigError = crate::policy::PolicyError::UnknownPlacement {
+            name: "x".into(),
+            known: vec!["worst_fit".into()],
+        }
+        .into();
+        assert!(e.to_string().contains("worst_fit"));
     }
 
     #[test]

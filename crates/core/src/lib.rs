@@ -8,14 +8,22 @@
 //!
 //! The pieces map one-to-one onto the paper:
 //!
-//! * [`placement`] — KOALA's placement policies (Section IV-A): Worst
-//!   Fit, Close-to-Files, Cluster Minimization, Flexible Cluster
-//!   Minimization; plus the placement queue with its retry threshold.
+//! * [`policy`] — the open scheduling-policy API: the object-safe
+//!   [`policy::Placement`] / [`policy::Malleability`] traits and the
+//!   [`policy::PolicyRegistry`] mapping string names to constructors.
+//!   Adding a policy is a trait impl plus a registry entry — nothing in
+//!   the simulation core dispatches on concrete policy types.
+//! * [`placement`] — KOALA's placement policies (Section IV-A) as named
+//!   implementors: Worst Fit, Close-to-Files, Cluster Minimization,
+//!   Flexible Cluster Minimization (plus a First-Fit baseline); and the
+//!   placement queue with its retry threshold.
 //! * [`malleability`] — the malleability manager (Section V): the
 //!   **PRA**/**PWA** job-management approaches and the **FPSMA**/**EGS**
-//!   malleability-management policies, plus the equipartition and folding
-//!   baselines from the related-work discussion (McCann & Zahorjan,
-//!   Utrera et al.).
+//!   malleability-management policies, plus the equipartition, folding
+//!   and greedy-grow/lazy-shrink baselines.
+//! * [`scenario`] — the composable [`scenario::ScenarioBuilder`]:
+//!   experiments assembled declaratively, with policies selected by
+//!   registry name; the paper presets are thin wrappers over it.
 //! * [`runner`] — the Malleable Runner (MRunner): drives a malleable
 //!   application as a collection of size-1 GRAM jobs, overlapping GRAM
 //!   interactions with execution (Section V-A).
@@ -33,15 +41,18 @@
 //! ## Quick start
 //!
 //! ```
-//! use koala::config::ExperimentConfig;
-//! use koala::malleability::MalleabilityPolicy;
+//! use koala::scenario::Scenario;
 //! use appsim::workload::WorkloadSpec;
 //!
 //! // Fig. 7, EGS/Wm cell, one seed, scaled down to 30 jobs for the doctest.
-//! let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
-//! cfg.workload.jobs = 30;
-//! cfg.seed = 1;
-//! let report = koala::run_experiment(&cfg);
+//! let scenario = Scenario::builder()
+//!     .malleability("egs")
+//!     .workload(WorkloadSpec::wm())
+//!     .jobs(30)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! let report = koala::run_experiment(scenario.config());
 //! assert_eq!(report.jobs.len(), 30);
 //! assert!(report.jobs.completion_ratio() > 0.99);
 //! ```
@@ -53,16 +64,20 @@ pub mod config;
 pub mod malleability;
 pub mod parallel;
 pub mod placement;
+pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sim;
 
 mod ids;
 mod job;
 
-pub use config::{Approach, ClaimingPolicy, ExperimentConfig, SchedulerConfig};
+pub use config::{Approach, ClaimingPolicy, ConfigError, ExperimentConfig, SchedulerConfig};
 pub use ids::JobId;
 pub use job::{Job, JobPhase};
 pub use parallel::{run_seeds_sequential, run_seeds_with_threads};
+pub use policy::{Malleability, Placement, PolicyError, PolicyRegistry};
 pub use report::{MultiReport, RunReport};
+pub use scenario::{Scenario, ScenarioBuilder, Topology};
 pub use sim::{run_experiment, run_experiment_seeded, run_seeds, World};

@@ -163,7 +163,6 @@ pub fn run_seeds_sequential(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiRepor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::malleability::MalleabilityPolicy;
     use appsim::workload::WorkloadSpec;
 
     #[test]
@@ -210,7 +209,7 @@ mod tests {
 
     #[test]
     fn seeded_sweep_is_identical_across_thread_counts() {
-        let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+        let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
         cfg.workload.jobs = 8;
         let seeds = [3u64, 5, 8, 13];
         let sequential = run_seeds_sequential(&cfg, &seeds);

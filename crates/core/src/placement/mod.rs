@@ -1,18 +1,25 @@
 //! KOALA's placement policies (Section IV-A of the paper).
 //!
 //! Upon submission, the scheduler tries to place a job's components on
-//! clusters using one of four policies:
+//! clusters using one of the placement policies, each a named implementor
+//! of the open [`Placement`] trait (see [`crate::policy`]):
 //!
-//! * **Worst Fit (WF)** — each component goes to the cluster with the
-//!   most idle processors. Automatic load balancing; the policy used in
-//!   all of the paper's malleability experiments.
-//! * **Close-to-Files (CF)** — clusters holding the input files are
-//!   favoured, then clusters with the cheapest estimated transfer.
-//! * **Cluster Minimization (CM)** — co-allocated jobs span as few
-//!   clusters as possible (fewer inter-cluster messages).
-//! * **Flexible Cluster Minimization (FCM)** — additionally splits the
-//!   job into components sized to the clusters' idle processors to
-//!   reduce queue time.
+//! * [`WorstFit`] (`"worst_fit"`) — each component goes to the cluster
+//!   with the most idle processors. Automatic load balancing; the policy
+//!   used in all of the paper's malleability experiments.
+//! * [`CloseToFiles`] (`"close_to_files"`) — clusters holding the input
+//!   files are favoured, then clusters with the cheapest estimated
+//!   transfer.
+//! * [`ClusterMinimization`] (`"cluster_min"`) — co-allocated jobs span
+//!   as few clusters as possible (fewer inter-cluster messages).
+//! * [`FlexibleClusterMinimization`] (`"flexible_cluster_min"`) —
+//!   additionally splits the job into components sized to the clusters'
+//!   idle processors to reduce queue time.
+//! * [`FirstFit`] (`"first_fit"`) — each component goes to the
+//!   lowest-numbered cluster that can host it. Not in the paper: a
+//!   deliberately imbalance-prone baseline the closed policy enum could
+//!   not express, useful for quantifying what Worst Fit's load balancing
+//!   buys.
 //!
 //! Policies operate on the *KIS snapshot* (possibly stale), never on live
 //! cluster state; the actual claim can therefore fail, which sends the
@@ -27,6 +34,8 @@
 mod queue;
 
 pub use queue::PlacementQueue;
+
+pub use crate::policy::Placement;
 
 use appsim::SizeConstraint;
 use multicluster::{ClusterId, FileCatalog, FileId};
@@ -107,72 +116,161 @@ pub struct ComponentPlacement {
 }
 
 /// A whole-job placement decision.
-pub type Placement = Vec<ComponentPlacement>;
+pub type PlacementDecision = Vec<ComponentPlacement>;
 
-/// The placement policy selector (Section IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum PlacementPolicy {
-    /// Worst Fit.
-    WorstFit,
-    /// Close-to-Files.
-    CloseToFiles,
-    /// Cluster Minimization.
-    ClusterMinimization,
-    /// Flexible Cluster Minimization.
-    FlexibleClusterMinimization,
+/// Copies `avail` into `scratch`, runs `f` on the copy, and commits the
+/// copy back to `avail` only on success — the all-or-nothing semantics
+/// every placement policy shares (a failed multi-component placement
+/// must not deduct, as in KOALA's co-allocator).
+///
+/// Custom [`Placement`] implementors should route their `place_in`
+/// through this helper exactly like the built-ins do: `scratch` arrives
+/// *unpopulated* (it is a reusable buffer, not a pre-made copy), and
+/// deducting from `avail` directly would leak capacity whenever a later
+/// component fails.
+pub fn place_all_or_nothing(
+    avail: &mut [u32],
+    scratch: &mut Vec<u32>,
+    f: impl FnOnce(&mut [u32]) -> Option<PlacementDecision>,
+) -> Option<PlacementDecision> {
+    scratch.clear();
+    scratch.extend_from_slice(avail);
+    let placement = f(scratch)?;
+    avail.copy_from_slice(scratch);
+    Some(placement)
 }
 
-impl PlacementPolicy {
-    /// Short label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            PlacementPolicy::WorstFit => "WF",
-            PlacementPolicy::CloseToFiles => "CF",
-            PlacementPolicy::ClusterMinimization => "CM",
-            PlacementPolicy::FlexibleClusterMinimization => "FCM",
-        }
-    }
+/// Worst Fit (`"worst_fit"`, label `WF`): every component goes to the
+/// cluster with the most idle processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorstFit;
 
-    /// Attempts to place `req` given per-cluster availability `avail`
-    /// (a *copy* of the KIS snapshot's idle counts; the policy deducts
-    /// its own grants so multi-component jobs do not double-count).
-    ///
-    /// Returns `None` when the job cannot be placed now — the caller
-    /// queues it.
-    pub fn place(
-        self,
+impl Placement for WorstFit {
+    fn name(&self) -> &'static str {
+        "worst_fit"
+    }
+    fn label(&self) -> &'static str {
+        "WF"
+    }
+    fn place_in(
+        &self,
         req: &PlacementRequest,
         avail: &mut [u32],
-        catalog: Option<&FileCatalog>,
-    ) -> Option<Placement> {
-        let mut scratch = Vec::with_capacity(avail.len());
-        self.place_in(req, avail, &mut scratch, catalog)
+        scratch: &mut Vec<u32>,
+        _catalog: Option<&FileCatalog>,
+    ) -> Option<PlacementDecision> {
+        place_all_or_nothing(avail, scratch, |work| place_worst_fit(req, work))
     }
+}
 
-    /// [`PlacementPolicy::place`] with a caller-provided scratch buffer.
-    ///
-    /// The policies need a working copy of `avail` so a failed
-    /// multi-component placement leaves it untouched (all-or-nothing, as
-    /// in KOALA's co-allocator); `scratch` is that copy. The queue scan
-    /// calls this once per queued job per tick, reusing one buffer for
-    /// the whole run instead of allocating a fresh copy every call.
-    pub fn place_in(
-        self,
+/// Close-to-Files (`"close_to_files"`, label `CF`): clusters holding the
+/// input files are favoured; degenerates to Worst Fit without a catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CloseToFiles;
+
+impl Placement for CloseToFiles {
+    fn name(&self) -> &'static str {
+        "close_to_files"
+    }
+    fn label(&self) -> &'static str {
+        "CF"
+    }
+    fn place_in(
+        &self,
         req: &PlacementRequest,
         avail: &mut [u32],
         scratch: &mut Vec<u32>,
         catalog: Option<&FileCatalog>,
-    ) -> Option<Placement> {
-        scratch.clear();
-        scratch.extend_from_slice(avail);
-        let placement = match self {
-            PlacementPolicy::WorstFit => place_worst_fit(req, scratch),
-            PlacementPolicy::CloseToFiles => place_close_to_files(req, scratch, catalog),
-            PlacementPolicy::ClusterMinimization => place_cluster_min(req, scratch),
-            PlacementPolicy::FlexibleClusterMinimization => place_flexible(req, scratch),
-        }?;
-        avail.copy_from_slice(scratch);
-        Some(placement)
+    ) -> Option<PlacementDecision> {
+        place_all_or_nothing(avail, scratch, |work| {
+            place_close_to_files(req, work, catalog)
+        })
+    }
+}
+
+/// Cluster Minimization (`"cluster_min"`, label `CM`): co-allocated jobs
+/// span as few clusters as possible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterMinimization;
+
+impl Placement for ClusterMinimization {
+    fn name(&self) -> &'static str {
+        "cluster_min"
+    }
+    fn label(&self) -> &'static str {
+        "CM"
+    }
+    fn place_in(
+        &self,
+        req: &PlacementRequest,
+        avail: &mut [u32],
+        scratch: &mut Vec<u32>,
+        _catalog: Option<&FileCatalog>,
+    ) -> Option<PlacementDecision> {
+        place_all_or_nothing(avail, scratch, |work| place_cluster_min(req, work))
+    }
+}
+
+/// Flexible Cluster Minimization (`"flexible_cluster_min"`, label `FCM`):
+/// re-splits flexible requests into chunks sized to the clusters' idle
+/// processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlexibleClusterMinimization;
+
+impl Placement for FlexibleClusterMinimization {
+    fn name(&self) -> &'static str {
+        "flexible_cluster_min"
+    }
+    fn label(&self) -> &'static str {
+        "FCM"
+    }
+    fn place_in(
+        &self,
+        req: &PlacementRequest,
+        avail: &mut [u32],
+        scratch: &mut Vec<u32>,
+        _catalog: Option<&FileCatalog>,
+    ) -> Option<PlacementDecision> {
+        place_all_or_nothing(avail, scratch, |work| place_flexible(req, work))
+    }
+}
+
+/// First Fit (`"first_fit"`, label `FF`): every component goes to the
+/// lowest-numbered cluster that can host it, regardless of load.
+///
+/// Not one of KOALA's policies — a baseline the old closed enum could
+/// not express. Deliberately concentrates load on the first clusters,
+/// which makes the value of Worst Fit's automatic balancing measurable.
+///
+/// ```
+/// use koala::placement::{ComponentRequest, FirstFit, Placement, PlacementRequest};
+/// use appsim::SizeConstraint;
+///
+/// let req = PlacementRequest::single(ComponentRequest::fixed(4, SizeConstraint::Any));
+/// let mut avail = vec![2, 10, 40];
+/// let p = FirstFit.place(&req, &mut avail, None).unwrap();
+/// // Cluster 0 is too small; cluster 1 is the first fit (worst fit
+/// // would have picked cluster 2).
+/// assert_eq!(p[0].cluster.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstFit;
+
+impl Placement for FirstFit {
+    fn name(&self) -> &'static str {
+        "first_fit"
+    }
+    fn label(&self) -> &'static str {
+        "FF"
+    }
+    fn place_in(
+        &self,
+        req: &PlacementRequest,
+        avail: &mut [u32],
+        scratch: &mut Vec<u32>,
+        _catalog: Option<&FileCatalog>,
+    ) -> Option<PlacementDecision> {
+        place_all_or_nothing(avail, scratch, |work| place_first_fit(req, work))
     }
 }
 
@@ -189,13 +287,37 @@ fn argmax_avail(avail: &[u32]) -> Option<ClusterId> {
 
 /// Worst Fit: every component goes to the cluster with the most idle
 /// processors (availability updated between components).
-fn place_worst_fit(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+fn place_worst_fit(req: &PlacementRequest, avail: &mut [u32]) -> Option<PlacementDecision> {
     let mut out = Vec::with_capacity(req.components.len());
     for comp in &req.components {
         let c = argmax_avail(avail)?;
         let size = comp.granted_size(avail[c.index()])?;
         avail[c.index()] -= size;
         out.push(ComponentPlacement { cluster: c, size });
+    }
+    Some(out)
+}
+
+/// First Fit: every component goes to the lowest-numbered cluster that
+/// can grant it (availability updated between components).
+fn place_first_fit(req: &PlacementRequest, avail: &mut [u32]) -> Option<PlacementDecision> {
+    let mut out = Vec::with_capacity(req.components.len());
+    for comp in &req.components {
+        let mut placed = false;
+        for (i, a) in avail.iter_mut().enumerate() {
+            if let Some(size) = comp.granted_size(*a) {
+                *a -= size;
+                out.push(ComponentPlacement {
+                    cluster: ClusterId(i as u16),
+                    size,
+                });
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
     }
     Some(out)
 }
@@ -207,7 +329,7 @@ fn place_close_to_files(
     req: &PlacementRequest,
     avail: &mut [u32],
     catalog: Option<&FileCatalog>,
-) -> Option<Placement> {
+) -> Option<PlacementDecision> {
     let Some(cat) = catalog else {
         // Without a catalog CF degenerates to WF (no file information).
         return place_worst_fit(req, avail);
@@ -241,7 +363,7 @@ fn place_close_to_files(
 
 /// Cluster Minimization: pack components into as few clusters as
 /// possible, visiting clusters in descending availability.
-fn place_cluster_min(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+fn place_cluster_min(req: &PlacementRequest, avail: &mut [u32]) -> Option<PlacementDecision> {
     let mut order: Vec<usize> = (0..avail.len()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(avail[i]), i));
     let mut out = vec![None; req.components.len()];
@@ -277,7 +399,7 @@ fn place_cluster_min(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placem
 /// (the sum of preferred sizes) and split it into per-cluster chunks
 /// following descending availability, minimizing the cluster count while
 /// never creating a chunk smaller than the smallest component minimum.
-fn place_flexible(req: &PlacementRequest, avail: &mut [u32]) -> Option<Placement> {
+fn place_flexible(req: &PlacementRequest, avail: &mut [u32]) -> Option<PlacementDecision> {
     if !req.flexible {
         return place_cluster_min(req, avail);
     }
@@ -358,9 +480,7 @@ mod tests {
     fn worst_fit_picks_most_idle() {
         let req = PlacementRequest::single(any(2, 46, 2));
         let mut avail = vec![10, 40, 25];
-        let p = PlacementPolicy::WorstFit
-            .place(&req, &mut avail, None)
-            .unwrap();
+        let p = WorstFit.place(&req, &mut avail, None).unwrap();
         assert_eq!(
             p,
             vec![ComponentPlacement {
@@ -379,9 +499,7 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![30, 25];
-        let p = PlacementPolicy::WorstFit
-            .place(&req, &mut avail, None)
-            .unwrap();
+        let p = WorstFit.place(&req, &mut avail, None).unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
         assert_eq!(
             p[1].cluster,
@@ -394,10 +512,7 @@ mod tests {
     fn worst_fit_fails_when_nothing_fits() {
         let req = PlacementRequest::single(any(50, 50, 50));
         let mut avail = vec![10, 40, 25];
-        assert_eq!(
-            PlacementPolicy::WorstFit.place(&req, &mut avail, None),
-            None
-        );
+        assert_eq!(WorstFit.place(&req, &mut avail, None), None);
         assert_eq!(avail, vec![10, 40, 25], "failed placement must not deduct");
     }
 
@@ -405,10 +520,47 @@ mod tests {
     fn worst_fit_ties_break_to_lowest_id() {
         let req = PlacementRequest::single(any(2, 4, 2));
         let mut avail = vec![30, 30];
-        let p = PlacementPolicy::WorstFit
-            .place(&req, &mut avail, None)
-            .unwrap();
+        let p = WorstFit.place(&req, &mut avail, None).unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
+    }
+
+    #[test]
+    fn first_fit_takes_the_lowest_hosting_cluster() {
+        let req = PlacementRequest::single(any(4, 8, 4));
+        let mut avail = vec![2, 10, 40];
+        let p = FirstFit.place(&req, &mut avail, None).unwrap();
+        assert_eq!(p[0].cluster, ClusterId(1), "cluster 0 is below min");
+        assert_eq!(avail, vec![2, 6, 40]);
+    }
+
+    #[test]
+    fn first_fit_concentrates_components_unlike_worst_fit() {
+        let req = PlacementRequest {
+            components: vec![any(8, 8, 8), any(8, 8, 8)],
+            files: Vec::new(),
+            flexible: false,
+        };
+        let mut avail = vec![30, 25];
+        let p = FirstFit.place(&req, &mut avail, None).unwrap();
+        assert!(
+            p.iter().all(|cp| cp.cluster == ClusterId(0)),
+            "first fit packs cluster 0 while it lasts"
+        );
+        let mut avail_wf = vec![30, 25];
+        let wf = WorstFit.place(&req, &mut avail_wf, None).unwrap();
+        assert_ne!(wf[0].cluster, wf[1].cluster, "worst fit spreads");
+    }
+
+    #[test]
+    fn first_fit_is_all_or_nothing() {
+        let req = PlacementRequest {
+            components: vec![any(8, 8, 8), any(40, 40, 40)],
+            files: Vec::new(),
+            flexible: false,
+        };
+        let mut avail = vec![10, 9];
+        assert_eq!(FirstFit.place(&req, &mut avail, None), None);
+        assert_eq!(avail, vec![10, 9], "failed placement must not deduct");
     }
 
     #[test]
@@ -422,9 +574,7 @@ mod tests {
         };
         // Cluster 2 has fewer idle processors but holds the replica.
         let mut avail = vec![40, 40, 10];
-        let p = PlacementPolicy::CloseToFiles
-            .place(&req, &mut avail, Some(&cat))
-            .unwrap();
+        let p = CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
         assert_eq!(p[0].cluster, ClusterId(2));
     }
 
@@ -433,12 +583,8 @@ mod tests {
         let req = PlacementRequest::single(any(2, 8, 2));
         let mut a1 = vec![5, 9];
         let mut a2 = vec![5, 9];
-        let p1 = PlacementPolicy::CloseToFiles
-            .place(&req, &mut a1, None)
-            .unwrap();
-        let p2 = PlacementPolicy::WorstFit
-            .place(&req, &mut a2, None)
-            .unwrap();
+        let p1 = CloseToFiles.place(&req, &mut a1, None).unwrap();
+        let p2 = WorstFit.place(&req, &mut a2, None).unwrap();
         assert_eq!(p1, p2);
     }
 
@@ -452,9 +598,7 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![2, 20]; // replica site too busy
-        let p = PlacementPolicy::CloseToFiles
-            .place(&req, &mut avail, Some(&cat))
-            .unwrap();
+        let p = CloseToFiles.place(&req, &mut avail, Some(&cat)).unwrap();
         assert_eq!(p[0].cluster, ClusterId(1));
     }
 
@@ -466,9 +610,7 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![20, 30, 9];
-        let p = PlacementPolicy::ClusterMinimization
-            .place(&req, &mut avail, None)
-            .unwrap();
+        let p = ClusterMinimization.place(&req, &mut avail, None).unwrap();
         // All three fit in cluster 1 (30 ≥ 24): one cluster used.
         assert!(p.iter().all(|cp| cp.cluster == ClusterId(1)));
     }
@@ -481,9 +623,7 @@ mod tests {
             flexible: false,
         };
         let mut avail = vec![10, 9];
-        let p = PlacementPolicy::ClusterMinimization
-            .place(&req, &mut avail, None)
-            .unwrap();
+        let p = ClusterMinimization.place(&req, &mut avail, None).unwrap();
         assert_eq!(p[0].cluster, ClusterId(0));
         assert_eq!(p[1].cluster, ClusterId(1));
     }
@@ -496,7 +636,7 @@ mod tests {
             flexible: true,
         };
         let mut avail = vec![10, 9, 8];
-        let p = PlacementPolicy::FlexibleClusterMinimization
+        let p = FlexibleClusterMinimization
             .place(&req, &mut avail, None)
             .unwrap();
         let total: u32 = p.iter().map(|cp| cp.size).sum();
@@ -517,14 +657,17 @@ mod tests {
         };
         let mut avail = vec![10, 9, 8];
         assert_eq!(
-            PlacementPolicy::FlexibleClusterMinimization.place(&req, &mut avail, None),
+            FlexibleClusterMinimization.place(&req, &mut avail, None),
             None
         );
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(PlacementPolicy::WorstFit.label(), "WF");
-        assert_eq!(PlacementPolicy::FlexibleClusterMinimization.label(), "FCM");
+    fn labels_and_names() {
+        assert_eq!(WorstFit.label(), "WF");
+        assert_eq!(WorstFit.name(), "worst_fit");
+        assert_eq!(FlexibleClusterMinimization.label(), "FCM");
+        assert_eq!(FirstFit.label(), "FF");
+        assert_eq!(FirstFit.name(), "first_fit");
     }
 }

@@ -1,0 +1,413 @@
+//! Composable experiment scenarios: a fluent builder over
+//! [`ExperimentConfig`] plus the single place experiment cell labels are
+//! derived.
+//!
+//! The paper's experiments are points in a small space (approach ×
+//! malleability policy × workload); the ROADMAP wants that space open —
+//! "as many scenarios as you can imagine". [`ScenarioBuilder`] assembles
+//! any point declaratively, selecting policies **by registry name** (see
+//! [`crate::policy::PolicyRegistry`]), and the legacy
+//! [`ExperimentConfig::paper_pra`] / [`ExperimentConfig::paper_pwa`]
+//! presets are thin wrappers over it (bit-identical results, asserted by
+//! test).
+//!
+//! ```
+//! use koala::scenario::{Scenario, Topology};
+//! use appsim::workload::WorkloadSpec;
+//!
+//! let scenario = Scenario::builder()
+//!     .topology(Topology::Das3)
+//!     .workload(WorkloadSpec::wm())
+//!     .jobs(10)
+//!     .placement("worst_fit")
+//!     .malleability("egs")
+//!     .pra()
+//!     .seeds(0..2)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(scenario.config().name, "EGS/Wm");
+//! let report = scenario.run();
+//! assert_eq!(report.runs.len(), 2);
+//! assert!(report.completion_ratio() > 0.99);
+//! ```
+
+use appsim::workload::{SubmittedJob, WorkloadSpec};
+use multicluster::BackgroundLoad;
+use simcore::SimDuration;
+
+use crate::config::{workload_label, Approach, ConfigError, ExperimentConfig, SchedulerConfig};
+use crate::policy::PolicyRegistry;
+use crate::report::MultiReport;
+
+/// The multicluster substrate a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// The homogeneous Table I DAS-3 preset (272 nodes, 5 clusters).
+    #[default]
+    Das3,
+    /// The heterogeneous DAS-3 variant (per-site compute speeds).
+    Das3Heterogeneous,
+}
+
+/// Derives the report label of one experiment cell from its policy
+/// labels and workload — the **single** place cell names are composed,
+/// so perf JSON, CSV panels and the figure binaries cannot drift from
+/// each other. The paper's form is `"EGS/Wm"`; pass an [`Approach`] to
+/// prefix it for cross-approach sweeps (`"PWA/EGS/Wm'"`), and a
+/// placement label for cross-placement matrices (`"FF+EGS/Wm"`).
+pub fn cell_label(
+    approach: Option<Approach>,
+    placement_label: Option<&str>,
+    policy_label: &str,
+    workload: &WorkloadSpec,
+) -> String {
+    let policies = match placement_label {
+        Some(p) => format!("{p}+{policy_label}"),
+        None => policy_label.to_string(),
+    };
+    let base = format!("{}/{}", policies, workload_label(workload));
+    match approach {
+        Some(a) => format!("{}/{}", a.label(), base),
+        None => base,
+    }
+}
+
+/// A validated, runnable experiment scenario: an [`ExperimentConfig`]
+/// plus the seed list it runs across. Build one with
+/// [`Scenario::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    cfg: ExperimentConfig,
+    seeds: Vec<u64>,
+}
+
+impl Scenario {
+    /// Starts a builder with the paper's defaults: Worst-Fit placement,
+    /// FPSMA under PRA, the testbed's concurrent-user background load,
+    /// a 200 000 s horizon backstop, and seed 0.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The assembled configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Unwraps into the configuration (for call sites that manage seeds
+    /// themselves, e.g. the pooled cell runner).
+    pub fn into_config(self) -> ExperimentConfig {
+        self.cfg
+    }
+
+    /// The seeds the scenario runs across.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Runs the scenario across its seeds on the parallel cell runner
+    /// (see [`crate::run_seeds`]).
+    pub fn run(&self) -> MultiReport {
+        crate::run_seeds(&self.cfg, &self.seeds)
+    }
+
+    /// [`Scenario::run`] with an explicit worker count.
+    pub fn run_with_threads(&self, threads: usize) -> MultiReport {
+        crate::parallel::run_seeds_with_threads(&self.cfg, &self.seeds, threads)
+    }
+}
+
+/// Fluent assembly of a [`Scenario`]. See the module docs for a full
+/// example; every setter has the paper's value as its default, so a
+/// builder only states what its scenario *changes*.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: Option<String>,
+    topology: Topology,
+    workload: Option<WorkloadSpec>,
+    jobs: Option<usize>,
+    sched: SchedulerConfig,
+    background: BackgroundLoad,
+    seed: u64,
+    seeds: Option<Vec<u64>>,
+    horizon: Option<SimDuration>,
+    trace: Option<Vec<SubmittedJob>>,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            name: None,
+            topology: Topology::Das3,
+            workload: None,
+            jobs: None,
+            sched: SchedulerConfig::default(),
+            background: BackgroundLoad::concurrent_users(0.30),
+            seed: 0,
+            seeds: None,
+            horizon: Some(SimDuration::from_secs(200_000)),
+            trace: None,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Overrides the derived report label (default:
+    /// [`cell_label`]`(None, None, policy_label, workload)`, e.g.
+    /// `"EGS/Wm"`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Selects the multicluster substrate.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The KOALA workload (required unless a [`ScenarioBuilder::trace`]
+    /// is given).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Overrides the workload's job count (convenience for scaled-down
+    /// smoke runs of a standard workload).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Selects the placement policy by registry name (default
+    /// `"worst_fit"`).
+    pub fn placement(mut self, name: impl Into<String>) -> Self {
+        self.sched.placement = name.into();
+        self
+    }
+
+    /// Selects the malleability-management policy by registry name
+    /// (default `"fpsma"`).
+    pub fn malleability(mut self, name: impl Into<String>) -> Self {
+        self.sched.malleability = name.into();
+        self
+    }
+
+    /// Sets the job-management approach.
+    pub fn approach(mut self, approach: Approach) -> Self {
+        self.sched.approach = approach;
+        self
+    }
+
+    /// Shorthand for `.approach(Approach::Pra)`.
+    pub fn pra(self) -> Self {
+        self.approach(Approach::Pra)
+    }
+
+    /// Shorthand for `.approach(Approach::Pwa)`.
+    pub fn pwa(self) -> Self {
+        self.approach(Approach::Pwa)
+    }
+
+    /// Sets the background (local-user) load (default: the testbed's
+    /// concurrent users at 30%).
+    pub fn background(mut self, background: BackgroundLoad) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Arbitrary scheduler tweaks (thresholds, periods, claiming, …) on
+    /// top of the named selections — the escape hatch that keeps the
+    /// builder small while every ablation stays expressible.
+    pub fn scheduler(mut self, f: impl FnOnce(&mut SchedulerConfig)) -> Self {
+        f(&mut self.sched);
+        self
+    }
+
+    /// Master seed for single-seed runs (default 0). Ignored when
+    /// [`ScenarioBuilder::seeds`] is set.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The seeds a [`Scenario::run`] sweeps across (default: just the
+    /// master seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = Some(seeds.into_iter().collect());
+        self
+    }
+
+    /// Sets the hard-stop horizon (default 200 000 s).
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Removes the horizon backstop (runs finish naturally).
+    pub fn no_horizon(mut self) -> Self {
+        self.horizon = None;
+        self
+    }
+
+    /// Replaces the generated workload with an explicit job stream (SWF
+    /// replay, injected co-allocated jobs, …).
+    pub fn trace(mut self, trace: Vec<SubmittedJob>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Validates and assembles the scenario. The derived name comes from
+    /// the malleability policy's label and the workload ([`cell_label`]),
+    /// exactly like the legacy paper presets.
+    pub fn build(self) -> Result<Scenario, ConfigError> {
+        // Resolved for the label; cfg.validate() below re-checks both
+        // policy names (and reports the same ConfigError::Policy for an
+        // unknown placement).
+        let malleability = PolicyRegistry::global().malleability(&self.sched.malleability)?;
+        // Even trace replays need a WorkloadSpec (engine sizing reads
+        // its job count); an empty-app spec is fine alongside a trace.
+        let Some(mut workload) = self.workload else {
+            return Err(ConfigError::MissingWorkload);
+        };
+        // Derive the label before any jobs() scale-down: the name
+        // describes the workload family (Wm vs Wm'), which is judged by
+        // the nominal span of the *full* spec.
+        let name = self
+            .name
+            .unwrap_or_else(|| cell_label(None, None, malleability.label(), &workload));
+        if let Some(jobs) = self.jobs {
+            workload.jobs = jobs;
+        }
+        let cfg = ExperimentConfig {
+            name,
+            sched: self.sched,
+            workload,
+            background: self.background,
+            seed: self.seed,
+            horizon: self.horizon,
+            trace: self.trace,
+            heterogeneous: self.topology == Topology::Das3Heterogeneous,
+        };
+        cfg.validate()?;
+        let seeds = match self.seeds {
+            Some(seeds) if seeds.is_empty() => return Err(ConfigError::NoSeeds),
+            Some(seeds) => seeds,
+            None => vec![cfg.seed],
+        };
+        Ok(Scenario { cfg, seeds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_reproduce_the_paper_pra_preset() {
+        let via_builder = Scenario::builder()
+            .malleability("egs")
+            .workload(WorkloadSpec::wm())
+            .build()
+            .unwrap();
+        let preset = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
+        assert_eq!(via_builder.config(), &preset);
+        assert_eq!(via_builder.seeds(), &[0]);
+    }
+
+    #[test]
+    fn builder_covers_the_pwa_preset_too() {
+        let via_builder = Scenario::builder()
+            .malleability("fpsma")
+            .workload(WorkloadSpec::wmr_prime())
+            .pwa()
+            .build()
+            .unwrap();
+        let preset = ExperimentConfig::paper_pwa("fpsma", WorkloadSpec::wmr_prime());
+        assert_eq!(via_builder.config(), &preset);
+    }
+
+    #[test]
+    fn derived_names_come_from_cell_label() {
+        let s = Scenario::builder()
+            .malleability("greedy_grow_lazy_shrink")
+            .workload(WorkloadSpec::wm_prime())
+            .build()
+            .unwrap();
+        assert_eq!(s.config().name, "GGLS/Wm'");
+        assert_eq!(
+            cell_label(Some(Approach::Pwa), None, "GGLS", &WorkloadSpec::wm_prime()),
+            "PWA/GGLS/Wm'"
+        );
+        assert_eq!(
+            cell_label(None, Some("FF"), "EGS", &WorkloadSpec::wm()),
+            "FF+EGS/Wm"
+        );
+    }
+
+    #[test]
+    fn unknown_policy_names_fail_the_build() {
+        let err = Scenario::builder()
+            .malleability("beyond_the_paper")
+            .workload(WorkloadSpec::wm())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Policy(_)), "{err}");
+        let err = Scenario::builder()
+            .placement("nowhere_fit")
+            .workload(WorkloadSpec::wm())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("nowhere_fit"));
+    }
+
+    #[test]
+    fn missing_workload_and_empty_seeds_fail_the_build() {
+        assert_eq!(
+            Scenario::builder().build().unwrap_err(),
+            ConfigError::MissingWorkload
+        );
+        assert_eq!(
+            Scenario::builder()
+                .workload(WorkloadSpec::wm())
+                .seeds(std::iter::empty())
+                .build()
+                .unwrap_err(),
+            ConfigError::NoSeeds
+        );
+    }
+
+    #[test]
+    fn invalid_scheduler_tweaks_are_caught_at_build_time() {
+        let err = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .scheduler(|s| s.koala_share = 0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::KoalaShareZero);
+    }
+
+    #[test]
+    fn jobs_and_seed_overrides_apply() {
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .jobs(7)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().workload.jobs, 7);
+        assert_eq!(s.config().seed, 42);
+        assert_eq!(s.seeds(), &[42]);
+    }
+
+    #[test]
+    fn heterogeneous_topology_maps_to_the_flag() {
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .topology(Topology::Das3Heterogeneous)
+            .build()
+            .unwrap();
+        assert!(s.config().heterogeneous);
+    }
+}

@@ -47,6 +47,7 @@ use crate::ids::JobId;
 use crate::job::{Job, JobPhase};
 use crate::malleability::RunningView;
 use crate::placement::{ComponentRequest, PlacementQueue, PlacementRequest};
+use crate::policy::{Malleability, Placement, PolicyRegistry};
 use crate::report::RunReport;
 use crate::runner::MRunner;
 
@@ -159,6 +160,13 @@ pub struct World<'a> {
     /// The seed this run executes under (usually `cfg.seed`; sweeps
     /// override it per cell without cloning the configuration).
     seed: u64,
+    /// The placement policy, resolved once from `cfg.sched.placement`
+    /// against the global [`PolicyRegistry`] — the simulation core never
+    /// dispatches on concrete policy types, so new policies plug in by
+    /// name without touching this module.
+    placement: Box<dyn Placement>,
+    /// The malleability-management policy, resolved like `placement`.
+    malleability: Box<dyn Malleability>,
     mc: Multicluster,
     kis: InfoService,
     files: Option<FileCatalog>,
@@ -215,7 +223,20 @@ impl<'a> World<'a> {
     /// the per-cell entry point of multi-seed sweeps, which would
     /// otherwise have to clone the whole configuration (including any
     /// explicit trace) just to restamp the seed.
+    ///
+    /// # Panics
+    /// Panics when the configured policy names do not resolve against
+    /// [`PolicyRegistry::global`] (run through
+    /// [`crate::run_experiment`], which validates first, for a
+    /// `Result`-shaped path).
     pub fn for_seed(cfg: &'a ExperimentConfig, seed: u64) -> Self {
+        let registry = PolicyRegistry::global();
+        let placement = registry
+            .placement(&cfg.sched.placement)
+            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+        let malleability = registry
+            .malleability(&cfg.sched.malleability)
+            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
         let mut master = SimRng::seed_from_u64(seed);
         let mut wl_rng = master.fork(1);
         let bg_rng = master.fork(2);
@@ -249,6 +270,8 @@ impl<'a> World<'a> {
         let w_init = World {
             cfg,
             seed,
+            placement,
+            malleability,
             mc,
             kis: InfoService::new(),
             files: None,
@@ -536,12 +559,9 @@ impl<'a> World<'a> {
                 eff.extend(avail.iter().map(|&a| a.min(budget)));
                 eff_dirty = false;
             }
-            let placed = self.cfg.sched.placement.place_in(
-                &req,
-                &mut eff,
-                &mut place_scratch,
-                self.files.as_ref(),
-            );
+            let placed =
+                self.placement
+                    .place_in(&req, &mut eff, &mut place_scratch, self.files.as_ref());
             match placed {
                 Some(placement) => {
                     // The policy deducted its grant from `eff` (and a
@@ -778,7 +798,6 @@ impl<'a> World<'a> {
         if views.is_empty() {
             return;
         }
-        let policy = self.cfg.sched.malleability;
         let jobs = &mut self.jobs;
         let mut accept = |id: JobId, offered: u32| -> u32 {
             jobs[id.index()]
@@ -787,7 +806,7 @@ impl<'a> World<'a> {
                 .expect("views contain only malleable jobs")
                 .offer_grow(offered)
         };
-        let outcome = policy.run_grow(&views, grow_value, &mut accept);
+        let outcome = self.malleability.run_grow(&views, grow_value, &mut accept);
         self.grow_messages += outcome.messages as u64;
         for op in &outcome.ops {
             self.grow_ops.record(now);
@@ -922,7 +941,6 @@ impl<'a> World<'a> {
         if views.is_empty() || value == 0 {
             return;
         }
-        let policy = self.cfg.sched.malleability;
         let jobs = &mut self.jobs;
         let mut accept = |id: JobId, requested: u32| -> u32 {
             jobs[id.index()]
@@ -931,7 +949,7 @@ impl<'a> World<'a> {
                 .expect("views contain only malleable jobs")
                 .request_shrink(requested, true)
         };
-        let outcome = policy.run_shrink(&views, value, &mut accept);
+        let outcome = self.malleability.run_shrink(&views, value, &mut accept);
         self.shrink_messages += outcome.messages as u64;
         for op in &outcome.ops {
             self.shrink_ops.record(now);
@@ -1467,10 +1485,9 @@ pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> crate::report::MultiR
 mod tests {
     use super::*;
     use crate::config::ExperimentConfig;
-    use crate::malleability::MalleabilityPolicy;
     use appsim::workload::WorkloadSpec;
 
-    fn small(policy: MalleabilityPolicy, workload: WorkloadSpec, jobs: usize) -> ExperimentConfig {
+    fn small(policy: &str, workload: WorkloadSpec, jobs: usize) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::paper_pra(policy, workload);
         cfg.workload.jobs = jobs;
         cfg.seed = 7;
@@ -1479,7 +1496,7 @@ mod tests {
 
     #[test]
     fn single_job_runs_to_completion_and_grows_from_releases() {
-        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 1);
+        let cfg = small("fpsma", WorkloadSpec::wm(), 1);
         let r = run_experiment(&cfg);
         assert_eq!(r.jobs.len(), 1);
         assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
@@ -1499,7 +1516,7 @@ mod tests {
     fn without_releases_nothing_grows() {
         // No background, one job: no processors are ever released while
         // it runs, so the paper's growth procedure never fires.
-        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 1);
+        let mut cfg = small("egs", WorkloadSpec::wm(), 1);
         cfg.background = multicluster::BackgroundLoad::none();
         let r = run_experiment(&cfg);
         let rec = &r.jobs.records()[0];
@@ -1509,14 +1526,14 @@ mod tests {
 
     #[test]
     fn small_wm_batch_completes_under_both_policies() {
-        for policy in [MalleabilityPolicy::Fpsma, MalleabilityPolicy::Egs] {
+        for policy in ["fpsma", "egs"] {
             let cfg = small(policy, WorkloadSpec::wm(), 20);
             let r = run_experiment(&cfg);
             assert!(
                 (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
-                "{policy:?} left jobs unfinished"
+                "{policy} left jobs unfinished"
             );
-            assert!(r.grow_ops.total() > 0, "{policy:?} never grew anything");
+            assert!(r.grow_ops.total() > 0, "{policy} never grew anything");
         }
     }
 
@@ -1525,8 +1542,7 @@ mod tests {
         // Shrinks only trigger once grown jobs saturate the platform,
         // which needs the sustained W'm arrival pressure (the paper's
         // overload regime); 200 jobs are enough to reach it.
-        let mut cfg =
-            ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+        let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
         cfg.workload.jobs = 200;
         cfg.seed = 3;
         let r = run_experiment(&cfg);
@@ -1543,7 +1559,7 @@ mod tests {
 
     #[test]
     fn pra_never_shrinks() {
-        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 25);
+        let cfg = small("egs", WorkloadSpec::wm(), 25);
         let r = run_experiment(&cfg);
         assert_eq!(r.shrink_ops.total(), 0);
         assert_eq!(r.shrink_messages, 0);
@@ -1551,7 +1567,7 @@ mod tests {
 
     #[test]
     fn same_seed_is_bit_identical() {
-        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wmr(), 15);
+        let cfg = small("egs", WorkloadSpec::wmr(), 15);
         let a = run_experiment(&cfg);
         let b = run_experiment(&cfg);
         assert_eq!(a.makespan, b.makespan);
@@ -1564,7 +1580,7 @@ mod tests {
 
     #[test]
     fn rigid_jobs_keep_their_size() {
-        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wmr(), 20);
+        let mut cfg = small("egs", WorkloadSpec::wmr(), 20);
         cfg.seed = 11;
         let r = run_experiment(&cfg);
         for rec in r.jobs.records().iter().filter(|r| !r.malleable) {
@@ -1575,7 +1591,7 @@ mod tests {
 
     #[test]
     fn multi_seed_runs_aggregate() {
-        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 10);
+        let cfg = small("fpsma", WorkloadSpec::wm(), 10);
         let m = run_seeds(&cfg, &[1, 2, 3]);
         assert_eq!(m.runs.len(), 3);
         assert_eq!(m.merged_jobs().len(), 30);
@@ -1584,7 +1600,7 @@ mod tests {
 
     #[test]
     fn application_initiated_growth_fires_once_per_job() {
-        let mut cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 8);
+        let mut cfg = small("fpsma", WorkloadSpec::wm(), 8);
         cfg.workload.initiative = Some(appsim::GrowInitiative {
             at_progress: 0.3,
             extra: 8,
@@ -1595,7 +1611,7 @@ mod tests {
         // Every job asked once; grants depend on capacity, but with an
         // idle platform most requests succeed, so growth must exceed the
         // release-driven baseline of the same run without initiatives.
-        let mut base = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 8);
+        let mut base = small("fpsma", WorkloadSpec::wm(), 8);
         base.seed = cfg.seed;
         let b = run_experiment(&base);
         assert!(
@@ -1608,7 +1624,7 @@ mod tests {
 
     #[test]
     fn moldable_jobs_take_a_size_at_start_and_keep_it() {
-        let mut cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 12);
+        let mut cfg = small("egs", WorkloadSpec::wm(), 12);
         cfg.workload.malleable_fraction = 0.0;
         cfg.workload.moldable_fraction = 1.0;
         cfg.sched.koala_share = 0.45;
@@ -1628,7 +1644,7 @@ mod tests {
 
     #[test]
     fn trace_records_the_full_lifecycle() {
-        let cfg = small(MalleabilityPolicy::Egs, WorkloadSpec::wm(), 5);
+        let cfg = small("egs", WorkloadSpec::wm(), 5);
         let mut engine = simcore::Engine::new();
         let r = World::new(&cfg)
             .with_trace(10_000)
@@ -1656,7 +1672,7 @@ mod tests {
 
     #[test]
     fn committed_grows_never_exceed_decided_ops() {
-        let cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 15);
+        let cfg = small("fpsma", WorkloadSpec::wm(), 15);
         let r = run_experiment(&cfg);
         // Committed (per-job) grows are a subset of decided ops: an op
         // aborts when the job completes while its stubs submit.
@@ -1666,7 +1682,7 @@ mod tests {
 
     #[test]
     fn background_load_runs_alongside() {
-        let mut cfg = small(MalleabilityPolicy::Fpsma, WorkloadSpec::wm(), 10);
+        let mut cfg = small("fpsma", WorkloadSpec::wm(), 10);
         cfg.background = multicluster::BackgroundLoad::light();
         let r = run_experiment(&cfg);
         assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);

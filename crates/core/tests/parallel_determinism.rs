@@ -10,16 +10,16 @@
 
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
-use koala::malleability::MalleabilityPolicy;
 use koala::{run_seeds_sequential, run_seeds_with_threads};
 use proptest::prelude::*;
 
-fn policies() -> [MalleabilityPolicy; 4] {
+fn policies() -> [&'static str; 5] {
     [
-        MalleabilityPolicy::Fpsma,
-        MalleabilityPolicy::Egs,
-        MalleabilityPolicy::Equipartition,
-        MalleabilityPolicy::Folding,
+        "fpsma",
+        "egs",
+        "equipartition",
+        "folding",
+        "greedy_grow_lazy_shrink",
     ]
 }
 
@@ -30,7 +30,7 @@ fn random_cfg(
     jobs: usize,
     seed0: u64,
 ) -> (ExperimentConfig, Vec<u64>) {
-    let policy = policies()[policy_idx % 4];
+    let policy = policies()[policy_idx % 5];
     let workload = if prime {
         WorkloadSpec::wm_prime()
     } else {
@@ -51,7 +51,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
     #[test]
     fn parallel_run_seeds_is_byte_identical_to_sequential(
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..5,
         pwa in any::<bool>(),
         prime in any::<bool>(),
         jobs in 2usize..9,

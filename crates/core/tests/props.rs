@@ -3,8 +3,9 @@
 //! configurations.
 
 use appsim::SizeConstraint;
-use koala::malleability::{MalleabilityPolicy, RunningView};
-use koala::placement::{ComponentRequest, PlacementPolicy, PlacementRequest};
+use koala::malleability::{Fpsma, Malleability, RunningView};
+use koala::placement::{ComponentRequest, PlacementRequest};
+use koala::policy::PolicyRegistry;
 use koala::JobId;
 use proptest::prelude::*;
 use simcore::SimTime;
@@ -24,13 +25,16 @@ fn views_strategy() -> impl Strategy<Value = Vec<RunningView>> {
     })
 }
 
-fn all_policies() -> Vec<MalleabilityPolicy> {
-    vec![
-        MalleabilityPolicy::Fpsma,
-        MalleabilityPolicy::Egs,
-        MalleabilityPolicy::Equipartition,
-        MalleabilityPolicy::Folding,
-    ]
+/// Every registered malleability policy — property tests cover the
+/// whole registry, so a newly registered policy is automatically held
+/// to the same budget/minimum invariants.
+fn all_policies() -> Vec<Box<dyn Malleability>> {
+    let registry = PolicyRegistry::global();
+    registry
+        .malleability_names()
+        .iter()
+        .map(|name| registry.malleability(name).unwrap())
+        .collect()
 }
 
 proptest! {
@@ -45,7 +49,7 @@ proptest! {
             };
             let out = policy.run_grow(&views, budget, &mut accept);
             let total: u32 = out.ops.iter().map(|o| o.accepted).sum();
-            prop_assert!(total <= budget, "{policy:?} gave {total} > {budget}");
+            prop_assert!(total <= budget, "{} gave {total} > {budget}", policy.name());
             for op in &out.ops {
                 let v = views.iter().find(|v| v.job == op.job).unwrap();
                 prop_assert!(v.size + op.accepted <= v.max);
@@ -83,7 +87,7 @@ proptest! {
             let v = views.iter().find(|v| v.job == id).unwrap();
             SizeConstraint::Any.accept_grow(v.size, offered, v.max)
         };
-        let out = MalleabilityPolicy::Fpsma.run_grow(&views, budget, &mut accept);
+        let out = Fpsma.run_grow(&views, budget, &mut accept);
         let mut order = views.clone();
         order.sort_by_key(|v| (v.started, v.job));
         // Jobs that accepted > 0 must appear in order, from the front,
@@ -104,21 +108,19 @@ proptest! {
     fn placement_is_all_or_nothing(
         avail in prop::collection::vec(0u32..60, 2..6),
         comp_sizes in prop::collection::vec(1u32..40, 1..5),
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..5,
     ) {
-        let policy = [
-            PlacementPolicy::WorstFit,
-            PlacementPolicy::CloseToFiles,
-            PlacementPolicy::ClusterMinimization,
-            PlacementPolicy::FlexibleClusterMinimization,
-        ][policy_idx];
+        // The whole placement registry, new policies included.
+        let registry = PolicyRegistry::global();
+        let names = registry.placement_names();
+        let policy = registry.placement(&names[policy_idx % names.len()]).unwrap();
         let req = PlacementRequest {
             components: comp_sizes
                 .iter()
                 .map(|&s| ComponentRequest::fixed(s, SizeConstraint::Any))
                 .collect(),
             files: Vec::new(),
-            flexible: policy == PlacementPolicy::FlexibleClusterMinimization,
+            flexible: policy.name() == "flexible_cluster_min",
         };
         let before = avail.clone();
         let mut after = avail.clone();
@@ -143,7 +145,6 @@ proptest! {
 mod end_to_end {
     use appsim::workload::WorkloadSpec;
     use koala::config::ExperimentConfig;
-    use koala::malleability::MalleabilityPolicy;
     use koala::run_experiment;
     use proptest::prelude::*;
 
@@ -160,7 +161,7 @@ mod end_to_end {
             pwa in any::<bool>(),
             mix in any::<bool>(),
         ) {
-            let policy = if egs { MalleabilityPolicy::Egs } else { MalleabilityPolicy::Fpsma };
+            let policy = if egs { "egs" } else { "fpsma" };
             let workload = if mix { WorkloadSpec::wmr_prime() } else { WorkloadSpec::wm_prime() };
             let mut cfg = if pwa {
                 ExperimentConfig::paper_pwa(policy, workload)

@@ -11,7 +11,6 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::run_experiment;
 use malleable_koala::multicluster::BackgroundLoad;
 
@@ -34,7 +33,7 @@ fn main() {
         ),
     ] {
         for reserve in [0u32, 16] {
-            let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+            let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
             cfg.workload.jobs = 80;
             cfg.background = bg.clone();
             cfg.sched.grow_reserve = reserve;

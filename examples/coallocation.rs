@@ -9,7 +9,10 @@
 //! ```
 
 use malleable_koala::appsim::SizeConstraint;
-use malleable_koala::koala::placement::{ComponentRequest, PlacementPolicy, PlacementRequest};
+use malleable_koala::koala::placement::{
+    CloseToFiles, ClusterMinimization, ComponentRequest, FlexibleClusterMinimization, Placement,
+    PlacementRequest, WorstFit,
+};
 use malleable_koala::multicluster::{das3, ClusterId, FileCatalog};
 
 fn show(avail: &[u32]) -> String {
@@ -41,10 +44,7 @@ fn main() {
         flexible: false,
     };
     println!("\njob A: 4 components x 24 processors");
-    for policy in [
-        PlacementPolicy::WorstFit,
-        PlacementPolicy::ClusterMinimization,
-    ] {
+    for policy in [&WorstFit as &dyn Placement, &ClusterMinimization] {
         let mut avail = base.clone();
         match policy.place(&rigid4, &mut avail, None) {
             Some(p) => {
@@ -78,7 +78,7 @@ fn main() {
     };
     println!("\njob B: flexible, 96 processors total (min chunk 8)");
     let mut avail = base.clone();
-    match PlacementPolicy::FlexibleClusterMinimization.place(&flexible, &mut avail, None) {
+    match FlexibleClusterMinimization.place(&flexible, &mut avail, None) {
         Some(p) => {
             println!(
                 "  FCM  -> {:?} (remaining {})",
@@ -105,7 +105,7 @@ fn main() {
         flexible: false,
     };
     println!("\njob C: 8 processors, 40 GB input replicated only at C3 (MultimediaN)");
-    for policy in [PlacementPolicy::WorstFit, PlacementPolicy::CloseToFiles] {
+    for policy in [&WorstFit as &dyn Placement, &CloseToFiles] {
         let mut avail = base.clone();
         match policy.place(&cf_job, &mut avail, Some(&catalog)) {
             Some(p) => {

@@ -10,13 +10,12 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::sim::{Ev, World};
 use malleable_koala::multicluster::ClusterId;
 use malleable_koala::simcore::{Engine, SimTime};
 
 fn main() {
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     cfg.workload.jobs = 40;
     cfg.seed = 17;
 

@@ -1,6 +1,8 @@
-//! Compare the paper's two malleability policies (FPSMA, EGS) and the
-//! two related-work baselines (equipartition, folding) on the same
-//! workload, seeds and testbed.
+//! Compare every *registered* malleability policy — the paper's pair
+//! (FPSMA, EGS), the related-work baselines (equipartition, folding)
+//! and anything later registered — on the same workload, seeds and
+//! testbed. Registering a new policy makes it appear here with zero
+//! changes to this example.
 //!
 //! ```text
 //! cargo run --release --example policy_comparison
@@ -8,7 +10,7 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
+use malleable_koala::koala::policy::PolicyRegistry;
 use malleable_koala::koala::run_seeds;
 
 fn main() {
@@ -21,13 +23,9 @@ fn main() {
         "{:<8} {:>9} {:>11} {:>11} {:>11} {:>11} {:>10}",
         "policy", "grows/run", "avg size", "stuck@min", "exec (s)", "resp (s)", "util mean"
     );
-    for policy in [
-        MalleabilityPolicy::Fpsma,
-        MalleabilityPolicy::Egs,
-        MalleabilityPolicy::Equipartition,
-        MalleabilityPolicy::Folding,
-    ] {
-        let mut cfg = ExperimentConfig::paper_pra(policy, WorkloadSpec::wm());
+    let registry = PolicyRegistry::global();
+    for policy in registry.malleability_names() {
+        let mut cfg = ExperimentConfig::paper_pra(&policy, WorkloadSpec::wm());
         cfg.workload.jobs = 100;
         let m = run_seeds(&cfg, &seeds);
         let jobs = m.merged_jobs();
@@ -43,7 +41,7 @@ fn main() {
         let horizon = m.max_makespan();
         println!(
             "{:<8} {:>9.0} {:>11.1} {:>10.0}% {:>11.0} {:>11.0} {:>10.1}",
-            policy.label(),
+            registry.malleability(&policy).unwrap().label(),
             grows,
             avg.mean().unwrap_or(0.0),
             100.0 * avg.fraction_at_or_below(3.0),

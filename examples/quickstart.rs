@@ -7,7 +7,6 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::run_experiment;
 use malleable_koala::koala_metrics::plot;
 
@@ -15,7 +14,7 @@ fn main() {
     // The paper's EGS/Wm cell, scaled to 60 jobs for a fast demo:
     // all-malleable workload, 2-minute arrivals, Worst-Fit placement,
     // Precedence-to-Running-Applications (grow only).
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     cfg.workload.jobs = 60;
     cfg.seed = 42;
 

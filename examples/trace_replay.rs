@@ -9,7 +9,6 @@
 use malleable_koala::appsim::swf;
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::sim::World;
 use malleable_koala::simcore::{Engine, SimRng};
 
@@ -27,7 +26,7 @@ fn main() {
 
     // 2. Re-import and replay through the full scheduler with tracing.
     let reimported = swf::SwfImport::default().convert(&swf::parse(&swf_text).unwrap());
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     cfg.trace = Some(reimported);
     cfg.seed = 99;
     let mut engine = Engine::new();

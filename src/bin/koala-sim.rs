@@ -20,7 +20,6 @@ use std::process::ExitCode;
 use malleable_koala::appsim::swf;
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::report::MultiReport;
 use malleable_koala::koala::run_seeds;
 use malleable_koala::koala_metrics::csv::Csv;
@@ -38,7 +37,7 @@ fn main() -> ExitCode {
             let Some(path) = args.get(1) else {
                 return usage();
             };
-            let cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+            let cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
             let json = serde_json::to_string_pretty(&cfg).expect("config serializes");
             if let Err(e) = std::fs::write(path, json) {
                 eprintln!("cannot write {path}: {e}");
@@ -113,13 +112,20 @@ fn run(
     csv_dir: Option<PathBuf>,
     swf_out: Option<PathBuf>,
 ) -> ExitCode {
+    // Policy names are plain strings in the JSON; resolve them (and the
+    // rest of the configuration) up front for a clean error instead of
+    // a runtime panic.
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
     println!(
         "{}: {} jobs x {} seeds on DAS-3 ({} placement, {} policy, {} approach)",
         cfg.name,
         cfg.workload.jobs,
         seeds.len(),
-        cfg.sched.placement.label(),
-        cfg.sched.malleability.label(),
+        cfg.sched.placement,
+        cfg.sched.malleability,
         cfg.sched.approach.label(),
     );
     if let Some(path) = swf_out {

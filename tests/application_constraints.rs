@@ -6,10 +6,9 @@
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::appsim::AppKind;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::run_experiment;
 
-fn ft_only(policy: MalleabilityPolicy, pwa: bool, jobs: usize, seed: u64) -> ExperimentConfig {
+fn ft_only(policy: &str, pwa: bool, jobs: usize, seed: u64) -> ExperimentConfig {
     let workload = WorkloadSpec {
         apps: vec![AppKind::Ft],
         ..if pwa {
@@ -30,7 +29,7 @@ fn ft_only(policy: MalleabilityPolicy, pwa: bool, jobs: usize, seed: u64) -> Exp
 
 #[test]
 fn ft_jobs_only_ever_run_at_powers_of_two() {
-    for policy in [MalleabilityPolicy::Fpsma, MalleabilityPolicy::Egs] {
+    for policy in ["fpsma", "egs"] {
         for pwa in [false, true] {
             let cfg = ft_only(policy, pwa, 80, 31);
             let r = run_experiment(&cfg);
@@ -51,7 +50,7 @@ fn ft_jobs_only_ever_run_at_powers_of_two() {
 
 #[test]
 fn mixed_workload_respects_per_app_constraints_and_bounds() {
-    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
     cfg.workload.jobs = 150;
     cfg.seed = 77;
     let r = run_experiment(&cfg);
@@ -92,7 +91,7 @@ fn gadget_accepts_arbitrary_sizes() {
         apps: vec![AppKind::Gadget2],
         ..WorkloadSpec::wm()
     };
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, workload);
+    let mut cfg = ExperimentConfig::paper_pra("egs", workload);
     cfg.workload.jobs = 60;
     cfg.seed = 8;
     let r = run_experiment(&cfg);

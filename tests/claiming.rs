@@ -5,8 +5,6 @@
 use malleable_koala::appsim::workload::{SubmittedJob, WorkloadSpec};
 use malleable_koala::appsim::{AppKind, JobSpec};
 use malleable_koala::koala::config::{ClaimingPolicy, ExperimentConfig};
-use malleable_koala::koala::malleability::MalleabilityPolicy;
-use malleable_koala::koala::placement::PlacementPolicy;
 use malleable_koala::koala::sim::World;
 use malleable_koala::multicluster::{BackgroundLoad, ClusterId, FileCatalog};
 use malleable_koala::simcore::{Engine, SimDuration, SimTime};
@@ -29,11 +27,11 @@ fn staged_job(at_s: u64) -> SubmittedJob {
     }
 }
 
-fn cfg(claiming: ClaimingPolicy, placement: PlacementPolicy) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+fn cfg(claiming: ClaimingPolicy, placement: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
     cfg.background = BackgroundLoad::none();
     cfg.sched.claiming = claiming;
-    cfg.sched.placement = placement;
+    cfg.sched.placement = placement.to_string();
     cfg.sched.koala_share = 0.5;
     cfg.trace = Some(vec![staged_job(0)]);
     cfg.seed = 3;
@@ -48,7 +46,7 @@ fn close_to_files_avoids_staging_entirely() {
         ClaimingPolicy::Deferred {
             margin: SimDuration::from_secs(10),
         },
-        PlacementPolicy::CloseToFiles,
+        "close_to_files",
     );
     let mut engine = Engine::new();
     let r = World::new(&c)
@@ -71,7 +69,7 @@ fn deferred_claim_fires_near_the_end_of_staging() {
         ClaimingPolicy::Deferred {
             margin: SimDuration::from_secs(30),
         },
-        PlacementPolicy::WorstFit,
+        "worst_fit",
     );
     let mut engine = Engine::new();
     let r = World::new(&c)
@@ -98,7 +96,7 @@ fn immediate_claiming_holds_processors_through_staging() {
     // data arrives (in our model it starts right away since execution
     // does not wait for staging under Immediate — the claim-time
     // difference is what we assert).
-    let c = cfg(ClaimingPolicy::Immediate, PlacementPolicy::WorstFit);
+    let c = cfg(ClaimingPolicy::Immediate, "worst_fit");
     let mut engine = Engine::new();
     let r = World::new(&c)
         .with_files(catalog())
@@ -118,7 +116,7 @@ fn failed_deferred_claims_bounce_back_to_the_queue() {
         ClaimingPolicy::Deferred {
             margin: SimDuration::from_secs(30),
         },
-        PlacementPolicy::WorstFit,
+        "worst_fit",
     );
     let mut engine = Engine::new();
     engine.schedule_at(

@@ -5,13 +5,11 @@
 use malleable_koala::appsim::workload::{SubmittedJob, WorkloadSpec};
 use malleable_koala::appsim::{swf, AppKind, JobSpec};
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
-use malleable_koala::koala::placement::PlacementPolicy;
 use malleable_koala::koala::run_experiment;
 use malleable_koala::simcore::SimTime;
 
 fn trace_cfg(trace: Vec<SubmittedJob>) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
     cfg.background = malleable_koala::multicluster::BackgroundLoad::none();
     // These tests probe co-allocation mechanics, not the expansion
     // threshold; lift the cap so large jobs fit.
@@ -74,9 +72,9 @@ fn cluster_minimization_packs_and_beats_worst_fit() {
     // spreading components.
     let trace = vec![coalloc_job(0, vec![16, 16, 16])];
     let mut wf = trace_cfg(trace.clone());
-    wf.sched.placement = PlacementPolicy::WorstFit;
+    wf.sched.placement = "worst_fit".to_string();
     let mut cm = trace_cfg(trace);
-    cm.sched.placement = PlacementPolicy::ClusterMinimization;
+    cm.sched.placement = "cluster_min".to_string();
     let e_wf = run_experiment(&wf).jobs.records()[0]
         .execution_time()
         .unwrap();

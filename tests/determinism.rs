@@ -3,11 +3,10 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::{run_experiment, run_seeds, RunReport};
 
 fn cfg(seed: u64) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime());
+    let mut c = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wmr_prime());
     c.workload.jobs = 40;
     c.seed = seed;
     c
@@ -66,7 +65,7 @@ fn different_seeds_differ() {
 fn policy_choice_changes_the_trajectory() {
     let mut base = cfg(3);
     let a = run_experiment(&base);
-    base.sched.malleability = MalleabilityPolicy::Fpsma;
+    base.sched.malleability = "fpsma".to_string();
     base.name = "FPSMA/Wmr'".into();
     let b = run_experiment(&base);
     assert_ne!(

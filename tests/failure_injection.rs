@@ -4,13 +4,12 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::sim::{Ev, World};
 use malleable_koala::multicluster::ClusterId;
 use malleable_koala::simcore::{Engine, SimTime};
 
 fn cfg(jobs: usize, seed: u64) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut c = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     c.workload.jobs = jobs;
     c.seed = seed;
     c

@@ -5,37 +5,35 @@
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::appsim::SizeConstraint;
 use malleable_koala::koala::config::{Approach, ExperimentConfig};
-use malleable_koala::koala::malleability::MalleabilityPolicy;
-use malleable_koala::koala::placement::{ComponentRequest, PlacementPolicy, PlacementRequest};
+use malleable_koala::koala::placement::{
+    CloseToFiles, ComponentRequest, Placement, PlacementRequest, WorstFit,
+};
 use malleable_koala::koala::run_experiment;
 use malleable_koala::multicluster::{das3, ClusterId, FileCatalog};
 
 #[test]
 fn every_policy_combination_completes() {
     for placement in [
-        PlacementPolicy::WorstFit,
-        PlacementPolicy::CloseToFiles,
-        PlacementPolicy::ClusterMinimization,
-        PlacementPolicy::FlexibleClusterMinimization,
+        "worst_fit",
+        "close_to_files",
+        "cluster_min",
+        "flexible_cluster_min",
+        "first_fit",
     ] {
         for malleability in [
-            MalleabilityPolicy::Fpsma,
-            MalleabilityPolicy::Egs,
-            MalleabilityPolicy::Equipartition,
-            MalleabilityPolicy::Folding,
+            "fpsma",
+            "egs",
+            "equipartition",
+            "folding",
+            "greedy_grow_lazy_shrink",
         ] {
             for approach in [Approach::Pra, Approach::Pwa] {
                 let mut cfg = ExperimentConfig::paper_pra(malleability, WorkloadSpec::wmr_prime());
-                cfg.sched.placement = placement;
+                cfg.sched.placement = placement.to_string();
                 cfg.sched.approach = approach;
                 cfg.workload.jobs = 15;
                 cfg.seed = 21;
-                cfg.name = format!(
-                    "{}/{}/{}",
-                    placement.label(),
-                    malleability.label(),
-                    approach.label()
-                );
+                cfg.name = format!("{placement}/{malleability}/{}", approach.label());
                 let r = run_experiment(&cfg);
                 assert!(
                     (r.jobs.completion_ratio() - 1.0).abs() < 1e-12,
@@ -58,9 +56,7 @@ fn moldable_requests_take_the_largest_feasible_size() {
         constraint: SizeConstraint::MultipleOf(4),
     });
     let mut avail = vec![10, 30, 22];
-    let p = PlacementPolicy::WorstFit
-        .place(&req, &mut avail, None)
-        .unwrap();
+    let p = WorstFit.place(&req, &mut avail, None).unwrap();
     assert_eq!(p[0].cluster, ClusterId(1));
     assert_eq!(p[0].size, 28, "30 idle floors to 28 under MultipleOf(4)");
 }
@@ -83,7 +79,7 @@ fn close_to_files_end_to_end_with_catalog() {
         flexible: false,
     };
     let mut avail: Vec<u32> = das.clusters().map(|c| c.idle()).collect();
-    let p = PlacementPolicy::CloseToFiles
+    let p = CloseToFiles
         .place(&req, &mut avail, Some(&catalog))
         .unwrap();
     assert_eq!(
@@ -97,7 +93,7 @@ fn close_to_files_end_to_end_with_catalog() {
 fn engine_horizon_bounds_runaway_runs() {
     // With a tiny horizon the run is truncated but still returns a
     // well-formed report (unfinished jobs marked as such).
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     cfg.workload.jobs = 50;
     cfg.horizon = Some(simcore::SimDuration::from_secs(500));
     cfg.seed = 33;
@@ -112,7 +108,7 @@ fn engine_horizon_bounds_runaway_runs() {
 
 #[test]
 fn reports_expose_consistent_utilization_accounting() {
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
     cfg.workload.jobs = 20;
     cfg.seed = 44;
     let r = run_experiment(&cfg);

@@ -4,7 +4,6 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::report::MultiReport;
 use malleable_koala::koala::run_seeds;
 use malleable_koala::koala_metrics::JobRecord;
@@ -12,13 +11,13 @@ use malleable_koala::koala_metrics::JobRecord;
 const SEEDS: [u64; 2] = [101, 202];
 const JOBS: usize = 150;
 
-fn pra(policy: MalleabilityPolicy, workload: WorkloadSpec) -> MultiReport {
+fn pra(policy: &str, workload: WorkloadSpec) -> MultiReport {
     let mut cfg = ExperimentConfig::paper_pra(policy, workload);
     cfg.workload.jobs = JOBS;
     run_seeds(&cfg, &SEEDS)
 }
 
-fn pwa(policy: MalleabilityPolicy, workload: WorkloadSpec) -> MultiReport {
+fn pwa(policy: &str, workload: WorkloadSpec) -> MultiReport {
     let mut cfg = ExperimentConfig::paper_pwa(policy, workload);
     cfg.workload.jobs = JOBS;
     run_seeds(&cfg, &SEEDS)
@@ -27,10 +26,10 @@ fn pwa(policy: MalleabilityPolicy, workload: WorkloadSpec) -> MultiReport {
 #[test]
 fn all_jobs_complete_in_every_cell() {
     for m in [
-        pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm()),
-        pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr()),
-        pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime()),
-        pwa(MalleabilityPolicy::Egs, WorkloadSpec::wmr_prime()),
+        pra("fpsma", WorkloadSpec::wm()),
+        pra("egs", WorkloadSpec::wmr()),
+        pwa("fpsma", WorkloadSpec::wm_prime()),
+        pwa("egs", WorkloadSpec::wmr_prime()),
     ] {
         assert!(
             (m.completion_ratio() - 1.0).abs() < 1e-12,
@@ -44,8 +43,8 @@ fn all_jobs_complete_in_every_cell() {
 /// than FPSMA" — visible as fewer jobs stuck at their minimal size.
 #[test]
 fn egs_leaves_fewer_jobs_at_minimal_size_than_fpsma() {
-    let fpsma = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
-    let egs = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let fpsma = pra("fpsma", WorkloadSpec::wm());
+    let egs = pra("egs", WorkloadSpec::wm());
     let stuck = |m: &MultiReport| m.ecdf_of(JobRecord::average_size).fraction_at_or_below(3.0);
     assert!(
         stuck(&egs) < stuck(&fpsma),
@@ -60,8 +59,8 @@ fn egs_leaves_fewer_jobs_at_minimal_size_than_fpsma() {
 /// actually perform better."
 #[test]
 fn all_malleable_workload_beats_the_mixed_one() {
-    let wm = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
-    let wmr = pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr());
+    let wm = pra("egs", WorkloadSpec::wm());
+    let wmr = pra("egs", WorkloadSpec::wmr());
     let exec = |m: &MultiReport| m.ecdf_of(JobRecord::execution_time).mean().unwrap();
     assert!(
         exec(&wm) < exec(&wmr),
@@ -76,9 +75,9 @@ fn all_malleable_workload_beats_the_mixed_one() {
 #[test]
 fn grow_activity_orderings() {
     let grows = |m: &MultiReport| m.merged_grow_ops().total();
-    let fpsma_wm = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
-    let egs_wm = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
-    let egs_wmr = pra(MalleabilityPolicy::Egs, WorkloadSpec::wmr());
+    let fpsma_wm = pra("fpsma", WorkloadSpec::wm());
+    let egs_wm = pra("egs", WorkloadSpec::wm());
+    let egs_wmr = pra("egs", WorkloadSpec::wmr());
     assert!(
         grows(&egs_wm) > grows(&fpsma_wm),
         "EGS should grow more often"
@@ -93,13 +92,13 @@ fn grow_activity_orderings() {
 /// does (Fig. 8f).
 #[test]
 fn shrinking_is_exclusive_to_pwa() {
-    let p = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let p = pra("egs", WorkloadSpec::wm());
     assert_eq!(
         p.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>(),
         0,
         "PRA must never shrink"
     );
-    let w = pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    let w = pwa("egs", WorkloadSpec::wm_prime());
     assert!(
         w.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() > 0,
         "PWA under W'm should shrink"
@@ -110,8 +109,8 @@ fn shrinking_is_exclusive_to_pwa() {
 /// minimum-size value (~600 s) — clearly above the PRA ones.
 #[test]
 fn pwa_gadget_runs_near_minimum_size() {
-    let p = pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
-    let w = pwa(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime());
+    let p = pra("fpsma", WorkloadSpec::wm());
+    let w = pwa("fpsma", WorkloadSpec::wm_prime());
     let gadget_exec = |m: &MultiReport| {
         m.merged_jobs()
             .filter_app("GADGET2")
@@ -135,7 +134,7 @@ fn pwa_gadget_runs_near_minimum_size() {
 /// 200 s, GADGET-2 takes over 240 s, with a visible gap.
 #[test]
 fn two_application_groups_are_visible() {
-    let m = pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let m = pra("egs", WorkloadSpec::wm());
     let jobs = m.merged_jobs();
     let ft = jobs.filter_app("FT").execution_time_ecdf();
     let gadget = jobs.filter_app("GADGET2").execution_time_ecdf();

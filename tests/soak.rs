@@ -5,7 +5,6 @@
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::appsim::GrowInitiative;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::run_experiment;
 use malleable_koala::simcore::SimTime;
 
@@ -13,7 +12,7 @@ use malleable_koala::simcore::SimTime;
 fn six_hundred_jobs_with_everything_enabled() {
     // A deliberately busy configuration: mixed classes, initiatives,
     // heterogeneous clusters, heavy-ish background, PWA shrinking.
-    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
     cfg.workload.jobs = 600;
     cfg.workload.malleable_fraction = 0.6;
     cfg.workload.moldable_fraction = 0.2;
@@ -58,7 +57,7 @@ fn six_hundred_jobs_with_everything_enabled() {
 
 #[test]
 fn per_job_times_are_internally_consistent() {
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wmr());
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wmr());
     cfg.workload.jobs = 250;
     cfg.seed = 777;
     let r = run_experiment(&cfg);

@@ -5,7 +5,6 @@
 
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::malleability::MalleabilityPolicy;
 use malleable_koala::koala::run_experiment;
 use malleable_koala::multicluster::BackgroundLoad;
 use malleable_koala::simcore::SimDuration;
@@ -14,7 +13,7 @@ use malleable_koala::simcore::SimDuration;
 fn stale_snapshots_cause_failed_claims_under_heavy_background() {
     // Long poll period + heavy, bursty background: the snapshot
     // overestimates idle capacity often enough that some claims fail.
-    let mut cfg = ExperimentConfig::paper_pwa(MalleabilityPolicy::Egs, WorkloadSpec::wm_prime());
+    let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
     cfg.workload.jobs = 200;
     cfg.background = BackgroundLoad::concurrent_users(0.7);
     cfg.sched.kis_poll_period = SimDuration::from_secs(60);
@@ -34,8 +33,7 @@ fn stale_snapshots_cause_failed_claims_under_heavy_background() {
 #[test]
 fn fresher_snapshots_reduce_wait_times() {
     let run = |poll_s: u64| {
-        let mut cfg =
-            ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm_prime());
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm_prime());
         cfg.workload.jobs = 120;
         cfg.background = BackgroundLoad::concurrent_users(0.5);
         cfg.sched.kis_poll_period = SimDuration::from_secs(poll_s);
@@ -72,7 +70,7 @@ fn heterogeneous_clusters_speed_up_fast_site_jobs() {
         at: malleable_koala::simcore::SimTime::ZERO,
         spec: JobSpec::rigid(AppKind::Gadget2, 8),
     };
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Fpsma, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
     cfg.background = BackgroundLoad::none();
     cfg.trace = Some(vec![job]);
     cfg.seed = 2;
@@ -95,7 +93,7 @@ fn heterogeneous_clusters_speed_up_fast_site_jobs() {
 fn zero_latency_gram_still_schedules_correctly() {
     // The instantaneous GRAM model (pure-policy studies) must not break
     // event ordering.
-    let mut cfg = ExperimentConfig::paper_pra(MalleabilityPolicy::Egs, WorkloadSpec::wm());
+    let mut cfg = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
     cfg.workload.jobs = 30;
     cfg.sched.gram = malleable_koala::multicluster::GramConfig::instantaneous();
     cfg.sched.reconfig = malleable_koala::appsim::ReconfigCost::Free;
