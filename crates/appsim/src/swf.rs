@@ -91,9 +91,14 @@ pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
             });
         }
         let num = |i: usize| -> Result<f64, SwfError> {
+            // Non-finite values ("nan", "inf") parse as f64 but would
+            // poison work-scale arithmetic downstream; reject them here
+            // with the field position, like any other malformed number.
             fields[i - 1]
                 .parse::<f64>()
-                .map_err(|_| SwfError::BadNumber {
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or(SwfError::BadNumber {
                     line: lineno + 1,
                     field: i,
                 })
@@ -208,8 +213,11 @@ pub fn export(jobs: &[SubmittedJob]) -> String {
             } => (initial, max),
         };
         let runtime = model.exec_time(size) * j.spec.work_scale;
+        // Millisecond precision: SWF runtimes are real-valued, and whole
+        // seconds would round sub-second jobs to 0 — which a re-import
+        // then silently drops as "unknown runtime".
         out.push_str(&format!(
-            "{} {} -1 {:.0} {} -1 -1 {} {:.0} -1 -1 -1 -1 -1 -1 -1 -1 -1\n",
+            "{} {} -1 {:.3} {} -1 -1 {} {:.3} -1 -1 -1 -1 -1 -1 -1 -1 -1\n",
             i + 1,
             j.at.as_secs_f64() as u64,
             runtime,
@@ -316,6 +324,110 @@ mod tests {
         for (a, b) in original.iter().zip(&reimported) {
             assert_eq!(a.at.as_millis() / 1000, b.at.as_millis() / 1000);
         }
+    }
+
+    #[test]
+    fn comments_blanks_and_whitespace_variants_are_tolerated() {
+        // CRLF endings, tabs as separators, leading whitespace before a
+        // comment marker, and blank lines must all parse cleanly.
+        let text = "; header\r\n\
+                    \r\n\
+                    \t; indented comment\r\n\
+                    1\t0\t5\t120\t2\t-1\t-1\t4\t-1\t-1\t1\t-1\t-1\t-1\t-1\t-1\t-1\t-1\r\n\
+                    \n\
+                    2 120 3 600 2 -1 -1 46 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].runtime_s, 120.0);
+        assert_eq!(recs[1].requested, 46);
+        // Comment-only and empty inputs parse to nothing.
+        assert_eq!(parse("").unwrap(), vec![]);
+        assert_eq!(parse("; just\n; headers\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_and_malformed_lines_report_their_position() {
+        // 17 of 18 fields, on line 3 (after a comment and a blank).
+        let text = "; hdr\n\n1 0 5 120 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1\n";
+        assert_eq!(
+            parse(text).unwrap_err(),
+            SwfError::TooFewFields { line: 3, found: 17 }
+        );
+        // A single stray token.
+        assert_eq!(
+            parse("garbage\n").unwrap_err(),
+            SwfError::TooFewFields { line: 1, found: 1 }
+        );
+        // Bad numbers anywhere in the consumed fields carry the field index.
+        let bad_field5 = "1 0 5 120 x -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        assert_eq!(
+            parse(bad_field5).unwrap_err(),
+            SwfError::BadNumber { line: 1, field: 5 }
+        );
+        // Errors display their position for the operator.
+        let msg = parse(bad_field5).unwrap_err().to_string();
+        assert!(msg.contains("line 1") && msg.contains("field 5"), "{msg}");
+        // Extra fields beyond 18 are tolerated (lenient parsing).
+        let extra = "1 0 5 120 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1 99 99\n";
+        assert_eq!(parse(extra).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_finite_fields_are_rejected_not_imported() {
+        // "nan"/"inf" parse as f64 — they must still be treated as
+        // malformed, or a NaN runtime would slip a NaN work scale into
+        // the simulator.
+        for bad in ["nan", "inf", "-inf", "NaN"] {
+            let line = format!("1 0 5 {bad} 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+            assert_eq!(
+                parse(&line).unwrap_err(),
+                SwfError::BadNumber { line: 1, field: 4 },
+                "{bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn subsecond_runtimes_survive_a_roundtrip() {
+        // A 0.4 s job: whole-second export used to round it to 0, and
+        // the re-import then dropped it as "unknown runtime".
+        let spec = crate::JobSpec {
+            work_scale: 0.4 / AppKind::Ft.model().exec_time(2),
+            ..crate::JobSpec::rigid(AppKind::Ft, 2)
+        };
+        let jobs = vec![SubmittedJob {
+            at: SimTime::ZERO,
+            spec,
+        }];
+        let text = export(&jobs);
+        let imp = SwfImport {
+            kind: AppKind::Ft,
+            as_malleable: false,
+            ..SwfImport::default()
+        };
+        let reimported = imp.convert(&parse(&text).unwrap());
+        assert_eq!(reimported.len(), 1, "sub-second job lost in roundtrip");
+        let model = AppKind::Ft.model();
+        let t = model.exec_time(2) * reimported[0].spec.work_scale;
+        assert!((t - 0.4).abs() < 1e-3, "runtime drifted: {t}");
+    }
+
+    #[test]
+    fn export_parse_export_is_idempotent() {
+        // After one import cycle the textual representation is a fixed
+        // point: exporting the re-imported stream reproduces the bytes.
+        use crate::workload::WorkloadSpec;
+        let mut rng = simcore::SimRng::seed_from_u64(42);
+        let mut spec = WorkloadSpec::wm();
+        spec.jobs = 30;
+        let original = spec.generate(&mut rng);
+        let e1 = export(&original);
+        let j2 = SwfImport::default().convert(&parse(&e1).unwrap());
+        let e2 = export(&j2);
+        let j3 = SwfImport::default().convert(&parse(&e2).unwrap());
+        let e3 = export(&j3);
+        assert_eq!(j2.len(), j3.len());
+        assert_eq!(e2, e3, "export∘parse∘convert must be a fixed point");
     }
 
     #[test]

@@ -15,11 +15,10 @@
 
 use appsim::workload::WorkloadSpec;
 use koala::config::ExperimentConfig;
-use koala::report::MultiReport;
+use koala::report::MultiSummary;
 use koala::scenario::Scenario;
 use koala::sim::{Ev, World};
 use koala_bench::{init_threads, SEEDS};
-use koala_metrics::JobRecord;
 use multicluster::ClusterId;
 use simcore::{Engine, SimTime};
 
@@ -48,16 +47,17 @@ fn schedule_storm(engine: &mut Engine<Ev>) {
     }
 }
 
-fn run_under_storm(cfg: &ExperimentConfig) -> MultiReport {
+fn run_under_storm(cfg: &ExperimentConfig) -> MultiSummary {
     // The storm pre-loads each engine with withdraw/restore events, so
-    // this binary cannot go through `run_seeds`; the seeds still run on
-    // the shared work-stealing pool, merged back in seed order.
+    // this binary cannot go through `run_seeds_summary`; the seeds still
+    // run summarized on the shared work-stealing pool, merged back in
+    // seed order.
     let runs = koala::parallel::parallel_map(&SEEDS, koala::parallel::default_threads(), |&seed| {
         let mut engine = Engine::new();
         schedule_storm(&mut engine);
-        World::for_seed(cfg, seed).run_to_completion(&mut engine)
+        World::for_seed_summarized(cfg, seed).run_to_summary(&mut engine)
     });
-    MultiReport::new(cfg.name.clone(), runs)
+    MultiSummary::new(cfg.name.clone(), runs)
 }
 
 fn main() {
@@ -81,19 +81,15 @@ fn main() {
             .expect("storm scenario is valid")
             .into_config();
         let m = run_under_storm(&cfg);
-        let jobs = m.merged_jobs();
+        let pooled = m.pooled();
         println!(
             "{:<12} {:>8.1} {:>11.0} {:>11.0} {:>11.0} {:>10.0}",
             label,
             100.0 * m.completion_ratio(),
-            jobs.ecdf_of(JobRecord::execution_time)
-                .mean()
-                .unwrap_or(f64::NAN),
-            jobs.ecdf_of(JobRecord::response_time)
-                .mean()
-                .unwrap_or(f64::NAN),
-            m.runs.iter().map(|r| r.shrink_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
-            m.runs.iter().map(|r| r.grow_ops.total()).sum::<usize>() as f64 / m.runs.len() as f64,
+            pooled.execution_time.mean().unwrap_or(f64::NAN),
+            pooled.response_time.mean().unwrap_or(f64::NAN),
+            m.runs.iter().map(|r| r.shrink_ops).sum::<u64>() as f64 / m.runs.len() as f64,
+            m.runs.iter().map(|r| r.grow_ops).sum::<u64>() as f64 / m.runs.len() as f64,
         );
     }
     println!(

@@ -7,23 +7,98 @@
 //!   (b) CDF of the maximum processors per job
 //!   (c) CDF of job execution times
 //!   (d) CDF of job response times
-//!   (e) platform utilization over time
-//!   (f) cumulative grow operations over time
+//!   (e) platform utilization over time (`--full` only)
+//!   (f) cumulative grow operations over time (`--full` only)
+//!
+//! Runs **summarized by default**: cells stream through memory-bounded
+//! accumulators, panels (a)–(d) come from the pooled quantile
+//! reservoirs (exact at this scale) and `fig7_summary_ci.csv` reports
+//! every metric as mean ± 95 % CI across the 4 replications. `--full`
+//! materializes complete reports and additionally writes the (e)/(f)
+//! time-series panels.
 //!
 //! ```text
-//! cargo run --release -p koala_bench --bin fig7 [-- --threads N]
+//! cargo run --release -p koala_bench --bin fig7 [-- --full] [--threads N]
 //! ```
 
 use appsim::workload::WorkloadSpec;
 use koala::config::Approach;
 use koala_bench::{
-    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, scenario_matrix,
-    utilization_points, write_ecdf_csv, write_timeseries_csv,
+    cell_summary, figure_matrix, figure_summary_outputs, init_threads_with_args, ops_points,
+    out_dir, panel_metrics, pooled_cells, print_summary_panels, run_cells, run_cells_summary,
+    scenario_matrix, summary_cell_line, utilization_points, write_ecdf_csv, write_timeseries_csv,
+    PaperFigure,
 };
 use koala_metrics::plot;
 
 fn main() {
-    let threads = init_threads();
+    let (threads, rest) = init_threads_with_args();
+    if rest.iter().any(|a| a == "--full") {
+        run_full(threads);
+        return;
+    }
+    let cells = figure_matrix(PaperFigure::Fig7, 300);
+    println!("Fig. 7 — FPSMA vs. EGS with the PRA approach (no shrinking)");
+    println!(
+        "running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s), summarized mode ...\n"
+    );
+    let reports = run_cells_summary(&cells);
+    for m in &reports {
+        println!("{}", summary_cell_line(m));
+    }
+
+    let dir = out_dir();
+    let outputs = figure_summary_outputs(PaperFigure::Fig7, &reports);
+    for (name, text) in &outputs {
+        std::fs::write(dir.join(name), text).expect("write CSV");
+    }
+    let pooled = pooled_cells(&reports);
+    print_summary_panels(PaperFigure::Fig7, &pooled);
+    println!("\npanels (e)/(f) need full time series: rerun with --full;");
+    println!("mean utilization and grow activity are in fig7_summary_ci.csv (mean ± 95% CI)");
+
+    // The orderings the paper reports, from the pooled streams.
+    println!("\nqualitative checks vs. the paper:");
+    let stuck = |i: usize| {
+        pooled[i]
+            .avg_size
+            .quantiles
+            .ecdf()
+            .fraction_at_or_below(3.0)
+    };
+    println!(
+        "  fewer EGS jobs stuck at minimal size (avg ≤ 3): EGS/Wm {:.0}% vs FPSMA/Wm {:.0}%  [paper: EGS < FPSMA] {}",
+        100.0 * stuck(2), 100.0 * stuck(0), verdict(stuck(2) < stuck(0)),
+    );
+    let exec_mean = |i: usize| pooled[i].execution_time.mean().unwrap_or(f64::NAN);
+    println!(
+        "  Wm beats Wmr on execution time (FPSMA): {:.1}s vs {:.1}s  [paper: Wm < Wmr] {}",
+        exec_mean(0),
+        exec_mean(1),
+        verdict(exec_mean(0) < exec_mean(1)),
+    );
+    let grows = |i: usize| {
+        reports[i]
+            .mean_ci(|r| Some(r.grow_ops as f64))
+            .map_or(f64::NAN, |ci| ci.mean)
+    };
+    println!(
+        "  grow activity EGS/Wm > FPSMA/Wm: {:.0} vs {:.0}  [paper: EGS > FPSMA] {}",
+        grows(2),
+        grows(0),
+        verdict(grows(2) > grows(0)),
+    );
+    println!(
+        "  grow activity Wm > Wmr (EGS): {:.0} vs {:.0}  [paper: Wm > Wmr] {}",
+        grows(2),
+        grows(3),
+        verdict(grows(2) > grows(3)),
+    );
+    println!("\nCSV panels written under {}", dir.display());
+}
+
+/// The legacy full-report pipeline, including the (e)/(f) time series.
+fn run_full(threads: usize) {
     // The figure as a declarative matrix: {FPSMA, EGS} × {Wm, Wmr}
     // under PRA, policies resolved by registry name.
     let cells = scenario_matrix(
@@ -33,7 +108,9 @@ fn main() {
         &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
     );
     println!("Fig. 7 — FPSMA vs. EGS with the PRA approach (no shrinking)");
-    println!("running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s) ...\n");
+    println!(
+        "running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s), full mode ...\n"
+    );
     let reports = run_cells(&cells);
     for m in &reports {
         println!("{}", cell_summary(m));

@@ -6,20 +6,87 @@
 //! Panels (a)-(f) as in Fig. 7, except panel (f) counts *all*
 //! malleability operations (grows + shrinks).
 //!
+//! Runs **summarized by default** (memory-bounded streaming
+//! accumulators; `fig8_summary_ci.csv` carries mean ± 95 % CI columns);
+//! `--full` materializes complete reports plus the (e)/(f) time-series
+//! panels.
+//!
 //! ```text
-//! cargo run --release -p koala_bench --bin fig8 [-- --threads N]
+//! cargo run --release -p koala_bench --bin fig8 [-- --full] [--threads N]
 //! ```
 
 use appsim::workload::WorkloadSpec;
 use koala::config::Approach;
 use koala_bench::{
-    cell_summary, init_threads, ops_points, out_dir, panel_metrics, run_cells, scenario_matrix,
-    utilization_points, write_ecdf_csv, write_timeseries_csv,
+    cell_summary, figure_matrix, figure_summary_outputs, init_threads_with_args, ops_points,
+    out_dir, panel_metrics, pooled_cells, print_summary_panels, run_cells, run_cells_summary,
+    scenario_matrix, summary_cell_line, utilization_points, write_ecdf_csv, write_timeseries_csv,
+    PaperFigure,
 };
 use koala_metrics::plot;
 
 fn main() {
-    let threads = init_threads();
+    let (threads, rest) = init_threads_with_args();
+    if rest.iter().any(|a| a == "--full") {
+        run_full(threads);
+        return;
+    }
+    let cells = figure_matrix(PaperFigure::Fig8, 300);
+    println!("Fig. 8 — FPSMA vs. EGS with the PWA approach (growing and shrinking)");
+    println!(
+        "running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s), summarized mode ...\n"
+    );
+    let reports = run_cells_summary(&cells);
+    for m in &reports {
+        println!("{}", summary_cell_line(m));
+    }
+
+    let dir = out_dir();
+    let outputs = figure_summary_outputs(PaperFigure::Fig8, &reports);
+    for (name, text) in &outputs {
+        std::fs::write(dir.join(name), text).expect("write CSV");
+    }
+    let pooled = pooled_cells(&reports);
+    print_summary_panels(PaperFigure::Fig8, &pooled);
+    println!("\npanels (e)/(f) need full time series: rerun with --full;");
+    println!(
+        "mean utilization and malleability activity are in fig8_summary_ci.csv (mean ± 95% CI)"
+    );
+
+    println!("\nqualitative checks vs. the paper:");
+    let exec_mean = |i: usize| pooled[i].execution_time.mean().unwrap_or(f64::NAN);
+    // Fig. 8c: execution times are close across the four runs.
+    let execs: Vec<f64> = (0..4).map(exec_mean).collect();
+    let spread = (execs.iter().cloned().fold(f64::MIN, f64::max)
+        - execs.iter().cloned().fold(f64::MAX, f64::min))
+        / execs.iter().sum::<f64>()
+        * 4.0;
+    println!(
+        "  execution times similar across runs (relative spread {:.0}%)  [paper: almost the same] {}",
+        100.0 * spread,
+        verdict(spread < 0.5),
+    );
+    let resp_mean = |i: usize| pooled[i].response_time.mean().unwrap_or(f64::NAN);
+    println!(
+        "  EGS/W'm response time is the worst of the four: {:.1}s vs FPSMA/W'm {:.1}s, FPSMA/W'mr {:.1}s, EGS/W'mr {:.1}s  [paper: EGS/W'm worst] {}",
+        resp_mean(2), resp_mean(0), resp_mean(1), resp_mean(3),
+        verdict(resp_mean(2) >= resp_mean(0) && resp_mean(2) >= resp_mean(1) && resp_mean(2) >= resp_mean(3)),
+    );
+    let shrinks = |i: usize| {
+        reports[i]
+            .mean_ci(|r| Some(r.shrink_ops as f64))
+            .map_or(f64::NAN, |ci| ci.mean)
+    };
+    println!(
+        "  mandatory shrinks occur under load (EGS/W'm {:.0}/run, FPSMA/W'm {:.0}/run)  [paper: PWA shrinks] {}",
+        shrinks(2), shrinks(0),
+        verdict(shrinks(2) > 0.0 || shrinks(0) > 0.0),
+    );
+    println!("\nCSV panels written under {}", dir.display());
+}
+
+/// The legacy full-report pipeline, including the (e)/(f) time series.
+fn run_full(threads: usize) {
     // The figure as a declarative matrix: {FPSMA, EGS} × {W'm, W'mr}
     // under PWA, policies resolved by registry name.
     let cells = scenario_matrix(
@@ -29,7 +96,9 @@ fn main() {
         &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
     );
     println!("Fig. 8 — FPSMA vs. EGS with the PWA approach (growing and shrinking)");
-    println!("running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s) ...\n");
+    println!(
+        "running 4 configurations x 4 seeds x 300 jobs on {threads} thread(s), full mode ...\n"
+    );
     let reports = run_cells(&cells);
     for m in &reports {
         println!("{}", cell_summary(m));

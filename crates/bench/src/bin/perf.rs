@@ -1,21 +1,35 @@
 //! `koala-bench perf` — the measurement harness of the performance
-//! subsystem (ISSUE 2, layer 3).
+//! subsystem.
 //!
-//! Runs a standard workload matrix through both the sequential and the
-//! parallel cell runner, reports events/sec and wall-clock per figure
-//! pipeline, **verifies the determinism guarantee on the real matrix**
-//! (the parallel `MultiReport` must render byte-identically to the
-//! sequential one), and writes the machine-readable baseline
+//! Runs standard workload matrices through both the sequential and the
+//! parallel cell runner — in **summarized mode**, the memory-bounded
+//! reporting path every production-scale matrix uses — reports
+//! events/sec and wall-clock per pipeline, **verifies the determinism
+//! guarantee on the real matrices** (the parallel summaries, and their
+//! merged replication aggregates, must render byte-identically to the
+//! sequential ones), and writes the machine-readable baseline
 //! `BENCH_2.json` at the current directory (the repo root when run via
 //! `cargo run`), so future perf PRs have a trajectory to beat.
+//!
+//! Pipelines:
+//!
+//! * `fig7` / `fig8` — the paper's headline matrices.
+//! * `cross_policy` — the registry cross product.
+//! * `replication` — one scenario × 8 replications built with
+//!   `.replications(8).summarized()`: exercises the accumulator merge
+//!   path end to end (CI runs this on every push via `--smoke`).
+//! * `matrix1000` — a **1000-cell** summarized scenario matrix
+//!   (20 configurations × 50 seeds; full mode only): the scale target
+//!   of the streaming-statistics subsystem, infeasible with full
+//!   reports in this container.
 //!
 //! ```text
 //! cargo run --release -p koala_bench --bin perf [-- --smoke] [--threads N] [--out PATH]
 //! ```
 //!
-//! * `--smoke`   — tiny matrix (20 jobs × 2 seeds) for CI: exercises the
-//!   parallel runner and the determinism check in seconds, writes the
-//!   JSON to a temp file unless `--out` is given.
+//! * `--smoke`   — tiny matrices (20 jobs, 2 seeds) for CI: exercises the
+//!   parallel runner, the summary merge path and the determinism checks
+//!   in seconds, writes the JSON to a temp file unless `--out` is given.
 //! * `--threads` — worker count for the parallel passes (default:
 //!   `KOALA_THREADS`, then the detected hardware parallelism).
 //! * `--out`     — output path for the JSON report.
@@ -24,15 +38,19 @@ use std::time::Instant;
 
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
-use koala::parallel::{run_cells, Cell};
-use koala::report::RunReport;
+use koala::parallel::{run_cells_summary, Cell};
+use koala::report::{MultiSummary, SummaryReport};
+use koala::scenario::Scenario;
 use koala_bench::{init_threads, scenario_matrix, SEEDS};
 use serde::Value;
 
-/// One measured pipeline: label + cell configs (each run across seeds).
+/// One measured pipeline: label + cell configs, each run across the
+/// pipeline's seeds.
 struct Pipeline {
     name: &'static str,
     cfgs: Vec<ExperimentConfig>,
+    seeds: Vec<u64>,
+    jobs: usize,
 }
 
 struct Measurement {
@@ -58,23 +76,34 @@ impl Measurement {
     }
 }
 
-fn pipelines(jobs: usize, smoke: bool) -> Vec<Pipeline> {
-    let sized = |cfgs: Vec<ExperimentConfig>| {
-        cfgs.into_iter()
-            .map(|mut cfg| {
-                cfg.workload.jobs = jobs;
-                cfg
-            })
-            .collect()
+fn sized(cfgs: Vec<ExperimentConfig>, jobs: usize) -> Vec<ExperimentConfig> {
+    cfgs.into_iter()
+        .map(|mut cfg| {
+            cfg.workload.jobs = jobs;
+            cfg
+        })
+        .collect()
+}
+
+fn pipelines(smoke: bool) -> Vec<Pipeline> {
+    let (jobs, seeds): (usize, Vec<u64>) = if smoke {
+        (20, SEEDS[..2].to_vec())
+    } else {
+        (300, SEEDS.to_vec())
     };
     let fig7 = Pipeline {
         name: "fig7",
-        cfgs: sized(scenario_matrix(
-            Approach::Pra,
-            &["worst_fit"],
-            &["fpsma", "egs"],
-            &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
-        )),
+        cfgs: sized(
+            scenario_matrix(
+                Approach::Pra,
+                &["worst_fit"],
+                &["fpsma", "egs"],
+                &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+            ),
+            jobs,
+        ),
+        seeds: seeds.clone(),
+        jobs,
     };
     // Cross-policy sweep over the open registry: the placements ×
     // malleability variants the old closed enums could not express run
@@ -82,50 +111,101 @@ fn pipelines(jobs: usize, smoke: bool) -> Vec<Pipeline> {
     // exercises registry-name dispatch end to end on every push).
     let cross = Pipeline {
         name: "cross_policy",
-        cfgs: sized(scenario_matrix(
-            Approach::Pra,
-            &["worst_fit", "first_fit"],
-            &["egs", "greedy_grow_lazy_shrink"],
-            &[WorkloadSpec::wm()],
-        )),
+        cfgs: sized(
+            scenario_matrix(
+                Approach::Pra,
+                &["worst_fit", "first_fit"],
+                &["egs", "greedy_grow_lazy_shrink"],
+                &[WorkloadSpec::wm()],
+            ),
+            jobs,
+        ),
+        seeds: seeds.clone(),
+        jobs,
+    };
+    // One scenario × 8 replications through the builder's replication
+    // API: the accumulator merge path (MultiSummary pooling included)
+    // measured and determinism-checked on every run.
+    let replication_scenario = Scenario::builder()
+        .malleability("egs")
+        .workload(WorkloadSpec::wm())
+        .jobs(jobs)
+        .replications(8)
+        .summarized()
+        .build()
+        .expect("replication scenario is valid");
+    let replication = Pipeline {
+        name: "replication",
+        seeds: replication_scenario.seeds().to_vec(),
+        cfgs: vec![replication_scenario.into_config()],
+        jobs,
     };
     if smoke {
-        return vec![fig7, cross];
+        return vec![fig7, cross, replication];
     }
     let fig8 = Pipeline {
         name: "fig8",
-        cfgs: sized(scenario_matrix(
-            Approach::Pwa,
-            &["worst_fit"],
-            &["fpsma", "egs"],
-            &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
-        )),
+        cfgs: sized(
+            scenario_matrix(
+                Approach::Pwa,
+                &["worst_fit"],
+                &["fpsma", "egs"],
+                &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
+            ),
+            jobs,
+        ),
+        seeds: seeds.clone(),
+        jobs,
+    };
+    // The scale target: 20 configurations × 50 seeds = 1000 summarized
+    // cells. With full reports this matrix would hold 1000 job tables
+    // at once; summarized it is a thousand fixed-size accumulators.
+    let matrix_jobs = 20;
+    let matrix1000 = Pipeline {
+        name: "matrix1000",
+        cfgs: sized(
+            scenario_matrix(
+                Approach::Pra,
+                &["worst_fit", "first_fit"],
+                &[
+                    "fpsma",
+                    "egs",
+                    "equipartition",
+                    "folding",
+                    "greedy_grow_lazy_shrink",
+                ],
+                &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+            ),
+            matrix_jobs,
+        ),
+        seeds: (0..50).collect(),
+        jobs: matrix_jobs,
     };
     // Table I of the paper is analytic (no simulation); its pipeline cost
     // is negligible and not measured. The two headline figure pipelines
     // dominate the reproduction's wall-clock.
-    vec![fig7, fig8, cross]
+    vec![fig7, fig8, cross, replication, matrix1000]
 }
 
-fn measure(p: &Pipeline, seeds: &[u64], threads: usize, jobs: usize) -> Measurement {
+fn measure(p: &Pipeline, threads: usize) -> Measurement {
     let cells: Vec<Cell<'_>> = p
         .cfgs
         .iter()
-        .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
+        .flat_map(|cfg| p.seeds.iter().map(move |&seed| Cell { cfg, seed }))
         .collect();
 
     // Untimed warm-up of the full matrix: the first pass of a process
     // absorbs one-time costs (code-page faults, allocator growth), and
     // timing it would bias whichever of the two measured passes runs
     // first — this baseline must not flatter either side.
-    let _ = run_cells(&cells, threads);
+    let _ = run_cells_summary(&cells, threads);
 
     let t0 = Instant::now();
-    let sequential: Vec<RunReport> = run_cells(&cells, 1);
+    let sequential: Vec<SummaryReport> = run_cells_summary(&cells, 1);
     let sequential_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel: Vec<RunReport> = run_cells(&cells, threads);
+    let parallel: Vec<SummaryReport> = run_cells_summary(&cells, threads);
     let parallel_s = t1.elapsed().as_secs_f64();
 
     // The determinism guarantee, enforced on the real matrix: merged
@@ -136,12 +216,26 @@ fn measure(p: &Pipeline, seeds: &[u64], threads: usize, jobs: usize) -> Measurem
         "{}: parallel output diverged from sequential",
         p.name
     );
+    // And through the replication merge path: pooling each cell's runs
+    // (the streaming-accumulator merge) must agree as well.
+    let pooled = |runs: &[SummaryReport]| -> Vec<SummaryReport> {
+        runs.chunks(p.seeds.len())
+            .zip(&p.cfgs)
+            .map(|(chunk, cfg)| MultiSummary::new(cfg.name.clone(), chunk.to_vec()).pooled())
+            .collect()
+    };
+    assert_eq!(
+        format!("{:?}", pooled(&sequential)),
+        format!("{:?}", pooled(&parallel)),
+        "{}: merged summaries diverged",
+        p.name
+    );
 
     Measurement {
         name: p.name,
         cells: p.cfgs.len(),
-        seeds: seeds.len(),
-        jobs,
+        seeds: p.seeds.len(),
+        jobs: p.jobs,
         runs: cells.len(),
         events: sequential.iter().map(|r| r.events).sum(),
         sequential_s,
@@ -176,10 +270,11 @@ fn report_json(
         (
             "description",
             Value::String(
-                "Parallel experiment runner + allocation-free scheduling hot path \
-                 (now dispatching policies through the open registry): wall-clock \
-                 and events/sec per figure pipeline incl. the cross_policy registry \
-                 sweep, sequential vs parallel"
+                "Parallel experiment runner + allocation-free scheduling hot path, \
+                 measured through the memory-bounded summary reporting path: \
+                 wall-clock and events/sec per pipeline (figures, registry cross \
+                 sweep, 8-replication merge, 1000-cell matrix), sequential vs \
+                 parallel"
                     .into(),
             ),
         ),
@@ -195,7 +290,8 @@ fn report_json(
         ("hardware_threads", Value::UInt(hardware_threads as u64)),
         (
             "determinism_verified",
-            // measure() asserts sequential == parallel before we get here.
+            // measure() asserts sequential == parallel (raw and merged)
+            // before we get here.
             Value::Bool(true),
         ),
         (
@@ -258,22 +354,17 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let (jobs, seeds): (usize, &[u64]) = if smoke {
-        (20, &SEEDS[..2])
-    } else {
-        (300, &SEEDS[..])
-    };
     println!(
-        "koala-bench perf — {} matrix, {} thread(s) (hardware: {hardware_threads})",
+        "koala-bench perf — {} matrix, {} thread(s) (hardware: {hardware_threads}), summarized reporting",
         if smoke { "smoke" } else { "full" },
         threads
     );
 
     let mut measurements = Vec::new();
-    for p in pipelines(jobs, smoke) {
-        let m = measure(&p, seeds, threads, jobs);
+    for p in pipelines(smoke) {
+        let m = measure(&p, threads);
         println!(
-            "  {:<6} {:>3} runs ({} cells x {} seeds x {} jobs): \
+            "  {:<12} {:>4} runs ({} cells x {} seeds x {} jobs): \
              seq {:>7.3} s | par {:>7.3} s | speedup {:>5.2}x | {:>9.0} ev/s parallel",
             m.name,
             m.runs,
@@ -287,7 +378,7 @@ fn main() {
         );
         measurements.push(m);
     }
-    println!("  determinism: parallel output bit-identical to sequential on every pipeline");
+    println!("  determinism: parallel summaries (raw and merged) bit-identical to sequential on every pipeline");
 
     let json = report_json(smoke, threads, hardware_threads, &measurements);
     let text = serde_json::to_string_pretty(&ValueWrap(json)).expect("render JSON");

@@ -26,7 +26,9 @@ use appsim::ReconfigCost;
 use koala::config::{Approach, ExperimentConfig};
 use koala::policy::PolicyRegistry;
 use koala::scenario::{cell_label, Scenario};
-use koala_bench::{cell_summary, init_threads_with_args, run_cells_with_seeds, scenario_matrix};
+use koala_bench::{
+    init_threads_with_args, run_cells_summary_with_seeds, scenario_matrix, summary_cell_line,
+};
 use multicluster::BackgroundLoad;
 use simcore::SimDuration;
 
@@ -50,11 +52,12 @@ fn named(name: &str, cfg: &ExperimentConfig) -> ExperimentConfig {
     cfg
 }
 
-/// Runs one sweep's points as a single parallel batch and prints each
-/// point's summary in sweep order.
+/// Runs one sweep's points as a single parallel batch — summarized, so
+/// an arbitrarily long sweep stays memory-bounded — and prints each
+/// point's `mean ± ci` summary in sweep order.
 fn run_batch(points: Vec<ExperimentConfig>) {
-    for m in run_cells_with_seeds(&points, &SWEEP_SEEDS) {
-        println!("{}", cell_summary(&m));
+    for m in run_cells_summary_with_seeds(&points, &SWEEP_SEEDS) {
+        println!("{}", summary_cell_line(&m));
     }
 }
 

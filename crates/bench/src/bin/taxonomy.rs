@@ -15,8 +15,7 @@
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
 use koala::scenario::Scenario;
-use koala_bench::{init_threads, run_cells, SEEDS};
-use koala_metrics::JobRecord;
+use koala_bench::{init_threads, run_cells_summary, SEEDS};
 
 fn class_workload(malleable: f64, moldable: f64, prime: bool) -> WorkloadSpec {
     let base = if prime {
@@ -73,28 +72,21 @@ fn main() {
                     .into_config()
             })
             .collect();
-        // All three classes' (config, seed) cells share one parallel pool.
-        for (&(class, _, _), m) in classes.iter().zip(run_cells(&cfgs)) {
-            let jobs = m.merged_jobs();
-            let grows: f64 = m
-                .runs
-                .iter()
-                .map(|r| r.grow_ops.total() as f64)
-                .sum::<f64>()
-                / m.runs.len() as f64;
+        // All three classes' (config, seed) cells share one parallel
+        // pool, summarized: the class comparison needs only the pooled
+        // streams, never a job table.
+        for (&(class, _, _), m) in classes.iter().zip(run_cells_summary(&cfgs)) {
+            let pooled = m.pooled();
+            let grows = m
+                .mean_ci(|r| Some(r.grow_ops as f64))
+                .map_or(f64::NAN, |ci| ci.mean);
             println!(
                 "{:<10} {:>11.1} {:>11.0} {:>11.0} {:>11.2} {:>11.0}",
                 class,
-                jobs.ecdf_of(JobRecord::average_size)
-                    .mean()
-                    .unwrap_or(f64::NAN),
-                jobs.ecdf_of(JobRecord::execution_time)
-                    .mean()
-                    .unwrap_or(f64::NAN),
-                jobs.ecdf_of(JobRecord::response_time)
-                    .mean()
-                    .unwrap_or(f64::NAN),
-                jobs.slowdown_ecdf().mean().unwrap_or(f64::NAN),
+                pooled.avg_size.mean().unwrap_or(f64::NAN),
+                pooled.execution_time.mean().unwrap_or(f64::NAN),
+                pooled.response_time.mean().unwrap_or(f64::NAN),
+                pooled.slowdown.mean().unwrap_or(f64::NAN),
                 grows,
             );
             assert!(

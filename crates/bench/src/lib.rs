@@ -11,6 +11,15 @@
 //!
 //! Binaries print human-readable summaries (with ASCII charts) and write
 //! the exact curves as CSV under `repro_out/`.
+//!
+//! The figure binaries run in **summarized mode by default** (see
+//! [`koala::report::SummaryReport`]): every `(config, seed)` cell
+//! streams its metrics through bounded-memory accumulators, the panels
+//! come from the pooled quantile reservoirs (exact at paper scale), and
+//! a `*_summary_ci.csv` table reports each metric as mean ± 95 % CI
+//! across the replications. Pass `--full` for the legacy
+//! materialize-everything pipeline (which the utilization/operations
+//! time-series panels still need).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -19,11 +28,11 @@ use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
 use koala::parallel::{self, Cell};
 use koala::policy::PolicyRegistry;
-use koala::report::MultiReport;
+use koala::report::{MultiReport, MultiSummary, SummaryReport};
 use koala::run_seeds;
 use koala::scenario::{cell_label, Scenario};
 use koala_metrics::csv::Csv;
-use koala_metrics::{Ecdf, JobRecord};
+use koala_metrics::{Ecdf, JobRecord, MetricStream};
 use simcore::{SimDuration, SimTime};
 
 /// The seeds used for every configuration — the paper repeats each
@@ -148,8 +157,30 @@ pub fn run_cells_with_seeds(cfgs: &[ExperimentConfig], seeds: &[u64]) -> Vec<Mul
         .collect()
 }
 
-/// Writes an ECDF panel (one column per configuration) as CSV.
-pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) {
+/// Summarized counterpart of [`run_cells`]: every `(config, seed)` cell
+/// runs through the memory-bounded summary path on one work-stealing
+/// pool. This is the default execution pathway of the figure binaries —
+/// a cell's footprint no longer grows with its job count, which is what
+/// makes 1000+-cell matrices fit in memory.
+pub fn run_cells_summary(cfgs: &[ExperimentConfig]) -> Vec<MultiSummary> {
+    run_cells_summary_with_seeds(cfgs, &SEEDS)
+}
+
+/// [`run_cells_summary`] with an explicit seed list.
+pub fn run_cells_summary_with_seeds(cfgs: &[ExperimentConfig], seeds: &[u64]) -> Vec<MultiSummary> {
+    let cells: Vec<Cell<'_>> = cfgs
+        .iter()
+        .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
+        .collect();
+    let mut runs = parallel::run_cells_summary(&cells, parallel::default_threads()).into_iter();
+    cfgs.iter()
+        .map(|cfg| MultiSummary::new(cfg.name.clone(), runs.by_ref().take(seeds.len()).collect()))
+        .collect()
+}
+
+/// An ECDF panel (one column per configuration) rendered as CSV text
+/// (header only when no series has finite samples).
+pub fn ecdf_csv_string(metric_name: &str, series: &[(&str, &Ecdf)]) -> String {
     let mut header = vec![metric_name];
     for (name, _) in series {
         header.push(name);
@@ -165,7 +196,7 @@ pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) 
         .filter_map(|(_, e)| e.max())
         .fold(f64::NEG_INFINITY, f64::max);
     if !lo.is_finite() || !hi.is_finite() {
-        return;
+        return csv.into_string();
     }
     let steps = 200;
     for i in 0..=steps {
@@ -176,7 +207,18 @@ pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) 
         }
         csv.row_f64(&row, 3);
     }
-    fs::write(path, csv.as_str()).expect("write CSV");
+    csv.into_string()
+}
+
+/// Writes an ECDF panel (one column per configuration) as CSV. A panel
+/// with no finite samples writes nothing (so globbing `repro_out/`
+/// never picks up data-less files), as before the string refactor.
+pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) {
+    let text = ecdf_csv_string(metric_name, series);
+    if text.lines().count() <= 1 {
+        return;
+    }
+    fs::write(path, text).expect("write CSV");
 }
 
 /// Writes a time-series panel (`t` in seconds, one column per config).
@@ -273,6 +315,213 @@ pub fn panel_metrics() -> [(&'static str, PanelMetric); 4] {
     ]
 }
 
+/// A summarized panel metric: the figure's stream inside a
+/// [`SummaryReport`].
+pub type SummaryPanelMetric = fn(&SummaryReport) -> &MetricStream;
+
+/// The four Figs. 7/8(a–d) metrics on the summary path (same names and
+/// order as [`panel_metrics`], so summarized and full CSVs align).
+pub fn summary_panel_metrics() -> [(&'static str, SummaryPanelMetric); 4] {
+    [
+        (
+            "avg_processors",
+            (|r: &SummaryReport| &r.avg_size) as SummaryPanelMetric,
+        ),
+        ("max_processors", |r: &SummaryReport| &r.max_size),
+        ("execution_time_s", |r: &SummaryReport| &r.execution_time),
+        ("response_time_s", |r: &SummaryReport| &r.response_time),
+    ]
+}
+
+/// A per-run scalar extractor for the replication `mean ± ci` table.
+pub type SummaryScalar = fn(&SummaryReport) -> Option<f64>;
+
+/// The scalar metrics of the `*_summary_ci.csv` tables: each aggregates
+/// across replications into mean ± 95 % CI (Student-t).
+pub fn summary_scalar_metrics() -> [(&'static str, SummaryScalar); 10] {
+    [
+        (
+            "completion_pct",
+            (|r: &SummaryReport| Some(100.0 * r.completion_ratio())) as SummaryScalar,
+        ),
+        ("execution_mean_s", |r| r.execution_time.mean()),
+        ("response_mean_s", |r| r.response_time.mean()),
+        ("wait_mean_s", |r| r.wait_time.mean()),
+        ("avg_size_mean", |r| r.avg_size.mean()),
+        ("max_size_mean", |r| r.max_size.mean()),
+        ("mean_utilization", |r| Some(r.mean_utilization())),
+        ("grow_ops", |r| Some(r.grow_ops as f64)),
+        ("shrink_ops", |r| Some(r.shrink_ops as f64)),
+        ("makespan_s", |r| Some(r.makespan.as_secs_f64())),
+    ]
+}
+
+/// The replication table of a summarized sweep as CSV: one row per
+/// `cell × metric` with `mean ± ci` columns (95 % Student-t across the
+/// cell's replications; `ci95_half` is −1 for single-replication
+/// cells).
+pub fn summary_ci_csv(reports: &[MultiSummary]) -> String {
+    let mut csv = Csv::with_header(&[
+        "cell",
+        "metric",
+        "replications",
+        "mean",
+        "ci95_half",
+        "ci95_lo",
+        "ci95_hi",
+    ]);
+    for m in reports {
+        for (metric, f) in summary_scalar_metrics() {
+            let Some(ci) = m.mean_ci(f) else { continue };
+            csv.row(&[
+                &m.name,
+                metric,
+                &ci.n.to_string(),
+                &format!("{:.3}", ci.mean),
+                &ci.half_width
+                    .map_or_else(|| "-1".to_string(), |h| format!("{h:.3}")),
+                &format!("{:.3}", ci.lo()),
+                &format!("{:.3}", ci.hi()),
+            ]);
+        }
+    }
+    csv.into_string()
+}
+
+/// Renders a one-line terminal summary of a summarized cell, with
+/// `mean ± ci` columns where the cell has replications.
+pub fn summary_cell_line(m: &MultiSummary) -> String {
+    let ci = |f: SummaryScalar| {
+        m.mean_ci(f)
+            .map_or_else(|| "n/a".to_string(), |ci| format!("{ci:.1}"))
+    };
+    let pooled = m.pooled();
+    format!(
+        "{:<12} jobs={} done={:.1}% | exec {} s | resp {} s | avg_size {} | util {} | grows/run {} shrinks/run {}",
+        m.name,
+        pooled.jobs_submitted,
+        100.0 * m.completion_ratio(),
+        ci(|r| r.execution_time.mean()),
+        ci(|r| r.response_time.mean()),
+        ci(|r| r.avg_size.mean()),
+        ci(|r| Some(r.mean_utilization())),
+        ci(|r| Some(r.grow_ops as f64)),
+        ci(|r| Some(r.shrink_ops as f64)),
+    )
+}
+
+/// The two headline figures of the paper, as summarized pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperFigure {
+    /// Fig. 7: {FPSMA, EGS} × {Wm, Wmr} under PRA.
+    Fig7,
+    /// Fig. 8: {FPSMA, EGS} × {W'm, W'mr} under PWA.
+    Fig8,
+}
+
+impl PaperFigure {
+    /// The figure's file-name prefix (`"fig7"` / `"fig8"`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            PaperFigure::Fig7 => "fig7",
+            PaperFigure::Fig8 => "fig8",
+        }
+    }
+
+    /// The figure's display label (`"Fig. 7"` / `"Fig. 8"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperFigure::Fig7 => "Fig. 7",
+            PaperFigure::Fig8 => "Fig. 8",
+        }
+    }
+}
+
+/// The figure's scenario matrix scaled to `jobs` jobs per run, with the
+/// quantile reservoirs sized so a paper-scale pooled cell (4 × 300
+/// jobs) stays **exact** — the summarized panels then match the
+/// full-mode ECDFs point for point.
+pub fn figure_matrix(figure: PaperFigure, jobs: usize) -> Vec<ExperimentConfig> {
+    let mut cells = match figure {
+        PaperFigure::Fig7 => scenario_matrix(
+            Approach::Pra,
+            &["worst_fit"],
+            &["fpsma", "egs"],
+            &[WorkloadSpec::wm(), WorkloadSpec::wmr()],
+        ),
+        PaperFigure::Fig8 => scenario_matrix(
+            Approach::Pwa,
+            &["worst_fit"],
+            &["fpsma", "egs"],
+            &[WorkloadSpec::wm_prime(), WorkloadSpec::wmr_prime()],
+        ),
+    };
+    for cfg in &mut cells {
+        cfg.workload.jobs = jobs;
+        cfg.report.quantile_capacity = 2048;
+    }
+    cells
+}
+
+/// Pools every cell's replications once (`MultiSummary::pooled` merges
+/// the streaming accumulators; do it one time per cell and reuse —
+/// panels, charts and qualitative checks all read the same pool).
+pub fn pooled_cells(reports: &[MultiSummary]) -> Vec<SummaryReport> {
+    reports.iter().map(MultiSummary::pooled).collect()
+}
+
+/// One summarized panel as chartable `(name, ecdf)` series, from
+/// already-pooled cells.
+pub fn summary_panel_series(
+    pooled: &[SummaryReport],
+    f: SummaryPanelMetric,
+) -> Vec<(String, Ecdf)> {
+    pooled
+        .iter()
+        .map(|r| (r.name.clone(), f(r).quantiles.ecdf()))
+        .collect()
+}
+
+/// Prints the figure's four ASCII panel charts (a–d) from the pooled
+/// cells — the one render loop both `fig7` and `fig8` share, so the
+/// terminal charts cannot drift from each other (the CSV artifacts come
+/// from [`figure_summary_outputs`]).
+pub fn print_summary_panels(figure: PaperFigure, pooled: &[SummaryReport]) {
+    for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(summary_panel_metrics()) {
+        let ecdfs = summary_panel_series(pooled, f);
+        let series: Vec<(&str, &Ecdf)> = ecdfs.iter().map(|(n, e)| (n.as_str(), e)).collect();
+        println!(
+            "\n{}({panel}) — cumulative distribution of {metric}",
+            figure.label()
+        );
+        print!("{}", koala_metrics::plot::ecdf_chart(&series, 64, 12));
+    }
+}
+
+/// Renders a summarized figure's CSV artifacts as `(file name, text)`
+/// pairs: the four ECDF panels (a–d) from the pooled quantile
+/// reservoirs, plus the replication `mean ± ci` table. Pinned by the
+/// golden regression test, so refactors cannot silently shift the
+/// paper numbers.
+pub fn figure_summary_outputs(
+    figure: PaperFigure,
+    reports: &[MultiSummary],
+) -> Vec<(String, String)> {
+    let prefix = figure.prefix();
+    let pooled = pooled_cells(reports);
+    let mut out = Vec::new();
+    for (panel, (metric, f)) in ["a", "b", "c", "d"].iter().zip(summary_panel_metrics()) {
+        let ecdfs = summary_panel_series(&pooled, f);
+        let series: Vec<(&str, &Ecdf)> = ecdfs.iter().map(|(n, e)| (n.as_str(), e)).collect();
+        out.push((
+            format!("{prefix}{panel}_{metric}.csv"),
+            ecdf_csv_string(metric, &series),
+        ));
+    }
+    out.push((format!("{prefix}_summary_ci.csv"), summary_ci_csv(reports)));
+    out
+}
+
 /// Renders a quick terminal summary of one configuration.
 pub fn cell_summary(m: &MultiReport) -> String {
     let jobs = m.merged_jobs();
@@ -347,6 +596,39 @@ mod tests {
         let solo_b = koala::run_seeds_sequential(&b, &seeds);
         assert_eq!(format!("{:?}", pooled[0]), format!("{solo_a:?}"));
         assert_eq!(format!("{:?}", pooled[1]), format!("{solo_b:?}"));
+    }
+
+    #[test]
+    fn run_cells_summary_matches_per_cell_runs() {
+        let mut a = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        a.workload.jobs = 4;
+        let mut b = ExperimentConfig::paper_pra("egs", WorkloadSpec::wm());
+        b.workload.jobs = 6;
+        let seeds = [5u64, 9];
+        let pooled = run_cells_summary_with_seeds(&[a.clone(), b.clone()], &seeds);
+        assert_eq!(pooled.len(), 2);
+        let solo_a = koala::run_seeds_summary_sequential(&a, &seeds);
+        let solo_b = koala::run_seeds_summary_sequential(&b, &seeds);
+        assert_eq!(format!("{:?}", pooled[0]), format!("{solo_a:?}"));
+        assert_eq!(format!("{:?}", pooled[1]), format!("{solo_b:?}"));
+    }
+
+    #[test]
+    fn summary_cell_line_carries_ci_columns() {
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.workload.jobs = 5;
+        let m = koala::run_seeds_summary(&cfg, &[1, 2]);
+        let line = summary_cell_line(&m);
+        assert!(line.contains("FPSMA/Wm"));
+        assert!(line.contains("done=100.0%"));
+        assert!(
+            line.contains('±'),
+            "replicated cells report mean ± ci: {line}"
+        );
+        // The ci table carries every scalar metric for the cell.
+        let csv = summary_ci_csv(std::slice::from_ref(&m));
+        assert_eq!(csv.lines().count(), 1 + summary_scalar_metrics().len());
+        assert!(csv.contains("FPSMA/Wm,execution_mean_s,2,"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::config::ExperimentConfig;
-use crate::report::{MultiReport, RunReport};
+use crate::report::{MultiReport, MultiSummary, RunReport, SummaryReport};
 
 static THREAD_OVERRIDE: OnceLock<usize> = OnceLock::new();
 
@@ -158,6 +158,39 @@ pub fn run_seeds_with_threads(
 /// parallel runner against.
 pub fn run_seeds_sequential(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiReport {
     run_seeds_with_threads(cfg, seeds, 1)
+}
+
+/// Summarized counterpart of [`run_cells`]: each cell runs through the
+/// memory-bounded summary path, one [`SummaryReport`] per cell in input
+/// order. This is what makes 1000+-cell matrices feasible — the merged
+/// result holds streaming accumulators, never per-job tables.
+///
+/// # Panics
+/// Panics on an invalid configuration, like [`crate::run_experiment`].
+pub fn run_cells_summary(cells: &[Cell<'_>], threads: usize) -> Vec<SummaryReport> {
+    parallel_map(cells, threads, |cell| {
+        crate::sim::run_experiment_summary_seeded(cell.cfg, cell.seed)
+    })
+}
+
+/// Summarized counterpart of [`run_seeds_with_threads`]: aggregates the
+/// per-seed summaries in **seed order**, so the result is bit-identical
+/// to [`run_seeds_summary_sequential`] for any thread count (each cell
+/// is a deterministic function of its seed, and the streaming
+/// accumulators merge in a fixed order).
+pub fn run_seeds_summary_with_threads(
+    cfg: &ExperimentConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> MultiSummary {
+    let cells: Vec<Cell<'_>> = seeds.iter().map(|&seed| Cell { cfg, seed }).collect();
+    MultiSummary::new(cfg.name.clone(), run_cells_summary(&cells, threads))
+}
+
+/// Single-threaded reference implementation of
+/// [`crate::run_seeds_summary`].
+pub fn run_seeds_summary_sequential(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiSummary {
+    run_seeds_summary_with_threads(cfg, seeds, 1)
 }
 
 #[cfg(test)]

@@ -1,12 +1,30 @@
-//! Per-run and multi-seed experiment reports.
+//! Per-run and multi-seed experiment reports — full and memory-bounded.
 //!
 //! A [`RunReport`] carries everything the paper's figures need for one
 //! run; a [`MultiReport`] aggregates the 4-seed repetitions the paper
 //! performs per configuration ("we have done 4 runs for each
 //! combination").
+//!
+//! A [`SummaryReport`] is the **memory-bounded** alternative: instead of
+//! a full job table and step series, it carries streaming accumulators
+//! (see [`koala_metrics::stream`]) whose size is independent of job
+//! count and run length — what makes matrices of thousands of
+//! `(scenario × seed)` cells feasible. A [`MultiSummary`] aggregates
+//! replication cells into mean ± 95 % confidence intervals (Student-t)
+//! per metric. Summarized runs are requested through
+//! [`crate::scenario::ScenarioBuilder::summarized`] or the
+//! `run_*_summary` entry points; warmup-window trimming and the quantile
+//! reservoir capacity come from
+//! [`crate::config::ExperimentConfig::report`].
 
-use koala_metrics::{CumulativeCounter, Ecdf, JobTable, StepSeries};
-use simcore::SimTime;
+use koala_metrics::{
+    mean_ci95, CumulativeCounter, Ecdf, JobOutcome, JobRecord, JobTable, MeanCi, MetricStream,
+    StepSeries,
+};
+use multicluster::Multicluster;
+use simcore::{SimDuration, SimTime};
+
+use crate::config::ReportConfig;
 
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
@@ -149,6 +167,600 @@ impl MultiReport {
     }
 }
 
+/// How a run reports its results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Full [`RunReport`]: complete job table, utilization step series,
+    /// operation timelines, optional lifecycle trace.
+    #[default]
+    Full,
+    /// Memory-bounded [`SummaryReport`]: streaming accumulators only —
+    /// no per-job vectors, no step series, no trace.
+    Summarized,
+}
+
+/// The memory-bounded counterpart of [`RunReport`]: everything is a
+/// scalar or a fixed-size streaming accumulator, so a report's footprint
+/// does not grow with job count or run length.
+///
+/// Per-job metrics (execution/response/wait time, time-averaged and
+/// maximum size, bounded slowdown) stream through
+/// [`MetricStream`]s as jobs complete; jobs submitted inside the warmup
+/// window are excluded, as are utilization and operation counts before
+/// it. Reports [`merge`](SummaryReport::merge) across seeds — count and
+/// mean bit-identically in any order, variance/quantiles within
+/// floating-point tolerance (see [`koala_metrics::stream`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryReport {
+    /// Configuration label (e.g. `"EGS/Wm"`).
+    pub name: String,
+    /// The seed that produced this run (the first seed after merging).
+    pub seed: u64,
+    /// Warmup window: everything before this duration is trimmed.
+    pub warmup: SimDuration,
+    /// Jobs submitted (including inside the warmup window).
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs dropped by the placement-retry threshold.
+    pub jobs_failed: u64,
+    /// Execution time (s) of completed post-warmup jobs — Figs. 7c/8c.
+    pub execution_time: MetricStream,
+    /// Response time (s) — Figs. 7d/8d.
+    pub response_time: MetricStream,
+    /// Wait time (s).
+    pub wait_time: MetricStream,
+    /// Time-averaged processors per job — Figs. 7a/8a.
+    pub avg_size: MetricStream,
+    /// Maximum processors per job — Figs. 7b/8b.
+    pub max_size: MetricStream,
+    /// Bounded slowdown (10 s floor).
+    pub slowdown: MetricStream,
+    /// Accepted grow operations (post-warmup).
+    pub grow_ops: u64,
+    /// Accepted shrink operations (post-warmup).
+    pub shrink_ops: u64,
+    /// Grow requests sent (including declined offers).
+    pub grow_messages: u64,
+    /// Shrink requests sent (including declined requests).
+    pub shrink_messages: u64,
+    /// Instant the last job left the system.
+    pub makespan: SimTime,
+    /// KIS polls performed.
+    pub kis_polls: u64,
+    /// Failed placement tries.
+    pub placement_tries: u64,
+    /// Submissions dropped by the retry threshold.
+    pub failed_submissions: u64,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// Post-warmup integral of total used processors (processor-seconds).
+    util_integral: f64,
+    /// Post-warmup integral of KOALA-used processors (processor-seconds).
+    util_koala_integral: f64,
+    /// Length of the measured window in seconds (makespan − warmup,
+    /// summed across merged runs).
+    util_span_s: f64,
+}
+
+impl SummaryReport {
+    /// Fraction of submitted jobs that completed.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.jobs_submitted == 0 {
+            return 0.0;
+        }
+        self.jobs_completed as f64 / self.jobs_submitted as f64
+    }
+
+    /// Time-weighted mean of total used processors over the measured
+    /// window (warmup → makespan).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.util_span_s <= 0.0 {
+            return 0.0;
+        }
+        self.util_integral / self.util_span_s
+    }
+
+    /// Time-weighted mean of KOALA-used processors over the measured
+    /// window.
+    pub fn mean_koala_utilization(&self) -> f64 {
+        if self.util_span_s <= 0.0 {
+            return 0.0;
+        }
+        self.util_koala_integral / self.util_span_s
+    }
+
+    /// Total malleability operations (grows + shrinks).
+    pub fn total_operations(&self) -> u64 {
+        self.grow_ops + self.shrink_ops
+    }
+
+    /// Merges another run of the same configuration into this one
+    /// (counts add, streams merge, the utilization means pool
+    /// time-weighted, the makespan takes the maximum).
+    pub fn merge(&mut self, other: &SummaryReport) {
+        self.jobs_submitted += other.jobs_submitted;
+        self.jobs_completed += other.jobs_completed;
+        self.jobs_failed += other.jobs_failed;
+        self.execution_time.merge(&other.execution_time);
+        self.response_time.merge(&other.response_time);
+        self.wait_time.merge(&other.wait_time);
+        self.avg_size.merge(&other.avg_size);
+        self.max_size.merge(&other.max_size);
+        self.slowdown.merge(&other.slowdown);
+        self.grow_ops += other.grow_ops;
+        self.shrink_ops += other.shrink_ops;
+        self.grow_messages += other.grow_messages;
+        self.shrink_messages += other.shrink_messages;
+        self.makespan = self.makespan.max(other.makespan);
+        self.kis_polls += other.kis_polls;
+        self.placement_tries += other.placement_tries;
+        self.failed_submissions += other.failed_submissions;
+        self.events += other.events;
+        self.util_integral += other.util_integral;
+        self.util_koala_integral += other.util_koala_integral;
+        self.util_span_s += other.util_span_s;
+    }
+}
+
+/// The summarized runs of one configuration across seeds — the
+/// replication aggregate of a matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSummary {
+    /// Configuration label.
+    pub name: String,
+    /// One summary per seed, in seed order.
+    pub runs: Vec<SummaryReport>,
+}
+
+impl MultiSummary {
+    /// Builds an aggregate; panics on an empty run list.
+    pub fn new(name: impl Into<String>, runs: Vec<SummaryReport>) -> Self {
+        assert!(!runs.is_empty(), "MultiSummary needs at least one run");
+        MultiSummary {
+            name: name.into(),
+            runs,
+        }
+    }
+
+    /// All runs merged into one pooled summary (streams merged in seed
+    /// order, like the paper pools its 4 runs per CDF).
+    pub fn pooled(&self) -> SummaryReport {
+        let mut pooled = self.runs[0].clone();
+        for r in &self.runs[1..] {
+            pooled.merge(r);
+        }
+        pooled
+    }
+
+    /// Mean ± 95 % CI (Student-t across replications) of a per-run
+    /// scalar; `None` when no run yields a value.
+    pub fn mean_ci(&self, f: impl Fn(&SummaryReport) -> Option<f64>) -> Option<MeanCi> {
+        let values: Vec<f64> = self.runs.iter().filter_map(&f).collect();
+        mean_ci95(&values)
+    }
+
+    /// Mean completion ratio across runs.
+    pub fn completion_ratio(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(SummaryReport::completion_ratio)
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+
+    /// Longest makespan across runs.
+    pub fn max_makespan(&self) -> SimTime {
+        self.runs
+            .iter()
+            .map(|r| r.makespan)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collectors: how a running World records its measurements
+// ---------------------------------------------------------------------
+
+/// Reservoir-seed salts so each metric draws an independent priority
+/// stream from the same cell seed.
+const STREAM_SALTS: [u64; 6] = [
+    0x9e37_79b9_7f4a_7c15,
+    0x2545_f491_4f6c_dd1d,
+    0x9e6d_6295_b6fc_9a7b,
+    0x589d_6a5b_41cf_7f4d,
+    0xab1e_c59f_1c3d_27af,
+    0x6c62_272e_07bb_0142,
+];
+
+/// Per-live-job metering state of the summarized collector: a handful of
+/// scalars, no per-job heap allocations.
+#[derive(Debug, Clone, Copy)]
+struct JobMeter {
+    submitted: SimTime,
+    started: Option<SimTime>,
+    size: f64,
+    last_change: SimTime,
+    size_integral: f64,
+    size_max: f64,
+}
+
+/// The full collector: exactly the measurement state a [`RunReport`]
+/// renders (job table, step series, operation timelines).
+#[derive(Debug)]
+pub(crate) struct FullCollector {
+    records: Vec<JobRecord>,
+    util_total: StepSeries,
+    util_koala: StepSeries,
+    util_per_cluster: Vec<StepSeries>,
+    grow_ops: CumulativeCounter,
+    shrink_ops: CumulativeCounter,
+}
+
+/// The memory-bounded collector: streaming accumulators plus one
+/// fixed-size meter per job.
+#[derive(Debug)]
+pub(crate) struct SummaryCollector {
+    /// Absolute warmup instant (runs start at time zero).
+    warmup: SimTime,
+    meters: Vec<JobMeter>,
+    execution_time: MetricStream,
+    response_time: MetricStream,
+    wait_time: MetricStream,
+    avg_size: MetricStream,
+    max_size: MetricStream,
+    slowdown: MetricStream,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    grow_ops: u64,
+    shrink_ops: u64,
+    last_t: SimTime,
+    last_total: f64,
+    last_koala: f64,
+    util_integral: f64,
+    util_koala_integral: f64,
+}
+
+impl SummaryCollector {
+    /// Advances the utilization integrals to `t` (clipping the warmup
+    /// window), leaving the last-value registers untouched.
+    fn integrate_to(&mut self, t: SimTime) {
+        let from = self.last_t.max(self.warmup);
+        if t > from {
+            let dt = (t - from).as_secs_f64();
+            self.util_integral += self.last_total * dt;
+            self.util_koala_integral += self.last_koala * dt;
+        }
+    }
+}
+
+/// The measurement sink a [`crate::World`] feeds while it runs. The
+/// variant is chosen at construction ([`ReportMode`]); the simulation
+/// trajectory is identical either way — collectors are strictly passive.
+// One collector exists per world (never in collections), so the size
+// difference between the variants costs nothing; boxing would add a
+// pointer chase to every measurement call on the hot path instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub(crate) enum Collector {
+    Full(FullCollector),
+    Summary(SummaryCollector),
+}
+
+impl Collector {
+    /// A full collector with one [`JobRecord`] per workload entry.
+    pub(crate) fn full(
+        submissions: impl Iterator<Item = (String, bool, SimTime)>,
+        n_clusters: usize,
+    ) -> Collector {
+        let records = submissions
+            .enumerate()
+            .map(|(i, (app, malleable, at))| JobRecord::new(i as u64, app, malleable, at))
+            .collect();
+        Collector::Full(FullCollector {
+            records,
+            util_total: StepSeries::with_initial(0.0),
+            util_koala: StepSeries::with_initial(0.0),
+            util_per_cluster: vec![StepSeries::with_initial(0.0); n_clusters],
+            grow_ops: CumulativeCounter::new(),
+            shrink_ops: CumulativeCounter::new(),
+        })
+    }
+
+    /// A summarized collector with one fixed-size meter per workload
+    /// entry; reservoirs are keyed off the cell `seed`.
+    pub(crate) fn summarized(
+        submissions: impl Iterator<Item = SimTime>,
+        seed: u64,
+        report: &ReportConfig,
+    ) -> Collector {
+        let meters = submissions
+            .map(|at| JobMeter {
+                submitted: at,
+                started: None,
+                size: 0.0,
+                last_change: at,
+                size_integral: 0.0,
+                size_max: 0.0,
+            })
+            .collect();
+        let stream = |i: usize| MetricStream::new(seed ^ STREAM_SALTS[i], report.quantile_capacity);
+        Collector::Summary(SummaryCollector {
+            warmup: SimTime::ZERO + report.warmup,
+            meters,
+            execution_time: stream(0),
+            response_time: stream(1),
+            wait_time: stream(2),
+            avg_size: stream(3),
+            max_size: stream(4),
+            slowdown: stream(5),
+            jobs_completed: 0,
+            jobs_failed: 0,
+            grow_ops: 0,
+            shrink_ops: 0,
+            last_t: SimTime::ZERO,
+            last_total: 0.0,
+            last_koala: 0.0,
+            util_integral: 0.0,
+            util_koala_integral: 0.0,
+        })
+    }
+
+    /// True for the memory-bounded variant.
+    pub(crate) fn is_summarized(&self) -> bool {
+        matches!(self, Collector::Summary(_))
+    }
+
+    /// The job was successfully placed (allocation decided).
+    pub(crate) fn placed(&mut self, index: usize, t: SimTime) {
+        if let Collector::Full(c) = self {
+            c.records[index].placed = Some(t);
+        }
+        // Summarized metrics derive from submission/start/completion;
+        // the placement instant itself is not streamed.
+    }
+
+    /// The job started executing at `size` processors.
+    pub(crate) fn started(&mut self, index: usize, t: SimTime, size: u32) {
+        match self {
+            Collector::Full(c) => {
+                c.records[index].started = Some(t);
+                c.records[index].size_history.set(t, size as f64);
+            }
+            Collector::Summary(c) => {
+                let m = &mut c.meters[index];
+                m.started = Some(t);
+                m.size = size as f64;
+                m.last_change = t;
+                m.size_integral = 0.0;
+                m.size_max = size as f64;
+            }
+        }
+    }
+
+    /// The job resumed at a new size after a grow (`grow = true`) or
+    /// shrink reconfiguration.
+    pub(crate) fn resized(&mut self, index: usize, t: SimTime, size: u32, grow: bool) {
+        match self {
+            Collector::Full(c) => {
+                let rec = &mut c.records[index];
+                rec.size_history.set(t, size as f64);
+                if grow {
+                    rec.grows += 1;
+                } else {
+                    rec.shrinks += 1;
+                }
+            }
+            Collector::Summary(c) => {
+                let m = &mut c.meters[index];
+                m.size_integral += m.size * (t - m.last_change).as_secs_f64();
+                m.size = size as f64;
+                m.last_change = t;
+                m.size_max = m.size_max.max(size as f64);
+            }
+        }
+    }
+
+    /// The job completed; in summarized mode its metrics stream into the
+    /// accumulators (post-warmup submissions only) and the meter is
+    /// final.
+    pub(crate) fn completed(&mut self, index: usize, t: SimTime) {
+        match self {
+            Collector::Full(c) => {
+                c.records[index].completed = Some(t);
+                c.records[index].outcome = JobOutcome::Completed;
+            }
+            Collector::Summary(c) => {
+                c.jobs_completed += 1;
+                let m = &mut c.meters[index];
+                m.size_integral += m.size * (t - m.last_change).as_secs_f64();
+                m.last_change = t;
+                if m.submitted < c.warmup {
+                    return;
+                }
+                let started = m.started.expect("completed job has started");
+                // The exact formulas of `JobRecord`: same subtractions,
+                // same float operations, so a summary of a run streams
+                // bit-identical samples to the full report's ECDFs.
+                let exec = (t - started).as_secs_f64();
+                let resp = (t - m.submitted).as_secs_f64();
+                let wait = (started - m.submitted).as_secs_f64();
+                let avg = m.size_integral / exec; // NaN (skipped) when exec is 0
+                c.execution_time.push(exec);
+                c.response_time.push(resp);
+                c.wait_time.push(wait);
+                c.avg_size.push(avg);
+                c.max_size.push(m.size_max);
+                c.slowdown.push((resp / exec.max(10.0)).max(1.0));
+            }
+        }
+    }
+
+    /// The job was dropped by the placement-retry threshold.
+    pub(crate) fn placement_failed(&mut self, index: usize) {
+        match self {
+            Collector::Full(c) => c.records[index].outcome = JobOutcome::PlacementFailed,
+            Collector::Summary(c) => c.jobs_failed += 1,
+        }
+    }
+
+    /// An accepted grow operation.
+    pub(crate) fn grow_op(&mut self, t: SimTime) {
+        match self {
+            Collector::Full(c) => c.grow_ops.record(t),
+            Collector::Summary(c) => {
+                if t >= c.warmup {
+                    c.grow_ops += 1;
+                }
+            }
+        }
+    }
+
+    /// An accepted shrink operation.
+    pub(crate) fn shrink_op(&mut self, t: SimTime) {
+        match self {
+            Collector::Full(c) => c.shrink_ops.record(t),
+            Collector::Summary(c) => {
+                if t >= c.warmup {
+                    c.shrink_ops += 1;
+                }
+            }
+        }
+    }
+
+    /// Samples platform utilization after an allocation change.
+    pub(crate) fn utilization(&mut self, t: SimTime, mc: &Multicluster) {
+        match self {
+            Collector::Full(c) => {
+                c.util_total.set(t, mc.total_used() as f64);
+                c.util_koala.set(t, mc.total_used_by_koala() as f64);
+                for (i, series) in c.util_per_cluster.iter_mut().enumerate() {
+                    series.set(
+                        t,
+                        mc.cluster(multicluster::ClusterId(i as u16)).used() as f64,
+                    );
+                }
+            }
+            Collector::Summary(c) => {
+                c.integrate_to(t);
+                c.last_t = t;
+                c.last_total = mc.total_used() as f64;
+                c.last_koala = mc.total_used_by_koala() as f64;
+            }
+        }
+    }
+
+    /// Unwraps the full variant (the `World::finish` path).
+    pub(crate) fn into_full(self) -> FullCollector {
+        match self {
+            Collector::Full(c) => c,
+            Collector::Summary(_) => {
+                panic!("world runs summarized: use run_to_summary / finish_summary")
+            }
+        }
+    }
+
+    /// Unwraps the summarized variant (the `finish_summary` path).
+    pub(crate) fn into_summary(self) -> SummaryCollector {
+        match self {
+            Collector::Summary(c) => c,
+            Collector::Full(_) => {
+                panic!("world runs with a full report: use run_to_completion / finish")
+            }
+        }
+    }
+}
+
+impl FullCollector {
+    /// Renders the full report (the caller supplies the scalar tallies
+    /// the world tracked itself).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish(
+        self,
+        name: String,
+        seed: u64,
+        makespan: SimTime,
+        grow_messages: u64,
+        shrink_messages: u64,
+        kis_polls: u64,
+        placement_tries: u64,
+        failed_submissions: u64,
+        events: u64,
+        trace: simcore::Trace,
+    ) -> RunReport {
+        let mut jobs = JobTable::new();
+        for rec in self.records {
+            jobs.push(rec);
+        }
+        RunReport {
+            name,
+            seed,
+            jobs,
+            utilization: self.util_total,
+            koala_used: self.util_koala,
+            grow_ops: self.grow_ops,
+            shrink_ops: self.shrink_ops,
+            grow_messages,
+            shrink_messages,
+            makespan,
+            kis_polls,
+            placement_tries,
+            failed_submissions,
+            events,
+            trace,
+            per_cluster_used: self.util_per_cluster,
+        }
+    }
+}
+
+impl SummaryCollector {
+    /// Renders the memory-bounded report, closing the utilization
+    /// integral at the makespan.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish(
+        mut self,
+        name: String,
+        seed: u64,
+        makespan: SimTime,
+        grow_messages: u64,
+        shrink_messages: u64,
+        kis_polls: u64,
+        placement_tries: u64,
+        failed_submissions: u64,
+        events: u64,
+    ) -> SummaryReport {
+        self.integrate_to(makespan);
+        let warmup = self.warmup.saturating_since(SimTime::ZERO);
+        SummaryReport {
+            name,
+            seed,
+            warmup,
+            jobs_submitted: self.meters.len() as u64,
+            jobs_completed: self.jobs_completed,
+            jobs_failed: self.jobs_failed,
+            execution_time: self.execution_time,
+            response_time: self.response_time,
+            wait_time: self.wait_time,
+            avg_size: self.avg_size,
+            max_size: self.max_size,
+            slowdown: self.slowdown,
+            grow_ops: self.grow_ops,
+            shrink_ops: self.shrink_ops,
+            grow_messages,
+            shrink_messages,
+            makespan,
+            kis_polls,
+            placement_tries,
+            failed_submissions,
+            events,
+            util_integral: self.util_integral,
+            util_koala_integral: self.util_koala_integral,
+            util_span_s: makespan.saturating_since(self.warmup).as_secs_f64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +830,97 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn empty_multi_report_panics() {
         MultiReport::new("x", vec![]);
+    }
+
+    /// A hand-driven summary collector: two jobs, one inside the warmup
+    /// window, a grow, and utilization samples.
+    fn tiny_summary(seed: u64) -> SummaryReport {
+        let warmup = SimDuration::from_secs(50);
+        let report = ReportConfig {
+            warmup,
+            quantile_capacity: 8,
+        };
+        let subs = [SimTime::ZERO, SimTime::from_secs(100)];
+        let mut c = Collector::summarized(subs.iter().copied(), seed, &report);
+        let mc = multicluster::das3();
+        // Job 0 (pre-warmup, excluded): runs 0→40 s.
+        c.started(0, SimTime::ZERO, 2);
+        c.completed(0, SimTime::from_secs(40));
+        // Job 1 (measured): starts at 120 s at size 2, grows to 6 at
+        // 160 s, completes at 200 s → avg size 4, max 6, exec 80.
+        c.started(1, SimTime::from_secs(120), 2);
+        c.grow_op(SimTime::from_secs(150));
+        c.resized(1, SimTime::from_secs(160), 6, true);
+        c.completed(1, SimTime::from_secs(200));
+        c.utilization(SimTime::from_secs(100), &mc);
+        c.into_summary().finish(
+            "T".into(),
+            seed,
+            SimTime::from_secs(200),
+            3,
+            0,
+            10,
+            0,
+            0,
+            42,
+        )
+    }
+
+    #[test]
+    fn summary_collector_streams_post_warmup_jobs_only() {
+        let s = tiny_summary(1);
+        assert_eq!(s.jobs_submitted, 2);
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.execution_time.count(), 1, "pre-warmup job trimmed");
+        assert_eq!(s.execution_time.mean(), Some(80.0));
+        assert_eq!(s.response_time.mean(), Some(100.0));
+        assert_eq!(s.wait_time.mean(), Some(20.0));
+        assert_eq!(s.avg_size.mean(), Some(4.0));
+        assert_eq!(s.max_size.mean(), Some(6.0));
+        // Slowdown: resp 100 / max(exec 80, 10) = 1.25.
+        assert_eq!(s.slowdown.mean(), Some(1.25));
+        assert_eq!(s.grow_ops, 1);
+        assert_eq!(s.warmup, SimDuration::from_secs(50));
+        assert_eq!(s.makespan, SimTime::from_secs(200));
+        // An idle DAS-3 contributes zero utilization.
+        assert_eq!(s.mean_utilization(), 0.0);
+        assert!((s.completion_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_summary_pools_and_reports_cis() {
+        let m = MultiSummary::new("T", vec![tiny_summary(1), tiny_summary(2)]);
+        let pooled = m.pooled();
+        assert_eq!(pooled.jobs_submitted, 4);
+        assert_eq!(pooled.execution_time.count(), 2);
+        assert_eq!(pooled.execution_time.mean(), Some(80.0));
+        assert_eq!(pooled.grow_ops, 2);
+        assert_eq!(pooled.makespan, SimTime::from_secs(200));
+        let ci = m.mean_ci(|r| r.execution_time.mean()).unwrap();
+        assert_eq!(ci.n, 2);
+        assert_eq!(ci.mean, 80.0);
+        assert_eq!(ci.half_width, Some(0.0), "identical runs: zero width");
+        assert_eq!(m.max_makespan(), SimTime::from_secs(200));
+        assert!((m.completion_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(m.mean_ci(|_| None), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_multi_summary_panics() {
+        MultiSummary::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_to_summary")]
+    fn full_unwrap_of_summary_collector_panics() {
+        let report = ReportConfig::default();
+        Collector::summarized(std::iter::empty(), 0, &report).into_full();
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_to_completion")]
+    fn summary_unwrap_of_full_collector_panics() {
+        Collector::full(std::iter::empty(), 5).into_summary();
     }
 }

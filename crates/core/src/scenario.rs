@@ -35,9 +35,11 @@ use appsim::workload::{SubmittedJob, WorkloadSpec};
 use multicluster::BackgroundLoad;
 use simcore::SimDuration;
 
-use crate::config::{workload_label, Approach, ConfigError, ExperimentConfig, SchedulerConfig};
+use crate::config::{
+    workload_label, Approach, ConfigError, ExperimentConfig, ReportConfig, SchedulerConfig,
+};
 use crate::policy::PolicyRegistry;
-use crate::report::MultiReport;
+use crate::report::{MultiReport, MultiSummary, ReportMode};
 
 /// The multicluster substrate a scenario runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,6 +81,7 @@ pub fn cell_label(
 pub struct Scenario {
     cfg: ExperimentConfig,
     seeds: Vec<u64>,
+    mode: ReportMode,
 }
 
 impl Scenario {
@@ -105,15 +108,50 @@ impl Scenario {
         &self.seeds
     }
 
+    /// How the scenario reports ([`ScenarioBuilder::summarized`] flips
+    /// it to the memory-bounded path).
+    pub fn mode(&self) -> ReportMode {
+        self.mode
+    }
+
     /// Runs the scenario across its seeds on the parallel cell runner
-    /// (see [`crate::run_seeds`]).
+    /// (see [`crate::run_seeds`]), materializing full reports.
+    ///
+    /// # Panics
+    /// Panics when the scenario was built with
+    /// [`ScenarioBuilder::summarized`] — a full `MultiReport` would
+    /// defeat the memory bound; use [`Scenario::run_summary`].
     pub fn run(&self) -> MultiReport {
+        assert!(
+            self.mode == ReportMode::Full,
+            "scenario built with .summarized(): use Scenario::run_summary()"
+        );
         crate::run_seeds(&self.cfg, &self.seeds)
     }
 
     /// [`Scenario::run`] with an explicit worker count.
+    ///
+    /// # Panics
+    /// Panics for summarized scenarios, like [`Scenario::run`].
     pub fn run_with_threads(&self, threads: usize) -> MultiReport {
+        assert!(
+            self.mode == ReportMode::Full,
+            "scenario built with .summarized(): use Scenario::run_summary_with_threads()"
+        );
         crate::parallel::run_seeds_with_threads(&self.cfg, &self.seeds, threads)
+    }
+
+    /// Runs the scenario through the memory-bounded summary path (one
+    /// [`crate::report::SummaryReport`] per seed, aggregated in seed
+    /// order). Available in either mode — summarizing a full scenario is
+    /// always allowed.
+    pub fn run_summary(&self) -> MultiSummary {
+        crate::run_seeds_summary(&self.cfg, &self.seeds)
+    }
+
+    /// [`Scenario::run_summary`] with an explicit worker count.
+    pub fn run_summary_with_threads(&self, threads: usize) -> MultiSummary {
+        crate::parallel::run_seeds_summary_with_threads(&self.cfg, &self.seeds, threads)
     }
 }
 
@@ -130,8 +168,11 @@ pub struct ScenarioBuilder {
     background: BackgroundLoad,
     seed: u64,
     seeds: Option<Vec<u64>>,
+    replications: Option<usize>,
     horizon: Option<SimDuration>,
     trace: Option<Vec<SubmittedJob>>,
+    mode: ReportMode,
+    report: ReportConfig,
 }
 
 impl Default for ScenarioBuilder {
@@ -145,8 +186,11 @@ impl Default for ScenarioBuilder {
             background: BackgroundLoad::concurrent_users(0.30),
             seed: 0,
             seeds: None,
+            replications: None,
             horizon: Some(SimDuration::from_secs(200_000)),
             trace: None,
+            mode: ReportMode::Full,
+            report: ReportConfig::default(),
         }
     }
 }
@@ -233,9 +277,46 @@ impl ScenarioBuilder {
     }
 
     /// The seeds a [`Scenario::run`] sweeps across (default: just the
-    /// master seed).
+    /// master seed). Takes precedence over
+    /// [`ScenarioBuilder::replications`].
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = Some(seeds.into_iter().collect());
+        self
+    }
+
+    /// Runs `n` replications: seeds `seed, seed+1, …, seed+n−1` derived
+    /// from the master seed (the paper repeats every combination 4
+    /// times). An explicit [`ScenarioBuilder::seeds`] list wins over
+    /// this; `n = 0` fails the build with [`ConfigError::NoSeeds`].
+    pub fn replications(mut self, n: usize) -> Self {
+        self.replications = Some(n);
+        self
+    }
+
+    /// Switches the scenario to the **memory-bounded summary path**:
+    /// [`Scenario::run_summary`] streams per-job metrics through
+    /// mergeable accumulators instead of materializing job tables,
+    /// utilization series or traces ([`Scenario::run`] then panics, so
+    /// a summarized scenario cannot silently fall back to full
+    /// reports).
+    pub fn summarized(mut self) -> Self {
+        self.mode = ReportMode::Summarized;
+        self
+    }
+
+    /// Warmup window for summarized runs: jobs submitted before
+    /// `warmup`, and utilization/operation activity inside it, are
+    /// trimmed from the metrics (default: zero).
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.report.warmup = warmup;
+        self
+    }
+
+    /// Capacity of each metric's bounded-memory quantile reservoir in
+    /// summarized runs (default 512; see
+    /// [`ReportConfig::quantile_capacity`]).
+    pub fn quantile_capacity(mut self, capacity: usize) -> Self {
+        self.report.quantile_capacity = capacity;
         self
     }
 
@@ -289,14 +370,21 @@ impl ScenarioBuilder {
             horizon: self.horizon,
             trace: self.trace,
             heterogeneous: self.topology == Topology::Das3Heterogeneous,
+            report: self.report,
         };
         cfg.validate()?;
-        let seeds = match self.seeds {
-            Some(seeds) if seeds.is_empty() => return Err(ConfigError::NoSeeds),
-            Some(seeds) => seeds,
-            None => vec![cfg.seed],
+        let seeds = match (self.seeds, self.replications) {
+            (Some(seeds), _) if seeds.is_empty() => return Err(ConfigError::NoSeeds),
+            (Some(seeds), _) => seeds,
+            (None, Some(0)) => return Err(ConfigError::NoSeeds),
+            (None, Some(n)) => (0..n as u64).map(|i| cfg.seed.wrapping_add(i)).collect(),
+            (None, None) => vec![cfg.seed],
         };
-        Ok(Scenario { cfg, seeds })
+        Ok(Scenario {
+            cfg,
+            seeds,
+            mode: self.mode,
+        })
     }
 }
 
@@ -399,6 +487,35 @@ mod tests {
         assert_eq!(s.config().workload.jobs, 7);
         assert_eq!(s.config().seed, 42);
         assert_eq!(s.seeds(), &[42]);
+    }
+
+    #[test]
+    fn report_tunables_land_in_the_config() {
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .summarized()
+            .warmup(SimDuration::from_secs(300))
+            .quantile_capacity(64)
+            .build()
+            .unwrap();
+        assert_eq!(s.mode(), crate::report::ReportMode::Summarized);
+        assert_eq!(s.config().report.warmup, SimDuration::from_secs(300));
+        assert_eq!(s.config().report.quantile_capacity, 64);
+        // Default scenarios stay on the full path with default report
+        // settings (so the paper presets are untouched).
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .build()
+            .unwrap();
+        assert_eq!(s.mode(), crate::report::ReportMode::Full);
+        assert_eq!(s.config().report, crate::config::ReportConfig::default());
+        // A zero reservoir capacity is a typed build error.
+        let err = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .quantile_capacity(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroQuantileCapacity);
     }
 
     #[test]

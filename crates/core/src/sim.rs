@@ -35,7 +35,6 @@
 use appsim::dynaco::Dynaco;
 use appsim::workload::SubmittedJob;
 use appsim::JobClass;
-use koala_metrics::{CumulativeCounter, JobOutcome, JobRecord, StepSeries};
 use multicluster::{
     das3, AllocId, AllocOwner, ClusterId, FileCatalog, InfoService, LocalJob, Multicluster,
     SubmitOutcome,
@@ -48,7 +47,7 @@ use crate::job::{Job, JobPhase};
 use crate::malleability::RunningView;
 use crate::placement::{ComponentRequest, PlacementQueue, PlacementRequest};
 use crate::policy::{Malleability, Placement, PolicyRegistry};
-use crate::report::RunReport;
+use crate::report::{Collector, MultiSummary, ReportMode, RunReport, SummaryReport};
 use crate::runner::MRunner;
 
 /// The flat event type of the whole simulation.
@@ -173,12 +172,10 @@ pub struct World<'a> {
     workload: std::borrow::Cow<'a, [SubmittedJob]>,
     jobs: Vec<Job>,
     queue: PlacementQueue,
-    records: Vec<JobRecord>,
-    util_total: StepSeries,
-    util_koala: StepSeries,
-    util_per_cluster: Vec<StepSeries>,
-    grow_ops: CumulativeCounter,
-    shrink_ops: CumulativeCounter,
+    /// The measurement sink: a full job-table/step-series collector, or
+    /// the memory-bounded streaming one ([`ReportMode`]). Strictly
+    /// passive — the simulation trajectory is identical either way.
+    collect: Collector,
     grow_messages: u64,
     shrink_messages: u64,
     bg_rng: SimRng,
@@ -230,6 +227,19 @@ impl<'a> World<'a> {
     /// [`crate::run_experiment`], which validates first, for a
     /// `Result`-shaped path).
     pub fn for_seed(cfg: &'a ExperimentConfig, seed: u64) -> Self {
+        Self::for_seed_with_mode(cfg, seed, ReportMode::Full)
+    }
+
+    /// [`World::for_seed`] in memory-bounded summary mode: the run
+    /// collects streaming accumulators only (no job table, no step
+    /// series, no trace) and finishes through
+    /// [`World::run_to_summary`]. Warmup trimming and reservoir capacity
+    /// come from `cfg.report`.
+    pub fn for_seed_summarized(cfg: &'a ExperimentConfig, seed: u64) -> Self {
+        Self::for_seed_with_mode(cfg, seed, ReportMode::Summarized)
+    }
+
+    fn for_seed_with_mode(cfg: &'a ExperimentConfig, seed: u64, mode: ReportMode) -> Self {
         let registry = PolicyRegistry::global();
         let placement = registry
             .placement(&cfg.sched.placement)
@@ -255,18 +265,21 @@ impl<'a> World<'a> {
             .enumerate()
             .map(|(i, s)| Job::new(JobId(i as u32), s.spec.clone(), s.at))
             .collect();
-        let records: Vec<JobRecord> = workload
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                JobRecord::new(
-                    i as u64,
-                    s.spec.kind.label().to_string(),
-                    s.spec.class.is_malleable(),
-                    s.at,
-                )
-            })
-            .collect();
+        let collect = match mode {
+            ReportMode::Full => Collector::full(
+                workload.iter().map(|s| {
+                    (
+                        s.spec.kind.label().to_string(),
+                        s.spec.class.is_malleable(),
+                        s.at,
+                    )
+                }),
+                n_clusters,
+            ),
+            ReportMode::Summarized => {
+                Collector::summarized(workload.iter().map(|s| s.at), seed, &cfg.report)
+            }
+        };
         let w_init = World {
             cfg,
             seed,
@@ -278,12 +291,7 @@ impl<'a> World<'a> {
             workload,
             jobs,
             queue: PlacementQueue::new(),
-            records,
-            util_total: StepSeries::with_initial(0.0),
-            util_koala: StepSeries::with_initial(0.0),
-            util_per_cluster: vec![StepSeries::with_initial(0.0); n_clusters],
-            grow_ops: CumulativeCounter::new(),
-            shrink_ops: CumulativeCounter::new(),
+            collect,
             grow_messages: 0,
             shrink_messages: 0,
             bg_rng,
@@ -312,10 +320,25 @@ impl<'a> World<'a> {
     }
 
     /// Enables job-lifecycle tracing, keeping the most recent `capacity`
-    /// entries (exported in the run report).
+    /// entries (exported in the run report). Ignored in summarized mode:
+    /// the memory-bounded path never materializes a trace.
     pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace = Trace::enabled(capacity);
+        if !self.collect.is_summarized() {
+            self.trace = Trace::enabled(capacity);
+        }
         self
+    }
+
+    /// Whether job-lifecycle tracing is active (tests; always `false`
+    /// in summarized mode).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Whether this world reports through the memory-bounded summary
+    /// path.
+    pub fn is_summarized(&self) -> bool {
+        self.collect.is_summarized()
     }
 
     /// Direct access to the multicluster state (tests and examples).
@@ -360,7 +383,27 @@ impl<'a> World<'a> {
 
     /// Runs the event loop until all jobs are terminal (or the engine
     /// drains / hits its horizon) and returns the report.
+    ///
+    /// # Panics
+    /// Panics when the world was built with
+    /// [`World::for_seed_summarized`] — use [`World::run_to_summary`].
     pub fn run_to_completion(mut self, engine: &mut Engine<Ev>) -> RunReport {
+        self.run_loop(engine);
+        self.finish(engine)
+    }
+
+    /// Runs the event loop like [`World::run_to_completion`] and returns
+    /// the memory-bounded summary.
+    ///
+    /// # Panics
+    /// Panics when the world was built in full-report mode — use
+    /// [`World::run_to_completion`].
+    pub fn run_to_summary(mut self, engine: &mut Engine<Ev>) -> SummaryReport {
+        self.run_loop(engine);
+        self.finish_summary(engine)
+    }
+
+    fn run_loop(&mut self, engine: &mut Engine<Ev>) {
         self.bootstrap(engine);
         while let Some((_t, ev)) = engine.pop() {
             self.handle(engine, ev);
@@ -368,7 +411,6 @@ impl<'a> World<'a> {
                 break;
             }
         }
-        self.finish(engine)
     }
 
     // ------------------------------------------------------------------
@@ -584,7 +626,7 @@ impl<'a> World<'a> {
                                 job.phase = JobPhase::Staging;
                                 job.cluster = Some(cp.cluster);
                                 job.pending_claim = Some(vec![(cp.cluster, cp.size)]);
-                                self.records[id.index()].placed = Some(now);
+                                self.collect.placed(id.index(), now);
                                 let delay = simcore::SimDuration::from_millis(
                                     stage.as_millis().saturating_sub(margin.as_millis()),
                                 );
@@ -654,7 +696,7 @@ impl<'a> World<'a> {
         if exceeded {
             let job = &mut self.jobs[id.index()];
             job.phase = JobPhase::Failed;
-            self.records[id.index()].outcome = JobOutcome::PlacementFailed;
+            self.collect.placement_failed(id.index());
             self.terminal += 1;
         }
     }
@@ -681,7 +723,7 @@ impl<'a> World<'a> {
             let dynaco = Dynaco::new(min, max, job.spec.kind.constraint(), size);
             job.runner = Some(MRunner::new(dynaco, size));
         }
-        self.records[id.index()].placed = Some(now);
+        self.collect.placed(id.index(), now);
         self.trace.record(now, "place", id.0 as u64, || {
             format!(
                 "{} procs on {:?} (+{} components)",
@@ -741,8 +783,7 @@ impl<'a> World<'a> {
             size,
             job.spec.work_scale * penalty / speed,
         ));
-        self.records[id.index()].started = Some(now);
-        self.records[id.index()].size_history.set(now, size as f64);
+        self.collect.started(id.index(), now, size);
         self.trace
             .record(now, "start", id.0 as u64, || format!("size {size}"));
         self.schedule_completion(engine, id);
@@ -809,7 +850,7 @@ impl<'a> World<'a> {
         let outcome = self.malleability.run_grow(&views, grow_value, &mut accept);
         self.grow_messages += outcome.messages as u64;
         for op in &outcome.ops {
-            self.grow_ops.record(now);
+            self.collect.grow_op(now);
             self.trace.record(now, "grow", op.job.0 as u64, || {
                 format!("accepted {} of {} on {cluster:?}", op.accepted, op.offered)
             });
@@ -952,7 +993,7 @@ impl<'a> World<'a> {
         let outcome = self.malleability.run_shrink(&views, value, &mut accept);
         self.shrink_messages += outcome.messages as u64;
         for op in &outcome.ops {
-            self.shrink_ops.record(now);
+            self.collect.shrink_op(now);
             self.trace.record(now, "shrink", op.job.0 as u64, || {
                 format!(
                     "releasing {} of {} requested on {cluster:?}",
@@ -1007,13 +1048,7 @@ impl<'a> World<'a> {
         job.phase = JobPhase::Running;
         self.trace
             .record(now, "resume", id.0 as u64, || format!("size {new_size}"));
-        let rec = &mut self.records[id.index()];
-        rec.size_history.set(now, new_size as f64);
-        if grow {
-            rec.grows += 1;
-        } else {
-            rec.shrinks += 1;
-        }
+        self.collect.resized(id.index(), now, new_size, grow);
         self.schedule_completion(engine, id);
         self.schedule_initiative(engine, id);
         if released > 0 {
@@ -1088,8 +1123,7 @@ impl<'a> World<'a> {
         job.gen.bump(); // invalidate every remaining event for this job
         self.terminal += 1;
         self.trace.record(now, "complete", id.0 as u64, String::new);
-        self.records[id.index()].completed = Some(now);
-        self.records[id.index()].outcome = JobOutcome::Completed;
+        self.collect.completed(id.index(), now);
         self.mc
             .cluster_mut(cluster)
             .release(alloc)
@@ -1300,7 +1334,7 @@ impl<'a> World<'a> {
         if accepted == 0 {
             return;
         }
-        self.grow_ops.record(now);
+        self.collect.grow_op(now);
         let alloc = job.alloc.expect("running job allocated");
         let gen = job.gen;
         self.mc
@@ -1395,39 +1429,44 @@ impl<'a> World<'a> {
     }
 
     fn touch_util(&mut self, now: SimTime) {
-        self.util_total.set(now, self.mc.total_used() as f64);
-        self.util_koala
-            .set(now, self.mc.total_used_by_koala() as f64);
-        for (i, series) in self.util_per_cluster.iter_mut().enumerate() {
-            series.set(now, self.mc.cluster(ClusterId(i as u16)).used() as f64);
-        }
+        self.collect.utilization(now, &self.mc);
     }
 
-    /// Finalizes the report.
-    pub fn finish(mut self, engine: &Engine<Ev>) -> RunReport {
-        let now = engine.now();
-        let mut table = koala_metrics::JobTable::new();
-        for rec in self.records.drain(..) {
-            table.push(rec);
-        }
-        RunReport {
-            name: self.cfg.name.clone(),
-            seed: self.seed,
-            jobs: table,
-            utilization: self.util_total,
-            koala_used: self.util_koala,
-            grow_ops: self.grow_ops,
-            shrink_ops: self.shrink_ops,
-            grow_messages: self.grow_messages,
-            shrink_messages: self.shrink_messages,
-            makespan: now,
-            kis_polls: self.kis.polls(),
-            placement_tries: self.queue.total_tries(),
-            failed_submissions: self.queue.failed_submissions(),
-            events: engine.stats().delivered,
-            trace: self.trace,
-            per_cluster_used: self.util_per_cluster,
-        }
+    /// Finalizes the full report.
+    ///
+    /// # Panics
+    /// Panics in summarized mode — use [`World::finish_summary`].
+    pub fn finish(self, engine: &Engine<Ev>) -> RunReport {
+        self.collect.into_full().finish(
+            self.cfg.name.clone(),
+            self.seed,
+            engine.now(),
+            self.grow_messages,
+            self.shrink_messages,
+            self.kis.polls(),
+            self.queue.total_tries(),
+            self.queue.failed_submissions(),
+            engine.stats().delivered,
+            self.trace,
+        )
+    }
+
+    /// Finalizes the memory-bounded summary report.
+    ///
+    /// # Panics
+    /// Panics in full-report mode — use [`World::finish`].
+    pub fn finish_summary(self, engine: &Engine<Ev>) -> SummaryReport {
+        self.collect.into_summary().finish(
+            self.cfg.name.clone(),
+            self.seed,
+            engine.now(),
+            self.grow_messages,
+            self.shrink_messages,
+            self.kis.polls(),
+            self.queue.total_tries(),
+            self.queue.failed_submissions(),
+            engine.stats().delivered,
+        )
     }
 }
 
@@ -1479,6 +1518,38 @@ pub fn run_experiment_seeded(cfg: &ExperimentConfig, seed: u64) -> RunReport {
 /// [`crate::parallel::run_seeds_sequential`] for any thread count.
 pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> crate::report::MultiReport {
     crate::parallel::run_seeds_with_threads(cfg, seeds, crate::parallel::default_threads())
+}
+
+/// Runs one configuration through the **memory-bounded** summary path
+/// (see [`crate::report::SummaryReport`]): no job table, no step series,
+/// no trace — the report's footprint is independent of job count. The
+/// simulation trajectory is identical to [`run_experiment`]'s.
+///
+/// # Panics
+/// Panics on an invalid configuration, like [`run_experiment`].
+pub fn run_experiment_summary(cfg: &ExperimentConfig) -> SummaryReport {
+    run_experiment_summary_seeded(cfg, cfg.seed)
+}
+
+/// [`run_experiment_summary`] under an explicit `seed` without cloning
+/// the configuration — the cell entry point of summarized sweeps.
+///
+/// # Panics
+/// Panics on an invalid configuration, like [`run_experiment`].
+pub fn run_experiment_summary_seeded(cfg: &ExperimentConfig, seed: u64) -> SummaryReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid experiment configuration: {e}");
+    }
+    let mut engine = engine_for(cfg);
+    World::for_seed_summarized(cfg, seed).run_to_summary(&mut engine)
+}
+
+/// Summarized counterpart of [`run_seeds`]: one memory-bounded run per
+/// seed on the work-stealing cell runner, aggregated in seed order —
+/// bit-identical to [`crate::parallel::run_seeds_summary_sequential`]
+/// for any thread count.
+pub fn run_seeds_summary(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiSummary {
+    crate::parallel::run_seeds_summary_with_threads(cfg, seeds, crate::parallel::default_threads())
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 
 use appsim::workload::WorkloadSpec;
 use koala::config::{Approach, ExperimentConfig};
-use koala::{run_seeds_sequential, run_seeds_with_threads};
+use koala::{
+    run_seeds_sequential, run_seeds_summary_sequential, run_seeds_summary_with_threads,
+    run_seeds_with_threads,
+};
 use proptest::prelude::*;
 
 fn policies() -> [&'static str; 5] {
@@ -69,6 +72,40 @@ proptest! {
             cfg.sched.malleability,
             if cfg.sched.approach == Approach::Pwa { "PWA" } else { "PRA" },
             cfg.workload.jobs,
+        );
+    }
+
+    /// The same guarantee on the **memory-bounded** path: a parallel
+    /// summarized sweep — streaming accumulators per cell, merged in
+    /// submission order — renders byte-identically to the sequential
+    /// loop, and so does its pooled replication aggregate (the
+    /// accumulator-merge path itself).
+    #[test]
+    fn parallel_summary_is_byte_identical_to_sequential(
+        policy_idx in 0usize..5,
+        pwa in any::<bool>(),
+        prime in any::<bool>(),
+        jobs in 2usize..9,
+        seed0 in 1u64..1_000_000,
+        threads in 2usize..9,
+        warmup_s in 0u64..500,
+    ) {
+        let (mut cfg, seeds) = random_cfg(policy_idx, pwa, prime, jobs, seed0);
+        cfg.report.warmup = simcore::SimDuration::from_secs(warmup_s);
+        let sequential = run_seeds_summary_sequential(&cfg, &seeds);
+        let parallel = run_seeds_summary_with_threads(&cfg, &seeds, threads);
+        prop_assert_eq!(
+            format!("{sequential:?}"),
+            format!("{parallel:?}"),
+            "summarized threads={} diverged on {:?} jobs={}",
+            threads,
+            cfg.sched.malleability,
+            cfg.workload.jobs,
+        );
+        prop_assert_eq!(
+            format!("{:?}", sequential.pooled()),
+            format!("{:?}", parallel.pooled()),
+            "pooled summaries diverged"
         );
     }
 }

@@ -41,6 +41,7 @@ fn legacy_paper_cell(policy: &str, approach: Approach, workload: WorkloadSpec) -
         horizon: Some(SimDuration::from_secs(200_000)),
         trace: None,
         heterogeneous: false,
+        report: koala::config::ReportConfig::default(),
     }
 }
 

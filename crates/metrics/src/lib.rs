@@ -20,6 +20,9 @@
 //! * [`Summary`] — five-number summaries with mean/std.
 //! * [`JobRecord`] / [`JobTable`] — per-job lifecycle records and derived
 //!   metrics.
+//! * [`stream`] — allocation-light, **mergeable** online accumulators
+//!   ([`StreamStats`], [`StreamQuantiles`], [`MeanCi`]) for
+//!   memory-bounded summary reports over large experiment matrices.
 //! * [`csv`] — tiny dependency-free CSV export.
 //! * [`plot`] — ASCII rendering of CDFs and time series for terminal
 //!   reports (the examples and the figure binaries use it).
@@ -35,9 +38,11 @@ mod summary;
 
 pub mod csv;
 pub mod plot;
+pub mod stream;
 
 pub use counter::CumulativeCounter;
 pub use ecdf::Ecdf;
 pub use jobs::{JobOutcome, JobRecord, JobTable};
 pub use series::StepSeries;
+pub use stream::{mean_ci95, MeanCi, MetricStream, StreamQuantiles, StreamStats};
 pub use summary::Summary;

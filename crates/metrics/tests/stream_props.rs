@@ -1,0 +1,182 @@
+//! Property tests for the streaming accumulators: they must agree with
+//! the exact (`Ecdf`/`Summary`) computations on the same samples, and
+//! their `merge` must be order-insensitive — the guarantee the parallel
+//! experiment runner's bit-identical-to-sequential contract rests on.
+
+use koala_metrics::{mean_ci95, Ecdf, StreamQuantiles, StreamStats, Summary};
+use proptest::prelude::*;
+
+/// Splits `samples` into `shards` contiguous shards, accumulates each in
+/// its own `StreamStats`, and returns the per-shard accumulators.
+fn stat_shards(samples: &[f64], shards: usize) -> Vec<StreamStats> {
+    let per = samples.len().div_ceil(shards.max(1));
+    samples
+        .chunks(per.max(1))
+        .map(|chunk| {
+            let mut s = StreamStats::new();
+            for &x in chunk {
+                s.push(x);
+            }
+            s
+        })
+        .collect()
+}
+
+proptest! {
+    /// Streaming mean/min/max equal the exact sample computation, and
+    /// streaming variance matches `Summary`'s exact two-pass variance
+    /// within floating-point tolerance.
+    #[test]
+    fn stats_agree_with_exact_summary(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = StreamStats::new();
+        for &x in &samples {
+            s.push(x);
+        }
+        let exact = Summary::of(&samples).unwrap();
+        prop_assert_eq!(s.count() as usize, exact.n);
+        prop_assert_eq!(s.min().unwrap(), exact.min);
+        prop_assert_eq!(s.max().unwrap(), exact.max);
+        let mean = s.mean().unwrap();
+        prop_assert!((mean - exact.mean).abs() <= 1e-9 * exact.mean.abs().max(1.0));
+        let var = s.variance().unwrap();
+        let exact_var = exact.std * exact.std;
+        prop_assert!(
+            (var - exact_var).abs() <= 1e-6 * exact_var.max(1.0),
+            "streaming var {var} vs exact {exact_var}"
+        );
+    }
+
+    /// Sequential accumulation, in-order shard merging and reversed
+    /// shard merging all yield **bit-identical** count/mean/min/max and
+    /// tolerance-equal variance.
+    #[test]
+    fn stats_merge_is_order_insensitive(
+        samples in prop::collection::vec(-1e9f64..1e9, 2..300),
+        shards in 2usize..8,
+    ) {
+        let mut sequential = StreamStats::new();
+        for &x in &samples {
+            sequential.push(x);
+        }
+        let parts = stat_shards(&samples, shards);
+        // In submission order (what the parallel runner does)...
+        let mut in_order = StreamStats::new();
+        for p in &parts {
+            in_order.merge(p);
+        }
+        // ...and fully reversed (what it never does, but merge must not care).
+        let mut reversed = StreamStats::new();
+        for p in parts.iter().rev() {
+            reversed.merge(p);
+        }
+        for merged in [&in_order, &reversed] {
+            prop_assert_eq!(merged.count(), sequential.count());
+            prop_assert_eq!(
+                merged.mean().unwrap().to_bits(),
+                sequential.mean().unwrap().to_bits(),
+                "exact-sum mean must be bit-identical under any sharding"
+            );
+            prop_assert_eq!(merged.min(), sequential.min());
+            prop_assert_eq!(merged.max(), sequential.max());
+            let (v, sv) = (merged.variance().unwrap(), sequential.variance().unwrap());
+            prop_assert!((v - sv).abs() <= 1e-6 * sv.max(1.0), "var {v} vs {sv}");
+        }
+    }
+
+    /// Below capacity the reservoir is exact: every quantile equals the
+    /// `Ecdf` nearest-rank quantile on the same samples, bit for bit.
+    #[test]
+    fn quantiles_exact_below_capacity(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..256),
+        seed in 0u64..1_000,
+    ) {
+        let mut q = StreamQuantiles::new(seed, 256);
+        for &x in &samples {
+            q.push(x);
+        }
+        prop_assert!(q.is_exact());
+        let exact = Ecdf::new(samples);
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            prop_assert_eq!(q.quantile(p), exact.quantile(p));
+        }
+    }
+
+    /// Above capacity the reservoir is a uniform subsample: its
+    /// quantile estimates stay within a rank-error window of the exact
+    /// distribution (±0.2 rank at capacity 256 is > 6 standard errors).
+    #[test]
+    fn quantiles_within_rank_tolerance_above_capacity(
+        samples in prop::collection::vec(-1e6f64..1e6, 600..1500),
+        seed in 0u64..1_000,
+    ) {
+        let mut q = StreamQuantiles::new(seed, 256);
+        for &x in &samples {
+            q.push(x);
+        }
+        prop_assert_eq!(q.retained(), 256);
+        let exact = Ecdf::new(samples);
+        for i in 1..10 {
+            let p = i as f64 / 10.0;
+            let est = q.quantile(p).unwrap();
+            let lo = exact.quantile((p - 0.2).max(0.0)).unwrap();
+            let hi = exact.quantile((p + 0.2).min(1.0)).unwrap();
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "q{p}: estimate {est} outside exact band [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// Reservoir merging is order-insensitive: any merge order of
+    /// distinct-seed shards retains the identical sample set (hence
+    /// bit-identical quantiles), and the total count is exact.
+    #[test]
+    fn reservoir_merge_is_order_insensitive(
+        samples in prop::collection::vec(-1e6f64..1e6, 10..600),
+        shards in 2usize..6,
+        capacity in 16usize..128,
+    ) {
+        let per = samples.len().div_ceil(shards);
+        let parts: Vec<StreamQuantiles> = samples
+            .chunks(per.max(1))
+            .enumerate()
+            .map(|(i, chunk)| {
+                // Distinct per-shard seeds, like the runner's cell seeds.
+                let mut q = StreamQuantiles::new(1000 + i as u64, capacity);
+                for &x in chunk {
+                    q.push(x);
+                }
+                q
+            })
+            .collect();
+        let mut in_order = parts[0].clone();
+        for p in &parts[1..] {
+            in_order.merge(p);
+        }
+        let mut reversed = parts[parts.len() - 1].clone();
+        for p in parts[..parts.len() - 1].iter().rev() {
+            reversed.merge(p);
+        }
+        prop_assert_eq!(in_order.ecdf(), reversed.ecdf());
+        prop_assert_eq!(in_order.count(), samples.len() as u64);
+        prop_assert_eq!(reversed.count(), samples.len() as u64);
+        prop_assert!(in_order.retained() <= capacity);
+    }
+
+    /// The replication CI always brackets the mean, shrinks with more
+    /// replications of the same spread, and collapses at zero variance.
+    #[test]
+    fn ci_brackets_the_mean(values in prop::collection::vec(-1e3f64..1e3, 2..40)) {
+        let ci = mean_ci95(&values).unwrap();
+        prop_assert_eq!(ci.n, values.len());
+        let h = ci.half_width.unwrap();
+        prop_assert!(h >= 0.0);
+        prop_assert!(ci.lo() <= ci.mean && ci.mean <= ci.hi());
+        let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((ci.mean - exact_mean).abs() <= 1e-9 * exact_mean.abs().max(1.0));
+        // Identical values: zero-width interval.
+        let flat = vec![values[0]; values.len()];
+        prop_assert_eq!(mean_ci95(&flat).unwrap().half_width, Some(0.0));
+    }
+}

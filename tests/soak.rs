@@ -5,8 +5,8 @@
 use malleable_koala::appsim::workload::WorkloadSpec;
 use malleable_koala::appsim::GrowInitiative;
 use malleable_koala::koala::config::ExperimentConfig;
-use malleable_koala::koala::run_experiment;
-use malleable_koala::simcore::SimTime;
+use malleable_koala::koala::{run_experiment, run_experiment_summary};
+use malleable_koala::simcore::{SimDuration, SimTime};
 
 #[test]
 fn six_hundred_jobs_with_everything_enabled() {
@@ -53,6 +53,95 @@ fn six_hundred_jobs_with_everything_enabled() {
         r.grow_ops.total()
     );
     assert!(r.grow_ops.total() > 0 && r.shrink_ops.total() > 0);
+}
+
+#[test]
+fn summarized_long_horizon_soak_holds_the_same_invariants() {
+    // The same deliberately busy configuration as the full-path soak —
+    // mixed classes, initiatives, heterogeneous clusters, PWA shrinking
+    // — but through the memory-bounded path, with a warmup window and a
+    // deliberately small reservoir so the bounded-memory machinery
+    // (not just the small-sample exact case) soaks too.
+    let mut cfg = ExperimentConfig::paper_pwa("egs", WorkloadSpec::wm_prime());
+    cfg.workload.jobs = 600;
+    cfg.workload.malleable_fraction = 0.6;
+    cfg.workload.moldable_fraction = 0.2;
+    cfg.workload.initiative = Some(GrowInitiative {
+        at_progress: 0.5,
+        extra: 6,
+    });
+    cfg.workload.initiative_fraction = 0.3;
+    cfg.heterogeneous = true;
+    cfg.seed = 2024;
+    cfg.report.warmup = SimDuration::from_secs(600);
+    cfg.report.quantile_capacity = 128;
+    let r = run_experiment_summary(&cfg);
+
+    // Completion invariants hold without a job table.
+    assert_eq!(r.jobs_submitted, 600);
+    assert_eq!(r.jobs_completed, 600);
+    assert_eq!(r.jobs_failed, 0);
+    assert!((r.completion_ratio() - 1.0).abs() < 1e-12);
+    assert!(r.makespan > SimTime::ZERO);
+    assert!(r.grow_ops > 0 && r.shrink_ops > 0);
+    assert!(r.grow_messages >= r.grow_ops && r.shrink_messages >= r.shrink_ops);
+
+    // Platform-wide sanity on the streamed aggregates.
+    assert!(
+        (0.0..=272.0).contains(&r.mean_utilization()),
+        "mean utilization {} outside [0, 272]",
+        r.mean_utilization()
+    );
+    assert!(r.mean_koala_utilization() <= r.mean_utilization() + 1e-9);
+
+    // Per-job streams: every post-warmup completion measured, times
+    // positive and ordered (wait + exec = response at the mean too,
+    // since the mean is linear).
+    let n = r.execution_time.count();
+    assert!(n > 0 && n < 600, "warmup must trim some of 600, kept {n}");
+    for stream in [
+        &r.execution_time,
+        &r.response_time,
+        &r.avg_size,
+        &r.max_size,
+    ] {
+        assert_eq!(stream.count(), n);
+        assert!(stream.stats.min().unwrap() >= 0.0);
+    }
+    let (exec, wait, resp) = (
+        r.execution_time.mean().unwrap(),
+        r.wait_time.mean().unwrap(),
+        r.response_time.mean().unwrap(),
+    );
+    assert!((exec + wait - resp).abs() < 1e-6 * resp.max(1.0));
+    assert!(r.avg_size.stats.min().unwrap() >= 2.0, "sizes start at 2");
+    assert!(r.max_size.stats.max().unwrap() <= 272.0);
+
+    // The memory bound: no stream retains more than the reservoir
+    // capacity even over a 600-job horizon.
+    for stream in [
+        &r.execution_time,
+        &r.response_time,
+        &r.wait_time,
+        &r.avg_size,
+        &r.max_size,
+        &r.slowdown,
+    ] {
+        assert!(stream.quantiles.retained() <= 128);
+    }
+
+    // Mode passivity at soak scale: the trajectory matches the full
+    // path bit for bit (the full-path soak above runs the identical
+    // configuration without warmup trimming).
+    let mut full_cfg = cfg.clone();
+    full_cfg.report = Default::default();
+    let full = run_experiment(&full_cfg);
+    assert_eq!(r.events, full.events);
+    assert_eq!(r.makespan, full.makespan);
+    assert_eq!(r.grow_messages, full.grow_messages);
+    assert_eq!(r.shrink_messages, full.shrink_messages);
+    assert!(r.grow_ops as usize <= full.grow_ops.total());
+    assert!(r.shrink_ops as usize <= full.shrink_ops.total());
 }
 
 #[test]
