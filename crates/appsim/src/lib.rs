@@ -21,8 +21,15 @@
 //! * [`ReconfigCost`] — grow/shrink overhead models.
 //! * [`workload`] — the paper's workloads Wm, Wmr, W'm, W'mr and a
 //!   general generator.
+//! * [`generate`] — the model-driven workload engine: seeded
+//!   [`generate::JobStream`]s behind the object-safe
+//!   [`generate::WorkloadSource`] trait, with the name-indexed
+//!   [`generate::WorkloadRegistry`] (Poisson/bursty arrivals,
+//!   log-uniform and Lublin–Feitelson-style job mixes, Downey-style
+//!   speedup sampling).
 //! * [`swf`] — Standard Workload Format import/export for replaying real
-//!   traces from the Parallel Workloads Archive.
+//!   traces from the Parallel Workloads Archive, eagerly or through the
+//!   O(1)-memory [`swf::SwfStream`] reader.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +40,7 @@ mod progress;
 mod reconfig;
 
 pub mod dynaco;
+pub mod generate;
 pub mod speedup;
 pub mod swf;
 pub mod workload;

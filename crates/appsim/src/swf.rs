@@ -22,6 +22,7 @@
 
 use simcore::{SimDuration, SimTime};
 
+use crate::generate::JobStream;
 use crate::job::{AppKind, JobClass, JobSpec};
 use crate::speedup::SpeedupModel;
 use crate::workload::SubmittedJob;
@@ -58,6 +59,14 @@ pub enum SwfError {
         /// 1-based field index.
         field: usize,
     },
+    /// The underlying reader failed (streaming input only; in-memory
+    /// parsing never produces this).
+    Io {
+        /// 1-based line number the failure occurred at.
+        line: usize,
+        /// The I/O error's message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SwfError {
@@ -69,49 +78,122 @@ impl std::fmt::Display for SwfError {
             SwfError::BadNumber { line, field } => {
                 write!(f, "line {line}: field {field} is not a number")
             }
+            SwfError::Io { line, message } => {
+                write!(f, "line {line}: read failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for SwfError {}
 
-/// Parses SWF text into records, skipping header/comment lines.
-pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
-        }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 18 {
-            return Err(SwfError::TooFewFields {
-                line: lineno + 1,
-                found: fields.len(),
-            });
-        }
-        let num = |i: usize| -> Result<f64, SwfError> {
-            // Non-finite values ("nan", "inf") parse as f64 but would
-            // poison work-scale arithmetic downstream; reject them here
-            // with the field position, like any other malformed number.
-            fields[i - 1]
-                .parse::<f64>()
-                .ok()
-                .filter(|v| v.is_finite())
-                .ok_or(SwfError::BadNumber {
-                    line: lineno + 1,
-                    field: i,
-                })
-        };
-        out.push(SwfRecord {
-            job_id: num(1)? as i64,
-            submit_s: num(2)?,
-            runtime_s: num(4)?,
-            allocated: num(5)? as i64,
-            requested: num(8)? as i64,
+/// Parses one (pre-trimmed, non-comment) data line at 1-based `lineno`.
+fn parse_record_line(line: &str, lineno: usize) -> Result<SwfRecord, SwfError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 18 {
+        return Err(SwfError::TooFewFields {
+            line: lineno,
+            found: fields.len(),
         });
     }
-    Ok(out)
+    let num = |i: usize| -> Result<f64, SwfError> {
+        // Non-finite values ("nan", "inf") parse as f64 but would
+        // poison work-scale arithmetic downstream; reject them here
+        // with the field position, like any other malformed number.
+        fields[i - 1]
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or(SwfError::BadNumber {
+                line: lineno,
+                field: i,
+            })
+    };
+    Ok(SwfRecord {
+        job_id: num(1)? as i64,
+        submit_s: num(2)?,
+        runtime_s: num(4)?,
+        allocated: num(5)? as i64,
+        requested: num(8)? as i64,
+    })
+}
+
+/// An incremental SWF reader: yields one [`SwfRecord`] per data line in
+/// O(1) memory (a single reused line buffer), skipping `;` comments and
+/// blank lines. This is the trace path million-job workloads stream
+/// through; the eager [`parse`] is a thin wrapper over it, so the two
+/// cannot diverge.
+///
+/// A trailing data line without a newline at EOF is still yielded — the
+/// classic incremental-reader edge case, pinned by regression test.
+pub struct SwfStream<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: std::io::BufRead> SwfStream<R> {
+    /// Wraps a buffered reader positioned at the start of an SWF
+    /// document.
+    pub fn new(reader: R) -> Self {
+        SwfStream {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            done: false,
+        }
+    }
+
+    /// The number of (physical) lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for SwfStream<R> {
+    type Item = Result<SwfRecord, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    // EOF. `read_line` already returned any final line
+                    // lacking a terminating newline on the previous
+                    // call, so there is nothing left to yield.
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SwfError::Io {
+                        line: self.lineno + 1,
+                        message: e.to_string(),
+                    }));
+                }
+            }
+            self.lineno += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            let parsed = parse_record_line(line, self.lineno);
+            if parsed.is_err() {
+                self.done = true;
+            }
+            return Some(parsed);
+        }
+        None
+    }
+}
+
+/// Parses SWF text into records, skipping header/comment lines — the
+/// eager wrapper over [`SwfStream`] (round-trip equivalence is
+/// proptested).
+pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
+    SwfStream::new(std::io::Cursor::new(text.as_bytes())).collect()
 }
 
 /// Conversion policy from SWF records to simulator jobs.
@@ -138,58 +220,116 @@ impl Default for SwfImport {
 }
 
 impl SwfImport {
-    /// Converts parsed records into a submitted-job stream.
+    /// Converts one parsed record into a submitted job, or `None` when
+    /// the record is skipped.
     ///
     /// Records with unknown runtime or non-positive processor counts are
-    /// skipped (the SWF convention for cancelled/failed jobs). The SWF
-    /// runtime at the allocated size determines each job's work scale:
-    /// a job that ran `r` seconds on `p` processors gets
-    /// `work_scale = r / T_model(p)`, so replaying it rigidly at `p`
-    /// reproduces `r` exactly.
-    pub fn convert(&self, records: &[SwfRecord]) -> Vec<SubmittedJob> {
-        let model = self.kind.model();
-        let mut out = Vec::new();
-        for r in records {
-            if r.runtime_s <= 0.0 || r.allocated <= 0 {
-                continue;
-            }
-            let alloc = r.allocated as u32;
-            let work_scale = r.runtime_s / model.exec_time(alloc);
-            let class = if self.as_malleable {
-                let max = if r.requested > r.allocated {
-                    r.requested as u32
-                } else {
-                    self.kind.paper_max_size().max(alloc)
-                };
-                let min = self.min_size.min(alloc).max(1);
-                // The initial size must satisfy the application's
-                // constraint; fall back to the constraint floor.
-                let initial = self.kind.constraint().floor(alloc).unwrap_or(min);
-                JobClass::Malleable {
-                    min,
-                    max,
-                    initial: initial.clamp(min, max),
-                }
-            } else {
-                JobClass::Rigid { size: alloc }
-            };
-            let spec = JobSpec {
-                kind: self.kind.clone(),
-                class,
-                work_scale,
-                initiative: None,
-                coalloc: None,
-                input_files: Vec::new(),
-            };
-            if spec.validate().is_err() {
-                continue; // sizes incompatible with the app constraint
-            }
-            out.push(SubmittedJob {
-                at: SimTime::from_secs_f64(r.submit_s.max(0.0)),
-                spec,
-            });
+    /// skipped (the SWF convention for cancelled/failed jobs), as are
+    /// records whose sizes are incompatible with the application's
+    /// constraint. The SWF runtime at the allocated size determines the
+    /// job's work scale: a job that ran `r` seconds on `p` processors
+    /// gets `work_scale = r / T_model(p)`, so replaying it rigidly at
+    /// `p` reproduces `r` exactly.
+    pub fn convert_one(&self, r: &SwfRecord) -> Option<SubmittedJob> {
+        if r.runtime_s <= 0.0 || r.allocated <= 0 {
+            return None;
         }
-        out
+        let model = self.kind.model();
+        let alloc = r.allocated as u32;
+        let work_scale = r.runtime_s / model.exec_time(alloc);
+        let class = if self.as_malleable {
+            let max = if r.requested > r.allocated {
+                r.requested as u32
+            } else {
+                self.kind.paper_max_size().max(alloc)
+            };
+            let min = self.min_size.min(alloc).max(1);
+            // The initial size must satisfy the application's
+            // constraint; fall back to the constraint floor.
+            let initial = self.kind.constraint().floor(alloc).unwrap_or(min);
+            JobClass::Malleable {
+                min,
+                max,
+                initial: initial.clamp(min, max),
+            }
+        } else {
+            JobClass::Rigid { size: alloc }
+        };
+        let spec = JobSpec {
+            kind: self.kind.clone(),
+            class,
+            work_scale,
+            initiative: None,
+            coalloc: None,
+            input_files: Vec::new(),
+        };
+        if spec.validate().is_err() {
+            return None; // sizes incompatible with the app constraint
+        }
+        Some(SubmittedJob {
+            at: SimTime::from_secs_f64(r.submit_s.max(0.0)),
+            spec,
+        })
+    }
+
+    /// Converts parsed records into a submitted-job stream (skipping
+    /// records per [`SwfImport::convert_one`]).
+    pub fn convert(&self, records: &[SwfRecord]) -> Vec<SubmittedJob> {
+        records.iter().filter_map(|r| self.convert_one(r)).collect()
+    }
+}
+
+/// A streaming trace replay: an SWF reader composed with an import
+/// policy, yielding simulator jobs through the workload engine's
+/// [`JobStream`] interface — so a million-job archive trace feeds the
+/// scheduler's streaming intake without ever materializing a
+/// `Vec<SubmittedJob>`.
+///
+/// Malformed input stops the stream at the offending line; the error is
+/// kept for the caller to inspect through [`SwfJobStream::error`]
+/// (streams have no per-item error channel).
+pub struct SwfJobStream<R> {
+    stream: SwfStream<R>,
+    import: SwfImport,
+    error: Option<SwfError>,
+}
+
+impl<R: std::io::BufRead> SwfJobStream<R> {
+    /// Opens a streaming replay over `reader` with the given import
+    /// policy.
+    pub fn new(reader: R, import: SwfImport) -> Self {
+        SwfJobStream {
+            stream: SwfStream::new(reader),
+            import,
+            error: None,
+        }
+    }
+
+    /// The parse error that terminated the stream, if any.
+    pub fn error(&self) -> Option<&SwfError> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: std::io::BufRead> JobStream for SwfJobStream<R> {
+    fn next_job(&mut self) -> Option<SubmittedJob> {
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            match self.stream.next() {
+                None => return None,
+                Some(Err(e)) => {
+                    self.error = Some(e);
+                    return None;
+                }
+                Some(Ok(r)) => {
+                    if let Some(j) = self.import.convert_one(&r) {
+                        return Some(j);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -428,6 +568,110 @@ mod tests {
         let e3 = export(&j3);
         assert_eq!(j2.len(), j3.len());
         assert_eq!(e2, e3, "export∘parse∘convert must be a fixed point");
+    }
+
+    #[test]
+    fn trailing_line_without_newline_is_still_yielded() {
+        // The streaming edge case: a final data line with no '\n' at EOF
+        // must be yielded, not dropped by the EOF check — in both the
+        // streaming reader and the eager wrapper, and regardless of the
+        // reader's buffer size.
+        let text = "; hdr\n1 0 5 120 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+                    2 120 3 600 2 -1 -1 46 -1 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        assert!(!text.ends_with('\n'));
+        let eager = parse(text).unwrap();
+        assert_eq!(eager.len(), 2, "eager parse dropped the final line");
+        assert_eq!(eager[1].submit_s, 120.0);
+        let streamed: Vec<SwfRecord> = SwfStream::new(std::io::Cursor::new(text.as_bytes()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        // A 1-byte BufReader forces the reader through every refill path.
+        let tiny = std::io::BufReader::with_capacity(1, std::io::Cursor::new(text.as_bytes()));
+        let chunked: Vec<SwfRecord> = SwfStream::new(tiny).collect::<Result<_, _>>().unwrap();
+        assert_eq!(chunked, eager);
+        // Errors on an unterminated final line carry the right position.
+        let bad = "; hdr\n1 2 3";
+        assert_eq!(
+            parse(bad).unwrap_err(),
+            SwfError::TooFewFields { line: 2, found: 3 }
+        );
+    }
+
+    #[test]
+    fn stream_matches_eager_parse_and_stops_at_first_error() {
+        let ok = SAMPLE;
+        let streamed: Vec<SwfRecord> = SwfStream::new(std::io::Cursor::new(ok.as_bytes()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, parse(ok).unwrap());
+        // After an error the stream terminates (no further items).
+        let bad = "1 0 5 120 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+                   garbage\n\
+                   2 120 3 600 2 -1 -1 46 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let mut s = SwfStream::new(std::io::Cursor::new(bad.as_bytes()));
+        assert!(s.next().unwrap().is_ok());
+        assert_eq!(
+            s.next().unwrap().unwrap_err(),
+            SwfError::TooFewFields { line: 2, found: 1 }
+        );
+        assert!(s.next().is_none(), "stream must stop after an error");
+        assert_eq!(s.lines_read(), 2);
+    }
+
+    #[test]
+    fn swf_job_stream_matches_eager_convert() {
+        let imp = SwfImport::default();
+        let eager = imp.convert(&parse(SAMPLE).unwrap());
+        let mut s = SwfJobStream::new(std::io::Cursor::new(SAMPLE.as_bytes()), imp);
+        let streamed: Vec<SubmittedJob> = std::iter::from_fn(|| s.next_job()).collect();
+        assert_eq!(streamed, eager);
+        assert!(s.error().is_none());
+        // A malformed line surfaces through error() after the stream ends.
+        let bad = "1 0 5 120 2 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\nbroken\n";
+        let mut s = SwfJobStream::new(std::io::Cursor::new(bad.as_bytes()), SwfImport::default());
+        assert!(s.next_job().is_some());
+        assert!(s.next_job().is_none());
+        assert_eq!(
+            s.error(),
+            Some(&SwfError::TooFewFields { line: 2, found: 1 })
+        );
+    }
+
+    #[test]
+    fn io_errors_surface_with_their_line_position() {
+        struct FailAfter {
+            inner: std::io::Cursor<&'static [u8]>,
+            reads: usize,
+        }
+        impl std::io::Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::io::Read::read(&mut self.inner, buf)
+            }
+        }
+        impl std::io::BufRead for FailAfter {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if self.reads > 0 {
+                    self.reads -= 1;
+                    return std::io::BufRead::fill_buf(&mut self.inner);
+                }
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn consume(&mut self, amt: usize) {
+                std::io::BufRead::consume(&mut self.inner, amt)
+            }
+        }
+        let mut s = SwfStream::new(FailAfter {
+            inner: std::io::Cursor::new(b"; header only, then the reader dies"),
+            reads: 0,
+        });
+        match s.next() {
+            Some(Err(SwfError::Io { line: 1, message })) => {
+                assert!(message.contains("disk on fire"))
+            }
+            other => panic!("expected an Io error, got {other:?}"),
+        }
+        assert!(s.next().is_none());
     }
 
     #[test]

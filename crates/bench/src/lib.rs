@@ -129,6 +129,78 @@ pub fn scenario_matrix(
     out
 }
 
+/// The workload sources the `workloads` matrix binary sweeps (a
+/// representative slice of the registry: the paper mix under Poisson
+/// arrivals, both size/runtime models, and a bursty arrival process).
+pub const WORKLOAD_SOURCES: [&str; 4] = [
+    "paper_poisson",
+    "poisson_loguniform",
+    "poisson_lublin",
+    "bursty_lublin",
+];
+
+/// The malleability policies of the workloads matrix.
+pub const WORKLOAD_POLICIES: [&str; 2] = ["fpsma", "egs"];
+
+/// The cluster-count axis of the workloads matrix: `(clusters,
+/// nodes_per_cluster)` at near-constant total capacity (~272 nodes, the
+/// DAS-3 total), so the sweep isolates fragmentation effects.
+pub const WORKLOAD_TOPOLOGIES: [(u32, u32); 3] = [(2, 136), (5, 54), (10, 27)];
+
+/// The `workloads` matrix: workload source × malleability policy ×
+/// cluster count, each cell summarized with `jobs` jobs. Cell names are
+/// `"POLICY/SOURCE@CxN"` (e.g. `"EGS/PoisLF@5x54"`), derived from the
+/// registry labels so matrices cannot drift from the sources they run.
+///
+/// # Panics
+/// Panics when a source or policy name does not resolve — matrices are
+/// static experiment definitions, and a typo should fail loudly.
+pub fn workloads_matrix(jobs: usize) -> Vec<ExperimentConfig> {
+    let registry = PolicyRegistry::global();
+    let workloads = appsim::generate::WorkloadRegistry::global();
+    let mut out = Vec::new();
+    for &source in &WORKLOAD_SOURCES {
+        for &policy in &WORKLOAD_POLICIES {
+            for &(clusters, nodes) in &WORKLOAD_TOPOLOGIES {
+                let src = workloads.source(source).expect("registered source");
+                let ml = registry.malleability(policy).expect("registered policy");
+                out.push(
+                    Scenario::builder()
+                        .workload(source)
+                        .malleability(policy)
+                        .jobs(jobs)
+                        .topology(koala::Topology::Uniform {
+                            clusters,
+                            nodes_per_cluster: nodes,
+                        })
+                        .name(format!(
+                            "{}/{}@{}x{}",
+                            ml.label(),
+                            src.label(),
+                            clusters,
+                            nodes
+                        ))
+                        .summarized()
+                        .build()
+                        .expect("matrix cell must be a valid scenario")
+                        .into_config(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The CSV artifacts of a workloads-matrix run as `(file name, text)`
+/// pairs — currently the replication `mean ± 95 % CI` table. Pinned by
+/// the golden regression test.
+pub fn workloads_summary_outputs(reports: &[MultiSummary]) -> Vec<(String, String)> {
+    vec![(
+        "workloads_summary_ci.csv".to_string(),
+        summary_ci_csv(reports),
+    )]
+}
+
 /// Runs one paper cell across [`SEEDS`] on the parallel cell runner.
 pub fn run_cell(cfg: &ExperimentConfig) -> MultiReport {
     run_seeds(cfg, &SEEDS)

@@ -56,6 +56,11 @@ impl Approach {
 pub enum ConfigError {
     /// A policy name did not resolve against the registry.
     Policy(PolicyError),
+    /// A workload-source name did not resolve against the workload
+    /// registry (see [`appsim::generate::WorkloadRegistry`]).
+    Workload(appsim::generate::UnknownSource),
+    /// A uniform topology with zero clusters or zero nodes per cluster.
+    EmptyTopology,
     /// `koala_share` outside `[0, 1]`.
     KoalaShareOutOfRange(f64),
     /// `koala_share` of zero admits no jobs at all.
@@ -90,6 +95,10 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::Policy(e) => e.fmt(f),
+            ConfigError::Workload(e) => e.fmt(f),
+            ConfigError::EmptyTopology => {
+                write!(f, "uniform topology needs at least one node in one cluster")
+            }
             ConfigError::KoalaShareOutOfRange(v) => {
                 write!(f, "koala_share {v} outside [0, 1]")
             }
@@ -125,6 +134,7 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Policy(e) => Some(e),
+            ConfigError::Workload(e) => Some(e),
             _ => None,
         }
     }
@@ -133,6 +143,12 @@ impl std::error::Error for ConfigError {
 impl From<PolicyError> for ConfigError {
     fn from(e: PolicyError) -> Self {
         ConfigError::Policy(e)
+    }
+}
+
+impl From<appsim::generate::UnknownSource> for ConfigError {
+    fn from(e: appsim::generate::UnknownSource) -> Self {
+        ConfigError::Workload(e)
     }
 }
 
@@ -263,6 +279,17 @@ impl Default for ReportConfig {
     }
 }
 
+/// A uniform synthetic multicluster: `clusters` identical sites of
+/// `nodes_per_cluster` nodes each (see [`multicluster::uniform`]) — the
+/// cluster-count axis of workload sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct UniformTopology {
+    /// Number of identical clusters.
+    pub clusters: u32,
+    /// Nodes per cluster.
+    pub nodes_per_cluster: u32,
+}
+
 /// A complete experiment: scheduler + workload + environment + seed.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ExperimentConfig {
@@ -272,6 +299,13 @@ pub struct ExperimentConfig {
     pub sched: SchedulerConfig,
     /// The KOALA workload.
     pub workload: WorkloadSpec,
+    /// Registry name of a model-driven workload source
+    /// ([`appsim::generate::WorkloadRegistry`]). When set, the job
+    /// stream comes from the named generator (seeded with the cell seed,
+    /// `workload.jobs` jobs) instead of `workload`; an explicit `trace`
+    /// still wins over both.
+    #[serde(default)]
+    pub generator: Option<String>,
     /// Background (local-user) load applied to every cluster.
     pub background: BackgroundLoad,
     /// Master seed; workload, background and any stochastic choices all
@@ -288,6 +322,10 @@ pub struct ExperimentConfig {
     /// instead of the homogeneous Table I preset.
     #[serde(default)]
     pub heterogeneous: bool,
+    /// Replace DAS-3 with a uniform synthetic multicluster (takes
+    /// precedence over `heterogeneous`) — the cluster-count sweep axis.
+    #[serde(default)]
+    pub uniform_topology: Option<UniformTopology>,
     /// Summary-report tunables (warmup trimming, quantile capacity).
     #[serde(default)]
     pub report: ReportConfig,
@@ -361,6 +399,14 @@ impl ExperimentConfig {
     /// every job of an explicit trace.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.sched.validate()?;
+        if let Some(name) = &self.generator {
+            appsim::generate::WorkloadRegistry::global().source(name)?;
+        }
+        if let Some(u) = &self.uniform_topology {
+            if u.clusters == 0 || u.nodes_per_cluster == 0 {
+                return Err(ConfigError::EmptyTopology);
+            }
+        }
         let w = &self.workload;
         if w.malleable_fraction < 0.0 || w.moldable_fraction < 0.0 {
             return Err(ConfigError::NegativeClassFraction);
@@ -370,7 +416,7 @@ impl ExperimentConfig {
                 w.malleable_fraction + w.moldable_fraction,
             ));
         }
-        if w.apps.is_empty() && self.trace.is_none() {
+        if w.apps.is_empty() && self.trace.is_none() && self.generator.is_none() {
             return Err(ConfigError::EmptyWorkload);
         }
         if let Some(trace) = &self.trace {
@@ -388,9 +434,19 @@ impl ExperimentConfig {
 
     /// Generates exactly the workload a run with `seed` would see
     /// (the same RNG forking as `World::new`), e.g. for SWF export.
+    ///
+    /// # Panics
+    /// Panics when `generator` names an unregistered source (validate
+    /// first for a `Result`-shaped path).
     pub fn generate_workload_for_seed(&self, seed: u64) -> Vec<appsim::workload::SubmittedJob> {
         if let Some(trace) = &self.trace {
             return trace.clone();
+        }
+        if let Some(name) = &self.generator {
+            let src = appsim::generate::WorkloadRegistry::global()
+                .source(name)
+                .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+            return src.generate(seed, self.workload.jobs as u64);
         }
         let mut master = simcore::SimRng::seed_from_u64(seed);
         let mut wl_rng = master.fork(1);
@@ -471,6 +527,43 @@ mod tests {
         let err = bad.validate().unwrap_err();
         assert!(matches!(err, ConfigError::Policy(_)));
         assert!(err.to_string().contains("not_a_policy"));
+    }
+
+    #[test]
+    fn generator_and_topology_fields_validate() {
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.generator = Some("poisson_lublin".to_string());
+        cfg.validate().unwrap();
+        // A generator stands in for an app mix.
+        cfg.workload.apps.clear();
+        cfg.validate().unwrap();
+        cfg.generator = Some("not_a_source".to_string());
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Workload(_)), "{err}");
+        assert!(err.to_string().contains("not_a_source"));
+        assert!(err.to_string().contains("poisson_lublin"), "{err}");
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.uniform_topology = Some(UniformTopology {
+            clusters: 4,
+            nodes_per_cluster: 64,
+        });
+        cfg.validate().unwrap();
+        cfg.uniform_topology = Some(UniformTopology {
+            clusters: 0,
+            nodes_per_cluster: 64,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyTopology));
+    }
+
+    #[test]
+    fn generator_workloads_reproduce_per_seed() {
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.generator = Some("poisson_loguniform".to_string());
+        cfg.workload.jobs = 30;
+        let a = cfg.generate_workload_for_seed(7);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a, cfg.generate_workload_for_seed(7));
+        assert_ne!(a, cfg.generate_workload_for_seed(8));
     }
 
     #[test]

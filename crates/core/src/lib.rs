@@ -75,17 +75,20 @@ mod job;
 
 pub use config::{
     Approach, ClaimingPolicy, ConfigError, ExperimentConfig, ReportConfig, SchedulerConfig,
+    UniformTopology,
 };
 pub use ids::JobId;
 pub use job::{Job, JobPhase};
 pub use parallel::{
-    run_seeds_sequential, run_seeds_summary_sequential, run_seeds_summary_with_threads,
-    run_seeds_with_threads,
+    run_seeds_sequential, run_seeds_stream_summary_sequential,
+    run_seeds_stream_summary_with_threads, run_seeds_summary_sequential,
+    run_seeds_summary_with_threads, run_seeds_with_threads,
 };
 pub use policy::{Malleability, Placement, PolicyError, PolicyRegistry};
 pub use report::{MultiReport, MultiSummary, ReportMode, RunReport, SummaryReport};
-pub use scenario::{Scenario, ScenarioBuilder, Topology};
+pub use scenario::{Scenario, ScenarioBuilder, Topology, WorkloadChoice};
 pub use sim::{
     run_experiment, run_experiment_seeded, run_experiment_summary, run_experiment_summary_seeded,
-    run_seeds, run_seeds_summary, World,
+    run_generator_summary_seeded, run_seeds, run_seeds_summary, run_stream_summary, World,
+    DEFAULT_LOOKAHEAD,
 };

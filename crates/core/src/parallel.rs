@@ -193,6 +193,39 @@ pub fn run_seeds_summary_sequential(cfg: &ExperimentConfig, seeds: &[u64]) -> Mu
     run_seeds_summary_with_threads(cfg, seeds, 1)
 }
 
+/// **Streamed** counterpart of [`run_seeds_summary_with_threads`]: each
+/// cell opens its own job stream from the configuration's workload — an
+/// explicit trace first, else the named generator (`cfg.generator`) —
+/// and runs through the bounded-memory streaming intake (look-ahead
+/// `lookahead`). Cells are independent — each worker owns its stream —
+/// so the merged result is bit-identical to the sequential loop for any
+/// thread count.
+///
+/// # Panics
+/// Panics when the configuration has neither trace nor generator, like
+/// [`crate::sim::run_generator_summary_seeded`].
+pub fn run_seeds_stream_summary_with_threads(
+    cfg: &ExperimentConfig,
+    seeds: &[u64],
+    threads: usize,
+    lookahead: usize,
+) -> MultiSummary {
+    let runs = parallel_map(seeds, threads, |&seed| {
+        crate::sim::run_generator_summary_seeded(cfg, seed, lookahead)
+    });
+    MultiSummary::new(cfg.name.clone(), runs)
+}
+
+/// Single-threaded reference implementation of
+/// [`run_seeds_stream_summary_with_threads`].
+pub fn run_seeds_stream_summary_sequential(
+    cfg: &ExperimentConfig,
+    seeds: &[u64],
+    lookahead: usize,
+) -> MultiSummary {
+    run_seeds_stream_summary_with_threads(cfg, seeds, 1, lookahead)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -234,6 +234,12 @@ pub struct SummaryReport {
     pub failed_submissions: u64,
     /// Events the engine delivered.
     pub events: u64,
+    /// High-water mark of concurrently live jobs — the streaming
+    /// intake's bounded-memory witness. Eager runs materialize the whole
+    /// workload, so this equals `jobs_submitted` there; a streamed
+    /// million-job run reports the in-flight peak instead (merges take
+    /// the maximum across runs).
+    pub peak_live_jobs: u64,
     /// Post-warmup integral of total used processors (processor-seconds).
     util_integral: f64,
     /// Post-warmup integral of KOALA-used processors (processor-seconds).
@@ -297,6 +303,7 @@ impl SummaryReport {
         self.placement_tries += other.placement_tries;
         self.failed_submissions += other.failed_submissions;
         self.events += other.events;
+        self.peak_live_jobs = self.peak_live_jobs.max(other.peak_live_jobs);
         self.util_integral += other.util_integral;
         self.util_koala_integral += other.util_koala_integral;
         self.util_span_s += other.util_span_s;
@@ -399,12 +406,15 @@ pub(crate) struct FullCollector {
 }
 
 /// The memory-bounded collector: streaming accumulators plus one
-/// fixed-size meter per job.
+/// fixed-size meter per **live** job (streamed runs reuse meter slots
+/// as jobs retire, so the meter table tracks in-flight jobs, not the
+/// stream length).
 #[derive(Debug)]
 pub(crate) struct SummaryCollector {
     /// Absolute warmup instant (runs start at time zero).
     warmup: SimTime,
     meters: Vec<JobMeter>,
+    jobs_submitted: u64,
     execution_time: MetricStream,
     response_time: MetricStream,
     wait_time: MetricStream,
@@ -468,27 +478,15 @@ impl Collector {
         })
     }
 
-    /// A summarized collector with one fixed-size meter per workload
-    /// entry; reservoirs are keyed off the cell `seed`.
-    pub(crate) fn summarized(
-        submissions: impl Iterator<Item = SimTime>,
-        seed: u64,
-        report: &ReportConfig,
-    ) -> Collector {
-        let meters = submissions
-            .map(|at| JobMeter {
-                submitted: at,
-                started: None,
-                size: 0.0,
-                last_change: at,
-                size_integral: 0.0,
-                size_max: 0.0,
-            })
-            .collect();
+    /// An empty summarized collector; jobs are registered through
+    /// [`Collector::arrived`] (upfront for eager runs, at arrival for
+    /// streamed ones). Reservoirs are keyed off the cell `seed`.
+    pub(crate) fn summarized(seed: u64, report: &ReportConfig) -> Collector {
         let stream = |i: usize| MetricStream::new(seed ^ STREAM_SALTS[i], report.quantile_capacity);
         Collector::Summary(SummaryCollector {
             warmup: SimTime::ZERO + report.warmup,
-            meters,
+            meters: Vec::new(),
+            jobs_submitted: 0,
             execution_time: stream(0),
             response_time: stream(1),
             wait_time: stream(2),
@@ -510,6 +508,31 @@ impl Collector {
     /// True for the memory-bounded variant.
     pub(crate) fn is_summarized(&self) -> bool {
         matches!(self, Collector::Summary(_))
+    }
+
+    /// A job was submitted: registers its meter at `slot`. Streamed
+    /// worlds reuse slots as jobs retire (the previous occupant's
+    /// metrics were streamed at completion); the full collector builds
+    /// its records upfront, so this is a no-op there.
+    pub(crate) fn arrived(&mut self, slot: usize, at: SimTime) {
+        let Collector::Summary(c) = self else {
+            return;
+        };
+        c.jobs_submitted += 1;
+        let meter = JobMeter {
+            submitted: at,
+            started: None,
+            size: 0.0,
+            last_change: at,
+            size_integral: 0.0,
+            size_max: 0.0,
+        };
+        if slot < c.meters.len() {
+            c.meters[slot] = meter;
+        } else {
+            debug_assert_eq!(slot, c.meters.len(), "meter slots grow densely");
+            c.meters.push(meter);
+        }
     }
 
     /// The job was successfully placed (allocation decided).
@@ -729,6 +752,7 @@ impl SummaryCollector {
         placement_tries: u64,
         failed_submissions: u64,
         events: u64,
+        peak_live_jobs: u64,
     ) -> SummaryReport {
         self.integrate_to(makespan);
         let warmup = self.warmup.saturating_since(SimTime::ZERO);
@@ -736,7 +760,7 @@ impl SummaryCollector {
             name,
             seed,
             warmup,
-            jobs_submitted: self.meters.len() as u64,
+            jobs_submitted: self.jobs_submitted,
             jobs_completed: self.jobs_completed,
             jobs_failed: self.jobs_failed,
             execution_time: self.execution_time,
@@ -754,6 +778,7 @@ impl SummaryCollector {
             placement_tries,
             failed_submissions,
             events,
+            peak_live_jobs,
             util_integral: self.util_integral,
             util_koala_integral: self.util_koala_integral,
             util_span_s: makespan.saturating_since(self.warmup).as_secs_f64(),
@@ -840,8 +865,9 @@ mod tests {
             warmup,
             quantile_capacity: 8,
         };
-        let subs = [SimTime::ZERO, SimTime::from_secs(100)];
-        let mut c = Collector::summarized(subs.iter().copied(), seed, &report);
+        let mut c = Collector::summarized(seed, &report);
+        c.arrived(0, SimTime::ZERO);
+        c.arrived(1, SimTime::from_secs(100));
         let mc = multicluster::das3();
         // Job 0 (pre-warmup, excluded): runs 0→40 s.
         c.started(0, SimTime::ZERO, 2);
@@ -863,6 +889,7 @@ mod tests {
             0,
             0,
             42,
+            2,
         )
     }
 
@@ -915,7 +942,31 @@ mod tests {
     #[should_panic(expected = "use run_to_summary")]
     fn full_unwrap_of_summary_collector_panics() {
         let report = ReportConfig::default();
-        Collector::summarized(std::iter::empty(), 0, &report).into_full();
+        Collector::summarized(0, &report).into_full();
+    }
+
+    #[test]
+    fn meter_slots_are_reused_after_retirement() {
+        // The streamed-intake contract: re-registering a slot replaces
+        // its meter without disturbing already-streamed metrics.
+        let report = ReportConfig::default();
+        let mut c = Collector::summarized(1, &report);
+        c.arrived(0, SimTime::ZERO);
+        c.started(0, SimTime::ZERO, 2);
+        c.completed(0, SimTime::from_secs(50));
+        // Slot 0 reused by a later job.
+        c.arrived(0, SimTime::from_secs(100));
+        c.started(0, SimTime::from_secs(110), 4);
+        c.completed(0, SimTime::from_secs(140));
+        let s =
+            c.into_summary()
+                .finish("T".into(), 1, SimTime::from_secs(140), 0, 0, 0, 0, 0, 0, 1);
+        assert_eq!(s.jobs_submitted, 2);
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.execution_time.count(), 2);
+        assert_eq!(s.execution_time.mean(), Some(40.0), "(50 + 30) / 2");
+        assert_eq!(s.wait_time.mean(), Some(5.0), "(0 + 10) / 2");
+        assert_eq!(s.peak_live_jobs, 1);
     }
 
     #[test]

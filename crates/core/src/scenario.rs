@@ -49,6 +49,46 @@ pub enum Topology {
     Das3,
     /// The heterogeneous DAS-3 variant (per-site compute speeds).
     Das3Heterogeneous,
+    /// A uniform synthetic multicluster: `clusters` identical sites of
+    /// `nodes_per_cluster` nodes (the cluster-count sweep axis).
+    Uniform {
+        /// Number of identical clusters.
+        clusters: u32,
+        /// Nodes per cluster.
+        nodes_per_cluster: u32,
+    },
+}
+
+/// What a scenario's jobs come from: an explicit [`WorkloadSpec`], or a
+/// model-driven source selected **by registry name** (see
+/// [`appsim::generate::WorkloadRegistry`]) — both flow through
+/// [`ScenarioBuilder::workload`], so
+/// `Scenario::builder().workload("poisson_lublin")` works exactly like
+/// `.workload(WorkloadSpec::wm())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadChoice {
+    /// The paper-style declarative workload description.
+    Spec(WorkloadSpec),
+    /// A named source from the workload registry.
+    Source(String),
+}
+
+impl From<WorkloadSpec> for WorkloadChoice {
+    fn from(spec: WorkloadSpec) -> Self {
+        WorkloadChoice::Spec(spec)
+    }
+}
+
+impl From<&str> for WorkloadChoice {
+    fn from(name: &str) -> Self {
+        WorkloadChoice::Source(name.to_string())
+    }
+}
+
+impl From<String> for WorkloadChoice {
+    fn from(name: String) -> Self {
+        WorkloadChoice::Source(name)
+    }
 }
 
 /// Derives the report label of one experiment cell from its policy
@@ -153,6 +193,26 @@ impl Scenario {
     pub fn run_summary_with_threads(&self, threads: usize) -> MultiSummary {
         crate::parallel::run_seeds_summary_with_threads(&self.cfg, &self.seeds, threads)
     }
+
+    /// Runs the scenario through the **streaming intake**: a bounded
+    /// look-ahead window of arrivals, jobs retired at their terminal
+    /// phase, memory-bounded summaries — the path million-job scenarios
+    /// take. An explicit trace streams with its documented precedence;
+    /// otherwise the scenario must be generator-backed (built with
+    /// `.workload("source_name")`). Bit-identical across thread counts,
+    /// like every runner.
+    ///
+    /// # Panics
+    /// Panics when the scenario has neither a trace nor a named
+    /// workload source.
+    pub fn run_summary_streamed(&self, lookahead: usize) -> MultiSummary {
+        crate::parallel::run_seeds_stream_summary_with_threads(
+            &self.cfg,
+            &self.seeds,
+            crate::parallel::default_threads(),
+            lookahead,
+        )
+    }
 }
 
 /// Fluent assembly of a [`Scenario`]. See the module docs for a full
@@ -162,7 +222,7 @@ impl Scenario {
 pub struct ScenarioBuilder {
     name: Option<String>,
     topology: Topology,
-    workload: Option<WorkloadSpec>,
+    workload: Option<WorkloadChoice>,
     jobs: Option<usize>,
     sched: SchedulerConfig,
     background: BackgroundLoad,
@@ -211,9 +271,11 @@ impl ScenarioBuilder {
     }
 
     /// The KOALA workload (required unless a [`ScenarioBuilder::trace`]
-    /// is given).
-    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
-        self.workload = Some(workload);
+    /// is given): either an explicit [`WorkloadSpec`], or the registry
+    /// name of a model-driven source (`.workload("poisson_lublin")`) —
+    /// see [`WorkloadChoice`].
+    pub fn workload(mut self, workload: impl Into<WorkloadChoice>) -> Self {
+        self.workload = Some(workload.into());
         self
     }
 
@@ -349,27 +411,53 @@ impl ScenarioBuilder {
         let malleability = PolicyRegistry::global().malleability(&self.sched.malleability)?;
         // Even trace replays need a WorkloadSpec (engine sizing reads
         // its job count); an empty-app spec is fine alongside a trace.
-        let Some(mut workload) = self.workload else {
+        let Some(choice) = self.workload else {
             return Err(ConfigError::MissingWorkload);
+        };
+        let (mut workload, generator, source_label) = match choice {
+            WorkloadChoice::Spec(spec) => (spec, None, None),
+            WorkloadChoice::Source(name) => {
+                let src = appsim::generate::WorkloadRegistry::global().source(&name)?;
+                // The spec is only a carrier for the job count here; the
+                // jobs come from the named source.
+                let carrier = WorkloadSpec {
+                    apps: Vec::new(),
+                    ..WorkloadSpec::wm()
+                };
+                (carrier, Some(name), Some(src.label().to_string()))
+            }
         };
         // Derive the label before any jobs() scale-down: the name
         // describes the workload family (Wm vs Wm'), which is judged by
         // the nominal span of the *full* spec.
-        let name = self
-            .name
-            .unwrap_or_else(|| cell_label(None, None, malleability.label(), &workload));
+        let name = self.name.unwrap_or_else(|| match &source_label {
+            Some(source) => format!("{}/{}", malleability.label(), source),
+            None => cell_label(None, None, malleability.label(), &workload),
+        });
         if let Some(jobs) = self.jobs {
             workload.jobs = jobs;
         }
+        let uniform_topology = match self.topology {
+            Topology::Uniform {
+                clusters,
+                nodes_per_cluster,
+            } => Some(crate::config::UniformTopology {
+                clusters,
+                nodes_per_cluster,
+            }),
+            _ => None,
+        };
         let cfg = ExperimentConfig {
             name,
             sched: self.sched,
             workload,
+            generator,
             background: self.background,
             seed: self.seed,
             horizon: self.horizon,
             trace: self.trace,
             heterogeneous: self.topology == Topology::Das3Heterogeneous,
+            uniform_topology,
             report: self.report,
         };
         cfg.validate()?;
@@ -526,5 +614,45 @@ mod tests {
             .build()
             .unwrap();
         assert!(s.config().heterogeneous);
+    }
+
+    #[test]
+    fn uniform_topology_lands_in_the_config() {
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .topology(Topology::Uniform {
+                clusters: 8,
+                nodes_per_cluster: 34,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.config().uniform_topology,
+            Some(crate::config::UniformTopology {
+                clusters: 8,
+                nodes_per_cluster: 34
+            })
+        );
+        assert!(!s.config().heterogeneous);
+    }
+
+    #[test]
+    fn workload_by_name_selects_a_generator_and_labels_the_cell() {
+        let s = Scenario::builder()
+            .workload("bursty_lublin")
+            .malleability("egs")
+            .jobs(12)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().generator.as_deref(), Some("bursty_lublin"));
+        assert_eq!(s.config().name, "EGS/BurstLF");
+        assert_eq!(s.config().workload.jobs, 12);
+        // Explicit specs still work through the same setter.
+        let s = Scenario::builder()
+            .workload(WorkloadSpec::wm())
+            .build()
+            .unwrap();
+        assert_eq!(s.config().generator, None);
+        assert_eq!(s.config().name, "FPSMA/Wm");
     }
 }

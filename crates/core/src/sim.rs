@@ -32,7 +32,10 @@
 //! bypassing KOALA; the scheduler only learns about them at the next KIS
 //! poll.
 
+use std::collections::{HashMap, VecDeque};
+
 use appsim::dynaco::Dynaco;
+use appsim::generate::JobStream;
 use appsim::workload::SubmittedJob;
 use appsim::JobClass;
 use multicluster::{
@@ -147,6 +150,175 @@ pub enum Ev {
     },
 }
 
+/// The default streaming look-ahead window: how many future arrivals the
+/// streaming intake keeps scheduled ahead of simulated time (see
+/// [`World::for_stream_summarized`]).
+pub const DEFAULT_LOOKAHEAD: usize = 1024;
+
+/// Where a world's jobs come from.
+///
+/// The eager variant is the classic path: the whole workload is
+/// materialized (generated or an explicit trace) and every arrival is
+/// scheduled at bootstrap. The streaming variant pulls jobs from a
+/// [`JobStream`] through a bounded look-ahead window — at most `window`
+/// arrivals are scheduled ahead of simulated time, so a million-job
+/// trace never exists in memory at once.
+enum Intake<'a> {
+    /// Materialized workload (owned when generated, borrowed for traces).
+    Fixed(std::borrow::Cow<'a, [SubmittedJob]>),
+    /// Incremental intake from a job stream. The stream is borrowed so
+    /// the caller can inspect it after the run (e.g.
+    /// [`appsim::swf::SwfJobStream::error`] — a mid-trace parse failure
+    /// must not masquerade as a successful short run).
+    Stream {
+        src: &'a mut (dyn JobStream + 'a),
+        /// Jobs whose arrival events are scheduled but have not fired
+        /// yet, in arrival order (the bounded look-ahead window).
+        pending: VecDeque<SubmittedJob>,
+        /// Window size.
+        window: usize,
+        /// Next job id to assign.
+        next_id: u32,
+        /// Arrival clamp: streams must be nondecreasing in time; the
+        /// occasional inversion in a real trace is clamped up to this.
+        last_at: SimTime,
+        /// The stream returned `None`.
+        exhausted: bool,
+    },
+}
+
+/// Job storage of a world: a slab indexed by job id.
+///
+/// In **fixed** mode (eager intake) ids are dense indices and jobs stay
+/// in place after completion — exactly the historical `Vec<Job>`
+/// behaviour, with no extra indirection on the hot path. In
+/// **streaming** mode jobs are inserted at arrival and *retired* at
+/// their terminal phase: the slot returns to a free list and the
+/// id→slot map forgets the job, so live memory is bounded by the number
+/// of in-flight jobs, not the trace length.
+struct JobSlab {
+    slots: Vec<Option<Job>>,
+    /// Free slot indices (streaming mode only).
+    free: Vec<u32>,
+    /// Job id → slot (streaming mode only; fixed mode uses id = slot).
+    index: HashMap<u32, u32>,
+    streaming: bool,
+    /// Jobs created and not yet retired.
+    live: usize,
+    /// High-water mark of `live` (the bounded-memory witness).
+    peak_live: usize,
+    /// Jobs ever created.
+    created: u64,
+}
+
+impl JobSlab {
+    /// Fixed-mode storage over a prebuilt job list.
+    fn fixed(jobs: Vec<Job>) -> Self {
+        let n = jobs.len();
+        JobSlab {
+            slots: jobs.into_iter().map(Some).collect(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            streaming: false,
+            live: n,
+            peak_live: n,
+            created: n as u64,
+        }
+    }
+
+    /// Empty streaming-mode storage.
+    fn streaming() -> Self {
+        JobSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            streaming: true,
+            live: 0,
+            peak_live: 0,
+            created: 0,
+        }
+    }
+
+    /// Inserts a newly arrived job (streaming mode), returning its slot.
+    fn insert(&mut self, job: Job) -> usize {
+        debug_assert!(self.streaming, "fixed slabs are prebuilt");
+        let id = job.id.0;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(job);
+                s
+            }
+            None => {
+                self.slots.push(Some(job));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, slot);
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.created += 1;
+        slot as usize
+    }
+
+    /// The collector slot of a live job (fixed mode: its id).
+    fn slot_of(&self, id: JobId) -> usize {
+        if self.streaming {
+            self.index[&id.0] as usize
+        } else {
+            id.index()
+        }
+    }
+
+    /// The job, if it is still live (stale events on retired jobs
+    /// resolve to `None` and are dropped by their handlers).
+    fn get(&self, id: JobId) -> Option<&Job> {
+        if self.streaming {
+            let slot = *self.index.get(&id.0)?;
+            self.slots[slot as usize].as_ref()
+        } else {
+            self.slots.get(id.index()).and_then(Option::as_ref)
+        }
+    }
+
+    /// Mutable access, like [`JobSlab::get`].
+    fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        if self.streaming {
+            let slot = *self.index.get(&id.0)?;
+            self.slots[slot as usize].as_mut()
+        } else {
+            self.slots.get_mut(id.index()).and_then(Option::as_mut)
+        }
+    }
+
+    /// Marks a job terminal. Fixed mode keeps the job in place (reports
+    /// and tests read it); streaming mode frees the slot.
+    fn retire(&mut self, id: JobId) {
+        debug_assert!(self.live > 0, "retire with no live jobs");
+        self.live -= 1;
+        if !self.streaming {
+            return;
+        }
+        let slot = self.index.remove(&id.0).expect("retired job was live");
+        self.slots[slot as usize] = None;
+        self.free.push(slot);
+    }
+
+    /// Live jobs, in slot order.
+    fn iter_live(&self) -> impl Iterator<Item = &Job> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Jobs created and not yet retired.
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of concurrently live jobs.
+    fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
 /// The simulation world. Construct with [`World::new`], drive with
 /// [`World::run_to_completion`] (or use the [`run_experiment`] helper).
 ///
@@ -169,8 +341,8 @@ pub struct World<'a> {
     mc: Multicluster,
     kis: InfoService,
     files: Option<FileCatalog>,
-    workload: std::borrow::Cow<'a, [SubmittedJob]>,
-    jobs: Vec<Job>,
+    intake: Intake<'a>,
+    jobs: JobSlab,
     queue: PlacementQueue,
     /// The measurement sink: a full job-table/step-series collector, or
     /// the memory-bounded streaming one ([`ReportMode`]). Strictly
@@ -194,7 +366,6 @@ pub struct World<'a> {
     /// band on a 272-node system.
     idle_baseline: Vec<u32>,
     arrivals_seen: usize,
-    terminal: usize,
     next_bg_local: u64,
     trace: Trace,
     /// Reusable scratch for [`World::scan_queue`] (scan-order snapshot,
@@ -240,31 +411,28 @@ impl<'a> World<'a> {
     }
 
     fn for_seed_with_mode(cfg: &'a ExperimentConfig, seed: u64, mode: ReportMode) -> Self {
-        let registry = PolicyRegistry::global();
-        let placement = registry
-            .placement(&cfg.sched.placement)
-            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
-        let malleability = registry
-            .malleability(&cfg.sched.malleability)
-            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
         let mut master = SimRng::seed_from_u64(seed);
         let mut wl_rng = master.fork(1);
         let bg_rng = master.fork(2);
-        let workload: std::borrow::Cow<'a, [SubmittedJob]> = match &cfg.trace {
-            Some(trace) => std::borrow::Cow::Borrowed(trace.as_slice()),
-            None => std::borrow::Cow::Owned(cfg.workload.generate(&mut wl_rng)),
+        let workload: std::borrow::Cow<'a, [SubmittedJob]> = match (&cfg.trace, &cfg.generator) {
+            (Some(trace), _) => std::borrow::Cow::Borrowed(trace.as_slice()),
+            (None, Some(name)) => {
+                // The eager generator path: materialize the named
+                // source's stream (small runs; million-job streams go
+                // through `for_stream_summarized`).
+                let src = appsim::generate::WorkloadRegistry::global()
+                    .source(name)
+                    .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+                std::borrow::Cow::Owned(src.generate(seed, cfg.workload.jobs as u64))
+            }
+            (None, None) => std::borrow::Cow::Owned(cfg.workload.generate(&mut wl_rng)),
         };
-        let mc = if cfg.heterogeneous {
-            multicluster::das3_heterogeneous()
-        } else {
-            das3()
-        };
-        let n_clusters = mc.len();
         let jobs: Vec<Job> = workload
             .iter()
             .enumerate()
             .map(|(i, s)| Job::new(JobId(i as u32), s.spec.clone(), s.at))
             .collect();
+        let mc = topology_for(cfg);
         let collect = match mode {
             ReportMode::Full => Collector::full(
                 workload.iter().map(|s| {
@@ -274,12 +442,79 @@ impl<'a> World<'a> {
                         s.at,
                     )
                 }),
-                n_clusters,
+                mc.len(),
             ),
             ReportMode::Summarized => {
-                Collector::summarized(workload.iter().map(|s| s.at), seed, &cfg.report)
+                let mut c = Collector::summarized(seed, &cfg.report);
+                for (i, s) in workload.iter().enumerate() {
+                    c.arrived(i, s.at);
+                }
+                c
             }
         };
+        Self::assemble(
+            cfg,
+            seed,
+            mc,
+            Intake::Fixed(workload),
+            JobSlab::fixed(jobs),
+            collect,
+            bg_rng,
+        )
+    }
+
+    /// Builds a **streaming** world: jobs are pulled incrementally from
+    /// `stream` through a bounded look-ahead `window` (at most that many
+    /// arrivals are scheduled ahead of simulated time) and retired from
+    /// memory at their terminal phase — live memory is bounded by the
+    /// in-flight job count, not the trace length. Streaming worlds are
+    /// summarized-only: a full report would have to materialize per-job
+    /// records, defeating the bound.
+    pub fn for_stream_summarized(
+        cfg: &'a ExperimentConfig,
+        seed: u64,
+        stream: &'a mut (dyn JobStream + 'a),
+        window: usize,
+    ) -> Self {
+        let mut master = SimRng::seed_from_u64(seed);
+        let _wl_rng = master.fork(1); // keep fork labels aligned with the eager path
+        let bg_rng = master.fork(2);
+        let intake = Intake::Stream {
+            src: stream,
+            pending: VecDeque::with_capacity(window.max(1)),
+            window: window.max(1),
+            next_id: 0,
+            last_at: SimTime::ZERO,
+            exhausted: false,
+        };
+        Self::assemble(
+            cfg,
+            seed,
+            topology_for(cfg),
+            intake,
+            JobSlab::streaming(),
+            Collector::summarized(seed, &cfg.report),
+            bg_rng,
+        )
+    }
+
+    fn assemble(
+        cfg: &'a ExperimentConfig,
+        seed: u64,
+        mc: Multicluster,
+        intake: Intake<'a>,
+        jobs: JobSlab,
+        collect: Collector,
+        bg_rng: SimRng,
+    ) -> Self {
+        let registry = PolicyRegistry::global();
+        let placement = registry
+            .placement(&cfg.sched.placement)
+            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+        let malleability = registry
+            .malleability(&cfg.sched.malleability)
+            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+        let n_clusters = mc.len();
         let w_init = World {
             cfg,
             seed,
@@ -288,7 +523,7 @@ impl<'a> World<'a> {
             mc,
             kis: InfoService::new(),
             files: None,
-            workload,
+            intake,
             jobs,
             queue: PlacementQueue::new(),
             collect,
@@ -299,7 +534,6 @@ impl<'a> World<'a> {
             idle_baseline: Vec::new(), // filled below from capacities
 
             arrivals_seen: 0,
-            terminal: 0,
             next_bg_local: 0,
             trace: Trace::disabled(),
             scan_buf: Vec::new(),
@@ -347,16 +581,81 @@ impl<'a> World<'a> {
     }
 
     /// Job phases (tests).
+    ///
+    /// # Panics
+    /// Panics for a retired job of a streaming world (fixed-intake
+    /// worlds keep terminal jobs in place).
     pub fn job_phase(&self, id: JobId) -> JobPhase {
-        self.jobs[id.index()].phase
+        self.jobs.get(id).expect("job retired").phase
+    }
+
+    /// High-water mark of concurrently live jobs — the streaming
+    /// intake's bounded-memory witness (fixed intakes materialize the
+    /// whole workload, so this equals the job count there).
+    pub fn peak_live_jobs(&self) -> usize {
+        self.jobs.peak_live()
+    }
+
+    /// Pulls one job from the stream into the look-ahead window and
+    /// schedules its arrival. Returns `false` when the stream is
+    /// exhausted. No-op for fixed intakes (their arrivals are all
+    /// scheduled at bootstrap).
+    fn pull_one(&mut self, engine: &mut Engine<Ev>) -> bool {
+        let Intake::Stream {
+            src,
+            pending,
+            next_id,
+            last_at,
+            exhausted,
+            ..
+        } = &mut self.intake
+        else {
+            return false;
+        };
+        if *exhausted {
+            return false;
+        }
+        match src.next_job() {
+            Some(mut job) => {
+                // Streams must be nondecreasing in arrival time; clamp
+                // the occasional inversion of a real trace upward so the
+                // event order matches the window order.
+                job.at = job.at.max(*last_at);
+                *last_at = job.at;
+                let id = *next_id;
+                *next_id = next_id
+                    .checked_add(1)
+                    .expect("more than u32::MAX streamed jobs");
+                engine.schedule_at(job.at, Ev::Arrival(id));
+                pending.push_back(job);
+                true
+            }
+            None => {
+                *exhausted = true;
+                false
+            }
+        }
     }
 
     /// Schedules the initial events.
     pub fn bootstrap(&mut self, engine: &mut Engine<Ev>) {
         // KIS poll first so the first arrivals see a snapshot.
         engine.schedule_at(SimTime::ZERO, Ev::KisPoll);
-        for (i, s) in self.workload.iter().enumerate() {
-            engine.schedule_at(s.at, Ev::Arrival(i as u32));
+        match &self.intake {
+            Intake::Fixed(workload) => {
+                for (i, s) in workload.iter().enumerate() {
+                    engine.schedule_at(s.at, Ev::Arrival(i as u32));
+                }
+            }
+            Intake::Stream { window, .. } => {
+                // Prime the look-ahead window.
+                let window = *window;
+                for _ in 0..window {
+                    if !self.pull_one(engine) {
+                        break;
+                    }
+                }
+            }
         }
         engine.schedule_in(self.cfg.sched.queue_scan_period, Ev::QueueScan);
         if self.cfg.background.is_active() {
@@ -376,9 +675,13 @@ impl<'a> World<'a> {
 
     /// True when every KOALA job has reached a terminal state.
     pub fn done(&self) -> bool {
-        self.arrivals_seen == self.workload.len()
-            && self.queue.is_empty()
-            && self.terminal == self.jobs.len()
+        let all_arrived = match &self.intake {
+            Intake::Fixed(workload) => self.arrivals_seen == workload.len(),
+            Intake::Stream {
+                pending, exhausted, ..
+            } => *exhausted && pending.is_empty(),
+        };
+        all_arrived && self.queue.is_empty() && self.jobs.live() == 0
     }
 
     /// Runs the event loop until all jobs are terminal (or the engine
@@ -450,9 +753,31 @@ impl<'a> World<'a> {
 
     fn on_arrival(&mut self, engine: &mut Engine<Ev>, id: JobId) {
         self.arrivals_seen += 1;
-        let label = self.jobs[id.index()].spec.kind.label().to_string();
-        self.trace
-            .record(engine.now(), "arrive", id.0 as u64, || label);
+        if let Intake::Stream { pending, .. } = &mut self.intake {
+            // Arrivals fire in schedule order at nondecreasing times, so
+            // the window's front is always the job this event is for.
+            let sj = pending.pop_front().expect("arrival without pending job");
+            let job = Job::new(id, sj.spec, sj.at);
+            let slot = self.jobs.insert(job);
+            self.collect.arrived(slot, sj.at);
+            // Keep the look-ahead window full.
+            self.pull_one(engine);
+        }
+        debug_assert!(self.jobs.get(id).is_some(), "arrival for unknown job");
+        if self.trace.is_enabled() {
+            // The label clone is gated on tracing: a streamed million-job
+            // run must not pay a String allocation per arrival.
+            let label = self
+                .jobs
+                .get(id)
+                .expect("arrival for unknown job")
+                .spec
+                .kind
+                .label()
+                .to_string();
+            self.trace
+                .record(engine.now(), "arrive", id.0 as u64, || label);
+        }
         self.queue.push_back(id);
         // "Upon receiving a job request … the scheduler uses one of the
         // placement policies to try to place job components."
@@ -587,7 +912,7 @@ impl<'a> World<'a> {
         let mut eff_dirty = true;
         let mut pwa_handled = false;
         for &id in &scan {
-            let job = &self.jobs[id.index()];
+            let job = self.jobs.get(id).expect("queued job is live");
             if job.phase != JobPhase::Queued {
                 continue;
             }
@@ -618,15 +943,17 @@ impl<'a> World<'a> {
                     if let ClaimingPolicy::Deferred { margin } = self.cfg.sched.claiming {
                         if placement.len() == 1 {
                             let cp = placement[0];
-                            let stage = self.staging_time(&self.jobs[id.index()], cp.cluster);
+                            let stage = self
+                                .staging_time(self.jobs.get(id).expect("placed job"), cp.cluster);
                             if !stage.is_zero() {
                                 self.queue.remove(id);
                                 let now = engine.now();
-                                let job = &mut self.jobs[id.index()];
+                                let slot = self.jobs.slot_of(id);
+                                let job = self.jobs.get_mut(id).expect("placed job");
                                 job.phase = JobPhase::Staging;
                                 job.cluster = Some(cp.cluster);
                                 job.pending_claim = Some(vec![(cp.cluster, cp.size)]);
-                                self.collect.placed(id.index(), now);
+                                self.collect.placed(slot, now);
                                 let delay = simcore::SimDuration::from_millis(
                                     stage.as_millis().saturating_sub(margin.as_millis()),
                                 );
@@ -694,10 +1021,12 @@ impl<'a> World<'a> {
             .queue
             .record_failed_try(id, self.cfg.sched.placement_retry_threshold);
         if exceeded {
-            let job = &mut self.jobs[id.index()];
+            let slot = self.jobs.slot_of(id);
+            let job = self.jobs.get_mut(id).expect("failing job is live");
             job.phase = JobPhase::Failed;
-            self.collect.placement_failed(id.index());
-            self.terminal += 1;
+            job.gen.bump(); // invalidate every remaining event for this job
+            self.collect.placement_failed(slot);
+            self.jobs.retire(id);
         }
     }
 
@@ -710,7 +1039,8 @@ impl<'a> World<'a> {
         let now = engine.now();
         let total: u32 = components.iter().map(|&(_, _, s)| s).sum();
         let (cluster, alloc, size) = components[0];
-        let job = &mut self.jobs[id.index()];
+        let slot = self.jobs.slot_of(id);
+        let job = self.jobs.get_mut(id).expect("placed job is live");
         job.phase = JobPhase::Starting;
         job.cluster = Some(cluster);
         job.alloc = Some(alloc);
@@ -723,7 +1053,7 @@ impl<'a> World<'a> {
             let dynaco = Dynaco::new(min, max, job.spec.kind.constraint(), size);
             job.runner = Some(MRunner::new(dynaco, size));
         }
-        self.collect.placed(id.index(), now);
+        self.collect.placed(slot, now);
         self.trace.record(now, "place", id.0 as u64, || {
             format!(
                 "{} procs on {:?} (+{} components)",
@@ -743,7 +1073,10 @@ impl<'a> World<'a> {
 
     fn on_start_held(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let mc = &self.mc;
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) || job.phase != JobPhase::Starting {
             return;
         }
@@ -751,12 +1084,12 @@ impl<'a> World<'a> {
         job.started = Some(now);
         let primary = job
             .alloc
-            .and_then(|a| self.mc.cluster(job.cluster.expect("placed")).alloc_size(a))
+            .and_then(|a| mc.cluster(job.cluster.expect("placed")).alloc_size(a))
             .expect("starting job holds an allocation");
         let extra: u32 = job
             .extra_allocs
             .iter()
-            .map(|&(c, a)| self.mc.cluster(c).alloc_size(a).expect("component held"))
+            .map(|&(c, a)| mc.cluster(c).alloc_size(a).expect("component held"))
             .sum();
         let size = primary + extra;
         // Co-allocated jobs pay the wide-area communication penalty per
@@ -775,7 +1108,7 @@ impl<'a> World<'a> {
         // bounds the rate, as in any BSP-style code).
         let speed = std::iter::once(job.cluster.expect("placed"))
             .chain(job.extra_allocs.iter().map(|&(c, _)| c))
-            .map(|c| self.mc.cluster(c).spec().speed_factor)
+            .map(|c| mc.cluster(c).spec().speed_factor)
             .fold(f64::INFINITY, f64::min)
             .max(1e-6);
         job.progress = Some(appsim::Progress::start(
@@ -783,7 +1116,8 @@ impl<'a> World<'a> {
             size,
             job.spec.work_scale * penalty / speed,
         ));
-        self.collect.started(id.index(), now, size);
+        let slot = self.jobs.slot_of(id);
+        self.collect.started(slot, now, size);
         self.trace
             .record(now, "start", id.0 as u64, || format!("size {size}"));
         self.schedule_completion(engine, id);
@@ -791,7 +1125,7 @@ impl<'a> World<'a> {
     }
 
     fn schedule_completion(&mut self, engine: &mut Engine<Ev>, id: JobId) {
-        let job = &self.jobs[id.index()];
+        let job = self.jobs.get(id).expect("running job is live");
         let remaining = job
             .progress
             .as_ref()
@@ -841,7 +1175,8 @@ impl<'a> World<'a> {
         }
         let jobs = &mut self.jobs;
         let mut accept = |id: JobId, offered: u32| -> u32 {
-            jobs[id.index()]
+            jobs.get_mut(id)
+                .expect("views contain only live jobs")
                 .runner
                 .as_mut()
                 .expect("views contain only malleable jobs")
@@ -854,13 +1189,13 @@ impl<'a> World<'a> {
             self.trace.record(now, "grow", op.job.0 as u64, || {
                 format!("accepted {} of {} on {cluster:?}", op.accepted, op.offered)
             });
-            let job = &self.jobs[op.job.index()];
+            let job = self.jobs.get(op.job).expect("growing job is live");
             let alloc = job.alloc.expect("running job has an allocation");
+            let gen = job.gen;
             self.mc
                 .cluster_mut(cluster)
                 .grow(alloc, op.accepted)
                 .expect("policy bounded by idle count");
-            let gen = self.jobs[op.job.index()].gen;
             let delay = self.cfg.sched.gram.batch_submit_time(op.accepted);
             engine.schedule_in(delay, Ev::GrowHeld { job: op.job, gen });
         }
@@ -894,7 +1229,9 @@ impl<'a> World<'a> {
 
     fn on_grow_held(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) || job.phase != JobPhase::Running {
             return;
         }
@@ -933,7 +1270,13 @@ impl<'a> World<'a> {
     /// malleable jobs there can make room for the job's minimum size,
     /// mandatorily shrink. Otherwise grow running jobs instead.
     fn pwa_make_room(&mut self, engine: &mut Engine<Ev>, id: JobId) {
-        let min_needed = self.jobs[id.index()].spec.class.min_size();
+        let min_needed = self
+            .jobs
+            .get(id)
+            .expect("queued job is live")
+            .spec
+            .class
+            .min_size();
         // Evaluate each cluster's potential: live idle + in-flight
         // releases + what mandatory shrinks could still reclaim.
         let mut best: Option<(u32, usize)> = None;
@@ -984,7 +1327,8 @@ impl<'a> World<'a> {
         }
         let jobs = &mut self.jobs;
         let mut accept = |id: JobId, requested: u32| -> u32 {
-            jobs[id.index()]
+            jobs.get_mut(id)
+                .expect("views contain only live jobs")
                 .runner
                 .as_mut()
                 .expect("views contain only malleable jobs")
@@ -1001,7 +1345,7 @@ impl<'a> World<'a> {
                 )
             });
             self.pending_release[cluster.index()] += op.released;
-            let job = &mut self.jobs[op.job.index()];
+            let job = self.jobs.get_mut(op.job).expect("shrinking job is live");
             let runner = job.runner.as_ref().expect("malleable");
             let old = runner.dynaco.size();
             let new = old - op.released;
@@ -1027,7 +1371,9 @@ impl<'a> World<'a> {
 
     fn on_sync_done(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation, grow: bool) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) || job.phase != JobPhase::Reconfiguring {
             return;
         }
@@ -1048,11 +1394,12 @@ impl<'a> World<'a> {
         job.phase = JobPhase::Running;
         self.trace
             .record(now, "resume", id.0 as u64, || format!("size {new_size}"));
-        self.collect.resized(id.index(), now, new_size, grow);
+        let slot = self.jobs.slot_of(id);
+        self.collect.resized(slot, now, new_size, grow);
         self.schedule_completion(engine, id);
         self.schedule_initiative(engine, id);
         if released > 0 {
-            let gen = self.jobs[id.index()].gen;
+            let gen = self.jobs.get(id).expect("live").gen;
             let delay = self.cfg.sched.gram.batch_release_time(released);
             engine.schedule_in(
                 delay,
@@ -1073,7 +1420,9 @@ impl<'a> World<'a> {
         count: u32,
     ) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) {
             return;
         }
@@ -1096,7 +1445,11 @@ impl<'a> World<'a> {
 
     fn on_completion(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let slot = match self.jobs.get(id) {
+            Some(_) => self.jobs.slot_of(id),
+            None => return,
+        };
+        let job = self.jobs.get_mut(id).expect("checked live above");
         if !job.gen.matches(gen) || job.phase != JobPhase::Running {
             return;
         }
@@ -1121,9 +1474,11 @@ impl<'a> World<'a> {
         }
         job.phase = JobPhase::Completed;
         job.gen.bump(); // invalidate every remaining event for this job
-        self.terminal += 1;
         self.trace.record(now, "complete", id.0 as u64, String::new);
-        self.collect.completed(id.index(), now);
+        self.collect.completed(slot, now);
+        // Terminal: the slab drops the job in streaming mode, bounding
+        // live memory to the in-flight job count.
+        self.jobs.retire(id);
         self.mc
             .cluster_mut(cluster)
             .release(alloc)
@@ -1222,7 +1577,9 @@ impl<'a> World<'a> {
     /// back to the placement queue — the risk the claiming policy trades
     /// against holding processors idle through the whole staging window.
     fn on_claim(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
-        let job = &mut self.jobs[id.index()];
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) || job.phase != JobPhase::Staging {
             return;
         }
@@ -1251,7 +1608,7 @@ impl<'a> World<'a> {
             for (c, alloc, _) in got {
                 self.mc.cluster_mut(c).release(alloc).expect("just claimed");
             }
-            let job = &mut self.jobs[id.index()];
+            let job = self.jobs.get_mut(id).expect("staging job is live");
             job.phase = JobPhase::Queued;
             job.cluster = None;
             self.queue.push_back(id);
@@ -1268,7 +1625,7 @@ impl<'a> World<'a> {
     /// whenever the job (re)enters steady execution; the generation
     /// stamp invalidates it on the next reconfiguration.
     fn schedule_initiative(&mut self, engine: &mut Engine<Ev>, id: JobId) {
-        let job = &self.jobs[id.index()];
+        let job = self.jobs.get(id).expect("running job is live");
         let Some(gi) = job.spec.initiative else {
             return;
         };
@@ -1308,7 +1665,9 @@ impl<'a> World<'a> {
     /// VIII).
     fn on_app_grow_request(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
         let now = engine.now();
-        let job = &mut self.jobs[id.index()];
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
         if !job.gen.matches(gen) || job.phase != JobPhase::Running || job.initiative_fired {
             return;
         }
@@ -1325,7 +1684,7 @@ impl<'a> World<'a> {
         if grant == 0 {
             return;
         }
-        let job = &mut self.jobs[id.index()];
+        let job = self.jobs.get_mut(id).expect("running job is live");
         let Some(runner) = job.runner.as_mut() else {
             return;
         };
@@ -1410,7 +1769,7 @@ impl<'a> World<'a> {
     /// job can still be grown"); otherwise to jobs above their minimum.
     fn running_views(&self, cluster: ClusterId, for_grow: bool) -> Vec<RunningView> {
         self.jobs
-            .iter()
+            .iter_live()
             .filter(|j| j.cluster == Some(cluster) && j.eligible_for_malleability())
             .filter_map(|j| {
                 let runner = j.runner.as_ref().expect("eligible implies runner");
@@ -1466,7 +1825,19 @@ impl<'a> World<'a> {
             self.queue.total_tries(),
             self.queue.failed_submissions(),
             engine.stats().delivered,
+            self.jobs.peak_live() as u64,
         )
+    }
+}
+
+/// The multicluster substrate a configuration runs on: a uniform
+/// synthetic topology when requested, else the (possibly heterogeneous)
+/// DAS-3 preset.
+fn topology_for(cfg: &ExperimentConfig) -> Multicluster {
+    match &cfg.uniform_topology {
+        Some(u) => multicluster::uniform(u.clusters, u.nodes_per_cluster),
+        None if cfg.heterogeneous => multicluster::das3_heterogeneous(),
+        None => das3(),
     }
 }
 
@@ -1550,6 +1921,74 @@ pub fn run_experiment_summary_seeded(cfg: &ExperimentConfig, seed: u64) -> Summa
 /// for any thread count.
 pub fn run_seeds_summary(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiSummary {
     crate::parallel::run_seeds_summary_with_threads(cfg, seeds, crate::parallel::default_threads())
+}
+
+/// Runs one configuration over an **externally supplied job stream**
+/// through the streaming intake: at most `lookahead` arrivals are
+/// scheduled ahead of simulated time, jobs are dropped from memory at
+/// their terminal phase, and the report is the memory-bounded summary —
+/// so the run's footprint is bounded by the in-flight job count, never
+/// the stream length. `cfg.workload`/`cfg.trace`/`cfg.generator` are
+/// ignored; the stream *is* the workload. The stream is borrowed so the
+/// caller can inspect it afterwards — for an
+/// [`appsim::swf::SwfJobStream`], check
+/// [`error()`](appsim::swf::SwfJobStream::error) after the run, or a
+/// truncating parse failure would be indistinguishable from a shorter
+/// trace.
+///
+/// # Panics
+/// Panics on invalid scheduler/report settings, like [`run_experiment`].
+pub fn run_stream_summary(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    stream: &mut dyn JobStream,
+    lookahead: usize,
+) -> SummaryReport {
+    if let Err(e) = cfg.sched.validate() {
+        panic!("invalid experiment configuration: {e}");
+    }
+    if cfg.report.quantile_capacity == 0 {
+        panic!(
+            "invalid experiment configuration: {}",
+            crate::config::ConfigError::ZeroQuantileCapacity
+        );
+    }
+    let cap = lookahead.max(1) * 2 + 64;
+    let mut engine = match cfg.horizon {
+        Some(h) => Engine::with_horizon_and_capacity(SimTime::ZERO + h, cap),
+        None => Engine::with_capacity(cap),
+    };
+    World::for_stream_summarized(cfg, seed, stream, lookahead).run_to_summary(&mut engine)
+}
+
+/// [`run_stream_summary`] over the configuration's **own** workload:
+/// an explicit `cfg.trace` takes precedence (streamed borrowed, one
+/// job cloned at a time — the same precedence the eager paths honour),
+/// else the named generator (`cfg.generator`, seeded with `seed`,
+/// `cfg.workload.jobs` jobs). This is the cell entry point of streamed
+/// sweeps: each cell opens its own stream, so the parallel runner needs
+/// no shared stream state.
+///
+/// # Panics
+/// Panics when the configuration has neither a trace nor a generator,
+/// or on an unknown source name / invalid settings.
+pub fn run_generator_summary_seeded(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    lookahead: usize,
+) -> SummaryReport {
+    if let Some(trace) = &cfg.trace {
+        let mut stream = appsim::generate::SliceStream::new(trace);
+        return run_stream_summary(cfg, seed, &mut stream, lookahead);
+    }
+    let Some(name) = &cfg.generator else {
+        panic!("run_generator_summary_seeded needs cfg.generator (a workload-source name)");
+    };
+    let src = appsim::generate::WorkloadRegistry::global()
+        .source(name)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    let mut stream = src.stream(seed, cfg.workload.jobs as u64);
+    run_stream_summary(cfg, seed, stream.as_mut(), lookahead)
 }
 
 #[cfg(test)]

@@ -36,11 +36,13 @@ fn legacy_paper_cell(policy: &str, approach: Approach, workload: WorkloadSpec) -
             ..SchedulerConfig::default()
         },
         workload,
+        generator: None,
         background: BackgroundLoad::concurrent_users(0.30),
         seed: 0,
         horizon: Some(SimDuration::from_secs(200_000)),
         trace: None,
         heterogeneous: false,
+        uniform_topology: None,
         report: koala::config::ReportConfig::default(),
     }
 }

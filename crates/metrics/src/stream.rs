@@ -23,6 +23,30 @@
 //! * [`MetricStream`] — the two bundled, as reports use them.
 //! * [`MeanCi`] / [`mean_ci95`] — mean ± 95 % confidence interval
 //!   (Student-t) across replications.
+//!
+//! ```
+//! use koala_metrics::stream::{mean_ci95, MetricStream};
+//!
+//! // Two cells of a sweep stream their samples independently ...
+//! let mut a = MetricStream::new(0xA5EED, 128);
+//! let mut b = MetricStream::new(0xB5EED, 128);
+//! for x in [1.0, 2.0, 3.0] {
+//!     a.push(x);
+//! }
+//! for x in [4.0, 5.0] {
+//!     b.push(x);
+//! }
+//! // ... and merge into the pooled summary: counts add, the mean is the
+//! // exact-sum mean, quantiles stay exact while n <= capacity.
+//! a.merge(&b);
+//! assert_eq!(a.count(), 5);
+//! assert_eq!(a.mean(), Some(3.0));
+//! assert_eq!(a.quantiles.ecdf().median(), Some(3.0));
+//! // Replication scalars aggregate into a mean ± 95 % CI (Student-t).
+//! let ci = mean_ci95(&[10.0, 12.0, 14.0]).unwrap();
+//! assert_eq!(ci.mean, 12.0);
+//! assert!(ci.half_width.unwrap() > 0.0);
+//! ```
 
 use crate::ecdf::Ecdf;
 

@@ -45,4 +45,4 @@ pub use gram::GramConfig;
 pub use ids::{AllocId, ClusterId, NodeId};
 pub use info::{InfoService, InfoSnapshot};
 pub use lrm::{LocalJob, LocalJobId, Lrm, SubmitOutcome};
-pub use topology::{das3, das3_heterogeneous, Interconnect, Multicluster, DAS3_DELFT};
+pub use topology::{das3, das3_heterogeneous, uniform, Interconnect, Multicluster, DAS3_DELFT};

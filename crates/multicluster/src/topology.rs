@@ -175,6 +175,33 @@ pub fn das3_heterogeneous() -> Multicluster {
     Multicluster::new(specs)
 }
 
+/// A uniform synthetic topology: `clusters` identical sites of
+/// `nodes_per_cluster` nodes each, all at reference speed. This is the
+/// cluster-count axis of workload sweeps — holding total capacity fixed
+/// while varying fragmentation (e.g. `uniform(2, 136)` vs
+/// `uniform(10, 27)` against the 272-node DAS-3).
+///
+/// # Panics
+/// Panics when either dimension is zero or `clusters` exceeds the
+/// `u16` cluster-id space.
+pub fn uniform(clusters: u32, nodes_per_cluster: u32) -> Multicluster {
+    assert!(
+        clusters > 0 && nodes_per_cluster > 0,
+        "uniform topology needs at least one node in one cluster"
+    );
+    assert!(
+        clusters <= u16::MAX as u32,
+        "cluster ids are u16: {clusters} clusters do not fit"
+    );
+    Multicluster::new((0..clusters).map(|i| {
+        ClusterSpec::new(
+            format!("site-{i}"),
+            nodes_per_cluster,
+            Interconnect::EthernetOnly.label(),
+        )
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +243,20 @@ mod tests {
             das.cluster(ClusterId(0)).spec().speed_factor > 1.0,
             "VU is faster"
         );
+    }
+
+    #[test]
+    fn uniform_topology_has_the_requested_shape() {
+        let mc = uniform(10, 27);
+        assert_eq!(mc.len(), 10);
+        assert_eq!(mc.total_capacity(), 270);
+        for id in mc.ids() {
+            assert_eq!(mc.cluster(id).spec().nodes, 27);
+            assert_eq!(mc.cluster(id).spec().speed_factor, 1.0);
+        }
+        assert_eq!(mc.cluster(ClusterId(3)).spec().name, "site-3");
+        let r = std::panic::catch_unwind(|| uniform(0, 4));
+        assert!(r.is_err(), "zero clusters must panic");
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Documentation link check: every relative Markdown link in README.md
+//! and docs/ must resolve to a file (or directory) in the repository —
+//! the docs book cannot silently rot as files move.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `](target)` link targets from Markdown text.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                out.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn check_file(path: &Path, broken: &mut Vec<String>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let dir = path.parent().expect("doc files live in a directory");
+    for target in link_targets(&text) {
+        // External links, intra-page anchors, and rustdoc-style
+        // `[X](Y::Z)` pseudo-links are out of scope.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.contains("::")
+            || target.is_empty()
+        {
+            continue;
+        }
+        // Strip a trailing anchor (`file.md#section`).
+        let file_part = target.split('#').next().unwrap_or(&target);
+        if file_part.is_empty() {
+            continue;
+        }
+        if !dir.join(file_part).exists() {
+            broken.push(format!("{}: {target}", path.display()));
+        }
+    }
+}
+
+#[test]
+fn no_dead_relative_links_in_readme_or_docs() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    check_file(&root.join("README.md"), &mut broken);
+    let docs = root.join("docs");
+    assert!(docs.is_dir(), "docs/ book must exist");
+    let mut pages = 0;
+    for entry in std::fs::read_dir(&docs).expect("read docs dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            pages += 1;
+            check_file(&path, &mut broken);
+        }
+    }
+    assert!(pages >= 5, "the docs book has an index + subsystem pages");
+    assert!(
+        broken.is_empty(),
+        "dead relative links:\n{}",
+        broken.join("\n")
+    );
+}
