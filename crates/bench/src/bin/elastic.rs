@@ -1,0 +1,331 @@
+//! `koala-bench elastic` — the end-to-end pipeline of the elasticity
+//! layer: monitoring, autoscaling, seeded node failures and stale-view
+//! scheduling, measured through the memory-bounded summary path.
+//!
+//! Each scenario runs its seeds sequentially and in parallel, **asserts
+//! the bit-identical determinism guarantee on the elastic stack** (the
+//! parallel summaries and their pooled aggregates must render
+//! byte-identically to the sequential ones — crashes, scale decisions
+//! and stale snapshots included), and records the monitoring streams —
+//! cluster utilization and KOALA queue depth, mean ± 95 % CI — plus the
+//! elasticity counters into the machine-readable baseline
+//! `BENCH_6.json` at the current directory (the repo root when run via
+//! `cargo run`).
+//!
+//! Scenarios:
+//!
+//! * `threshold_bursty` — bursty Lublin arrivals under the utilization
+//!   `threshold` scaler, recurring crashes, and a 45 s stale view.
+//! * `queue_depth_requeue` — the `queue_depth` scaler with crashed jobs
+//!   re-queued: every job must still complete.
+//! * `kill_policy` — no scaler, frequent crashes, crashed jobs killed:
+//!   the accounting path for lost work.
+//! * `stale_view` — a 5-minute KIS lag and nothing else: staleness as
+//!   an isolated axis.
+//!
+//! ```text
+//! cargo run --release -p koala_bench --bin elastic [-- --smoke] [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--smoke`   — tiny scenarios (2 seeds) for CI: exercises the whole
+//!   elastic stack and its determinism checks in seconds, writes the
+//!   JSON to a temp file unless `--out` is given.
+//! * `--threads` — worker count for the parallel passes (default:
+//!   `KOALA_THREADS`, then the detected hardware parallelism).
+//! * `--out`     — output path for the JSON report.
+
+use std::time::Instant;
+
+use appsim::workload::WorkloadSpec;
+use koala::report::{MultiSummary, SummaryReport};
+use koala::scenario::{Scenario, ScenarioBuilder};
+use koala::{run_seeds_summary_sequential, run_seeds_summary_with_threads};
+use koala_bench::{init_threads, SEEDS};
+use koala_metrics::MetricStream;
+use multicluster::{FailurePolicy, FailureSpec};
+use serde::Value;
+use simcore::SimDuration;
+
+/// One elastic scenario: label + built scenario (config and seeds).
+struct Pipeline {
+    name: &'static str,
+    scenario: Scenario,
+}
+
+/// What one scenario produced: timings plus the pooled elastic streams
+/// and counters.
+struct Measurement {
+    name: &'static str,
+    seeds: usize,
+    jobs: usize,
+    sequential_s: f64,
+    parallel_s: f64,
+    pooled: SummaryReport,
+}
+
+fn failures(mtbf_s: u64, mttr_s: u64, max_nodes: u32) -> FailureSpec {
+    FailureSpec::new(
+        SimDuration::from_secs(mtbf_s),
+        SimDuration::from_secs(mttr_s),
+        max_nodes,
+    )
+}
+
+/// Shared base: monitored, summarized, multi-seed.
+fn base(jobs: usize, seeds: &[u64]) -> ScenarioBuilder {
+    Scenario::builder()
+        .jobs(jobs)
+        .seeds(seeds.iter().copied())
+        .monitor(SimDuration::from_secs(120))
+        .summarized()
+}
+
+fn pipelines(smoke: bool) -> Vec<Pipeline> {
+    let (jobs, seeds): (usize, Vec<u64>) = if smoke {
+        (24, SEEDS[..2].to_vec())
+    } else {
+        (300, SEEDS.to_vec())
+    };
+    let built = |name: &'static str, b: ScenarioBuilder| Pipeline {
+        name,
+        scenario: b.name(name).build().expect("bench scenario is valid"),
+    };
+    vec![
+        built(
+            "threshold_bursty",
+            base(jobs, &seeds)
+                .malleability("fpsma")
+                .workload("bursty_lublin")
+                .autoscaler("threshold")
+                .autoscale_timing(SimDuration::from_secs(300), SimDuration::from_secs(30))
+                .failures(failures(1800, 600, 12))
+                .staleness(SimDuration::from_secs(45)),
+        ),
+        built(
+            "queue_depth_requeue",
+            base(jobs, &seeds)
+                .malleability("egs")
+                .workload(WorkloadSpec::wm())
+                .autoscaler("queue_depth")
+                .autoscale_timing(SimDuration::from_secs(600), SimDuration::from_secs(60))
+                .failures(failures(3600, 600, 12))
+                .failure_policy(FailurePolicy::Requeue),
+        ),
+        built(
+            "kill_policy",
+            base(jobs, &seeds)
+                .malleability("fpsma")
+                .workload(WorkloadSpec::wm())
+                .failures(failures(900, 600, 12))
+                .failure_policy(FailurePolicy::Kill),
+        ),
+        built(
+            "stale_view",
+            base(jobs, &seeds)
+                .malleability("egs")
+                .workload(WorkloadSpec::wmr())
+                .staleness(SimDuration::from_secs(300)),
+        ),
+    ]
+}
+
+fn measure(p: &Pipeline, threads: usize) -> Measurement {
+    let cfg = p.scenario.config();
+    let seeds = p.scenario.seeds();
+
+    // Untimed warm-up (code-page faults, allocator growth) so neither
+    // measured pass absorbs the one-time process costs.
+    let _ = run_seeds_summary_with_threads(cfg, seeds, threads);
+
+    let t0 = Instant::now();
+    let sequential: MultiSummary = run_seeds_summary_sequential(cfg, seeds);
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel: MultiSummary = run_seeds_summary_with_threads(cfg, seeds, threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    // The determinism guarantee on the full elastic stack: seeded
+    // crashes, delayed scale decisions and lagged snapshots must not
+    // introduce any thread-count dependence.
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "{}: parallel output diverged from sequential",
+        p.name
+    );
+    assert_eq!(
+        format!("{:?}", sequential.pooled()),
+        format!("{:?}", parallel.pooled()),
+        "{}: pooled summaries diverged",
+        p.name
+    );
+
+    Measurement {
+        name: p.name,
+        seeds: seeds.len(),
+        jobs: cfg.workload.jobs,
+        sequential_s,
+        parallel_s,
+        pooled: sequential.pooled(),
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Renders one monitoring stream as `{samples, mean, ci95_half_width}`;
+/// absent moments (no samples, or a single sample for the CI) become
+/// JSON `null`, never `NaN`.
+fn stream_json(s: &MetricStream) -> Value {
+    let opt = |v: Option<f64>| v.map(|x| Value::Float(round3(x))).unwrap_or(Value::Null);
+    obj(vec![
+        ("samples", Value::UInt(s.count())),
+        ("mean", opt(s.mean())),
+        ("ci95_half_width", opt(s.stats.ci95_half_width())),
+    ])
+}
+
+fn report_json(smoke: bool, threads: usize, measurements: &[Measurement]) -> Value {
+    obj(vec![
+        ("bench", Value::String("BENCH_6".into())),
+        (
+            "description",
+            Value::String(
+                "Elastic clusters end to end: monitoring streams (cluster \
+                 utilization, queue depth; mean +/- 95% CI), autoscaler \
+                 decisions, seeded node crashes under both failure policies, \
+                 and stale-view scheduling — sequential vs parallel, \
+                 bit-identical"
+                    .into(),
+            ),
+        ),
+        (
+            "command",
+            Value::String(format!(
+                "cargo run --release -p koala_bench --bin elastic{}",
+                if smoke { " -- --smoke" } else { "" }
+            )),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("threads", Value::UInt(threads as u64)),
+        (
+            "determinism_verified",
+            // measure() asserts sequential == parallel (raw and pooled)
+            // before we get here.
+            Value::Bool(true),
+        ),
+        (
+            "scenarios",
+            Value::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        let p = &m.pooled;
+                        obj(vec![
+                            ("name", Value::String(m.name.into())),
+                            ("seeds", Value::UInt(m.seeds as u64)),
+                            ("jobs_per_run", Value::UInt(m.jobs as u64)),
+                            ("events", Value::UInt(p.events)),
+                            ("sequential_s", Value::Float(round3(m.sequential_s))),
+                            ("parallel_s", Value::Float(round3(m.parallel_s))),
+                            ("utilization", stream_json(&p.monitor_utilization)),
+                            ("queue_depth", stream_json(&p.monitor_queue_depth)),
+                            ("scale_ups", Value::UInt(p.scale_ups)),
+                            ("scale_downs", Value::UInt(p.scale_downs)),
+                            ("jobs_killed", Value::UInt(p.jobs_killed)),
+                            ("jobs_requeued", Value::UInt(p.jobs_requeued)),
+                            (
+                                "completion_ratio",
+                                Value::Float(round3(p.completion_ratio())),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        });
+    let threads = init_threads();
+
+    println!(
+        "koala-bench elastic — {} scenarios, {} thread(s), summarized reporting",
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+
+    let fmt_stream = |s: &MetricStream| match (s.mean(), s.stats.ci95_half_width()) {
+        (Some(m), Some(hw)) => format!("{m:.3} +/- {hw:.3}"),
+        (Some(m), None) => format!("{m:.3} +/- NA"),
+        _ => "NA".to_string(),
+    };
+    let mut measurements = Vec::new();
+    for p in pipelines(smoke) {
+        let m = measure(&p, threads);
+        let pooled = &m.pooled;
+        println!(
+            "  {:<20} {:>2} seeds x {:>3} jobs: util {} | queue {} | \
+             up {} down {} | killed {} requeued {} | seq {:.3} s par {:.3} s",
+            m.name,
+            m.seeds,
+            m.jobs,
+            fmt_stream(&pooled.monitor_utilization),
+            fmt_stream(&pooled.monitor_queue_depth),
+            pooled.scale_ups,
+            pooled.scale_downs,
+            pooled.jobs_killed,
+            pooled.jobs_requeued,
+            m.sequential_s,
+            m.parallel_s,
+        );
+        measurements.push(m);
+    }
+    println!("  determinism: parallel summaries (raw and pooled) bit-identical to sequential on every scenario");
+
+    let json = report_json(smoke, threads, &measurements);
+    let text = serde_json::to_string_pretty(&ValueWrap(json)).expect("render JSON");
+    let path = out.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_6_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            "BENCH_6.json".to_string()
+        }
+    });
+    std::fs::write(&path, text + "\n").expect("write BENCH json");
+    println!("wrote {path}");
+}
+
+/// Adapter: the offline `serde_json` stand-in serializes through the
+/// `serde::Serialize` trait; a raw [`Value`] tree passes through as-is.
+struct ValueWrap(Value);
+
+impl serde::Serialize for ValueWrap {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}

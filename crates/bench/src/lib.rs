@@ -430,8 +430,9 @@ pub fn summary_scalar_metrics() -> [(&'static str, SummaryScalar); 10] {
 
 /// The replication table of a summarized sweep as CSV: one row per
 /// `cell × metric` with `mean ± ci` columns (95 % Student-t across the
-/// cell's replications; `ci95_half` is −1 for single-replication
-/// cells).
+/// cell's replications). A single replication has no interval —
+/// `t_critical_975(0)` is NaN — so the three CI columns render as `NA`
+/// rather than leaking NaN (or a sentinel) into golden CSVs.
 pub fn summary_ci_csv(reports: &[MultiSummary]) -> String {
     let mut csv = Csv::with_header(&[
         "cell",
@@ -445,15 +446,22 @@ pub fn summary_ci_csv(reports: &[MultiSummary]) -> String {
     for m in reports {
         for (metric, f) in summary_scalar_metrics() {
             let Some(ci) = m.mean_ci(f) else { continue };
+            let (half, lo, hi) = match ci.half_width {
+                Some(h) => (
+                    format!("{h:.3}"),
+                    format!("{:.3}", ci.lo()),
+                    format!("{:.3}", ci.hi()),
+                ),
+                None => ("NA".to_string(), "NA".to_string(), "NA".to_string()),
+            };
             csv.row(&[
                 &m.name,
                 metric,
                 &ci.n.to_string(),
                 &format!("{:.3}", ci.mean),
-                &ci.half_width
-                    .map_or_else(|| "-1".to_string(), |h| format!("{h:.3}")),
-                &format!("{:.3}", ci.lo()),
-                &format!("{:.3}", ci.hi()),
+                &half,
+                &lo,
+                &hi,
             ]);
         }
     }
@@ -701,6 +709,26 @@ mod tests {
         let csv = summary_ci_csv(std::slice::from_ref(&m));
         assert_eq!(csv.lines().count(), 1 + summary_scalar_metrics().len());
         assert!(csv.contains("FPSMA/Wm,execution_mean_s,2,"));
+    }
+
+    #[test]
+    fn single_replication_ci_columns_render_na_not_nan() {
+        // Regression: with one replication `t_critical_975(0)` is NaN and
+        // the CI half-width is undefined; the CSV must say `NA`, never
+        // `NaN` (or the old `-1` sentinel).
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.workload.jobs = 5;
+        let m = koala::run_seeds_summary(&cfg, &[1]);
+        let csv = summary_ci_csv(std::slice::from_ref(&m));
+        assert_eq!(csv.lines().count(), 1 + summary_scalar_metrics().len());
+        assert!(!csv.contains("NaN"), "NaN leaked into the CI table:\n{csv}");
+        assert!(!csv.contains(",-1,"), "sentinel leaked:\n{csv}");
+        for line in csv.lines().skip(1) {
+            assert!(
+                line.ends_with(",NA,NA,NA"),
+                "single-replication rows carry NA CI columns: {line}"
+            );
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@
 
 use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
-use multicluster::{BackgroundLoad, GramConfig};
+use multicluster::{BackgroundLoad, FailurePolicy, FailureSpec, GramConfig};
 use simcore::SimDuration;
 
+use crate::autoscaler::{AutoscalerError, AutoscalerRegistry};
 use crate::policy::{PolicyError, PolicyRegistry};
 
 /// When the malleability-management policies are initiated
@@ -89,6 +90,16 @@ pub enum ConfigError {
     NoSeeds,
     /// A zero quantile-reservoir capacity in the report configuration.
     ZeroQuantileCapacity,
+    /// An autoscaler name did not resolve against the autoscaler
+    /// registry (see [`crate::autoscaler::AutoscalerRegistry`]).
+    Autoscaler(AutoscalerError),
+    /// A failure spec with a zero MTBF, zero MTTR, or zero `max_nodes` —
+    /// the crash process would be degenerate (instant storms or no-op
+    /// events).
+    DegenerateFailureSpec,
+    /// A generator-driven entry point was called on a configuration
+    /// without a `generator` name.
+    MissingGenerator,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -126,6 +137,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroQuantileCapacity => {
                 write!(f, "report quantile capacity must be positive")
             }
+            ConfigError::Autoscaler(e) => e.fmt(f),
+            ConfigError::DegenerateFailureSpec => {
+                write!(f, "failure spec needs positive mtbf, mttr, and max_nodes")
+            }
+            ConfigError::MissingGenerator => {
+                write!(
+                    f,
+                    "this entry point needs a generator name in the configuration"
+                )
+            }
         }
     }
 }
@@ -135,6 +156,7 @@ impl std::error::Error for ConfigError {
         match self {
             ConfigError::Policy(e) => Some(e),
             ConfigError::Workload(e) => Some(e),
+            ConfigError::Autoscaler(e) => Some(e),
             _ => None,
         }
     }
@@ -143,6 +165,12 @@ impl std::error::Error for ConfigError {
 impl From<PolicyError> for ConfigError {
     fn from(e: PolicyError) -> Self {
         ConfigError::Policy(e)
+    }
+}
+
+impl From<AutoscalerError> for ConfigError {
+    fn from(e: AutoscalerError) -> Self {
+        ConfigError::Autoscaler(e)
     }
 }
 
@@ -279,6 +307,92 @@ impl Default for ReportConfig {
     }
 }
 
+/// The elasticity layer's knobs: monitoring, autoscaling, node failures
+/// and information staleness. The default is fully inert — no monitor
+/// samples, the `none` autoscaler, no crashes, zero KIS lag — so every
+/// pre-elasticity experiment runs exactly as before.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ElasticityConfig {
+    /// Period of the monitoring subsystem sampling per-cluster
+    /// utilization and queue depth into the report's metric streams.
+    /// Zero disables monitoring entirely.
+    #[serde(default)]
+    pub monitor_period: SimDuration,
+    /// Registry name of the autoscaling policy (see
+    /// [`crate::autoscaler::AutoscalerRegistry`]); `"none"` disables the
+    /// autoscale cycle. A partially-deserialized block that omits this
+    /// field fails validation (empty names resolve against the registry
+    /// like any other unknown name).
+    #[serde(default)]
+    pub autoscaler: String,
+    /// Period of the autoscale decision cycle (the "scheduling cycle" of
+    /// elastic cluster managers). Must be positive when an autoscaler
+    /// other than `none` is selected.
+    #[serde(default)]
+    pub autoscale_period: SimDuration,
+    /// Propagation delay between a scale decision and the capacity
+    /// actually moving (cloud-provider provisioning latency; zero means
+    /// decisions apply instantly).
+    #[serde(default)]
+    pub autoscale_delay: SimDuration,
+    /// The node-failure process; `None` disables crashes.
+    #[serde(default)]
+    pub failures: Option<FailureSpec>,
+    /// What happens to KOALA jobs caught on crashed nodes.
+    #[serde(default)]
+    pub failure_policy: FailurePolicy,
+    /// KIS propagation lag — the first-class staleness axis: the
+    /// scheduler places against snapshots at least this old (quantized
+    /// up to the poll period, since snapshots mature at poll times).
+    #[serde(default)]
+    pub kis_lag: SimDuration,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            monitor_period: SimDuration::ZERO,
+            autoscaler: "none".to_string(),
+            autoscale_period: SimDuration::from_secs(60),
+            autoscale_delay: SimDuration::ZERO,
+            failures: None,
+            failure_policy: FailurePolicy::default(),
+            kis_lag: SimDuration::ZERO,
+        }
+    }
+}
+
+impl ElasticityConfig {
+    /// True when an autoscaler other than `none` drives scale cycles.
+    pub fn autoscaled(&self) -> bool {
+        self.autoscaler != "none"
+    }
+
+    /// True when monitoring samples are taken.
+    pub fn monitored(&self) -> bool {
+        !self.monitor_period.is_zero()
+    }
+
+    /// Validates the elasticity block alone: the autoscaler name must
+    /// resolve, an active autoscaler needs a nonzero cycle period, and a
+    /// failure spec must have positive mtbf/mttr and a nonzero node cap.
+    /// Called from [`ExperimentConfig::validate`] and from the streaming
+    /// entry points (which skip whole-config validation because the
+    /// stream replaces the configured workload).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        AutoscalerRegistry::global().autoscaler(&self.autoscaler)?;
+        if self.autoscaled() && self.autoscale_period.is_zero() {
+            return Err(ConfigError::ZeroPeriod);
+        }
+        if let Some(spec) = &self.failures {
+            if spec.mtbf.is_zero() || spec.mttr.is_zero() || spec.max_nodes == 0 {
+                return Err(ConfigError::DegenerateFailureSpec);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A uniform synthetic multicluster: `clusters` identical sites of
 /// `nodes_per_cluster` nodes each (see [`multicluster::uniform`]) — the
 /// cluster-count axis of workload sweeps.
@@ -329,6 +443,10 @@ pub struct ExperimentConfig {
     /// Summary-report tunables (warmup trimming, quantile capacity).
     #[serde(default)]
     pub report: ReportConfig,
+    /// The elasticity layer (monitoring, autoscaling, node failures,
+    /// KIS staleness); inert by default.
+    #[serde(default)]
+    pub elasticity: ElasticityConfig,
 }
 
 impl ExperimentConfig {
@@ -429,6 +547,7 @@ impl ExperimentConfig {
         if self.report.quantile_capacity == 0 {
             return Err(ConfigError::ZeroQuantileCapacity);
         }
+        self.elasticity.validate()?;
         Ok(())
     }
 

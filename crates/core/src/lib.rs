@@ -21,6 +21,10 @@
 //!   **PRA**/**PWA** job-management approaches and the **FPSMA**/**EGS**
 //!   malleability-management policies, plus the equipartition, folding
 //!   and greedy-grow/lazy-shrink baselines.
+//! * [`autoscaler`] — the elasticity layer's decision policies: the
+//!   object-safe [`autoscaler::Autoscaler`] trait and its
+//!   [`autoscaler::AutoscalerRegistry`], the third registry twin, with
+//!   `none`/`threshold`/`queue_depth` built-ins.
 //! * [`scenario`] — the composable [`scenario::ScenarioBuilder`]:
 //!   experiments assembled declaratively, with policies selected by
 //!   registry name; the paper presets are thin wrappers over it.
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autoscaler;
 pub mod config;
 pub mod malleability;
 pub mod parallel;
@@ -73,9 +78,13 @@ pub mod sim;
 mod ids;
 mod job;
 
+pub use autoscaler::{
+    Autoscaler, AutoscalerError, AutoscalerRegistry, ClusterObservation, NoScaler,
+    QueueDepthScaler, ScaleDecision, ThresholdScaler,
+};
 pub use config::{
-    Approach, ClaimingPolicy, ConfigError, ExperimentConfig, ReportConfig, SchedulerConfig,
-    UniformTopology,
+    Approach, ClaimingPolicy, ConfigError, ElasticityConfig, ExperimentConfig, ReportConfig,
+    SchedulerConfig, UniformTopology,
 };
 pub use ids::JobId;
 pub use job::{Job, JobPhase};
@@ -89,6 +98,8 @@ pub use report::{MultiReport, MultiSummary, ReportMode, RunReport, SummaryReport
 pub use scenario::{Scenario, ScenarioBuilder, Topology, WorkloadChoice};
 pub use sim::{
     run_experiment, run_experiment_seeded, run_experiment_summary, run_experiment_summary_seeded,
-    run_generator_summary_seeded, run_seeds, run_seeds_summary, run_stream_summary, World,
-    DEFAULT_LOOKAHEAD,
+    run_generator_summary_seeded, run_seeds, run_seeds_summary, run_stream_summary,
+    try_run_experiment, try_run_experiment_seeded, try_run_experiment_summary,
+    try_run_experiment_summary_seeded, try_run_generator_summary_seeded, try_run_stream_summary,
+    World, DEFAULT_LOOKAHEAD,
 };

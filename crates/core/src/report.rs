@@ -62,6 +62,17 @@ pub struct RunReport {
     pub trace: simcore::Trace,
     /// Used processors over time, per cluster (indexed by cluster id).
     pub per_cluster_used: Vec<StepSeries>,
+    /// KOALA placement-queue depth over time, sampled by the monitoring
+    /// subsystem (empty unless `elasticity.monitor_period` is set).
+    pub queue_depth: StepSeries,
+    /// Autoscaler grow decisions applied (nodes repaired into the pool).
+    pub scale_ups: u64,
+    /// Autoscaler shrink decisions applied (free nodes withdrawn).
+    pub scale_downs: u64,
+    /// KOALA jobs killed by node crashes (`FailurePolicy::Kill`).
+    pub jobs_killed: u64,
+    /// KOALA jobs re-queued after node crashes (`FailurePolicy::Requeue`).
+    pub jobs_requeued: u64,
 }
 
 impl RunReport {
@@ -240,6 +251,21 @@ pub struct SummaryReport {
     /// million-job run reports the in-flight peak instead (merges take
     /// the maximum across runs).
     pub peak_live_jobs: u64,
+    /// Per-cluster utilization fractions sampled by the monitoring
+    /// subsystem (one sample per cluster per monitor tick; empty unless
+    /// `elasticity.monitor_period` is set).
+    pub monitor_utilization: MetricStream,
+    /// KOALA placement-queue depth sampled by the monitoring subsystem
+    /// (one sample per monitor tick).
+    pub monitor_queue_depth: MetricStream,
+    /// Autoscaler grow decisions applied (post-warmup).
+    pub scale_ups: u64,
+    /// Autoscaler shrink decisions applied (post-warmup).
+    pub scale_downs: u64,
+    /// KOALA jobs killed by node crashes.
+    pub jobs_killed: u64,
+    /// KOALA jobs re-queued after node crashes.
+    pub jobs_requeued: u64,
     /// Post-warmup integral of total used processors (processor-seconds).
     util_integral: f64,
     /// Post-warmup integral of KOALA-used processors (processor-seconds).
@@ -298,6 +324,12 @@ impl SummaryReport {
         self.shrink_ops += other.shrink_ops;
         self.grow_messages += other.grow_messages;
         self.shrink_messages += other.shrink_messages;
+        self.monitor_utilization.merge(&other.monitor_utilization);
+        self.monitor_queue_depth.merge(&other.monitor_queue_depth);
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
+        self.jobs_killed += other.jobs_killed;
+        self.jobs_requeued += other.jobs_requeued;
         self.makespan = self.makespan.max(other.makespan);
         self.kis_polls += other.kis_polls;
         self.placement_tries += other.placement_tries;
@@ -372,13 +404,15 @@ impl MultiSummary {
 
 /// Reservoir-seed salts so each metric draws an independent priority
 /// stream from the same cell seed.
-const STREAM_SALTS: [u64; 6] = [
+const STREAM_SALTS: [u64; 8] = [
     0x9e37_79b9_7f4a_7c15,
     0x2545_f491_4f6c_dd1d,
     0x9e6d_6295_b6fc_9a7b,
     0x589d_6a5b_41cf_7f4d,
     0xab1e_c59f_1c3d_27af,
     0x6c62_272e_07bb_0142,
+    0x1000_0000_01b3_c0de,
+    0xcbf2_9ce4_8422_2325,
 ];
 
 /// Per-live-job metering state of the summarized collector: a handful of
@@ -403,6 +437,11 @@ pub(crate) struct FullCollector {
     util_per_cluster: Vec<StepSeries>,
     grow_ops: CumulativeCounter,
     shrink_ops: CumulativeCounter,
+    queue_depth: StepSeries,
+    scale_ups: u64,
+    scale_downs: u64,
+    jobs_killed: u64,
+    jobs_requeued: u64,
 }
 
 /// The memory-bounded collector: streaming accumulators plus one
@@ -425,6 +464,12 @@ pub(crate) struct SummaryCollector {
     jobs_failed: u64,
     grow_ops: u64,
     shrink_ops: u64,
+    monitor_utilization: MetricStream,
+    monitor_queue_depth: MetricStream,
+    scale_ups: u64,
+    scale_downs: u64,
+    jobs_killed: u64,
+    jobs_requeued: u64,
     last_t: SimTime,
     last_total: f64,
     last_koala: f64,
@@ -475,6 +520,11 @@ impl Collector {
             util_per_cluster: vec![StepSeries::with_initial(0.0); n_clusters],
             grow_ops: CumulativeCounter::new(),
             shrink_ops: CumulativeCounter::new(),
+            queue_depth: StepSeries::with_initial(0.0),
+            scale_ups: 0,
+            scale_downs: 0,
+            jobs_killed: 0,
+            jobs_requeued: 0,
         })
     }
 
@@ -497,6 +547,12 @@ impl Collector {
             jobs_failed: 0,
             grow_ops: 0,
             shrink_ops: 0,
+            monitor_utilization: stream(6),
+            monitor_queue_depth: stream(7),
+            scale_ups: 0,
+            scale_downs: 0,
+            jobs_killed: 0,
+            jobs_requeued: 0,
             last_t: SimTime::ZERO,
             last_total: 0.0,
             last_koala: 0.0,
@@ -652,6 +708,72 @@ impl Collector {
         }
     }
 
+    /// One monitoring tick: per-cluster utilization fractions plus the
+    /// current KOALA placement-queue depth. Full mode records the queue
+    /// depth as a step series (per-cluster utilization already has its
+    /// own series); summarized mode streams both into the monitor
+    /// accumulators (post-warmup only, like the operation counts).
+    pub(crate) fn monitor_sample(
+        &mut self,
+        t: SimTime,
+        cluster_utilization: impl Iterator<Item = f64>,
+        queue_depth: usize,
+    ) {
+        match self {
+            Collector::Full(c) => {
+                // Exhaust the iterator either way so both modes drive
+                // the caller identically.
+                cluster_utilization.for_each(drop);
+                c.queue_depth.set(t, queue_depth as f64);
+            }
+            Collector::Summary(c) => {
+                if t < c.warmup {
+                    cluster_utilization.for_each(drop);
+                    return;
+                }
+                for u in cluster_utilization {
+                    c.monitor_utilization.push(u);
+                }
+                c.monitor_queue_depth.push(queue_depth as f64);
+            }
+        }
+    }
+
+    /// An applied autoscale decision (`grow` repaired nodes into the
+    /// pool, otherwise free nodes were withdrawn).
+    pub(crate) fn scale_op(&mut self, t: SimTime, grow: bool) {
+        let (ups, downs, warmup) = match self {
+            Collector::Full(c) => (&mut c.scale_ups, &mut c.scale_downs, SimTime::ZERO),
+            Collector::Summary(c) => (&mut c.scale_ups, &mut c.scale_downs, c.warmup),
+        };
+        if t >= warmup {
+            if grow {
+                *ups += 1;
+            } else {
+                *downs += 1;
+            }
+        }
+    }
+
+    /// A KOALA job was killed by a node crash.
+    pub(crate) fn job_killed(&mut self, index: usize) {
+        match self {
+            Collector::Full(c) => {
+                c.records[index].outcome = JobOutcome::Killed;
+                c.jobs_killed += 1;
+            }
+            Collector::Summary(c) => c.jobs_killed += 1,
+        }
+    }
+
+    /// A KOALA job lost its nodes to a crash and went back in the queue.
+    pub(crate) fn job_requeued(&mut self) {
+        match self {
+            Collector::Full(c) => c.jobs_requeued += 1,
+            Collector::Summary(c) => c.jobs_requeued += 1,
+        }
+    }
+
     /// Samples platform utilization after an allocation change.
     pub(crate) fn utilization(&mut self, t: SimTime, mc: &Multicluster) {
         match self {
@@ -733,6 +855,11 @@ impl FullCollector {
             events,
             trace,
             per_cluster_used: self.util_per_cluster,
+            queue_depth: self.queue_depth,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            jobs_killed: self.jobs_killed,
+            jobs_requeued: self.jobs_requeued,
         }
     }
 }
@@ -779,6 +906,12 @@ impl SummaryCollector {
             failed_submissions,
             events,
             peak_live_jobs,
+            monitor_utilization: self.monitor_utilization,
+            monitor_queue_depth: self.monitor_queue_depth,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            jobs_killed: self.jobs_killed,
+            jobs_requeued: self.jobs_requeued,
             util_integral: self.util_integral,
             util_koala_integral: self.util_koala_integral,
             util_span_s: makespan.saturating_since(self.warmup).as_secs_f64(),
@@ -822,6 +955,11 @@ mod tests {
             events: 42,
             trace: simcore::Trace::disabled(),
             per_cluster_used: Vec::new(),
+            queue_depth: StepSeries::new(),
+            scale_ups: 0,
+            scale_downs: 0,
+            jobs_killed: 0,
+            jobs_requeued: 0,
         }
     }
 

@@ -32,11 +32,12 @@
 //! ```
 
 use appsim::workload::{SubmittedJob, WorkloadSpec};
-use multicluster::BackgroundLoad;
+use multicluster::{BackgroundLoad, FailurePolicy, FailureSpec};
 use simcore::SimDuration;
 
 use crate::config::{
-    workload_label, Approach, ConfigError, ExperimentConfig, ReportConfig, SchedulerConfig,
+    workload_label, Approach, ConfigError, ElasticityConfig, ExperimentConfig, ReportConfig,
+    SchedulerConfig,
 };
 use crate::policy::PolicyRegistry;
 use crate::report::{MultiReport, MultiSummary, ReportMode};
@@ -233,6 +234,7 @@ pub struct ScenarioBuilder {
     trace: Option<Vec<SubmittedJob>>,
     mode: ReportMode,
     report: ReportConfig,
+    elasticity: ElasticityConfig,
 }
 
 impl Default for ScenarioBuilder {
@@ -251,6 +253,7 @@ impl Default for ScenarioBuilder {
             trace: None,
             mode: ReportMode::Full,
             report: ReportConfig::default(),
+            elasticity: ElasticityConfig::default(),
         }
     }
 }
@@ -401,6 +404,50 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the KIS propagation lag — the first-class staleness axis:
+    /// the scheduler places against snapshots at least this old
+    /// (quantized up to the poll period; see
+    /// [`multicluster::InfoService::with_lag`]).
+    pub fn staleness(mut self, lag: SimDuration) -> Self {
+        self.elasticity.kis_lag = lag;
+        self
+    }
+
+    /// Selects the autoscaling policy by registry name (default
+    /// `"none"`; see [`crate::autoscaler::AutoscalerRegistry`]).
+    pub fn autoscaler(mut self, name: impl Into<String>) -> Self {
+        self.elasticity.autoscaler = name.into();
+        self
+    }
+
+    /// Sets the autoscale cycle period and the propagation delay between
+    /// a scale decision and the capacity actually moving.
+    pub fn autoscale_timing(mut self, period: SimDuration, delay: SimDuration) -> Self {
+        self.elasticity.autoscale_period = period;
+        self.elasticity.autoscale_delay = delay;
+        self
+    }
+
+    /// Enables the seeded node crash/recover stream.
+    pub fn failures(mut self, spec: FailureSpec) -> Self {
+        self.elasticity.failures = Some(spec);
+        self
+    }
+
+    /// Chooses what happens to KOALA jobs caught on crashed nodes
+    /// (default: re-queue).
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.elasticity.failure_policy = policy;
+        self
+    }
+
+    /// Sets the monitoring sample period (zero disables monitoring,
+    /// the default).
+    pub fn monitor(mut self, period: SimDuration) -> Self {
+        self.elasticity.monitor_period = period;
+        self
+    }
+
     /// Validates and assembles the scenario. The derived name comes from
     /// the malleability policy's label and the workload ([`cell_label`]),
     /// exactly like the legacy paper presets.
@@ -459,6 +506,7 @@ impl ScenarioBuilder {
             heterogeneous: self.topology == Topology::Das3Heterogeneous,
             uniform_topology,
             report: self.report,
+            elasticity: self.elasticity,
         };
         cfg.validate()?;
         let seeds = match (self.seeds, self.replications) {

@@ -39,12 +39,13 @@ use appsim::generate::JobStream;
 use appsim::workload::SubmittedJob;
 use appsim::JobClass;
 use multicluster::{
-    das3, AllocId, AllocOwner, ClusterId, FileCatalog, InfoService, LocalJob, Multicluster,
-    SubmitOutcome,
+    das3, AllocId, AllocOwner, ClusterId, CrashVictim, FailurePolicy, FailureStream, FileCatalog,
+    InfoService, LocalJob, Multicluster, SubmitOutcome,
 };
-use simcore::{Engine, Generation, SimRng, SimTime, Trace};
+use simcore::{Engine, Generation, SimDuration, SimRng, SimTime, Trace};
 
-use crate::config::{Approach, ClaimingPolicy, ExperimentConfig};
+use crate::autoscaler::{Autoscaler, AutoscalerRegistry, ClusterObservation, ScaleDecision};
+use crate::config::{Approach, ClaimingPolicy, ConfigError, ExperimentConfig};
 use crate::ids::JobId;
 use crate::job::{Job, JobPhase};
 use crate::malleability::RunningView;
@@ -147,6 +148,37 @@ pub enum Ev {
         cluster: ClusterId,
         /// Nodes to restore.
         count: u32,
+    },
+    /// Periodic monitoring sample: per-cluster utilization and the
+    /// placement-queue depth flow into the report's streaming
+    /// accumulators (see [`crate::config::ElasticityConfig`]).
+    MonitorSample,
+    /// Periodic autoscaling cycle: the configured
+    /// [`crate::autoscaler::Autoscaler`] observes every cluster and
+    /// schedules [`Ev::AutoscaleApply`] for each non-`Hold` decision.
+    AutoscaleCycle,
+    /// An autoscale decision lands after the propagation delay — the
+    /// world the scaler observed may have moved on, which is exactly the
+    /// staleness the elasticity experiments quantify.
+    AutoscaleApply {
+        /// The cluster being resized.
+        cluster: ClusterId,
+        /// Grow (repair down nodes) or shrink (withdraw free nodes).
+        grow: bool,
+        /// Nodes to add or remove.
+        count: u32,
+    },
+    /// Seeded node failure: up to `count` nodes crash on `cluster` and
+    /// come back `repair_after` later via [`Ev::NodeRestore`]. Jobs on
+    /// the crashed nodes are re-queued or killed per
+    /// [`multicluster::FailurePolicy`].
+    NodeCrash {
+        /// The cluster losing nodes.
+        cluster: ClusterId,
+        /// Nodes crashing (saturates at the live pool).
+        count: u32,
+        /// Delay until the taken nodes rejoin the pool.
+        repair_after: SimDuration,
     },
 }
 
@@ -367,6 +399,15 @@ pub struct World<'a> {
     idle_baseline: Vec<u32>,
     arrivals_seen: usize,
     next_bg_local: u64,
+    /// The autoscaling policy, resolved once from
+    /// `cfg.elasticity.autoscaler` — `None` when the configuration
+    /// selects the `none` scaler, so inelastic runs pay nothing.
+    autoscaler: Option<Box<dyn Autoscaler>>,
+    /// The seeded node-failure stream (`None` without a failure spec).
+    /// A pure function of its fork of the master seed: it never reads
+    /// simulation state, so failure times are identical across report
+    /// modes and thread counts.
+    failures: Option<FailureStream>,
     trace: Trace,
     /// Reusable scratch for [`World::scan_queue`] (scan-order snapshot,
     /// live availability, budget-capped availability, the placement
@@ -414,6 +455,7 @@ impl<'a> World<'a> {
         let mut master = SimRng::seed_from_u64(seed);
         let mut wl_rng = master.fork(1);
         let bg_rng = master.fork(2);
+        let failure_rng = master.fork(3);
         let workload: std::borrow::Cow<'a, [SubmittedJob]> = match (&cfg.trace, &cfg.generator) {
             (Some(trace), _) => std::borrow::Cow::Borrowed(trace.as_slice()),
             (None, Some(name)) => {
@@ -460,6 +502,7 @@ impl<'a> World<'a> {
             JobSlab::fixed(jobs),
             collect,
             bg_rng,
+            failure_rng,
         )
     }
 
@@ -479,6 +522,7 @@ impl<'a> World<'a> {
         let mut master = SimRng::seed_from_u64(seed);
         let _wl_rng = master.fork(1); // keep fork labels aligned with the eager path
         let bg_rng = master.fork(2);
+        let failure_rng = master.fork(3);
         let intake = Intake::Stream {
             src: stream,
             pending: VecDeque::with_capacity(window.max(1)),
@@ -495,9 +539,11 @@ impl<'a> World<'a> {
             JobSlab::streaming(),
             Collector::summarized(seed, &cfg.report),
             bg_rng,
+            failure_rng,
         )
     }
 
+    #[allow(clippy::too_many_arguments)] // internal assembly seam; both constructors feed it
     fn assemble(
         cfg: &'a ExperimentConfig,
         seed: u64,
@@ -506,6 +552,7 @@ impl<'a> World<'a> {
         jobs: JobSlab,
         collect: Collector,
         bg_rng: SimRng,
+        failure_rng: SimRng,
     ) -> Self {
         let registry = PolicyRegistry::global();
         let placement = registry
@@ -514,14 +561,28 @@ impl<'a> World<'a> {
         let malleability = registry
             .malleability(&cfg.sched.malleability)
             .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+        let autoscaler = if cfg.elasticity.autoscaled() {
+            Some(
+                AutoscalerRegistry::global()
+                    .autoscaler(&cfg.elasticity.autoscaler)
+                    .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}")),
+            )
+        } else {
+            None
+        };
         let n_clusters = mc.len();
+        let failures = cfg
+            .elasticity
+            .failures
+            .as_ref()
+            .map(|spec| FailureStream::new(spec.clone(), n_clusters as u16, failure_rng));
         let w_init = World {
             cfg,
             seed,
             placement,
             malleability,
             mc,
-            kis: InfoService::new(),
+            kis: InfoService::with_lag(cfg.elasticity.kis_lag),
             files: None,
             intake,
             jobs,
@@ -535,6 +596,8 @@ impl<'a> World<'a> {
 
             arrivals_seen: 0,
             next_bg_local: 0,
+            autoscaler,
+            failures,
             trace: Trace::disabled(),
             scan_buf: Vec::new(),
             scratch_avail: Vec::with_capacity(n_clusters),
@@ -671,6 +734,25 @@ impl<'a> World<'a> {
                 }
             }
         }
+        // The elasticity layer: monitoring, autoscaling, failures.
+        let e = &self.cfg.elasticity;
+        if e.monitored() {
+            engine.schedule_in(e.monitor_period, Ev::MonitorSample);
+        }
+        if self.autoscaler.is_some() {
+            engine.schedule_in(e.autoscale_period, Ev::AutoscaleCycle);
+        }
+        if let Some(stream) = self.failures.as_mut() {
+            let f = stream.next_event();
+            engine.schedule_at(
+                f.at,
+                Ev::NodeCrash {
+                    cluster: f.cluster,
+                    count: f.nodes,
+                    repair_after: f.repair_after,
+                },
+            );
+        }
     }
 
     /// True when every KOALA job has reached a terminal state.
@@ -744,6 +826,18 @@ impl<'a> World<'a> {
             Ev::AppGrowRequest { job, gen } => self.on_app_grow_request(engine, job, gen),
             Ev::NodeWithdraw { cluster, count } => self.on_node_withdraw(engine, cluster, count),
             Ev::NodeRestore { cluster, count } => self.on_node_restore(engine, cluster, count),
+            Ev::MonitorSample => self.on_monitor_sample(engine),
+            Ev::AutoscaleCycle => self.on_autoscale_cycle(engine),
+            Ev::AutoscaleApply {
+                cluster,
+                grow,
+                count,
+            } => self.on_autoscale_apply(engine, cluster, grow, count),
+            Ev::NodeCrash {
+                cluster,
+                count,
+                repair_after,
+            } => self.on_node_crash(engine, cluster, count, repair_after),
         }
         debug_assert!(
             self.mc.check_invariants().is_ok(),
@@ -1084,7 +1178,10 @@ impl<'a> World<'a> {
         job.started = Some(now);
         let primary = job
             .alloc
-            .and_then(|a| mc.cluster(job.cluster.expect("placed")).alloc_size(a))
+            .and_then(|a| {
+                mc.cluster(job.cluster.expect("a starting job was placed"))
+                    .alloc_size(a)
+            })
             .expect("starting job holds an allocation");
         let extra: u32 = job
             .extra_allocs
@@ -1106,7 +1203,7 @@ impl<'a> World<'a> {
         // Heterogeneous clusters: faster nodes divide the effective work
         // scale (for co-allocated jobs the slowest spanned cluster
         // bounds the rate, as in any BSP-style code).
-        let speed = std::iter::once(job.cluster.expect("placed"))
+        let speed = std::iter::once(job.cluster.expect("an executing job was placed"))
             .chain(job.extra_allocs.iter().map(|&(c, _)| c))
             .map(|c| mc.cluster(c).spec().speed_factor)
             .fold(f64::INFINITY, f64::min)
@@ -1244,7 +1341,7 @@ impl<'a> World<'a> {
         // and data redistribution — the only non-overlapped cost.
         job.progress
             .as_mut()
-            .expect("running")
+            .expect("a growing job was running, so its progress exists")
             .pause(now, &job.model);
         job.phase = JobPhase::Reconfiguring;
         job.gen.bump(); // invalidate the pending Completion
@@ -1346,12 +1443,15 @@ impl<'a> World<'a> {
             });
             self.pending_release[cluster.index()] += op.released;
             let job = self.jobs.get_mut(op.job).expect("shrinking job is live");
-            let runner = job.runner.as_ref().expect("malleable");
+            let runner = job
+                .runner
+                .as_ref()
+                .expect("shrink ops target only malleable jobs");
             let old = runner.dynaco.size();
             let new = old - op.released;
             job.progress
                 .as_mut()
-                .expect("running")
+                .expect("a shrinking job was running, so its progress exists")
                 .pause(now, &job.model);
             job.phase = JobPhase::Reconfiguring;
             job.gen.bump();
@@ -1399,7 +1499,7 @@ impl<'a> World<'a> {
         self.schedule_completion(engine, id);
         self.schedule_initiative(engine, id);
         if released > 0 {
-            let gen = self.jobs.get(id).expect("live").gen;
+            let gen = self.jobs.get(id).expect("job finishing a sync is live").gen;
             let delay = self.cfg.sched.gram.batch_release_time(released);
             engine.schedule_in(
                 delay,
@@ -1426,9 +1526,12 @@ impl<'a> World<'a> {
         if !job.gen.matches(gen) {
             return;
         }
-        let cluster = job.cluster.expect("placed");
-        let alloc = job.alloc.expect("allocated");
-        job.runner.as_mut().expect("malleable").release_confirmed();
+        let cluster = job.cluster.expect("a releasing job was placed");
+        let alloc = job.alloc.expect("a releasing job holds its allocation");
+        job.runner
+            .as_mut()
+            .expect("only malleable jobs release processors")
+            .release_confirmed();
         self.mc
             .cluster_mut(cluster)
             .shrink(alloc, count)
@@ -1457,8 +1560,11 @@ impl<'a> World<'a> {
             p.advance(now, &job.model);
             debug_assert!(p.is_complete(), "completion event fired early");
         }
-        let cluster = job.cluster.expect("placed");
-        let alloc = job.alloc.take().expect("allocated");
+        let cluster = job.cluster.expect("a completing job was placed");
+        let alloc = job
+            .alloc
+            .take()
+            .expect("a completing job holds its allocation");
         let extras = std::mem::take(&mut job.extra_allocs);
         // Clean up any in-flight malleability state: pending stubs are
         // part of the allocation and go back with it; a pending release
@@ -1557,7 +1663,13 @@ impl<'a> World<'a> {
     fn on_bg_complete(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId, alloc: AllocId) {
         let now = engine.now();
         let lrm = self.mc.lrm_mut(cluster);
-        lrm.complete_local(alloc);
+        // A node crash may have destroyed the allocation outright (the
+        // local job died with its last node) — only release what is
+        // still live. Allocation ids are never reused, so a missing id
+        // can only mean the crash took it.
+        if lrm.cluster().alloc_size(alloc).is_some() {
+            lrm.complete_local(alloc);
+        }
         // FIFO restart of queued local jobs.
         for (job, alloc) in lrm.start_queued() {
             engine.schedule_in(job.duration, Ev::BgComplete { cluster, alloc });
@@ -1760,6 +1872,236 @@ impl<'a> World<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Elasticity: monitoring, autoscaling, node failures
+    // ------------------------------------------------------------------
+
+    /// Samples per-cluster utilization and the placement-queue depth
+    /// into the report. Strictly passive: the sample drives no
+    /// scheduling decision, so enabling monitoring never perturbs the
+    /// trajectory.
+    fn on_monitor_sample(&mut self, engine: &mut Engine<Ev>) {
+        let now = engine.now();
+        let utilization = self.mc.clusters().map(|c| {
+            let cap = c.capacity();
+            if cap == 0 {
+                0.0
+            } else {
+                f64::from(c.used()) / f64::from(cap)
+            }
+        });
+        self.collect
+            .monitor_sample(now, utilization, self.queue.len());
+        if !self.done() {
+            engine.schedule_in(self.cfg.elasticity.monitor_period, Ev::MonitorSample);
+        }
+    }
+
+    /// One autoscaling cycle: observe every cluster, ask the policy, and
+    /// schedule the non-`Hold` decisions to land after the propagation
+    /// delay — by which time the observed state may be stale.
+    fn on_autoscale_cycle(&mut self, engine: &mut Engine<Ev>) {
+        let Some(scaler) = self.autoscaler.as_deref() else {
+            return;
+        };
+        let delay = self.cfg.elasticity.autoscale_delay;
+        let queue_depth = self.queue.len();
+        for (i, c) in self.mc.clusters().enumerate() {
+            let obs = ClusterObservation {
+                cluster: ClusterId(i as u16),
+                capacity: c.capacity(),
+                spec_nodes: c.spec().nodes,
+                used: c.used(),
+                queue_depth,
+            };
+            match scaler.decide(&obs) {
+                ScaleDecision::Hold => {}
+                ScaleDecision::Grow(count) => engine.schedule_in(
+                    delay,
+                    Ev::AutoscaleApply {
+                        cluster: obs.cluster,
+                        grow: true,
+                        count,
+                    },
+                ),
+                ScaleDecision::Shrink(count) => engine.schedule_in(
+                    delay,
+                    Ev::AutoscaleApply {
+                        cluster: obs.cluster,
+                        grow: false,
+                        count,
+                    },
+                ),
+            }
+        }
+        if !self.done() {
+            engine.schedule_in(self.cfg.elasticity.autoscale_period, Ev::AutoscaleCycle);
+        }
+    }
+
+    /// A scale decision lands. Grow repairs down nodes (the pool ceiling
+    /// is the cluster's static size); shrink withdraws free nodes only —
+    /// autoscaling never kills or shrinks running jobs, that is the
+    /// failure stream's (or [`Ev::NodeWithdraw`]'s) job.
+    fn on_autoscale_apply(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        cluster: ClusterId,
+        grow: bool,
+        count: u32,
+    ) {
+        let now = engine.now();
+        if grow {
+            let restored = self.mc.cluster_mut(cluster).restore(count);
+            if restored > 0 {
+                self.collect.scale_op(now, true);
+                self.trace.record(now, "scale-up", cluster.0 as u64, || {
+                    format!("{restored} nodes")
+                });
+                self.touch_util(now);
+                self.capacity_freed(engine, cluster);
+            }
+        } else {
+            let taken = self.mc.cluster_mut(cluster).withdraw_free(count);
+            if taken > 0 {
+                self.collect.scale_op(now, false);
+                self.trace.record(now, "scale-down", cluster.0 as u64, || {
+                    format!("{taken} nodes")
+                });
+                self.sync_baseline(cluster);
+                self.touch_util(now);
+            }
+        }
+    }
+
+    /// Seeded node crash: take nodes (busy ones included), handle every
+    /// job that lost processors per the configured
+    /// [`multicluster::FailurePolicy`], and schedule the repair.
+    fn on_node_crash(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        cluster: ClusterId,
+        count: u32,
+        repair_after: SimDuration,
+    ) {
+        let now = engine.now();
+        let (taken, victims) = self.mc.cluster_mut(cluster).crash(count);
+        self.trace.record(now, "crash", cluster.0 as u64, || {
+            format!("{taken} nodes, {} victim allocations", victims.len())
+        });
+        for v in &victims {
+            match v.owner {
+                AllocOwner::Koala(jid) => {
+                    self.crash_koala_victim(engine, JobId(jid as u32), v);
+                }
+                AllocOwner::Local(_) => {
+                    // The background job's allocation shrank in place or
+                    // vanished with its last node; `on_bg_complete`
+                    // tolerates both when its completion fires.
+                }
+            }
+        }
+        if taken > 0 {
+            self.sync_baseline(cluster);
+            self.touch_util(now);
+            engine.schedule_in(
+                repair_after,
+                Ev::NodeRestore {
+                    cluster,
+                    count: taken,
+                },
+            );
+        }
+        // Draw the next failure unconditionally — the stream is a pure
+        // function of its seed, never of what this crash hit.
+        if let Some(stream) = self.failures.as_mut() {
+            let f = stream.next_event();
+            engine.schedule_at(
+                f.at,
+                Ev::NodeCrash {
+                    cluster: f.cluster,
+                    count: f.nodes,
+                    repair_after: f.repair_after,
+                },
+            );
+        }
+    }
+
+    /// One KOALA job lost processors to a crash: release whatever
+    /// survived (the remainder of the crashed allocation plus any
+    /// co-allocated components elsewhere), then kill or re-queue the job
+    /// per the failure policy. The work done so far is lost either way —
+    /// the paper's malleable applications checkpoint nothing.
+    fn crash_koala_victim(&mut self, engine: &mut Engine<Ev>, id: JobId, v: &CrashVictim) {
+        let now = engine.now();
+        let Some(job) = self.jobs.get(id) else {
+            return;
+        };
+        if job.is_terminal() {
+            return;
+        }
+        let slot = self.jobs.slot_of(id);
+        let job = self.jobs.get_mut(id).expect("checked live above");
+        let home = job.cluster.take();
+        // Cancel any in-flight malleability state, as on completion.
+        if let Some(runner) = job.runner.as_mut() {
+            runner.abort_grow();
+            let in_release = runner.releasing();
+            if in_release > 0 {
+                if let Some(c) = home {
+                    self.pending_release[c.index()] =
+                        self.pending_release[c.index()].saturating_sub(in_release);
+                }
+                runner.release_confirmed();
+            }
+        }
+        let alloc = job.alloc.take();
+        let extras = std::mem::take(&mut job.extra_allocs);
+        job.runner = None;
+        job.progress = None;
+        job.started = None;
+        job.initiative_fired = false;
+        job.pending_claim = None;
+        job.gen.bump(); // invalidate every remaining event for this job
+        match self.cfg.elasticity.failure_policy {
+            FailurePolicy::Kill => {
+                job.phase = JobPhase::Failed;
+                self.trace.record(now, "killed", id.0 as u64, || {
+                    format!("crash took {} nodes", v.lost)
+                });
+                self.collect.job_killed(slot);
+                self.jobs.retire(id);
+            }
+            FailurePolicy::Requeue => {
+                job.phase = JobPhase::Queued;
+                self.trace.record(now, "requeue", id.0 as u64, || {
+                    format!("crash took {} nodes", v.lost)
+                });
+                self.collect.job_requeued();
+                self.queue.push_back(id);
+            }
+        }
+        // Release the survivors. The crashed allocation may be gone
+        // entirely (`alloc_size` is `None` once its last node went
+        // down); co-allocated components on other clusters are intact.
+        let mut freed: Vec<ClusterId> = Vec::new();
+        for (c, a) in home.zip(alloc).into_iter().chain(extras) {
+            if self.mc.cluster(c).alloc_size(a).is_some() {
+                self.mc
+                    .cluster_mut(c)
+                    .release(a)
+                    .expect("liveness checked above");
+                if !freed.contains(&c) {
+                    freed.push(c);
+                }
+            }
+        }
+        self.touch_util(now);
+        for c in freed {
+            self.capacity_freed(engine, c);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
 
@@ -1863,9 +2205,17 @@ pub(crate) fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
 /// # Panics
 /// Panics on an invalid configuration (see
 /// [`ExperimentConfig::validate`]) — experiments should fail loudly, not
-/// produce subtly wrong numbers.
+/// produce subtly wrong numbers. Use [`try_run_experiment`] to handle
+/// configuration errors as values instead.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
     run_experiment_seeded(cfg, cfg.seed)
+}
+
+/// [`run_experiment`] with configuration errors surfaced as a typed
+/// [`ConfigError`] instead of a panic — for callers assembling
+/// configurations from untrusted input (files, CLI flags).
+pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<RunReport, ConfigError> {
+    try_run_experiment_seeded(cfg, cfg.seed)
 }
 
 /// Runs one configuration under an explicit `seed` without cloning the
@@ -1874,11 +2224,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
 /// # Panics
 /// Panics on an invalid configuration, like [`run_experiment`].
 pub fn run_experiment_seeded(cfg: &ExperimentConfig, seed: u64) -> RunReport {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid experiment configuration: {e}");
-    }
+    try_run_experiment_seeded(cfg, seed)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
+}
+
+/// [`run_experiment_seeded`] with a `Result`-shaped error path.
+pub fn try_run_experiment_seeded(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Result<RunReport, ConfigError> {
+    cfg.validate()?;
     let mut engine = engine_for(cfg);
-    World::for_seed(cfg, seed).run_to_completion(&mut engine)
+    Ok(World::for_seed(cfg, seed).run_to_completion(&mut engine))
 }
 
 /// Runs the same configuration across several seeds in parallel on the
@@ -1902,17 +2259,29 @@ pub fn run_experiment_summary(cfg: &ExperimentConfig) -> SummaryReport {
     run_experiment_summary_seeded(cfg, cfg.seed)
 }
 
+/// [`run_experiment_summary`] with a `Result`-shaped error path.
+pub fn try_run_experiment_summary(cfg: &ExperimentConfig) -> Result<SummaryReport, ConfigError> {
+    try_run_experiment_summary_seeded(cfg, cfg.seed)
+}
+
 /// [`run_experiment_summary`] under an explicit `seed` without cloning
 /// the configuration — the cell entry point of summarized sweeps.
 ///
 /// # Panics
 /// Panics on an invalid configuration, like [`run_experiment`].
 pub fn run_experiment_summary_seeded(cfg: &ExperimentConfig, seed: u64) -> SummaryReport {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid experiment configuration: {e}");
-    }
+    try_run_experiment_summary_seeded(cfg, seed)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
+}
+
+/// [`run_experiment_summary_seeded`] with a `Result`-shaped error path.
+pub fn try_run_experiment_summary_seeded(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Result<SummaryReport, ConfigError> {
+    cfg.validate()?;
     let mut engine = engine_for(cfg);
-    World::for_seed_summarized(cfg, seed).run_to_summary(&mut engine)
+    Ok(World::for_seed_summarized(cfg, seed).run_to_summary(&mut engine))
 }
 
 /// Summarized counterpart of [`run_seeds`]: one memory-bounded run per
@@ -1938,27 +2307,37 @@ pub fn run_seeds_summary(cfg: &ExperimentConfig, seeds: &[u64]) -> MultiSummary 
 ///
 /// # Panics
 /// Panics on invalid scheduler/report settings, like [`run_experiment`].
+/// Use [`try_run_stream_summary`] for a `Result`-shaped error path.
 pub fn run_stream_summary(
     cfg: &ExperimentConfig,
     seed: u64,
     stream: &mut dyn JobStream,
     lookahead: usize,
 ) -> SummaryReport {
-    if let Err(e) = cfg.sched.validate() {
-        panic!("invalid experiment configuration: {e}");
-    }
+    try_run_stream_summary(cfg, seed, stream, lookahead)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
+}
+
+/// [`run_stream_summary`] with a `Result`-shaped error path. Validates
+/// the scheduler, report and elasticity settings only — the stream *is*
+/// the workload, so the configured workload/generator are not checked.
+pub fn try_run_stream_summary(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    stream: &mut dyn JobStream,
+    lookahead: usize,
+) -> Result<SummaryReport, ConfigError> {
+    cfg.sched.validate()?;
     if cfg.report.quantile_capacity == 0 {
-        panic!(
-            "invalid experiment configuration: {}",
-            crate::config::ConfigError::ZeroQuantileCapacity
-        );
+        return Err(ConfigError::ZeroQuantileCapacity);
     }
+    cfg.elasticity.validate()?;
     let cap = lookahead.max(1) * 2 + 64;
     let mut engine = match cfg.horizon {
         Some(h) => Engine::with_horizon_and_capacity(SimTime::ZERO + h, cap),
         None => Engine::with_capacity(cap),
     };
-    World::for_stream_summarized(cfg, seed, stream, lookahead).run_to_summary(&mut engine)
+    Ok(World::for_stream_summarized(cfg, seed, stream, lookahead).run_to_summary(&mut engine))
 }
 
 /// [`run_stream_summary`] over the configuration's **own** workload:
@@ -1971,24 +2350,36 @@ pub fn run_stream_summary(
 ///
 /// # Panics
 /// Panics when the configuration has neither a trace nor a generator,
-/// or on an unknown source name / invalid settings.
+/// or on an unknown source name / invalid settings. Use
+/// [`try_run_generator_summary_seeded`] for a `Result`-shaped path.
 pub fn run_generator_summary_seeded(
     cfg: &ExperimentConfig,
     seed: u64,
     lookahead: usize,
 ) -> SummaryReport {
+    try_run_generator_summary_seeded(cfg, seed, lookahead)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
+}
+
+/// [`run_generator_summary_seeded`] with a `Result`-shaped error path:
+/// a configuration with neither a trace nor a generator yields
+/// [`ConfigError::MissingGenerator`], an unknown source name the
+/// registry's typed error.
+pub fn try_run_generator_summary_seeded(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    lookahead: usize,
+) -> Result<SummaryReport, ConfigError> {
     if let Some(trace) = &cfg.trace {
         let mut stream = appsim::generate::SliceStream::new(trace);
-        return run_stream_summary(cfg, seed, &mut stream, lookahead);
+        return try_run_stream_summary(cfg, seed, &mut stream, lookahead);
     }
     let Some(name) = &cfg.generator else {
-        panic!("run_generator_summary_seeded needs cfg.generator (a workload-source name)");
+        return Err(ConfigError::MissingGenerator);
     };
-    let src = appsim::generate::WorkloadRegistry::global()
-        .source(name)
-        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    let src = appsim::generate::WorkloadRegistry::global().source(name)?;
     let mut stream = src.stream(seed, cfg.workload.jobs as u64);
-    run_stream_summary(cfg, seed, stream.as_mut(), lookahead)
+    try_run_stream_summary(cfg, seed, stream.as_mut(), lookahead)
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! End-to-end tests of the elasticity layer: monitoring, autoscaling,
+//! seeded node failures and stale-view scheduling — plus the guarantee
+//! that none of it breaks the parallel runner's bit-identical
+//! determinism.
+
+use appsim::workload::WorkloadSpec;
+use koala::scenario::Scenario;
+use koala::sim::Ev;
+use koala::{
+    run_experiment, run_seeds_sequential, run_seeds_summary_sequential,
+    run_seeds_summary_with_threads, run_seeds_with_threads, JobPhase, World,
+};
+use koala_metrics::JobOutcome;
+use multicluster::{FailurePolicy, FailureSpec};
+use simcore::{Engine, SimDuration};
+
+fn failures_every(mtbf_s: u64) -> FailureSpec {
+    FailureSpec::new(
+        SimDuration::from_secs(mtbf_s),
+        SimDuration::from_secs(600),
+        12,
+    )
+}
+
+/// The full elastic stack — bursty-ish load, threshold autoscaler,
+/// failures, staleness, monitoring — on the parallel runner: the merged
+/// report renders byte-identically to the sequential loop.
+#[test]
+fn elastic_scenario_is_bit_identical_parallel_vs_sequential() {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(24)
+        .monitor(SimDuration::from_secs(120))
+        .autoscaler("threshold")
+        .autoscale_timing(SimDuration::from_secs(300), SimDuration::from_secs(30))
+        .failures(failures_every(1800))
+        .staleness(SimDuration::from_secs(45))
+        .seeds([1, 2, 3, 4])
+        .build()
+        .unwrap();
+    let cfg = scenario.config();
+    let seeds = scenario.seeds();
+    let sequential = run_seeds_sequential(cfg, seeds);
+    let parallel = run_seeds_with_threads(cfg, seeds, 3);
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "elastic full-report sweep diverged across thread counts"
+    );
+    let seq_summary = run_seeds_summary_sequential(cfg, seeds);
+    let par_summary = run_seeds_summary_with_threads(cfg, seeds, 3);
+    assert_eq!(
+        format!("{seq_summary:?}"),
+        format!("{par_summary:?}"),
+        "elastic summarized sweep diverged across thread counts"
+    );
+    // The monitoring streams actually saw samples.
+    let pooled = seq_summary.pooled();
+    assert!(
+        pooled.monitor_utilization.count() > 0,
+        "monitoring on, but no utilization samples were recorded"
+    );
+    assert!(pooled.monitor_queue_depth.count() > 0);
+}
+
+/// 600-job soak under autoscaling and recurring node crashes with the
+/// re-queue policy: every job eventually completes (crashes cost work,
+/// never jobs), some were demonstrably re-queued, and the scaler
+/// demonstrably acted.
+#[test]
+fn soak_autoscaled_with_failures_completes_every_job() {
+    let scenario = Scenario::builder()
+        .malleability("egs")
+        .workload(WorkloadSpec::wm())
+        .jobs(600)
+        .monitor(SimDuration::from_secs(300))
+        .autoscaler("queue_depth")
+        .autoscale_timing(SimDuration::from_secs(600), SimDuration::from_secs(60))
+        .failures(failures_every(3600))
+        .failure_policy(FailurePolicy::Requeue)
+        .seed(11)
+        .build()
+        .unwrap();
+    let r = run_experiment(scenario.config());
+    assert_eq!(r.jobs.len(), 600);
+    assert!(
+        r.jobs_requeued > 0,
+        "the failure stream never hit a running job — tune mtbf down"
+    );
+    assert_eq!(r.jobs_killed, 0, "requeue policy must not kill");
+    for rec in r.jobs.records() {
+        assert_eq!(
+            rec.outcome,
+            JobOutcome::Completed,
+            "job {} ended {:?} instead of completing",
+            rec.id,
+            rec.outcome
+        );
+    }
+}
+
+/// The kill policy terminates jobs whose nodes crash: killed jobs are
+/// counted, marked [`JobOutcome::Killed`], and everything else still
+/// reaches a terminal state.
+#[test]
+fn kill_policy_kills_and_accounts_for_crashed_jobs() {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(120)
+        .failures(failures_every(900))
+        .failure_policy(FailurePolicy::Kill)
+        .seed(5)
+        .build()
+        .unwrap();
+    let r = run_experiment(scenario.config());
+    assert!(
+        r.jobs_killed > 0,
+        "no job was ever on a crashed node — tune mtbf down"
+    );
+    let killed = r
+        .jobs
+        .records()
+        .iter()
+        .filter(|rec| rec.outcome == JobOutcome::Killed)
+        .count() as u64;
+    assert_eq!(killed, r.jobs_killed, "counter and job table disagree");
+    for rec in r.jobs.records() {
+        assert_ne!(
+            rec.outcome,
+            JobOutcome::Unfinished,
+            "job {} left dangling after a crash",
+            rec.id
+        );
+    }
+}
+
+/// Monitoring is strictly passive: switching it on changes no job's
+/// trajectory, only the report's extra series.
+#[test]
+fn monitoring_does_not_perturb_the_run() {
+    let base = Scenario::builder()
+        .malleability("egs")
+        .workload(WorkloadSpec::wm())
+        .jobs(20)
+        .seed(3);
+    let plain = base.clone().build().unwrap();
+    let monitored = base.monitor(SimDuration::from_secs(60)).build().unwrap();
+    let r_plain = run_experiment(plain.config());
+    let r_mon = run_experiment(monitored.config());
+    assert_eq!(
+        format!("{:?}", r_plain.jobs),
+        format!("{:?}", r_mon.jobs),
+        "monitoring changed job outcomes"
+    );
+    assert_eq!(r_plain.makespan, r_mon.makespan);
+}
+
+/// A mostly idle system under the threshold scaler gets scaled down —
+/// and the withdrawals never touch a running job, so everything still
+/// completes.
+#[test]
+fn threshold_scaler_shrinks_an_idle_system() {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(6)
+        .background(multicluster::BackgroundLoad::none())
+        .autoscaler("threshold")
+        .autoscale_timing(SimDuration::from_secs(300), SimDuration::from_secs(30))
+        .seed(2)
+        .build()
+        .unwrap();
+    let r = run_experiment(scenario.config());
+    assert!(
+        r.scale_downs > 0,
+        "an almost-empty DAS-3 should trip the low-utilization band"
+    );
+    assert!((r.jobs.completion_ratio() - 1.0).abs() < 1e-12);
+}
+
+/// Satellite: a **never-polled** information service is maximally
+/// stale — the scheduler refuses to place against it instead of
+/// panicking or placing blind, and recovers at the first real poll.
+#[test]
+fn never_polled_kis_blocks_placement_until_the_first_poll() {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(2)
+        .seed(9)
+        .build()
+        .unwrap();
+    let cfg = scenario.config();
+    let mut engine: Engine<Ev> = Engine::with_capacity(256);
+    let mut w = World::for_seed(cfg, 9);
+    // Deliberately skip bootstrap: no KisPoll has ever fired.
+    w.handle(&mut engine, Ev::Arrival(0));
+    assert_eq!(
+        w.job_phase(koala::JobId(0)),
+        JobPhase::Queued,
+        "job placed against a never-polled (maximally stale) view"
+    );
+    assert_eq!(w.multicluster().total_used_by_koala(), 0);
+    // The first poll publishes a snapshot and the queued job places.
+    w.handle(&mut engine, Ev::KisPoll);
+    assert_ne!(
+        w.job_phase(koala::JobId(0)),
+        JobPhase::Queued,
+        "fresh snapshot should unblock placement"
+    );
+}
+
+/// Staleness as a scenario axis: with a large KIS lag, even a *polled*
+/// snapshot is withheld until it matures, so early arrivals keep
+/// queueing exactly as with a never-polled service.
+#[test]
+fn stale_views_delay_placement() {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(2)
+        .staleness(SimDuration::from_secs(3600))
+        .seed(9)
+        .build()
+        .unwrap();
+    let cfg = scenario.config();
+    let mut engine: Engine<Ev> = Engine::with_capacity(256);
+    let mut w = World::for_seed(cfg, 9);
+    // Poll at t=0: the snapshot exists but is still in flight (age 0 <
+    // lag), so placement must keep refusing.
+    w.handle(&mut engine, Ev::KisPoll);
+    w.handle(&mut engine, Ev::Arrival(0));
+    assert_eq!(
+        w.job_phase(koala::JobId(0)),
+        JobPhase::Queued,
+        "job placed against a snapshot younger than the configured lag"
+    );
+    assert_eq!(w.multicluster().total_used_by_koala(), 0);
+}

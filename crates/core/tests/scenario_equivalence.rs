@@ -44,6 +44,7 @@ fn legacy_paper_cell(policy: &str, approach: Approach, workload: WorkloadSpec) -
         heterogeneous: false,
         uniform_topology: None,
         report: koala::config::ReportConfig::default(),
+        elasticity: koala::config::ElasticityConfig::default(),
     }
 }
 

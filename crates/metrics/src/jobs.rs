@@ -21,6 +21,9 @@ pub enum JobOutcome {
     Completed,
     /// Dropped after exceeding the placement-retry threshold.
     PlacementFailed,
+    /// Killed by a node crash (elasticity experiments with
+    /// `FailurePolicy::Kill`).
+    Killed,
     /// Still in the system when the experiment ended.
     Unfinished,
 }

@@ -117,6 +117,21 @@ struct Allocation {
     nodes: Vec<NodeId>,
 }
 
+/// One allocation's losses in a [`Cluster::crash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashVictim {
+    /// The allocation that lost nodes.
+    pub alloc: AllocId,
+    /// Who owned it (so the scheduler can re-queue KOALA jobs and drop
+    /// background jobs).
+    pub owner: AllocOwner,
+    /// How many of its nodes went down.
+    pub lost: u32,
+    /// True when the crash removed the allocation's last node; the
+    /// handle is gone and must not be released again.
+    pub destroyed: bool,
+}
+
 /// A cluster: nodes, free list, and live allocations.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -299,6 +314,66 @@ impl Cluster {
         take
     }
 
+    /// Crashes up to `count` nodes outright — busy nodes included, unlike
+    /// the polite [`Cluster::withdraw_free`]. Nodes fail in ascending
+    /// node-id order among those not already down, so a crash
+    /// deterministically hits the oldest allocations first (low ids are
+    /// handed out first). Returns how many nodes actually went down plus
+    /// one [`CrashVictim`] per allocation that lost nodes; crashed nodes
+    /// rejoin the pool via [`Cluster::restore`].
+    pub fn crash(&mut self, count: u32) -> (u32, Vec<CrashVictim>) {
+        let mut taken = 0u32;
+        let mut victims: BTreeMap<AllocId, CrashVictim> = BTreeMap::new();
+        for i in 0..self.states.len() {
+            if taken == count {
+                break;
+            }
+            match self.states[i] {
+                NodeState::Down => {}
+                NodeState::Free => {
+                    let pos = self
+                        .free
+                        .iter()
+                        .position(|n| n.0 as usize == i)
+                        .expect("Free state implies free-list membership");
+                    self.free.remove(pos);
+                    self.states[i] = NodeState::Down;
+                    self.down += 1;
+                    taken += 1;
+                }
+                NodeState::Busy(id) => {
+                    let alloc = self
+                        .allocs
+                        .get_mut(&id)
+                        .expect("Busy state implies a live allocation");
+                    let pos = alloc
+                        .nodes
+                        .iter()
+                        .position(|n| n.0 as usize == i)
+                        .expect("Busy state implies membership in its allocation");
+                    alloc.nodes.remove(pos);
+                    let owner = alloc.owner;
+                    let destroyed = alloc.nodes.is_empty();
+                    if destroyed {
+                        self.allocs.remove(&id);
+                    }
+                    self.states[i] = NodeState::Down;
+                    self.down += 1;
+                    taken += 1;
+                    let v = victims.entry(id).or_insert(CrashVictim {
+                        alloc: id,
+                        owner,
+                        lost: 0,
+                        destroyed: false,
+                    });
+                    v.lost += 1;
+                    v.destroyed = destroyed;
+                }
+            }
+        }
+        (taken, victims.into_values().collect())
+    }
+
     /// Returns withdrawn nodes to the pool. Returns how many came back.
     pub fn restore(&mut self, count: u32) -> u32 {
         let mut restored = 0;
@@ -464,6 +539,54 @@ mod tests {
         assert_eq!(c.restore(2), 2);
         assert_eq!(c.capacity(), 8);
         assert_eq!(c.idle(), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_takes_busy_nodes_and_reports_victims() {
+        let mut c = cluster(10);
+        let a = c.allocate(AllocOwner::Koala(1), 3).unwrap(); // nodes 0,1,2
+        let b = c.allocate(AllocOwner::Local(9), 2).unwrap(); // nodes 3,4
+        let (taken, mut victims) = c.crash(4); // nodes 0..=3 go down
+        assert_eq!(taken, 4);
+        victims.sort_by_key(|v| v.alloc);
+        assert_eq!(
+            victims,
+            vec![
+                CrashVictim {
+                    alloc: a,
+                    owner: AllocOwner::Koala(1),
+                    lost: 3,
+                    destroyed: true,
+                },
+                CrashVictim {
+                    alloc: b,
+                    owner: AllocOwner::Local(9),
+                    lost: 1,
+                    destroyed: false,
+                },
+            ]
+        );
+        assert_eq!(c.capacity(), 6);
+        assert_eq!(c.alloc_size(a), None, "fully crashed allocation is gone");
+        assert_eq!(c.alloc_size(b), Some(1));
+        c.check_invariants().unwrap();
+        // Crashed nodes come back through the same repair path as
+        // withdrawn ones.
+        assert_eq!(c.restore(4), 4);
+        assert_eq!(c.capacity(), 10);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_saturates_at_pool_size_and_skips_down_nodes() {
+        let mut c = cluster(5);
+        c.withdraw_free(2); // nodes 0,1 down (free stack pops lowest first)
+        let (taken, victims) = c.crash(10);
+        assert_eq!(taken, 3, "only nodes still up can crash");
+        assert!(victims.is_empty(), "no allocations were harmed");
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.idle(), 0);
         c.check_invariants().unwrap();
     }
 

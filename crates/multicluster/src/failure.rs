@@ -1,0 +1,163 @@
+//! Seeded node crash/recover event streams.
+//!
+//! The paper's experiments assume clusters whose capacity only changes
+//! when an operator withdraws *free* nodes; production multiclusters also
+//! lose busy nodes to hardware faults. This module supplies the
+//! *involuntary* shrink side of the elasticity layer: a
+//! [`FailureStream`] that, given a [`FailureSpec`] and a forked
+//! [`SimRng`], emits an endless sequence of [`FailureEvent`]s — each
+//! saying when a crash happens, which cluster it hits, how many nodes go
+//! down, and how long the repair takes.
+//!
+//! The stream is a **pure function of its seed**: it owns its RNG and
+//! never reads simulation state, so two streams built from equal specs
+//! and equal rng forks produce identical event sequences (property-tested
+//! in `tests/failure_props.rs`). The scheduler turns each event into a
+//! [`Cluster::crash`](crate::cluster::Cluster::crash) plus a delayed
+//! [`Cluster::restore`](crate::cluster::Cluster::restore), deciding per
+//! [`FailurePolicy`] what happens to the KOALA jobs caught on the dead
+//! nodes.
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::ids::ClusterId;
+
+/// Parameters of the node-failure process (one shared process across the
+/// whole multicluster; each event picks a victim cluster uniformly).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailureSpec {
+    /// Mean time between failure events (exponential inter-arrival).
+    pub mtbf: SimDuration,
+    /// Mean time to repair the crashed nodes (exponential, min 1 ms so a
+    /// repair never lands at the crash instant).
+    pub mttr: SimDuration,
+    /// Each event fails `1..=max_nodes` nodes (uniform).
+    pub max_nodes: u32,
+}
+
+impl FailureSpec {
+    /// Builds a spec; see the field docs for the distributional meaning.
+    pub fn new(mtbf: SimDuration, mttr: SimDuration, max_nodes: u32) -> Self {
+        FailureSpec {
+            mtbf,
+            mttr,
+            max_nodes,
+        }
+    }
+}
+
+/// What the scheduler does with a KOALA job whose nodes crashed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FailurePolicy {
+    /// Release the job's surviving allocations and put it back in the
+    /// placement queue (it restarts from scratch; the paper's malleable
+    /// applications checkpoint nothing).
+    #[default]
+    Requeue,
+    /// Kill the job: release surviving allocations and mark it failed.
+    Kill,
+}
+
+/// One node-crash occurrence produced by a [`FailureStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Absolute time of the crash.
+    pub at: SimTime,
+    /// The cluster losing nodes.
+    pub cluster: ClusterId,
+    /// How many nodes go down (capped by the victim cluster's live pool
+    /// when applied).
+    pub nodes: u32,
+    /// Delay until the crashed nodes are repaired and restored.
+    pub repair_after: SimDuration,
+}
+
+/// An endless, seeded sequence of crash events.
+///
+/// Draw order per event is fixed (gap, cluster, node count, repair time),
+/// which is what makes the stream reproducible: never reorder or skip
+/// draws based on simulation state.
+#[derive(Debug, Clone)]
+pub struct FailureStream {
+    spec: FailureSpec,
+    n_clusters: u16,
+    rng: SimRng,
+    clock: SimTime,
+}
+
+impl FailureStream {
+    /// Builds a stream over `n_clusters` clusters from its own RNG fork.
+    /// Events start from simulation time zero.
+    pub fn new(spec: FailureSpec, n_clusters: u16, rng: SimRng) -> Self {
+        FailureStream {
+            spec,
+            n_clusters,
+            rng,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &FailureSpec {
+        &self.spec
+    }
+
+    /// Draws the next crash event. Inter-arrival gaps are clamped to at
+    /// least 1 ms so consecutive crashes never share a timestamp.
+    pub fn next_event(&mut self) -> FailureEvent {
+        let gap = self.sample_exp(self.spec.mtbf);
+        self.clock += gap.max(SimDuration::from_millis(1));
+        let cluster = ClusterId(self.rng.u64_below(self.n_clusters.max(1) as u64) as u16);
+        let nodes = 1 + self.rng.u64_below(self.spec.max_nodes.max(1) as u64) as u32;
+        let repair_after = self
+            .sample_exp(self.spec.mttr)
+            .max(SimDuration::from_millis(1));
+        FailureEvent {
+            at: self.clock,
+            cluster,
+            nodes,
+            repair_after,
+        }
+    }
+
+    /// Exponential draw with the given mean, on the integer clock.
+    fn sample_exp(&mut self, mean: SimDuration) -> SimDuration {
+        let u = self.rng.f64_open0();
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FailureSpec {
+        FailureSpec::new(SimDuration::from_mins(30), SimDuration::from_mins(10), 4)
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_seed() {
+        let mut a = FailureStream::new(spec(), 5, SimRng::seed_from_u64(42));
+        let mut b = FailureStream::new(spec(), 5, SimRng::seed_from_u64(42));
+        for _ in 0..64 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+        let mut c = FailureStream::new(spec(), 5, SimRng::seed_from_u64(43));
+        let differs = (0..64).any(|_| a.next_event() != c.next_event());
+        assert!(differs, "different seeds should diverge");
+    }
+
+    #[test]
+    fn events_are_strictly_ordered_and_in_range() {
+        let mut s = FailureStream::new(spec(), 3, SimRng::seed_from_u64(7));
+        let mut last = SimTime::ZERO;
+        for _ in 0..256 {
+            let e = s.next_event();
+            assert!(e.at > last, "crash times strictly increase");
+            assert!(e.cluster.0 < 3);
+            assert!((1..=4).contains(&e.nodes));
+            assert!(!e.repair_after.is_zero());
+            last = e.at;
+        }
+    }
+}

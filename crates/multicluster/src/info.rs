@@ -62,21 +62,51 @@ impl InfoSnapshot {
     }
 }
 
-/// The information service: takes and caches snapshots.
+/// The information service: takes and caches snapshots, optionally
+/// delivering them with a propagation lag.
+///
+/// With a nonzero [`lag`](InfoService::with_lag), a poll taken at `t`
+/// only becomes the visible snapshot once a later poll happens at
+/// `t + lag` or beyond — the scheduler then always places against a view
+/// at least `lag` behind the true world (quantized up to the poll
+/// period, since promotion happens at poll times). This is the
+/// first-class "staleness" scenario axis.
 #[derive(Debug, Clone, Default)]
 pub struct InfoService {
-    snapshot: Option<InfoSnapshot>,
+    /// The snapshot the scheduler is allowed to see.
+    visible: Option<InfoSnapshot>,
+    /// Snapshots recorded but still in flight (taken less than `lag`
+    /// ago at the last poll). Oldest first; drained into `visible` as
+    /// they mature.
+    in_flight: std::collections::VecDeque<InfoSnapshot>,
+    /// Minimum age a snapshot must reach before becoming visible.
+    lag: simcore::SimDuration,
     polls: u64,
 }
 
 impl InfoService {
-    /// Creates a service with no snapshot yet.
+    /// Creates a service with no snapshot yet and zero propagation lag.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a service whose snapshots become visible only `lag` after
+    /// they are taken.
+    pub fn with_lag(lag: simcore::SimDuration) -> Self {
+        InfoService {
+            lag,
+            ..Self::default()
+        }
+    }
+
+    /// The configured propagation lag.
+    pub fn lag(&self) -> simcore::SimDuration {
+        self.lag
+    }
+
     /// Polls the processor information providers: records a fresh
-    /// snapshot of every cluster.
+    /// snapshot of every cluster, then promotes the newest recorded
+    /// snapshot that is at least [`lag`](InfoService::lag) old.
     pub fn poll<'a>(&mut self, now: SimTime, clusters: impl Iterator<Item = &'a Cluster>) {
         let mut idle = Vec::new();
         let mut capacity = Vec::new();
@@ -88,19 +118,27 @@ impl InfoService {
             used_by_koala.push(c.used_by_koala());
             used_by_local.push(c.used_by_local());
         }
-        self.snapshot = Some(InfoSnapshot {
+        self.in_flight.push_back(InfoSnapshot {
             taken_at: now,
             idle,
             capacity,
             used_by_koala,
             used_by_local,
         });
+        while let Some(front) = self.in_flight.front() {
+            if now.saturating_since(front.taken_at) >= self.lag {
+                self.visible = self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
         self.polls += 1;
     }
 
-    /// The latest snapshot, if any poll has happened.
+    /// The latest *visible* snapshot, if any poll has matured. With zero
+    /// lag this is the snapshot of the most recent poll.
     pub fn snapshot(&self) -> Option<&InfoSnapshot> {
-        self.snapshot.as_ref()
+        self.visible.as_ref()
     }
 
     /// Number of polls performed.
@@ -108,11 +146,24 @@ impl InfoService {
         self.polls
     }
 
-    /// Age of the current snapshot at `now`.
+    /// Age of the currently visible snapshot at `now`; `None` when no
+    /// poll has matured yet. Callers deciding whether a view is usable
+    /// should prefer [`InfoService::staleness_or_max`], which makes the
+    /// never-polled case explicit instead of easy to drop with `?`.
     pub fn staleness(&self, now: SimTime) -> Option<simcore::SimDuration> {
-        self.snapshot
+        self.visible
             .as_ref()
             .map(|s| now.saturating_since(s.taken_at))
+    }
+
+    /// Age of the currently visible snapshot at `now`, with a view that
+    /// has never been refreshed reported as [`SimDuration::MAX`]
+    /// ("maximally stale") — never as fresh. Placement code must refuse
+    /// to act (or force a refresh) on a maximally stale view.
+    ///
+    /// [`SimDuration::MAX`]: simcore::SimDuration::MAX
+    pub fn staleness_or_max(&self, now: SimTime) -> simcore::SimDuration {
+        self.staleness(now).unwrap_or(simcore::SimDuration::MAX)
     }
 }
 
@@ -172,6 +223,47 @@ mod tests {
             Some(simcore::SimDuration::ZERO)
         );
         assert_eq!(kis.polls(), 2);
+    }
+
+    #[test]
+    fn never_polled_view_is_maximally_stale() {
+        let kis = InfoService::new();
+        assert_eq!(kis.staleness(SimTime::from_secs(99)), None);
+        assert_eq!(
+            kis.staleness_or_max(SimTime::from_secs(99)),
+            simcore::SimDuration::MAX,
+            "a never-polled KIS must read as maximally stale, not fresh"
+        );
+        assert!(kis.snapshot().is_none());
+    }
+
+    #[test]
+    fn lagged_snapshots_mature_at_later_polls() {
+        let mut a = cluster("a", 10);
+        let mut kis = InfoService::with_lag(simcore::SimDuration::from_secs(30));
+        kis.poll(SimTime::ZERO, [&a].into_iter());
+        // Taken but not yet visible: the view is still maximally stale.
+        assert!(kis.snapshot().is_none());
+        assert_eq!(
+            kis.staleness_or_max(SimTime::from_secs(10)),
+            simcore::SimDuration::MAX
+        );
+        a.allocate(AllocOwner::Local(1), 8).unwrap();
+        kis.poll(SimTime::from_secs(40), [&a].into_iter());
+        // The matured snapshot is the one taken at t = 0: it lags the
+        // true world (which now has only 2 idle nodes).
+        let s = kis.snapshot().unwrap();
+        assert_eq!(s.taken_at, SimTime::ZERO);
+        assert_eq!(s.idle_of(ClusterId(0)), 10);
+        assert_eq!(
+            kis.staleness(SimTime::from_secs(40)),
+            Some(simcore::SimDuration::from_secs(40))
+        );
+        // The next poll promotes the t = 40 snapshot (70 - 40 >= 30).
+        kis.poll(SimTime::from_secs(70), [&a].into_iter());
+        assert_eq!(kis.snapshot().unwrap().taken_at, SimTime::from_secs(40));
+        assert_eq!(kis.snapshot().unwrap().idle_of(ClusterId(0)), 2);
+        assert_eq!(kis.polls(), 3);
     }
 
     #[test]

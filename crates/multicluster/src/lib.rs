@@ -25,12 +25,16 @@
 //! * [`Multicluster`] / [`das3`] — topology presets, including Table I of
 //!   the paper.
 //! * [`BackgroundLoad`] — stochastic local-user workload parameters.
+//! * [`FailureStream`] — seeded node crash/recover event streams for the
+//!   elasticity experiments; crashes hit busy nodes (unlike the polite
+//!   withdraw path) via [`Cluster::crash`](Cluster::crash).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod background;
 mod cluster;
+mod failure;
 mod files;
 mod gram;
 mod ids;
@@ -39,7 +43,8 @@ mod lrm;
 mod topology;
 
 pub use background::{BackgroundLoad, BackgroundSample};
-pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, NodeState};
+pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, CrashVictim, NodeState};
+pub use failure::{FailureEvent, FailurePolicy, FailureSpec, FailureStream};
 pub use files::{FileCatalog, FileId, FileMeta};
 pub use gram::GramConfig;
 pub use ids::{AllocId, ClusterId, NodeId};

@@ -215,28 +215,38 @@ impl BoundedPareto {
     }
 }
 
+impl BoundedPareto {
+    /// `(lo/hi)^k` evaluated as `exp(k·(ln lo − ln hi))`. The ratio is in
+    /// `(0, 1)`, so this never overflows, unlike `lo^k`/`hi^k` which hit
+    /// `inf` (and then `inf/inf = NaN`) for large `k` or `hi`.
+    fn ratio_pow(&self, k: f64) -> f64 {
+        (k * (self.lo.ln() - self.hi.ln())).exp()
+    }
+}
+
 impl Distribution for BoundedPareto {
     fn sample(&self, rng: &mut SimRng) -> f64 {
         let u = rng.f64();
-        let la = self.lo.powf(self.alpha);
-        let ha = self.hi.powf(self.alpha);
-        // Inverse CDF of the truncated Pareto.
-        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+        // Inverse CDF of the truncated Pareto, kept in log space:
+        //   x = lo · (1 − u·(1 − (lo/hi)^α))^(−1/α)
+        // which is algebraically the textbook form but only ever touches
+        // the bounded ratio (lo/hi)^α.
+        let r = self.ratio_pow(self.alpha);
+        let t = 1.0 - u * (1.0 - r);
+        self.lo * (-t.ln() / self.alpha).exp()
     }
     fn mean(&self) -> Option<f64> {
         let a = self.alpha;
         let (l, h) = (self.lo, self.hi);
         if (a - 1.0).abs() < 1e-12 {
-            let la = l.powf(a);
-            let ha = h.powf(a);
-            Some(la / (1.0 - la / ha) * (h.ln() - l.ln()))
+            // E[X] = lo · (ln hi − ln lo) / (1 − lo/hi) at α = 1.
+            Some(l * (h.ln() - l.ln()) / (1.0 - l / h))
         } else {
-            let la = l.powf(a);
-            let ha = h.powf(a);
-            Some(
-                la / (1.0 - la / ha) * a / (a - 1.0)
-                    * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)),
-            )
+            // E[X] = α/(α−1) · lo · (1 − (lo/hi)^(α−1)) / (1 − (lo/hi)^α):
+            // the closed form rewritten over bounded ratios.
+            let ra1 = self.ratio_pow(a - 1.0);
+            let ra = self.ratio_pow(a);
+            Some(a / (a - 1.0) * l * (1.0 - ra1) / (1.0 - ra))
         }
     }
 }
@@ -419,6 +429,33 @@ mod tests {
         let m = empirical_mean(&d, 8, 400_000);
         let closed = d.mean().unwrap();
         assert!((m - closed).abs() / closed < 0.03, "mean {m} vs {closed}");
+    }
+
+    #[test]
+    fn bounded_pareto_survives_extreme_parameters() {
+        // Regression: the pre-log-space implementation computed
+        // `lo^alpha`/`hi^alpha` directly; with alpha = 400 (hi^alpha =
+        // inf) or hi = 1e300 every sample and the mean degenerated to
+        // NaN. The log-space form must stay finite and in bounds.
+        for d in [
+            BoundedPareto::new(400.0, 1.5, 1_000.0),
+            BoundedPareto::new(2.5, 1.0, 1e300),
+            BoundedPareto::new(0.5, 1.0, 1e12),
+        ] {
+            let mut rng = SimRng::seed_from_u64(12);
+            for _ in 0..10_000 {
+                let x = d.sample(&mut rng);
+                assert!(x.is_finite(), "sample {x} for {d:?}");
+                assert!((d.lo..=d.hi).contains(&x), "sample {x} for {d:?}");
+            }
+            let mean = d.mean().unwrap();
+            assert!(mean.is_finite(), "mean {mean} for {d:?}");
+            assert!((d.lo..=d.hi).contains(&mean), "mean {mean} for {d:?}");
+        }
+        // With a huge tail index virtually all mass sits at `lo`.
+        let spiky = BoundedPareto::new(400.0, 1.5, 1_000.0);
+        let m = empirical_mean(&spiky, 13, 50_000);
+        assert!((m - spiky.mean().unwrap()).abs() < 0.01, "mean {m}");
     }
 
     #[test]

@@ -72,6 +72,10 @@ impl SimDuration {
     /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The largest representable duration; used as the "maximally stale"
+    /// age of information that has never been refreshed.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Builds a span from whole milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms)
