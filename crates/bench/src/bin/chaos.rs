@@ -1,0 +1,423 @@
+//! `koala-bench chaos` — the control-plane fault-injection sweep: lossy
+//! KOALA↔GRAM messaging (per-class loss, duplication, jitter, flaky
+//! channel episodes) on top of bursty arrivals and seeded node crashes.
+//!
+//! The sweep crosses **loss rate × retry timeout × attempt cap** and,
+//! for every cell, runs its seeds sequentially and in parallel while
+//! asserting the PR's robustness guarantees:
+//!
+//! * **Job conservation** — every arrived job completes, fails, or is
+//!   killed per the failure policy; nothing wedges in the queue.
+//! * **Zero leaked allocations** — KOALA holds no processors after the
+//!   last job terminates, even when release messages were lost and the
+//!   orphaned-allocation sweep had to reclaim them.
+//! * **Determinism** — the parallel summaries and their pooled
+//!   aggregates render byte-identically to the sequential ones, faults
+//!   included.
+//!
+//! One extra cell runs the heaviest loss point under the `Kill` failure
+//! policy, exercising the lost-work accounting path. Results (fault
+//! counters, conservation numbers, timings) land in the
+//! machine-readable baseline `BENCH_7.json` at the current directory
+//! (the repo root when run via `cargo run`).
+//!
+//! ```text
+//! cargo run --release -p koala_bench --bin chaos [-- --smoke] [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--smoke`   — a reduced sweep (2 seeds, small runs) for CI:
+//!   exercises every assertion in seconds, writes the JSON to a temp
+//!   file unless `--out` is given.
+//! * `--threads` — worker count for the parallel passes (default:
+//!   `KOALA_THREADS`, then the detected hardware parallelism).
+//! * `--out`     — output path for the JSON report.
+
+use std::time::Instant;
+
+use koala::config::RetryConfig;
+use koala::report::{MultiSummary, SummaryReport};
+use koala::scenario::Scenario;
+use koala::{run_seeds_summary_sequential, run_seeds_summary_with_threads};
+use koala_bench::{init_threads, SEEDS};
+use multicluster::{
+    ClassLoss, ControlPlaneFaultSpec, FailurePolicy, FailureSpec, FlakyChannelSpec,
+};
+use serde::Value;
+use simcore::SimDuration;
+
+/// The loss-rate axis (applied uniformly to every message class; the
+/// top point is the acceptance criterion's 20 %).
+const LOSS_RATES: [f64; 3] = [0.05, 0.10, 0.20];
+
+/// The retry-timeout axis, seconds.
+const TIMEOUTS_S: [u64; 2] = [10, 30];
+
+/// The attempt-cap axis (total sends per operation).
+const ATTEMPT_CAPS: [u32; 2] = [2, 4];
+
+/// One sweep cell.
+struct Cell {
+    name: String,
+    loss: f64,
+    timeout_s: u64,
+    max_attempts: u32,
+    policy: FailurePolicy,
+    scenario: Scenario,
+}
+
+/// What one cell produced: timings plus the pooled summary.
+struct Measurement {
+    seeds: usize,
+    jobs: usize,
+    sequential_s: f64,
+    parallel_s: f64,
+    pooled: SummaryReport,
+}
+
+/// The fault spec of one cell: uniform loss at `loss`, plus fixed
+/// duplication, jitter and flaky episodes so every fault pathway is
+/// exercised at every loss point.
+fn fault_spec(loss: f64) -> ControlPlaneFaultSpec {
+    ControlPlaneFaultSpec {
+        loss: ClassLoss::uniform(loss),
+        duplicate: 0.10,
+        max_jitter: SimDuration::from_millis(400),
+        flaky: Some(FlakyChannelSpec {
+            mean_gap: SimDuration::from_secs(1200),
+            mean_duration: SimDuration::from_secs(300),
+            loss: 0.6,
+        }),
+    }
+}
+
+fn retry(timeout_s: u64, max_attempts: u32) -> RetryConfig {
+    RetryConfig {
+        timeout: SimDuration::from_secs(timeout_s),
+        max_timeout: SimDuration::from_secs(timeout_s * 4),
+        max_attempts,
+        orphan_sweep_period: SimDuration::from_secs(60),
+        orphan_grace: SimDuration::from_secs(timeout_s * 5),
+    }
+}
+
+fn cell(
+    loss: f64,
+    timeout_s: u64,
+    max_attempts: u32,
+    policy: FailurePolicy,
+    jobs: usize,
+    seeds: &[u64],
+) -> Cell {
+    let name = format!(
+        "loss{:02.0}_t{}_a{}{}",
+        loss * 100.0,
+        timeout_s,
+        max_attempts,
+        if policy == FailurePolicy::Kill {
+            "_kill"
+        } else {
+            ""
+        }
+    );
+    // PWA: the make-room path sends mandatory shrinks, whose release
+    // batches are the messages the orphaned-allocation sweep guards —
+    // PRA only releases at completion, bypassing the release message.
+    let scenario = Scenario::builder()
+        .name(name.clone())
+        .malleability("fpsma")
+        .workload("bursty_lublin")
+        .pwa()
+        .jobs(jobs)
+        .seeds(seeds.iter().copied())
+        .ctrl_faults(fault_spec(loss))
+        .retry(retry(timeout_s, max_attempts))
+        .failures(FailureSpec::new(
+            SimDuration::from_secs(1800),
+            SimDuration::from_secs(600),
+            12,
+        ))
+        .failure_policy(policy)
+        .summarized()
+        .build()
+        .expect("chaos cell is a valid scenario");
+    Cell {
+        name,
+        loss,
+        timeout_s,
+        max_attempts,
+        policy,
+        scenario,
+    }
+}
+
+fn cells(smoke: bool) -> Vec<Cell> {
+    let (jobs, seeds): (usize, Vec<u64>) = if smoke {
+        (24, SEEDS[..2].to_vec())
+    } else {
+        (200, SEEDS.to_vec())
+    };
+    let mut out = Vec::new();
+    for &loss in &LOSS_RATES {
+        for &timeout_s in &TIMEOUTS_S {
+            for &cap in &ATTEMPT_CAPS {
+                out.push(cell(
+                    loss,
+                    timeout_s,
+                    cap,
+                    FailurePolicy::Requeue,
+                    jobs,
+                    &seeds,
+                ));
+            }
+        }
+    }
+    // The lost-work accounting path: heaviest loss point, crashed jobs
+    // killed instead of re-queued.
+    out.push(cell(
+        *LOSS_RATES.last().expect("loss axis is nonempty"),
+        TIMEOUTS_S[0],
+        ATTEMPT_CAPS[0],
+        FailurePolicy::Kill,
+        jobs,
+        &seeds,
+    ));
+    out
+}
+
+/// The robustness invariants of one run (or one pooled aggregate).
+fn assert_conserved(name: &str, s: &SummaryReport) {
+    assert_eq!(
+        s.jobs_submitted,
+        s.jobs_completed + s.jobs_failed + s.jobs_killed,
+        "{name}: job conservation violated (seed {}): submitted={} completed={} failed={} killed={}",
+        s.seed,
+        s.jobs_submitted,
+        s.jobs_completed,
+        s.jobs_failed,
+        s.jobs_killed
+    );
+    assert_eq!(
+        s.ctrl.leaked_allocations, 0,
+        "{name}: leaked allocations (seed {})",
+        s.seed
+    );
+}
+
+fn measure(c: &Cell, threads: usize) -> Measurement {
+    let cfg = c.scenario.config();
+    let seeds = c.scenario.seeds();
+
+    // Untimed warm-up so neither measured pass absorbs one-time costs.
+    let _ = run_seeds_summary_with_threads(cfg, seeds, threads);
+
+    let t0 = Instant::now();
+    let sequential: MultiSummary = run_seeds_summary_sequential(cfg, seeds);
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel: MultiSummary = run_seeds_summary_with_threads(cfg, seeds, threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    // Determinism under faults: per-message fates are pure functions of
+    // the RNG fork, so thread count must not leak into any report.
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "{}: parallel output diverged from sequential",
+        c.name
+    );
+    assert_eq!(
+        format!("{:?}", sequential.pooled()),
+        format!("{:?}", parallel.pooled()),
+        "{}: pooled summaries diverged",
+        c.name
+    );
+
+    for run in &sequential.runs {
+        assert_conserved(&c.name, run);
+    }
+    let pooled = sequential.pooled();
+    assert_conserved(&c.name, &pooled);
+
+    Measurement {
+        seeds: seeds.len(),
+        jobs: cfg.workload.jobs,
+        sequential_s,
+        parallel_s,
+        pooled,
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn report_json(smoke: bool, threads: usize, results: &[(Cell, Measurement)]) -> Value {
+    obj(vec![
+        ("bench", Value::String("BENCH_7".into())),
+        (
+            "description",
+            Value::String(
+                "Control-plane chaos sweep: loss rate x retry timeout x \
+                 attempt cap over bursty arrivals with node crashes. Every \
+                 cell asserts job conservation, zero leaked allocations, and \
+                 sequential-vs-parallel bit-identity (raw and pooled) before \
+                 its counters are recorded"
+                    .into(),
+            ),
+        ),
+        (
+            "command",
+            Value::String(format!(
+                "cargo run --release -p koala_bench --bin chaos{}",
+                if smoke { " -- --smoke" } else { "" }
+            )),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("threads", Value::UInt(threads as u64)),
+        (
+            "invariants_verified",
+            // measure() asserts conservation, zero leaks and seq==par
+            // (raw and pooled) for every cell before we get here.
+            Value::Bool(true),
+        ),
+        (
+            "cells",
+            Value::Array(
+                results
+                    .iter()
+                    .map(|(c, m)| {
+                        let p = &m.pooled;
+                        obj(vec![
+                            ("name", Value::String(c.name.clone())),
+                            ("loss", Value::Float(c.loss)),
+                            ("timeout_s", Value::UInt(c.timeout_s)),
+                            ("max_attempts", Value::UInt(u64::from(c.max_attempts))),
+                            (
+                                "failure_policy",
+                                Value::String(
+                                    match c.policy {
+                                        FailurePolicy::Kill => "kill",
+                                        FailurePolicy::Requeue => "requeue",
+                                    }
+                                    .into(),
+                                ),
+                            ),
+                            ("seeds", Value::UInt(m.seeds as u64)),
+                            ("jobs_per_run", Value::UInt(m.jobs as u64)),
+                            ("jobs_submitted", Value::UInt(p.jobs_submitted)),
+                            ("jobs_completed", Value::UInt(p.jobs_completed)),
+                            ("jobs_failed", Value::UInt(p.jobs_failed)),
+                            ("jobs_killed", Value::UInt(p.jobs_killed)),
+                            ("jobs_requeued", Value::UInt(p.jobs_requeued)),
+                            ("messages_lost", Value::UInt(p.ctrl.messages_lost)),
+                            ("timeouts", Value::UInt(p.ctrl.timeouts)),
+                            ("retries", Value::UInt(p.ctrl.retries)),
+                            ("duplicates_dropped", Value::UInt(p.ctrl.duplicates_dropped)),
+                            ("polls_lost", Value::UInt(p.ctrl.polls_lost)),
+                            (
+                                "reclaimed_allocations",
+                                Value::UInt(p.ctrl.reclaimed_allocations),
+                            ),
+                            ("flaky_deferrals", Value::UInt(p.ctrl.flaky_deferrals)),
+                            ("leaked_allocations", Value::UInt(p.ctrl.leaked_allocations)),
+                            (
+                                "completion_ratio",
+                                Value::Float(round3(p.completion_ratio())),
+                            ),
+                            ("sequential_s", Value::Float(round3(m.sequential_s))),
+                            ("parallel_s", Value::Float(round3(m.parallel_s))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        });
+    let threads = init_threads();
+
+    println!(
+        "koala-bench chaos — {} sweep, {} thread(s), summarized reporting",
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+
+    let mut results = Vec::new();
+    let mut lost_total = 0u64;
+    for c in cells(smoke) {
+        let m = measure(&c, threads);
+        let p = &m.pooled;
+        println!(
+            "  {:<18} {:>2} seeds x {:>3} jobs: done={:>5.1}% | lost {:>5} timeouts {:>4} \
+             retries {:>4} dups {:>3} reclaimed {:>3} deferred {:>3} | seq {:.3} s par {:.3} s",
+            c.name,
+            m.seeds,
+            m.jobs,
+            100.0 * p.completion_ratio(),
+            p.ctrl.messages_lost,
+            p.ctrl.timeouts,
+            p.ctrl.retries,
+            p.ctrl.duplicates_dropped,
+            p.ctrl.reclaimed_allocations,
+            p.ctrl.flaky_deferrals,
+            m.sequential_s,
+            m.parallel_s,
+        );
+        lost_total += p.ctrl.messages_lost;
+        results.push((c, m));
+    }
+    assert!(
+        lost_total > 0,
+        "the sweep injected zero faults — the fault layer is not engaged"
+    );
+    println!(
+        "  invariants: job conservation, zero leaked allocations, and seq==par \
+         bit-identity (raw and pooled) verified on every cell"
+    );
+
+    let json = report_json(smoke, threads, &results);
+    let text = serde_json::to_string_pretty(&ValueWrap(json)).expect("render JSON");
+    let path = out.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_7_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            "BENCH_7.json".to_string()
+        }
+    });
+    std::fs::write(&path, text + "\n").unwrap_or_else(|e| panic!("writing BENCH json {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Adapter: the offline `serde_json` stand-in serializes through the
+/// `serde::Serialize` trait; a raw [`Value`] tree passes through as-is.
+struct ValueWrap(Value);
+
+impl serde::Serialize for ValueWrap {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}

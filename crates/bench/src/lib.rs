@@ -25,7 +25,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use appsim::workload::WorkloadSpec;
-use koala::config::{Approach, ExperimentConfig};
+use koala::config::{Approach, ConfigError, ExperimentConfig};
 use koala::parallel::{self, Cell};
 use koala::policy::PolicyRegistry;
 use koala::report::{MultiReport, MultiSummary, SummaryReport};
@@ -96,13 +96,27 @@ pub fn init_threads_with_args() -> (usize, Vec<String>) {
 /// # Panics
 /// Panics when a name does not resolve against
 /// [`PolicyRegistry::global`] — matrices are static experiment
-/// definitions, and a typo should fail the binary loudly.
+/// definitions, and a typo should fail the binary loudly. Use
+/// [`try_scenario_matrix`] to handle the error instead.
 pub fn scenario_matrix(
     approach: Approach,
     placements: &[&str],
     malleability: &[&str],
     workloads: &[WorkloadSpec],
 ) -> Vec<ExperimentConfig> {
+    try_scenario_matrix(approach, placements, malleability, workloads)
+        .unwrap_or_else(|e| panic!("invalid scenario matrix cell: {e}"))
+}
+
+/// [`scenario_matrix`] with the config errors surfaced instead of
+/// panicking — an unknown policy name or an invalid cell comes back as
+/// the typed [`ConfigError`] naming the problem.
+pub fn try_scenario_matrix(
+    approach: Approach,
+    placements: &[&str],
+    malleability: &[&str],
+    workloads: &[WorkloadSpec],
+) -> Result<Vec<ExperimentConfig>, ConfigError> {
     let registry = PolicyRegistry::global();
     let mut out = Vec::new();
     for &p in placements {
@@ -114,19 +128,15 @@ pub fn scenario_matrix(
                     .approach(approach)
                     .workload(w.clone());
                 if placements.len() > 1 {
-                    let pl = registry.placement(p).expect("registered placement");
-                    let ml = registry.malleability(m).expect("registered malleability");
+                    let pl = registry.placement(p)?;
+                    let ml = registry.malleability(m)?;
                     b = b.name(cell_label(None, Some(pl.label()), ml.label(), w));
                 }
-                out.push(
-                    b.build()
-                        .expect("matrix cell must be a valid scenario")
-                        .into_config(),
-                );
+                out.push(b.build()?.into_config());
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The workload sources the `workloads` matrix binary sweeps (a
@@ -154,16 +164,24 @@ pub const WORKLOAD_TOPOLOGIES: [(u32, u32); 3] = [(2, 136), (5, 54), (10, 27)];
 ///
 /// # Panics
 /// Panics when a source or policy name does not resolve — matrices are
-/// static experiment definitions, and a typo should fail loudly.
+/// static experiment definitions, and a typo should fail loudly. Use
+/// [`try_workloads_matrix`] to handle the error instead.
 pub fn workloads_matrix(jobs: usize) -> Vec<ExperimentConfig> {
+    try_workloads_matrix(jobs).unwrap_or_else(|e| panic!("invalid workloads matrix cell: {e}"))
+}
+
+/// [`workloads_matrix`] with the config errors surfaced instead of
+/// panicking — an unknown source/policy name or an invalid cell comes
+/// back as the typed [`ConfigError`] naming the problem.
+pub fn try_workloads_matrix(jobs: usize) -> Result<Vec<ExperimentConfig>, ConfigError> {
     let registry = PolicyRegistry::global();
     let workloads = appsim::generate::WorkloadRegistry::global();
     let mut out = Vec::new();
     for &source in &WORKLOAD_SOURCES {
         for &policy in &WORKLOAD_POLICIES {
             for &(clusters, nodes) in &WORKLOAD_TOPOLOGIES {
-                let src = workloads.source(source).expect("registered source");
-                let ml = registry.malleability(policy).expect("registered policy");
+                let src = workloads.source(source)?;
+                let ml = registry.malleability(policy)?;
                 out.push(
                     Scenario::builder()
                         .workload(source)
@@ -181,14 +199,13 @@ pub fn workloads_matrix(jobs: usize) -> Vec<ExperimentConfig> {
                             nodes
                         ))
                         .summarized()
-                        .build()
-                        .expect("matrix cell must be a valid scenario")
+                        .build()?
                         .into_config(),
                 );
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The CSV artifacts of a workloads-matrix run as `(file name, text)`
@@ -290,7 +307,8 @@ pub fn write_ecdf_csv(path: &Path, metric_name: &str, series: &[(&str, &Ecdf)]) 
     if text.lines().count() <= 1 {
         return;
     }
-    fs::write(path, text).expect("write CSV");
+    fs::write(path, text)
+        .unwrap_or_else(|e| panic!("writing CSV artifact {}: {e}", path.display()));
 }
 
 /// Writes a time-series panel (`t` in seconds, one column per config).
@@ -305,7 +323,9 @@ pub fn write_timeseries_csv(path: &Path, series: &[(&str, Vec<(f64, f64)>)]) {
         .iter()
         .flat_map(|(_, pts)| pts.iter().map(|&(t, _)| t))
         .collect();
-    ts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    // `total_cmp` keeps a stray NaN from panicking the render; it sorts
+    // last and is harmless in the stepwise resample.
+    ts.sort_by(f64::total_cmp);
     ts.dedup();
     for &t in &ts {
         let mut row = vec![t];
@@ -321,7 +341,8 @@ pub fn write_timeseries_csv(path: &Path, series: &[(&str, Vec<(f64, f64)>)]) {
         }
         csv.row_f64(&row, 3);
     }
-    fs::write(path, csv.as_str()).expect("write CSV");
+    fs::write(path, csv.as_str())
+        .unwrap_or_else(|e| panic!("writing CSV artifact {}: {e}", path.display()));
 }
 
 /// Resamples a report's mean utilization across seeds on a fixed grid.

@@ -15,7 +15,9 @@
 
 use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
-use multicluster::{BackgroundLoad, FailurePolicy, FailureSpec, GramConfig};
+use multicluster::{
+    BackgroundLoad, ControlPlaneFaultSpec, FailurePolicy, FailureSpec, GramConfig, MessageClass,
+};
 use simcore::SimDuration;
 
 use crate::autoscaler::{AutoscalerError, AutoscalerRegistry};
@@ -100,6 +102,15 @@ pub enum ConfigError {
     /// A generator-driven entry point was called on a configuration
     /// without a `generator` name.
     MissingGenerator,
+    /// A control-plane fault probability outside `[0, 1]`.
+    FaultProbabilityOutOfRange(f64),
+    /// A flaky-channel spec with a zero mean gap or duration — episodes
+    /// would either never end or fire back-to-back forever.
+    DegenerateFlakySpec,
+    /// A retry configuration that can never make progress: zero base
+    /// timeout, zero attempts, a backoff cap below the base timeout, or
+    /// a zero orphan-sweep period/grace.
+    DegenerateRetrySpec,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -145,6 +156,20 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "this entry point needs a generator name in the configuration"
+                )
+            }
+            ConfigError::FaultProbabilityOutOfRange(p) => {
+                write!(f, "control-plane fault probability {p} outside [0, 1]")
+            }
+            ConfigError::DegenerateFlakySpec => {
+                write!(f, "flaky-channel spec needs positive mean gap and duration")
+            }
+            ConfigError::DegenerateRetrySpec => {
+                write!(
+                    f,
+                    "retry config needs a positive timeout, at least one attempt, \
+                     a backoff cap >= the base timeout, and a positive orphan \
+                     sweep period and grace"
                 )
             }
         }
@@ -206,6 +231,71 @@ pub enum ClaimingPolicy {
     },
 }
 
+/// Timeout/retry behaviour of the control-plane messaging the scheduler
+/// drives (GRAM submissions, stub recruits, grow/shrink commands,
+/// release messages). Every operation carries a deadline; on expiry it
+/// is resent with capped exponential backoff. Inert unless the scenario
+/// enables [`ControlPlaneFaultSpec`] — with reliable messaging no
+/// deadline ever fires, so these knobs cannot perturb fault-free runs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryConfig {
+    /// Deadline for the first send; retry `k` waits `timeout · 2^k`,
+    /// capped at `max_timeout`. 30 s matches GRAM-era client timeouts.
+    pub timeout: SimDuration,
+    /// Cap on the backoff interval.
+    pub max_timeout: SimDuration,
+    /// Total sends per operation (first try + retries). When the last
+    /// deadline expires the operation's give-up policy runs (requeue the
+    /// placement, abort the grow, locally force the sync, or leave the
+    /// release to the orphan sweep).
+    pub max_attempts: u32,
+    /// Period of the orphaned-allocation sweep that reclaims allocations
+    /// whose release messages were all lost (only scheduled when faults
+    /// are enabled).
+    pub orphan_sweep_period: SimDuration,
+    /// How long a release may stay unconfirmed before the sweep reclaims
+    /// it. Must comfortably exceed `max_timeout` so the sweep never
+    /// races a retry that is still in flight.
+    pub orphan_grace: SimDuration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: SimDuration::from_secs(30),
+            max_timeout: SimDuration::from_secs(120),
+            max_attempts: 4,
+            orphan_sweep_period: SimDuration::from_secs(60),
+            orphan_grace: SimDuration::from_secs(90),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The deadline for attempt `attempt` (0-based): `timeout · 2^attempt`
+    /// capped at `max_timeout`.
+    pub fn deadline_for(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(16);
+        self.timeout
+            .saturating_mul(1u64 << shift)
+            .min(self.max_timeout)
+            .max(self.timeout.min(self.max_timeout))
+    }
+
+    /// Validates the block (see [`ConfigError::DegenerateRetrySpec`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.timeout.is_zero()
+            || self.max_attempts == 0
+            || self.max_timeout < self.timeout
+            || self.orphan_sweep_period.is_zero()
+            || self.orphan_grace.is_zero()
+        {
+            return Err(ConfigError::DegenerateRetrySpec);
+        }
+        Ok(())
+    }
+}
+
 /// Tunables of the scheduler proper.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SchedulerConfig {
@@ -260,6 +350,10 @@ pub struct SchedulerConfig {
     pub reconfig: ReconfigCost,
     /// Processor-claiming policy (see [`ClaimingPolicy`]).
     pub claiming: ClaimingPolicy,
+    /// Control-plane timeout/retry behaviour (see [`RetryConfig`];
+    /// inert without [`ElasticityConfig::ctrl_faults`]).
+    #[serde(default)]
+    pub retry: RetryConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -277,6 +371,7 @@ impl Default for SchedulerConfig {
             gram: GramConfig::default(),
             reconfig: ReconfigCost::default(),
             claiming: ClaimingPolicy::Immediate,
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -346,6 +441,11 @@ pub struct ElasticityConfig {
     /// up to the poll period, since snapshots mature at poll times).
     #[serde(default)]
     pub kis_lag: SimDuration,
+    /// The control-plane fault model (lossy/jittery/duplicating
+    /// KOALA↔GRAM messaging with flaky channel episodes); `None`
+    /// disables it and messaging is perfectly reliable.
+    #[serde(default)]
+    pub ctrl_faults: Option<ControlPlaneFaultSpec>,
 }
 
 impl Default for ElasticityConfig {
@@ -358,6 +458,7 @@ impl Default for ElasticityConfig {
             failures: None,
             failure_policy: FailurePolicy::default(),
             kis_lag: SimDuration::ZERO,
+            ctrl_faults: None,
         }
     }
 }
@@ -387,6 +488,25 @@ impl ElasticityConfig {
         if let Some(spec) = &self.failures {
             if spec.mtbf.is_zero() || spec.mttr.is_zero() || spec.max_nodes == 0 {
                 return Err(ConfigError::DegenerateFailureSpec);
+            }
+        }
+        if let Some(spec) = &self.ctrl_faults {
+            for class in MessageClass::ALL {
+                let p = spec.loss.get(class);
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ConfigError::FaultProbabilityOutOfRange(p));
+                }
+            }
+            if !(0.0..=1.0).contains(&spec.duplicate) {
+                return Err(ConfigError::FaultProbabilityOutOfRange(spec.duplicate));
+            }
+            if let Some(flaky) = &spec.flaky {
+                if !(0.0..=1.0).contains(&flaky.loss) {
+                    return Err(ConfigError::FaultProbabilityOutOfRange(flaky.loss));
+                }
+                if flaky.mean_gap.is_zero() || flaky.mean_duration.is_zero() {
+                    return Err(ConfigError::DegenerateFlakySpec);
+                }
             }
         }
         Ok(())
@@ -508,6 +628,7 @@ impl SchedulerConfig {
         if let ClaimingPolicy::Deferred { margin } = self.claiming {
             let _ = margin; // any margin is legal; zero means claim at start
         }
+        self.retry.validate()?;
         Ok(())
     }
 }

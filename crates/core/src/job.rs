@@ -63,6 +63,10 @@ pub struct Job {
     pub initiative_fired: bool,
     /// The decided-but-unclaimed placement of a deferred-claiming job.
     pub pending_claim: Option<Vec<(ClusterId, u32)>>,
+    /// When the in-flight release batch was sent (the orphaned-allocation
+    /// sweep reclaims releases stuck past the grace window after the
+    /// release message exhausted its retries).
+    pub release_since: Option<SimTime>,
 }
 
 impl Job {
@@ -84,6 +88,7 @@ impl Job {
             started: None,
             initiative_fired: false,
             pending_claim: None,
+            release_since: None,
         }
     }
 

@@ -26,6 +26,53 @@ use simcore::{SimDuration, SimTime};
 
 use crate::config::ReportConfig;
 
+/// Control-plane health counters: what the retry/timeout machinery of
+/// the lossy KOALA↔GRAM messaging layer observed during a run. All
+/// fields stay zero when [`ControlPlaneFaults`] is disabled (the
+/// default) — the fault layer is strictly passive then.
+///
+/// [`ControlPlaneFaults`]: multicluster::ControlPlaneFaults
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtrlStats {
+    /// Control messages dropped by the fault model (loss draws).
+    pub messages_lost: u64,
+    /// Deadlines that expired while their operation was still pending.
+    pub timeouts: u64,
+    /// Re-sends issued after a timeout (bounded by the retry cap).
+    pub retries: u64,
+    /// Duplicate deliveries injected by the fault model and dropped by
+    /// the idempotent effect handlers.
+    pub duplicates_dropped: u64,
+    /// Information-service polls lost in transit (the scheduler kept
+    /// its stale view for that cycle).
+    pub polls_lost: u64,
+    /// Processors reclaimed by the orphaned-allocation sweep after a
+    /// release message exhausted its retries.
+    pub reclaimed_allocations: u64,
+    /// Placement attempts that skipped a cluster because its control
+    /// channel was inside a flaky episode (refuse to place blind).
+    pub flaky_deferrals: u64,
+    /// KOALA-held processors still allocated when the run finished —
+    /// the leak witness; zero whenever every job terminated.
+    pub leaked_allocations: u64,
+}
+
+impl CtrlStats {
+    /// Merges another run's counters into this one (all fields add;
+    /// `leaked_allocations` adds too, so a pooled report leaks iff any
+    /// run leaked).
+    pub fn merge(&mut self, other: &CtrlStats) {
+        self.messages_lost += other.messages_lost;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.polls_lost += other.polls_lost;
+        self.reclaimed_allocations += other.reclaimed_allocations;
+        self.flaky_deferrals += other.flaky_deferrals;
+        self.leaked_allocations += other.leaked_allocations;
+    }
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -73,6 +120,8 @@ pub struct RunReport {
     pub jobs_killed: u64,
     /// KOALA jobs re-queued after node crashes (`FailurePolicy::Requeue`).
     pub jobs_requeued: u64,
+    /// Control-plane fault counters (all zero when faults are off).
+    pub ctrl: CtrlStats,
 }
 
 impl RunReport {
@@ -266,6 +315,8 @@ pub struct SummaryReport {
     pub jobs_killed: u64,
     /// KOALA jobs re-queued after node crashes.
     pub jobs_requeued: u64,
+    /// Control-plane fault counters (all zero when faults are off).
+    pub ctrl: CtrlStats,
     /// Post-warmup integral of total used processors (processor-seconds).
     util_integral: f64,
     /// Post-warmup integral of KOALA-used processors (processor-seconds).
@@ -336,6 +387,7 @@ impl SummaryReport {
         self.failed_submissions += other.failed_submissions;
         self.events += other.events;
         self.peak_live_jobs = self.peak_live_jobs.max(other.peak_live_jobs);
+        self.ctrl.merge(&other.ctrl);
         self.util_integral += other.util_integral;
         self.util_koala_integral += other.util_koala_integral;
         self.util_span_s += other.util_span_s;
@@ -832,6 +884,7 @@ impl FullCollector {
         placement_tries: u64,
         failed_submissions: u64,
         events: u64,
+        ctrl: CtrlStats,
         trace: simcore::Trace,
     ) -> RunReport {
         let mut jobs = JobTable::new();
@@ -860,6 +913,7 @@ impl FullCollector {
             scale_downs: self.scale_downs,
             jobs_killed: self.jobs_killed,
             jobs_requeued: self.jobs_requeued,
+            ctrl,
         }
     }
 }
@@ -880,6 +934,7 @@ impl SummaryCollector {
         failed_submissions: u64,
         events: u64,
         peak_live_jobs: u64,
+        ctrl: CtrlStats,
     ) -> SummaryReport {
         self.integrate_to(makespan);
         let warmup = self.warmup.saturating_since(SimTime::ZERO);
@@ -912,6 +967,7 @@ impl SummaryCollector {
             scale_downs: self.scale_downs,
             jobs_killed: self.jobs_killed,
             jobs_requeued: self.jobs_requeued,
+            ctrl,
             util_integral: self.util_integral,
             util_koala_integral: self.util_koala_integral,
             util_span_s: makespan.saturating_since(self.warmup).as_secs_f64(),
@@ -923,6 +979,21 @@ impl SummaryCollector {
 mod tests {
     use super::*;
     use koala_metrics::{JobOutcome, JobRecord};
+
+    /// The per-metric reservoir salts must stay pairwise distinct (and
+    /// nonzero): two equal salts would give two metrics the *same*
+    /// priority stream, silently correlating their reservoir samples.
+    /// The full salt allocation table is documented in
+    /// `docs/ARCHITECTURE.md`.
+    #[test]
+    fn stream_salts_are_pairwise_distinct() {
+        for (i, a) in STREAM_SALTS.iter().enumerate() {
+            assert_ne!(*a, 0, "salt {i} is zero: it would not perturb the seed");
+            for (j, b) in STREAM_SALTS.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "salts {i} and {j} collide");
+            }
+        }
+    }
 
     fn tiny_run(seed: u64, exec_s: u64) -> RunReport {
         let mut jobs = JobTable::new();
@@ -960,6 +1031,7 @@ mod tests {
             scale_downs: 0,
             jobs_killed: 0,
             jobs_requeued: 0,
+            ctrl: CtrlStats::default(),
         }
     }
 
@@ -1028,6 +1100,7 @@ mod tests {
             0,
             42,
             2,
+            CtrlStats::default(),
         )
     }
 
@@ -1096,9 +1169,19 @@ mod tests {
         c.arrived(0, SimTime::from_secs(100));
         c.started(0, SimTime::from_secs(110), 4);
         c.completed(0, SimTime::from_secs(140));
-        let s =
-            c.into_summary()
-                .finish("T".into(), 1, SimTime::from_secs(140), 0, 0, 0, 0, 0, 0, 1);
+        let s = c.into_summary().finish(
+            "T".into(),
+            1,
+            SimTime::from_secs(140),
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            1,
+            CtrlStats::default(),
+        );
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);
         assert_eq!(s.execution_time.count(), 2);

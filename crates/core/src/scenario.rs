@@ -32,12 +32,12 @@
 //! ```
 
 use appsim::workload::{SubmittedJob, WorkloadSpec};
-use multicluster::{BackgroundLoad, FailurePolicy, FailureSpec};
+use multicluster::{BackgroundLoad, ControlPlaneFaultSpec, FailurePolicy, FailureSpec};
 use simcore::SimDuration;
 
 use crate::config::{
     workload_label, Approach, ConfigError, ElasticityConfig, ExperimentConfig, ReportConfig,
-    SchedulerConfig,
+    RetryConfig, SchedulerConfig,
 };
 use crate::policy::PolicyRegistry;
 use crate::report::{MultiReport, MultiSummary, ReportMode};
@@ -445,6 +445,23 @@ impl ScenarioBuilder {
     /// the default).
     pub fn monitor(mut self, period: SimDuration) -> Self {
         self.elasticity.monitor_period = period;
+        self
+    }
+
+    /// Enables the seeded control-plane fault model: lossy, jittery,
+    /// duplicating KOALA↔GRAM messaging (and, through the spec's
+    /// `flaky` field, per-cluster flaky channel episodes). Timeout and
+    /// retry behaviour comes from [`ScenarioBuilder::retry`].
+    pub fn ctrl_faults(mut self, spec: ControlPlaneFaultSpec) -> Self {
+        self.elasticity.ctrl_faults = Some(spec);
+        self
+    }
+
+    /// Overrides the control-plane timeout/retry configuration (inert
+    /// without [`ScenarioBuilder::ctrl_faults`]: reliable messaging
+    /// never trips a deadline).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.sched.retry = retry;
         self
     }
 

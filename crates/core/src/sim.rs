@@ -39,8 +39,8 @@ use appsim::generate::JobStream;
 use appsim::workload::SubmittedJob;
 use appsim::JobClass;
 use multicluster::{
-    das3, AllocId, AllocOwner, ClusterId, CrashVictim, FailurePolicy, FailureStream, FileCatalog,
-    InfoService, LocalJob, Multicluster, SubmitOutcome,
+    das3, AllocId, AllocOwner, ClusterId, ControlPlaneFaults, CrashVictim, FailurePolicy,
+    FailureStream, FileCatalog, InfoService, LocalJob, MessageClass, Multicluster, SubmitOutcome,
 };
 use simcore::{Engine, Generation, SimDuration, SimRng, SimTime, Trace};
 
@@ -51,7 +51,7 @@ use crate::job::{Job, JobPhase};
 use crate::malleability::RunningView;
 use crate::placement::{ComponentRequest, PlacementQueue, PlacementRequest};
 use crate::policy::{Malleability, Placement, PolicyRegistry};
-use crate::report::{Collector, MultiSummary, ReportMode, RunReport, SummaryReport};
+use crate::report::{Collector, CtrlStats, MultiSummary, ReportMode, RunReport, SummaryReport};
 use crate::runner::MRunner;
 
 /// The flat event type of the whole simulation.
@@ -180,6 +180,80 @@ pub enum Ev {
         /// Delay until the taken nodes rejoin the pool.
         repair_after: SimDuration,
     },
+    /// A control-plane deadline expired: if the operation it guards is
+    /// still pending, the message was (presumed) lost — re-send with
+    /// capped exponential backoff, or apply the per-operation give-up
+    /// policy once the attempt budget is exhausted. Only scheduled when
+    /// [`ControlPlaneFaults`] are enabled.
+    CtrlTimeout {
+        /// The job whose control operation is guarded.
+        job: JobId,
+        /// Validity stamp (a bumped generation orphans the deadline).
+        gen: Generation,
+        /// The guarded operation.
+        op: CtrlOp,
+        /// Zero-based attempt index of the send this deadline guards.
+        attempt: u32,
+    },
+    /// Periodic orphaned-allocation sweep: reclaims release batches
+    /// stuck past the grace window after their release message exhausted
+    /// its retries, so lost releases never leak processors. Only
+    /// scheduled when [`ControlPlaneFaults`] are enabled.
+    OrphanSweep,
+}
+
+/// A control-plane operation guarded by the timeout/retry machinery —
+/// each variant names one KOALA→GRAM message and maps onto the effect
+/// event its delivery schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlOp {
+    /// Initial GRAM batch submission (delivers [`Ev::StartHeld`]).
+    Start,
+    /// Grow-stub batch submission (delivers [`Ev::GrowHeld`]).
+    Grow,
+    /// Stub recruitment + grow synchronization (delivers
+    /// [`Ev::SyncDone`] with `grow = true`).
+    RecruitSync,
+    /// Shrink synchronization command (delivers [`Ev::SyncDone`] with
+    /// `grow = false`).
+    ShrinkSync,
+    /// GRAM job release after a shrink (delivers [`Ev::ShrinkReleased`]).
+    Release {
+        /// Processors the release frees.
+        count: u32,
+    },
+}
+
+impl CtrlOp {
+    /// The message class the fault model draws outcomes from.
+    fn class(self) -> MessageClass {
+        match self {
+            CtrlOp::Start => MessageClass::Submit,
+            CtrlOp::Grow => MessageClass::Grow,
+            CtrlOp::RecruitSync => MessageClass::Recruit,
+            CtrlOp::ShrinkSync => MessageClass::Shrink,
+            CtrlOp::Release { .. } => MessageClass::Release,
+        }
+    }
+
+    /// The effect event a delivery of this operation's message schedules.
+    fn effect(self, job: JobId, gen: Generation) -> Ev {
+        match self {
+            CtrlOp::Start => Ev::StartHeld { job, gen },
+            CtrlOp::Grow => Ev::GrowHeld { job, gen },
+            CtrlOp::RecruitSync => Ev::SyncDone {
+                job,
+                gen,
+                grow: true,
+            },
+            CtrlOp::ShrinkSync => Ev::SyncDone {
+                job,
+                gen,
+                grow: false,
+            },
+            CtrlOp::Release { count } => Ev::ShrinkReleased { job, gen, count },
+        }
+    }
 }
 
 /// The default streaming look-ahead window: how many future arrivals the
@@ -408,6 +482,13 @@ pub struct World<'a> {
     /// simulation state, so failure times are identical across report
     /// modes and thread counts.
     failures: Option<FailureStream>,
+    /// The seeded control-plane fault model (`None` without a fault
+    /// spec — the default, in which case the retry machinery is pure
+    /// plumbing: no extra events, no extra RNG draws, bit-identical
+    /// trajectories to the pre-fault-layer code).
+    faults: Option<ControlPlaneFaults>,
+    /// Control-plane health counters (all zero when faults are off).
+    ctrl: CtrlStats,
     trace: Trace,
     /// Reusable scratch for [`World::scan_queue`] (scan-order snapshot,
     /// live availability, budget-capped availability, the placement
@@ -456,6 +537,7 @@ impl<'a> World<'a> {
         let mut wl_rng = master.fork(1);
         let bg_rng = master.fork(2);
         let failure_rng = master.fork(3);
+        let fault_rng = master.fork(4);
         let workload: std::borrow::Cow<'a, [SubmittedJob]> = match (&cfg.trace, &cfg.generator) {
             (Some(trace), _) => std::borrow::Cow::Borrowed(trace.as_slice()),
             (None, Some(name)) => {
@@ -503,6 +585,7 @@ impl<'a> World<'a> {
             collect,
             bg_rng,
             failure_rng,
+            fault_rng,
         )
     }
 
@@ -523,6 +606,7 @@ impl<'a> World<'a> {
         let _wl_rng = master.fork(1); // keep fork labels aligned with the eager path
         let bg_rng = master.fork(2);
         let failure_rng = master.fork(3);
+        let fault_rng = master.fork(4);
         let intake = Intake::Stream {
             src: stream,
             pending: VecDeque::with_capacity(window.max(1)),
@@ -540,6 +624,7 @@ impl<'a> World<'a> {
             Collector::summarized(seed, &cfg.report),
             bg_rng,
             failure_rng,
+            fault_rng,
         )
     }
 
@@ -553,6 +638,7 @@ impl<'a> World<'a> {
         collect: Collector,
         bg_rng: SimRng,
         failure_rng: SimRng,
+        fault_rng: SimRng,
     ) -> Self {
         let registry = PolicyRegistry::global();
         let placement = registry
@@ -576,6 +662,11 @@ impl<'a> World<'a> {
             .failures
             .as_ref()
             .map(|spec| FailureStream::new(spec.clone(), n_clusters as u16, failure_rng));
+        let faults = cfg
+            .elasticity
+            .ctrl_faults
+            .as_ref()
+            .map(|spec| ControlPlaneFaults::new(spec.clone(), n_clusters as u16, fault_rng));
         let w_init = World {
             cfg,
             seed,
@@ -598,6 +689,8 @@ impl<'a> World<'a> {
             next_bg_local: 0,
             autoscaler,
             failures,
+            faults,
+            ctrl: CtrlStats::default(),
             trace: Trace::disabled(),
             scan_buf: Vec::new(),
             scratch_avail: Vec::with_capacity(n_clusters),
@@ -753,6 +846,9 @@ impl<'a> World<'a> {
                 },
             );
         }
+        if self.faults.is_some() {
+            engine.schedule_in(self.cfg.sched.retry.orphan_sweep_period, Ev::OrphanSweep);
+        }
     }
 
     /// True when every KOALA job has reached a terminal state.
@@ -838,6 +934,13 @@ impl<'a> World<'a> {
                 count,
                 repair_after,
             } => self.on_node_crash(engine, cluster, count, repair_after),
+            Ev::CtrlTimeout {
+                job,
+                gen,
+                op,
+                attempt,
+            } => self.on_ctrl_timeout(engine, job, gen, op, attempt),
+            Ev::OrphanSweep => self.on_orphan_sweep(engine),
         }
         debug_assert!(
             self.mc.check_invariants().is_ok(),
@@ -880,24 +983,39 @@ impl<'a> World<'a> {
 
     fn on_kis_poll(&mut self, engine: &mut Engine<Ev>) {
         let now = engine.now();
-        self.kis.poll(now, self.mc.clusters());
-        // Job management triggers (Section V-B): the poll is how KOALA
-        // notices processors that became available outside its own
-        // bookkeeping — typically released by background users who
-        // bypass it. Only the idle delta above the already-offered
-        // baseline is handed to the policies.
-        match self.cfg.sched.approach {
-            Approach::Pra => {
-                for c in 0..self.mc.len() {
-                    self.offer_new_capacity(engine, ClusterId(c as u16));
+        // A lost poll leaves the scheduler on its stale snapshot for one
+        // cycle: no management triggers either — the poll result is what
+        // would have revealed new capacity.
+        let delivered = match self.faults.as_mut() {
+            Some(f) => {
+                let delivered = f.outcome(MessageClass::InfoPoll, None, now).delivered;
+                if !delivered {
+                    self.ctrl.polls_lost += 1;
                 }
-                self.scan_queue(engine);
+                delivered
             }
-            Approach::Pwa => {
-                self.scan_queue(engine);
-                if self.queue.is_empty() {
+            None => true,
+        };
+        if delivered {
+            self.kis.poll(now, self.mc.clusters());
+            // Job management triggers (Section V-B): the poll is how KOALA
+            // notices processors that became available outside its own
+            // bookkeeping — typically released by background users who
+            // bypass it. Only the idle delta above the already-offered
+            // baseline is handed to the policies.
+            match self.cfg.sched.approach {
+                Approach::Pra => {
                     for c in 0..self.mc.len() {
                         self.offer_new_capacity(engine, ClusterId(c as u16));
+                    }
+                    self.scan_queue(engine);
+                }
+                Approach::Pwa => {
+                    self.scan_queue(engine);
+                    if self.queue.is_empty() {
+                        for c in 0..self.mc.len() {
+                            self.offer_new_capacity(engine, ClusterId(c as u16));
+                        }
                     }
                 }
             }
@@ -999,6 +1117,23 @@ impl<'a> World<'a> {
         let mut req = std::mem::take(&mut self.scratch_req);
         let mut scan = std::mem::take(&mut self.scan_buf);
         self.queue.scan_order_into(&mut scan);
+        // Graceful degradation: refuse to place blind. A cluster whose
+        // control channel is inside a flaky episode would lose most of
+        // the submissions sent its way, so its capacity is masked out of
+        // this scan and the jobs wait for a healthier window instead.
+        if !scan.is_empty() {
+            if let Some(faults) = self.faults.as_mut() {
+                if faults.spec().flaky.is_some() {
+                    let now = engine.now();
+                    for (c, a) in avail.iter_mut().enumerate() {
+                        if *a > 0 && faults.is_flaky(ClusterId(c as u16), now) {
+                            *a = 0;
+                            self.ctrl.flaky_deferrals += 1;
+                        }
+                    }
+                }
+            }
+        }
         // `eff` is `avail` capped by the expansion threshold's remaining
         // headroom; both inputs only change when a placement claims
         // processors (or a PWA intervention grows running jobs), so the
@@ -1158,7 +1293,7 @@ impl<'a> World<'a> {
         });
         let gen = job.gen;
         let delay = self.cfg.sched.gram.batch_submit_time(total);
-        engine.schedule_in(delay, Ev::StartHeld { job: id, gen });
+        self.send_ctrl(engine, id, gen, CtrlOp::Start, Some(cluster), delay, 0);
         for &(c, _, _) in &components {
             self.sync_baseline(c);
         }
@@ -1294,7 +1429,7 @@ impl<'a> World<'a> {
                 .grow(alloc, op.accepted)
                 .expect("policy bounded by idle count");
             let delay = self.cfg.sched.gram.batch_submit_time(op.accepted);
-            engine.schedule_in(delay, Ev::GrowHeld { job: op.job, gen });
+            self.send_ctrl(engine, op.job, gen, CtrlOp::Grow, Some(cluster), delay, 0);
         }
         if !outcome.ops.is_empty() {
             self.touch_util(now);
@@ -1333,6 +1468,13 @@ impl<'a> World<'a> {
             return;
         }
         let runner = job.runner.as_mut().expect("grow on malleable job");
+        if runner.submitting() == 0 {
+            // Duplicate delivery (the original already consumed the
+            // stubs) or the grow was aborted after a timeout — drop
+            // idempotently. Unreachable with faults off: the single
+            // delivery always finds its stubs in flight.
+            return;
+        }
         let old = runner.dynaco.size();
         let added = runner.stubs_held();
         let new = runner.held();
@@ -1346,16 +1488,10 @@ impl<'a> World<'a> {
         job.phase = JobPhase::Reconfiguring;
         job.gen.bump(); // invalidate the pending Completion
         let gen = job.gen;
+        let cluster = job.cluster;
         let delay =
             self.cfg.sched.gram.recruit_time(added) + self.cfg.sched.reconfig.grow_cost(old, new);
-        engine.schedule_in(
-            delay,
-            Ev::SyncDone {
-                job: id,
-                gen,
-                grow: true,
-            },
-        );
+        self.send_ctrl(engine, id, gen, CtrlOp::RecruitSync, cluster, delay, 0);
     }
 
     // ------------------------------------------------------------------
@@ -1458,13 +1594,14 @@ impl<'a> World<'a> {
             let gen = job.gen;
             let delay =
                 self.cfg.sched.gram.message_latency + self.cfg.sched.reconfig.shrink_cost(old, new);
-            engine.schedule_in(
+            self.send_ctrl(
+                engine,
+                op.job,
+                gen,
+                CtrlOp::ShrinkSync,
+                Some(cluster),
                 delay,
-                Ev::SyncDone {
-                    job: op.job,
-                    gen,
-                    grow: false,
-                },
+                0,
             );
         }
     }
@@ -1499,15 +1636,19 @@ impl<'a> World<'a> {
         self.schedule_completion(engine, id);
         self.schedule_initiative(engine, id);
         if released > 0 {
-            let gen = self.jobs.get(id).expect("job finishing a sync is live").gen;
+            let job = self.jobs.get_mut(id).expect("job finishing a sync is live");
+            let gen = job.gen;
+            let cluster = job.cluster;
+            job.release_since = Some(now);
             let delay = self.cfg.sched.gram.batch_release_time(released);
-            engine.schedule_in(
+            self.send_ctrl(
+                engine,
+                id,
+                gen,
+                CtrlOp::Release { count: released },
+                cluster,
                 delay,
-                Ev::ShrinkReleased {
-                    job: id,
-                    gen,
-                    count: released,
-                },
+                0,
             );
         }
     }
@@ -1528,10 +1669,18 @@ impl<'a> World<'a> {
         }
         let cluster = job.cluster.expect("a releasing job was placed");
         let alloc = job.alloc.expect("a releasing job holds its allocation");
-        job.runner
+        let runner = job
+            .runner
             .as_mut()
-            .expect("only malleable jobs release processors")
-            .release_confirmed();
+            .expect("only malleable jobs release processors");
+        if runner.releasing() == 0 {
+            // Duplicate delivery, or the orphaned-allocation sweep
+            // already reclaimed this batch — drop idempotently.
+            // Unreachable with faults off.
+            return;
+        }
+        runner.release_confirmed();
+        job.release_since = None;
         self.mc
             .cluster_mut(cluster)
             .shrink(alloc, count)
@@ -1540,6 +1689,280 @@ impl<'a> World<'a> {
             self.pending_release[cluster.index()].saturating_sub(count);
         self.touch_util(now);
         self.capacity_freed(engine, cluster);
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane fault injection: lossy messaging, timeouts, retries
+    // ------------------------------------------------------------------
+
+    /// Sends one KOALA→GRAM control message: its effect event is
+    /// scheduled after `delay`, subject to the fault model when one is
+    /// installed.
+    ///
+    /// With faults **off** this is pure plumbing — the effect is
+    /// scheduled directly, with no deadline event and no RNG draw, so
+    /// trajectories stay bit-identical to the pre-fault-layer code (the
+    /// passivity golden pins this). With faults on, the message may be
+    /// lost (effect never scheduled), duplicated (effect scheduled twice;
+    /// the handlers drop the second application idempotently) or delayed
+    /// by jitter, and an [`Ev::CtrlTimeout`] deadline guards the
+    /// operation with capped exponential backoff.
+    #[allow(clippy::too_many_arguments)] // one call per message send; mirrors the op tuple
+    fn send_ctrl(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        id: JobId,
+        gen: Generation,
+        op: CtrlOp,
+        cluster: Option<ClusterId>,
+        delay: SimDuration,
+        attempt: u32,
+    ) {
+        let Some(faults) = self.faults.as_mut() else {
+            engine.schedule_in(delay, op.effect(id, gen));
+            return;
+        };
+        let outcome = faults.outcome(op.class(), cluster, engine.now());
+        if outcome.delivered {
+            engine.schedule_in(delay + outcome.jitter, op.effect(id, gen));
+            if outcome.duplicated {
+                // The duplicate is really delivered; exactly one of the
+                // two arrivals applies, so the idempotent handlers are
+                // guaranteed to drop the other — count it here, where
+                // a drop cannot be confused with a stale-generation one.
+                self.ctrl.duplicates_dropped += 1;
+                engine.schedule_in(delay + outcome.dup_jitter, op.effect(id, gen));
+            }
+        } else {
+            self.ctrl.messages_lost += 1;
+        }
+        let deadline = self.cfg.sched.retry.deadline_for(attempt);
+        engine.schedule_in(
+            deadline,
+            Ev::CtrlTimeout {
+                job: id,
+                gen,
+                op,
+                attempt,
+            },
+        );
+    }
+
+    /// A control deadline expired. If the guarded operation completed in
+    /// the meantime (the common case — deadlines are conservative), this
+    /// is a no-op; otherwise the message is presumed lost and re-sent
+    /// with capped exponential backoff until the attempt budget runs
+    /// out, at which point the per-operation give-up policy applies.
+    fn on_ctrl_timeout(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        id: JobId,
+        gen: Generation,
+        op: CtrlOp,
+        attempt: u32,
+    ) {
+        let Some(job) = self.jobs.get(id) else {
+            return;
+        };
+        if !job.gen.matches(gen) {
+            return;
+        }
+        let pending = match op {
+            CtrlOp::Start => job.phase == JobPhase::Starting,
+            CtrlOp::Grow => {
+                job.phase == JobPhase::Running
+                    && job.runner.as_ref().is_some_and(|r| r.submitting() > 0)
+            }
+            CtrlOp::RecruitSync | CtrlOp::ShrinkSync => job.phase == JobPhase::Reconfiguring,
+            CtrlOp::Release { .. } => job.runner.as_ref().is_some_and(|r| r.releasing() > 0),
+        };
+        if !pending {
+            return;
+        }
+        self.ctrl.timeouts += 1;
+        let next = attempt + 1;
+        if next < self.cfg.sched.retry.max_attempts {
+            self.ctrl.retries += 1;
+            let (cluster, delay) = self.resend_params(id, op);
+            self.send_ctrl(engine, id, gen, op, cluster, delay, next);
+            return;
+        }
+        self.give_up(engine, id, op);
+    }
+
+    /// Destination cluster and GRAM latency of a re-send — a pure
+    /// function of the job's current state (re-driving a sync is a
+    /// single control message; batch sends pay the batch latency again).
+    fn resend_params(&self, id: JobId, op: CtrlOp) -> (Option<ClusterId>, SimDuration) {
+        let job = self.jobs.get(id).expect("pending op implies a live job");
+        let gram = &self.cfg.sched.gram;
+        let delay = match op {
+            CtrlOp::Start => {
+                let primary = job
+                    .cluster
+                    .zip(job.alloc)
+                    .and_then(|(c, a)| self.mc.cluster(c).alloc_size(a))
+                    .unwrap_or(0);
+                let extra: u32 = job
+                    .extra_allocs
+                    .iter()
+                    .filter_map(|&(c, a)| self.mc.cluster(c).alloc_size(a))
+                    .sum();
+                gram.batch_submit_time(primary + extra)
+            }
+            CtrlOp::Grow => {
+                gram.batch_submit_time(job.runner.as_ref().map_or(0, |r| r.submitting()))
+            }
+            CtrlOp::RecruitSync | CtrlOp::ShrinkSync => gram.message_latency,
+            CtrlOp::Release { count } => gram.batch_release_time(count),
+        };
+        (job.cluster, delay)
+    }
+
+    /// The attempt budget of a control operation is exhausted: degrade
+    /// gracefully instead of blocking forever.
+    ///
+    /// * `Start` — the GRAM batch never ran: surrender the allocation,
+    ///   re-queue the job and charge a failed placement try.
+    /// * `Grow` — the stub batch never ran: abort the grow and return
+    ///   the stub processors to the cluster; the job keeps running at
+    ///   its old size.
+    /// * `RecruitSync` / `ShrinkSync` — the sync signal is lost, but
+    ///   both endpoints hold the state to finish locally:
+    ///   force-complete the reconfiguration (a late duplicate is dropped
+    ///   idempotently).
+    /// * `Release` — stop retrying; the orphaned-allocation sweep
+    ///   reclaims the batch after the grace window, so nodes never leak.
+    fn give_up(&mut self, engine: &mut Engine<Ev>, id: JobId, op: CtrlOp) {
+        let now = engine.now();
+        match op {
+            CtrlOp::Start => {
+                let job = self
+                    .jobs
+                    .get_mut(id)
+                    .expect("pending op implies a live job");
+                let cluster = job.cluster.take().expect("a starting job was placed");
+                let alloc = job
+                    .alloc
+                    .take()
+                    .expect("a starting job holds its allocation");
+                let extras = std::mem::take(&mut job.extra_allocs);
+                job.runner = None;
+                job.started = None;
+                job.pending_claim = None;
+                job.phase = JobPhase::Queued;
+                job.gen.bump(); // orphan any in-flight duplicate StartHeld
+                self.trace.record(now, "ctrl-requeue", id.0 as u64, || {
+                    "start submission timed out".to_string()
+                });
+                self.mc
+                    .cluster_mut(cluster)
+                    .release(alloc)
+                    .expect("surrendered allocation was held");
+                let mut freed = vec![cluster];
+                for (c, a) in extras {
+                    self.mc
+                        .cluster_mut(c)
+                        .release(a)
+                        .expect("surrendered component was held");
+                    if !freed.contains(&c) {
+                        freed.push(c);
+                    }
+                }
+                self.queue.push_back(id);
+                self.fail_try(id);
+                self.touch_util(now);
+                for c in freed {
+                    self.capacity_freed(engine, c);
+                }
+            }
+            CtrlOp::Grow => {
+                let job = self
+                    .jobs
+                    .get_mut(id)
+                    .expect("pending op implies a live job");
+                let cluster = job.cluster.expect("a growing job was placed");
+                let alloc = job.alloc.expect("a growing job holds its allocation");
+                let runner = job.runner.as_mut().expect("grow implies malleable");
+                let stubs = runner.submitting();
+                runner.abort_grow();
+                self.trace.record(now, "ctrl-abort-grow", id.0 as u64, || {
+                    format!("{stubs} stubs timed out")
+                });
+                if stubs > 0 {
+                    self.mc
+                        .cluster_mut(cluster)
+                        .shrink(alloc, stubs)
+                        .expect("stub processors were held");
+                }
+                self.touch_util(now);
+                self.capacity_freed(engine, cluster);
+            }
+            CtrlOp::RecruitSync | CtrlOp::ShrinkSync => {
+                let grow = op == CtrlOp::RecruitSync;
+                self.trace.record(now, "ctrl-force-sync", id.0 as u64, || {
+                    format!(
+                        "{} sync timed out; completing locally",
+                        if grow { "grow" } else { "shrink" }
+                    )
+                });
+                let gen = self
+                    .jobs
+                    .get(id)
+                    .expect("pending op implies a live job")
+                    .gen;
+                self.on_sync_done(engine, id, gen, grow);
+            }
+            CtrlOp::Release { .. } => {
+                // Keep the batch earmarked; the orphaned-allocation
+                // sweep reclaims it after the grace window.
+                self.trace
+                    .record(now, "ctrl-release-lost", id.0 as u64, String::new);
+            }
+        }
+    }
+
+    /// Periodic orphaned-allocation sweep: a release batch still pending
+    /// past the grace window lost its message *and* its retries — the
+    /// processors would leak silently without this backstop. Reclaim
+    /// locally, exactly as a delivered [`Ev::ShrinkReleased`] would.
+    fn on_orphan_sweep(&mut self, engine: &mut Engine<Ev>) {
+        let now = engine.now();
+        let grace = self.cfg.sched.retry.orphan_grace;
+        let mut orphans: Vec<JobId> = Vec::new();
+        for j in self.jobs.iter_live() {
+            let stuck = j
+                .release_since
+                .is_some_and(|since| now.saturating_since(since) >= grace)
+                && j.runner.as_ref().is_some_and(|r| r.releasing() > 0);
+            if stuck {
+                orphans.push(j.id);
+            }
+        }
+        for id in orphans {
+            let job = self.jobs.get_mut(id).expect("iterated live above");
+            let cluster = job.cluster.expect("a releasing job was placed");
+            let alloc = job.alloc.expect("a releasing job holds its allocation");
+            let runner = job.runner.as_mut().expect("only malleable jobs release");
+            let count = runner.releasing();
+            runner.release_confirmed();
+            job.release_since = None;
+            self.trace.record(now, "ctrl-reclaim", id.0 as u64, || {
+                format!("{count} orphaned processors on {cluster:?}")
+            });
+            self.mc
+                .cluster_mut(cluster)
+                .shrink(alloc, count)
+                .expect("orphaned processors were held");
+            self.pending_release[cluster.index()] =
+                self.pending_release[cluster.index()].saturating_sub(count);
+            self.ctrl.reclaimed_allocations += u64::from(count);
+            self.touch_util(now);
+            self.capacity_freed(engine, cluster);
+        }
+        if !self.done() {
+            engine.schedule_in(self.cfg.sched.retry.orphan_sweep_period, Ev::OrphanSweep);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1578,6 +2001,7 @@ impl<'a> World<'a> {
                 runner.release_confirmed();
             }
         }
+        job.release_since = None;
         job.phase = JobPhase::Completed;
         job.gen.bump(); // invalidate every remaining event for this job
         self.trace.record(now, "complete", id.0 as u64, String::new);
@@ -1813,7 +2237,7 @@ impl<'a> World<'a> {
             .grow(alloc, accepted)
             .expect("bounded by idle");
         let delay = self.cfg.sched.gram.batch_submit_time(accepted);
-        engine.schedule_in(delay, Ev::GrowHeld { job: id, gen });
+        self.send_ctrl(engine, id, gen, CtrlOp::Grow, Some(cluster), delay, 0);
         self.touch_util(now);
         self.sync_baseline(cluster);
     }
@@ -2061,6 +2485,7 @@ impl<'a> World<'a> {
         job.started = None;
         job.initiative_fired = false;
         job.pending_claim = None;
+        job.release_since = None;
         job.gen.bump(); // invalidate every remaining event for this job
         match self.cfg.elasticity.failure_policy {
             FailurePolicy::Kill => {
@@ -2113,6 +2538,14 @@ impl<'a> World<'a> {
         self.jobs
             .iter_live()
             .filter(|j| j.cluster == Some(cluster) && j.eligible_for_malleability())
+            // A crash can destroy a job's allocation outright; until its
+            // victim cleanup runs (later in the same event), the job
+            // still looks Running but can no longer receive grow/shrink
+            // requests — its allocation handle dangles.
+            .filter(|j| {
+                j.alloc
+                    .is_some_and(|a| self.mc.cluster(cluster).alloc_size(a).is_some())
+            })
             .filter_map(|j| {
                 let runner = j.runner.as_ref().expect("eligible implies runner");
                 let size = runner.dynaco.size();
@@ -2138,6 +2571,8 @@ impl<'a> World<'a> {
     /// # Panics
     /// Panics in summarized mode — use [`World::finish_summary`].
     pub fn finish(self, engine: &Engine<Ev>) -> RunReport {
+        let mut ctrl = self.ctrl;
+        ctrl.leaked_allocations = u64::from(self.mc.total_used_by_koala());
         self.collect.into_full().finish(
             self.cfg.name.clone(),
             self.seed,
@@ -2148,6 +2583,7 @@ impl<'a> World<'a> {
             self.queue.total_tries(),
             self.queue.failed_submissions(),
             engine.stats().delivered,
+            ctrl,
             self.trace,
         )
     }
@@ -2157,6 +2593,8 @@ impl<'a> World<'a> {
     /// # Panics
     /// Panics in full-report mode — use [`World::finish`].
     pub fn finish_summary(self, engine: &Engine<Ev>) -> SummaryReport {
+        let mut ctrl = self.ctrl;
+        ctrl.leaked_allocations = u64::from(self.mc.total_used_by_koala());
         self.collect.into_summary().finish(
             self.cfg.name.clone(),
             self.seed,
@@ -2168,6 +2606,7 @@ impl<'a> World<'a> {
             self.queue.failed_submissions(),
             engine.stats().delivered,
             self.jobs.peak_live() as u64,
+            ctrl,
         )
     }
 }

@@ -34,13 +34,31 @@ pub struct InfoSnapshot {
 
 impl InfoSnapshot {
     /// Idle processors of one cluster.
+    ///
+    /// # Panics
+    /// Panics when `c` is outside the snapshot — cluster count is fixed
+    /// at construction, so an out-of-range id is a caller bug.
     pub fn idle_of(&self, c: ClusterId) -> u32 {
-        self.idle[c.index()]
+        *self.idle.get(c.index()).unwrap_or_else(|| {
+            panic!(
+                "cluster {c:?} outside a snapshot of {} clusters",
+                self.idle.len()
+            )
+        })
     }
 
     /// Capacity of one cluster.
+    ///
+    /// # Panics
+    /// Panics when `c` is outside the snapshot — cluster count is fixed
+    /// at construction, so an out-of-range id is a caller bug.
     pub fn capacity_of(&self, c: ClusterId) -> u32 {
-        self.capacity[c.index()]
+        *self.capacity.get(c.index()).unwrap_or_else(|| {
+            panic!(
+                "cluster {c:?} outside a snapshot of {} clusters",
+                self.capacity.len()
+            )
+        })
     }
 
     /// Total idle processors across the system.

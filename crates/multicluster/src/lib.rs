@@ -28,6 +28,10 @@
 //! * [`FailureStream`] — seeded node crash/recover event streams for the
 //!   elasticity experiments; crashes hit busy nodes (unlike the polite
 //!   withdraw path) via [`Cluster::crash`](Cluster::crash).
+//! * [`ControlPlaneFaults`] — seeded *control-plane* fault model: lossy,
+//!   jittery, duplicating KOALA↔GRAM messaging with per-cluster flaky
+//!   channel episodes (the robustness axis on top of the node-failure
+//!   data plane).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,7 +50,10 @@ pub use background::{BackgroundLoad, BackgroundSample};
 pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, CrashVictim, NodeState};
 pub use failure::{FailureEvent, FailurePolicy, FailureSpec, FailureStream};
 pub use files::{FileCatalog, FileId, FileMeta};
-pub use gram::GramConfig;
+pub use gram::{
+    ClassLoss, ControlPlaneFaultSpec, ControlPlaneFaults, FlakyChannelSpec, GramConfig,
+    MessageClass, MessageOutcome,
+};
 pub use ids::{AllocId, ClusterId, NodeId};
 pub use info::{InfoService, InfoSnapshot};
 pub use lrm::{LocalJob, LocalJobId, Lrm, SubmitOutcome};
