@@ -38,7 +38,7 @@ fn coalloc_request() -> PlacementRequest {
 
 fn placement_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("placement");
-    let mut catalog = FileCatalog::uniform(5, 10.0);
+    let mut catalog = FileCatalog::uniform(5, 10.0).unwrap();
     let f = catalog.register(25.0, [ClusterId(2)]);
     let mut req_cf = single_request();
     req_cf.files.push(f);

@@ -16,7 +16,8 @@
 use appsim::workload::WorkloadSpec;
 use appsim::ReconfigCost;
 use multicluster::{
-    BackgroundLoad, ControlPlaneFaultSpec, FailurePolicy, FailureSpec, GramConfig, MessageClass,
+    BackgroundLoad, CatalogError, ControlPlaneFaultSpec, FailurePolicy, FailureSpec, GramConfig,
+    MessageClass, NetworkError,
 };
 use simcore::SimDuration;
 
@@ -111,6 +112,21 @@ pub enum ConfigError {
     /// timeout, zero attempts, a backoff cap below the base timeout, or
     /// a zero orphan-sweep period/grace.
     DegenerateRetrySpec,
+    /// A file-catalog problem (bad bandwidth matrix, unknown file, …).
+    Catalog(CatalogError),
+    /// A network-topology problem (unknown name, bad builder
+    /// parameters, too few clusters).
+    Network(NetworkError),
+    /// An invalid entry in [`NetworkConfig::files`].
+    NetworkFile {
+        /// Index of the offending file spec.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A negative or non-finite per-processor reconfiguration traffic
+    /// volume.
+    NegativeReconfigTraffic(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -172,6 +188,14 @@ impl std::fmt::Display for ConfigError {
                      sweep period and grace"
                 )
             }
+            ConfigError::Catalog(e) => e.fmt(f),
+            ConfigError::Network(e) => e.fmt(f),
+            ConfigError::NetworkFile { index, reason } => {
+                write!(f, "network file {index}: {reason}")
+            }
+            ConfigError::NegativeReconfigTraffic(v) => {
+                write!(f, "reconfig_gb_per_proc must be finite and >= 0, got {v}")
+            }
         }
     }
 }
@@ -182,6 +206,8 @@ impl std::error::Error for ConfigError {
             ConfigError::Policy(e) => Some(e),
             ConfigError::Workload(e) => Some(e),
             ConfigError::Autoscaler(e) => Some(e),
+            ConfigError::Catalog(e) => Some(e),
+            ConfigError::Network(e) => Some(e),
             _ => None,
         }
     }
@@ -202,6 +228,18 @@ impl From<AutoscalerError> for ConfigError {
 impl From<appsim::generate::UnknownSource> for ConfigError {
     fn from(e: appsim::generate::UnknownSource) -> Self {
         ConfigError::Workload(e)
+    }
+}
+
+impl From<CatalogError> for ConfigError {
+    fn from(e: CatalogError) -> Self {
+        ConfigError::Catalog(e)
+    }
+}
+
+impl From<NetworkError> for ConfigError {
+    fn from(e: NetworkError) -> Self {
+        ConfigError::Network(e)
     }
 }
 
@@ -513,6 +551,43 @@ impl ElasticityConfig {
     }
 }
 
+/// A file pre-registered in the network layer's replica catalog:
+/// `trace` jobs reference it by index through
+/// [`appsim::JobSpec::input_files`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FileSpec {
+    /// File size in gigabytes.
+    pub size_gb: f64,
+    /// Cluster indices holding an initial replica (at least one).
+    pub replicas: Vec<u16>,
+}
+
+/// The contended-network layer: a named topology from the
+/// [`multicluster::TopologyRegistry`], the initial replica layout, and
+/// optional reconfiguration traffic. Carried as
+/// [`ExperimentConfig::network`]; `None` disables the layer entirely —
+/// transfers cost nothing at runtime and only the static
+/// Close-to-Files estimates remain, exactly as before the subsystem
+/// existed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkConfig {
+    /// Registry name of the topology (`"das3"`, `"flat_wan"`, `"star"`,
+    /// `"hierarchical"`, or parametric `"fat_tree_<k>"`).
+    pub topology: String,
+    /// Files registered in the replica catalog before the run starts,
+    /// in [`FileId`](multicluster::FileId) order (index `i` becomes
+    /// file id `i`).
+    #[serde(default)]
+    pub files: Vec<FileSpec>,
+    /// Gigabytes of redistribution traffic per processor added or
+    /// removed by a reconfiguration, charged to the job's site access
+    /// link (contention coupling only — the reconfiguring job itself
+    /// still pays the [`ReconfigCost`] suspension model). Zero (the
+    /// default) disables reconfiguration traffic.
+    #[serde(default)]
+    pub reconfig_gb_per_proc: f64,
+}
+
 /// A uniform synthetic multicluster: `clusters` identical sites of
 /// `nodes_per_cluster` nodes each (see [`multicluster::uniform`]) — the
 /// cluster-count axis of workload sweeps.
@@ -567,6 +642,11 @@ pub struct ExperimentConfig {
     /// KIS staleness); inert by default.
     #[serde(default)]
     pub elasticity: ElasticityConfig,
+    /// The contended-network layer (topology, replica layout,
+    /// reconfiguration traffic); `None` — the default — is strictly
+    /// passive.
+    #[serde(default)]
+    pub network: Option<NetworkConfig>,
 }
 
 impl ExperimentConfig {
@@ -669,6 +749,54 @@ impl ExperimentConfig {
             return Err(ConfigError::ZeroQuantileCapacity);
         }
         self.elasticity.validate()?;
+        if let Some(net) = &self.network {
+            let clusters = self
+                .uniform_topology
+                .map(|u| u.clusters as usize)
+                .unwrap_or_else(|| multicluster::das3().len());
+            multicluster::global_topologies().resolve(&net.topology, clusters)?;
+            if !(net.reconfig_gb_per_proc.is_finite() && net.reconfig_gb_per_proc >= 0.0) {
+                return Err(ConfigError::NegativeReconfigTraffic(
+                    net.reconfig_gb_per_proc,
+                ));
+            }
+            for (i, file) in net.files.iter().enumerate() {
+                if !(file.size_gb.is_finite() && file.size_gb >= 0.0) {
+                    return Err(ConfigError::NetworkFile {
+                        index: i,
+                        reason: format!("size_gb {} must be finite and >= 0", file.size_gb),
+                    });
+                }
+                if file.replicas.is_empty() {
+                    return Err(ConfigError::NetworkFile {
+                        index: i,
+                        reason: "needs at least one initial replica".to_string(),
+                    });
+                }
+                if let Some(&r) = file.replicas.iter().find(|&&r| r as usize >= clusters) {
+                    return Err(ConfigError::NetworkFile {
+                        index: i,
+                        reason: format!("replica cluster {r} >= cluster count {clusters}"),
+                    });
+                }
+            }
+            if let Some(trace) = &self.trace {
+                for (i, j) in trace.iter().enumerate() {
+                    for &fid in &j.spec.input_files {
+                        if fid as usize >= net.files.len() {
+                            return Err(ConfigError::TraceJob {
+                                index: i,
+                                reason: format!(
+                                    "input file {fid} is not registered in the network \
+                                     layer ({} files)",
+                                    net.files.len()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -816,6 +944,65 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("worst_fit"));
+    }
+
+    #[test]
+    fn network_block_validates() {
+        let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+        cfg.network = Some(NetworkConfig {
+            topology: "das3".to_string(),
+            files: vec![FileSpec {
+                size_gb: 100.0,
+                replicas: vec![4],
+            }],
+            reconfig_gb_per_proc: 0.0,
+        });
+        cfg.validate().unwrap();
+
+        let mut bad = cfg.clone();
+        bad.network.as_mut().unwrap().topology = "not_a_topology".to_string();
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Network(_)), "{err}");
+        assert!(err.to_string().contains("fat_tree_<k>"), "{err}");
+
+        let mut bad = cfg.clone();
+        bad.network.as_mut().unwrap().files[0].replicas = vec![7];
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NetworkFile { index: 0, .. })
+        ));
+
+        let mut bad = cfg.clone();
+        bad.network.as_mut().unwrap().files[0].replicas.clear();
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NetworkFile { index: 0, .. })
+        ));
+
+        let mut bad = cfg.clone();
+        bad.network.as_mut().unwrap().reconfig_gb_per_proc = -1.0;
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::NegativeReconfigTraffic(-1.0))
+        );
+
+        // A trace job referencing an unregistered file is caught.
+        let mut bad = cfg.clone();
+        let mut spec = appsim::JobSpec::rigid(appsim::AppKind::Gadget2, 4);
+        spec.input_files = vec![3];
+        bad.trace = Some(vec![appsim::workload::SubmittedJob {
+            at: simcore::SimTime::ZERO,
+            spec,
+        }]);
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::TraceJob { index: 0, .. })
+        ));
+
+        // The parametric fat-tree name resolves.
+        let mut ok = cfg.clone();
+        ok.network.as_mut().unwrap().topology = "fat_tree_16".to_string();
+        ok.validate().unwrap();
     }
 
     #[test]

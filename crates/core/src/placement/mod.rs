@@ -565,7 +565,7 @@ mod tests {
 
     #[test]
     fn close_to_files_prefers_replica_sites() {
-        let mut cat = FileCatalog::uniform(3, 1.0);
+        let mut cat = FileCatalog::uniform(3, 1.0).unwrap();
         let f = cat.register(50.0, [ClusterId(2)]);
         let req = PlacementRequest {
             components: vec![any(2, 8, 4)],
@@ -590,7 +590,7 @@ mod tests {
 
     #[test]
     fn close_to_files_falls_through_full_replica_site() {
-        let mut cat = FileCatalog::uniform(2, 1.0);
+        let mut cat = FileCatalog::uniform(2, 1.0).unwrap();
         let f = cat.register(50.0, [ClusterId(0)]);
         let req = PlacementRequest {
             components: vec![any(4, 8, 4)],

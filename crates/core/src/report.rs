@@ -73,6 +73,50 @@ impl CtrlStats {
     }
 }
 
+/// Network-layer counters: what the contended-transfer machinery
+/// observed during a run. All fields stay zero when
+/// [`ExperimentConfig::network`](crate::config::ExperimentConfig::network)
+/// is `None` — the network layer is strictly passive then.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Staging transfers opened (one per file that had to move).
+    pub transfers_opened: u64,
+    /// Staging transfers that ran to completion.
+    pub transfers_completed: u64,
+    /// Redistribution transfers opened by reconfigurations.
+    pub reconfig_transfers: u64,
+    /// Gigabytes of input data staged (redistribution traffic is
+    /// counted in [`Self::reconfig_transfers`], not here).
+    pub bytes_staged_gb: f64,
+    /// Accumulated link-busy time: seconds during which a link carried
+    /// at least one flow, summed over all links.
+    pub link_busy_s: f64,
+    /// Observation window: run span in seconds times the number of
+    /// links (the denominator of [`Self::link_busy_fraction`]).
+    pub link_span_s: f64,
+}
+
+impl NetStats {
+    /// Merges another run's counters into this one (everything adds, so
+    /// the pooled busy fraction stays a proper time-weighted mean).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.transfers_opened += other.transfers_opened;
+        self.transfers_completed += other.transfers_completed;
+        self.reconfig_transfers += other.reconfig_transfers;
+        self.bytes_staged_gb += other.bytes_staged_gb;
+        self.link_busy_s += other.link_busy_s;
+        self.link_span_s += other.link_span_s;
+    }
+
+    /// Fraction of link-seconds that carried at least one flow.
+    pub fn link_busy_fraction(&self) -> f64 {
+        if self.link_span_s <= 0.0 {
+            return 0.0;
+        }
+        self.link_busy_s / self.link_span_s
+    }
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -122,6 +166,8 @@ pub struct RunReport {
     pub jobs_requeued: u64,
     /// Control-plane fault counters (all zero when faults are off).
     pub ctrl: CtrlStats,
+    /// Network-layer counters (all zero when networking is off).
+    pub net: NetStats,
 }
 
 impl RunReport {
@@ -317,6 +363,17 @@ pub struct SummaryReport {
     pub jobs_requeued: u64,
     /// Control-plane fault counters (all zero when faults are off).
     pub ctrl: CtrlStats,
+    /// Network-layer counters (all zero when networking is off).
+    pub net: NetStats,
+    /// Per-transfer completion times in seconds (post-warmup), streamed
+    /// as staging/redistribution transfers finish — the "transfer time
+    /// mean ± CI" axis of the network benchmarks.
+    pub transfer_time: MetricStream,
+    /// Per-job staging delay in seconds (post-warmup): how long a
+    /// placed job waited for its input files to arrive before it could
+    /// start. Jobs whose files were already local stream a zero, so the
+    /// mean reflects the placement policy's file-affinity.
+    pub staging_delay: MetricStream,
     /// Post-warmup integral of total used processors (processor-seconds).
     util_integral: f64,
     /// Post-warmup integral of KOALA-used processors (processor-seconds).
@@ -388,6 +445,9 @@ impl SummaryReport {
         self.events += other.events;
         self.peak_live_jobs = self.peak_live_jobs.max(other.peak_live_jobs);
         self.ctrl.merge(&other.ctrl);
+        self.net.merge(&other.net);
+        self.transfer_time.merge(&other.transfer_time);
+        self.staging_delay.merge(&other.staging_delay);
         self.util_integral += other.util_integral;
         self.util_koala_integral += other.util_koala_integral;
         self.util_span_s += other.util_span_s;
@@ -456,7 +516,7 @@ impl MultiSummary {
 
 /// Reservoir-seed salts so each metric draws an independent priority
 /// stream from the same cell seed.
-const STREAM_SALTS: [u64; 8] = [
+const STREAM_SALTS: [u64; 10] = [
     0x9e37_79b9_7f4a_7c15,
     0x2545_f491_4f6c_dd1d,
     0x9e6d_6295_b6fc_9a7b,
@@ -465,6 +525,8 @@ const STREAM_SALTS: [u64; 8] = [
     0x6c62_272e_07bb_0142,
     0x1000_0000_01b3_c0de,
     0xcbf2_9ce4_8422_2325,
+    0x5851_f42d_4c95_7f2d,
+    0x1405_7b7e_f767_814f,
 ];
 
 /// Per-live-job metering state of the summarized collector: a handful of
@@ -518,6 +580,8 @@ pub(crate) struct SummaryCollector {
     shrink_ops: u64,
     monitor_utilization: MetricStream,
     monitor_queue_depth: MetricStream,
+    transfer_time: MetricStream,
+    staging_delay: MetricStream,
     scale_ups: u64,
     scale_downs: u64,
     jobs_killed: u64,
@@ -601,6 +665,8 @@ impl Collector {
             shrink_ops: 0,
             monitor_utilization: stream(6),
             monitor_queue_depth: stream(7),
+            transfer_time: stream(8),
+            staging_delay: stream(9),
             scale_ups: 0,
             scale_downs: 0,
             jobs_killed: 0,
@@ -791,6 +857,31 @@ impl Collector {
         }
     }
 
+    /// A staging or redistribution transfer completed after `secs`
+    /// seconds on the wire. Full mode keeps only the [`NetStats`]
+    /// tallies (tracked by the world); summarized mode streams the
+    /// duration (post-warmup, gated on the completion instant like the
+    /// operation counts).
+    pub(crate) fn transfer_done(&mut self, t: SimTime, secs: f64) {
+        if let Collector::Summary(c) = self {
+            if t >= c.warmup {
+                c.transfer_time.push(secs);
+            }
+        }
+    }
+
+    /// A job finished staging `secs` seconds after its processors'
+    /// placement was committed (zero when every input was already
+    /// local). Summarized mode streams it post-warmup; the full report
+    /// exposes staging through the job wait times instead.
+    pub(crate) fn staging_delayed(&mut self, t: SimTime, secs: f64) {
+        if let Collector::Summary(c) = self {
+            if t >= c.warmup {
+                c.staging_delay.push(secs);
+            }
+        }
+    }
+
     /// An applied autoscale decision (`grow` repaired nodes into the
     /// pool, otherwise free nodes were withdrawn).
     pub(crate) fn scale_op(&mut self, t: SimTime, grow: bool) {
@@ -885,6 +976,7 @@ impl FullCollector {
         failed_submissions: u64,
         events: u64,
         ctrl: CtrlStats,
+        net: NetStats,
         trace: simcore::Trace,
     ) -> RunReport {
         let mut jobs = JobTable::new();
@@ -914,6 +1006,7 @@ impl FullCollector {
             jobs_killed: self.jobs_killed,
             jobs_requeued: self.jobs_requeued,
             ctrl,
+            net,
         }
     }
 }
@@ -935,6 +1028,7 @@ impl SummaryCollector {
         events: u64,
         peak_live_jobs: u64,
         ctrl: CtrlStats,
+        net: NetStats,
     ) -> SummaryReport {
         self.integrate_to(makespan);
         let warmup = self.warmup.saturating_since(SimTime::ZERO);
@@ -968,6 +1062,9 @@ impl SummaryCollector {
             jobs_killed: self.jobs_killed,
             jobs_requeued: self.jobs_requeued,
             ctrl,
+            net,
+            transfer_time: self.transfer_time,
+            staging_delay: self.staging_delay,
             util_integral: self.util_integral,
             util_koala_integral: self.util_koala_integral,
             util_span_s: makespan.saturating_since(self.warmup).as_secs_f64(),
@@ -1032,6 +1129,7 @@ mod tests {
             jobs_killed: 0,
             jobs_requeued: 0,
             ctrl: CtrlStats::default(),
+            net: NetStats::default(),
         }
     }
 
@@ -1101,6 +1199,7 @@ mod tests {
             42,
             2,
             CtrlStats::default(),
+            NetStats::default(),
         )
     }
 
@@ -1181,6 +1280,7 @@ mod tests {
             0,
             1,
             CtrlStats::default(),
+            NetStats::default(),
         );
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);

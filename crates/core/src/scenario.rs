@@ -36,8 +36,8 @@ use multicluster::{BackgroundLoad, ControlPlaneFaultSpec, FailurePolicy, Failure
 use simcore::SimDuration;
 
 use crate::config::{
-    workload_label, Approach, ConfigError, ElasticityConfig, ExperimentConfig, ReportConfig,
-    RetryConfig, SchedulerConfig,
+    workload_label, Approach, ConfigError, ElasticityConfig, ExperimentConfig, FileSpec,
+    NetworkConfig, ReportConfig, RetryConfig, SchedulerConfig,
 };
 use crate::policy::PolicyRegistry;
 use crate::report::{MultiReport, MultiSummary, ReportMode};
@@ -235,6 +235,7 @@ pub struct ScenarioBuilder {
     mode: ReportMode,
     report: ReportConfig,
     elasticity: ElasticityConfig,
+    network: Option<NetworkConfig>,
 }
 
 impl Default for ScenarioBuilder {
@@ -254,6 +255,7 @@ impl Default for ScenarioBuilder {
             mode: ReportMode::Full,
             report: ReportConfig::default(),
             elasticity: ElasticityConfig::default(),
+            network: None,
         }
     }
 }
@@ -465,6 +467,46 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables the contended-network layer with the named topology
+    /// from the global [`multicluster::TopologyRegistry`] (`"das3"`,
+    /// `"flat_wan"`, `"star"`, `"hierarchical"`, or parametric
+    /// `"fat_tree_<k>"`, e.g. `.network("fat_tree_16")`). Without this
+    /// call the layer is off and transfers cost nothing — the strict
+    /// passivity default.
+    pub fn network(mut self, topology: impl Into<String>) -> Self {
+        self.network_mut().topology = topology.into();
+        self
+    }
+
+    /// Registers a file in the network layer's replica catalog (index
+    /// order defines the [`multicluster::FileId`]s that `trace` jobs
+    /// reference through [`appsim::JobSpec::input_files`]). Implies
+    /// `.network("das3")` unless a topology was already chosen.
+    pub fn network_file(mut self, size_gb: f64, replicas: impl IntoIterator<Item = u16>) -> Self {
+        self.network_mut().files.push(FileSpec {
+            size_gb,
+            replicas: replicas.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Sets the redistribution traffic a reconfiguration pushes over
+    /// the job's site access link, in GB per processor moved (default
+    /// zero — no reconfig traffic). Implies `.network("das3")` unless
+    /// a topology was already chosen.
+    pub fn reconfig_traffic(mut self, gb_per_proc: f64) -> Self {
+        self.network_mut().reconfig_gb_per_proc = gb_per_proc;
+        self
+    }
+
+    fn network_mut(&mut self) -> &mut NetworkConfig {
+        self.network.get_or_insert_with(|| NetworkConfig {
+            topology: "das3".to_string(),
+            files: Vec::new(),
+            reconfig_gb_per_proc: 0.0,
+        })
+    }
+
     /// Validates and assembles the scenario. The derived name comes from
     /// the malleability policy's label and the workload ([`cell_label`]),
     /// exactly like the legacy paper presets.
@@ -524,6 +566,7 @@ impl ScenarioBuilder {
             uniform_topology,
             report: self.report,
             elasticity: self.elasticity,
+            network: self.network,
         };
         cfg.validate()?;
         let seeds = match (self.seeds, self.replications) {

@@ -31,6 +31,14 @@
 //! **Background load** — local jobs enter each cluster's LRM directly,
 //! bypassing KOALA; the scheduler only learns about them at the next KIS
 //! poll.
+//!
+//! **Data staging** (network layer on) — a successful placement opens
+//! one network flow per input file missing at the destination
+//! (`TransferStart`); concurrent flows share links max-min fairly, and
+//! every flow start/finish re-estimates the others' completions
+//! (generation-stamped `TransferDone`, stale estimates dropped). The
+//! GRAM submission — or the deferred claim — fires only when the last
+//! transfer lands, so data movement genuinely delays job starts.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -40,7 +48,8 @@ use appsim::workload::SubmittedJob;
 use appsim::JobClass;
 use multicluster::{
     das3, AllocId, AllocOwner, ClusterId, ControlPlaneFaults, CrashVictim, FailurePolicy,
-    FailureStream, FileCatalog, InfoService, LocalJob, MessageClass, Multicluster, SubmitOutcome,
+    FailureStream, FileCatalog, FileId, FlowNet, InfoService, LocalJob, MessageClass, Multicluster,
+    SubmitOutcome,
 };
 use simcore::{Engine, Generation, SimDuration, SimRng, SimTime, Trace};
 
@@ -51,7 +60,9 @@ use crate::job::{Job, JobPhase};
 use crate::malleability::RunningView;
 use crate::placement::{ComponentRequest, PlacementQueue, PlacementRequest};
 use crate::policy::{Malleability, Placement, PolicyRegistry};
-use crate::report::{Collector, CtrlStats, MultiSummary, ReportMode, RunReport, SummaryReport};
+use crate::report::{
+    Collector, CtrlStats, MultiSummary, NetStats, ReportMode, RunReport, SummaryReport,
+};
 use crate::runner::MRunner;
 
 /// The flat event type of the whole simulation.
@@ -200,6 +211,28 @@ pub enum Ev {
     /// its retries, so lost releases never leak processors. Only
     /// scheduled when [`ControlPlaneFaults`] are enabled.
     OrphanSweep,
+    /// A placed job begins staging: one network transfer opens per
+    /// input file with no replica at the destination cluster. Only
+    /// scheduled when the contended-network layer is configured
+    /// ([`crate::config::NetworkConfig`]) — without it the event never
+    /// exists and trajectories are untouched.
+    TransferStart {
+        /// The job whose input files are staged.
+        job: JobId,
+        /// Validity stamp.
+        gen: Generation,
+    },
+    /// A network transfer's estimated completion fires. Every
+    /// fair-share recomputation (another transfer starting or
+    /// finishing) bumps the flow's own generation and schedules a
+    /// fresh estimate, so only the latest stamp applies — stale
+    /// estimates are dropped by [`FlowNet::complete`].
+    TransferDone {
+        /// The flow id within the world's [`FlowNet`].
+        transfer: u64,
+        /// The flow-generation stamp of this estimate.
+        gen: u64,
+    },
 }
 
 /// A control-plane operation guarded by the timeout/retry machinery —
@@ -425,6 +458,54 @@ impl JobSlab {
     }
 }
 
+/// What one network flow is moving, and for whom — resolved when its
+/// completion event fires.
+struct TransferOwner {
+    /// The job the transfer serves.
+    job: JobId,
+    /// The job's generation when the transfer opened; a bumped stamp
+    /// means the job moved on (re-queued, reconfigured) and the
+    /// completion must not drive it — the data still lands, though:
+    /// the replica is registered regardless.
+    gen: Generation,
+    /// The staged file, or `None` for reconfiguration traffic (which
+    /// only contends — nothing waits on it).
+    file: Option<FileId>,
+    /// Destination cluster (gains the replica on completion).
+    dest: ClusterId,
+}
+
+/// Per-job staging progress under the network layer.
+struct StagingState {
+    /// Transfers still in flight for this staging session.
+    pending: u32,
+    /// The job generation the session belongs to (pairs completions
+    /// with the right session if the job was re-placed meanwhile).
+    gen: Generation,
+    /// When staging began — the staging-delay metric's anchor.
+    since: SimTime,
+}
+
+/// Runtime state of the contended-network layer: the fair-share flow
+/// network plus the bookkeeping that ties flows back to jobs. `None`
+/// on the world when [`crate::config::ExperimentConfig::network`] is
+/// `None` — the default — in which case staging falls back to the
+/// closed-form catalog estimates and trajectories are bit-identical
+/// to the pre-network code (pinned by the passivity golden).
+struct NetRuntime {
+    /// Active flows and max-min fair rate assignment.
+    flows: FlowNet,
+    /// Flow id → what it moves and for whom.
+    owners: HashMap<u64, TransferOwner>,
+    /// Job id → staging session in progress.
+    staging: HashMap<u32, StagingState>,
+    /// GB of redistribution traffic per processor moved by a
+    /// reconfiguration (zero disables reconfig traffic).
+    reconfig_gb_per_proc: f64,
+    /// Transfer tallies for the report.
+    stats: NetStats,
+}
+
 /// The simulation world. Construct with [`World::new`], drive with
 /// [`World::run_to_completion`] (or use the [`run_experiment`] helper).
 ///
@@ -489,6 +570,9 @@ pub struct World<'a> {
     faults: Option<ControlPlaneFaults>,
     /// Control-plane health counters (all zero when faults are off).
     ctrl: CtrlStats,
+    /// The contended-network layer (`None` without a network config —
+    /// the default — making the whole layer strictly passive).
+    net: Option<NetRuntime>,
     trace: Trace,
     /// Reusable scratch for [`World::scan_queue`] (scan-order snapshot,
     /// live availability, budget-capped availability, the placement
@@ -667,6 +751,30 @@ impl<'a> World<'a> {
             .ctrl_faults
             .as_ref()
             .map(|spec| ControlPlaneFaults::new(spec.clone(), n_clusters as u16, fault_rng));
+        // The contended-network layer: resolve the named topology
+        // against the global registry and pre-register the configured
+        // replica layout. The catalog is derived from the topology
+        // (uncontended bottleneck bandwidths), so Close-to-Files
+        // ranking and the transfers it leads to agree on the network
+        // shape; an explicit `with_files` catalog still overrides it.
+        let mut files = None;
+        let net = cfg.network.as_ref().map(|nc| {
+            let topo = multicluster::global_topologies()
+                .resolve(&nc.topology, n_clusters)
+                .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+            let mut cat = FileCatalog::over_network(&topo);
+            for spec in &nc.files {
+                cat.register(spec.size_gb, spec.replicas.iter().map(|&r| ClusterId(r)));
+            }
+            files = Some(cat);
+            NetRuntime {
+                flows: FlowNet::new(topo),
+                owners: HashMap::new(),
+                staging: HashMap::new(),
+                reconfig_gb_per_proc: nc.reconfig_gb_per_proc,
+                stats: NetStats::default(),
+            }
+        });
         let w_init = World {
             cfg,
             seed,
@@ -674,7 +782,7 @@ impl<'a> World<'a> {
             malleability,
             mc,
             kis: InfoService::with_lag(cfg.elasticity.kis_lag),
-            files: None,
+            files,
             intake,
             jobs,
             queue: PlacementQueue::new(),
@@ -691,6 +799,7 @@ impl<'a> World<'a> {
             failures,
             faults,
             ctrl: CtrlStats::default(),
+            net,
             trace: Trace::disabled(),
             scan_buf: Vec::new(),
             scratch_avail: Vec::with_capacity(n_clusters),
@@ -941,6 +1050,8 @@ impl<'a> World<'a> {
                 attempt,
             } => self.on_ctrl_timeout(engine, job, gen, op, attempt),
             Ev::OrphanSweep => self.on_orphan_sweep(engine),
+            Ev::TransferStart { job, gen } => self.on_transfer_start(engine, job, gen),
+            Ev::TransferDone { transfer, gen } => self.on_transfer_done(engine, transfer, gen),
         }
         debug_assert!(
             self.mc.check_invariants().is_ok(),
@@ -1172,9 +1283,26 @@ impl<'a> World<'a> {
                     if let ClaimingPolicy::Deferred { margin } = self.cfg.sched.claiming {
                         if placement.len() == 1 {
                             let cp = placement[0];
-                            let stage = self
-                                .staging_time(self.jobs.get(id).expect("placed job"), cp.cluster);
-                            if !stage.is_zero() {
+                            // Under the contended network, *measured*
+                            // transfers decide when the claim fires
+                            // (the margin is an estimator knob with no
+                            // meaning there); otherwise the catalog's
+                            // closed-form estimate schedules it.
+                            let networked = self.net.is_some();
+                            let stage = if networked {
+                                simcore::SimDuration::ZERO
+                            } else {
+                                self.staging_time(
+                                    self.jobs.get(id).expect("placed job"),
+                                    cp.cluster,
+                                )
+                            };
+                            let divert = if networked {
+                                self.staging_required(id, cp.cluster)
+                            } else {
+                                !stage.is_zero()
+                            };
+                            if divert {
                                 self.queue.remove(id);
                                 let now = engine.now();
                                 let slot = self.jobs.slot_of(id);
@@ -1183,11 +1311,15 @@ impl<'a> World<'a> {
                                 job.cluster = Some(cp.cluster);
                                 job.pending_claim = Some(vec![(cp.cluster, cp.size)]);
                                 self.collect.placed(slot, now);
-                                let delay = simcore::SimDuration::from_millis(
-                                    stage.as_millis().saturating_sub(margin.as_millis()),
-                                );
                                 let gen = job.gen;
-                                engine.schedule_in(delay, Ev::Claim { job: id, gen });
+                                if networked {
+                                    engine.schedule_now(Ev::TransferStart { job: id, gen });
+                                } else {
+                                    let delay = simcore::SimDuration::from_millis(
+                                        stage.as_millis().saturating_sub(margin.as_millis()),
+                                    );
+                                    engine.schedule_in(delay, Ev::Claim { job: id, gen });
+                                }
                                 continue;
                             }
                         }
@@ -1292,8 +1424,16 @@ impl<'a> World<'a> {
             )
         });
         let gen = job.gen;
-        let delay = self.cfg.sched.gram.batch_submit_time(total);
-        self.send_ctrl(engine, id, gen, CtrlOp::Start, Some(cluster), delay, 0);
+        if self.staging_required(id, cluster) {
+            // Bandwidth-true staging: the GRAM submission waits until
+            // the input transfers land. The allocation is held through
+            // the whole staging window — exactly the idle-processor
+            // cost the deferred claiming policy exists to avoid.
+            engine.schedule_now(Ev::TransferStart { job: id, gen });
+        } else {
+            let delay = self.cfg.sched.gram.batch_submit_time(total);
+            self.send_ctrl(engine, id, gen, CtrlOp::Start, Some(cluster), delay, 0);
+        }
         for &(c, _, _) in &components {
             self.sync_baseline(c);
         }
@@ -1492,6 +1632,9 @@ impl<'a> World<'a> {
         let delay =
             self.cfg.sched.gram.recruit_time(added) + self.cfg.sched.reconfig.grow_cost(old, new);
         self.send_ctrl(engine, id, gen, CtrlOp::RecruitSync, cluster, delay, 0);
+        if let Some(c) = cluster {
+            self.open_reconfig_traffic(engine, id, c, added);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1603,6 +1746,7 @@ impl<'a> World<'a> {
                 delay,
                 0,
             );
+            self.open_reconfig_traffic(engine, op.job, cluster, op.released);
         }
     }
 
@@ -2153,6 +2297,269 @@ impl<'a> World<'a> {
     }
 
     // ------------------------------------------------------------------
+    // The contended network: bandwidth-true staging, reconfig traffic
+    // ------------------------------------------------------------------
+
+    /// Whether job `id` has input files that must move before it can
+    /// start at `cluster`: the network layer is on, and at least one
+    /// input file has no replica at the destination but a *reachable*
+    /// replica elsewhere. Unreachable files never gate the start —
+    /// like the catalog estimators, reachability is a ranking concern,
+    /// not an admission check, and blocking forever on a marooned file
+    /// would hang the job.
+    fn staging_required(&self, id: JobId, cluster: ClusterId) -> bool {
+        let Some(net) = self.net.as_ref() else {
+            return false;
+        };
+        let Some(cat) = self.files.as_ref() else {
+            return false;
+        };
+        let job = self.jobs.get(id).expect("placed job is live");
+        let topo = net.flows.topology();
+        job.spec.input_files.iter().any(|&f| {
+            cat.meta(FileId(f)).is_some_and(|m| {
+                !m.replicas.contains(&cluster)
+                    && m.replicas
+                        .iter()
+                        .any(|&r| topo.path_bandwidth_gbps(r, cluster) > 0.0)
+            })
+        })
+    }
+
+    /// Opens the staging transfers of a placed job: one flow per input
+    /// file missing at the destination, each from its best replica
+    /// (highest uncontended path bandwidth; ties to the lowest cluster
+    /// id — deterministic because replicas iterate in `BTreeSet`
+    /// order). With nothing to move the job proceeds immediately.
+    fn on_transfer_start(&mut self, engine: &mut Engine<Ev>, id: JobId, gen: Generation) {
+        let now = engine.now();
+        let Some(job) = self.jobs.get(id) else {
+            return;
+        };
+        if !job.gen.matches(gen) || !matches!(job.phase, JobPhase::Starting | JobPhase::Staging) {
+            return;
+        }
+        let dest = job.cluster.expect("a staging job was placed");
+        let mut opened = 0u32;
+        {
+            let net = self
+                .net
+                .as_mut()
+                .expect("TransferStart is only scheduled by the network layer");
+            let cat = self
+                .files
+                .as_ref()
+                .expect("the network layer installs a catalog");
+            for f in job.spec.input_files.iter().map(|&f| FileId(f)) {
+                let Some(meta) = cat.meta(f) else { continue };
+                if meta.replicas.contains(&dest) {
+                    continue;
+                }
+                let mut best: Option<(f64, ClusterId)> = None;
+                for &r in &meta.replicas {
+                    let bw = net.flows.topology().path_bandwidth_gbps(r, dest);
+                    if bw <= 0.0 {
+                        continue;
+                    }
+                    if best.is_none_or(|(b, _)| bw > b) {
+                        best = Some((bw, r));
+                    }
+                }
+                let Some((_, src)) = best else { continue };
+                let (flow, scheds) = net.flows.open(now, src, dest, meta.size_gb);
+                net.owners.insert(
+                    flow,
+                    TransferOwner {
+                        job: id,
+                        gen,
+                        file: Some(f),
+                        dest,
+                    },
+                );
+                net.stats.transfers_opened += 1;
+                net.stats.bytes_staged_gb += meta.size_gb;
+                for s in scheds {
+                    engine.schedule_at(
+                        s.eta,
+                        Ev::TransferDone {
+                            transfer: s.flow,
+                            gen: s.gen,
+                        },
+                    );
+                }
+                opened += 1;
+            }
+            if opened > 0 {
+                net.staging.insert(
+                    id.0,
+                    StagingState {
+                        pending: opened,
+                        gen,
+                        since: now,
+                    },
+                );
+            }
+        }
+        if opened == 0 {
+            self.finish_staging(engine, id);
+        } else {
+            self.trace.record(now, "stage", id.0 as u64, || {
+                format!("{opened} transfers to {dest:?}")
+            });
+        }
+    }
+
+    /// A transfer's completion estimate fires. Stale estimates (the
+    /// flow was rescheduled by a fair-share change since) are dropped
+    /// by the flow generation; a real completion registers the new
+    /// replica, feeds the transfer-time stream, and — when it was the
+    /// job's last pending transfer — resumes the job's start path.
+    fn on_transfer_done(&mut self, engine: &mut Engine<Ev>, transfer: u64, gen: u64) {
+        let now = engine.now();
+        let Some(net) = self.net.as_mut() else {
+            return;
+        };
+        let Some((done, scheds)) = net.flows.complete(now, transfer, gen) else {
+            return; // stale estimate
+        };
+        for s in scheds {
+            engine.schedule_at(
+                s.eta,
+                Ev::TransferDone {
+                    transfer: s.flow,
+                    gen: s.gen,
+                },
+            );
+        }
+        let owner = net
+            .owners
+            .remove(&transfer)
+            .expect("completed flow has an owner");
+        net.stats.transfers_completed += 1;
+        // The session decrement is gated on the generation pair: a
+        // flow opened for an abandoned placement must not count down
+        // a newer session of the same job id.
+        let mut since = None;
+        if owner.file.is_some() {
+            if let Some(st) = net.staging.get_mut(&owner.job.0) {
+                if st.gen.matches(owner.gen) {
+                    st.pending -= 1;
+                    if st.pending == 0 {
+                        since = net.staging.remove(&owner.job.0).map(|st| st.since);
+                    }
+                }
+            }
+        }
+        self.collect
+            .transfer_done(now, now.saturating_since(done.opened_at).as_secs_f64());
+        if let Some(f) = owner.file {
+            // The data landed whether or not the job still wants it.
+            if let Some(cat) = self.files.as_mut() {
+                cat.add_replica(f, owner.dest);
+            }
+        }
+        if let Some(since) = since {
+            let live = self.jobs.get(owner.job).is_some_and(|j| {
+                j.gen.matches(owner.gen)
+                    && matches!(j.phase, JobPhase::Starting | JobPhase::Staging)
+            });
+            if live {
+                self.collect
+                    .staging_delayed(now, now.saturating_since(since).as_secs_f64());
+                self.finish_staging(engine, owner.job);
+            }
+        }
+    }
+
+    /// All of a job's staging transfers have landed: resume the start
+    /// path. Immediate-claiming jobs (phase `Starting`, allocation
+    /// already held) send the GRAM batch now; deferred-claiming jobs
+    /// (phase `Staging`, nothing held) claim their processors now —
+    /// under measured transfers the claim fires exactly when the data
+    /// is in place.
+    fn finish_staging(&mut self, engine: &mut Engine<Ev>, id: JobId) {
+        let Some(job) = self.jobs.get(id) else {
+            return;
+        };
+        let gen = job.gen;
+        match job.phase {
+            JobPhase::Starting => {
+                let (cluster, delay) = self.resend_params(id, CtrlOp::Start);
+                self.send_ctrl(engine, id, gen, CtrlOp::Start, cluster, delay, 0);
+            }
+            JobPhase::Staging => engine.schedule_now(Ev::Claim { job: id, gen }),
+            _ => {}
+        }
+    }
+
+    /// Opens the redistribution traffic of a reconfiguration on the
+    /// job's site access link (`reconfig_gb_per_proc` × processors
+    /// moved). Nothing waits on this flow — the job pays its
+    /// suspension through the [`crate::config::ReconfigCost`] model as
+    /// before — but the flow contends with staging transfers crossing
+    /// the same link, which is the coupling the knob buys.
+    fn open_reconfig_traffic(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        id: JobId,
+        cluster: ClusterId,
+        procs: u32,
+    ) {
+        let Some(net) = self.net.as_mut() else { return };
+        if net.reconfig_gb_per_proc <= 0.0 || procs == 0 {
+            return;
+        }
+        let now = engine.now();
+        let gen = match self.jobs.get(id) {
+            Some(j) => j.gen,
+            None => return,
+        };
+        let (link, latency) = {
+            let topo = net.flows.topology();
+            let link = topo.access_link(cluster);
+            (link, topo.links()[link.index()].latency)
+        };
+        let size = net.reconfig_gb_per_proc * procs as f64;
+        let (flow, scheds) = net.flows.open_on(now, vec![link], latency, size);
+        net.owners.insert(
+            flow,
+            TransferOwner {
+                job: id,
+                gen,
+                file: None,
+                dest: cluster,
+            },
+        );
+        net.stats.transfers_opened += 1;
+        net.stats.reconfig_transfers += 1;
+        for s in scheds {
+            engine.schedule_at(
+                s.eta,
+                Ev::TransferDone {
+                    transfer: s.flow,
+                    gen: s.gen,
+                },
+            );
+        }
+    }
+
+    /// Finalizes the network tallies: drains link busy-time up to the
+    /// end of the run and derives the busy-fraction denominator
+    /// (`makespan × links`). Zero everything without a network layer.
+    fn final_net_stats(&mut self, now: SimTime) -> NetStats {
+        match self.net.as_mut() {
+            Some(n) => {
+                n.flows.advance(now);
+                let mut s = n.stats;
+                s.link_busy_s = n.flows.busy_seconds();
+                s.link_span_s = now.as_secs_f64() * n.flows.link_count() as f64;
+                s
+            }
+            None => NetStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Application-initiated growth (Section VIII extension)
     // ------------------------------------------------------------------
 
@@ -2570,9 +2977,10 @@ impl<'a> World<'a> {
     ///
     /// # Panics
     /// Panics in summarized mode — use [`World::finish_summary`].
-    pub fn finish(self, engine: &Engine<Ev>) -> RunReport {
+    pub fn finish(mut self, engine: &Engine<Ev>) -> RunReport {
         let mut ctrl = self.ctrl;
         ctrl.leaked_allocations = u64::from(self.mc.total_used_by_koala());
+        let net = self.final_net_stats(engine.now());
         self.collect.into_full().finish(
             self.cfg.name.clone(),
             self.seed,
@@ -2584,6 +2992,7 @@ impl<'a> World<'a> {
             self.queue.failed_submissions(),
             engine.stats().delivered,
             ctrl,
+            net,
             self.trace,
         )
     }
@@ -2592,9 +3001,10 @@ impl<'a> World<'a> {
     ///
     /// # Panics
     /// Panics in full-report mode — use [`World::finish`].
-    pub fn finish_summary(self, engine: &Engine<Ev>) -> SummaryReport {
+    pub fn finish_summary(mut self, engine: &Engine<Ev>) -> SummaryReport {
         let mut ctrl = self.ctrl;
         ctrl.leaked_allocations = u64::from(self.mc.total_used_by_koala());
+        let net = self.final_net_stats(engine.now());
         self.collect.into_summary().finish(
             self.cfg.name.clone(),
             self.seed,
@@ -2607,6 +3017,7 @@ impl<'a> World<'a> {
             engine.stats().delivered,
             self.jobs.peak_live() as u64,
             ctrl,
+            net,
         )
     }
 }

@@ -45,6 +45,7 @@ fn legacy_paper_cell(policy: &str, approach: Approach, workload: WorkloadSpec) -
         uniform_topology: None,
         report: koala::config::ReportConfig::default(),
         elasticity: koala::config::ElasticityConfig::default(),
+        network: None,
     }
 }
 

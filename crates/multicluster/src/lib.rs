@@ -22,6 +22,12 @@
 //!   state.
 //! * [`FileCatalog`] — replica locations and transfer-time estimates for
 //!   the Close-to-Files placement policy.
+//! * [`NetworkTopology`] / [`FlowNet`] / [`TopologyRegistry`] — the
+//!   contended wide-area network: per-link bandwidth and latency,
+//!   routes as link sequences, named topology builders (`flat_wan`,
+//!   `star`, `hierarchical`, `fat_tree_<k>`, the Table-I `das3`
+//!   preset), and max-min fair sharing of concurrent transfers with
+//!   event-driven completion re-estimation.
 //! * [`Multicluster`] / [`das3`] — topology presets, including Table I of
 //!   the paper.
 //! * [`BackgroundLoad`] — stochastic local-user workload parameters.
@@ -44,12 +50,13 @@ mod gram;
 mod ids;
 mod info;
 mod lrm;
+mod network;
 mod topology;
 
 pub use background::{BackgroundLoad, BackgroundSample};
 pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, CrashVictim, NodeState};
 pub use failure::{FailureEvent, FailurePolicy, FailureSpec, FailureStream};
-pub use files::{FileCatalog, FileId, FileMeta};
+pub use files::{CatalogError, FileCatalog, FileId, FileMeta};
 pub use gram::{
     ClassLoss, ControlPlaneFaultSpec, ControlPlaneFaults, FlakyChannelSpec, GramConfig,
     MessageClass, MessageOutcome,
@@ -57,4 +64,8 @@ pub use gram::{
 pub use ids::{AllocId, ClusterId, NodeId};
 pub use info::{InfoService, InfoSnapshot};
 pub use lrm::{LocalJob, LocalJobId, Lrm, SubmitOutcome};
+pub use network::{
+    global_topologies, FlowDone, FlowNet, FlowSchedule, Link, LinkId, NetworkError,
+    NetworkTopology, TopologyCtor, TopologyRegistry,
+};
 pub use topology::{das3, das3_heterogeneous, uniform, Interconnect, Multicluster, DAS3_DELFT};

@@ -92,7 +92,7 @@ fn main() {
     }
 
     // Close-to-Files: a job whose 40 GB input lives at MultimediaN (C3).
-    let mut catalog = FileCatalog::uniform(das.len(), 1.0); // 1 Gb/s WAN
+    let mut catalog = FileCatalog::uniform(das.len(), 1.0).unwrap(); // 1 Gb/s WAN
     let input = catalog.register(40.0, [ClusterId(3)]);
     let cf_job = PlacementRequest {
         components: vec![ComponentRequest {

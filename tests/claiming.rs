@@ -12,7 +12,7 @@ use malleable_koala::simcore::{Engine, SimDuration, SimTime};
 /// A 100 GB input at Leiden only, over a 1 Gb/s WAN: 800 s to stage
 /// anywhere else, 0 s locally.
 fn catalog() -> FileCatalog {
-    let mut cat = FileCatalog::uniform(5, 1.0);
+    let mut cat = FileCatalog::uniform(5, 1.0).unwrap();
     let f = cat.register(100.0, [ClusterId(4)]);
     assert_eq!(f.0, 0, "opaque id 0 maps to the first registered file");
     cat

@@ -66,7 +66,7 @@ fn close_to_files_end_to_end_with_catalog() {
     // CF with a populated catalog at the placement layer, on the real
     // DAS-3 shape.
     let das = das3();
-    let mut catalog = FileCatalog::uniform(das.len(), 2.0);
+    let mut catalog = FileCatalog::uniform(das.len(), 2.0).unwrap();
     let f = catalog.register(100.0, [ClusterId(4)]); // replica at Leiden
     let req = PlacementRequest {
         components: vec![ComponentRequest {
