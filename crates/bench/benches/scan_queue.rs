@@ -40,29 +40,40 @@ fn deep_queue_cfg(jobs: usize) -> ExperimentConfig {
 
 fn scan_queue_deep(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan_queue");
+    // The saturated queue is exactly the availability-index's target:
+    // every job's minimum exceeds what any cluster can grant, so the
+    // index-on runs quick-reject all of them without a policy walk.
+    // The `_no_index` variants pay the full per-job policy cost and
+    // serve as the before-side of the ISSUE 9 criterion gate.
     for &jobs in &[100usize, 500] {
-        g.throughput(Throughput::Elements(jobs as u64));
-        g.bench_function(format!("deep_queue_{jobs}_jobs"), |b| {
-            let cfg = deep_queue_cfg(jobs);
-            let mut engine: Engine<Ev> = Engine::new();
-            let mut world = World::new(&cfg);
-            world.bootstrap(&mut engine);
-            // Drain the t=0 burst (KIS poll + all arrivals) so the full
-            // queue is built and a snapshot exists, then drop the pending
-            // periodic timers: nothing else is popped during measurement.
-            while engine.peek_time() == Some(SimTime::ZERO) {
-                let (_, ev) = engine.pop().expect("peeked");
-                world.handle(&mut engine, ev);
-            }
-            engine.clear();
-            b.iter(|| {
-                world.handle(&mut engine, Ev::QueueScan);
-                // The handler reschedules the next periodic scan; drop it
-                // so heap depth stays identical across iterations.
+        for index in [true, false] {
+            let suffix = if index { "" } else { "_no_index" };
+            g.throughput(Throughput::Elements(jobs as u64));
+            g.bench_function(format!("deep_queue_{jobs}_jobs{suffix}"), |b| {
+                let mut cfg = deep_queue_cfg(jobs);
+                cfg.sched.avail_index = index;
+                let mut engine: Engine<Ev> = Engine::new();
+                let mut world = World::new(&cfg);
+                world.bootstrap(&mut engine);
+                // Drain the t=0 burst (KIS poll + all arrivals) so the
+                // full queue is built and a snapshot exists, then drop
+                // the pending periodic timers: nothing else is popped
+                // during measurement.
+                while engine.peek_time() == Some(SimTime::ZERO) {
+                    let (_, ev) = engine.pop().expect("peeked");
+                    world.handle(&mut engine, ev);
+                }
                 engine.clear();
-                black_box(());
+                b.iter(|| {
+                    world.handle(&mut engine, Ev::QueueScan);
+                    // The handler reschedules the next periodic scan;
+                    // drop it so queue depth stays identical across
+                    // iterations.
+                    engine.clear();
+                    black_box(());
+                });
             });
-        });
+        }
     }
     g.finish();
 }

@@ -8,8 +8,10 @@
 //! guarantee on the real matrices** (the parallel summaries, and their
 //! merged replication aggregates, must render byte-identically to the
 //! sequential ones), and writes the machine-readable baseline
-//! `BENCH_2.json` at the current directory (the repo root when run via
+//! `BENCH_9.json` at the current directory (the repo root when run via
 //! `cargo run`), so future perf PRs have a trajectory to beat.
+//! (`BENCH_2.json`, the pre-calendar-queue baseline this binary used to
+//! write, stays committed as the before-side of the comparison.)
 //!
 //! Pipelines:
 //!
@@ -22,6 +24,10 @@
 //!   (20 configurations × 50 seeds; full mode only): the scale target
 //!   of the streaming-statistics subsystem, infeasible with full
 //!   reports in this container.
+//! * `trace1m` (queue comparison) — the million-job streaming trace run
+//!   once per event-queue implementation (binary heap vs calendar),
+//!   with the two summary reports asserted byte-identical before the
+//!   events/s of each is recorded: the ISSUE 9 headline measurement.
 //!
 //! ```text
 //! cargo run --release -p koala_bench --bin perf [-- --smoke] [--threads N] [--out PATH]
@@ -42,7 +48,9 @@ use koala::parallel::{run_cells_summary, Cell};
 use koala::report::{MultiSummary, SummaryReport};
 use koala::scenario::Scenario;
 use koala_bench::{init_threads, scenario_matrix, SEEDS};
+use multicluster::BackgroundLoad;
 use serde::Value;
+use simcore::QueueImpl;
 
 /// One measured pipeline: label + cell configs, each run across the
 /// pipeline's seeds.
@@ -243,6 +251,71 @@ fn measure(p: &Pipeline, threads: usize) -> Measurement {
     }
 }
 
+/// One trace1m pass under a specific event-queue implementation.
+struct QueueMeasurement {
+    queue: &'static str,
+    jobs: usize,
+    events: u64,
+    wall_s: f64,
+}
+
+impl QueueMeasurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// The million-job streaming trace, run once per queue implementation.
+/// The two summaries must render byte-identically — the differential
+/// guarantee enforced at benchmark scale — before either throughput is
+/// recorded.
+fn trace_queue_comparison(smoke: bool) -> Vec<QueueMeasurement> {
+    let jobs = if smoke { 20_000 } else { 1_000_000 };
+    let lookahead = 1024;
+    let base = Scenario::builder()
+        .workload("trace1m")
+        .jobs(jobs)
+        .no_horizon()
+        .background(BackgroundLoad::none())
+        .scheduler(|s| s.koala_share = 0.5)
+        .summarized()
+        .build()
+        .expect("valid trace1m scenario")
+        .into_config();
+    let mut measurements = Vec::new();
+    let mut renders = Vec::new();
+    for (name, queue) in [("heap", QueueImpl::Heap), ("calendar", QueueImpl::Calendar)] {
+        let mut cfg = base.clone();
+        cfg.sched.event_queue = queue;
+        let t0 = Instant::now();
+        let report = koala::run_generator_summary_seeded(&cfg, 42, lookahead);
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(report.jobs_submitted, jobs as u64);
+        let m = QueueMeasurement {
+            queue: name,
+            jobs,
+            events: report.events,
+            wall_s,
+        };
+        println!(
+            "  trace1m[{:<8}] {} jobs | {} events | {:>7.3} s | {:>9.0} ev/s",
+            m.queue,
+            m.jobs,
+            m.events,
+            m.wall_s,
+            m.events_per_sec()
+        );
+        renders.push(format!("{report:?}"));
+        measurements.push(m);
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "queue implementations diverged on the trace1m trajectory"
+    );
+    println!("  trace1m: heap and calendar summaries bit-identical");
+    measurements
+}
+
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(
         entries
@@ -261,20 +334,23 @@ fn report_json(
     threads: usize,
     hardware_threads: usize,
     measurements: &[Measurement],
+    queues: &[QueueMeasurement],
 ) -> Value {
     let total_events: u64 = measurements.iter().map(|m| m.events).sum();
     let total_seq: f64 = measurements.iter().map(|m| m.sequential_s).sum();
     let total_par: f64 = measurements.iter().map(|m| m.parallel_s).sum();
     obj(vec![
-        ("bench", Value::String("BENCH_2".into())),
+        ("bench", Value::String("BENCH_9".into())),
         (
             "description",
             Value::String(
-                "Parallel experiment runner + allocation-free scheduling hot path, \
-                 measured through the memory-bounded summary reporting path: \
-                 wall-clock and events/sec per pipeline (figures, registry cross \
-                 sweep, 8-replication merge, 1000-cell matrix), sequential vs \
-                 parallel"
+                "Event-loop push (calendar queue, SoA job state, timer \
+                 coalescing, availability index), measured through the \
+                 memory-bounded summary reporting path: wall-clock and \
+                 events/sec per pipeline (figures, registry cross sweep, \
+                 8-replication merge, 1000-cell matrix) sequential vs \
+                 parallel, plus the trace1m streaming trace under both \
+                 event-queue implementations (asserted bit-identical)"
                     .into(),
             ),
         ),
@@ -322,6 +398,39 @@ fn report_json(
                     })
                     .collect(),
             ),
+        ),
+        (
+            "queue_comparison",
+            obj(vec![
+                (
+                    "pipeline",
+                    Value::String("trace1m streaming trace, seed 42, look-ahead 1024".into()),
+                ),
+                // trace_queue_comparison() asserts the heap and calendar
+                // summaries render byte-identically before measuring.
+                ("trajectory_identical", Value::Bool(true)),
+                (
+                    "runs",
+                    Value::Array(
+                        queues
+                            .iter()
+                            .map(|q| {
+                                obj(vec![
+                                    ("queue", Value::String(q.queue.into())),
+                                    ("jobs", Value::UInt(q.jobs as u64)),
+                                    ("events", Value::UInt(q.events)),
+                                    ("wall_s", Value::Float(round3(q.wall_s))),
+                                    ("events_per_sec", Value::Float(q.events_per_sec().round())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "calendar_speedup_vs_heap",
+                    Value::Float(round3(queues[0].wall_s / queues[1].wall_s.max(1e-12))),
+                ),
+            ]),
         ),
         (
             "totals",
@@ -380,16 +489,18 @@ fn main() {
     }
     println!("  determinism: parallel summaries (raw and merged) bit-identical to sequential on every pipeline");
 
-    let json = report_json(smoke, threads, hardware_threads, &measurements);
+    let queues = trace_queue_comparison(smoke);
+
+    let json = report_json(smoke, threads, hardware_threads, &measurements, &queues);
     let text = serde_json::to_string_pretty(&ValueWrap(json)).expect("render JSON");
     let path = out.unwrap_or_else(|| {
         if smoke {
             std::env::temp_dir()
-                .join("BENCH_2_smoke.json")
+                .join("BENCH_9_smoke.json")
                 .to_string_lossy()
                 .into_owned()
         } else {
-            "BENCH_2.json".to_string()
+            "BENCH_9.json".to_string()
         }
     });
     std::fs::write(&path, text + "\n").expect("write BENCH json");

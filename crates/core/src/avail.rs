@@ -1,0 +1,213 @@
+//! Incremental per-cluster availability index for the placement scan.
+//!
+//! [`World::scan_queue`](crate::sim) walks the placement queue and runs
+//! the configured [`Placement`](crate::placement::Placement) policy per
+//! job against the effective availability vector (the KIS snapshot capped
+//! by the expansion-threshold headroom). Under overload most of those
+//! attempts are doomed — the queue is long precisely because nothing
+//! fits — yet each one pays the full policy walk (ranking clusters,
+//! consulting the file catalog, copying scratch vectors).
+//!
+//! The index removes that cost with two cheap aggregates maintained at
+//! every effective-availability rebuild:
+//!
+//! * `max_eff` — the largest single-cluster availability, and
+//! * `sum_eff` — the total availability across clusters.
+//!
+//! A job is *quick-rejected* without running the policy when either
+//!
+//! * its smallest component minimum exceeds `max_eff` (no cluster can
+//!   host any component), or
+//! * the sum of its component minimums exceeds `sum_eff` (the platform
+//!   as a whole cannot host the job).
+//!
+//! Both tests are **provably conservative** for every policy honouring
+//! the Section V-B placement rule the [`Placement`] trait documents: a
+//! component is granted only on a cluster whose availability is at least
+//! the component's minimum, and grants deduct from disjoint capacity. A
+//! quick-rejected job therefore takes *exactly* the path a `None` from
+//! the policy would have taken — placement decisions, retry counters and
+//! the whole trajectory are bit-identical with the index on or off (the
+//! hot-path differential suite and a registry-wide proptest pin this).
+//!
+//! Between scans the index tracks **dirtiness**: every capacity mutation
+//! — claim, release, grow, shrink, node crash, autoscale resize, node
+//! withdrawal/restore — marks the touched cluster, so the scan knows
+//! which entries of its availability view went stale since the last
+//! rebuild and diagnostics can attribute re-work to its cause. The
+//! marks are a strict invalidation protocol: a mutation marks exactly
+//! the cluster it touched, nothing else (unit-tested per mutation kind).
+//!
+//! [`Placement`]: crate::placement::Placement
+
+use multicluster::ClusterId;
+
+use crate::placement::PlacementRequest;
+
+/// Per-cluster availability aggregates plus the dirty set that tracks
+/// which clusters mutated since the last rebuild. See the module docs
+/// for the exactness argument.
+#[derive(Debug, Clone)]
+pub struct AvailIndex {
+    /// Dirty flags, one per cluster.
+    dirty: Vec<bool>,
+    /// Number of set flags (kept so `dirty_count` is O(1)).
+    dirty_count: usize,
+    /// Largest single-cluster effective availability at the last
+    /// [`AvailIndex::rebuild`].
+    max_eff: u32,
+    /// Total effective availability at the last rebuild.
+    sum_eff: u64,
+    /// Rebuilds performed (diagnostics).
+    rebuilds: u64,
+    /// Placement attempts skipped by the quick-reject (diagnostics).
+    quick_rejects: u64,
+}
+
+impl AvailIndex {
+    /// An index over `clusters` clusters; everything starts dirty (no
+    /// rebuild has happened yet) with zero aggregates, so `can_satisfy`
+    /// is conservative until the first rebuild.
+    pub fn new(clusters: usize) -> Self {
+        AvailIndex {
+            dirty: vec![true; clusters],
+            dirty_count: clusters,
+            max_eff: 0,
+            sum_eff: 0,
+            rebuilds: 0,
+            quick_rejects: 0,
+        }
+    }
+
+    /// Marks `cluster`'s availability stale. Called by every capacity
+    /// mutation site (claim / release / grow / shrink / crash /
+    /// autoscale / withdraw / restore); marking is idempotent.
+    pub fn mark(&mut self, cluster: ClusterId) {
+        let i = cluster.index();
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Whether `cluster` mutated since the last rebuild.
+    pub fn is_dirty(&self, cluster: ClusterId) -> bool {
+        self.dirty[cluster.index()]
+    }
+
+    /// Number of clusters marked since the last rebuild.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Recomputes the aggregates from the scan's effective-availability
+    /// vector and clears the dirty set — the vector passed here is the
+    /// exact one the placement policy will see next.
+    pub fn rebuild(&mut self, eff: &[u32]) {
+        self.max_eff = eff.iter().copied().max().unwrap_or(0);
+        self.sum_eff = eff.iter().map(|&a| u64::from(a)).sum();
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.dirty_count = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Largest single-cluster availability at the last rebuild.
+    pub fn max_eff(&self) -> u32 {
+        self.max_eff
+    }
+
+    /// Total availability at the last rebuild.
+    pub fn sum_eff(&self) -> u64 {
+        self.sum_eff
+    }
+
+    /// Whether `req` could *possibly* be granted against the last
+    /// rebuilt availability. `false` guarantees the policy would return
+    /// `None`; `true` guarantees nothing (the policy still decides).
+    /// Empty requests are trivially satisfiable.
+    pub fn can_satisfy(&self, req: &PlacementRequest) -> bool {
+        let mut min_need = u32::MAX;
+        let mut total_need = 0u64;
+        for c in &req.components {
+            min_need = min_need.min(c.min);
+            total_need += u64::from(c.min);
+        }
+        if total_need == 0 {
+            return true;
+        }
+        min_need <= self.max_eff && total_need <= self.sum_eff
+    }
+
+    /// Records one quick-rejected placement attempt.
+    pub fn note_quick_reject(&mut self) {
+        self.quick_rejects += 1;
+    }
+
+    /// Placement attempts skipped so far.
+    pub fn quick_rejects(&self) -> u64 {
+        self.quick_rejects
+    }
+
+    /// Rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{ComponentRequest, PlacementRequest};
+    use appsim::SizeConstraint;
+
+    fn req(mins: &[u32]) -> PlacementRequest {
+        PlacementRequest {
+            components: mins
+                .iter()
+                .map(|&m| ComponentRequest::fixed(m, SizeConstraint::Any))
+                .collect(),
+            files: Vec::new(),
+            flexible: false,
+        }
+    }
+
+    #[test]
+    fn starts_fully_dirty_and_conservative() {
+        let idx = AvailIndex::new(3);
+        assert_eq!(idx.dirty_count(), 3);
+        assert!(!idx.can_satisfy(&req(&[1])), "no rebuild yet: reject");
+        assert!(idx.can_satisfy(&req(&[])), "empty request always passes");
+    }
+
+    #[test]
+    fn rebuild_sets_aggregates_and_clears_dirty() {
+        let mut idx = AvailIndex::new(3);
+        idx.rebuild(&[4, 10, 0]);
+        assert_eq!(idx.max_eff(), 10);
+        assert_eq!(idx.sum_eff(), 14);
+        assert_eq!(idx.dirty_count(), 0);
+        assert_eq!(idx.rebuilds(), 1);
+    }
+
+    #[test]
+    fn mark_is_idempotent_and_per_cluster() {
+        let mut idx = AvailIndex::new(4);
+        idx.rebuild(&[1, 1, 1, 1]);
+        idx.mark(ClusterId(2));
+        idx.mark(ClusterId(2));
+        assert_eq!(idx.dirty_count(), 1);
+        assert!(idx.is_dirty(ClusterId(2)));
+        assert!(!idx.is_dirty(ClusterId(0)));
+    }
+
+    #[test]
+    fn quick_reject_is_exact_on_the_boundary() {
+        let mut idx = AvailIndex::new(2);
+        idx.rebuild(&[6, 4]);
+        // max_eff = 6, sum_eff = 10.
+        assert!(idx.can_satisfy(&req(&[6])), "fits the largest cluster");
+        assert!(!idx.can_satisfy(&req(&[7])), "exceeds every cluster");
+        assert!(idx.can_satisfy(&req(&[6, 4])), "total exactly fits");
+        assert!(!idx.can_satisfy(&req(&[6, 5])), "total exceeds platform");
+    }
+}

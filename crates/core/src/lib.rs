@@ -65,6 +65,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod autoscaler;
+pub mod avail;
 pub mod config;
 pub mod malleability;
 pub mod parallel;

@@ -54,6 +54,7 @@ use multicluster::{
 use simcore::{Engine, Generation, SimDuration, SimRng, SimTime, Trace};
 
 use crate::autoscaler::{Autoscaler, AutoscalerRegistry, ClusterObservation, ScaleDecision};
+use crate::avail::AvailIndex;
 use crate::config::{Approach, ClaimingPolicy, ConfigError, ExperimentConfig};
 use crate::ids::JobId;
 use crate::job::{Job, JobPhase};
@@ -70,6 +71,20 @@ use crate::runner::MRunner;
 pub enum Ev {
     /// A workload job arrives (payload: workload index = job id).
     Arrival(u32),
+    /// Coalesced group arrival (see
+    /// [`SchedulerConfig::coalesce_timers`]): `count` workload jobs with
+    /// consecutive ids starting at `first`, all submitted at the same
+    /// instant, delivered as one event that fans out in ascending id
+    /// order — exactly the order `count` individual [`Ev::Arrival`]
+    /// events scheduled back-to-back would have popped in.
+    ///
+    /// [`SchedulerConfig::coalesce_timers`]: crate::config::SchedulerConfig
+    ArrivalBatch {
+        /// First job id of the same-instant run.
+        first: u32,
+        /// Number of jobs in the run.
+        count: u32,
+    },
     /// Periodic placement-queue scan.
     QueueScan,
     /// Periodic KIS poll (also triggers job management, Section V-B).
@@ -337,6 +352,17 @@ enum Intake<'a> {
 /// of in-flight jobs, not the trace length.
 struct JobSlab {
     slots: Vec<Option<Job>>,
+    /// Struct-of-arrays mirror of `Job::phase`, one entry per slot. The
+    /// hot scans ([`World::scan_queue`], [`World::running_views`]) read
+    /// these contiguous columns instead of dereferencing the wide `Job`
+    /// struct, so a pass over mostly-ineligible jobs touches a few bytes
+    /// per slot rather than a cache line. Kept coherent by
+    /// [`JobSlab::sync_hot`] at every phase/cluster write site; a dead
+    /// slot retains the last value it held (readers gate on `slots`).
+    phases: Vec<JobPhase>,
+    /// Struct-of-arrays mirror of `Job::cluster` (see
+    /// [`JobSlab::phases`]).
+    clusters: Vec<Option<ClusterId>>,
     /// Free slot indices (streaming mode only).
     free: Vec<u32>,
     /// Job id → slot (streaming mode only; fixed mode uses id = slot).
@@ -354,8 +380,12 @@ impl JobSlab {
     /// Fixed-mode storage over a prebuilt job list.
     fn fixed(jobs: Vec<Job>) -> Self {
         let n = jobs.len();
+        let phases = jobs.iter().map(|j| j.phase).collect();
+        let clusters = jobs.iter().map(|j| j.cluster).collect();
         JobSlab {
             slots: jobs.into_iter().map(Some).collect(),
+            phases,
+            clusters,
             free: Vec::new(),
             index: HashMap::new(),
             streaming: false,
@@ -369,6 +399,8 @@ impl JobSlab {
     fn streaming() -> Self {
         JobSlab {
             slots: Vec::new(),
+            phases: Vec::new(),
+            clusters: Vec::new(),
             free: Vec::new(),
             index: HashMap::new(),
             streaming: true,
@@ -382,13 +414,18 @@ impl JobSlab {
     fn insert(&mut self, job: Job) -> usize {
         debug_assert!(self.streaming, "fixed slabs are prebuilt");
         let id = job.id.0;
+        let (phase, cluster) = (job.phase, job.cluster);
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(job);
+                self.phases[s as usize] = phase;
+                self.clusters[s as usize] = cluster;
                 s
             }
             None => {
                 self.slots.push(Some(job));
+                self.phases.push(phase);
+                self.clusters.push(cluster);
                 (self.slots.len() - 1) as u32
             }
         };
@@ -440,6 +477,70 @@ impl JobSlab {
         let slot = self.index.remove(&id.0).expect("retired job was live");
         self.slots[slot as usize] = None;
         self.free.push(slot);
+    }
+
+    /// Re-mirrors a live job's `phase` and `cluster` into the hot
+    /// struct-of-arrays columns. Must be called after every site that
+    /// writes either field on a slab-resident job;
+    /// [`JobSlab::assert_hot_coherent`] backstops that contract in debug
+    /// builds. A no-op for ids that are no longer live.
+    fn sync_hot(&mut self, id: JobId) {
+        let slot = if self.streaming {
+            match self.index.get(&id.0) {
+                Some(&s) => s as usize,
+                None => return,
+            }
+        } else {
+            id.index()
+        };
+        if let Some(job) = self.slots.get(slot).and_then(Option::as_ref) {
+            self.phases[slot] = job.phase;
+            self.clusters[slot] = job.cluster;
+        }
+    }
+
+    /// The phase column entry for `slot` (meaningful only while the slot
+    /// is occupied).
+    fn phase_at(&self, slot: usize) -> JobPhase {
+        self.phases[slot]
+    }
+
+    /// The job occupying `slot`, if any.
+    fn job_at(&self, slot: usize) -> Option<&Job> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Slot indices of live jobs whose hot columns say "running on
+    /// `cluster`" — the candidate set of [`World::running_views`],
+    /// computed from the two contiguous columns without touching the
+    /// `Job` structs.
+    fn running_slots_on(&self, cluster: ClusterId) -> impl Iterator<Item = usize> + '_ {
+        self.clusters
+            .iter()
+            .zip(self.phases.iter())
+            .enumerate()
+            .filter(move |&(_, (c, p))| *c == Some(cluster) && *p == JobPhase::Running)
+            .map(|(slot, _)| slot)
+    }
+
+    /// Debug-build coherence check: every live job's struct fields match
+    /// its column entries. Called from the hot scans so the whole test
+    /// suite (goldens included) polices missed [`JobSlab::sync_hot`]
+    /// call sites.
+    #[cfg(debug_assertions)]
+    fn assert_hot_coherent(&self) {
+        for (slot, job) in self.slots.iter().enumerate() {
+            if let Some(job) = job {
+                debug_assert!(
+                    self.phases[slot] == job.phase && self.clusters[slot] == job.cluster,
+                    "hot columns out of sync at slot {slot}: col=({:?}, {:?}) job=({:?}, {:?})",
+                    self.phases[slot],
+                    self.clusters[slot],
+                    job.phase,
+                    job.cluster,
+                );
+            }
+        }
     }
 
     /// Live jobs, in slot order.
@@ -584,6 +685,14 @@ pub struct World<'a> {
     scratch_eff: Vec<u32>,
     scratch_place: Vec<u32>,
     scratch_req: PlacementRequest,
+    /// Incremental per-cluster availability index (see [`crate::avail`]):
+    /// capacity mutations mark their cluster dirty, and the scan's
+    /// effective-availability aggregates quick-reject placement attempts
+    /// no policy could satisfy. Consulted only when
+    /// [`SchedulerConfig::avail_index`](crate::config::SchedulerConfig)
+    /// is on; always maintained (marking is a few branches) so the
+    /// on/off trajectories cannot drift apart structurally.
+    avail_idx: AvailIndex,
 }
 
 impl<'a> World<'a> {
@@ -806,10 +915,18 @@ impl<'a> World<'a> {
             scratch_eff: Vec::with_capacity(n_clusters),
             scratch_place: Vec::with_capacity(n_clusters),
             scratch_req: PlacementRequest::default(),
+            avail_idx: AvailIndex::new(n_clusters),
         };
         let mut w = w_init;
         w.idle_baseline = w.mc.clusters().map(|c| c.idle()).collect();
         w
+    }
+
+    /// The availability index's current state — dirty set, aggregates
+    /// and skip tallies (see [`crate::avail`]). Diagnostic surface; the
+    /// index itself is maintained whether or not the scan consults it.
+    pub fn avail_index(&self) -> &AvailIndex {
+        &self.avail_idx
     }
 
     /// Installs a file catalog (for Close-to-Files experiments).
@@ -908,8 +1025,37 @@ impl<'a> World<'a> {
         engine.schedule_at(SimTime::ZERO, Ev::KisPoll);
         match &self.intake {
             Intake::Fixed(workload) => {
-                for (i, s) in workload.iter().enumerate() {
-                    engine.schedule_at(s.at, Ev::Arrival(i as u32));
+                if self.cfg.sched.coalesce_timers {
+                    // Merge each run of same-instant submissions into one
+                    // group event. Runs are contiguous (the workload is
+                    // in submission order), so the batch occupies exactly
+                    // the queue position of its first member and fans out
+                    // in id order — the trajectory is identical, only the
+                    // delivered-event count shrinks.
+                    let mut i = 0;
+                    while i < workload.len() {
+                        let at = workload[i].at;
+                        let mut j = i + 1;
+                        while j < workload.len() && workload[j].at == at {
+                            j += 1;
+                        }
+                        if j - i == 1 {
+                            engine.schedule_at(at, Ev::Arrival(i as u32));
+                        } else {
+                            engine.schedule_at(
+                                at,
+                                Ev::ArrivalBatch {
+                                    first: i as u32,
+                                    count: (j - i) as u32,
+                                },
+                            );
+                        }
+                        i = j;
+                    }
+                } else {
+                    for (i, s) in workload.iter().enumerate() {
+                        engine.schedule_at(s.at, Ev::Arrival(i as u32));
+                    }
                 }
             }
             Intake::Stream { window, .. } => {
@@ -1011,6 +1157,11 @@ impl<'a> World<'a> {
     pub fn handle(&mut self, engine: &mut Engine<Ev>, ev: Ev) {
         match ev {
             Ev::Arrival(i) => self.on_arrival(engine, JobId(i)),
+            Ev::ArrivalBatch { first, count } => {
+                for i in first..first + count {
+                    self.on_arrival(engine, JobId(i));
+                }
+            }
             Ev::QueueScan => {
                 self.scan_queue(engine);
                 if !self.done() {
@@ -1251,11 +1402,16 @@ impl<'a> World<'a> {
         // recomputation is gated on this dirty flag.
         let mut eff_dirty = true;
         let mut pwa_handled = false;
+        #[cfg(debug_assertions)]
+        self.jobs.assert_hot_coherent();
         for &id in &scan {
-            let job = self.jobs.get(id).expect("queued job is live");
-            if job.phase != JobPhase::Queued {
+            // Hot filter: the contiguous phase column answers "still
+            // queued?" without pulling the wide `Job` struct into cache.
+            let slot = self.jobs.slot_of(id);
+            if self.jobs.phase_at(slot) != JobPhase::Queued {
                 continue;
             }
+            let job = self.jobs.get(id).expect("queued job is live");
             Self::request_for(job, &mut req);
             // Availability for KOALA is the snapshot idle count further
             // capped by the expansion threshold's remaining headroom
@@ -1264,7 +1420,25 @@ impl<'a> World<'a> {
                 let budget = self.koala_headroom();
                 eff.clear();
                 eff.extend(avail.iter().map(|&a| a.min(budget)));
+                self.avail_idx.rebuild(&eff);
                 eff_dirty = false;
+            }
+            // Availability-index quick-reject: when no cluster can host
+            // the job's smallest component, or the platform's total
+            // headroom is below its summed minimums, every policy is
+            // guaranteed to return `None` (see [`crate::avail`]) — take
+            // the failure path without paying for the policy walk.
+            if self.cfg.sched.avail_index && !self.avail_idx.can_satisfy(&req) {
+                self.avail_idx.note_quick_reject();
+                if self.cfg.sched.approach == Approach::Pwa && !pwa_handled {
+                    pwa_handled = true;
+                    self.pwa_make_room(engine, id);
+                    // PWA may have grown running jobs on the spot,
+                    // consuming expansion-threshold headroom.
+                    eff_dirty = true;
+                }
+                self.fail_try(id);
+                continue;
             }
             let placed =
                 self.placement
@@ -1312,6 +1486,7 @@ impl<'a> World<'a> {
                                 job.pending_claim = Some(vec![(cp.cluster, cp.size)]);
                                 self.collect.placed(slot, now);
                                 let gen = job.gen;
+                                self.jobs.sync_hot(id);
                                 if networked {
                                     engine.schedule_now(Ev::TransferStart { job: id, gen });
                                 } else {
@@ -1386,6 +1561,7 @@ impl<'a> World<'a> {
             let job = self.jobs.get_mut(id).expect("failing job is live");
             job.phase = JobPhase::Failed;
             job.gen.bump(); // invalidate every remaining event for this job
+            self.jobs.sync_hot(id);
             self.collect.placement_failed(slot);
             self.jobs.retire(id);
         }
@@ -1424,6 +1600,7 @@ impl<'a> World<'a> {
             )
         });
         let gen = job.gen;
+        self.jobs.sync_hot(id);
         if self.staging_required(id, cluster) {
             // Bandwidth-true staging: the GRAM submission waits until
             // the input transfers land. The allocation is held through
@@ -1435,6 +1612,7 @@ impl<'a> World<'a> {
             self.send_ctrl(engine, id, gen, CtrlOp::Start, Some(cluster), delay, 0);
         }
         for &(c, _, _) in &components {
+            self.avail_idx.mark(c);
             self.sync_baseline(c);
         }
         self.touch_util(now);
@@ -1489,6 +1667,7 @@ impl<'a> World<'a> {
             job.spec.work_scale * penalty / speed,
         ));
         let slot = self.jobs.slot_of(id);
+        self.jobs.sync_hot(id);
         self.collect.started(slot, now, size);
         self.trace
             .record(now, "start", id.0 as u64, || format!("size {size}"));
@@ -1497,7 +1676,8 @@ impl<'a> World<'a> {
     }
 
     fn schedule_completion(&mut self, engine: &mut Engine<Ev>, id: JobId) {
-        let job = self.jobs.get(id).expect("running job is live");
+        let track = self.cfg.sched.coalesce_timers;
+        let job = self.jobs.get_mut(id).expect("running job is live");
         let remaining = job
             .progress
             .as_ref()
@@ -1508,7 +1688,22 @@ impl<'a> World<'a> {
         // One extra millisecond absorbs the round-to-millisecond error of
         // `remaining` so the event never fires before the work is done.
         let pad = simcore::SimDuration::from_millis(1);
-        engine.schedule_in(remaining + pad, Ev::Completion { job: id, gen });
+        let handle = engine.schedule_in_tracked(remaining + pad, Ev::Completion { job: id, gen });
+        // Under timer coalescing the handle lets a superseding
+        // reconfiguration cancel this timer in place; otherwise the
+        // generation stamp alone invalidates it on delivery.
+        job.completion_handle = if track { handle } else { None };
+    }
+
+    /// Cancels the job's tracked completion timer, if any — the
+    /// coalescing counterpart of bumping the generation: instead of the
+    /// stale `Completion` surfacing for the stamp check to discard, it
+    /// never pops at all. Delivered-event counts shrink; nothing else
+    /// changes. A no-op when coalescing is off (no handle is tracked).
+    fn cancel_completion(engine: &mut Engine<Ev>, job: &mut Job) {
+        if let Some(h) = job.completion_handle.take() {
+            engine.cancel(h);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1568,6 +1763,7 @@ impl<'a> World<'a> {
                 .cluster_mut(cluster)
                 .grow(alloc, op.accepted)
                 .expect("policy bounded by idle count");
+            self.avail_idx.mark(cluster);
             let delay = self.cfg.sched.gram.batch_submit_time(op.accepted);
             self.send_ctrl(engine, op.job, gen, CtrlOp::Grow, Some(cluster), delay, 0);
         }
@@ -1627,8 +1823,10 @@ impl<'a> World<'a> {
             .pause(now, &job.model);
         job.phase = JobPhase::Reconfiguring;
         job.gen.bump(); // invalidate the pending Completion
+        Self::cancel_completion(engine, job);
         let gen = job.gen;
         let cluster = job.cluster;
+        self.jobs.sync_hot(id);
         let delay =
             self.cfg.sched.gram.recruit_time(added) + self.cfg.sched.reconfig.grow_cost(old, new);
         self.send_ctrl(engine, id, gen, CtrlOp::RecruitSync, cluster, delay, 0);
@@ -1734,7 +1932,9 @@ impl<'a> World<'a> {
                 .pause(now, &job.model);
             job.phase = JobPhase::Reconfiguring;
             job.gen.bump();
+            Self::cancel_completion(engine, job);
             let gen = job.gen;
+            self.jobs.sync_hot(op.job);
             let delay =
                 self.cfg.sched.gram.message_latency + self.cfg.sched.reconfig.shrink_cost(old, new);
             self.send_ctrl(
@@ -1773,6 +1973,7 @@ impl<'a> World<'a> {
         progress.resize(now, new_size, &job.model);
         progress.resume(now, &job.model);
         job.phase = JobPhase::Running;
+        self.jobs.sync_hot(id);
         self.trace
             .record(now, "resume", id.0 as u64, || format!("size {new_size}"));
         let slot = self.jobs.slot_of(id);
@@ -1996,6 +2197,7 @@ impl<'a> World<'a> {
                 job.pending_claim = None;
                 job.phase = JobPhase::Queued;
                 job.gen.bump(); // orphan any in-flight duplicate StartHeld
+                self.jobs.sync_hot(id);
                 self.trace.record(now, "ctrl-requeue", id.0 as u64, || {
                     "start submission timed out".to_string()
                 });
@@ -2148,6 +2350,10 @@ impl<'a> World<'a> {
         job.release_since = None;
         job.phase = JobPhase::Completed;
         job.gen.bump(); // invalidate every remaining event for this job
+                        // This very event was the tracked completion timer: drop the
+                        // handle without an engine cancel (it already popped).
+        job.completion_handle = None;
+        self.jobs.sync_hot(id);
         self.trace.record(now, "complete", id.0 as u64, String::new);
         self.collect.completed(slot, now);
         // Terminal: the slab drops the job in streaming mode, bounding
@@ -2176,6 +2382,11 @@ impl<'a> World<'a> {
     /// KOALA-visible capacity change: trigger job management
     /// (Section V-B).
     fn capacity_freed(&mut self, engine: &mut Engine<Ev>, cluster: ClusterId) {
+        // Release-side funnel: every "processors came back" path lands
+        // here with the exact cluster, so one mark covers completion,
+        // requeue, crash-survivor release, orphan reclaim, shrink
+        // confirmation, node restore and autoscale grow.
+        self.avail_idx.mark(cluster);
         match self.cfg.sched.approach {
             Approach::Pra => {
                 // Running applications take precedence; the queue gets
@@ -2291,6 +2502,7 @@ impl<'a> World<'a> {
             let job = self.jobs.get_mut(id).expect("staging job is live");
             job.phase = JobPhase::Queued;
             job.cluster = None;
+            self.jobs.sync_hot(id);
             self.queue.push_back(id);
             self.fail_try(id);
         }
@@ -2643,6 +2855,7 @@ impl<'a> World<'a> {
             .cluster_mut(cluster)
             .grow(alloc, accepted)
             .expect("bounded by idle");
+        self.avail_idx.mark(cluster);
         let delay = self.cfg.sched.gram.batch_submit_time(accepted);
         self.send_ctrl(engine, id, gen, CtrlOp::Grow, Some(cluster), delay, 0);
         self.touch_util(now);
@@ -2661,6 +2874,7 @@ impl<'a> World<'a> {
             });
         let taken = self.mc.cluster_mut(cluster).withdraw_free(count);
         if taken > 0 {
+            self.avail_idx.mark(cluster);
             self.sync_baseline(cluster);
             self.touch_util(now);
         }
@@ -2798,6 +3012,7 @@ impl<'a> World<'a> {
                 self.trace.record(now, "scale-down", cluster.0 as u64, || {
                     format!("{taken} nodes")
                 });
+                self.avail_idx.mark(cluster);
                 self.sync_baseline(cluster);
                 self.touch_util(now);
             }
@@ -2816,6 +3031,9 @@ impl<'a> World<'a> {
     ) {
         let now = engine.now();
         let (taken, victims) = self.mc.cluster_mut(cluster).crash(count);
+        if taken > 0 {
+            self.avail_idx.mark(cluster);
+        }
         self.trace.record(now, "crash", cluster.0 as u64, || {
             format!("{taken} nodes, {} victim allocations", victims.len())
         });
@@ -2894,6 +3112,7 @@ impl<'a> World<'a> {
         job.pending_claim = None;
         job.release_since = None;
         job.gen.bump(); // invalidate every remaining event for this job
+        Self::cancel_completion(engine, job);
         match self.cfg.elasticity.failure_policy {
             FailurePolicy::Kill => {
                 job.phase = JobPhase::Failed;
@@ -2912,6 +3131,10 @@ impl<'a> World<'a> {
                 self.queue.push_back(id);
             }
         }
+        // One mirror refresh covers the `cluster.take()` above and the
+        // phase write of whichever policy arm ran (a no-op for a killed
+        // streaming job whose slot was just freed).
+        self.jobs.sync_hot(id);
         // Release the survivors. The crashed allocation may be gone
         // entirely (`alloc_size` is `None` once its last node went
         // down); co-allocated components on other clusters are intact.
@@ -2942,9 +3165,15 @@ impl<'a> World<'a> {
     /// below their maximum ("as long as at least one running malleable
     /// job can still be grown"); otherwise to jobs above their minimum.
     fn running_views(&self, cluster: ClusterId, for_grow: bool) -> Vec<RunningView> {
+        #[cfg(debug_assertions)]
+        self.jobs.assert_hot_coherent();
+        // The struct-of-arrays columns pre-select "running on this
+        // cluster" with two contiguous scans; only the (usually few)
+        // survivors dereference their `Job`.
         self.jobs
-            .iter_live()
-            .filter(|j| j.cluster == Some(cluster) && j.eligible_for_malleability())
+            .running_slots_on(cluster)
+            .filter_map(|slot| self.jobs.job_at(slot))
+            .filter(|j| j.eligible_for_malleability())
             // A crash can destroy a job's allocation outright; until its
             // victim cleanup runs (later in the same event), the job
             // still looks Running but can no longer receive grow/shrink
@@ -3044,10 +3273,11 @@ pub(crate) fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
         .map(|t| t.len())
         .unwrap_or(cfg.workload.jobs);
     let cap = jobs * 2 + 64;
-    match cfg.horizon {
-        Some(h) => Engine::with_horizon_and_capacity(SimTime::ZERO + h, cap),
-        None => Engine::with_capacity(cap),
-    }
+    Engine::configured(
+        cfg.sched.event_queue,
+        cfg.horizon.map(|h| SimTime::ZERO + h),
+        cap,
+    )
 }
 
 /// Runs one experiment configuration to completion.
@@ -3183,10 +3413,11 @@ pub fn try_run_stream_summary(
     }
     cfg.elasticity.validate()?;
     let cap = lookahead.max(1) * 2 + 64;
-    let mut engine = match cfg.horizon {
-        Some(h) => Engine::with_horizon_and_capacity(SimTime::ZERO + h, cap),
-        None => Engine::with_capacity(cap),
-    };
+    let mut engine = Engine::configured(
+        cfg.sched.event_queue,
+        cfg.horizon.map(|h| SimTime::ZERO + h),
+        cap,
+    );
     Ok(World::for_stream_summarized(cfg, seed, stream, lookahead).run_to_summary(&mut engine))
 }
 
@@ -3347,6 +3578,71 @@ mod tests {
         assert_eq!(m.runs.len(), 3);
         assert_eq!(m.merged_jobs().len(), 30);
         assert!((m.completion_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    /// Every capacity-mutation entry point marks exactly the cluster it
+    /// touched in the availability index — no neighbours, no misses.
+    /// (The release-side funnel `capacity_freed` covers completion,
+    /// requeue, crash-survivor release, orphan reclaim, shrink
+    /// confirmation, node restore and autoscale grow; the remaining
+    /// sites are exercised directly.)
+    #[test]
+    fn avail_index_mutations_dirty_exactly_the_touched_cluster() {
+        let mut cfg = small("egs", WorkloadSpec::wm(), 0);
+        cfg.background = multicluster::BackgroundLoad::none();
+        let mut w = World::new(&cfg);
+        let n = w.avail_idx.dirty_count();
+        assert!(n >= 2, "paper topology has multiple clusters");
+        let mut engine = Engine::new();
+        let clean = vec![0u32; n];
+
+        // Release-side funnel (no KIS snapshot yet, so the scan it
+        // triggers cannot rebuild and wipe the mark under us).
+        w.avail_idx.rebuild(&clean);
+        w.capacity_freed(&mut engine, ClusterId(1));
+        assert!(w.avail_idx.is_dirty(ClusterId(1)));
+        assert_eq!(w.avail_idx.dirty_count(), 1, "funnel dirtied neighbours");
+
+        // Node crash takes nodes (busy included) from one cluster.
+        w.avail_idx.rebuild(&clean);
+        w.on_node_crash(&mut engine, ClusterId(0), 1, SimDuration::from_secs(60));
+        assert!(w.avail_idx.is_dirty(ClusterId(0)));
+        assert_eq!(w.avail_idx.dirty_count(), 1, "crash dirtied neighbours");
+
+        // Autoscale shrink withdraws free nodes from one cluster...
+        w.avail_idx.rebuild(&clean);
+        w.on_autoscale_apply(&mut engine, ClusterId(1), false, 1);
+        assert!(w.avail_idx.is_dirty(ClusterId(1)));
+        assert_eq!(w.avail_idx.dirty_count(), 1, "shrink dirtied neighbours");
+
+        // ...and the matching grow restores them (via the funnel).
+        w.avail_idx.rebuild(&clean);
+        w.on_autoscale_apply(&mut engine, ClusterId(1), true, 1);
+        assert!(w.avail_idx.is_dirty(ClusterId(1)));
+        assert_eq!(w.avail_idx.dirty_count(), 1, "grow dirtied neighbours");
+
+        // Explicit node withdrawal (the elasticity layer's direct path).
+        w.avail_idx.rebuild(&clean);
+        w.on_node_withdraw(&mut engine, ClusterId(0), 1);
+        assert!(w.avail_idx.is_dirty(ClusterId(0)));
+        assert_eq!(w.avail_idx.dirty_count(), 1, "withdraw dirtied neighbours");
+    }
+
+    /// The claim side keeps the index live across a real run: placements
+    /// rebuild it (so the aggregates track the scan's availability
+    /// vector) and the final completion leaves its cluster marked.
+    #[test]
+    fn avail_index_is_maintained_across_a_full_run() {
+        let cfg = small("fpsma", WorkloadSpec::wm(), 3);
+        let mut engine = Engine::new();
+        let mut w = World::new(&cfg);
+        w.run_loop(&mut engine);
+        let idx = w.avail_index();
+        assert!(idx.rebuilds() > 0, "no scan ever rebuilt the index");
+        assert!(
+            idx.dirty_count() > 0,
+            "the last completion must leave its cluster marked"
+        );
     }
 
     #[test]

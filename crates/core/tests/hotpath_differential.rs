@@ -1,0 +1,402 @@
+//! The hot-path optimisation contract, enforced differentially: every
+//! fast path introduced by the event-loop push — the calendar event
+//! queue, the SoA job columns, timer coalescing and the availability
+//! index — must be **trajectory-passive**. A full-stack scenario
+//! (elasticity + control-plane faults + contended network) run under
+//! any combination of
+//!
+//! * event queue: binary heap vs calendar,
+//! * execution: sequential vs work-stealing parallel sweep,
+//! * availability index: on vs off,
+//!
+//! produces byte-identical summary reports; timer coalescing is allowed
+//! to change exactly one observable — the number of events the engine
+//! *delivered* — and nothing else.
+//!
+//! One staging trajectory is additionally pinned against a committed
+//! golden file (`tests/golden/pr9_staging.txt`), so a pop-order bug in
+//! either queue implementation fails against an immutable witness, not
+//! just against the other implementation. Regenerate after an
+//! *intentional* trajectory change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p koala --test hotpath_differential
+//! ```
+
+use appsim::workload::{SubmittedJob, WorkloadSpec};
+use appsim::{AppKind, JobSpec};
+use koala::config::{ExperimentConfig, FileSpec, NetworkConfig, RetryConfig};
+use koala::report::SummaryReport;
+use koala::scenario::Scenario;
+use koala::{run_experiment_summary, run_seeds_summary_sequential, run_seeds_summary_with_threads};
+use multicluster::{
+    ClassLoss, ControlPlaneFaultSpec, FailurePolicy, FailureSpec, FlakyChannelSpec,
+};
+use simcore::{QueueImpl, SimDuration, SimTime};
+
+// ----------------------------------------------------------------------
+// Scenario zoo: one configuration per subsystem that stresses the hot
+// paths differently (crash/requeue churn, message loss + retries, and
+// bandwidth-true staging).
+// ----------------------------------------------------------------------
+
+fn elastic() -> (&'static str, ExperimentConfig, Vec<u64>) {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(16)
+        .monitor(SimDuration::from_secs(120))
+        .autoscaler("threshold")
+        .autoscale_timing(SimDuration::from_secs(300), SimDuration::from_secs(30))
+        .failures(FailureSpec::new(
+            SimDuration::from_secs(1800),
+            SimDuration::from_secs(600),
+            12,
+        ))
+        .failure_policy(FailurePolicy::Requeue)
+        .staleness(SimDuration::from_secs(45))
+        .summarized()
+        .build()
+        .unwrap();
+    ("elastic", scenario.into_config(), vec![1, 2, 3])
+}
+
+fn faults() -> (&'static str, ExperimentConfig, Vec<u64>) {
+    let scenario = Scenario::builder()
+        .malleability("egs")
+        .workload(WorkloadSpec::wm_prime())
+        .jobs(16)
+        .pwa()
+        .ctrl_faults(ControlPlaneFaultSpec {
+            loss: ClassLoss::uniform(0.20),
+            duplicate: 0.10,
+            max_jitter: SimDuration::from_millis(400),
+            flaky: Some(FlakyChannelSpec {
+                mean_gap: SimDuration::from_secs(1200),
+                mean_duration: SimDuration::from_secs(300),
+                loss: 0.6,
+            }),
+        })
+        .retry(RetryConfig {
+            timeout: SimDuration::from_secs(10),
+            max_timeout: SimDuration::from_secs(40),
+            max_attempts: 3,
+            orphan_sweep_period: SimDuration::from_secs(30),
+            orphan_grace: SimDuration::from_secs(50),
+        })
+        .summarized()
+        .build()
+        .unwrap();
+    ("faults", scenario.into_config(), vec![5, 6])
+}
+
+fn network() -> (&'static str, ExperimentConfig, Vec<u64>) {
+    let scenario = Scenario::builder()
+        .malleability("fpsma")
+        .workload(WorkloadSpec::wm())
+        .jobs(12)
+        .placement("close_to_files")
+        .network("flat_wan")
+        .network_file(40.0, [0])
+        .network_file(25.0, [3, 4])
+        .reconfig_traffic(0.5)
+        .summarized()
+        .build()
+        .unwrap();
+    ("network", scenario.into_config(), vec![9, 10])
+}
+
+fn scenarios() -> Vec<(&'static str, ExperimentConfig, Vec<u64>)> {
+    vec![elastic(), faults(), network()]
+}
+
+fn with_queue(cfg: &ExperimentConfig, queue: QueueImpl) -> ExperimentConfig {
+    let mut c = cfg.clone();
+    c.sched.event_queue = queue;
+    c
+}
+
+// ----------------------------------------------------------------------
+// The matrix: (heap | calendar) × (sequential | parallel) per scenario.
+// ----------------------------------------------------------------------
+
+/// Both queue implementations, under both execution modes, produce
+/// byte-identical summarized sweeps on every full-stack scenario: the
+/// calendar queue's pop order — FIFO within a timestamp, ascending
+/// across timestamps — is indistinguishable from the reference heap's
+/// even under crash churn, lossy retries and staged transfers.
+#[test]
+fn hotpath_matrix_is_bit_identical_across_queues_and_threads() {
+    for (tag, cfg, seeds) in scenarios() {
+        let mut renders: Vec<(String, String)> = Vec::new();
+        for queue in [QueueImpl::Heap, QueueImpl::Calendar] {
+            let c = with_queue(&cfg, queue);
+            let seq = run_seeds_summary_sequential(&c, &seeds);
+            let par = run_seeds_summary_with_threads(&c, &seeds, 3);
+            renders.push((format!("{tag}/{queue:?}/seq"), format!("{seq:?}")));
+            renders.push((format!("{tag}/{queue:?}/par"), format!("{par:?}")));
+        }
+        let (ref_label, ref_render) = renders[0].clone();
+        for (label, render) in &renders[1..] {
+            assert_eq!(
+                render, &ref_render,
+                "{label} diverged from {ref_label}: the hot path is not \
+                 trajectory-passive"
+            );
+        }
+    }
+}
+
+/// The availability index must be invisible: its quick-reject may only
+/// fire where the placement policy was guaranteed to return `None`, so
+/// index-on and index-off runs are byte-identical on every scenario.
+#[test]
+fn avail_index_is_trajectory_passive_on_the_full_stack() {
+    for (tag, cfg, seeds) in scenarios() {
+        let mut on = cfg.clone();
+        on.sched.avail_index = true;
+        let mut off = cfg.clone();
+        off.sched.avail_index = false;
+        assert_eq!(
+            format!("{:?}", run_seeds_summary_sequential(&on, &seeds)),
+            format!("{:?}", run_seeds_summary_sequential(&off, &seeds)),
+            "{tag}: the availability index changed the trajectory"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Timer coalescing: equal except `events`.
+// ----------------------------------------------------------------------
+
+/// Removes the one `events: N` scalar from a [`SummaryReport`] debug
+/// render, so the rest of the report can be compared byte-for-byte.
+fn strip_events(render: &str) -> String {
+    let start = render.find(", events: ").expect("report renders `events`");
+    assert_eq!(
+        render.matches(", events: ").count(),
+        1,
+        "`events` must render exactly once for the strip to be sound"
+    );
+    let end = render[start + 2..]
+        .find(", ")
+        .expect("field follows events")
+        + start
+        + 2;
+    format!("{}{}", &render[..start], &render[end..])
+}
+
+fn assert_equal_except_events(tag: &str, on: &SummaryReport, off: &SummaryReport) {
+    assert!(
+        on.events <= off.events,
+        "{tag}: coalescing may only remove deliveries ({} > {})",
+        on.events,
+        off.events
+    );
+    assert_eq!(
+        strip_events(&format!("{on:?}")),
+        strip_events(&format!("{off:?}")),
+        "{tag}: coalescing changed the trajectory, not just the delivery count"
+    );
+}
+
+/// Coalescing batches same-instant bootstrap arrivals into one group
+/// event and cancels superseded completion timers in place: the
+/// trajectory — every placement, grow, crash outcome and timestamp — is
+/// unchanged; only the engine's delivered-event count may drop.
+#[test]
+fn coalescing_preserves_the_trajectory_and_only_cuts_deliveries() {
+    for (tag, cfg, seeds) in scenarios() {
+        let mut on = cfg.clone();
+        on.sched.coalesce_timers = true;
+        on.seed = seeds[0];
+        let mut off = cfg.clone();
+        off.seed = seeds[0];
+        assert_equal_except_events(
+            tag,
+            &run_experiment_summary(&on),
+            &run_experiment_summary(&off),
+        );
+    }
+}
+
+/// A bursty trace — several jobs submitted at the same instants — makes
+/// the arrival batching actually fire: strictly fewer deliveries, same
+/// trajectory.
+#[test]
+fn coalescing_strictly_cuts_deliveries_on_bursty_arrivals() {
+    let burst: Vec<SubmittedJob> = [0u64, 0, 0, 600, 600, 600, 600, 1200, 1200]
+        .iter()
+        .map(|&at_s| SubmittedJob {
+            at: SimTime::from_secs(at_s),
+            spec: JobSpec::paper_malleable(AppKind::Gadget2),
+        })
+        .collect();
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+    cfg.trace = Some(burst);
+    cfg.seed = 21;
+    let mut on = cfg.clone();
+    on.sched.coalesce_timers = true;
+    let a = run_experiment_summary(&on);
+    let b = run_experiment_summary(&cfg);
+    assert_equal_except_events("burst", &a, &b);
+    assert!(
+        a.events < b.events,
+        "three same-instant bursts must coalesce at least two deliveries \
+         each ({} vs {})",
+        a.events,
+        b.events
+    );
+}
+
+// ----------------------------------------------------------------------
+// Golden-pinned staging trajectory.
+// ----------------------------------------------------------------------
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// The staging fingerprint: jobs, deliveries, makespan, the complete
+/// network counters and the staging/transfer/wait streams — everything
+/// a pop-order or SoA-phase bug would smear.
+fn render_staging(tag: &str, s: &SummaryReport) -> String {
+    format!(
+        "== {tag} ==\n\
+         jobs: submitted={} completed={} failed={}\n\
+         counters: events={} kis_polls={} placement_tries={}\n\
+         makespan: {:?}\n\
+         net: {:?}\n\
+         transfer_time: {:?}\n\
+         staging_delay: {:?}\n\
+         wait_time: {:?}\n\
+         execution_time: {:?}\n",
+        s.jobs_submitted,
+        s.jobs_completed,
+        s.jobs_failed,
+        s.events,
+        s.kis_polls,
+        s.placement_tries,
+        s.makespan,
+        s.net,
+        s.transfer_time,
+        s.staging_delay,
+        s.wait_time,
+        s.execution_time,
+    )
+}
+
+fn staged_job(at_s: u64, size: u32, files: Vec<u64>) -> SubmittedJob {
+    let mut spec = JobSpec::rigid(AppKind::Gadget2, size);
+    spec.input_files = files;
+    SubmittedJob {
+        at: SimTime::from_secs(at_s),
+        spec,
+    }
+}
+
+/// A quiet three-job staging trajectory over the contended WAN, pinned
+/// byte-for-byte against a committed golden — and required to be
+/// identical under *both* queue implementations, so each is checked
+/// against an immutable witness rather than only against the other.
+#[test]
+fn staging_trajectory_matches_golden_under_both_queues() {
+    let mut cfg = ExperimentConfig::paper_pra("fpsma", WorkloadSpec::wm());
+    cfg.background = multicluster::BackgroundLoad::none();
+    cfg.seed = 7;
+    cfg.trace = Some(vec![
+        staged_job(0, 4, vec![0]),
+        staged_job(60, 2, vec![1]),
+        staged_job(120, 4, vec![]),
+    ]);
+    cfg.network = Some(NetworkConfig {
+        topology: "flat_wan".to_string(),
+        files: vec![
+            FileSpec {
+                size_gb: 100.0,
+                replicas: vec![4],
+            },
+            FileSpec {
+                size_gb: 30.0,
+                replicas: vec![0, 2],
+            },
+        ],
+        reconfig_gb_per_proc: 0.0,
+    });
+    let calendar = run_experiment_summary(&with_queue(&cfg, QueueImpl::Calendar));
+    let heap = run_experiment_summary(&with_queue(&cfg, QueueImpl::Heap));
+    let text = render_staging("staging flat_wan seed 7", &calendar);
+    assert_eq!(
+        text,
+        render_staging("staging flat_wan seed 7", &heap),
+        "queue implementations disagree on the staging trajectory"
+    );
+
+    let path = golden_dir().join("pr9_staging.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        text.as_str(),
+        golden.as_str(),
+        "staging trajectory drifted from the pinned golden; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and explain why in the commit message"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Registry-wide index passivity (property test).
+// ----------------------------------------------------------------------
+
+mod index_props {
+    use super::*;
+    use koala::policy::PolicyRegistry;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// The quick-reject's conservativeness is a *registry-wide*
+        /// obligation: every (placement × malleability × approach)
+        /// combination — including policies registered after this test
+        /// was written — must run byte-identically with the index on or
+        /// off.
+        #[test]
+        fn avail_index_is_passive_for_every_registered_policy(
+            seed in any::<u64>(),
+            jobs in 4usize..14,
+            pwa in any::<bool>(),
+            pl_idx in any::<usize>(),
+            ml_idx in any::<usize>(),
+        ) {
+            let registry = PolicyRegistry::global();
+            let placements = registry.placement_names();
+            let malleabilities = registry.malleability_names();
+            let placement = &placements[pl_idx % placements.len()];
+            let malleability = &malleabilities[ml_idx % malleabilities.len()];
+            let mut cfg = if pwa {
+                ExperimentConfig::paper_pwa(malleability, WorkloadSpec::wm_prime())
+            } else {
+                ExperimentConfig::paper_pra(malleability, WorkloadSpec::wm())
+            };
+            cfg.sched.placement = placement.clone();
+            cfg.workload.jobs = jobs;
+            cfg.seed = seed;
+            let mut on = cfg.clone();
+            on.sched.avail_index = true;
+            let mut off = cfg;
+            off.sched.avail_index = false;
+            prop_assert_eq!(
+                format!("{:?}", run_experiment_summary(&on)),
+                format!("{:?}", run_experiment_summary(&off)),
+                "{}/{} pwa={} seed={}: index changed the trajectory",
+                placement, malleability, pwa, seed
+            );
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //! between "handle this event" and "schedule follow-up events", and lets
 //! each crate in the workspace define its own event enum.
 
+use crate::calendar::CalendarQueue;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -42,16 +43,130 @@ pub struct EngineStats {
     pub scheduled: u64,
     /// Events dropped because they were scheduled past the horizon.
     pub beyond_horizon: u64,
+    /// Events removed by [`Engine::cancel`] before delivery.
+    pub cancelled: u64,
+}
+
+/// Which event-queue implementation an [`Engine`] runs on.
+///
+/// Both produce *identical* pop orders — `(time, seq)` with FIFO
+/// tie-breaking — which the differential suite pins; they differ only in
+/// asymptotics. The calendar queue is the default for experiment drivers;
+/// the heap is kept as the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum QueueImpl {
+    /// The binary-heap [`EventQueue`]: O(log n) push/pop, the reference.
+    Heap,
+    /// The [`CalendarQueue`]: O(1) amortized push/pop under the
+    /// steady-state event mixes simulations produce.
+    #[default]
+    Calendar,
+}
+
+/// An opaque reference to a scheduled event, returned by
+/// [`Engine::schedule_at_tracked`] and consumed by [`Engine::cancel`].
+///
+/// Handles are single-shot: once the event has been delivered (or
+/// cancelled), the handle is dead and `cancel` returns `false`. Holding a
+/// handle does not keep anything alive — it is just the `(time, sequence)`
+/// coordinate of the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    time: SimTime,
+    seq: u64,
+}
+
+impl EventHandle {
+    /// The instant the referenced event is scheduled for.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+}
+
+/// The queue backend: one of the two implementations behind a static
+/// dispatch point (a two-arm match, not a vtable — the pop loop is the
+/// hottest path in the workspace).
+enum Backend<E> {
+    Heap(EventQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Backend<E> {
+    fn with_capacity(queue: QueueImpl, cap: usize) -> Self {
+        match queue {
+            QueueImpl::Heap => Backend::Heap(EventQueue::with_capacity(cap)),
+            QueueImpl::Calendar => Backend::Calendar(CalendarQueue::with_capacity(cap)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: SimTime, event: E) -> u64 {
+        match self {
+            Backend::Heap(q) => q.push(time, event),
+            Backend::Calendar(q) => q.push(time, event),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Backend::Heap(q) => q.pop(),
+            Backend::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Backend::Heap(q) => q.peek_time(),
+            Backend::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Heap(q) => q.len(),
+            Backend::Calendar(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Backend::Heap(q) => q.is_empty(),
+            Backend::Calendar(q) => q.is_empty(),
+        }
+    }
+
+    fn cancel(&mut self, time: SimTime, seq: u64) -> bool {
+        match self {
+            Backend::Heap(q) => q.cancel(time, seq),
+            Backend::Calendar(q) => q.cancel(time, seq),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Backend::Heap(q) => q.clear(),
+            Backend::Calendar(q) => q.clear(),
+        }
+    }
+
+    fn queue_impl(&self) -> QueueImpl {
+        match self {
+            Backend::Heap(_) => QueueImpl::Heap,
+            Backend::Calendar(_) => QueueImpl::Calendar,
+        }
+    }
 }
 
 /// Discrete-event simulation engine.
 ///
 /// Generic over the event type `E`; see the module docs for the driver
 /// pattern. The clock only moves forward, in the order fixed by the
-/// stable [`EventQueue`].
+/// stable queue (heap or calendar, per [`QueueImpl`] — the order is the
+/// same either way).
 pub struct Engine<E> {
     now: SimTime,
-    queue: EventQueue<E>,
+    queue: Backend<E>,
     horizon: SimTime,
     stats: EngineStats,
 }
@@ -63,14 +178,17 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine at time zero with an unbounded horizon.
+    /// Creates an engine at time zero with an unbounded horizon, on the
+    /// default queue implementation ([`QueueImpl::Calendar`]).
     pub fn new() -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            horizon: SimTime::MAX,
-            stats: EngineStats::default(),
-        }
+        Engine::configured(QueueImpl::default(), None, 0)
+    }
+
+    /// Creates an engine on an explicit queue implementation — the
+    /// selection point the differential harness uses to run the same
+    /// simulation on both backends.
+    pub fn with_queue_impl(queue: QueueImpl) -> Self {
+        Engine::configured(queue, None, 0)
     }
 
     /// Creates an engine that silently drops events scheduled at or after
@@ -78,30 +196,36 @@ impl<E> Engine<E> {
     /// stop propagating themselves past the end instead of requiring an
     /// explicit cancellation pass.
     pub fn with_horizon(horizon: SimTime) -> Self {
-        Engine {
-            horizon,
-            ..Engine::new()
-        }
+        Engine::configured(QueueImpl::default(), Some(horizon), 0)
     }
 
     /// Creates an engine whose event queue has room for `cap` pending
     /// events before reallocating. Drivers that know their workload size
     /// up front (e.g. one arrival per job plus periodic timers) use this
-    /// to keep the heap from growing incrementally during the run.
+    /// to keep the queue from growing incrementally during the run.
     pub fn with_capacity(cap: usize) -> Self {
-        Engine {
-            queue: EventQueue::with_capacity(cap),
-            ..Engine::new()
-        }
+        Engine::configured(QueueImpl::default(), None, cap)
     }
 
     /// [`Engine::with_horizon`] and [`Engine::with_capacity`] combined.
     pub fn with_horizon_and_capacity(horizon: SimTime, cap: usize) -> Self {
+        Engine::configured(QueueImpl::default(), Some(horizon), cap)
+    }
+
+    /// The fully explicit constructor: queue implementation, optional
+    /// horizon (`None` = unbounded), and initial queue capacity.
+    pub fn configured(queue: QueueImpl, horizon: Option<SimTime>, cap: usize) -> Self {
         Engine {
-            queue: EventQueue::with_capacity(cap),
-            horizon,
-            ..Engine::new()
+            now: SimTime::ZERO,
+            queue: Backend::with_capacity(queue, cap),
+            horizon: horizon.unwrap_or(SimTime::MAX),
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Which queue implementation this engine runs on.
+    pub fn queue_impl(&self) -> QueueImpl {
+        self.queue.queue_impl()
     }
 
     /// Current simulated time: the timestamp of the most recently popped
@@ -136,18 +260,46 @@ impl<E> Engine<E> {
     /// the events already pending at `now`); events at or past the horizon
     /// are dropped and counted in [`EngineStats::beyond_horizon`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let _ = self.schedule_at_tracked(at, event);
+    }
+
+    /// Like [`Engine::schedule_at`], but returns a handle that can later
+    /// be passed to [`Engine::cancel`]. Returns `None` when the event was
+    /// dropped at the horizon (there is nothing to cancel).
+    pub fn schedule_at_tracked(&mut self, at: SimTime, event: E) -> Option<EventHandle> {
         let at = at.max(self.now);
         if at >= self.horizon {
             self.stats.beyond_horizon += 1;
-            return;
+            return None;
         }
         self.stats.scheduled += 1;
-        self.queue.push(at, event);
+        let seq = self.queue.push(at, event);
+        Some(EventHandle { time: at, seq })
     }
 
     /// Schedules `event` after the relative delay `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.schedule_at(self.now + delay, event);
+    }
+
+    /// Like [`Engine::schedule_in`], but returns a cancellation handle
+    /// (see [`Engine::schedule_at_tracked`]).
+    pub fn schedule_in_tracked(&mut self, delay: SimDuration, event: E) -> Option<EventHandle> {
+        self.schedule_at_tracked(self.now + delay, event)
+    }
+
+    /// Removes a pending event before delivery. Returns `true` when the
+    /// handle still referenced a pending event; `false` when it was
+    /// already delivered or cancelled (a safe no-op). Cancelled events are
+    /// counted in [`EngineStats::cancelled`] and never appear in
+    /// [`EngineStats::delivered`] — on either queue implementation, so
+    /// cancellation preserves the heap/calendar differential identity.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        let hit = self.queue.cancel(handle.time, handle.seq);
+        if hit {
+            self.stats.cancelled += 1;
+        }
+        hit
     }
 
     /// Schedules `event` to run at the current instant, after everything
@@ -239,6 +391,45 @@ mod tests {
         e.schedule_now("third");
         assert_eq!(e.pop().unwrap().1, "second");
         assert_eq!(e.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn cancel_skips_delivery_on_both_queue_impls() {
+        for qi in [QueueImpl::Heap, QueueImpl::Calendar] {
+            let mut e: Engine<&str> = Engine::with_queue_impl(qi);
+            assert_eq!(e.queue_impl(), qi);
+            let h1 = e
+                .schedule_at_tracked(SimTime::from_secs(1), "cancelled")
+                .unwrap();
+            e.schedule_at(SimTime::from_secs(2), "kept");
+            assert_eq!(e.pending(), 2);
+            assert!(e.cancel(h1));
+            assert!(!e.cancel(h1), "handles are single-shot");
+            assert_eq!(e.pending(), 1);
+            assert_eq!(e.peek_time(), Some(SimTime::from_secs(2)));
+            assert_eq!(e.pop(), Some((SimTime::from_secs(2), "kept")));
+            assert_eq!(e.pop(), None);
+            let s = e.stats();
+            assert_eq!((s.scheduled, s.delivered, s.cancelled), (2, 1, 1));
+        }
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_a_safe_noop() {
+        for qi in [QueueImpl::Heap, QueueImpl::Calendar] {
+            let mut e: Engine<u8> = Engine::with_queue_impl(qi);
+            let h = e.schedule_at_tracked(SimTime::from_secs(1), 1).unwrap();
+            assert_eq!(e.pop(), Some((SimTime::from_secs(1), 1)));
+            assert!(!e.cancel(h));
+            assert_eq!(e.stats().cancelled, 0);
+        }
+    }
+
+    #[test]
+    fn tracked_schedule_past_horizon_returns_no_handle() {
+        let mut e: Engine<u8> = Engine::with_horizon(SimTime::from_secs(1));
+        assert!(e.schedule_at_tracked(SimTime::from_secs(5), 1).is_none());
+        assert_eq!(e.stats().beyond_horizon, 1);
     }
 
     #[test]

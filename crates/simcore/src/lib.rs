@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod calendar;
 mod engine;
 mod generation;
 mod queue;
@@ -46,7 +47,8 @@ mod trace;
 
 pub mod dist;
 
-pub use engine::{Engine, EngineStats};
+pub use calendar::CalendarQueue;
+pub use engine::{Engine, EngineStats, EventHandle, QueueImpl};
 pub use generation::Generation;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -7,14 +7,14 @@
 //! results depend on heap internals.
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::SimTime;
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -42,6 +42,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
+    /// Sequence numbers cancelled while still buried in the heap. A
+    /// cancelled entry is dropped lazily when it reaches the top, and the
+    /// top is re-drained on every mutation so [`EventQueue::peek_time`]
+    /// never observes a dead entry.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -56,6 +61,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            cancelled: HashSet::new(),
         }
     }
 
@@ -64,20 +70,25 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
+            cancelled: HashSet::new(),
         }
     }
 
-    /// Inserts `event` at instant `time`. Events inserted at equal times
-    /// pop in insertion order.
-    pub fn push(&mut self, time: SimTime, event: E) {
+    /// Inserts `event` at instant `time` and returns the sequence number
+    /// assigned to it. Events inserted at equal times pop in insertion
+    /// order.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+        seq
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        let out = self.heap.pop().map(|Reverse(e)| (e.time, e.event));
+        self.drain_cancelled_top();
+        out
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -85,14 +96,53 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// The sequence number the next [`EventQueue::push`] will assign.
+    /// Monotone over the queue's lifetime (it survives
+    /// [`EventQueue::clear`]); exposed so differential tests can assert
+    /// both queue implementations assign identical sequences.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cancels the pending event identified by `(time, seq)` — the values
+    /// a [`crate::Engine`] event handle carries — and returns whether it
+    /// was found. A cancelled event is never popped. The removal is lazy
+    /// (a tombstone dropped when the entry surfaces), but the heap top is
+    /// always kept live so `peek_time` stays exact.
+    ///
+    /// Cancelling an event that was already popped returns `false` and
+    /// leaves the queue untouched.
+    pub fn cancel(&mut self, time: SimTime, seq: u64) -> bool {
+        let _ = time; // the heap locates entries by sequence alone
+        if self.cancelled.contains(&seq) || !self.heap.iter().any(|Reverse(e)| e.seq == seq) {
+            return false;
+        }
+        self.cancelled.insert(seq);
+        self.drain_cancelled_top();
+        true
+    }
+
+    /// Drops cancelled entries sitting at the heap top, restoring the
+    /// invariant that the top (what `peek_time`/`pop` observe first) is a
+    /// live event.
+    fn drain_cancelled_top(&mut self) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
     }
 
     /// Drops all pending events but **keeps the sequence counter**:
@@ -104,6 +154,7 @@ impl<E> EventQueue<E> {
     /// allocation is also retained for reuse.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancelled.clear();
     }
 }
 
@@ -158,6 +209,25 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(42)));
+    }
+
+    #[test]
+    fn cancel_is_lazy_but_never_visible() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        let s_a = q.push(t, "a");
+        q.push(t, "b");
+        let s_c = q.push(SimTime::from_secs(1), "c");
+        // Cancel the current top: it must be drained eagerly so peek_time
+        // reflects the next live entry.
+        assert!(q.cancel(SimTime::from_secs(1), s_c));
+        assert_eq!(q.peek_time(), Some(t));
+        // Cancel a buried entry: removed lazily, but len/pop never see it.
+        assert!(q.cancel(t, s_a));
+        assert!(!q.cancel(t, s_a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -18,7 +18,8 @@ fn zero_horizon_drops_everything_including_clamped_events() {
         EngineStats {
             delivered: 0,
             scheduled: 0,
-            beyond_horizon: 3
+            beyond_horizon: 3,
+            cancelled: 0
         }
     );
 }

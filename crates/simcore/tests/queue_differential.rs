@@ -1,0 +1,261 @@
+//! Differential harness: the calendar queue must be observationally
+//! identical to the binary-heap reference.
+//!
+//! Random operation sequences — pushes (including same-timestamp bursts
+//! and far-future horizon events), pops, cancels, and `clear`-then-reuse —
+//! are driven through [`EventQueue`] and [`CalendarQueue`] in lockstep,
+//! asserting at every step that the pop sequences, `peek_time`, `len`,
+//! and the `next_seq` counters agree. This pins the documented `clear`
+//! semantics (sequence counter and FIFO stability survive the clear) on
+//! *both* implementations, and pins the `(time, seq)` pop order the whole
+//! workspace's determinism guarantee rests on.
+
+use proptest::prelude::*;
+use simcore::{CalendarQueue, Engine, EventQueue, QueueImpl, SimDuration, SimTime};
+
+/// One scripted queue operation. Times are raw milliseconds so the
+/// generator can aim bursts at identical instants.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `t` ms; payload is the op index.
+    Push(u64),
+    /// Push a burst of `n` events at the same instant `t`.
+    Burst(u64, u8),
+    /// Push one event a year past everything else (bucket-wrap stress).
+    FarFuture(u64),
+    /// Pop once and compare.
+    Pop,
+    /// Cancel the `k`-th oldest still-pending tracked event (if any).
+    Cancel(u8),
+    /// Drop everything; the sequence counter must survive.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..50_000).prop_map(Op::Push),
+        ((0u64..50_000), (2u8..20)).prop_map(|(t, n)| Op::Burst(t, n)),
+        (0u64..1_000).prop_map(Op::FarFuture),
+        Just(Op::Pop),
+        (0u8..32).prop_map(Op::Cancel),
+        Just(Op::Clear),
+    ]
+}
+
+/// Drives both queues through `ops`, asserting lockstep equality of every
+/// observable. Returns the number of events both queues popped.
+fn run_lockstep(ops: &[Op]) -> usize {
+    let mut heap: EventQueue<usize> = EventQueue::new();
+    let mut cal: CalendarQueue<usize> = CalendarQueue::new();
+    // (time, seq) of tracked pushes still believed pending — kept in push
+    // order so Cancel(k) picks a deterministic victim on both queues.
+    let mut pending: Vec<(SimTime, u64)> = Vec::new();
+    let mut popped = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Push(t) => {
+                let t = SimTime::from_millis(t);
+                let sh = heap.push(t, i);
+                let sc = cal.push(t, i);
+                prop_assert_eq!(sh, sc, "sequence assignment diverged");
+                pending.push((t, sh));
+            }
+            Op::Burst(t, n) => {
+                let t = SimTime::from_millis(t);
+                for _ in 0..n {
+                    let sh = heap.push(t, i);
+                    let sc = cal.push(t, i);
+                    prop_assert_eq!(sh, sc);
+                    pending.push((t, sh));
+                }
+            }
+            Op::FarFuture(t) => {
+                // A year-ish beyond the 50 s working window: exercises the
+                // calendar's direct-search pop path and cursor teleport.
+                let t = SimTime::from_millis(40_000_000_000 + t);
+                let sh = heap.push(t, i);
+                let sc = cal.push(t, i);
+                prop_assert_eq!(sh, sc);
+                pending.push((t, sh));
+            }
+            Op::Pop => {
+                let h = heap.pop();
+                let c = cal.pop();
+                match (&h, &c) {
+                    (Some((th, eh)), Some((tc, ec))) => {
+                        prop_assert_eq!(th, tc, "pop times diverged");
+                        prop_assert_eq!(eh, ec, "pop payloads diverged");
+                        popped += 1;
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "one queue popped, the other did not"),
+                }
+                if let Some((t, _)) = h {
+                    // The popped entry is the oldest pending one with the
+                    // smallest (time, seq); drop it from the model.
+                    let victim = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(pt, ps))| (pt, ps))
+                        .map(|(idx, _)| idx);
+                    if let Some(idx) = victim {
+                        prop_assert_eq!(pending[idx].0, t);
+                        pending.remove(idx);
+                    }
+                }
+            }
+            Op::Cancel(k) => {
+                if pending.is_empty() {
+                    // Cancelling nothing must be a no-op on both.
+                    prop_assert!(!heap.cancel(SimTime::ZERO, u64::MAX));
+                    prop_assert!(!cal.cancel(SimTime::ZERO, u64::MAX));
+                    continue;
+                }
+                let idx = (k as usize) % pending.len();
+                let (t, seq) = pending.remove(idx);
+                let rh = heap.cancel(t, seq);
+                let rc = cal.cancel(t, seq);
+                prop_assert_eq!(rh, rc, "cancel outcome diverged");
+                prop_assert!(rh, "model said pending; queues disagreed");
+            }
+            Op::Clear => {
+                heap.clear();
+                cal.clear();
+                pending.clear();
+                prop_assert!(heap.is_empty() && cal.is_empty());
+            }
+        }
+        prop_assert_eq!(heap.len(), cal.len(), "len diverged after op {}", i);
+        prop_assert_eq!(heap.peek_time(), cal.peek_time(), "peek diverged");
+        prop_assert_eq!(heap.next_seq(), cal.next_seq(), "next_seq diverged");
+    }
+    // Drain both to the end: the full residual pop sequences must match.
+    loop {
+        match (heap.pop(), cal.pop()) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a, b);
+                popped += 1;
+            }
+            (None, None) => break,
+            _ => prop_assert!(false, "drain lengths diverged"),
+        }
+    }
+    popped
+}
+
+proptest! {
+    /// Random op scripts keep both implementations in lockstep.
+    #[test]
+    fn heap_and_calendar_agree_on_random_scripts(
+        ops in prop::collection::vec(op_strategy(), 1..120)
+    ) {
+        run_lockstep(&ops);
+    }
+
+    /// Engine-level differential: identical schedules on both backends
+    /// deliver identical `(time, payload)` streams and identical
+    /// `scheduled`/`delivered`/`beyond_horizon` counters.
+    #[test]
+    fn engines_on_both_backends_deliver_identically(
+        times in prop::collection::vec(0u64..100_000, 1..200),
+        horizon in 1_000u64..150_000,
+    ) {
+        let horizon = SimTime::from_millis(horizon);
+        let mut heap: Engine<usize> = Engine::configured(QueueImpl::Heap, Some(horizon), 8);
+        let mut cal: Engine<usize> = Engine::configured(QueueImpl::Calendar, Some(horizon), 8);
+        for (i, &t) in times.iter().enumerate() {
+            heap.schedule_at(SimTime::from_millis(t), i);
+            cal.schedule_at(SimTime::from_millis(t), i);
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+        prop_assert_eq!(heap.stats(), cal.stats());
+    }
+}
+
+/// Deterministic regression: a clear in the middle of a same-instant burst
+/// must leave FIFO positions stable on both implementations — post-clear
+/// pushes may never overtake where a pre-clear push would have sorted.
+#[test]
+fn clear_then_reuse_keeps_fifo_on_both() {
+    let ops = vec![
+        Op::Burst(5_000, 8),
+        Op::Pop,
+        Op::Clear,
+        Op::Burst(5_000, 8),
+        Op::Push(5_000),
+        Op::Pop,
+        Op::Pop,
+    ];
+    run_lockstep(&ops);
+}
+
+/// `with_capacity(0)` is pinned as a valid, working queue on both
+/// implementations — and pushing far beyond any pre-sized capacity must
+/// grow transparently (the `with_capacity` trust fix).
+#[test]
+fn zero_capacity_and_growth_beyond_capacity() {
+    let mut heap: EventQueue<u64> = EventQueue::with_capacity(0);
+    let mut cal: CalendarQueue<u64> = CalendarQueue::with_capacity(0);
+    for i in 0..5_000u64 {
+        // Reversed times so the calendar also exercises front insertion.
+        let t = SimTime::from_millis(10_000_000 - i * 13);
+        assert_eq!(heap.push(t, i), cal.push(t, i));
+    }
+    let mut last = None;
+    for _ in 0..5_000 {
+        let a = heap.pop().expect("heap has 5000 events");
+        let b = cal.pop().expect("calendar has 5000 events");
+        assert_eq!(a, b);
+        if let Some(prev) = last {
+            assert!(a.0 >= prev, "pop order regressed");
+        }
+        last = Some(a.0);
+    }
+    assert!(heap.pop().is_none() && cal.pop().is_none());
+}
+
+/// Pre-sized queues behave identically to default-sized ones.
+#[test]
+fn presized_queues_match_default_sized() {
+    let mut small: CalendarQueue<u32> = CalendarQueue::with_capacity(0);
+    let mut big: CalendarQueue<u32> = CalendarQueue::with_capacity(16_384);
+    for i in 0..2_000u32 {
+        let t = SimTime::from_millis((i as u64 * 7_919) % 100_000);
+        small.push(t, i);
+        big.push(t, i);
+    }
+    while let Some(a) = small.pop() {
+        assert_eq!(Some(a), big.pop());
+    }
+    assert!(big.is_empty());
+}
+
+/// An engine burst at one instant interleaved with horizon-dropped far
+/// events: `scheduled`/`beyond_horizon` accounting must match the heap
+/// reference exactly.
+#[test]
+fn horizon_accounting_matches_across_backends() {
+    let h = SimTime::from_secs(60);
+    let mut heap: Engine<u32> = Engine::configured(QueueImpl::Heap, Some(h), 0);
+    let mut cal: Engine<u32> = Engine::configured(QueueImpl::Calendar, Some(h), 0);
+    for e in [&mut heap, &mut cal] {
+        for i in 0..100u32 {
+            let t = SimTime::from_secs((i as u64 * 37) % 120);
+            e.schedule_at(t, i);
+        }
+        e.schedule_in(SimDuration::from_secs(1_000), 999);
+    }
+    loop {
+        let (a, b) = (heap.pop(), cal.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(heap.stats(), cal.stats());
+    assert!(heap.stats().beyond_horizon > 0);
+}
