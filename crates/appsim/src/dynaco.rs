@@ -285,6 +285,30 @@ impl Dynaco {
     pub fn abort(&mut self) {
         self.phase = Phase::Steady;
     }
+
+    /// The size constraint this instance enforces.
+    pub fn constraint(&self) -> SizeConstraint {
+        self.constraint
+    }
+
+    /// Rebuilds an instance from captured parts, for checkpoint restore.
+    /// Unlike [`Dynaco::new`], the phase is arbitrary (an adaptation may
+    /// have been in flight at capture time); the committed size must
+    /// still be valid.
+    ///
+    /// # Panics
+    /// Panics under the same validity rules as [`Dynaco::new`].
+    pub fn from_parts(
+        min: u32,
+        max: u32,
+        constraint: SizeConstraint,
+        size: u32,
+        phase: Phase,
+    ) -> Self {
+        let mut d = Dynaco::new(min, max, constraint, size);
+        d.phase = phase;
+        d
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +488,21 @@ mod tests {
     #[should_panic(expected = "initial violates constraint")]
     fn constructor_validates_constraint() {
         Dynaco::new(2, 32, SizeConstraint::PowerOfTwo, 6);
+    }
+
+    #[test]
+    fn from_parts_round_trips_mid_adaptation() {
+        let mut d = ft(8);
+        d.decide(Observation::GrowOffer { offered: 8 });
+        assert!(d.is_adapting());
+        let copy = Dynaco::from_parts(d.min(), d.max(), d.constraint(), d.size(), d.phase());
+        assert_eq!(copy, d);
+        let mut a = d;
+        let mut b = copy;
+        a.commit();
+        b.commit();
+        assert_eq!(a, b);
+        assert_eq!(a.size(), 16);
     }
 
     #[test]

@@ -113,6 +113,41 @@ impl Progress {
         let remaining = (1.0 - self.done).max(0.0);
         Some(SimDuration::from_secs_f64(remaining / rate))
     }
+
+    /// Instant of the last accounting update.
+    pub fn updated(&self) -> SimTime {
+        self.updated
+    }
+
+    /// The work-scale factor this run was started with.
+    pub fn work_scale(&self) -> f64 {
+        self.work_scale
+    }
+
+    /// Rebuilds a mid-run progress record from captured parts, for
+    /// checkpoint restore.
+    ///
+    /// # Panics
+    /// Panics when the parts are invalid (zero size, non-positive work
+    /// scale, `done` outside `[0, 1]`).
+    pub fn from_parts(
+        done: f64,
+        updated: SimTime,
+        size: u32,
+        paused: bool,
+        work_scale: f64,
+    ) -> Self {
+        assert!(size >= 1, "cannot run on zero processors");
+        assert!(work_scale > 0.0, "work scale must be positive");
+        assert!((0.0..=1.0).contains(&done), "done fraction outside [0, 1]");
+        Progress {
+            done,
+            updated,
+            size,
+            paused,
+            work_scale,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +237,27 @@ mod tests {
         let r1 = p1.remaining_time(&m).unwrap().as_secs_f64();
         let r2 = p2.remaining_time(&m).unwrap().as_secs_f64();
         assert!((r2 / r1 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_resumes_accounting_exactly() {
+        let m = gadget2_model();
+        let mut p = Progress::start(t(0), 8, 1.5);
+        p.resize(t(100), 16, &m);
+        p.pause(t(150), &m);
+        let copy = Progress::from_parts(
+            p.done(),
+            p.updated(),
+            p.size(),
+            p.is_paused(),
+            p.work_scale(),
+        );
+        let mut a = p;
+        let mut b = copy;
+        a.resume(t(200), &m);
+        b.resume(t(200), &m);
+        assert_eq!(a.done(), b.done());
+        assert_eq!(a.remaining_time(&m), b.remaining_time(&m));
     }
 
     #[test]

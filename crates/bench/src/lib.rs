@@ -25,7 +25,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use appsim::workload::WorkloadSpec;
-use koala::config::{Approach, ConfigError, ExperimentConfig};
+use koala::config::{Approach, ConfigError, ExperimentConfig, WarmFork};
 use koala::parallel::{self, Cell};
 use koala::policy::PolicyRegistry;
 use koala::report::{MultiReport, MultiSummary, SummaryReport};
@@ -257,11 +257,55 @@ pub fn run_cells_summary(cfgs: &[ExperimentConfig]) -> Vec<MultiSummary> {
 
 /// [`run_cells_summary`] with an explicit seed list.
 pub fn run_cells_summary_with_seeds(cfgs: &[ExperimentConfig], seeds: &[u64]) -> Vec<MultiSummary> {
+    run_cells_summary_with_seeds_threads(cfgs, seeds, parallel::default_threads())
+}
+
+/// [`run_cells_summary_with_seeds`] with an explicit worker count (the
+/// warm-start harness times matched cold/warm passes, so the thread
+/// count must be pinned rather than resolved).
+pub fn run_cells_summary_with_seeds_threads(
+    cfgs: &[ExperimentConfig],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<MultiSummary> {
     let cells: Vec<Cell<'_>> = cfgs
         .iter()
         .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
         .collect();
-    let mut runs = parallel::run_cells_summary(&cells, parallel::default_threads()).into_iter();
+    let mut runs = parallel::run_cells_summary(&cells, threads).into_iter();
+    cfgs.iter()
+        .map(|cfg| MultiSummary::new(cfg.name.clone(), runs.by_ref().take(seeds.len()).collect()))
+        .collect()
+}
+
+/// Stamps one [`WarmFork`] onto every cell of a matrix: each cell's
+/// semantics become "the base policy pair over `[0, at)`, then the
+/// cell's own pair" — which makes the whole matrix shareable-prefix
+/// runnable through [`run_cells_summary_warm_with_seeds`] (warmup once
+/// per `(workload, seed)` group, one fork per policy cell).
+pub fn warm_forked(mut cfgs: Vec<ExperimentConfig>, warm_fork: WarmFork) -> Vec<ExperimentConfig> {
+    for cfg in &mut cfgs {
+        cfg.warm_fork = Some(warm_fork.clone());
+    }
+    cfgs
+}
+
+/// Warm-forked counterpart of [`run_cells_summary_with_seeds_threads`]:
+/// the flattened `(config, seed)` batch runs through
+/// [`koala::parallel::run_cells_summary_warm`] — shared warmup prefixes
+/// execute once per group and every cell forks from its group's
+/// snapshot. Bit-identical to the cold runner for any thread count; the
+/// `warmstart` binary asserts exactly that before recording speedups.
+pub fn run_cells_summary_warm_with_seeds(
+    cfgs: &[ExperimentConfig],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<MultiSummary> {
+    let cells: Vec<Cell<'_>> = cfgs
+        .iter()
+        .flat_map(|cfg| seeds.iter().map(move |&seed| Cell { cfg, seed }))
+        .collect();
+    let mut runs = parallel::run_cells_summary_warm(&cells, threads).into_iter();
     cfgs.iter()
         .map(|cfg| MultiSummary::new(cfg.name.clone(), runs.by_ref().take(seeds.len()).collect()))
         .collect()

@@ -616,6 +616,51 @@ pub struct NetworkConfig {
     pub reconfig_gb_per_proc: f64,
 }
 
+/// Warm-fork sweep configuration: the shared warmup prefix of a policy
+/// sweep runs **once** per `(workload, seed)` under the base policies
+/// named here, a [`Snapshot`](crate::snapshot::Snapshot) is captured
+/// when simulated time reaches `at`, and every policy cell of the sweep
+/// forks from that snapshot instead of replaying the prefix cold (see
+/// [`crate::parallel::run_cells_summary_warm`]).
+///
+/// Forking requires the cells to agree on everything except `name`,
+/// `sched.placement` and `sched.malleability` — the fork-invariant
+/// configuration fingerprint embedded in the snapshot enforces this.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WarmFork {
+    /// The fork instant: the warmup prefix runs until the next pending
+    /// event would fire at or after this time (the boundary event itself
+    /// stays queued and replays identically in every fork).
+    pub at: SimDuration,
+    /// Registry name of the placement policy the shared prefix runs
+    /// under (every cell's warmup must be identical, so the cell's own
+    /// policy only takes over at the fork).
+    pub base_placement: String,
+    /// Registry name of the malleability policy the shared prefix runs
+    /// under.
+    pub base_malleability: String,
+}
+
+fn default_base_placement() -> String {
+    "worst_fit".to_string()
+}
+
+fn default_base_malleability() -> String {
+    "fpsma".to_string()
+}
+
+impl WarmFork {
+    /// A warm fork at `at` under the default base policies (Worst Fit +
+    /// FPSMA — the paper's baselines).
+    pub fn at(at: SimDuration) -> Self {
+        WarmFork {
+            at,
+            base_placement: default_base_placement(),
+            base_malleability: default_base_malleability(),
+        }
+    }
+}
+
 /// A uniform synthetic multicluster: `clusters` identical sites of
 /// `nodes_per_cluster` nodes each (see [`multicluster::uniform`]) — the
 /// cluster-count axis of workload sweeps.
@@ -675,6 +720,11 @@ pub struct ExperimentConfig {
     /// passive.
     #[serde(default)]
     pub network: Option<NetworkConfig>,
+    /// Warm-fork sweep configuration: share one warmup prefix across the
+    /// policy cells of a sweep (see [`WarmFork`]); `None` — the default —
+    /// runs every cell cold.
+    #[serde(default)]
+    pub warm_fork: Option<WarmFork>,
 }
 
 impl ExperimentConfig {
@@ -777,6 +827,11 @@ impl ExperimentConfig {
             return Err(ConfigError::ZeroQuantileCapacity);
         }
         self.elasticity.validate()?;
+        if let Some(wf) = &self.warm_fork {
+            let registry = PolicyRegistry::global();
+            registry.placement(&wf.base_placement)?;
+            registry.malleability(&wf.base_malleability)?;
+        }
         if let Some(net) = &self.network {
             let clusters = self
                 .uniform_topology

@@ -75,6 +75,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sim;
+pub mod snapshot;
 
 mod ids;
 mod job;
@@ -85,7 +86,7 @@ pub use autoscaler::{
 };
 pub use config::{
     Approach, ClaimingPolicy, ConfigError, ElasticityConfig, ExperimentConfig, ReportConfig,
-    SchedulerConfig, UniformTopology,
+    SchedulerConfig, UniformTopology, WarmFork,
 };
 pub use ids::JobId;
 pub use job::{Job, JobPhase};
@@ -98,9 +99,11 @@ pub use policy::{Malleability, Placement, PolicyError, PolicyRegistry};
 pub use report::{MultiReport, MultiSummary, ReportMode, RunReport, SummaryReport};
 pub use scenario::{Scenario, ScenarioBuilder, Topology, WorkloadChoice};
 pub use sim::{
-    run_experiment, run_experiment_seeded, run_experiment_summary, run_experiment_summary_seeded,
-    run_generator_summary_seeded, run_seeds, run_seeds_summary, run_stream_summary,
-    try_run_experiment, try_run_experiment_seeded, try_run_experiment_summary,
-    try_run_experiment_summary_seeded, try_run_generator_summary_seeded, try_run_stream_summary,
-    World, DEFAULT_LOOKAHEAD,
+    engine_for, fork_summary, resume_summary, run_experiment, run_experiment_seeded,
+    run_experiment_summary, run_experiment_summary_seeded, run_generator_summary_seeded, run_seeds,
+    run_seeds_summary, run_stream_summary, try_run_experiment, try_run_experiment_seeded,
+    try_run_experiment_summary, try_run_experiment_summary_seeded,
+    try_run_generator_summary_seeded, try_run_stream_summary, warm_snapshot_seeded, World,
+    DEFAULT_LOOKAHEAD,
 };
+pub use snapshot::{Snapshot, SnapshotError};

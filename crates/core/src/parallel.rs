@@ -173,6 +173,75 @@ pub fn run_cells_summary(cells: &[Cell<'_>], threads: usize) -> Vec<SummaryRepor
     })
 }
 
+/// Warm-forked counterpart of [`run_cells_summary`]: cells whose
+/// configuration carries a [`crate::config::WarmFork`] are grouped by
+/// `(fork fingerprint, seed)`, each group's shared warmup prefix — the
+/// base policy pair up to the fork time — runs **once** and is
+/// captured as a [`crate::Snapshot`], and every cell in the group is
+/// then restored from that snapshot under its own policies. Cells
+/// without a warm fork fall back to plain cold runs.
+///
+/// Both phases run on the work-stealing [`parallel_map`], and results
+/// come back in input order — the output is bit-identical to
+/// [`run_cells_summary`] for any thread count (the cold path runs the
+/// identical prefix in process and switches policies at the identical
+/// boundary; the differential suite enforces this byte-for-byte).
+///
+/// # Panics
+/// Panics on an invalid configuration or on a snapshot failure (e.g. a
+/// warm-forked cell in an unsupported mode) — sweeps should fail
+/// loudly, like [`run_cells`].
+pub fn run_cells_summary_warm(cells: &[Cell<'_>], threads: usize) -> Vec<SummaryReport> {
+    use std::collections::BTreeMap;
+
+    use simcore::SimTime;
+
+    use crate::snapshot::{fork_fingerprint, Snapshot};
+
+    // Phase 0 (cheap, sequential): group warm-forkable cells. The key
+    // is the fork-invariant fingerprint plus the seed: cells that agree
+    // on everything except name and policy pair share one prefix.
+    let mut groups: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if cell.cfg.warm_fork.is_some() {
+            groups
+                .entry((fork_fingerprint(cell.cfg), cell.seed))
+                .or_default()
+                .push(i);
+        }
+    }
+    // Phase 1: one warmup per group, in parallel.
+    let warmups: Vec<(Vec<usize>, ExperimentConfig, u64, SimTime)> = groups
+        .into_values()
+        .map(|idxs| {
+            let cell = &cells[idxs[0]];
+            let wf = cell.cfg.warm_fork.as_ref().expect("grouped on Some");
+            let mut warm_cfg = cell.cfg.clone();
+            warm_cfg.sched.placement = wf.base_placement.clone();
+            warm_cfg.sched.malleability = wf.base_malleability.clone();
+            (idxs, warm_cfg, cell.seed, SimTime::ZERO + wf.at)
+        })
+        .collect();
+    let snaps: Vec<Snapshot> = parallel_map(&warmups, threads, |(_, cfg, seed, at)| {
+        crate::sim::warm_snapshot_seeded(cfg, *seed, *at)
+            .unwrap_or_else(|e| panic!("warm-fork prefix of `{}` failed: {e}", cfg.name))
+    });
+    let mut snap_for: Vec<Option<&Snapshot>> = vec![None; cells.len()];
+    for ((idxs, ..), snap) in warmups.iter().zip(&snaps) {
+        for &i in idxs {
+            snap_for[i] = Some(snap);
+        }
+    }
+    // Phase 2: every cell, in parallel — forks resume from their
+    // group's snapshot, the rest run cold.
+    let order: Vec<usize> = (0..cells.len()).collect();
+    parallel_map(&order, threads, |&i| match snap_for[i] {
+        Some(snap) => crate::sim::fork_summary(cells[i].cfg, snap)
+            .unwrap_or_else(|e| panic!("warm fork of `{}` failed: {e}", cells[i].cfg.name)),
+        None => crate::sim::run_experiment_summary_seeded(cells[i].cfg, cells[i].seed),
+    })
+}
+
 /// Summarized counterpart of [`run_seeds_with_threads`]: aggregates the
 /// per-seed summaries in **seed order**, so the result is bit-identical
 /// to [`run_seeds_summary_sequential`] for any thread count (each cell
@@ -292,5 +361,37 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn warm_runner_matches_cold_runner_and_handles_mixed_batches() {
+        use simcore::SimDuration;
+
+        use crate::config::WarmFork;
+
+        // Three warm-forked policy cells sharing one prefix, plus one
+        // cell with no warm fork (the cold-fallback path).
+        let mut cells_cfg: Vec<ExperimentConfig> = ["fpsma", "egs", "equipartition"]
+            .iter()
+            .map(|&m| {
+                let mut cfg = ExperimentConfig::paper_pra(m, WorkloadSpec::wm());
+                cfg.workload.jobs = 8;
+                cfg.warm_fork = Some(WarmFork::at(SimDuration::from_secs(900)));
+                cfg
+            })
+            .collect();
+        let mut plain = ExperimentConfig::paper_pra("folding", WorkloadSpec::wm());
+        plain.workload.jobs = 8;
+        cells_cfg.push(plain);
+        let cells: Vec<Cell<'_>> = cells_cfg.iter().map(|cfg| Cell { cfg, seed: 23 }).collect();
+        let cold = run_cells_summary(&cells, 1);
+        for threads in [1, 3] {
+            let warm = run_cells_summary_warm(&cells, threads);
+            assert_eq!(
+                format!("{warm:?}"),
+                format!("{cold:?}"),
+                "threads={threads}: warm-forked sweep diverged from the cold sweep"
+            );
+        }
     }
 }

@@ -33,7 +33,7 @@
 
 mod queue;
 
-pub use queue::PlacementQueue;
+pub use queue::{PlacementQueue, PlacementQueueState};
 
 pub use crate::policy::Placement;
 

@@ -107,6 +107,38 @@ impl PlacementQueue {
     pub fn failed_submissions(&self) -> u64 {
         self.failed_submissions
     }
+
+    /// Captures the complete queue state — entries with their per-job
+    /// retry counts plus the lifetime tallies — for checkpointing.
+    pub fn capture_state(&self) -> PlacementQueueState {
+        PlacementQueueState {
+            entries: self.entries.iter().copied().collect(),
+            total_tries: self.total_tries,
+            failed_submissions: self.failed_submissions,
+        }
+    }
+
+    /// Reconstructs a queue from a captured
+    /// [`PlacementQueue::capture_state`], preserving FIFO order and the
+    /// retry count of every entry.
+    pub fn from_state(s: PlacementQueueState) -> Self {
+        PlacementQueue {
+            entries: s.entries.into_iter().collect(),
+            total_tries: s.total_tries,
+            failed_submissions: s.failed_submissions,
+        }
+    }
+}
+
+/// The raw internals of a [`PlacementQueue`], exposed for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementQueueState {
+    /// Queued jobs in head-to-tail order with their retry counts.
+    pub entries: Vec<(JobId, u32)>,
+    /// Total failed placement tries across all jobs.
+    pub total_tries: u64,
+    /// Submissions failed by the retry threshold.
+    pub failed_submissions: u64,
 }
 
 #[cfg(test)]
@@ -146,6 +178,31 @@ mod tests {
         let mut q = PlacementQueue::new();
         assert!(!q.record_failed_try(JobId(9), 0));
         assert_eq!(q.failed_submissions(), 0);
+    }
+
+    #[test]
+    fn capture_restore_preserves_order_and_tries() {
+        let mut q = PlacementQueue::new();
+        q.push_back(JobId(1));
+        q.push_back(JobId(2));
+        q.record_failed_try(JobId(1), 10);
+        q.record_failed_try(JobId(1), 10);
+        q.record_failed_try(JobId(2), 10);
+        let copy = PlacementQueue::from_state(q.capture_state());
+        assert_eq!(copy.scan_order(), q.scan_order());
+        assert_eq!(copy.tries(JobId(1)), Some(2));
+        assert_eq!(copy.tries(JobId(2)), Some(1));
+        assert_eq!(copy.total_tries(), 3);
+        assert_eq!(copy.failed_submissions(), 0);
+        // Future threshold decisions match the original exactly.
+        let mut a = q;
+        let mut b = copy;
+        assert_eq!(
+            a.record_failed_try(JobId(1), 2),
+            b.record_failed_try(JobId(1), 2)
+        );
+        assert_eq!(a.failed_submissions(), b.failed_submissions());
+        assert_eq!(a.capture_state(), b.capture_state());
     }
 
     #[test]

@@ -604,6 +604,151 @@ impl SummaryCollector {
             self.util_koala_integral += self.last_koala * dt;
         }
     }
+
+    /// Captures the complete collector state — meters, counters, the
+    /// utilization registers, and every streaming accumulator's raw
+    /// internals (exact-sum partials, Welford registers, reservoir
+    /// priorities *and* the priority-stream position) — so a restored
+    /// collector streams bit-identical samples from here on.
+    pub(crate) fn capture_state(&self) -> SummaryCollectorState {
+        let cap = |s: &MetricStream| (s.stats.state(), s.quantiles.state());
+        SummaryCollectorState {
+            warmup: self.warmup,
+            meters: self
+                .meters
+                .iter()
+                .map(|m| JobMeterState {
+                    submitted: m.submitted,
+                    started: m.started,
+                    size: m.size,
+                    last_change: m.last_change,
+                    size_integral: m.size_integral,
+                    size_max: m.size_max,
+                })
+                .collect(),
+            jobs_submitted: self.jobs_submitted,
+            jobs_completed: self.jobs_completed,
+            jobs_failed: self.jobs_failed,
+            grow_ops: self.grow_ops,
+            shrink_ops: self.shrink_ops,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            jobs_killed: self.jobs_killed,
+            jobs_requeued: self.jobs_requeued,
+            streams: vec![
+                cap(&self.execution_time),
+                cap(&self.response_time),
+                cap(&self.wait_time),
+                cap(&self.avg_size),
+                cap(&self.max_size),
+                cap(&self.slowdown),
+                cap(&self.monitor_utilization),
+                cap(&self.monitor_queue_depth),
+                cap(&self.transfer_time),
+                cap(&self.staging_delay),
+            ],
+            last_t: self.last_t,
+            last_total: self.last_total,
+            last_koala: self.last_koala,
+            util_integral: self.util_integral,
+            util_koala_integral: self.util_koala_integral,
+        }
+    }
+
+    /// Reconstructs a collector from a captured
+    /// [`SummaryCollector::capture_state`].
+    ///
+    /// # Panics
+    /// Panics when the state does not carry exactly the ten metric
+    /// streams [`SummaryCollector::capture_state`] produces (the byte
+    /// codec validates counts before calling this).
+    pub(crate) fn from_state(s: SummaryCollectorState) -> Self {
+        assert_eq!(s.streams.len(), 10, "summary collector has ten streams");
+        let mut streams = s.streams.into_iter().map(|(st, q)| MetricStream {
+            stats: koala_metrics::StreamStats::from_state(st),
+            quantiles: koala_metrics::StreamQuantiles::from_state(q),
+        });
+        let mut next = || streams.next().expect("length checked above");
+        SummaryCollector {
+            warmup: s.warmup,
+            meters: s
+                .meters
+                .into_iter()
+                .map(|m| JobMeter {
+                    submitted: m.submitted,
+                    started: m.started,
+                    size: m.size,
+                    last_change: m.last_change,
+                    size_integral: m.size_integral,
+                    size_max: m.size_max,
+                })
+                .collect(),
+            jobs_submitted: s.jobs_submitted,
+            execution_time: next(),
+            response_time: next(),
+            wait_time: next(),
+            avg_size: next(),
+            max_size: next(),
+            slowdown: next(),
+            jobs_completed: s.jobs_completed,
+            jobs_failed: s.jobs_failed,
+            grow_ops: s.grow_ops,
+            shrink_ops: s.shrink_ops,
+            monitor_utilization: next(),
+            monitor_queue_depth: next(),
+            transfer_time: next(),
+            staging_delay: next(),
+            scale_ups: s.scale_ups,
+            scale_downs: s.scale_downs,
+            jobs_killed: s.jobs_killed,
+            jobs_requeued: s.jobs_requeued,
+            last_t: s.last_t,
+            last_total: s.last_total,
+            last_koala: s.last_koala,
+            util_integral: s.util_integral,
+            util_koala_integral: s.util_koala_integral,
+        }
+    }
+}
+
+/// Captured per-live-job metering state (see [`JobMeter`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct JobMeterState {
+    pub(crate) submitted: SimTime,
+    pub(crate) started: Option<SimTime>,
+    pub(crate) size: f64,
+    pub(crate) last_change: SimTime,
+    pub(crate) size_integral: f64,
+    pub(crate) size_max: f64,
+}
+
+/// The raw internals of a [`SummaryCollector`], exposed for
+/// checkpointing. The ten stream states are ordered exactly as
+/// [`SummaryCollector::capture_state`] lists them (execution, response,
+/// wait, avg size, max size, slowdown, monitor utilization, monitor
+/// queue depth, transfer time, staging delay).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SummaryCollectorState {
+    pub(crate) warmup: SimTime,
+    pub(crate) meters: Vec<JobMeterState>,
+    pub(crate) jobs_submitted: u64,
+    pub(crate) jobs_completed: u64,
+    pub(crate) jobs_failed: u64,
+    pub(crate) grow_ops: u64,
+    pub(crate) shrink_ops: u64,
+    pub(crate) scale_ups: u64,
+    pub(crate) scale_downs: u64,
+    pub(crate) jobs_killed: u64,
+    pub(crate) jobs_requeued: u64,
+    pub(crate) streams: Vec<(
+        koala_metrics::StreamStatsState,
+        koala_metrics::StreamQuantilesState,
+    )>,
+    pub(crate) last_t: SimTime,
+    pub(crate) last_total: f64,
+    pub(crate) last_koala: f64,
+    pub(crate) util_integral: f64,
+    pub(crate) util_koala_integral: f64,
 }
 
 /// The measurement sink a [`crate::World`] feeds while it runs. The
@@ -1253,6 +1398,73 @@ mod tests {
     fn full_unwrap_of_summary_collector_panics() {
         let report = ReportConfig::default();
         Collector::summarized(0, &report).into_full();
+    }
+
+    #[test]
+    fn summary_collector_capture_restore_is_transparent() {
+        // Drive two collectors identically, checkpointing one mid-run:
+        // the rendered reports must be byte-identical (debug equality),
+        // including reservoir contents and priority-stream positions.
+        let report = ReportConfig {
+            warmup: SimDuration::from_secs(10),
+            quantile_capacity: 4,
+        };
+        let mc = multicluster::das3();
+        let drive_prefix = |c: &mut Collector| {
+            c.arrived(0, SimTime::ZERO);
+            c.arrived(1, SimTime::from_secs(20));
+            c.started(0, SimTime::from_secs(15), 2);
+            c.utilization(SimTime::from_secs(15), &mc);
+            c.grow_op(SimTime::from_secs(18));
+            c.resized(0, SimTime::from_secs(25), 6, true);
+            c.completed(0, SimTime::from_secs(40));
+        };
+        let drive_suffix = |c: &mut Collector| {
+            c.started(1, SimTime::from_secs(45), 4);
+            c.monitor_sample(SimTime::from_secs(50), [0.5, 0.25].into_iter(), 3);
+            c.transfer_done(SimTime::from_secs(55), 12.5);
+            c.staging_delayed(SimTime::from_secs(55), 1.5);
+            c.utilization(SimTime::from_secs(60), &mc);
+            c.completed(1, SimTime::from_secs(80));
+        };
+        let finish = |c: Collector| {
+            c.into_summary().finish(
+                "T".into(),
+                7,
+                SimTime::from_secs(80),
+                1,
+                0,
+                5,
+                0,
+                0,
+                99,
+                2,
+                CtrlStats::default(),
+                NetStats::default(),
+            )
+        };
+        let mut straight = Collector::summarized(7, &report);
+        drive_prefix(&mut straight);
+        drive_suffix(&mut straight);
+        let mut original = Collector::summarized(7, &report);
+        drive_prefix(&mut original);
+        let state = match &original {
+            Collector::Summary(c) => c.capture_state(),
+            Collector::Full(_) => unreachable!(),
+        };
+        let mut restored = Collector::Summary(SummaryCollector::from_state(state.clone()));
+        assert_eq!(
+            state,
+            match &restored {
+                Collector::Summary(c) => c.capture_state(),
+                Collector::Full(_) => unreachable!(),
+            },
+            "capture → restore → capture is a fixed point"
+        );
+        drive_suffix(&mut restored);
+        let a = finish(straight);
+        let b = finish(restored);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

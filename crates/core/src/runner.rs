@@ -143,6 +143,19 @@ impl MRunner {
         self.dynaco.abort();
         n
     }
+
+    /// Rebuilds a mid-protocol MRunner from captured parts, for
+    /// checkpoint restore: the DYNACO instance plus the GRAM-collection
+    /// counters ([`MRunner::held`], [`MRunner::submitting`],
+    /// [`MRunner::releasing`]) exactly as they were captured.
+    pub fn from_parts(dynaco: Dynaco, held: u32, submitting: u32, releasing: u32) -> Self {
+        MRunner {
+            dynaco,
+            active_gram_jobs: held,
+            submitting,
+            releasing,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +261,22 @@ mod tests {
         assert!(!r.busy());
         // Small voluntary shrinks are honoured.
         assert_eq!(r.request_shrink(4, false), 4);
+    }
+
+    #[test]
+    fn from_parts_resumes_the_protocol_exactly() {
+        // Capture mid-grow (stubs in flight) and rebuild: the restored
+        // runner finishes the protocol identically.
+        let mut r = runner(4);
+        assert_eq!(r.offer_grow(6), 6);
+        let mut copy =
+            MRunner::from_parts(r.dynaco.clone(), r.held(), r.submitting(), r.releasing());
+        assert_eq!(copy, r);
+        assert_eq!(r.stubs_held(), copy.stubs_held());
+        r.grow_complete();
+        copy.grow_complete();
+        assert_eq!(copy, r);
+        assert_eq!(copy.held(), 10);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use simcore::SimDuration;
 
 use crate::config::{
     workload_label, Approach, ConfigError, ElasticityConfig, ExperimentConfig, FileSpec,
-    NetworkConfig, ReportConfig, RetryConfig, SchedulerConfig,
+    NetworkConfig, ReportConfig, RetryConfig, SchedulerConfig, WarmFork,
 };
 use crate::policy::PolicyRegistry;
 use crate::report::{MultiReport, MultiSummary, ReportMode};
@@ -236,6 +236,7 @@ pub struct ScenarioBuilder {
     report: ReportConfig,
     elasticity: ElasticityConfig,
     network: Option<NetworkConfig>,
+    warm_fork: Option<WarmFork>,
 }
 
 impl Default for ScenarioBuilder {
@@ -256,6 +257,7 @@ impl Default for ScenarioBuilder {
             report: ReportConfig::default(),
             elasticity: ElasticityConfig::default(),
             network: None,
+            warm_fork: None,
         }
     }
 }
@@ -499,6 +501,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Marks this scenario for warm-forked sweeps: the warmup prefix up
+    /// to `at` runs once per `(workload, seed)` under the default base
+    /// policies (Worst Fit + FPSMA) and every policy cell forks from the
+    /// snapshot (see [`WarmFork`] and
+    /// [`crate::parallel::run_cells_summary_warm`]). Use
+    /// [`ScenarioBuilder::warm_fork_with`] to choose the base policies.
+    pub fn warm_fork(mut self, at: SimDuration) -> Self {
+        self.warm_fork = Some(WarmFork::at(at));
+        self
+    }
+
+    /// Like [`ScenarioBuilder::warm_fork`], with explicit base policies
+    /// for the shared warmup prefix.
+    pub fn warm_fork_with(mut self, warm_fork: WarmFork) -> Self {
+        self.warm_fork = Some(warm_fork);
+        self
+    }
+
     fn network_mut(&mut self) -> &mut NetworkConfig {
         self.network.get_or_insert_with(|| NetworkConfig {
             topology: "das3".to_string(),
@@ -567,6 +587,7 @@ impl ScenarioBuilder {
             report: self.report,
             elasticity: self.elasticity,
             network: self.network,
+            warm_fork: self.warm_fork,
         };
         cfg.validate()?;
         let seeds = match (self.seeds, self.replications) {
@@ -610,6 +631,30 @@ mod tests {
             .unwrap();
         let preset = ExperimentConfig::paper_pwa("fpsma", WorkloadSpec::wmr_prime());
         assert_eq!(via_builder.config(), &preset);
+    }
+
+    #[test]
+    fn warm_fork_setters_stamp_the_config() {
+        let at = SimDuration::from_secs(900);
+        let s = Scenario::builder()
+            .malleability("egs")
+            .workload(WorkloadSpec::wm())
+            .warm_fork(at)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().warm_fork, Some(WarmFork::at(at)));
+        let explicit = WarmFork {
+            at,
+            base_placement: "first_fit".into(),
+            base_malleability: "equipartition".into(),
+        };
+        let s = Scenario::builder()
+            .malleability("egs")
+            .workload(WorkloadSpec::wm())
+            .warm_fork_with(explicit.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.config().warm_fork, Some(explicit));
     }
 
     #[test]

@@ -42,16 +42,21 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use appsim::dynaco::Dynaco;
+use appsim::dynaco::{Dynaco, Phase as DynacoPhase};
 use appsim::generate::JobStream;
 use appsim::workload::SubmittedJob;
-use appsim::JobClass;
+use appsim::{JobClass, Progress, SizeConstraint};
 use multicluster::{
-    das3, AllocId, AllocOwner, ClusterId, ControlPlaneFaults, CrashVictim, FailurePolicy,
-    FailureStream, FileCatalog, FileId, FlowNet, InfoService, LocalJob, MessageClass, Multicluster,
-    SubmitOutcome,
+    das3, AllocId, AllocOwner, ClusterId, ClusterState, ControlPlaneFaults,
+    ControlPlaneFaultsState, CrashVictim, FailurePolicy, FailureStream, FailureStreamState,
+    FileCatalog, FileCatalogState, FileId, FileMeta, FlakyChannelState, FlowNet, FlowNetState,
+    FlowState, InfoService, InfoSnapshot, InfoState, LinkId, LocalJob, LocalJobId, LrmState,
+    MessageClass, Multicluster, NodeId, NodeState, SubmitOutcome,
 };
-use simcore::{Engine, Generation, SimDuration, SimRng, SimTime, Trace};
+use simcore::{
+    CalendarTuning, Engine, EngineSnapshot, EngineStats, EventHandle, Generation, QueueImpl,
+    SimDuration, SimRng, SimTime, Trace,
+};
 
 use crate::autoscaler::{Autoscaler, AutoscalerRegistry, ClusterObservation, ScaleDecision};
 use crate::avail::AvailIndex;
@@ -1141,12 +1146,90 @@ impl<'a> World<'a> {
 
     fn run_loop(&mut self, engine: &mut Engine<Ev>) {
         self.bootstrap(engine);
+        self.pump(engine);
+    }
+
+    /// The shared inner event loop: pops and handles events until the
+    /// world is done or the engine drains. Both the cold path
+    /// ([`World::run_loop`] after bootstrap) and the warm-fork resume
+    /// path ([`World::resume_to_summary`], no bootstrap — the restored
+    /// queue already holds the pending events) drive this.
+    fn pump(&mut self, engine: &mut Engine<Ev>) {
         while let Some((_t, ev)) = engine.pop() {
             self.handle(engine, ev);
             if self.done() {
                 break;
             }
         }
+    }
+
+    /// Runs the event loop until the next pending event would fire at
+    /// or after `until` (that boundary event stays queued, so it
+    /// replays identically in every fork), the world completes, or the
+    /// engine drains. [`World::bootstrap`] must have been called.
+    ///
+    /// This is the warmup half of the warm-fork pipeline: run the
+    /// shared prefix here, capture with [`World::snapshot`], then fork
+    /// per policy cell with [`World::fork_with`].
+    pub fn run_until(&mut self, engine: &mut Engine<Ev>, until: SimTime) {
+        while let Some(t) = engine.peek_time() {
+            if t >= until {
+                break;
+            }
+            let (_t, ev) = engine.pop().expect("peeked event pops");
+            self.handle(engine, ev);
+            if self.done() {
+                break;
+            }
+        }
+    }
+
+    /// Continues a restored world to completion and returns the
+    /// summary. Unlike [`World::run_to_summary`] this does **not**
+    /// bootstrap: the restored engine already carries the pending
+    /// events of the captured run.
+    ///
+    /// # Panics
+    /// Panics when the world was built in full-report mode (restored
+    /// worlds never are — [`World::snapshot`] rejects that mode).
+    pub fn resume_to_summary(mut self, engine: &mut Engine<Ev>) -> SummaryReport {
+        // A prefix that already completed broke out of its own loop the
+        // moment `done()` turned true; pumping again would deliver one
+        // extra event the uninterrupted run never saw.
+        if !self.done() {
+            self.pump(engine);
+        }
+        self.finish_summary(engine)
+    }
+
+    /// Full-report counterpart of [`World::resume_to_summary`]: drains
+    /// the remaining events (if the world is not already done) and
+    /// returns the [`RunReport`].
+    pub fn resume_to_completion(mut self, engine: &mut Engine<Ev>) -> RunReport {
+        if !self.done() {
+            self.pump(engine);
+        }
+        self.finish(engine)
+    }
+
+    /// Re-resolves the placement and malleability policies by registry
+    /// name, replacing the ones resolved from the configuration at
+    /// construction. Policies are stateless (everything they decide
+    /// from lives in the world), so a mid-run swap is exactly the
+    /// semantics of a warm fork: the prefix ran under the old pair, the
+    /// tail runs under the new.
+    ///
+    /// This is the *cold* arm of the warm-fork pipeline — the reference
+    /// trajectory a snapshot-based fork must reproduce byte-for-byte.
+    pub fn use_policies(
+        &mut self,
+        placement: &str,
+        malleability: &str,
+    ) -> Result<(), crate::policy::PolicyError> {
+        let registry = PolicyRegistry::global();
+        self.placement = registry.placement(placement)?;
+        self.malleability = registry.malleability(malleability)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -3251,6 +3334,1297 @@ impl<'a> World<'a> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore (the byte layer lives in `crate::snapshot`; the
+// world-structure codec lives here, where the private fields are)
+// ---------------------------------------------------------------------
+
+use crate::snapshot::{
+    config_fingerprint, fork_fingerprint, ByteReader, ByteWriter, Snapshot, SnapshotError, VERSION,
+};
+
+impl<'a> World<'a> {
+    /// Captures the complete mid-run state of this world and its
+    /// engine as a versioned, deterministic [`Snapshot`] — queue
+    /// contents in `(time, seq)` order with the next sequence number,
+    /// the job slab's runtime overlay, cluster/allocation/availability
+    /// state, in-flight retry timers, open network flows, streaming
+    /// accumulators and every seeded RNG position. The world is
+    /// untouched; a [`World::restore`]d copy continues bit-identically.
+    ///
+    /// Only **summarized-mode, fixed-intake, trace-disabled** worlds
+    /// can be captured (full reports hold unbounded job tables, and a
+    /// job stream cannot be rewound); anything else is a typed
+    /// [`SnapshotError::UnsupportedMode`].
+    pub fn snapshot(&self, engine: &Engine<Ev>) -> Result<Snapshot, SnapshotError> {
+        if !self.collect.is_summarized() {
+            return Err(SnapshotError::UnsupportedMode(
+                "full-report mode (build with World::for_seed_summarized)".into(),
+            ));
+        }
+        if !matches!(self.intake, Intake::Fixed(_)) {
+            return Err(SnapshotError::UnsupportedMode(
+                "streaming intake (the job stream cannot be rewound)".into(),
+            ));
+        }
+        if self.trace.is_enabled() {
+            return Err(SnapshotError::UnsupportedMode(
+                "job-lifecycle trace enabled".into(),
+            ));
+        }
+        if self.files.is_some() && self.cfg.network.is_none() {
+            return Err(SnapshotError::UnsupportedMode(
+                "explicit file catalog installed via World::with_files".into(),
+            ));
+        }
+        Ok(Snapshot {
+            version: VERSION,
+            seed: self.seed,
+            full_fingerprint: config_fingerprint(self.cfg),
+            fork_fingerprint: fork_fingerprint(self.cfg),
+            body: self.encode_body(engine),
+        })
+    }
+
+    /// Rebuilds a world + engine pair from a snapshot taken under the
+    /// **same** configuration (full fingerprint match required).
+    /// Continue with [`World::resume_to_summary`] — not
+    /// [`World::run_to_summary`], which would bootstrap a second time.
+    pub fn restore(
+        cfg: &'a ExperimentConfig,
+        snap: &Snapshot,
+    ) -> Result<(World<'a>, Engine<Ev>), SnapshotError> {
+        if config_fingerprint(cfg) != snap.full_fingerprint {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        Self::rebuild(cfg, snap)
+    }
+
+    /// Forks a warmed prefix into a **different policy cell**: like
+    /// [`World::restore`], but `cfg` may differ from the captured
+    /// configuration in `name`, `sched.placement` and
+    /// `sched.malleability` (the fork-invariant fingerprint enforces
+    /// that nothing else differs). The restored world resolves the
+    /// *new* policies from the registry, so the shared warmup replays
+    /// once and every cell diverges only from the fork point.
+    pub fn fork_with(
+        cfg: &'a ExperimentConfig,
+        snap: &Snapshot,
+    ) -> Result<(World<'a>, Engine<Ev>), SnapshotError> {
+        if fork_fingerprint(cfg) != snap.fork_fingerprint {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        Self::rebuild(cfg, snap)
+    }
+
+    fn rebuild(
+        cfg: &'a ExperimentConfig,
+        snap: &Snapshot,
+    ) -> Result<(World<'a>, Engine<Ev>), SnapshotError> {
+        if snap.version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(snap.version));
+        }
+        cfg.validate()
+            .map_err(|e| SnapshotError::Corrupt(format!("target configuration invalid: {e}")))?;
+        let mut w = World::for_seed_summarized(cfg, snap.seed);
+        let mut r = ByteReader::new(&snap.body);
+        let engine = w.decode_body(&mut r)?;
+        r.finish()?;
+        Ok((w, engine))
+    }
+
+    fn encode_body(&self, engine: &Engine<Ev>) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        // --- engine ---------------------------------------------------
+        let es = engine.capture_state();
+        w.u64(es.now.as_millis());
+        w.u64(es.horizon.as_millis());
+        w.u64(es.stats.delivered);
+        w.u64(es.stats.scheduled);
+        w.u64(es.stats.beyond_horizon);
+        w.u64(es.stats.cancelled);
+        w.u8(match es.queue_impl {
+            QueueImpl::Heap => 0,
+            QueueImpl::Calendar => 1,
+        });
+        w.u64(es.next_seq);
+        w.opt(es.calendar_tuning.as_ref(), |w, t| {
+            w.u64(t.buckets as u64);
+            w.u64(t.width_ms);
+            w.u64(t.cursor_day);
+            w.u64(t.pushes_since_resize as u64);
+        });
+        w.len(es.entries.len());
+        for (t, seq, ev) in &es.entries {
+            w.u64(t.as_millis());
+            w.u64(*seq);
+            enc_ev(&mut w, ev);
+        }
+        // --- world scalars --------------------------------------------
+        w.u64(self.grow_messages);
+        w.u64(self.shrink_messages);
+        w.u64(self.arrivals_seen as u64);
+        w.u64(self.next_bg_local);
+        for word in self.bg_rng.state() {
+            w.u64(word);
+        }
+        w.len(self.pending_release.len());
+        for &v in &self.pending_release {
+            w.u32(v);
+        }
+        w.len(self.idle_baseline.len());
+        for &v in &self.idle_baseline {
+            w.u32(v);
+        }
+        // --- clusters + LRMs ------------------------------------------
+        w.len(self.mc.len());
+        for c in 0..self.mc.len() {
+            let id = ClusterId(c as u16);
+            enc_cluster(&mut w, &self.mc.cluster(id).capture_state());
+            enc_lrm(&mut w, &self.mc.lrm(id).capture_state());
+        }
+        // --- information service --------------------------------------
+        let kis = self.kis.capture_state();
+        w.opt(kis.visible.as_ref(), enc_info_snapshot);
+        w.len(kis.in_flight.len());
+        for s in &kis.in_flight {
+            enc_info_snapshot(&mut w, s);
+        }
+        w.u64(kis.polls);
+        // --- file catalog ---------------------------------------------
+        w.opt(
+            self.files.as_ref().map(|f| f.capture_state()).as_ref(),
+            |w, cat| {
+                w.len(cat.files.len());
+                for (id, meta) in &cat.files {
+                    w.u64(id.0);
+                    w.f64(meta.size_gb);
+                    w.len(meta.replicas.len());
+                    for r in &meta.replicas {
+                        w.u16(r.0);
+                    }
+                }
+                w.u64(cat.next_file);
+            },
+        );
+        // --- placement queue + availability index ---------------------
+        let q = self.queue.capture_state();
+        w.len(q.entries.len());
+        for (job, tries) in &q.entries {
+            w.u32(job.0);
+            w.u32(*tries);
+        }
+        w.u64(q.total_tries);
+        w.u64(q.failed_submissions);
+        let av = self.avail_idx.capture_state();
+        w.len(av.dirty.len());
+        for &d in &av.dirty {
+            w.bool(d);
+        }
+        w.u32(av.max_eff);
+        w.u64(av.sum_eff);
+        w.u64(av.rebuilds);
+        w.u64(av.quick_rejects);
+        // --- failure + control-plane fault streams --------------------
+        w.opt(
+            self.failures.as_ref().map(|f| f.capture_state()).as_ref(),
+            |w, f| {
+                for word in f.rng {
+                    w.u64(word);
+                }
+                w.u64(f.clock.as_millis());
+            },
+        );
+        w.opt(
+            self.faults.as_ref().map(|f| f.capture_state()).as_ref(),
+            |w, f| {
+                w.u64(f.hash_seed);
+                for s in f.seq {
+                    w.u64(s);
+                }
+                w.len(f.channels.len());
+                for ch in &f.channels {
+                    for word in ch.rng {
+                        w.u64(word);
+                    }
+                    w.u64(ch.start.as_millis());
+                    w.u64(ch.end.as_millis());
+                }
+            },
+        );
+        w.u64(self.ctrl.messages_lost);
+        w.u64(self.ctrl.timeouts);
+        w.u64(self.ctrl.retries);
+        w.u64(self.ctrl.duplicates_dropped);
+        w.u64(self.ctrl.polls_lost);
+        w.u64(self.ctrl.reclaimed_allocations);
+        w.u64(self.ctrl.flaky_deferrals);
+        w.u64(self.ctrl.leaked_allocations);
+        // --- network runtime ------------------------------------------
+        w.opt(self.net.as_ref(), |w, net| {
+            let fs = net.flows.capture_state();
+            w.len(fs.flows.len());
+            for f in &fs.flows {
+                w.u64(f.id);
+                w.len(f.route.len());
+                for l in &f.route {
+                    w.u32(l.0);
+                }
+                w.f64(f.size_gb);
+                w.f64(f.remaining_gb);
+                w.f64(f.rate_gbps);
+                w.u64(f.gen);
+                w.u64(f.latency.as_millis());
+                w.u64(f.opened_at.as_millis());
+            }
+            w.u64(fs.next_flow);
+            w.len(fs.busy_s.len());
+            for &b in &fs.busy_s {
+                w.f64(b);
+            }
+            w.u64(fs.last_update.as_millis());
+            let mut owners: Vec<_> = net.owners.iter().collect();
+            owners.sort_by_key(|(id, _)| **id);
+            w.len(owners.len());
+            for (id, o) in owners {
+                w.u64(*id);
+                w.u32(o.job.0);
+                w.u32(o.gen.raw());
+                w.opt(o.file.as_ref(), |w, f| w.u64(f.0));
+                w.u16(o.dest.0);
+            }
+            let mut staging: Vec<_> = net.staging.iter().collect();
+            staging.sort_by_key(|(job, _)| **job);
+            w.len(staging.len());
+            for (job, s) in staging {
+                w.u32(*job);
+                w.u32(s.pending);
+                w.u32(s.gen.raw());
+                w.u64(s.since.as_millis());
+            }
+            w.u64(net.stats.transfers_opened);
+            w.u64(net.stats.transfers_completed);
+            w.u64(net.stats.reconfig_transfers);
+            w.f64(net.stats.bytes_staged_gb);
+            w.f64(net.stats.link_busy_s);
+            w.f64(net.stats.link_span_s);
+        });
+        // --- job slab runtime overlay ---------------------------------
+        // Specs are NOT serialized: the workload regenerates from
+        // (config, seed) at restore, and only the mutable runtime
+        // fields are overwritten on the rebuilt jobs.
+        w.len(self.jobs.slots.len());
+        for slot in &self.jobs.slots {
+            let job = slot.as_ref().expect("fixed slabs keep every slot");
+            enc_job(&mut w, job);
+        }
+        w.u64(self.jobs.live as u64);
+        w.u64(self.jobs.peak_live as u64);
+        // --- streaming collector --------------------------------------
+        let Collector::Summary(c) = &self.collect else {
+            unreachable!("snapshot() gates on summarized mode");
+        };
+        enc_collector(&mut w, &c.capture_state());
+        w.into_bytes()
+    }
+
+    /// Overwrites this freshly built world's state from an encoded body
+    /// and returns the restored engine. `self` must come from
+    /// [`World::for_seed_summarized`] under the snapshot's config/seed.
+    fn decode_body(&mut self, r: &mut ByteReader<'_>) -> Result<Engine<Ev>, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(what.into());
+        // --- engine ---------------------------------------------------
+        let now = SimTime::from_millis(r.u64()?);
+        let horizon = SimTime::from_millis(r.u64()?);
+        let stats = EngineStats {
+            delivered: r.u64()?,
+            scheduled: r.u64()?,
+            beyond_horizon: r.u64()?,
+            cancelled: r.u64()?,
+        };
+        let queue_impl = match r.u8()? {
+            0 => QueueImpl::Heap,
+            1 => QueueImpl::Calendar,
+            t => return Err(SnapshotError::Corrupt(format!("queue-impl tag {t}"))),
+        };
+        let next_seq = r.u64()?;
+        let calendar_tuning = r.opt(|r| {
+            Ok(CalendarTuning {
+                buckets: r.u64()? as usize,
+                width_ms: r.u64()?,
+                cursor_day: r.u64()?,
+                pushes_since_resize: r.u64()? as usize,
+            })
+        })?;
+        if queue_impl == QueueImpl::Calendar {
+            let t = calendar_tuning
+                .as_ref()
+                .ok_or_else(|| corrupt("calendar snapshot without tuning"))?;
+            if t.buckets < 4 || !t.buckets.is_power_of_two() || t.width_ms == 0 {
+                return Err(corrupt("calendar tuning out of range"));
+            }
+        }
+        let n_entries = r.len(17)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        let mut prev: Option<(SimTime, u64)> = None;
+        for _ in 0..n_entries {
+            let t = SimTime::from_millis(r.u64()?);
+            let seq = r.u64()?;
+            if seq >= next_seq {
+                return Err(corrupt("queue entry from the future"));
+            }
+            if let Some(p) = prev {
+                if (t, seq) <= p {
+                    return Err(corrupt("queue entries out of pop order"));
+                }
+            }
+            prev = Some((t, seq));
+            entries.push((t, seq, dec_ev(r)?));
+        }
+        let engine = Engine::restore_state(EngineSnapshot {
+            now,
+            horizon,
+            stats,
+            queue_impl,
+            next_seq,
+            entries,
+            calendar_tuning,
+        });
+        // --- world scalars --------------------------------------------
+        self.grow_messages = r.u64()?;
+        self.shrink_messages = r.u64()?;
+        self.arrivals_seen = r.u64()? as usize;
+        self.next_bg_local = r.u64()?;
+        let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.bg_rng = SimRng::from_state(rng);
+        let n_clusters = self.mc.len();
+        let n = r.len(4)?;
+        if n != n_clusters {
+            return Err(corrupt("pending-release length"));
+        }
+        for i in 0..n {
+            self.pending_release[i] = r.u32()?;
+        }
+        let n = r.len(4)?;
+        if n != n_clusters {
+            return Err(corrupt("idle-baseline length"));
+        }
+        for i in 0..n {
+            self.idle_baseline[i] = r.u32()?;
+        }
+        // --- clusters + LRMs ------------------------------------------
+        let n = r.len(1)?;
+        if n != n_clusters {
+            return Err(corrupt("cluster count"));
+        }
+        for c in 0..n_clusters {
+            let id = ClusterId(c as u16);
+            let state = dec_cluster(r)?;
+            self.mc
+                .cluster_mut(id)
+                .restore_state(state)
+                .map_err(SnapshotError::Corrupt)?;
+            let lrm = dec_lrm(r)?;
+            self.mc.lrm_mut(id).restore_state(lrm);
+        }
+        // --- information service --------------------------------------
+        let visible = r.opt(|r| dec_info_snapshot(r, n_clusters))?;
+        let n = r.len(1)?;
+        let mut in_flight = Vec::with_capacity(n);
+        for _ in 0..n {
+            in_flight.push(dec_info_snapshot(r, n_clusters)?);
+        }
+        let polls = r.u64()?;
+        self.kis.restore_state(InfoState {
+            visible,
+            in_flight,
+            polls,
+        });
+        // --- file catalog ---------------------------------------------
+        let files = r.opt(|r| {
+            let n = r.len(8)?;
+            let mut files = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = FileId(r.u64()?);
+                let size_gb = r.f64()?;
+                let n_rep = r.len(2)?;
+                let mut replicas = std::collections::BTreeSet::new();
+                for _ in 0..n_rep {
+                    replicas.insert(ClusterId(r.u16()?));
+                }
+                files.push((id, FileMeta { size_gb, replicas }));
+            }
+            Ok(FileCatalogState {
+                files,
+                next_file: r.u64()?,
+            })
+        })?;
+        match (files, self.files.as_mut()) {
+            (Some(state), Some(cat)) => cat.restore_state(state).map_err(SnapshotError::Corrupt)?,
+            (None, None) => {}
+            _ => return Err(corrupt("file-catalog presence mismatch")),
+        }
+        // --- placement queue + availability index ---------------------
+        let n = r.len(8)?;
+        let mut q_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            q_entries.push((JobId(r.u32()?), r.u32()?));
+        }
+        self.queue = PlacementQueue::from_state(crate::placement::PlacementQueueState {
+            entries: q_entries,
+            total_tries: r.u64()?,
+            failed_submissions: r.u64()?,
+        });
+        let n = r.len(1)?;
+        if n != n_clusters {
+            return Err(corrupt("availability-index width"));
+        }
+        let mut dirty = Vec::with_capacity(n);
+        for _ in 0..n {
+            dirty.push(r.bool()?);
+        }
+        self.avail_idx = AvailIndex::from_state(crate::avail::AvailIndexState {
+            dirty,
+            max_eff: r.u32()?,
+            sum_eff: r.u64()?,
+            rebuilds: r.u64()?,
+            quick_rejects: r.u64()?,
+        });
+        // --- failure + control-plane fault streams --------------------
+        let failures = r.opt(|r| {
+            let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            Ok(FailureStreamState {
+                rng,
+                clock: SimTime::from_millis(r.u64()?),
+            })
+        })?;
+        match (failures, self.failures.as_mut()) {
+            (Some(state), Some(stream)) => stream.restore_state(state),
+            (None, None) => {}
+            _ => return Err(corrupt("failure-stream presence mismatch")),
+        }
+        let faults = r.opt(|r| {
+            let hash_seed = r.u64()?;
+            let seq = [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            let n = r.len(48)?;
+            let mut channels = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+                channels.push(FlakyChannelState {
+                    rng,
+                    start: SimTime::from_millis(r.u64()?),
+                    end: SimTime::from_millis(r.u64()?),
+                });
+            }
+            Ok(ControlPlaneFaultsState {
+                hash_seed,
+                seq,
+                channels,
+            })
+        })?;
+        match (faults, self.faults.as_mut()) {
+            (Some(state), Some(model)) => {
+                model.restore_state(state).map_err(SnapshotError::Corrupt)?
+            }
+            (None, None) => {}
+            _ => return Err(corrupt("control-plane fault presence mismatch")),
+        }
+        self.ctrl = CtrlStats {
+            messages_lost: r.u64()?,
+            timeouts: r.u64()?,
+            retries: r.u64()?,
+            duplicates_dropped: r.u64()?,
+            polls_lost: r.u64()?,
+            reclaimed_allocations: r.u64()?,
+            flaky_deferrals: r.u64()?,
+            leaked_allocations: r.u64()?,
+        };
+        // --- network runtime ------------------------------------------
+        let has_net = r.bool()?;
+        match (has_net, self.net.is_some()) {
+            (true, true) => {
+                let n = r.len(8)?;
+                let mut flows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.u64()?;
+                    let n_route = r.len(4)?;
+                    let mut route = Vec::with_capacity(n_route);
+                    for _ in 0..n_route {
+                        route.push(LinkId(r.u32()?));
+                    }
+                    flows.push(FlowState {
+                        id,
+                        route,
+                        size_gb: r.f64()?,
+                        remaining_gb: r.f64()?,
+                        rate_gbps: r.f64()?,
+                        gen: r.u64()?,
+                        latency: SimDuration::from_millis(r.u64()?),
+                        opened_at: SimTime::from_millis(r.u64()?),
+                    });
+                }
+                let next_flow = r.u64()?;
+                let n_busy = r.len(8)?;
+                let mut busy_s = Vec::with_capacity(n_busy);
+                for _ in 0..n_busy {
+                    busy_s.push(r.f64()?);
+                }
+                let last_update = SimTime::from_millis(r.u64()?);
+                let n_owners = r.len(8)?;
+                let mut owners = HashMap::with_capacity(n_owners);
+                for _ in 0..n_owners {
+                    let id = r.u64()?;
+                    let owner = TransferOwner {
+                        job: JobId(r.u32()?),
+                        gen: Generation::from_raw(r.u32()?),
+                        file: r.opt(|r| Ok(FileId(r.u64()?)))?,
+                        dest: ClusterId(r.u16()?),
+                    };
+                    if owners.insert(id, owner).is_some() {
+                        return Err(corrupt("duplicate transfer owner"));
+                    }
+                }
+                let n_staging = r.len(8)?;
+                let mut staging = HashMap::with_capacity(n_staging);
+                for _ in 0..n_staging {
+                    let job = r.u32()?;
+                    let state = StagingState {
+                        pending: r.u32()?,
+                        gen: Generation::from_raw(r.u32()?),
+                        since: SimTime::from_millis(r.u64()?),
+                    };
+                    if staging.insert(job, state).is_some() {
+                        return Err(corrupt("duplicate staging session"));
+                    }
+                }
+                let stats = NetStats {
+                    transfers_opened: r.u64()?,
+                    transfers_completed: r.u64()?,
+                    reconfig_transfers: r.u64()?,
+                    bytes_staged_gb: r.f64()?,
+                    link_busy_s: r.f64()?,
+                    link_span_s: r.f64()?,
+                };
+                let net = self.net.as_mut().expect("presence checked");
+                net.flows
+                    .restore_state(FlowNetState {
+                        flows,
+                        next_flow,
+                        busy_s,
+                        last_update,
+                    })
+                    .map_err(SnapshotError::Corrupt)?;
+                net.owners = owners;
+                net.staging = staging;
+                net.stats = stats;
+            }
+            (false, false) => {}
+            _ => return Err(corrupt("network-layer presence mismatch")),
+        }
+        // --- job slab runtime overlay ---------------------------------
+        let n = r.len(8)?;
+        if n != self.jobs.slots.len() {
+            return Err(corrupt("job count does not match the workload"));
+        }
+        for slot in 0..n {
+            let job = self.jobs.slots[slot]
+                .as_mut()
+                .expect("fixed slabs keep every slot");
+            dec_job_into(r, job)?;
+            self.jobs.phases[slot] = job.phase;
+            self.jobs.clusters[slot] = job.cluster;
+        }
+        let live = r.u64()? as usize;
+        let peak_live = r.u64()? as usize;
+        if live > n || peak_live > n {
+            return Err(corrupt("live-job counters exceed the workload"));
+        }
+        self.jobs.live = live;
+        self.jobs.peak_live = peak_live;
+        // --- streaming collector --------------------------------------
+        let cstate = dec_collector(r)?;
+        self.collect = Collector::Summary(crate::report::SummaryCollector::from_state(cstate));
+        Ok(engine)
+    }
+}
+
+fn enc_ev(w: &mut ByteWriter, ev: &Ev) {
+    match *ev {
+        Ev::Arrival(i) => {
+            w.u8(0);
+            w.u32(i);
+        }
+        Ev::ArrivalBatch { first, count } => {
+            w.u8(1);
+            w.u32(first);
+            w.u32(count);
+        }
+        Ev::QueueScan => w.u8(2),
+        Ev::KisPoll => w.u8(3),
+        Ev::StartHeld { job, gen } => {
+            w.u8(4);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::GrowHeld { job, gen } => {
+            w.u8(5);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::SyncDone { job, gen, grow } => {
+            w.u8(6);
+            w.u32(job.0);
+            w.u32(gen.raw());
+            w.bool(grow);
+        }
+        Ev::ShrinkReleased { job, gen, count } => {
+            w.u8(7);
+            w.u32(job.0);
+            w.u32(gen.raw());
+            w.u32(count);
+        }
+        Ev::Completion { job, gen } => {
+            w.u8(8);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::BgArrival { cluster } => {
+            w.u8(9);
+            w.u16(cluster.0);
+        }
+        Ev::BgComplete { cluster, alloc } => {
+            w.u8(10);
+            w.u16(cluster.0);
+            w.u64(alloc.0);
+        }
+        Ev::NodeWithdraw { cluster, count } => {
+            w.u8(11);
+            w.u16(cluster.0);
+            w.u32(count);
+        }
+        Ev::Claim { job, gen } => {
+            w.u8(12);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::AppGrowRequest { job, gen } => {
+            w.u8(13);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::NodeRestore { cluster, count } => {
+            w.u8(14);
+            w.u16(cluster.0);
+            w.u32(count);
+        }
+        Ev::MonitorSample => w.u8(15),
+        Ev::AutoscaleCycle => w.u8(16),
+        Ev::AutoscaleApply {
+            cluster,
+            grow,
+            count,
+        } => {
+            w.u8(17);
+            w.u16(cluster.0);
+            w.bool(grow);
+            w.u32(count);
+        }
+        Ev::NodeCrash {
+            cluster,
+            count,
+            repair_after,
+        } => {
+            w.u8(18);
+            w.u16(cluster.0);
+            w.u32(count);
+            w.u64(repair_after.as_millis());
+        }
+        Ev::CtrlTimeout {
+            job,
+            gen,
+            op,
+            attempt,
+        } => {
+            w.u8(19);
+            w.u32(job.0);
+            w.u32(gen.raw());
+            enc_ctrl_op(w, op);
+            w.u32(attempt);
+        }
+        Ev::OrphanSweep => w.u8(20),
+        Ev::TransferStart { job, gen } => {
+            w.u8(21);
+            w.u32(job.0);
+            w.u32(gen.raw());
+        }
+        Ev::TransferDone { transfer, gen } => {
+            w.u8(22);
+            w.u64(transfer);
+            w.u64(gen);
+        }
+    }
+}
+
+fn dec_ev(r: &mut ByteReader<'_>) -> Result<Ev, SnapshotError> {
+    fn jg(r: &mut ByteReader<'_>) -> Result<(JobId, Generation), SnapshotError> {
+        Ok((JobId(r.u32()?), Generation::from_raw(r.u32()?)))
+    }
+    Ok(match r.u8()? {
+        0 => Ev::Arrival(r.u32()?),
+        1 => Ev::ArrivalBatch {
+            first: r.u32()?,
+            count: r.u32()?,
+        },
+        2 => Ev::QueueScan,
+        3 => Ev::KisPoll,
+        4 => {
+            let (job, gen) = jg(r)?;
+            Ev::StartHeld { job, gen }
+        }
+        5 => {
+            let (job, gen) = jg(r)?;
+            Ev::GrowHeld { job, gen }
+        }
+        6 => {
+            let (job, gen) = jg(r)?;
+            Ev::SyncDone {
+                job,
+                gen,
+                grow: r.bool()?,
+            }
+        }
+        7 => {
+            let (job, gen) = jg(r)?;
+            Ev::ShrinkReleased {
+                job,
+                gen,
+                count: r.u32()?,
+            }
+        }
+        8 => {
+            let (job, gen) = jg(r)?;
+            Ev::Completion { job, gen }
+        }
+        9 => Ev::BgArrival {
+            cluster: ClusterId(r.u16()?),
+        },
+        10 => Ev::BgComplete {
+            cluster: ClusterId(r.u16()?),
+            alloc: AllocId(r.u64()?),
+        },
+        11 => Ev::NodeWithdraw {
+            cluster: ClusterId(r.u16()?),
+            count: r.u32()?,
+        },
+        12 => {
+            let (job, gen) = jg(r)?;
+            Ev::Claim { job, gen }
+        }
+        13 => {
+            let (job, gen) = jg(r)?;
+            Ev::AppGrowRequest { job, gen }
+        }
+        14 => Ev::NodeRestore {
+            cluster: ClusterId(r.u16()?),
+            count: r.u32()?,
+        },
+        15 => Ev::MonitorSample,
+        16 => Ev::AutoscaleCycle,
+        17 => Ev::AutoscaleApply {
+            cluster: ClusterId(r.u16()?),
+            grow: r.bool()?,
+            count: r.u32()?,
+        },
+        18 => Ev::NodeCrash {
+            cluster: ClusterId(r.u16()?),
+            count: r.u32()?,
+            repair_after: SimDuration::from_millis(r.u64()?),
+        },
+        19 => {
+            let (job, gen) = jg(r)?;
+            Ev::CtrlTimeout {
+                job,
+                gen,
+                op: dec_ctrl_op(r)?,
+                attempt: r.u32()?,
+            }
+        }
+        20 => Ev::OrphanSweep,
+        21 => {
+            let (job, gen) = jg(r)?;
+            Ev::TransferStart { job, gen }
+        }
+        22 => Ev::TransferDone {
+            transfer: r.u64()?,
+            gen: r.u64()?,
+        },
+        t => return Err(SnapshotError::Corrupt(format!("event tag {t}"))),
+    })
+}
+
+fn enc_ctrl_op(w: &mut ByteWriter, op: CtrlOp) {
+    match op {
+        CtrlOp::Start => w.u8(0),
+        CtrlOp::Grow => w.u8(1),
+        CtrlOp::RecruitSync => w.u8(2),
+        CtrlOp::ShrinkSync => w.u8(3),
+        CtrlOp::Release { count } => {
+            w.u8(4);
+            w.u32(count);
+        }
+    }
+}
+
+fn dec_ctrl_op(r: &mut ByteReader<'_>) -> Result<CtrlOp, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => CtrlOp::Start,
+        1 => CtrlOp::Grow,
+        2 => CtrlOp::RecruitSync,
+        3 => CtrlOp::ShrinkSync,
+        4 => CtrlOp::Release { count: r.u32()? },
+        t => return Err(SnapshotError::Corrupt(format!("ctrl-op tag {t}"))),
+    })
+}
+
+fn enc_cluster(w: &mut ByteWriter, s: &ClusterState) {
+    w.len(s.states.len());
+    for st in &s.states {
+        match st {
+            NodeState::Free => w.u8(0),
+            NodeState::Busy(a) => {
+                w.u8(1);
+                w.u64(a.0);
+            }
+            NodeState::Down => w.u8(2),
+        }
+    }
+    w.len(s.free.len());
+    for n in &s.free {
+        w.u32(n.0);
+    }
+    w.len(s.allocs.len());
+    for (id, owner, nodes) in &s.allocs {
+        w.u64(id.0);
+        match owner {
+            AllocOwner::Koala(j) => {
+                w.u8(0);
+                w.u64(*j);
+            }
+            AllocOwner::Local(j) => {
+                w.u8(1);
+                w.u64(*j);
+            }
+        }
+        w.len(nodes.len());
+        for n in nodes {
+            w.u32(n.0);
+        }
+    }
+    w.u64(s.next_alloc);
+    w.u32(s.down);
+}
+
+fn dec_cluster(r: &mut ByteReader<'_>) -> Result<ClusterState, SnapshotError> {
+    let n = r.len(1)?;
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        states.push(match r.u8()? {
+            0 => NodeState::Free,
+            1 => NodeState::Busy(AllocId(r.u64()?)),
+            2 => NodeState::Down,
+            t => return Err(SnapshotError::Corrupt(format!("node-state tag {t}"))),
+        });
+    }
+    let n = r.len(4)?;
+    let mut free = Vec::with_capacity(n);
+    for _ in 0..n {
+        free.push(NodeId(r.u32()?));
+    }
+    let n = r.len(8)?;
+    let mut allocs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = AllocId(r.u64()?);
+        let owner = match r.u8()? {
+            0 => AllocOwner::Koala(r.u64()?),
+            1 => AllocOwner::Local(r.u64()?),
+            t => return Err(SnapshotError::Corrupt(format!("alloc-owner tag {t}"))),
+        };
+        let n_nodes = r.len(4)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(NodeId(r.u32()?));
+        }
+        allocs.push((id, owner, nodes));
+    }
+    Ok(ClusterState {
+        states,
+        free,
+        allocs,
+        next_alloc: r.u64()?,
+        down: r.u32()?,
+    })
+}
+
+fn enc_lrm(w: &mut ByteWriter, s: &LrmState) {
+    w.len(s.queue.len());
+    for j in &s.queue {
+        w.u64(j.id.0);
+        w.u32(j.size);
+        w.u64(j.duration.as_millis());
+        w.u64(j.submitted.as_millis());
+    }
+    w.u64(s.next_local);
+    w.u64(s.completed_local);
+}
+
+fn dec_lrm(r: &mut ByteReader<'_>) -> Result<LrmState, SnapshotError> {
+    let n = r.len(28)?;
+    let mut queue = Vec::with_capacity(n);
+    for _ in 0..n {
+        queue.push(LocalJob {
+            id: LocalJobId(r.u64()?),
+            size: r.u32()?,
+            duration: SimDuration::from_millis(r.u64()?),
+            submitted: SimTime::from_millis(r.u64()?),
+        });
+    }
+    Ok(LrmState {
+        queue,
+        next_local: r.u64()?,
+        completed_local: r.u64()?,
+    })
+}
+
+fn enc_info_snapshot(w: &mut ByteWriter, s: &InfoSnapshot) {
+    w.u64(s.taken_at.as_millis());
+    for col in [&s.idle, &s.capacity, &s.used_by_koala, &s.used_by_local] {
+        w.len(col.len());
+        for &v in col {
+            w.u32(v);
+        }
+    }
+}
+
+fn dec_info_snapshot(
+    r: &mut ByteReader<'_>,
+    n_clusters: usize,
+) -> Result<InfoSnapshot, SnapshotError> {
+    let taken_at = SimTime::from_millis(r.u64()?);
+    let mut cols: [Vec<u32>; 4] = Default::default();
+    for col in &mut cols {
+        let n = r.len(4)?;
+        if n != n_clusters {
+            return Err(SnapshotError::Corrupt("info-snapshot width".into()));
+        }
+        col.reserve(n);
+        for _ in 0..n {
+            col.push(r.u32()?);
+        }
+    }
+    let [idle, capacity, used_by_koala, used_by_local] = cols;
+    Ok(InfoSnapshot {
+        taken_at,
+        idle,
+        capacity,
+        used_by_koala,
+        used_by_local,
+    })
+}
+
+fn enc_job(w: &mut ByteWriter, job: &Job) {
+    w.u8(match job.phase {
+        JobPhase::Queued => 0,
+        JobPhase::Staging => 1,
+        JobPhase::Starting => 2,
+        JobPhase::Running => 3,
+        JobPhase::Reconfiguring => 4,
+        JobPhase::Completed => 5,
+        JobPhase::Failed => 6,
+    });
+    w.opt(job.cluster.as_ref(), |w, c| w.u16(c.0));
+    w.opt(job.alloc.as_ref(), |w, a| w.u64(a.0));
+    w.len(job.extra_allocs.len());
+    for (c, a) in &job.extra_allocs {
+        w.u16(c.0);
+        w.u64(a.0);
+    }
+    w.opt(job.runner.as_ref(), |w, runner| {
+        let d = &runner.dynaco;
+        w.u32(d.min());
+        w.u32(d.max());
+        match d.constraint() {
+            SizeConstraint::Any => w.u8(0),
+            SizeConstraint::PowerOfTwo => w.u8(1),
+            SizeConstraint::MultipleOf(k) => {
+                w.u8(2);
+                w.u32(k);
+            }
+        }
+        w.u32(d.size());
+        match d.phase() {
+            DynacoPhase::Steady => w.u8(0),
+            DynacoPhase::Growing { target } => {
+                w.u8(1);
+                w.u32(target);
+            }
+            DynacoPhase::Shrinking { target } => {
+                w.u8(2);
+                w.u32(target);
+            }
+        }
+        w.u32(runner.held());
+        w.u32(runner.submitting());
+        w.u32(runner.releasing());
+    });
+    w.opt(job.progress.as_ref(), |w, p| {
+        w.f64(p.done());
+        w.u64(p.updated().as_millis());
+        w.u32(p.size());
+        w.bool(p.is_paused());
+        w.f64(p.work_scale());
+    });
+    w.u32(job.gen.raw());
+    w.opt(job.started.as_ref(), |w, t| w.u64(t.as_millis()));
+    w.bool(job.initiative_fired);
+    w.opt(job.pending_claim.as_ref(), |w, claim| {
+        w.len(claim.len());
+        for (c, n) in claim {
+            w.u16(c.0);
+            w.u32(*n);
+        }
+    });
+    w.opt(job.release_since.as_ref(), |w, t| w.u64(t.as_millis()));
+    w.opt(job.completion_handle.as_ref(), |w, h| {
+        w.u64(h.time().as_millis());
+        w.u64(h.seq());
+    });
+}
+
+/// Overwrites the mutable runtime fields of a freshly regenerated job
+/// from the encoded overlay (the spec, model and submission time come
+/// from the regenerated workload and are not in the blob).
+fn dec_job_into(r: &mut ByteReader<'_>, job: &mut Job) -> Result<(), SnapshotError> {
+    job.phase = match r.u8()? {
+        0 => JobPhase::Queued,
+        1 => JobPhase::Staging,
+        2 => JobPhase::Starting,
+        3 => JobPhase::Running,
+        4 => JobPhase::Reconfiguring,
+        5 => JobPhase::Completed,
+        6 => JobPhase::Failed,
+        t => return Err(SnapshotError::Corrupt(format!("job-phase tag {t}"))),
+    };
+    job.cluster = r.opt(|r| Ok(ClusterId(r.u16()?)))?;
+    job.alloc = r.opt(|r| Ok(AllocId(r.u64()?)))?;
+    let n = r.len(10)?;
+    job.extra_allocs = Vec::with_capacity(n);
+    for _ in 0..n {
+        job.extra_allocs
+            .push((ClusterId(r.u16()?), AllocId(r.u64()?)));
+    }
+    job.runner = r.opt(|r| {
+        let min = r.u32()?;
+        let max = r.u32()?;
+        let constraint = match r.u8()? {
+            0 => SizeConstraint::Any,
+            1 => SizeConstraint::PowerOfTwo,
+            2 => {
+                let k = r.u32()?;
+                if k == 0 {
+                    return Err(SnapshotError::Corrupt("zero size multiple".into()));
+                }
+                SizeConstraint::MultipleOf(k)
+            }
+            t => return Err(SnapshotError::Corrupt(format!("constraint tag {t}"))),
+        };
+        let size = r.u32()?;
+        let phase = match r.u8()? {
+            0 => DynacoPhase::Steady,
+            1 => DynacoPhase::Growing { target: r.u32()? },
+            2 => DynacoPhase::Shrinking { target: r.u32()? },
+            t => return Err(SnapshotError::Corrupt(format!("dynaco-phase tag {t}"))),
+        };
+        // Dynaco::from_parts panics on invalid parts; reject here so a
+        // corrupted blob stays a typed error.
+        if !(min >= 1 && min <= max && (min..=max).contains(&size) && constraint.allows(size)) {
+            return Err(SnapshotError::Corrupt("dynaco parts out of range".into()));
+        }
+        let dynaco = Dynaco::from_parts(min, max, constraint, size, phase);
+        let held = r.u32()?;
+        let submitting = r.u32()?;
+        let releasing = r.u32()?;
+        Ok(MRunner::from_parts(dynaco, held, submitting, releasing))
+    })?;
+    job.progress = r.opt(|r| {
+        let done = r.f64()?;
+        let updated = SimTime::from_millis(r.u64()?);
+        let size = r.u32()?;
+        let paused = r.bool()?;
+        let work_scale = r.f64()?;
+        // Progress::from_parts panics on invalid parts; pre-validate.
+        if !(size >= 1 && work_scale > 0.0 && (0.0..=1.0).contains(&done)) {
+            return Err(SnapshotError::Corrupt("progress parts out of range".into()));
+        }
+        Ok(Progress::from_parts(
+            done, updated, size, paused, work_scale,
+        ))
+    })?;
+    job.gen = Generation::from_raw(r.u32()?);
+    job.started = r.opt(|r| Ok(SimTime::from_millis(r.u64()?)))?;
+    job.initiative_fired = r.bool()?;
+    job.pending_claim = r.opt(|r| {
+        let n = r.len(6)?;
+        let mut claim = Vec::with_capacity(n);
+        for _ in 0..n {
+            claim.push((ClusterId(r.u16()?), r.u32()?));
+        }
+        Ok(claim)
+    })?;
+    job.release_since = r.opt(|r| Ok(SimTime::from_millis(r.u64()?)))?;
+    job.completion_handle = r.opt(|r| {
+        Ok(EventHandle::from_parts(
+            SimTime::from_millis(r.u64()?),
+            r.u64()?,
+        ))
+    })?;
+    Ok(())
+}
+
+fn enc_collector(w: &mut ByteWriter, s: &crate::report::SummaryCollectorState) {
+    w.u64(s.warmup.as_millis());
+    w.len(s.meters.len());
+    for m in &s.meters {
+        w.u64(m.submitted.as_millis());
+        w.opt(m.started.as_ref(), |w, t| w.u64(t.as_millis()));
+        w.f64(m.size);
+        w.u64(m.last_change.as_millis());
+        w.f64(m.size_integral);
+        w.f64(m.size_max);
+    }
+    w.u64(s.jobs_submitted);
+    w.u64(s.jobs_completed);
+    w.u64(s.jobs_failed);
+    w.u64(s.grow_ops);
+    w.u64(s.shrink_ops);
+    w.u64(s.scale_ups);
+    w.u64(s.scale_downs);
+    w.u64(s.jobs_killed);
+    w.u64(s.jobs_requeued);
+    w.len(s.streams.len());
+    for (stats, quant) in &s.streams {
+        w.u64(stats.count);
+        w.len(stats.partials.len());
+        for &p in &stats.partials {
+            w.f64(p);
+        }
+        w.f64(stats.w_mean);
+        w.f64(stats.m2);
+        w.f64(stats.min);
+        w.f64(stats.max);
+        w.u64(quant.seed);
+        w.u64(quant.capacity as u64);
+        w.u64(quant.pushed);
+        w.len(quant.entries.len());
+        for (pri, v) in &quant.entries {
+            w.u64(*pri);
+            w.f64(*v);
+        }
+    }
+    w.u64(s.last_t.as_millis());
+    w.f64(s.last_total);
+    w.f64(s.last_koala);
+    w.f64(s.util_integral);
+    w.f64(s.util_koala_integral);
+}
+
+fn dec_collector(
+    r: &mut ByteReader<'_>,
+) -> Result<crate::report::SummaryCollectorState, SnapshotError> {
+    use crate::report::{JobMeterState, SummaryCollectorState};
+    let warmup = SimTime::from_millis(r.u64()?);
+    let n = r.len(41)?;
+    let mut meters = Vec::with_capacity(n);
+    for _ in 0..n {
+        meters.push(JobMeterState {
+            submitted: SimTime::from_millis(r.u64()?),
+            started: r.opt(|r| Ok(SimTime::from_millis(r.u64()?)))?,
+            size: r.f64()?,
+            last_change: SimTime::from_millis(r.u64()?),
+            size_integral: r.f64()?,
+            size_max: r.f64()?,
+        });
+    }
+    let jobs_submitted = r.u64()?;
+    let jobs_completed = r.u64()?;
+    let jobs_failed = r.u64()?;
+    let grow_ops = r.u64()?;
+    let shrink_ops = r.u64()?;
+    let scale_ups = r.u64()?;
+    let scale_downs = r.u64()?;
+    let jobs_killed = r.u64()?;
+    let jobs_requeued = r.u64()?;
+    let n = r.len(64)?;
+    if n != 10 {
+        return Err(SnapshotError::Corrupt("summary stream count".into()));
+    }
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = r.u64()?;
+        let n_part = r.len(8)?;
+        let mut partials = Vec::with_capacity(n_part);
+        for _ in 0..n_part {
+            partials.push(r.f64()?);
+        }
+        let stats = koala_metrics::StreamStatsState {
+            count,
+            partials,
+            w_mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        };
+        let seed = r.u64()?;
+        let capacity = r.u64()? as usize;
+        let pushed = r.u64()?;
+        let n_ent = r.len(16)?;
+        if n_ent > capacity {
+            return Err(SnapshotError::Corrupt("reservoir over capacity".into()));
+        }
+        let mut entries = Vec::with_capacity(n_ent);
+        for _ in 0..n_ent {
+            entries.push((r.u64()?, r.f64()?));
+        }
+        streams.push((
+            stats,
+            koala_metrics::StreamQuantilesState {
+                seed,
+                capacity,
+                pushed,
+                entries,
+            },
+        ));
+    }
+    Ok(SummaryCollectorState {
+        warmup,
+        meters,
+        jobs_submitted,
+        jobs_completed,
+        jobs_failed,
+        grow_ops,
+        shrink_ops,
+        scale_ups,
+        scale_downs,
+        jobs_killed,
+        jobs_requeued,
+        streams,
+        last_t: SimTime::from_millis(r.u64()?),
+        last_total: r.f64()?,
+        last_koala: r.f64()?,
+        util_integral: r.f64()?,
+        util_koala_integral: r.f64()?,
+    })
+}
+
 /// The multicluster substrate a configuration runs on: a uniform
 /// synthetic topology when requested, else the (possibly heterogeneous)
 /// DAS-3 preset.
@@ -3266,7 +4640,7 @@ fn topology_for(cfg: &ExperimentConfig) -> Multicluster {
 /// queue pre-sized from the workload (the bootstrap schedules one arrival
 /// per job up front, so the pending-event peak is at least the job
 /// count — sizing here avoids the heap growing incrementally mid-run).
-pub(crate) fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
+pub fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
     let jobs = cfg
         .trace
         .as_ref()
@@ -3278,6 +4652,50 @@ pub(crate) fn engine_for(cfg: &ExperimentConfig) -> Engine<Ev> {
         cfg.horizon.map(|h| SimTime::ZERO + h),
         cap,
     )
+}
+
+/// Runs the warmup prefix of `cfg` under an explicit `seed` — bootstrap
+/// plus every event strictly before `at` — and captures the resulting
+/// [`Snapshot`]. The boundary event itself is left in the queue, so
+/// every [`World::restore`]d or [`World::fork_with`]ed continuation
+/// replays it identically.
+///
+/// This is the warm half of a warm-forked sweep: run it once per
+/// `(workload, seed)` group, then [`fork_summary`] once per policy cell.
+pub fn warm_snapshot_seeded(
+    cfg: &ExperimentConfig,
+    seed: u64,
+    at: SimTime,
+) -> Result<Snapshot, SnapshotError> {
+    cfg.validate()
+        .map_err(|e| SnapshotError::UnsupportedMode(format!("invalid configuration: {e}")))?;
+    let mut engine = engine_for(cfg);
+    let mut world = World::for_seed_summarized(cfg, seed);
+    world.bootstrap(&mut engine);
+    world.run_until(&mut engine, at);
+    world.snapshot(&engine)
+}
+
+/// Restores `snap` under the **same** configuration it was captured
+/// with and runs the tail to its [`SummaryReport`] — bit-identical to
+/// the uninterrupted run.
+pub fn resume_summary(
+    cfg: &ExperimentConfig,
+    snap: &Snapshot,
+) -> Result<SummaryReport, SnapshotError> {
+    let (world, mut engine) = World::restore(cfg, snap)?;
+    Ok(world.resume_to_summary(&mut engine))
+}
+
+/// Forks `snap` into the (possibly different) policy cell `cfg` and
+/// runs the tail to its [`SummaryReport`] — bit-identical to a cold run
+/// of `cfg` under the snapshot's seed.
+pub fn fork_summary(
+    cfg: &ExperimentConfig,
+    snap: &Snapshot,
+) -> Result<SummaryReport, SnapshotError> {
+    let (world, mut engine) = World::fork_with(cfg, snap)?;
+    Ok(world.resume_to_summary(&mut engine))
 }
 
 /// Runs one experiment configuration to completion.
@@ -3315,7 +4733,20 @@ pub fn try_run_experiment_seeded(
 ) -> Result<RunReport, ConfigError> {
     cfg.validate()?;
     let mut engine = engine_for(cfg);
-    Ok(World::for_seed(cfg, seed).run_to_completion(&mut engine))
+    let mut world = World::for_seed(cfg, seed);
+    if let Some(wf) = &cfg.warm_fork {
+        world
+            .use_policies(&wf.base_placement, &wf.base_malleability)
+            .expect("validate() resolved the base policies");
+        world.bootstrap(&mut engine);
+        world.run_until(&mut engine, SimTime::ZERO + wf.at);
+        world
+            .use_policies(&cfg.sched.placement, &cfg.sched.malleability)
+            .expect("validate() resolved the cell policies");
+        Ok(world.resume_to_completion(&mut engine))
+    } else {
+        Ok(world.run_to_completion(&mut engine))
+    }
 }
 
 /// Runs the same configuration across several seeds in parallel on the
@@ -3361,7 +4792,25 @@ pub fn try_run_experiment_summary_seeded(
 ) -> Result<SummaryReport, ConfigError> {
     cfg.validate()?;
     let mut engine = engine_for(cfg);
-    Ok(World::for_seed_summarized(cfg, seed).run_to_summary(&mut engine))
+    let mut world = World::for_seed_summarized(cfg, seed);
+    if let Some(wf) = &cfg.warm_fork {
+        // A warm-forked cell means: run the *base* policy pair over the
+        // shared prefix [0, at), then this cell's own pair for the
+        // tail. This cold arm switches policies in place; the warm arm
+        // ([`crate::parallel::run_cells_summary_warm`]) restores a
+        // shared snapshot instead, and must be bit-identical.
+        world
+            .use_policies(&wf.base_placement, &wf.base_malleability)
+            .expect("validate() resolved the base policies");
+        world.bootstrap(&mut engine);
+        world.run_until(&mut engine, SimTime::ZERO + wf.at);
+        world
+            .use_policies(&cfg.sched.placement, &cfg.sched.malleability)
+            .expect("validate() resolved the cell policies");
+        Ok(world.resume_to_summary(&mut engine))
+    } else {
+        Ok(world.run_to_summary(&mut engine))
+    }
 }
 
 /// Summarized counterpart of [`run_seeds`]: one memory-bounded run per

@@ -46,6 +46,7 @@ fn legacy_paper_cell(policy: &str, approach: Approach, workload: WorkloadSpec) -
         report: koala::config::ReportConfig::default(),
         elasticity: koala::config::ElasticityConfig::default(),
         network: None,
+        warm_fork: None,
     }
 }
 

@@ -44,5 +44,8 @@ pub use counter::CumulativeCounter;
 pub use ecdf::Ecdf;
 pub use jobs::{JobOutcome, JobRecord, JobTable};
 pub use series::StepSeries;
-pub use stream::{mean_ci95, MeanCi, MetricStream, StreamQuantiles, StreamStats};
+pub use stream::{
+    mean_ci95, MeanCi, MetricStream, StreamQuantiles, StreamQuantilesState, StreamStats,
+    StreamStatsState,
+};
 pub use summary::Summary;

@@ -251,6 +251,51 @@ impl StreamStats {
         let n = self.count as f64;
         Some(t_critical_975(self.count - 1) * (s2 / n).sqrt())
     }
+
+    /// The accumulator's complete internal state, for checkpointing.
+    pub fn state(&self) -> StreamStatsState {
+        StreamStatsState {
+            count: self.count,
+            partials: self.partials.clone(),
+            w_mean: self.w_mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Reconstructs an accumulator from a captured [`StreamStats::state`].
+    pub fn from_state(s: StreamStatsState) -> Self {
+        StreamStats {
+            count: s.count,
+            partials: s.partials,
+            w_mean: s.w_mean,
+            m2: s.m2,
+            min: s.min,
+            max: s.max,
+        }
+    }
+}
+
+/// The raw internals of a [`StreamStats`], exposed for checkpointing.
+///
+/// The Shewchuk partials list is part of the state: it is what makes the
+/// mean bit-identical under any merge order, so a restore must carry the
+/// exact list, not a re-rounded sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStatsState {
+    /// Number of samples.
+    pub count: u64,
+    /// Non-overlapping partials of the exact sample sum.
+    pub partials: Vec<f64>,
+    /// Welford running mean.
+    pub w_mean: f64,
+    /// Welford sum of squared deviations.
+    pub m2: f64,
+    /// Smallest sample (`+∞` when empty).
+    pub min: f64,
+    /// Largest sample (`−∞` when empty).
+    pub max: f64,
 }
 
 // ---------------------------------------------------------------------
@@ -401,6 +446,48 @@ impl StreamQuantiles {
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
+
+    /// The reservoir's complete internal state, for checkpointing.
+    pub fn state(&self) -> StreamQuantilesState {
+        StreamQuantilesState {
+            seed: self.seed,
+            capacity: self.capacity,
+            pushed: self.pushed,
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Reconstructs a reservoir from a captured
+    /// [`StreamQuantiles::state`].
+    ///
+    /// # Panics
+    /// Panics on zero capacity, like [`StreamQuantiles::new`].
+    pub fn from_state(s: StreamQuantilesState) -> Self {
+        assert!(s.capacity > 0, "reservoir capacity must be positive");
+        StreamQuantiles {
+            seed: s.seed,
+            capacity: s.capacity,
+            pushed: s.pushed,
+            entries: s.entries,
+        }
+    }
+}
+
+/// The raw internals of a [`StreamQuantiles`], exposed for checkpointing.
+///
+/// `pushed` indexes the priority-hash stream, so restoring it exactly is
+/// what makes post-restore pushes draw the same priorities the
+/// uninterrupted accumulator would have drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamQuantilesState {
+    /// The priority-stream seed.
+    pub seed: u64,
+    /// Reservoir capacity bound.
+    pub capacity: usize,
+    /// Samples fed in so far (the priority-stream position).
+    pub pushed: u64,
+    /// Retained `(priority, value)` pairs, sorted ascending.
+    pub entries: Vec<(u64, f64)>,
 }
 
 // ---------------------------------------------------------------------
@@ -690,6 +777,28 @@ mod tests {
         m.merge(&other);
         assert_eq!(m.count(), 4);
         assert_eq!(m.mean(), Some(25.0));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_both_accumulators() {
+        let mut m = MetricStream::new(0x5EED, 8);
+        for i in 0..40 {
+            m.push(i as f64 * 1.75 - 3.0);
+        }
+        let mut r = MetricStream {
+            stats: StreamStats::from_state(m.stats.state()),
+            quantiles: StreamQuantiles::from_state(m.quantiles.state()),
+        };
+        assert_eq!(m, r);
+        // Post-restore pushes draw the same priority stream, so the two
+        // stay bit-identical — including the retained reservoir set.
+        for i in 40..200 {
+            let x = (i as f64).sin() * 50.0;
+            m.push(x);
+            r.push(x);
+        }
+        assert_eq!(m, r);
+        assert_eq!(m.mean().unwrap().to_bits(), r.mean().unwrap().to_bits());
     }
 
     #[test]

@@ -132,6 +132,30 @@ pub struct CrashVictim {
     pub destroyed: bool,
 }
 
+/// A full capture of a [`Cluster`]'s dynamic state, for checkpointing.
+///
+/// Ordering matters throughout: the free list is a *stack* (its order
+/// decides which node ids the next allocation receives) and each
+/// allocation's node list is append-ordered (shrinks pop from the back),
+/// so a faithful restore reinstates both sequences verbatim — a restored
+/// cluster then hands out exactly the node ids the captured one would
+/// have. The static [`ClusterSpec`] is not part of the state; restore
+/// targets a cluster freshly built from the same spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterState {
+    /// Per-node state, indexed by node id.
+    pub states: Vec<NodeState>,
+    /// The free stack, bottom-to-top.
+    pub free: Vec<NodeId>,
+    /// Live allocations in id order: `(id, owner, nodes)` with the node
+    /// list in append order.
+    pub allocs: Vec<(AllocId, AllocOwner, Vec<NodeId>)>,
+    /// The id the next allocation will receive.
+    pub next_alloc: u64,
+    /// Number of withdrawn/crashed nodes.
+    pub down: u32,
+}
+
 /// A cluster: nodes, free list, and live allocations.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -391,6 +415,63 @@ impl Cluster {
         restored
     }
 
+    /// Captures the cluster's dynamic state (see [`ClusterState`] for
+    /// the ordering guarantees). The cluster is untouched.
+    pub fn capture_state(&self) -> ClusterState {
+        ClusterState {
+            states: self.states.clone(),
+            free: self.free.clone(),
+            allocs: self
+                .allocs
+                .iter()
+                .map(|(&id, a)| (id, a.owner, a.nodes.clone()))
+                .collect(),
+            next_alloc: self.next_alloc,
+            down: self.down,
+        }
+    }
+
+    /// Overwrites this cluster's dynamic state with a captured one and
+    /// re-checks every structural invariant. The cluster must have been
+    /// built from the same spec the capture came from; a mismatched or
+    /// corrupt state is reported as `Err` with the violated invariant
+    /// (the cluster is then in the restored-but-invalid state and must
+    /// be discarded).
+    pub fn restore_state(&mut self, state: ClusterState) -> Result<(), String> {
+        if state.states.len() != self.spec.nodes as usize {
+            return Err(format!(
+                "state covers {} nodes but the spec has {}",
+                state.states.len(),
+                self.spec.nodes
+            ));
+        }
+        let in_range = |n: &NodeId| (n.0 as usize) < state.states.len();
+        if let Some(n) = state.free.iter().find(|n| !in_range(n)) {
+            return Err(format!("free-list {n:?} outside the node range"));
+        }
+        if let Some(n) = state
+            .allocs
+            .iter()
+            .flat_map(|(_, _, nodes)| nodes.iter())
+            .find(|n| !in_range(n))
+        {
+            return Err(format!("allocated {n:?} outside the node range"));
+        }
+        self.states = state.states;
+        self.free = state.free;
+        self.allocs = state
+            .allocs
+            .into_iter()
+            .map(|(id, owner, nodes)| (id, Allocation { owner, nodes }))
+            .collect();
+        self.next_alloc = state.next_alloc;
+        self.down = state.down;
+        if self.allocs.keys().any(|id| id.0 >= self.next_alloc) {
+            return Err("live allocation id at or past next_alloc".into());
+        }
+        self.check_invariants()
+    }
+
     /// Internal consistency check: every node appears in exactly one of
     /// {free list, some allocation, down}; counters agree. Used by tests
     /// and debug assertions in the scheduler.
@@ -597,6 +678,38 @@ mod tests {
         c.release(a).unwrap();
         assert_eq!(c.release(a), Err(AllocError::UnknownAlloc(a)));
         assert_eq!(c.grow(a, 1), Err(AllocError::UnknownAlloc(a)));
+    }
+
+    #[test]
+    fn capture_restore_preserves_handout_order() {
+        let mut c = cluster(12);
+        let a = c.allocate(AllocOwner::Koala(1), 3).unwrap();
+        let b = c.allocate(AllocOwner::Local(9), 2).unwrap();
+        c.shrink(a, 1).unwrap();
+        c.release(b).unwrap();
+        c.withdraw_free(2);
+        let state = c.capture_state();
+        let mut r = cluster(12);
+        r.restore_state(state.clone()).unwrap();
+        assert_eq!(r.capture_state(), state, "restore is a fixed point");
+        // The restored cluster hands out exactly the same node ids and
+        // allocation handles the original would.
+        let na = c.allocate(AllocOwner::Koala(2), 4).unwrap();
+        let nb = r.allocate(AllocOwner::Koala(2), 4).unwrap();
+        assert_eq!(na, nb);
+        assert_eq!(c.capture_state(), r.capture_state());
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_and_corrupt_state() {
+        let c = cluster(8);
+        let mut wrong_size = cluster(10);
+        assert!(wrong_size.restore_state(c.capture_state()).is_err());
+        let mut corrupt = c.capture_state();
+        corrupt.free.push(NodeId(0)); // node 0 now appears twice
+        let mut target = cluster(8);
+        assert!(target.restore_state(corrupt).is_err());
     }
 
     #[test]

@@ -125,6 +125,34 @@ impl FailureStream {
         let u = self.rng.f64_open0();
         SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
     }
+
+    /// Captures the stream's dynamic state (RNG position and clock), for
+    /// checkpointing. The spec and cluster count are configuration and
+    /// are supplied again on restore.
+    pub fn capture_state(&self) -> FailureStreamState {
+        FailureStreamState {
+            rng: self.rng.state(),
+            clock: self.clock,
+        }
+    }
+
+    /// Overwrites the stream's RNG position and clock with a captured
+    /// state; subsequent [`FailureStream::next_event`] draws continue the
+    /// original sequence exactly.
+    pub fn restore_state(&mut self, state: FailureStreamState) {
+        self.rng = SimRng::from_state(state.rng);
+        self.clock = state.clock;
+    }
+}
+
+/// A full capture of a [`FailureStream`]'s dynamic state (the spec and
+/// cluster count are configuration, not state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureStreamState {
+    /// The xoshiro256++ word state of the stream's RNG.
+    pub rng: [u64; 4],
+    /// Absolute time of the last emitted crash (zero if none yet).
+    pub clock: SimTime,
 }
 
 #[cfg(test)]
@@ -145,6 +173,20 @@ mod tests {
         let mut c = FailureStream::new(spec(), 5, SimRng::seed_from_u64(43));
         let differs = (0..64).any(|_| a.next_event() != c.next_event());
         assert!(differs, "different seeds should diverge");
+    }
+
+    #[test]
+    fn capture_restore_resumes_the_stream_exactly() {
+        let mut a = FailureStream::new(spec(), 5, SimRng::seed_from_u64(9));
+        for _ in 0..17 {
+            a.next_event();
+        }
+        let state = a.capture_state();
+        let mut b = FailureStream::new(spec(), 5, SimRng::seed_from_u64(1234));
+        b.restore_state(state);
+        for _ in 0..64 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
     }
 
     #[test]

@@ -281,6 +281,46 @@ impl FileCatalog {
             Ok(acc + self.try_transfer_time(f, dest)?)
         })
     }
+
+    /// Captures the catalog's dynamic state (registered files in id order
+    /// plus the id counter), for checkpointing. The bandwidth matrix is
+    /// derived from configuration and is rebuilt on restore.
+    pub fn capture_state(&self) -> FileCatalogState {
+        FileCatalogState {
+            files: self
+                .files
+                .iter()
+                .map(|(id, meta)| (*id, meta.clone()))
+                .collect(),
+            next_file: self.next_file,
+        }
+    }
+
+    /// Overwrites the catalog's file table with a captured one (the
+    /// bandwidth matrix is left untouched). Fails when a file id is not
+    /// below the id counter, which would let a future registration
+    /// collide with a restored file.
+    pub fn restore_state(&mut self, state: FileCatalogState) -> Result<(), String> {
+        if let Some((id, _)) = state.files.iter().find(|(id, _)| id.0 >= state.next_file) {
+            return Err(format!(
+                "file id {} not below next_file {}",
+                id.0, state.next_file
+            ));
+        }
+        self.files = state.files.into_iter().collect();
+        self.next_file = state.next_file;
+        Ok(())
+    }
+}
+
+/// A full capture of a [`FileCatalog`]'s dynamic state (the bandwidth
+/// matrix is configuration-derived, not state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileCatalogState {
+    /// Registered files with their metadata, in ascending id order.
+    pub files: Vec<(FileId, FileMeta)>,
+    /// The next file id to hand out.
+    pub next_file: u64,
 }
 
 #[cfg(test)]
@@ -423,6 +463,25 @@ mod tests {
             cat.try_staging_time(&[marooned], ClusterId(0)),
             Ok(SimDuration::ZERO)
         );
+    }
+
+    #[test]
+    fn capture_restore_round_trips_and_rejects_colliding_ids() {
+        let mut cat = FileCatalog::uniform(3, 10.0).unwrap();
+        cat.register(1.0, [ClusterId(0)]);
+        let f = cat.register(2.0, [ClusterId(1), ClusterId(2)]);
+        let state = cat.capture_state();
+        let mut fresh = FileCatalog::uniform(3, 10.0).unwrap();
+        fresh.restore_state(state.clone()).unwrap();
+        assert_eq!(fresh.capture_state(), state);
+        assert_eq!(fresh.meta(f), cat.meta(f));
+        // The next registration must not collide with a restored id.
+        let g = fresh.register(3.0, [ClusterId(0)]);
+        assert!(g.0 >= state.next_file);
+
+        let mut bad = state.clone();
+        bad.next_file = 1; // f has id 1 → collision
+        assert!(fresh.restore_state(bad).is_err());
     }
 
     #[test]

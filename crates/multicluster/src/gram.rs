@@ -408,6 +408,80 @@ impl ControlPlaneFaults {
             dup_jitter,
         }
     }
+
+    /// Captures the model's dynamic state, for checkpointing. The spec is
+    /// configuration and is supplied again on restore; `hash_seed` *is*
+    /// state (it was drawn from the construction-time RNG fork, which no
+    /// longer exists after a restore).
+    pub fn capture_state(&self) -> ControlPlaneFaultsState {
+        ControlPlaneFaultsState {
+            hash_seed: self.hash_seed,
+            seq: self.seq,
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| FlakyChannelState {
+                    rng: ch.rng.state(),
+                    start: ch.start,
+                    end: ch.end,
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrites the model's dynamic state with a captured one.
+    /// Subsequent outcomes and flaky-episode draws continue the original
+    /// streams exactly. Fails if the channel count disagrees with the
+    /// spec's (flaky specs own one channel per cluster; flaky-free specs
+    /// own none).
+    pub fn restore_state(&mut self, state: ControlPlaneFaultsState) -> Result<(), String> {
+        let expect = if self.spec.flaky.is_some() {
+            self.channels.len()
+        } else {
+            0
+        };
+        if state.channels.len() != expect {
+            return Err(format!(
+                "flaky channel count mismatch: state has {}, spec wants {expect}",
+                state.channels.len()
+            ));
+        }
+        self.hash_seed = state.hash_seed;
+        self.seq = state.seq;
+        self.channels = state
+            .channels
+            .into_iter()
+            .map(|ch| FlakyChannel {
+                rng: SimRng::from_state(ch.rng),
+                start: ch.start,
+                end: ch.end,
+            })
+            .collect();
+        Ok(())
+    }
+}
+
+/// One captured flaky-channel episode stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlakyChannelState {
+    /// The xoshiro256++ word state of the channel's RNG.
+    pub rng: [u64; 4],
+    /// Start of the current (or next) episode window.
+    pub start: SimTime,
+    /// End of the current (or next) episode window.
+    pub end: SimTime,
+}
+
+/// A full capture of a [`ControlPlaneFaults`] model's dynamic state (the
+/// spec is configuration, not state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlPlaneFaultsState {
+    /// The per-message hash seed drawn at construction.
+    pub hash_seed: u64,
+    /// Per-class fault-sequence counters, in [`MessageClass::ALL`] order.
+    pub seq: [u64; 6],
+    /// Per-cluster flaky-channel streams (empty without a flaky spec).
+    pub channels: Vec<FlakyChannelState>,
 }
 
 #[cfg(test)]
@@ -525,6 +599,44 @@ mod tests {
             let got = b.outcome(MessageClass::Submit, None, t);
             assert_eq!(want, got, "interleaving other classes perturbed Submit");
         }
+    }
+
+    #[test]
+    fn capture_restore_resumes_fault_streams_exactly() {
+        let mut a = ControlPlaneFaults::new(lossy_spec(), 4, SimRng::seed_from_u64(21));
+        let mut now = SimTime::ZERO;
+        for i in 0..37u64 {
+            now += SimDuration::from_secs(45);
+            let class = MessageClass::ALL[(i % 6) as usize];
+            a.outcome(class, Some(ClusterId((i % 4) as u16)), now);
+        }
+        let state = a.capture_state();
+        // A differently seeded model inherits the captured state and must
+        // continue a's streams exactly (hash_seed travels with the state).
+        let mut b = ControlPlaneFaults::new(lossy_spec(), 4, SimRng::seed_from_u64(9999));
+        b.restore_state(state).expect("matching channel count");
+        for i in 0..256u64 {
+            now += SimDuration::from_secs(45);
+            let class = MessageClass::ALL[(i % 6) as usize];
+            let cluster = Some(ClusterId((i % 4) as u16));
+            assert_eq!(
+                a.outcome(class, cluster, now),
+                b.outcome(class, cluster, now)
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_channel_count_mismatch() {
+        let a = ControlPlaneFaults::new(lossy_spec(), 4, SimRng::seed_from_u64(21));
+        let mut wrong = ControlPlaneFaults::new(lossy_spec(), 2, SimRng::seed_from_u64(21));
+        assert!(wrong.restore_state(a.capture_state()).is_err());
+        let mut flakeless = ControlPlaneFaults::new(
+            ControlPlaneFaultSpec::uniform(0.1),
+            4,
+            SimRng::seed_from_u64(21),
+        );
+        assert!(flakeless.restore_state(a.capture_state()).is_err());
     }
 
     #[test]

@@ -174,6 +174,25 @@ impl InfoService {
             .map(|s| now.saturating_since(s.taken_at))
     }
 
+    /// Captures the service's dynamic state — the visible snapshot, the
+    /// in-flight queue (oldest first) and the poll counter — for
+    /// checkpointing. The lag is configuration, not state.
+    pub fn capture_state(&self) -> InfoState {
+        InfoState {
+            visible: self.visible.clone(),
+            in_flight: self.in_flight.iter().cloned().collect(),
+            polls: self.polls,
+        }
+    }
+
+    /// Overwrites the service's dynamic state with a captured one (the
+    /// lag keeps its configured value).
+    pub fn restore_state(&mut self, state: InfoState) {
+        self.visible = state.visible;
+        self.in_flight = state.in_flight.into();
+        self.polls = state.polls;
+    }
+
     /// Age of the currently visible snapshot at `now`, with a view that
     /// has never been refreshed reported as [`SimDuration::MAX`]
     /// ("maximally stale") — never as fresh. Placement code must refuse
@@ -183,6 +202,18 @@ impl InfoService {
     pub fn staleness_or_max(&self, now: SimTime) -> simcore::SimDuration {
         self.staleness(now).unwrap_or(simcore::SimDuration::MAX)
     }
+}
+
+/// A full capture of an [`InfoService`]'s dynamic state (minus the
+/// configured lag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoState {
+    /// The snapshot the scheduler currently sees, if any.
+    pub visible: Option<InfoSnapshot>,
+    /// Recorded-but-immature snapshots, oldest first.
+    pub in_flight: Vec<InfoSnapshot>,
+    /// Polls performed so far.
+    pub polls: u64,
 }
 
 #[cfg(test)]

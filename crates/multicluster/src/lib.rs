@@ -54,18 +54,20 @@ mod network;
 mod topology;
 
 pub use background::{BackgroundLoad, BackgroundSample};
-pub use cluster::{AllocError, AllocOwner, Cluster, ClusterSpec, CrashVictim, NodeState};
-pub use failure::{FailureEvent, FailurePolicy, FailureSpec, FailureStream};
-pub use files::{CatalogError, FileCatalog, FileId, FileMeta};
+pub use cluster::{
+    AllocError, AllocOwner, Cluster, ClusterSpec, ClusterState, CrashVictim, NodeState,
+};
+pub use failure::{FailureEvent, FailurePolicy, FailureSpec, FailureStream, FailureStreamState};
+pub use files::{CatalogError, FileCatalog, FileCatalogState, FileId, FileMeta};
 pub use gram::{
-    ClassLoss, ControlPlaneFaultSpec, ControlPlaneFaults, FlakyChannelSpec, GramConfig,
-    MessageClass, MessageOutcome,
+    ClassLoss, ControlPlaneFaultSpec, ControlPlaneFaults, ControlPlaneFaultsState,
+    FlakyChannelSpec, FlakyChannelState, GramConfig, MessageClass, MessageOutcome,
 };
 pub use ids::{AllocId, ClusterId, NodeId};
-pub use info::{InfoService, InfoSnapshot};
-pub use lrm::{LocalJob, LocalJobId, Lrm, SubmitOutcome};
+pub use info::{InfoService, InfoSnapshot, InfoState};
+pub use lrm::{LocalJob, LocalJobId, Lrm, LrmState, SubmitOutcome};
 pub use network::{
-    global_topologies, FlowDone, FlowNet, FlowSchedule, Link, LinkId, NetworkError,
-    NetworkTopology, TopologyCtor, TopologyRegistry,
+    global_topologies, FlowDone, FlowNet, FlowNetState, FlowSchedule, FlowState, Link, LinkId,
+    NetworkError, NetworkTopology, TopologyCtor, TopologyRegistry,
 };
 pub use topology::{das3, das3_heterogeneous, uniform, Interconnect, Multicluster, DAS3_DELFT};

@@ -149,6 +149,37 @@ impl Lrm {
             .release(alloc)
             .expect("completion of live local job")
     }
+
+    /// Captures the LRM's dynamic state (queue in FIFO order plus the
+    /// id and completion counters), for checkpointing. The wrapped
+    /// cluster captures separately via [`Cluster::capture_state`].
+    pub fn capture_state(&self) -> LrmState {
+        LrmState {
+            queue: self.queue.iter().copied().collect(),
+            next_local: self.next_local,
+            completed_local: self.completed_local,
+        }
+    }
+
+    /// Overwrites the LRM's dynamic state with a captured one (the
+    /// wrapped cluster restores separately).
+    pub fn restore_state(&mut self, state: LrmState) {
+        self.queue = state.queue.into();
+        self.next_local = state.next_local;
+        self.completed_local = state.completed_local;
+    }
+}
+
+/// A full capture of an [`Lrm`]'s dynamic state (minus the wrapped
+/// cluster, which has its own [`crate::ClusterState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrmState {
+    /// Queued local jobs in FIFO order.
+    pub queue: Vec<LocalJob>,
+    /// The next LRM-local job id.
+    pub next_local: u64,
+    /// Completed local jobs so far.
+    pub completed_local: u64,
 }
 
 #[cfg(test)]

@@ -817,6 +817,125 @@ impl FlowNet {
     pub fn link_count(&self) -> usize {
         self.topo.links().len()
     }
+
+    /// Captures the runtime's dynamic state (open flows in id order,
+    /// per-link busy time, clocks and counters), for checkpointing. The
+    /// topology is configuration and travels separately; per-link flow
+    /// counts are derivable from the flows and are rebuilt on restore.
+    pub fn capture_state(&self) -> FlowNetState {
+        FlowNetState {
+            flows: self
+                .flows
+                .iter()
+                .map(|(&id, f)| FlowState {
+                    id,
+                    route: f.route.clone(),
+                    size_gb: f.size_gb,
+                    remaining_gb: f.remaining_gb,
+                    rate_gbps: f.rate_gbps,
+                    gen: f.gen,
+                    latency: f.latency,
+                    opened_at: f.opened_at,
+                })
+                .collect(),
+            next_flow: self.next_flow,
+            busy_s: self.busy_s.clone(),
+            last_update: self.last_update,
+        }
+    }
+
+    /// Overwrites the runtime's dynamic state with a captured one; fair
+    /// shares and link loads are recomputed from the restored flow set,
+    /// so subsequent opens/completions continue exactly. Fails when a
+    /// flow id or link index is out of range for this topology, or the
+    /// busy-time vector has the wrong length.
+    pub fn restore_state(&mut self, state: FlowNetState) -> Result<(), String> {
+        let nl = self.topo.links().len();
+        if state.busy_s.len() != nl {
+            return Err(format!(
+                "busy_s has {} entries, topology has {nl} links",
+                state.busy_s.len()
+            ));
+        }
+        for f in &state.flows {
+            if f.id >= state.next_flow {
+                return Err(format!(
+                    "flow id {} not below next_flow {}",
+                    f.id, state.next_flow
+                ));
+            }
+            if f.route.is_empty() {
+                return Err(format!("flow {} has an empty route", f.id));
+            }
+            if let Some(l) = f.route.iter().find(|l| l.index() >= nl) {
+                return Err(format!("flow {} crosses unknown link {:?}", f.id, l));
+            }
+        }
+        self.flows = state
+            .flows
+            .into_iter()
+            .map(|f| {
+                (
+                    f.id,
+                    Flow {
+                        route: f.route,
+                        size_gb: f.size_gb,
+                        remaining_gb: f.remaining_gb,
+                        rate_gbps: f.rate_gbps,
+                        gen: f.gen,
+                        latency: f.latency,
+                        opened_at: f.opened_at,
+                    },
+                )
+            })
+            .collect();
+        self.next_flow = state.next_flow;
+        self.busy_s = state.busy_s;
+        self.last_update = state.last_update;
+        self.link_load = vec![0; nl];
+        for f in self.flows.values() {
+            for l in &f.route {
+                self.link_load[l.index()] += 1;
+            }
+        }
+        self.recompute();
+        Ok(())
+    }
+}
+
+/// One captured open flow (see [`FlowNetState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// Flow id.
+    pub id: u64,
+    /// Links the flow crosses.
+    pub route: Vec<LinkId>,
+    /// Total transfer size in gigabytes.
+    pub size_gb: f64,
+    /// Gigabytes still to drain (as of `last_update`).
+    pub remaining_gb: f64,
+    /// Fair rate at capture time, in Gb/s.
+    pub rate_gbps: f64,
+    /// Completion-event generation stamp.
+    pub gen: u64,
+    /// Summed route latency (serial tail).
+    pub latency: SimDuration,
+    /// When the flow was opened.
+    pub opened_at: SimTime,
+}
+
+/// A full capture of a [`FlowNet`]'s dynamic state (the topology is
+/// configuration, not state; link loads are derived from the flows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowNetState {
+    /// Open flows in ascending id order.
+    pub flows: Vec<FlowState>,
+    /// The next flow id to hand out.
+    pub next_flow: u64,
+    /// Accumulated busy seconds per link.
+    pub busy_s: Vec<f64>,
+    /// Clock of the last progress advance.
+    pub last_update: SimTime,
 }
 
 #[cfg(test)]
@@ -958,6 +1077,41 @@ mod tests {
         assert_eq!(scheds.len(), 1);
         assert_eq!(scheds[0].eta, SimTime::from_millis(2));
         assert!(net.complete(scheds[0].eta, id, scheds[0].gen).is_some());
+    }
+
+    #[test]
+    fn capture_restore_resumes_flows_and_rejects_corrupt_state() {
+        let topo = NetworkTopology::flat_wan(2, 8.0, SimDuration::ZERO).unwrap();
+        let mut net = FlowNet::new(topo.clone());
+        let (a, s1) = net.open(secs(0), ClusterId(0), ClusterId(1), 80.0);
+        let (_b, s2) = net.open(secs(40), ClusterId(1), ClusterId(0), 80.0);
+
+        let state = net.capture_state();
+        let mut fresh = FlowNet::new(topo.clone());
+        fresh.restore_state(state.clone()).unwrap();
+        assert_eq!(fresh.capture_state(), state, "restore is a fixed point");
+        assert_eq!(fresh.rate_gbps(a), net.rate_gbps(a));
+
+        // Both runtimes evolve identically from here.
+        let re_a = s2.iter().find(|s| s.flow == a).unwrap();
+        assert!(net.complete(secs(80), a, s1[0].gen).is_none());
+        assert!(fresh.complete(secs(80), a, s1[0].gen).is_none());
+        let (d1, r1) = net.complete(re_a.eta, a, re_a.gen).unwrap();
+        let (d2, r2) = fresh.complete(re_a.eta, a, re_a.gen).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(r1, r2);
+        assert_eq!(net.capture_state(), fresh.capture_state());
+
+        // Corruption is rejected, never a panic.
+        let mut bad = state.clone();
+        bad.busy_s.push(0.0);
+        assert!(FlowNet::new(topo.clone()).restore_state(bad).is_err());
+        let mut bad = state.clone();
+        bad.flows[0].route = vec![LinkId(99)];
+        assert!(FlowNet::new(topo.clone()).restore_state(bad).is_err());
+        let mut bad = state.clone();
+        bad.next_flow = 0;
+        assert!(FlowNet::new(topo).restore_state(bad).is_err());
     }
 
     #[test]

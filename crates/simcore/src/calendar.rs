@@ -52,6 +52,27 @@ const MIN_BUCKETS: usize = 4;
 /// second, the order of the schedulers' periodic timers.
 const INITIAL_WIDTH_MS: u64 = 1_000;
 
+/// The calendar's adaptive-layout parameters, exposed for checkpointing.
+///
+/// The bucket count, day width, scan cursor and resize rate-limiter are
+/// all *history-dependent* — they reflect the resize decisions made along
+/// the exact push/pop trajectory — so a faithful restore must reinstate
+/// them verbatim rather than rebuild from entry statistics: a rebuilt
+/// width would legally differ, and while the pop *order* would survive
+/// (it never depends on layout), the subsequent resize trajectory would
+/// diverge from the uninterrupted queue's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarTuning {
+    /// Number of buckets (always a power of two, ≥ 4).
+    pub buckets: usize,
+    /// Day width in milliseconds (≥ 1).
+    pub width_ms: u64,
+    /// The day the pop scan starts from.
+    pub cursor_day: u64,
+    /// Pushes since the last resize (the overload-rebuild rate limiter).
+    pub pushes_since_resize: usize,
+}
+
 /// A calendar-queue implementation of the stable event queue.
 ///
 /// API-compatible with [`EventQueue`](crate::EventQueue) — including the
@@ -270,6 +291,71 @@ impl<E> CalendarQueue<E> {
         self.cursor_day = 0;
     }
 
+    /// The current adaptive-layout parameters (see [`CalendarTuning`]).
+    pub fn tuning(&self) -> CalendarTuning {
+        CalendarTuning {
+            buckets: self.buckets.len(),
+            width_ms: self.width,
+            cursor_day: self.cursor_day,
+            pushes_since_resize: self.pushes_since_resize,
+        }
+    }
+
+    /// The pending events in pop order (`(time, seq)` ascending) — the
+    /// canonical form a checkpoint serializes. The queue is untouched.
+    pub fn capture_entries(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(SimTime, u64, E)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        out.sort_by_key(|&(t, s, _)| (t, s));
+        out
+    }
+
+    /// Rebuilds a queue from a captured entry list, sequence counter and
+    /// [`CalendarTuning`]. The tuning is reinstated **verbatim** and the
+    /// entries are placed by sorted insertion only — none of `push`'s
+    /// growth/overload resize heuristics fire, so the restored queue's
+    /// layout (and therefore its future resize trajectory) is exactly the
+    /// captured queue's.
+    ///
+    /// # Panics
+    /// Panics when the tuning is not a power-of-two bucket count or the
+    /// width is zero (a corrupt checkpoint; callers validate first).
+    pub fn restore_entries(
+        next_seq: u64,
+        tuning: CalendarTuning,
+        entries: Vec<(SimTime, u64, E)>,
+    ) -> Self {
+        assert!(
+            tuning.buckets.is_power_of_two() && tuning.buckets >= MIN_BUCKETS,
+            "calendar bucket count must be a power of two ≥ {MIN_BUCKETS}"
+        );
+        assert!(tuning.width_ms >= 1, "calendar day width must be ≥ 1 ms");
+        debug_assert!(
+            entries.iter().all(|&(_, s, _)| s < next_seq),
+            "restored sequence numbers must precede next_seq"
+        );
+        let mut q = CalendarQueue {
+            buckets: (0..tuning.buckets).map(|_| VecDeque::new()).collect(),
+            width: tuning.width_ms,
+            len: 0,
+            next_seq,
+            cursor_day: tuning.cursor_day,
+            pushes_since_resize: tuning.pushes_since_resize,
+        };
+        for (time, seq, event) in entries {
+            q.insert(Entry { time, seq, event });
+            q.len += 1;
+        }
+        q
+    }
+
     fn maybe_shrink(&mut self) {
         if self.len > 0 && self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 4 {
             self.resize(self.buckets.len() / 2);
@@ -404,6 +490,64 @@ mod tests {
         assert!(!q.cancel(t, s1), "double cancel is a no-op");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn restore_reinstates_tuning_and_trajectory() {
+        // Drive a queue through growth resizes, capture it mid-stream,
+        // restore, then continue both copies in lockstep: pops, tuning
+        // and sequence numbering must stay identical — the restored
+        // queue resumes the *same* adaptive trajectory.
+        let mut q = CalendarQueue::new();
+        for i in 0..500u64 {
+            q.push(SimTime::from_millis(i * 997 % 40_000), i);
+        }
+        for _ in 0..123 {
+            q.pop();
+        }
+        let tuning = q.tuning();
+        let mut r = CalendarQueue::restore_entries(q.next_seq(), tuning, q.capture_entries());
+        assert_eq!(r.tuning(), tuning, "tuning is reinstated verbatim");
+        assert_eq!(r.len(), q.len());
+        assert_eq!(r.next_seq(), q.next_seq());
+        for i in 500..1200u64 {
+            let t = SimTime::from_millis(40_000 + i * 131 % 90_000);
+            assert_eq!(q.push(t, i), r.push(t, i));
+            if i % 3 == 0 {
+                let (qt, qe) = q.pop().unwrap();
+                let (rt, re) = r.pop().unwrap();
+                assert_eq!((qt, qe), (rt, re));
+            }
+            assert_eq!(q.tuning(), r.tuning(), "resize trajectory diverged");
+        }
+        while let Some(a) = q.pop() {
+            assert_eq!(Some(a), r.pop());
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capture_lists_entries_in_pop_order() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(3);
+        q.push(t, "b1");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(t, "b2");
+        let got: Vec<_> = q.capture_entries().into_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(got, vec!["a", "b1", "b2"]);
+        assert_eq!(q.len(), 3, "capture is read-only");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn restore_rejects_corrupt_bucket_count() {
+        let tuning = CalendarTuning {
+            buckets: 3,
+            width_ms: 1,
+            cursor_day: 0,
+            pushes_since_resize: 0,
+        };
+        CalendarQueue::<()>::restore_entries(0, tuning, Vec::new());
     }
 
     #[test]

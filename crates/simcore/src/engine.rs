@@ -30,7 +30,7 @@
 //! between "handle this event" and "schedule follow-up events", and lets
 //! each crate in the workspace define its own event enum.
 
-use crate::calendar::CalendarQueue;
+use crate::calendar::{CalendarQueue, CalendarTuning};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -80,6 +80,20 @@ impl EventHandle {
     /// The instant the referenced event is scheduled for.
     pub fn time(&self) -> SimTime {
         self.time
+    }
+
+    /// The sequence number of the referenced entry — with
+    /// [`EventHandle::time`], the full coordinate a checkpoint needs to
+    /// persist a live handle.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Reconstructs a handle from a persisted `(time, seq)` coordinate.
+    /// Only meaningful for coordinates previously captured from a live
+    /// handle and restored together with the queue entries they point at.
+    pub fn from_parts(time: SimTime, seq: u64) -> Self {
+        EventHandle { time, seq }
     }
 }
 
@@ -156,6 +170,33 @@ impl<E> Backend<E> {
             Backend::Calendar(_) => QueueImpl::Calendar,
         }
     }
+}
+
+/// A full capture of an [`Engine`]'s state, produced by
+/// [`Engine::capture_state`] and consumed by [`Engine::restore_state`].
+///
+/// The entry list is in pop order (`(time, seq)` ascending) with heap
+/// tombstones already dropped — cancelled events are gone from the
+/// engine's observable behaviour, so they are not part of its state.
+/// `calendar_tuning` is present exactly when `queue_impl` is
+/// [`QueueImpl::Calendar`] (the calendar's adaptive layout is
+/// history-dependent; see [`CalendarTuning`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot<E> {
+    /// The clock at capture time.
+    pub now: SimTime,
+    /// The configured horizon ([`SimTime::MAX`] when unbounded).
+    pub horizon: SimTime,
+    /// Run counters at capture time.
+    pub stats: EngineStats,
+    /// Which queue implementation the engine ran on.
+    pub queue_impl: QueueImpl,
+    /// The sequence number the next push will assign.
+    pub next_seq: u64,
+    /// Pending live events in pop order.
+    pub entries: Vec<(SimTime, u64, E)>,
+    /// Calendar layout parameters; `None` on the heap backend.
+    pub calendar_tuning: Option<CalendarTuning>,
 }
 
 /// Discrete-event simulation engine.
@@ -337,6 +378,59 @@ impl<E> Engine<E> {
     pub fn clear(&mut self) {
         self.queue.clear();
     }
+
+    /// Captures the engine's complete state — clock, horizon, counters,
+    /// pending entries in pop order, and (on the calendar backend) the
+    /// adaptive layout parameters. The engine is untouched; feeding the
+    /// result to [`Engine::restore_state`] yields an engine whose every
+    /// future pop, push and resize decision matches this one's.
+    pub fn capture_state(&self) -> EngineSnapshot<E>
+    where
+        E: Clone,
+    {
+        let (next_seq, entries, calendar_tuning) = match &self.queue {
+            Backend::Heap(q) => (q.next_seq(), q.capture_entries(), None),
+            Backend::Calendar(q) => (q.next_seq(), q.capture_entries(), Some(q.tuning())),
+        };
+        EngineSnapshot {
+            now: self.now,
+            horizon: self.horizon,
+            stats: self.stats,
+            queue_impl: self.queue.queue_impl(),
+            next_seq,
+            entries,
+            calendar_tuning,
+        }
+    }
+
+    /// Rebuilds an engine from a captured [`EngineSnapshot`].
+    ///
+    /// # Panics
+    /// Panics when a calendar snapshot lacks its tuning (an impossible
+    /// capture; deserializers validate before calling this).
+    pub fn restore_state(snap: EngineSnapshot<E>) -> Self {
+        let queue = match snap.queue_impl {
+            QueueImpl::Heap => {
+                Backend::Heap(EventQueue::restore_entries(snap.next_seq, snap.entries))
+            }
+            QueueImpl::Calendar => {
+                let tuning = snap
+                    .calendar_tuning
+                    .expect("calendar snapshot carries its tuning");
+                Backend::Calendar(CalendarQueue::restore_entries(
+                    snap.next_seq,
+                    tuning,
+                    snap.entries,
+                ))
+            }
+        };
+        Engine {
+            now: snap.now,
+            queue,
+            horizon: snap.horizon,
+            stats: snap.stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +524,60 @@ mod tests {
         let mut e: Engine<u8> = Engine::with_horizon(SimTime::from_secs(1));
         assert!(e.schedule_at_tracked(SimTime::from_secs(5), 1).is_none());
         assert_eq!(e.stats().beyond_horizon, 1);
+    }
+
+    #[test]
+    fn capture_restore_resumes_identically_on_both_impls() {
+        for qi in [QueueImpl::Heap, QueueImpl::Calendar] {
+            let mut e: Engine<u64> = Engine::configured(qi, Some(SimTime::from_secs(5_000)), 8);
+            for i in 0..300u64 {
+                e.schedule_at(SimTime::from_millis(i * 37 % 20_000), i);
+            }
+            let h = e
+                .schedule_at_tracked(SimTime::from_millis(19_999), 999)
+                .unwrap();
+            for _ in 0..80 {
+                e.pop();
+            }
+            let snap = e.capture_state();
+            assert_eq!(snap.queue_impl, qi);
+            assert_eq!(snap.calendar_tuning.is_some(), qi == QueueImpl::Calendar);
+            let mut r = Engine::restore_state(snap.clone());
+            assert_eq!(r.now(), e.now());
+            assert_eq!(r.horizon(), e.horizon());
+            assert_eq!(r.stats(), e.stats());
+            assert_eq!(r.pending(), e.pending());
+            // A persisted handle still cancels after restore.
+            let rh = EventHandle::from_parts(h.time(), h.seq());
+            assert!(r.cancel(rh));
+            assert!(e.cancel(h));
+            // Lockstep continuation: schedules and pops stay identical.
+            let mut step = 0u64;
+            loop {
+                let a = e.pop();
+                let b = r.pop();
+                assert_eq!(a, b);
+                let Some((t, _)) = a else { break };
+                if step.is_multiple_of(5) {
+                    e.schedule_at(t + SimDuration::from_millis(step * 11), 10_000 + step);
+                    r.schedule_at(t + SimDuration::from_millis(step * 11), 10_000 + step);
+                }
+                step += 1;
+            }
+            assert_eq!(e.stats(), r.stats());
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_fixed_point_of_capture() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..50 {
+            e.schedule_at(SimTime::from_millis(i as u64 * 97), i);
+        }
+        e.pop();
+        let snap = e.capture_state();
+        let r = Engine::restore_state(snap.clone());
+        assert_eq!(r.capture_state(), snap);
     }
 
     #[test]

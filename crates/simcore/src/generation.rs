@@ -34,6 +34,16 @@ impl Generation {
     pub fn matches(self, stamp: Generation) -> bool {
         self == stamp
     }
+
+    /// The raw counter value, for checkpointing.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a stamp from a captured [`Generation::raw`] value.
+    pub fn from_raw(raw: u32) -> Self {
+        Generation(raw)
+    }
 }
 
 impl fmt::Debug for Generation {
@@ -54,6 +64,15 @@ mod tests {
         g.bump();
         assert!(!g.matches(stamp));
         assert!(g.matches(g));
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_the_stamp() {
+        let mut g = Generation::new();
+        g.bump();
+        g.bump();
+        assert_eq!(g.raw(), 2);
+        assert_eq!(Generation::from_raw(g.raw()), g);
     }
 
     #[test]

@@ -47,8 +47,8 @@ mod trace;
 
 pub mod dist;
 
-pub use calendar::CalendarQueue;
-pub use engine::{Engine, EngineStats, EventHandle, QueueImpl};
+pub use calendar::{CalendarQueue, CalendarTuning};
+pub use engine::{Engine, EngineSnapshot, EngineStats, EventHandle, QueueImpl};
 pub use generation::Generation;
 pub use queue::EventQueue;
 pub use rng::SimRng;

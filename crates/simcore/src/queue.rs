@@ -145,6 +145,51 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Number of cancelled entries still buried in the heap. Tombstones
+    /// are invisible to `len`/`pop`/`peek_time` but occupy heap slots; a
+    /// checkpoint must know the count so it can assert the captured
+    /// entries account for everything live.
+    pub fn tombstone_count(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// The pending **live** events in pop order (`(time, seq)`
+    /// ascending), tombstones excluded — the canonical form a checkpoint
+    /// serializes. The queue itself is untouched.
+    pub fn capture_entries(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+            .map(|Reverse(e)| (e.time, e.seq, e.event.clone()))
+            .collect();
+        out.sort_by_key(|&(t, s, _)| (t, s));
+        out
+    }
+
+    /// Rebuilds a queue from a captured entry list and sequence counter.
+    /// The entries keep their original sequence numbers, so previously
+    /// issued `(time, seq)` handles remain cancellable; `next_seq` must
+    /// be at least one past every restored sequence.
+    pub fn restore_entries(next_seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+        debug_assert!(
+            entries.iter().all(|&(_, s, _)| s < next_seq),
+            "restored sequence numbers must precede next_seq"
+        );
+        let heap = entries
+            .into_iter()
+            .map(|(time, seq, event)| Reverse(Entry { time, seq, event }))
+            .collect();
+        EventQueue {
+            heap,
+            next_seq,
+            cancelled: HashSet::new(),
+        }
+    }
+
     /// Drops all pending events but **keeps the sequence counter**:
     /// events pushed after a `clear` still order after anything pushed
     /// before it, so FIFO tie-breaking at equal timestamps remains stable
@@ -228,6 +273,34 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "b");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capture_skips_tombstones_and_restore_round_trips() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        q.push(t, "a");
+        let s_b = q.push(t, "b");
+        q.push(SimTime::from_secs(1), "c");
+        assert!(q.cancel(t, s_b));
+        assert_eq!(q.tombstone_count(), 1, "b is buried, not drained");
+        let entries = q.capture_entries();
+        assert_eq!(
+            entries.iter().map(|&(_, _, e)| e).collect::<Vec<_>>(),
+            vec!["c", "a"],
+            "pop order, tombstone excluded"
+        );
+        let mut r = EventQueue::restore_entries(q.next_seq(), entries);
+        assert_eq!(r.next_seq(), q.next_seq());
+        assert_eq!(r.tombstone_count(), 0, "tombstones are not carried over");
+        let order: Vec<_> = std::iter::from_fn(|| r.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["c", "a"]);
+        // Sequence numbering continues from where the original left off:
+        // a post-restore push at the same instant pops after "a".
+        let mut r2 = EventQueue::restore_entries(q.next_seq(), q.capture_entries());
+        r2.push(t, "d");
+        let order: Vec<_> = std::iter::from_fn(|| r2.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["c", "a", "d"]);
     }
 
     #[test]
